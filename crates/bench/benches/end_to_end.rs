@@ -1,0 +1,92 @@
+//! End-to-end runtime comparison: POLARIS's TVLA-free mitigation path vs
+//! VALIANT's TVLA-in-the-loop flow — the paper's ~6x speedup claim, plus
+//! scaling of the structural ranking with design size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use polaris::config::PolarisConfig;
+use polaris::masking_flow::rank_gates;
+use polaris::pipeline::PolarisPipeline;
+use polaris_masking::{apply_masking, MaskingStyle};
+use polaris_netlist::generators;
+use polaris_netlist::transform::decompose;
+use polaris_sim::{CampaignConfig, PowerModel};
+use polaris_valiant::{ValiantConfig, ValiantFlow};
+
+fn trained() -> polaris::TrainedPolaris {
+    let config = PolarisConfig {
+        msize: 20,
+        iterations: 4,
+        traces: 150,
+        n_estimators: 30,
+        ..PolarisConfig::fast_profile(7)
+    };
+    let training = vec![
+        generators::iscas_like("c432", 1, 5).expect("known design"),
+        generators::iscas_like("c499", 1, 6).expect("known design"),
+    ];
+    PolarisPipeline::new(config)
+        .train(&training, &PowerModel::default())
+        .expect("training succeeds")
+}
+
+fn bench_mitigation_paths(c: &mut Criterion) {
+    let trained = trained();
+    let power = PowerModel::default();
+    let (design, _) = decompose(&generators::sin(1, 7)).expect("valid design");
+    let msize = design.cell_ids().len() / 4;
+
+    let mut g = c.benchmark_group("mitigation_sin");
+    g.sample_size(10);
+    g.bench_function("polaris_rank_and_mask", |b| {
+        b.iter(|| {
+            let ranked = rank_gates(
+                &design,
+                trained.model(),
+                Some(trained.rules()),
+                trained.extractor(),
+            )
+            .expect("rank");
+            let selected: Vec<_> = ranked.iter().take(msize).map(|(id, _)| *id).collect();
+            black_box(apply_masking(&design, &selected, MaskingStyle::Trichina).expect("mask"))
+        })
+    });
+    g.bench_function("valiant_tvla_loop", |b| {
+        b.iter(|| {
+            let flow = ValiantFlow::new(ValiantConfig {
+                campaign: CampaignConfig::new(150, 150, 3),
+                max_iterations: 2,
+                ..Default::default()
+            });
+            black_box(flow.run(&design, &power).expect("valiant"))
+        })
+    });
+    g.finish();
+}
+
+fn bench_ranking_scaling(c: &mut Criterion) {
+    let trained = trained();
+    let mut g = c.benchmark_group("polaris_ranking_scaling");
+    g.sample_size(10);
+    for scale in [1u32, 2] {
+        let (design, _) = decompose(&generators::multiplier(scale, 7)).expect("valid design");
+        g.bench_function(format!("multiplier_{}_gates", design.gate_count()), |b| {
+            b.iter(|| {
+                black_box(
+                    rank_gates(
+                        &design,
+                        trained.model(),
+                        Some(trained.rules()),
+                        trained.extractor(),
+                    )
+                    .expect("rank"),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mitigation_paths, bench_ranking_scaling);
+criterion_main!(benches);

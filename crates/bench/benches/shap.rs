@@ -1,0 +1,73 @@
+//! SHAP benchmarks: exact TreeSHAP vs KernelSHAP vs brute force on the same
+//! model, demonstrating why the polynomial algorithm matters.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use polaris_ml::adaboost::{AdaBoost, AdaBoostConfig};
+use polaris_ml::{Dataset, TreeEnsemble};
+use polaris_xai::exact::exact_shapley;
+use polaris_xai::kernel_shap::{kernel_shap, KernelShapConfig};
+use polaris_xai::tree_shap::tree_shap;
+
+fn toy_model(features: usize) -> (AdaBoost, Dataset) {
+    let names = (0..features).map(|i| format!("f{i}")).collect();
+    let mut d = Dataset::new(names);
+    for i in 0..400usize {
+        let row: Vec<f32> = (0..features)
+            .map(|f| ((i >> (f % 8)) & 1) as f32)
+            .collect();
+        let y = u8::from(row[0] != row[1] || (features > 3 && row[2] * row[3] > 0.0));
+        d.push(&row, y).unwrap();
+    }
+    let model = AdaBoost::fit(
+        &d,
+        &AdaBoostConfig { n_estimators: 25, max_depth: 3, ..Default::default() },
+    )
+    .unwrap();
+    (model, d)
+}
+
+fn bench_shap_methods(c: &mut Criterion) {
+    let (model, data) = toy_model(10);
+    let background: Vec<Vec<f32>> = (0..32).map(|i| data.row(i * 3).to_vec()).collect();
+    let x: Vec<f32> = data.row(1).to_vec();
+    let f = |v: &[f32]| model.margin(v);
+
+    let mut g = c.benchmark_group("shap_10_features");
+    g.sample_size(10);
+    g.bench_function("tree_shap_exact", |b| {
+        b.iter(|| black_box(tree_shap(&model, &background, black_box(&x))))
+    });
+    g.bench_function("kernel_shap_exhaustive", |b| {
+        b.iter(|| {
+            black_box(kernel_shap(
+                &f,
+                black_box(&x),
+                &background,
+                &KernelShapConfig::default(),
+            ))
+        })
+    });
+    g.bench_function("bruteforce_oracle", |b| {
+        b.iter(|| black_box(exact_shapley(&f, black_box(&x), &background)))
+    });
+    g.finish();
+}
+
+fn bench_tree_shap_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree_shap_background_scaling");
+    let (model, data) = toy_model(16);
+    let x: Vec<f32> = data.row(0).to_vec();
+    for bg_size in [8usize, 64, 256] {
+        let background: Vec<Vec<f32>> =
+            (0..bg_size).map(|i| data.row(i % data.len()).to_vec()).collect();
+        g.bench_function(format!("background_{bg_size}"), |b| {
+            b.iter(|| black_box(tree_shap(&model, &background, black_box(&x))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_shap_methods, bench_tree_shap_scaling);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Simulator benchmarks: bit-parallel evaluation throughput and campaign
+//! cost across design sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use polaris_netlist::generators;
+use polaris_sim::{CampaignConfig, PowerModel, Simulator};
+
+fn bench_eval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("levelized_eval");
+    for (name, design) in [
+        ("des3", generators::des3(1, 7)),
+        ("multiplier", generators::multiplier(1, 7)),
+        ("log2", generators::log2(1, 7)),
+    ] {
+        let sim = Simulator::new(&design).expect("compiles");
+        let data: Vec<u64> = (0..design.data_inputs().len())
+            .map(|i| 0x9E37_79B9u64.wrapping_mul(i as u64 + 1))
+            .collect();
+        // 64 traces advance per eval → throughput in gate-evaluations.
+        g.throughput(Throughput::Elements(64 * design.gate_count() as u64));
+        g.bench_function(format!("{name}_{}_gates", design.gate_count()), |b| {
+            let mut st = sim.zero_state();
+            b.iter(|| {
+                sim.eval(&mut st, black_box(&data), &[]);
+                black_box(st.value(design.outputs()[0].1))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let design = generators::des3(1, 7);
+    let model = PowerModel::default();
+    let mut g = c.benchmark_group("campaign_des3");
+    g.sample_size(10);
+    for traces in [128usize, 512] {
+        g.throughput(Throughput::Elements(2 * traces as u64));
+        g.bench_function(format!("{traces}_traces_per_class"), |b| {
+            b.iter(|| {
+                let cfg = CampaignConfig::new(traces, traces, 5);
+                black_box(
+                    polaris_sim::campaign::collect_gate_samples(&design, &model, &cfg)
+                        .expect("campaign"),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_eval, bench_campaign);
+criterion_main!(benches);

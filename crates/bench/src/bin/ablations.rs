@@ -1,0 +1,188 @@
+//! Ablation studies on the design choices §V-A calls out:
+//!
+//! * θr sweep — data-imbalance / model-quality trade-off (the paper picks
+//!   0.70 because higher values starve the positive class);
+//! * locality L sweep — feature-richness vs cost;
+//! * trace-count sensitivity of the TVLA baseline;
+//! * mask-size sweep on one design.
+
+use polaris::config::PolarisConfig;
+use polaris::pipeline::{MaskBudget, PolarisPipeline};
+use polaris::report::{fmt_f, TextTable};
+use polaris_bench::HarnessConfig;
+use polaris_netlist::generators;
+use polaris_netlist::transform::decompose;
+use polaris_sim::{CampaignConfig, PowerModel};
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let power = PowerModel::default();
+    let target = generators::des3(cfg.scale, cfg.seed);
+
+    theta_r_sweep(&cfg, &power, &target);
+    locality_sweep(&cfg, &power, &target);
+    trace_sweep(&cfg, &target);
+    mask_size_sweep(&cfg, &power, &target);
+    glitch_model_comparison(&cfg, &power);
+}
+
+fn glitch_model_comparison(cfg: &HarnessConfig, power: &PowerModel) {
+    // Zero-delay vs unit-delay: glitching concentrates leakage in deep
+    // logic, raising both mean |t| and its spread across gates.
+    let mut t = TextTable::new(
+        ["design", "model", "mean |t|", "max |t|", "leaky cells", "top-10% |t| share"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for name in ["multiplier", "voter"] {
+        let design = generators::by_name(name, cfg.scale, cfg.seed).expect("known design");
+        let (norm, _) = decompose(&design).expect("valid design");
+        for glitch in [false, true] {
+            let mut campaign = CampaignConfig::new(cfg.traces, cfg.traces, cfg.seed);
+            if glitch {
+                campaign = campaign.with_glitches();
+            }
+            let leakage = polaris_tvla::assess(&norm, power, &campaign).expect("assessment");
+            let s = leakage.summarize(&norm);
+            // Leakage concentration: share of total |t| held by the top 10%
+            // of cells.
+            let mut ts: Vec<f64> = norm.cell_ids().iter().map(|&id| leakage.abs_t(id)).collect();
+            ts.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+            let top = ts.len().div_ceil(10);
+            let share = ts[..top].iter().sum::<f64>() / ts.iter().sum::<f64>().max(1e-12);
+            t.push_row(vec![
+                name.to_string(),
+                if glitch { "unit-delay (glitch)" } else { "zero-delay" }.to_string(),
+                fmt_f(s.mean_abs_t, 2),
+                fmt_f(s.max_abs_t, 2),
+                s.leaky_cells.to_string(),
+                fmt_f(share * 100.0, 1),
+            ]);
+        }
+    }
+    println!("\nAblation E: delay-model comparison (glitches concentrate leakage)\n");
+    println!("{}", t.render());
+}
+
+fn base_config(cfg: &HarnessConfig) -> PolarisConfig {
+    cfg.polaris_config(polaris::ModelKind::Adaboost)
+}
+
+fn theta_r_sweep(cfg: &HarnessConfig, power: &PowerModel, target: &polaris_netlist::Netlist) {
+    let mut t = TextTable::new(
+        ["theta_r", "samples", "positives", "pos %", "reduction %"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for theta in [0.3, 0.5, 0.7, 0.9] {
+        eprintln!("[ablation] theta_r = {theta}…");
+        let config = PolarisConfig { theta_r: theta, ..base_config(cfg) };
+        let trained = match PolarisPipeline::new(config).train(&cfg.training_designs(), power) {
+            Ok(tr) => tr,
+            Err(e) => {
+                t.push_row(vec![
+                    fmt_f(theta, 2),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    format!("({e})"),
+                ]);
+                continue;
+            }
+        };
+        let (neg, pos) = trained.dataset().class_counts();
+        let red = trained
+            .mask_design(target, power, MaskBudget::LeakyFraction(1.0))
+            .map(|r| r.reduction_pct())
+            .unwrap_or(f64::NAN);
+        t.push_row(vec![
+            fmt_f(theta, 2),
+            (neg + pos).to_string(),
+            pos.to_string(),
+            fmt_f(100.0 * pos as f64 / (neg + pos).max(1) as f64, 1),
+            fmt_f(red, 2),
+        ]);
+    }
+    println!("\nAblation A: theta_r sweep (label imbalance vs effectiveness)\n");
+    println!("{}", t.render());
+}
+
+fn locality_sweep(cfg: &HarnessConfig, power: &PowerModel, target: &polaris_netlist::Netlist) {
+    let mut t = TextTable::new(
+        ["L", "features", "reduction %"].map(String::from).to_vec(),
+    );
+    for l in [1usize, 3, 5, 7, 11] {
+        eprintln!("[ablation] L = {l}…");
+        let config = PolarisConfig { locality: l, ..base_config(cfg) };
+        let trained = match PolarisPipeline::new(config).train(&cfg.training_designs(), power) {
+            Ok(tr) => tr,
+            Err(_) => continue,
+        };
+        let red = trained
+            .mask_design(target, power, MaskBudget::LeakyFraction(1.0))
+            .map(|r| r.reduction_pct())
+            .unwrap_or(f64::NAN);
+        t.push_row(vec![
+            l.to_string(),
+            trained.extractor().n_features().to_string(),
+            fmt_f(red, 2),
+        ]);
+    }
+    println!("\nAblation B: locality L sweep\n");
+    println!("{}", t.render());
+}
+
+fn trace_sweep(cfg: &HarnessConfig, target: &polaris_netlist::Netlist) {
+    let power = PowerModel::default();
+    let (norm, _) = decompose(target).expect("valid design");
+    let mut t = TextTable::new(
+        ["traces/class", "mean |t|", "max |t|", "leaky cells"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for traces in [50usize, 150, 400, 1000] {
+        let campaign = CampaignConfig::new(traces, traces, cfg.seed);
+        let s = polaris_tvla::assess(&norm, &power, &campaign)
+            .expect("assessment")
+            .summarize(&norm);
+        t.push_row(vec![
+            traces.to_string(),
+            fmt_f(s.mean_abs_t, 2),
+            fmt_f(s.max_abs_t, 2),
+            s.leaky_cells.to_string(),
+        ]);
+    }
+    println!("\nAblation C: TVLA trace-count sensitivity (t grows ~ sqrt(N))\n");
+    println!("{}", t.render());
+}
+
+fn mask_size_sweep(cfg: &HarnessConfig, power: &PowerModel, target: &polaris_netlist::Netlist) {
+    eprintln!("[ablation] mask-size sweep…");
+    let trained = cfg.train_polaris(polaris::ModelKind::Adaboost);
+    let mut t = TextTable::new(
+        ["mask % of cells", "gates masked", "reduction %", "area x"]
+            .map(String::from)
+            .to_vec(),
+    );
+    let lib = polaris_masking::CellLibrary::default();
+    let (norm, _) = decompose(target).expect("valid design");
+    let base_area = polaris_masking::analyze_overhead(&norm, &lib, 32, cfg.seed)
+        .expect("overhead")
+        .area_um2;
+    for pct in [0.1, 0.25, 0.5, 0.75, 1.0] {
+        let report = trained
+            .mask_design(target, power, MaskBudget::CellFraction(pct))
+            .expect("pipeline runs");
+        let area = polaris_masking::analyze_overhead(&report.masked.netlist, &lib, 32, cfg.seed)
+            .expect("overhead")
+            .area_um2;
+        t.push_row(vec![
+            fmt_f(pct * 100.0, 0),
+            report.masked_gates.len().to_string(),
+            fmt_f(report.reduction_pct(), 2),
+            fmt_f(area / base_area, 2),
+        ]);
+    }
+    println!("\nAblation D: mask-size sweep on des3 (leakage vs area)\n");
+    println!("{}", t.render());
+}

@@ -1,0 +1,46 @@
+//! Fig. 3 — SHAP waterfall plots from the POLARIS AdaBoost model: one
+//! confidently-"mask" sample and one confidently-"don't mask" sample.
+
+use polaris_bench::HarnessConfig;
+use polaris_ml::Classifier;
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let trained = cfg.train_polaris(polaris::ModelKind::Adaboost);
+    let data = trained.dataset();
+    let model = trained.model();
+
+    // Pick the most confident sample of each class.
+    let mut best_pos: Option<(usize, f64)> = None;
+    let mut best_neg: Option<(usize, f64)> = None;
+    for i in 0..data.len() {
+        let p = model.predict_proba(data.row(i));
+        if best_pos.is_none_or(|(_, bp)| p > bp) {
+            best_pos = Some((i, p));
+        }
+        if best_neg.is_none_or(|(_, bp)| p < bp) {
+            best_neg = Some((i, p));
+        }
+    }
+
+    println!("\nFig. 3: SHAP waterfall plots (AdaBoost model, margin space)\n");
+    if let Some((i, p)) = best_pos {
+        println!("(a) sample predicted GOOD mask (P = {p:.3}):\n");
+        let w = trained.explainer().waterfall(model, data.row(i));
+        println!("{}", w.render(9, 28));
+    }
+    if let Some((i, p)) = best_neg {
+        println!("(b) sample predicted BAD mask (P = {p:.3}):\n");
+        let w = trained.explainer().waterfall(model, data.row(i));
+        println!("{}", w.render(9, 28));
+    }
+
+    // Companion summary: global mean |SHAP| per structural feature.
+    println!("global feature importance (mean |phi| over the cognition set):\n");
+    let imp = trained.explainer().global_importance(model, data, 200);
+    let max = imp.first().map_or(1.0, |(_, v)| *v).max(1e-12);
+    for (name, value) in imp.iter().take(10) {
+        let bar = "█".repeat(((value / max) * 30.0).round() as usize);
+        println!("  {value:>8.4}  {bar:<30}  {name}");
+    }
+}

@@ -1,0 +1,136 @@
+//! Table II — leakage reduction and runtime: VALIANT vs POLARIS at
+//! 50 % / 75 % / 100 % of each design's leaky gates.
+//!
+//! Semantics follow the paper: "Leakage Value (Per Gate)" is the mean `|t|`
+//! over cells, "Total Leakage Reduction (%)" is `1 − Σ|t|_after/Σ|t|_before`,
+//! and "X% Mask" masks X% of the gates the baseline TVLA flags as leaky.
+//! POLARIS's time is its TVLA-free mitigation path (structural ranking +
+//! transform); VALIANT's time is its full TVLA-in-the-loop flow.
+
+use std::time::Instant;
+
+use polaris::masking_flow::{assess_grouped, rank_gates};
+use polaris::report::{fmt_f, TextTable};
+use polaris_bench::HarnessConfig;
+use polaris_masking::{apply_masking, MaskingStyle};
+use polaris_netlist::transform::decompose;
+use polaris_sim::{CampaignConfig, PowerModel};
+use polaris_valiant::{ValiantConfig, ValiantFlow};
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let power = PowerModel::default();
+    let trained = cfg.train_polaris(polaris::ModelKind::Adaboost);
+
+    let mut table = TextTable::new(
+        [
+            "Benchmark", "Before", "VALIANT", "P-50%", "P-75%", "P-100%",
+            "V Red%", "P50 Red%", "P75 Red%", "P100 Red%", "V Time(s)", "P Time(s)",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    let mut avg = [0.0f64; 11];
+    let mut rows = 0usize;
+
+    for design in cfg.evaluation_designs() {
+        let name = design.name().to_string();
+        eprintln!("[table2] {name}…");
+        let (norm, _) = decompose(&design).expect("generated designs are valid");
+        let cycles = if norm.is_combinational() { 1 } else { 3 };
+        let campaign =
+            CampaignConfig::new(cfg.traces, cfg.traces, cfg.seed).with_cycles(cycles);
+
+        // Shared baseline (experiment context for both flows).
+        let before_map =
+            polaris_tvla::assess(&norm, &power, &campaign).expect("assessment runs");
+        let before = before_map.summarize(&norm);
+        let leaky = before.leaky_cells.max(1);
+
+        // VALIANT: full iterative flow (timed end to end, includes its TVLA).
+        let valiant = ValiantFlow::new(ValiantConfig {
+            campaign: campaign.clone(),
+            max_iterations: 3,
+            style: MaskingStyle::Trichina,
+            ..Default::default()
+        })
+        .run(&norm, &power)
+        .expect("valiant flow runs");
+
+        // POLARIS: structural ranking once (timed), then three mask sizes.
+        let t0 = Instant::now();
+        let ranked = rank_gates(&norm, trained.model(), Some(trained.rules()), trained.extractor())
+            .expect("ranking runs");
+        let rank_time = t0.elapsed().as_secs_f64();
+
+        let mut per_gate = Vec::new();
+        let mut reductions = Vec::new();
+        let mut polaris_time = rank_time;
+        for pct in [0.50, 0.75, 1.00] {
+            let msize = (((leaky as f64) * pct).round() as usize).min(ranked.len());
+            let t1 = Instant::now();
+            let selected: Vec<_> = ranked.iter().take(msize).map(|(id, _)| *id).collect();
+            let masked =
+                apply_masking(&norm, &selected, MaskingStyle::Trichina).expect("masking runs");
+            if (pct - 1.0).abs() < 1e-9 {
+                polaris_time = rank_time + t1.elapsed().as_secs_f64();
+            }
+            let mut report_campaign = campaign.clone();
+            report_campaign.seed = cfg.seed.wrapping_add((pct * 100.0) as u64);
+            let (after, _) = assess_grouped(&norm, &masked, &power, &report_campaign)
+                .expect("reporting assessment runs");
+            per_gate.push(after.mean_abs_t);
+            reductions.push(after.reduction_pct_from(&before));
+        }
+
+        let cells = [
+            name,
+            fmt_f(before.mean_abs_t, 2),
+            fmt_f(valiant.after.mean_abs_t, 2),
+            fmt_f(per_gate[0], 2),
+            fmt_f(per_gate[1], 2),
+            fmt_f(per_gate[2], 2),
+            fmt_f(valiant.reduction_pct(), 2),
+            fmt_f(reductions[0], 2),
+            fmt_f(reductions[1], 2),
+            fmt_f(reductions[2], 2),
+            fmt_f(valiant.runtime_s, 3),
+            fmt_f(polaris_time, 3),
+        ];
+        let numbers = [
+            before.mean_abs_t,
+            valiant.after.mean_abs_t,
+            per_gate[0],
+            per_gate[1],
+            per_gate[2],
+            valiant.reduction_pct(),
+            reductions[0],
+            reductions[1],
+            reductions[2],
+            valiant.runtime_s,
+            polaris_time,
+        ];
+        for (slot, v) in avg.iter_mut().zip(numbers) {
+            *slot += v;
+        }
+        rows += 1;
+        table.push_row(cells.to_vec());
+    }
+
+    if rows > 0 {
+        let mut cells = vec!["Average".to_string()];
+        for (i, v) in avg[..11].iter().enumerate() {
+            cells.push(fmt_f(v / rows as f64, if i >= 9 { 3 } else { 2 }));
+        }
+        table.push_row(cells);
+    }
+
+    println!("\nTable II: VALIANT vs POLARIS — leakage reduction & runtime");
+    println!(
+        "(scale {}, {} traces/class; POLARIS time = TVLA-free mitigation path)\n",
+        cfg.scale, cfg.traces
+    );
+    println!("{}", table.render());
+    let speedup = avg[9] / avg[10].max(1e-9);
+    println!("POLARIS speedup over VALIANT: {:.1}x", speedup);
+}

@@ -1,0 +1,185 @@
+//! Shared harness for the table/figure reproduction binaries.
+//!
+//! Every binary accepts the same flags:
+//!
+//! ```text
+//! --scale N     benchmark generator scale factor      (default 1)
+//! --traces N    TVLA traces per class                 (default 300)
+//! --seed N      master seed                           (default 7)
+//! --designs a,b restrict to a subset of the 11 designs
+//! --paper       paper-scale profile (scale 3, 10 000 traces) — slow
+//! ```
+//!
+//! Run e.g. `cargo run --release -p polaris-bench --bin table2`.
+
+use polaris::config::{ModelKind, PolarisConfig};
+use polaris::pipeline::{PolarisPipeline, TrainedPolaris};
+use polaris_netlist::{generators, Netlist};
+use polaris_sim::PowerModel;
+
+/// Common harness parameters parsed from the command line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HarnessConfig {
+    /// Generator scale factor.
+    pub scale: u32,
+    /// TVLA traces per class.
+    pub traces: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Evaluation designs (defaults to the paper's 11).
+    pub designs: Vec<String>,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            scale: 1,
+            traces: 300,
+            seed: 7,
+            designs: generators::EVALUATION_NAMES
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        }
+    }
+}
+
+impl HarnessConfig {
+    /// Parses `std::env::args()`; unknown flags abort with usage help.
+    pub fn from_args() -> Self {
+        let mut cfg = HarnessConfig::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let need_value = |i: usize| -> &str {
+                args.get(i + 1).map(|s| s.as_str()).unwrap_or_else(|| {
+                    eprintln!("missing value after {}", args[i]);
+                    std::process::exit(2);
+                })
+            };
+            match args[i].as_str() {
+                "--scale" => {
+                    cfg.scale = need_value(i).parse().expect("--scale takes an integer");
+                    i += 2;
+                }
+                "--traces" => {
+                    cfg.traces = need_value(i).parse().expect("--traces takes an integer");
+                    i += 2;
+                }
+                "--seed" => {
+                    cfg.seed = need_value(i).parse().expect("--seed takes an integer");
+                    i += 2;
+                }
+                "--designs" => {
+                    cfg.designs = need_value(i).split(',').map(|s| s.trim().to_string()).collect();
+                    i += 2;
+                }
+                "--paper" => {
+                    cfg.scale = 3;
+                    cfg.traces = 10_000;
+                    i += 1;
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --scale N  --traces N  --seed N  --designs a,b,c  --paper"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}; see --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        cfg
+    }
+
+    /// POLARIS configuration matched to the harness size.
+    pub fn polaris_config(&self, model: ModelKind) -> PolarisConfig {
+        PolarisConfig {
+            msize: 30 * self.scale as usize,
+            iterations: 8,
+            traces: self.traces,
+            model,
+            n_estimators: 60,
+            learning_rate: 0.01,
+            max_depth: 3,
+            seed: self.seed,
+            ..Default::default()
+        }
+    }
+
+    /// The evaluation designs selected by `--designs`, in table order.
+    pub fn evaluation_designs(&self) -> Vec<Netlist> {
+        self.designs
+            .iter()
+            .map(|name| {
+                generators::by_name(name, self.scale, self.seed).unwrap_or_else(|| {
+                    eprintln!("unknown design {name}");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    }
+
+    /// The ISCAS-85-like training suite at this scale.
+    pub fn training_designs(&self) -> Vec<Netlist> {
+        generators::training_suite(self.scale, self.seed)
+    }
+
+    /// Trains POLARIS on the training suite with the given model family,
+    /// logging progress to stderr.
+    pub fn train_polaris(&self, model: ModelKind) -> TrainedPolaris {
+        let power = PowerModel::default();
+        let pipeline = PolarisPipeline::new(self.polaris_config(model));
+        eprintln!(
+            "[harness] training POLARIS ({}) on {} designs, {} traces/class…",
+            model.name(),
+            self.training_designs().len(),
+            self.traces
+        );
+        let trained = pipeline
+            .train(&self.training_designs(), &power)
+            .unwrap_or_else(|e| {
+                eprintln!("training failed: {e}");
+                std::process::exit(1);
+            });
+        let (neg, pos) = trained.dataset().class_counts();
+        let v = trained.validation();
+        eprintln!(
+            "[harness] cognition dataset: {} samples ({} good / {} bad); holdout AUC {:.3}",
+            trained.dataset().len(),
+            pos,
+            neg,
+            v.auc
+        );
+        trained
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_cover_all_eleven_designs() {
+        let cfg = HarnessConfig::default();
+        assert_eq!(cfg.designs.len(), 11);
+        assert_eq!(cfg.evaluation_designs().len(), 11);
+    }
+
+    #[test]
+    fn polaris_config_tracks_harness() {
+        let cfg = HarnessConfig { traces: 123, seed: 9, ..Default::default() };
+        let pc = cfg.polaris_config(ModelKind::Xgboost);
+        assert_eq!(pc.traces, 123);
+        assert_eq!(pc.seed, 9);
+        assert_eq!(pc.model, ModelKind::Xgboost);
+    }
+
+    #[test]
+    fn training_suite_nonempty() {
+        let cfg = HarnessConfig::default();
+        assert_eq!(cfg.training_designs().len(), 6);
+    }
+}

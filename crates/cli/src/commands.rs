@@ -1,0 +1,362 @@
+//! Command implementations for `polaris-cli`.
+
+use polaris::config::{ModelKind, PolarisConfig};
+use polaris::persist::{load_trained, save_trained};
+use polaris::pipeline::{MaskBudget, PolarisPipeline, TrainedPolaris};
+use polaris::report::{fmt_f, TextTable};
+use polaris_masking::{analyze_overhead, CellLibrary};
+use polaris_netlist::{
+    generators, parse_bench, parse_netlist, write_bench, write_netlist, GraphView, Netlist,
+};
+use polaris_sim::{CampaignConfig, PowerModel};
+use polaris_tvla::TVLA_THRESHOLD;
+
+use crate::{read_file, write_file, Flags};
+
+/// Loads a netlist, dispatching on extension: `.bench` uses the ISCAS
+/// bench-format parser, everything else the structural-Verilog subset.
+fn load_netlist(path: &str) -> Result<Netlist, String> {
+    let text = read_file(path)?;
+    if path.ends_with(".bench") {
+        parse_bench(&text).map_err(|e| format!("{path}: {e}"))
+    } else {
+        parse_netlist(&text).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+/// Serializes a netlist, dispatching on the output extension.
+fn render_netlist(path: &str, netlist: &Netlist) -> String {
+    if path.ends_with(".bench") {
+        write_bench(netlist)
+    } else {
+        write_netlist(netlist)
+    }
+}
+
+fn load_model(flags: &Flags) -> Result<TrainedPolaris, String> {
+    let path = flags
+        .get("model")
+        .ok_or("missing --model <bundle> (create one with `polaris-cli train`)")?;
+    let text = read_file(path)?;
+    load_trained(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn campaign_from(flags: &Flags, seed_default: u64) -> Result<CampaignConfig, String> {
+    let traces: usize = flags.get_parsed("traces", 500)?;
+    let seed: u64 = flags.get_parsed("seed", seed_default)?;
+    let cycles: usize = flags.get_parsed("cycles", 1)?;
+    let mut c = CampaignConfig::new(traces, traces, seed).with_cycles(cycles);
+    if flags.has("glitch") {
+        c = c.with_glitches();
+    }
+    Ok(c)
+}
+
+/// `polaris-cli train`
+pub(crate) fn train(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["glitch", "help"])?;
+    if flags.has("help") {
+        println!(
+            "train --out model.polaris [--scale N --traces N --seed N \
+             --model adaboost|xgboost|random-forest --glitch]"
+        );
+        return Ok(());
+    }
+    let out = flags.get("out").ok_or("missing --out <file>")?;
+    let scale: u32 = flags.get_parsed("scale", 1)?;
+    let traces: usize = flags.get_parsed("traces", 300)?;
+    let seed: u64 = flags.get_parsed("seed", 7)?;
+    let model = match flags.get("model").unwrap_or("adaboost") {
+        "adaboost" => ModelKind::Adaboost,
+        "xgboost" => ModelKind::Xgboost,
+        "random-forest" => ModelKind::RandomForest,
+        other => return Err(format!("unknown model `{other}`")),
+    };
+    let config = PolarisConfig {
+        msize: 30 * scale as usize,
+        iterations: 8,
+        traces,
+        model,
+        glitch_model: flags.has("glitch"),
+        seed,
+        ..Default::default()
+    };
+    eprintln!("training {} on the generated ISCAS-85-like suite…", model.name());
+    let trained = PolarisPipeline::new(config)
+        .train(&generators::training_suite(scale, seed), &PowerModel::default())
+        .map_err(|e| e.to_string())?;
+    let (bad, good) = trained.dataset().class_counts();
+    eprintln!("cognition dataset: {} samples ({good} good / {bad} bad)", good + bad);
+    let v = trained.validation();
+    eprintln!(
+        "held-out validation: accuracy {:.3}, F1 {:.3}, AUC {:.3} ({} samples)",
+        v.accuracy, v.f1, v.auc, v.samples
+    );
+    write_file(out, &save_trained(&trained))?;
+    eprintln!("model bundle written to {out}");
+    Ok(())
+}
+
+/// `polaris-cli stats`
+pub(crate) fn stats(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["help"])?;
+    if flags.has("help") {
+        println!("stats <netlist.v>");
+        return Ok(());
+    }
+    let netlist = load_netlist(flags.positional(0, "netlist path")?)?;
+    let s = netlist.stats();
+    println!("design:       {}", netlist.name());
+    println!("gates total:  {}", s.total);
+    println!("logic cells:  {}", s.cells);
+    println!("data inputs:  {}", s.data_inputs);
+    println!("mask inputs:  {}", s.mask_inputs);
+    println!("outputs:      {}", s.outputs);
+    println!("flip-flops:   {}", s.flops);
+    let levels = netlist.levels().map_err(|e| e.to_string())?;
+    println!("logic depth:  {}", levels.iter().max().copied().unwrap_or(0));
+    let mut t = TextTable::new(vec!["kind".into(), "count".into()]);
+    for kind in polaris_netlist::GateKind::ALL {
+        let c = s.kind_histogram[kind.ordinal()];
+        if c > 0 {
+            t.push_row(vec![kind.mnemonic().to_string(), c.to_string()]);
+        }
+    }
+    println!("\n{}", t.render());
+    let lib = CellLibrary::default();
+    let overhead = analyze_overhead(&netlist, &lib, 64, 1).map_err(|e| e.to_string())?;
+    println!("area:  {:.1} um2", overhead.area_um2);
+    println!("power: {:.3} mW (simulated activity)", overhead.power_mw);
+    println!("delay: {:.3} ns (critical path)", overhead.delay_ns);
+    Ok(())
+}
+
+/// `polaris-cli assess`
+pub(crate) fn assess(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["glitch", "help"])?;
+    if flags.has("help") {
+        println!(
+            "assess <netlist.v> [--traces N --seed N --cycles N --glitch] \
+             [--csv out.csv] [--pairs N]"
+        );
+        return Ok(());
+    }
+    let netlist = load_netlist(flags.positional(0, "netlist path")?)?;
+    let campaign = campaign_from(&flags, 7)?;
+    eprintln!(
+        "running fixed-vs-random TVLA ({} traces/class)…",
+        campaign.n_fixed
+    );
+    let leakage = polaris_tvla::assess(&netlist, &PowerModel::default(), &campaign)
+        .map_err(|e| e.to_string())?;
+    let s = leakage.summarize(&netlist);
+    println!("cells:        {}", s.cells);
+    println!("mean |t|:     {:.3}", s.mean_abs_t);
+    println!("max |t|:      {:.3}", s.max_abs_t);
+    println!("leaky cells:  {} (|t| > {TVLA_THRESHOLD})", s.leaky_cells);
+    println!(
+        "verdict:      {}",
+        if s.max_abs_t > TVLA_THRESHOLD {
+            "LEAKY — first-order TVLA failure"
+        } else {
+            "no first-order leakage detected at this trace count"
+        }
+    );
+    if let Some(csv) = flags.get("csv") {
+        let mut out = String::from("gate,name,kind,t,leaky\n");
+        for (id, gate) in netlist.iter() {
+            let r = leakage.result(id);
+            out.push_str(&format!(
+                "{},{},{},{:.6},{}\n",
+                id.index(),
+                gate.name(),
+                gate.kind().mnemonic(),
+                r.t,
+                u8::from(r.is_leaky(TVLA_THRESHOLD))
+            ));
+        }
+        write_file(csv, &out)?;
+        eprintln!("per-gate results written to {csv}");
+    }
+    // Optional bivariate (second-order) sweep over the leakiest gates.
+    let pairs: usize = flags.get_parsed("pairs", 0)?;
+    if pairs > 0 {
+        eprintln!("running bivariate sweep over the {pairs} leakiest cells…");
+        let samples = polaris_sim::campaign::collect_gate_samples(
+            &netlist,
+            &PowerModel::default(),
+            &campaign,
+        )
+        .map_err(|e| e.to_string())?;
+        let mut cells: Vec<_> = netlist
+            .cell_ids()
+            .into_iter()
+            .map(|id| (id, leakage.abs_t(id)))
+            .collect();
+        cells.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let top: Vec<_> = cells.into_iter().take(pairs).map(|(id, _)| id).collect();
+        let sweep = polaris_tvla::bivariate::bivariate_sweep(&samples, &top);
+        println!("\nworst second-order (bivariate) pairs:");
+        for (g1, g2, r) in sweep.iter().take(10) {
+            println!(
+                "  {:>10} x {:<10} |t2| = {:.2}{}",
+                netlist.gate(*g1).name(),
+                netlist.gate(*g2).name(),
+                r.t.abs(),
+                if r.is_leaky(TVLA_THRESHOLD) { "  LEAKY" } else { "" }
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `polaris-cli mask`
+pub(crate) fn mask(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["report", "help"])?;
+    if flags.has("help") {
+        println!(
+            "mask <netlist.v> --model model.polaris --out masked.v \
+             [--budget leaky:0.5|cells:0.5|count:N] [--traces N] [--report]"
+        );
+        return Ok(());
+    }
+    let netlist = load_netlist(flags.positional(0, "netlist path")?)?;
+    let trained = load_model(&flags)?;
+    let out = flags.get("out").ok_or("missing --out <file>")?;
+    let budget = parse_budget(flags.get("budget").unwrap_or("leaky:1.0"))?;
+
+    eprintln!("masking `{}`…", netlist.name());
+    let report = trained
+        .mask_design(&netlist, &PowerModel::default(), budget)
+        .map_err(|e| e.to_string())?;
+    write_file(out, &render_netlist(out, &report.masked.netlist))?;
+    eprintln!("protected netlist written to {out}");
+
+    println!("gates masked:     {}", report.masked_gates.len());
+    println!("fresh mask bits:  {}", report.masked.added_mask_bits);
+    println!(
+        "mean |t|:         {:.2} -> {:.2}  ({:.1}% total reduction)",
+        report.before.mean_abs_t,
+        report.after.mean_abs_t,
+        report.reduction_pct()
+    );
+    println!(
+        "leaky cells:      {} -> {}",
+        report.before.leaky_cells, report.after.leaky_cells
+    );
+    println!(
+        "mitigation path:  {:.3}s (TVLA-free); reporting TVLA {:.3}s",
+        report.mitigation_time_s, report.assessment_time_s
+    );
+    if flags.has("report") {
+        let lib = CellLibrary::default();
+        let (norm, _) =
+            polaris_netlist::transform::decompose(&netlist).map_err(|e| e.to_string())?;
+        let base = analyze_overhead(&norm, &lib, 64, 1).map_err(|e| e.to_string())?;
+        let cost =
+            analyze_overhead(&report.masked.netlist, &lib, 64, 1).map_err(|e| e.to_string())?;
+        let r = cost.ratio_to(&base);
+        let mut t = TextTable::new(
+            ["metric", "original", "masked", "x original"]
+                .map(String::from)
+                .to_vec(),
+        );
+        t.push_row(vec![
+            "area (um2)".into(),
+            fmt_f(base.area_um2, 1),
+            fmt_f(cost.area_um2, 1),
+            fmt_f(r.area_um2, 2),
+        ]);
+        t.push_row(vec![
+            "power (mW)".into(),
+            fmt_f(base.power_mw, 3),
+            fmt_f(cost.power_mw, 3),
+            fmt_f(r.power_mw, 2),
+        ]);
+        t.push_row(vec![
+            "delay (ns)".into(),
+            fmt_f(base.delay_ns, 3),
+            fmt_f(cost.delay_ns, 3),
+            fmt_f(r.delay_ns, 2),
+        ]);
+        println!("\n{}", t.render());
+    }
+    Ok(())
+}
+
+fn parse_budget(spec: &str) -> Result<MaskBudget, String> {
+    let (kind, value) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("budget `{spec}` should look like leaky:0.5 / cells:0.5 / count:40"))?;
+    match kind {
+        "leaky" => Ok(MaskBudget::LeakyFraction(
+            value.parse().map_err(|_| format!("malformed fraction `{value}`"))?,
+        )),
+        "cells" => Ok(MaskBudget::CellFraction(
+            value.parse().map_err(|_| format!("malformed fraction `{value}`"))?,
+        )),
+        "count" => Ok(MaskBudget::Count(
+            value.parse().map_err(|_| format!("malformed count `{value}`"))?,
+        )),
+        other => Err(format!("unknown budget kind `{other}`")),
+    }
+}
+
+/// `polaris-cli rules`
+pub(crate) fn rules(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["help"])?;
+    if flags.has("help") {
+        println!("rules --model model.polaris");
+        return Ok(());
+    }
+    let trained = load_model(&flags)?;
+    if trained.rules().is_empty() {
+        println!("(no rules were mined at training time)");
+        return Ok(());
+    }
+    for (i, rule) in trained.rules().rules().iter().enumerate() {
+        println!("Rule {}: {}", (b'A' + (i % 26) as u8) as char, rule.render());
+    }
+    Ok(())
+}
+
+/// `polaris-cli explain`
+pub(crate) fn explain(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["help"])?;
+    if flags.has("help") {
+        println!("explain <netlist.v> --model model.polaris --gate <instance-name>");
+        return Ok(());
+    }
+    let netlist = load_netlist(flags.positional(0, "netlist path")?)?;
+    let trained = load_model(&flags)?;
+    let gate_name = flags.get("gate").ok_or("missing --gate <instance-name>")?;
+
+    let (norm, map) =
+        polaris_netlist::transform::decompose(&netlist).map_err(|e| e.to_string())?;
+    let original_id = netlist
+        .iter()
+        .find(|(_, g)| g.name() == gate_name)
+        .map(|(id, _)| id)
+        .ok_or_else(|| format!("no gate named `{gate_name}` in {}", netlist.name()))?;
+    let id = map
+        .representative(original_id)
+        .ok_or_else(|| format!("gate `{gate_name}` vanished during normalization"))?;
+    if !norm.gate(id).kind().is_combinational_cell() || norm.gate(id).fanin().len() > 2 {
+        return Err(format!("gate `{gate_name}` is not a maskable cell"));
+    }
+
+    let view = GraphView::new(&norm);
+    let levels = norm.levels().map_err(|e| e.to_string())?;
+    let x = trained.extractor().extract(&norm, &view, &levels, id);
+    let proba = polaris_ml::Classifier::predict_proba(trained.model(), &x);
+    println!(
+        "gate `{gate_name}` ({}): P(good masking candidate) = {proba:.3}\n",
+        norm.gate(id).kind()
+    );
+    let w = trained.explainer().waterfall(trained.model(), &x);
+    println!("{}", w.render(10, 28));
+    if let Some(action) = trained.rules().decide(&x) {
+        println!("matching mined rule says: {action}");
+    }
+    Ok(())
+}

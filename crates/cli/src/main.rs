@@ -1,0 +1,138 @@
+//! `polaris-cli` — the POLARIS design-for-security tool.
+//!
+//! ```text
+//! polaris-cli train   --out model.polaris [--scale N --traces N --seed N --model adaboost|xgboost|random-forest --glitch]
+//! polaris-cli stats   <netlist.v>
+//! polaris-cli assess  <netlist.v> [--traces N --seed N --glitch] [--csv out.csv]
+//! polaris-cli mask    <netlist.v> --model model.polaris --out masked.v
+//!                     [--budget leaky:0.5 | cells:0.5 | count:N] [--report]
+//! polaris-cli rules   --model model.polaris
+//! polaris-cli explain <netlist.v> --model model.polaris --gate <instance-name>
+//! ```
+//!
+//! Netlists use the structural-Verilog subset documented in
+//! [`polaris_netlist::parser`].
+
+use std::fs;
+use std::process::ExitCode;
+
+mod commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "train" => commands::train(rest),
+        "stats" => commands::stats(rest),
+        "assess" => commands::assess(rest),
+        "mask" => commands::mask(rest),
+        "rules" => commands::rules(rest),
+        "explain" => commands::explain(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+polaris-cli — explainable AI for power side-channel mitigation
+
+commands:
+  train    train on the generated benchmark suite and save a model bundle
+  stats    print netlist statistics
+  assess   run TVLA leakage assessment on a netlist
+  mask     protect a netlist with a trained model
+  rules    print the mined masking rules of a model bundle
+  explain  SHAP waterfall for one gate of a netlist
+
+run `polaris-cli <command> --help` for flags";
+
+/// Reads a file with a friendly error.
+pub(crate) fn read_file(path: &str) -> Result<String, String> {
+    fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+/// Writes a file with a friendly error.
+pub(crate) fn write_file(path: &str, content: &str) -> Result<(), String> {
+    fs::write(path, content).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// Minimal flag parser: `--key value` pairs plus positional arguments.
+pub(crate) struct Flags {
+    positional: Vec<String>,
+    pairs: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    pub(crate) fn parse(args: &[String], switches: &[&str]) -> Result<Self, String> {
+        let mut f = Flags {
+            positional: Vec::new(),
+            pairs: Vec::new(),
+            switches: Vec::new(),
+        };
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            if let Some(name) = a.strip_prefix("--") {
+                if switches.contains(&name) {
+                    f.switches.push(name.to_string());
+                    i += 1;
+                } else {
+                    let v = args
+                        .get(i + 1)
+                        .ok_or_else(|| format!("missing value for --{name}"))?;
+                    f.pairs.push((name.to_string(), v.clone()));
+                    i += 2;
+                }
+            } else {
+                f.positional.push(a.clone());
+                i += 1;
+            }
+        }
+        Ok(f)
+    }
+
+    pub(crate) fn positional(&self, i: usize, what: &str) -> Result<&str, String> {
+        self.positional
+            .get(i)
+            .map(|s| s.as_str())
+            .ok_or_else(|| format!("missing {what}"))
+    }
+
+    pub(crate) fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    pub(crate) fn get_parsed<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+    ) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("malformed --{key} value `{v}`")),
+        }
+    }
+
+    pub(crate) fn has(&self, switch: &str) -> bool {
+        self.switches.iter().any(|s| s == switch)
+    }
+}

@@ -1,0 +1,203 @@
+//! End-to-end tests driving the real `polaris-cli` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_polaris-cli"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("polaris-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join(name)
+}
+
+const DEMO: &str = "
+module keycmp (d0, d1, k0, k1, flag);
+  input d0, d1;
+  input k0, k1;
+  output flag;
+  xor x0 (m0, d0, k0);
+  xor x1 (m1, d1, k1);
+  nor n0 (flag, m0, m1);
+endmodule";
+
+const C17_BENCH: &str = "\
+# c17
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+";
+
+/// Trains a small bundle once per test process.
+fn model_path() -> PathBuf {
+    let path = tmp("model.polaris");
+    if !path.exists() {
+        let out = cli()
+            .args(["train", "--out", path.to_str().expect("utf8"), "--traces", "120"])
+            .output()
+            .expect("train runs");
+        assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+    }
+    path
+}
+
+#[test]
+fn help_lists_commands() {
+    let out = cli().arg("--help").output().expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for cmd in ["train", "assess", "mask", "rules", "explain", "stats"] {
+        assert!(text.contains(cmd), "missing {cmd} in help");
+    }
+}
+
+#[test]
+fn unknown_command_fails_cleanly() {
+    let out = cli().arg("frobnicate").output().expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn stats_reports_structure() {
+    let design = tmp("demo.v");
+    std::fs::write(&design, DEMO).expect("write design");
+    let out = cli()
+        .args(["stats", design.to_str().expect("utf8")])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("logic cells:  3"));
+    assert!(text.contains("data inputs:  4"));
+    assert!(text.contains("XOR"));
+}
+
+#[test]
+fn assess_flags_leaky_design_and_writes_csv() {
+    let design = tmp("demo_assess.v");
+    std::fs::write(&design, DEMO).expect("write design");
+    let csv = tmp("leakage.csv");
+    let out = cli()
+        .args([
+            "assess",
+            design.to_str().expect("utf8"),
+            "--traces",
+            "600",
+            "--csv",
+            csv.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("LEAKY"), "unprotected design must be flagged:\n{text}");
+    let csv_text = std::fs::read_to_string(&csv).expect("csv written");
+    assert!(csv_text.starts_with("gate,name,kind,t,leaky"));
+    assert!(csv_text.lines().count() > 5);
+}
+
+#[test]
+fn mask_reduces_leakage_and_roundtrips() {
+    let design = tmp("demo_mask.v");
+    std::fs::write(&design, DEMO).expect("write design");
+    let masked = tmp("demo_masked.v");
+    let out = cli()
+        .args([
+            "mask",
+            design.to_str().expect("utf8"),
+            "--model",
+            model_path().to_str().expect("utf8"),
+            "--out",
+            masked.to_str().expect("utf8"),
+            "--budget",
+            "cells:1.0",
+            "--traces",
+            "400",
+        ])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("gates masked:     3"), "{text}");
+    // The written netlist parses and is itself assessable.
+    let again = cli()
+        .args(["stats", masked.to_str().expect("utf8")])
+        .output()
+        .expect("runs");
+    assert!(again.status.success());
+    let stats_text = String::from_utf8_lossy(&again.stdout);
+    assert!(stats_text.contains("mask inputs:  9"), "{stats_text}");
+}
+
+#[test]
+fn bench_format_accepted() {
+    let design = tmp("c17.bench");
+    std::fs::write(&design, C17_BENCH).expect("write design");
+    let out = cli()
+        .args(["stats", design.to_str().expect("utf8")])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("logic cells:  6"));
+}
+
+#[test]
+fn rules_and_explain_work_with_bundle() {
+    let model = model_path();
+    let out = cli()
+        .args(["rules", "--model", model.to_str().expect("utf8")])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let design = tmp("demo_explain.v");
+    std::fs::write(&design, DEMO).expect("write design");
+    let out = cli()
+        .args([
+            "explain",
+            design.to_str().expect("utf8"),
+            "--model",
+            model.to_str().expect("utf8"),
+            "--gate",
+            "n0",
+        ])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("P(good masking candidate)"));
+    assert!(text.contains("E[f(x)]"));
+}
+
+#[test]
+fn explain_unknown_gate_errors() {
+    let design = tmp("demo_unknown.v");
+    std::fs::write(&design, DEMO).expect("write design");
+    let out = cli()
+        .args([
+            "explain",
+            design.to_str().expect("utf8"),
+            "--model",
+            model_path().to_str().expect("utf8"),
+            "--gate",
+            "nope",
+        ])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no gate named"));
+}

@@ -1,0 +1,238 @@
+//! Explainability integration (paper §IV-B): SHAP waterfalls over the
+//! cognition model and rule extraction.
+
+use polaris_ml::{Classifier, Dataset};
+use polaris_xai::tree_shap::{tree_shap, ShapExplanation};
+use polaris_xai::waterfall::Waterfall;
+use polaris_xai::{RuleMiner, RuleSet};
+
+use crate::model::PolarisModel;
+
+/// SHAP machinery bound to one trained model and its background dataset.
+#[derive(Clone, Debug)]
+pub struct Explainer {
+    background: Vec<Vec<f32>>,
+    feature_names: Vec<String>,
+}
+
+impl Explainer {
+    /// Builds an explainer whose background set is drawn (deterministically,
+    /// evenly spaced) from the cognition dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dataset` is empty or `max_background == 0`.
+    pub fn new(dataset: &Dataset, max_background: usize) -> Self {
+        assert!(!dataset.is_empty(), "explainer needs background data");
+        assert!(max_background > 0, "background budget must be positive");
+        let step = (dataset.len() / max_background).max(1);
+        let background: Vec<Vec<f32>> = (0..dataset.len())
+            .step_by(step)
+            .take(max_background)
+            .map(|i| dataset.row(i).to_vec())
+            .collect();
+        Explainer {
+            background,
+            feature_names: dataset.feature_names().to_vec(),
+        }
+    }
+
+    /// Rebuilds an explainer from raw background rows (persistence path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `background` is empty or row widths disagree with
+    /// `feature_names`.
+    pub fn from_background(background: Vec<Vec<f32>>, feature_names: Vec<String>) -> Self {
+        assert!(!background.is_empty(), "explainer needs background data");
+        assert!(
+            background.iter().all(|r| r.len() == feature_names.len()),
+            "background width mismatch"
+        );
+        Explainer {
+            background,
+            feature_names,
+        }
+    }
+
+    /// Background sample count.
+    pub fn background_len(&self) -> usize {
+        self.background.len()
+    }
+
+    /// The background rows.
+    pub fn background(&self) -> &[Vec<f32>] {
+        &self.background
+    }
+
+    /// Feature names (aligned with explanation values).
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// Exact TreeSHAP explanation of one sample, in margin space.
+    pub fn explain(&self, model: &PolarisModel, x: &[f32]) -> ShapExplanation {
+        tree_shap(model, &self.background, x)
+    }
+
+    /// Waterfall (Fig. 3) for one sample.
+    pub fn waterfall(&self, model: &PolarisModel, x: &[f32]) -> Waterfall {
+        let e = self.explain(model, x);
+        Waterfall::new(&e, &self.feature_names, x)
+    }
+
+    /// Global feature importance: mean |φ| per feature over `dataset` (the
+    /// "summary plot" companion to the per-sample waterfalls), sorted
+    /// descending. At most `max_samples` evenly-spaced samples are explained.
+    pub fn global_importance(
+        &self,
+        model: &PolarisModel,
+        dataset: &Dataset,
+        max_samples: usize,
+    ) -> Vec<(String, f64)> {
+        let step = (dataset.len() / max_samples.max(1)).max(1);
+        let mut sums = vec![0.0f64; self.feature_names.len()];
+        let mut count = 0usize;
+        for i in (0..dataset.len()).step_by(step) {
+            let e = self.explain(model, dataset.row(i));
+            for (s, phi) in sums.iter_mut().zip(&e.values) {
+                *s += phi.abs();
+            }
+            count += 1;
+        }
+        let mut out: Vec<(String, f64)> = self
+            .feature_names
+            .iter()
+            .cloned()
+            .zip(sums.into_iter().map(|s| s / count.max(1) as f64))
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        out
+    }
+
+    /// Mines Table-V style rules from every sample of `dataset`.
+    pub fn mine_rules(
+        &self,
+        model: &PolarisModel,
+        dataset: &Dataset,
+        miner: &RuleMiner,
+    ) -> RuleSet {
+        let samples: Vec<(Vec<f32>, ShapExplanation, f64)> = (0..dataset.len())
+            .map(|i| {
+                let x = dataset.row(i).to_vec();
+                let e = self.explain(model, &x);
+                let p = model.predict_proba(&x);
+                (x, e, p)
+            })
+            .collect();
+        miner.mine(&samples, &self.feature_names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ModelKind, PolarisConfig};
+    use polaris_ml::TreeEnsemble;
+
+    fn trained() -> (PolarisModel, Dataset) {
+        let mut d = Dataset::new(vec!["f0".into(), "f1".into(), "f2".into()]);
+        for i in 0..240 {
+            let f0 = (i % 3 == 0) as u8;
+            let f1 = (i % 2 == 0) as u8;
+            let f2 = (i % 5 < 3) as u8;
+            d.push(&[f0 as f32, f1 as f32, f2 as f32], f0 & f2).unwrap();
+        }
+        let cfg = PolarisConfig {
+            model: ModelKind::Adaboost,
+            n_estimators: 20,
+            learning_rate: 0.5,
+            ..PolarisConfig::fast_profile(5)
+        };
+        (PolarisModel::train(&d, &cfg).unwrap(), d)
+    }
+
+    #[test]
+    fn explanations_satisfy_efficiency() {
+        let (model, data) = trained();
+        let ex = Explainer::new(&data, 32);
+        for i in (0..data.len()).step_by(37) {
+            let e = ex.explain(&model, data.row(i));
+            assert!(e.efficiency_gap().abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn informative_features_dominate_shap() {
+        let (model, data) = trained();
+        let ex = Explainer::new(&data, 32);
+        let e = ex.explain(&model, &[1.0, 1.0, 1.0]);
+        // f1 is irrelevant to the label; f0 and f2 drive it.
+        assert!(e.values[0].abs() > e.values[1].abs());
+        assert!(e.values[2].abs() > e.values[1].abs());
+    }
+
+    #[test]
+    fn waterfall_renders_feature_names() {
+        let (model, data) = trained();
+        let ex = Explainer::new(&data, 16);
+        let w = ex.waterfall(&model, &[1.0, 0.0, 1.0]);
+        let text = w.render(5, 16);
+        assert!(text.contains("f0"));
+        assert!(text.contains("E[f(x)]"));
+    }
+
+    #[test]
+    fn waterfall_endpoints_match_model() {
+        let (model, data) = trained();
+        let ex = Explainer::new(&data, 16);
+        let x = [1.0f32, 0.0, 1.0];
+        let w = ex.waterfall(&model, &x);
+        assert!((w.fx - model.margin(&x)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rules_capture_the_generating_pattern() {
+        let (model, data) = trained();
+        let ex = Explainer::new(&data, 32);
+        let rules = ex.mine_rules(
+            &model,
+            &data,
+            &RuleMiner {
+                conditions_per_rule: 2,
+                min_support: 3,
+                min_probability: 0.6,
+                max_rules: 4,
+            },
+        );
+        assert!(!rules.is_empty(), "pattern f0 & f2 should be minable");
+        // The strongest Mask rule should involve f0 and f2.
+        let mask_rule = rules
+            .rules()
+            .iter()
+            .find(|r| r.action == polaris_xai::MaskAction::Mask)
+            .expect("a mask rule exists");
+        let features: Vec<usize> = mask_rule.conditions.iter().map(|c| c.feature).collect();
+        assert!(features.contains(&0) && features.contains(&2), "{features:?}");
+    }
+
+    #[test]
+    fn background_subsampling_bounded() {
+        let (_, data) = trained();
+        let ex = Explainer::new(&data, 10);
+        assert!(ex.background_len() <= 10);
+    }
+
+    #[test]
+    fn global_importance_ranks_informative_features() {
+        let (model, data) = trained();
+        let ex = Explainer::new(&data, 32);
+        let imp = ex.global_importance(&model, &data, 60);
+        assert_eq!(imp.len(), 3);
+        // Sorted descending, all non-negative.
+        assert!(imp.windows(2).all(|w| w[0].1 >= w[1].1));
+        assert!(imp.iter().all(|(_, v)| *v >= 0.0));
+        // The noise feature f1 must not rank first.
+        assert_ne!(imp[0].0, "f1");
+    }
+}

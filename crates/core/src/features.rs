@@ -1,0 +1,240 @@
+//! Structural feature extraction (paper §IV-A, Fig. 2).
+//!
+//! For a gate `G0`, BFS over the undirected gate graph yields the locality
+//! slots `G1..GL`. The feature vector is:
+//!
+//! * one-hot gate kind per slot — names like `"G4 = NAND"` (these are the
+//!   literals the Table-V rules read off);
+//! * upper-triangle slot-connectivity bits — names like
+//!   `"G4 (NAND) and G5 (AND) connected"` rendered as `conn(G4,G5)`;
+//! * scalar context: fanin / fanout / degree of `G0` and its combinational
+//!   level, each lightly normalized.
+
+use polaris_netlist::{GateId, GateKind, GraphView, Netlist};
+
+/// Extractor for fixed-width structural feature vectors.
+///
+/// ```
+/// use polaris::StructuralFeatureExtractor;
+/// use polaris_netlist::{generators, GraphView};
+///
+/// let design = generators::iscas_c17();
+/// let view = GraphView::new(&design);
+/// let levels = design.levels().expect("acyclic");
+/// let fx = StructuralFeatureExtractor::new(7);
+/// let x = fx.extract(&design, &view, &levels, design.cell_ids()[0]);
+/// assert_eq!(x.len(), fx.n_features());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StructuralFeatureExtractor {
+    locality: usize,
+}
+
+impl StructuralFeatureExtractor {
+    /// Creates an extractor with BFS locality `l` (the paper uses `L = 7`).
+    pub fn new(locality: usize) -> Self {
+        StructuralFeatureExtractor { locality }
+    }
+
+    /// The locality `L`.
+    pub fn locality(&self) -> usize {
+        self.locality
+    }
+
+    /// Number of slots (`L + 1`, slot 0 = the gate itself).
+    pub fn n_slots(&self) -> usize {
+        self.locality + 1
+    }
+
+    /// Total feature-vector width.
+    pub fn n_features(&self) -> usize {
+        let slots = self.n_slots();
+        slots * GateKind::ALL.len() + slots * (slots - 1) / 2 + 4
+    }
+
+    /// Human-readable feature names, aligned with [`Self::extract`] output.
+    pub fn feature_names(&self) -> Vec<String> {
+        let mut names = Vec::with_capacity(self.n_features());
+        for slot in 0..self.n_slots() {
+            for kind in GateKind::ALL {
+                names.push(format!("G{slot} = {}", kind.mnemonic()));
+            }
+        }
+        for i in 0..self.n_slots() {
+            for j in i + 1..self.n_slots() {
+                names.push(format!("conn(G{i},G{j})"));
+            }
+        }
+        names.push("fanin(G0)".to_string());
+        names.push("fanout(G0)".to_string());
+        names.push("degree(G0)".to_string());
+        names.push("level(G0)".to_string());
+        names
+    }
+
+    /// Extracts the feature vector of one gate.
+    ///
+    /// `view` and `levels` must come from the same `netlist`
+    /// ([`GraphView::new`] / [`Netlist::levels`]); they are passed in so
+    /// callers amortize their construction over all gates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate` is out of range for the netlist.
+    pub fn extract(
+        &self,
+        netlist: &Netlist,
+        view: &GraphView,
+        levels: &[usize],
+        gate: GateId,
+    ) -> Vec<f32> {
+        let mut x = Vec::with_capacity(self.n_features());
+        let loc = view.locality(gate, self.locality);
+
+        // One-hot kind per slot (empty slot → all zeros).
+        for slot in 0..self.n_slots() {
+            let kind = loc.slot(slot).map(|id| netlist.gate(id).kind());
+            for k in GateKind::ALL {
+                x.push(f32::from(u8::from(kind == Some(k))));
+            }
+        }
+        // Pairwise slot connectivity.
+        for i in 0..self.n_slots() {
+            for j in i + 1..self.n_slots() {
+                let connected = match (loc.slot(i), loc.slot(j)) {
+                    (Some(a), Some(b)) => view.connected(a, b),
+                    _ => false,
+                };
+                x.push(f32::from(u8::from(connected)));
+            }
+        }
+        // Scalar context, squashed to keep ranges comparable with the bits.
+        let squash = |v: usize| (v as f32 / 8.0).min(1.0);
+        x.push(squash(netlist.gate(gate).fanin().len()));
+        x.push(squash(view.fanout(gate).len()));
+        x.push(squash(view.degree(gate)));
+        x.push(squash(levels[gate.index()]));
+        debug_assert_eq!(x.len(), self.n_features());
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polaris_netlist::generators;
+
+    fn setup() -> (Netlist, GraphView, Vec<usize>) {
+        let n = generators::iscas_c17();
+        let view = GraphView::new(&n);
+        let levels = n.levels().unwrap();
+        (n, view, levels)
+    }
+
+    #[test]
+    fn width_matches_names() {
+        for l in [0, 1, 3, 7] {
+            let fx = StructuralFeatureExtractor::new(l);
+            assert_eq!(fx.feature_names().len(), fx.n_features());
+        }
+    }
+
+    #[test]
+    fn paper_l7_width() {
+        // 8 slots × 13 kinds + C(8,2) connectivity + 4 scalars = 136.
+        let fx = StructuralFeatureExtractor::new(7);
+        assert_eq!(fx.n_features(), 8 * 13 + 28 + 4);
+    }
+
+    #[test]
+    fn one_hot_is_exclusive_per_slot() {
+        let (n, view, levels) = setup();
+        let fx = StructuralFeatureExtractor::new(7);
+        for id in n.cell_ids() {
+            let x = fx.extract(&n, &view, &levels, id);
+            for slot in 0..fx.n_slots() {
+                let ones: f32 = x[slot * GateKind::ALL.len()..(slot + 1) * GateKind::ALL.len()]
+                    .iter()
+                    .sum();
+                assert!(ones <= 1.0, "slot {slot} has {ones} kinds set");
+            }
+        }
+    }
+
+    #[test]
+    fn slot_zero_encodes_own_kind() {
+        let (n, view, levels) = setup();
+        let fx = StructuralFeatureExtractor::new(3);
+        let names = fx.feature_names();
+        for id in n.cell_ids() {
+            let x = fx.extract(&n, &view, &levels, id);
+            let kind = n.gate(id).kind();
+            let idx = names
+                .iter()
+                .position(|nm| nm == &format!("G0 = {}", kind.mnemonic()))
+                .unwrap();
+            assert_eq!(x[idx], 1.0);
+        }
+    }
+
+    #[test]
+    fn empty_slots_are_zero() {
+        // A 2-gate design with locality 7: most slots empty.
+        let src = "
+module t (a, y);
+  input a;
+  output y;
+  not g (y, a);
+endmodule";
+        let n = polaris_netlist::parse_netlist(src).unwrap();
+        let view = GraphView::new(&n);
+        let levels = n.levels().unwrap();
+        let fx = StructuralFeatureExtractor::new(7);
+        let gate = n.cell_ids()[0];
+        let x = fx.extract(&n, &view, &levels, gate);
+        // Slots 2.. are empty: their kind blocks must be all zero.
+        for slot in 2..fx.n_slots() {
+            let block = &x[slot * GateKind::ALL.len()..(slot + 1) * GateKind::ALL.len()];
+            assert!(block.iter().all(|&v| v == 0.0), "slot {slot} not empty");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let (n, view, levels) = setup();
+        let fx = StructuralFeatureExtractor::new(7);
+        for id in n.cell_ids() {
+            assert_eq!(
+                fx.extract(&n, &view, &levels, id),
+                fx.extract(&n, &view, &levels, id)
+            );
+        }
+    }
+
+    #[test]
+    fn distinguishes_structurally_different_gates() {
+        let (n, view, levels) = setup();
+        let fx = StructuralFeatureExtractor::new(7);
+        let cells = n.cell_ids();
+        // c17's six nands are not all structurally identical.
+        let vecs: Vec<Vec<f32>> = cells
+            .iter()
+            .map(|&id| fx.extract(&n, &view, &levels, id))
+            .collect();
+        let distinct: std::collections::HashSet<String> =
+            vecs.iter().map(|v| format!("{v:?}")).collect();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn scalars_are_bounded() {
+        let (n, view, levels) = setup();
+        let fx = StructuralFeatureExtractor::new(5);
+        for id in n.ids() {
+            let x = fx.extract(&n, &view, &levels, id);
+            for &v in &x[x.len() - 4..] {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+}

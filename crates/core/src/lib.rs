@@ -1,0 +1,115 @@
+//! POLARIS: explainable-AI guided power side-channel leakage mitigation.
+//!
+//! This crate is the paper's primary contribution — a design-for-security
+//! framework that learns *where to insert masking gates* from automatically
+//! generated training data, then masks unseen designs without TVLA in the
+//! loop:
+//!
+//! 1. **Cognition generation** ([`cognition`], paper Algorithm 1): random
+//!    masking experiments on small training designs are labelled by their
+//!    measured leakage reduction (`rRatio ≥ θr` → "good"), each sample
+//!    described by *structural features* of the masked gate's
+//!    BFS-`L` neighborhood ([`features`]).
+//! 2. **Model training** ([`model`]): AdaBoost / XGBoost-style GBDT /
+//!    Random Forest on the cognition dataset (Table III), with SMOTE or
+//!    class-weighting for the θr-induced imbalance.
+//! 3. **Explainability** ([`explain`], paper §IV-B): exact TreeSHAP
+//!    waterfalls (Fig. 3) and distilled human-readable masking rules
+//!    (Table V) that can refine or replace the model at inference.
+//! 4. **Masking** ([`masking_flow`], paper Algorithm 2): every gate of the
+//!    target design is scored structurally, the top `Msize` are replaced by
+//!    Trichina composites, and the result is assessed once for reporting.
+//!
+//! The end-to-end transfer-learning workflow (train on ISCAS-85-like
+//! designs, protect unseen EPFL/CEP-like designs) lives in [`pipeline`].
+//!
+//! # Example
+//!
+//! ```no_run
+//! use polaris::pipeline::{PolarisPipeline, MaskBudget};
+//! use polaris::config::PolarisConfig;
+//! use polaris_netlist::generators;
+//! use polaris_sim::PowerModel;
+//!
+//! # fn main() -> Result<(), polaris::PolarisError> {
+//! let config = PolarisConfig::fast_profile(42);
+//! let pipeline = PolarisPipeline::new(config);
+//! let power = PowerModel::default();
+//!
+//! // Train on the (generated) ISCAS-85 suite.
+//! let training = generators::training_suite(1, 7);
+//! let trained = pipeline.train(&training, &power)?;
+//!
+//! // Protect an unseen design, masking 50% of its leaky gates.
+//! let target = generators::des3(1, 99);
+//! let report = trained.mask_design(&target, &power, MaskBudget::LeakyFraction(0.5))?;
+//! println!("leakage reduction: {:.1}%", report.reduction_pct());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cognition;
+pub mod config;
+pub mod explain;
+pub mod features;
+pub mod masking_flow;
+pub mod model;
+pub mod persist;
+pub mod pipeline;
+pub mod report;
+
+pub use config::{ModelKind, PolarisConfig};
+pub use features::StructuralFeatureExtractor;
+pub use masking_flow::MitigationReport;
+pub use model::PolarisModel;
+pub use pipeline::{MaskBudget, PolarisPipeline, TrainedPolaris};
+
+use std::error::Error;
+use std::fmt;
+
+/// Unified error type for the POLARIS pipeline.
+#[derive(Debug)]
+pub enum PolarisError {
+    /// Netlist-level failure (cycles, dangling references).
+    Netlist(polaris_netlist::NetlistError),
+    /// Masking transform failure.
+    Masking(polaris_masking::MaskingError),
+    /// Dataset construction failure.
+    Dataset(polaris_ml::DatasetError),
+    /// Model training failure.
+    Training(String),
+    /// Pipeline misuse (empty training set, no maskable gates, …).
+    Pipeline(String),
+}
+
+impl fmt::Display for PolarisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolarisError::Netlist(e) => write!(f, "netlist error: {e}"),
+            PolarisError::Masking(e) => write!(f, "masking error: {e}"),
+            PolarisError::Dataset(e) => write!(f, "dataset error: {e}"),
+            PolarisError::Training(m) => write!(f, "training error: {m}"),
+            PolarisError::Pipeline(m) => write!(f, "pipeline error: {m}"),
+        }
+    }
+}
+
+impl Error for PolarisError {}
+
+impl From<polaris_netlist::NetlistError> for PolarisError {
+    fn from(e: polaris_netlist::NetlistError) -> Self {
+        PolarisError::Netlist(e)
+    }
+}
+
+impl From<polaris_masking::MaskingError> for PolarisError {
+    fn from(e: polaris_masking::MaskingError) -> Self {
+        PolarisError::Masking(e)
+    }
+}
+
+impl From<polaris_ml::DatasetError> for PolarisError {
+    fn from(e: polaris_ml::DatasetError) -> Self {
+        PolarisError::Dataset(e)
+    }
+}

@@ -1,0 +1,207 @@
+//! POLARIS masking — paper Algorithm 2.
+//!
+//! Every gate of the target design is scored by the trained model (optionally
+//! refined by the SHAP-mined rules), the scores are sorted descending, the
+//! top `Msize` gates are replaced by masked composites, and the result is
+//! assessed once for reporting. No TVLA runs inside the timed mitigation
+//! path — that is the scalability claim of the paper.
+
+use std::time::Instant;
+
+use polaris_masking::{apply_masking, MaskedDesign};
+use polaris_ml::Classifier;
+use polaris_netlist::{GateId, GraphView, Netlist};
+use polaris_sim::{CampaignConfig, PowerModel};
+use polaris_tvla::{GateLeakage, LeakageSummary, WelchAccumulator};
+use polaris_xai::RuleSet;
+
+use crate::config::PolarisConfig;
+use crate::features::StructuralFeatureExtractor;
+use crate::model::PolarisModel;
+use crate::PolarisError;
+
+/// Outcome of protecting one design.
+#[derive(Clone, Debug)]
+pub struct MitigationReport {
+    /// The masked design with origin bookkeeping.
+    pub masked: MaskedDesign,
+    /// Leakage summary of the unprotected design.
+    pub before: LeakageSummary,
+    /// Per-gate leakage of the unprotected design (for Fig.-4 style plots).
+    pub before_map: GateLeakage,
+    /// Leakage summary of the masked design, attributed to original cells.
+    pub after: LeakageSummary,
+    /// Per-gate leakage of the masked design attributed to original gates.
+    pub after_grouped_abs_t: Vec<f64>,
+    /// Gates selected for masking, highest score first.
+    pub masked_gates: Vec<GateId>,
+    /// Model score of every cell, indexed by gate id (0 for non-cells).
+    pub scores: Vec<f64>,
+    /// Seconds spent in the mitigation path (features + inference + sort +
+    /// transform) — the Table II "Time (s)" entry for POLARIS.
+    pub mitigation_time_s: f64,
+    /// Seconds spent in the two reporting TVLA campaigns (not part of the
+    /// mitigation path).
+    pub assessment_time_s: f64,
+}
+
+impl MitigationReport {
+    /// Total leakage reduction percent (Table II semantics).
+    pub fn reduction_pct(&self) -> f64 {
+        self.after.reduction_pct_from(&self.before)
+    }
+}
+
+/// Scores every maskable cell of `design` with the model (+ optional rule
+/// adjustment); returns `(gate, score)` sorted descending — Algorithm 2
+/// lines 4–8.
+pub fn rank_gates(
+    design: &Netlist,
+    model: &PolarisModel,
+    rules: Option<&RuleSet>,
+    extractor: &StructuralFeatureExtractor,
+) -> Result<Vec<(GateId, f64)>, PolarisError> {
+    let view = GraphView::new(design);
+    let levels = design.levels()?;
+    let mut choices: Vec<(GateId, f64)> = Vec::new();
+    for id in design.cell_ids() {
+        if design.gate(id).fanin().len() > 2 {
+            continue; // not maskable in normalized form
+        }
+        let x = extractor.extract(design, &view, &levels, id);
+        let mut score = model.predict_proba(&x);
+        if let Some(rs) = rules {
+            score += rs.score_adjustment(&x, 0.15);
+        }
+        choices.push((id, score));
+    }
+    choices.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    Ok(choices)
+}
+
+/// Runs Algorithm 2 on a normalized design, masking the `msize` top-ranked
+/// gates, then assesses before/after leakage for reporting.
+///
+/// # Errors
+///
+/// Propagates netlist/masking/simulation failures.
+pub fn polaris_mask(
+    design: &Netlist,
+    model: &PolarisModel,
+    rules: Option<&RuleSet>,
+    extractor: &StructuralFeatureExtractor,
+    config: &PolarisConfig,
+    power: &PowerModel,
+    msize: usize,
+) -> Result<MitigationReport, PolarisError> {
+    let mut campaign = CampaignConfig::new(config.traces, config.traces, config.seed ^ 0xA55E55)
+        .with_cycles(config.cycles);
+    if config.glitch_model {
+        campaign = campaign.with_glitches();
+    }
+
+    // Reporting: baseline leakage (outside the mitigation path).
+    let assess_start = Instant::now();
+    let before_map = polaris_tvla::assess(design, power, &campaign)?;
+    let before = before_map.summarize(design);
+    let mut assessment_time_s = assess_start.elapsed().as_secs_f64();
+
+    // Mitigation path (timed): rank → select → transform.
+    let mitigation_start = Instant::now();
+    let ranked = rank_gates(design, model, rules, extractor)?;
+    let mut scores = vec![0.0f64; design.gate_count()];
+    for (id, s) in &ranked {
+        scores[id.index()] = *s;
+    }
+    let selected: Vec<GateId> = ranked.iter().take(msize).map(|(id, _)| *id).collect();
+    let masked = apply_masking(design, &selected, config.style)?;
+    let mitigation_time_s = mitigation_start.elapsed().as_secs_f64();
+
+    // Reporting: masked-design leakage attributed to original gates.
+    let assess_start = Instant::now();
+    let mut acc = WelchAccumulator::new();
+    let mut after_campaign = campaign.clone();
+    after_campaign.seed = campaign.seed.wrapping_add(1);
+    polaris_sim::campaign::run_campaign(&masked.netlist, power, &after_campaign, &mut acc)?;
+    let after_leakage = acc.leakage();
+    let after_grouped_abs_t = grouped_abs_t(design, &masked, &after_leakage);
+    let after = summarize_grouped(design, &after_grouped_abs_t);
+    assessment_time_s += assess_start.elapsed().as_secs_f64();
+
+    Ok(MitigationReport {
+        masked,
+        before,
+        before_map,
+        after,
+        after_grouped_abs_t,
+        masked_gates: selected,
+        scores,
+        mitigation_time_s,
+        assessment_time_s,
+    })
+}
+
+/// Assesses a masked design and attributes leakage back to the original
+/// gates: returns the per-original-gate mean `|t|` and its cell summary.
+/// This is the reporting primitive shared by the experiment harness.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn assess_grouped(
+    original: &Netlist,
+    masked: &MaskedDesign,
+    power: &PowerModel,
+    campaign: &CampaignConfig,
+) -> Result<(LeakageSummary, Vec<f64>), PolarisError> {
+    let mut acc = WelchAccumulator::new();
+    polaris_sim::campaign::run_campaign(&masked.netlist, power, campaign, &mut acc)?;
+    let grouped = grouped_abs_t(original, masked, &acc.leakage());
+    let summary = summarize_grouped(original, &grouped);
+    Ok((summary, grouped))
+}
+
+fn grouped_abs_t(
+    original: &Netlist,
+    masked: &MaskedDesign,
+    leakage: &GateLeakage,
+) -> Vec<f64> {
+    let mut sum = vec![0.0f64; original.gate_count()];
+    let mut count = vec![0usize; original.gate_count()];
+    for (new_idx, origin) in masked.origin.iter().enumerate() {
+        if let Some(orig) = origin {
+            sum[orig.index()] += leakage.abs_t(GateId::new(new_idx));
+            count[orig.index()] += 1;
+        }
+    }
+    sum.iter()
+        .zip(&count)
+        .map(|(s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+        .collect()
+}
+
+fn summarize_grouped(original: &Netlist, grouped: &[f64]) -> LeakageSummary {
+    let cells = original.cell_ids();
+    let mut total = 0.0;
+    let mut max: f64 = 0.0;
+    let mut leaky = 0;
+    for &id in &cells {
+        let t = grouped[id.index()];
+        total += t;
+        max = max.max(t);
+        if t > polaris_tvla::TVLA_THRESHOLD {
+            leaky += 1;
+        }
+    }
+    LeakageSummary {
+        cells: cells.len(),
+        mean_abs_t: if cells.is_empty() { 0.0 } else { total / cells.len() as f64 },
+        total_abs_t: total,
+        max_abs_t: max,
+        leaky_cells: leaky,
+    }
+}

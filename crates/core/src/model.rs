@@ -1,0 +1,270 @@
+//! The trained POLARIS classifier: a thin dispatcher over the three model
+//! families with the paper's imbalance handling baked in (SMOTE for Random
+//! Forest, class-weighted training for the boosters — §V-B).
+
+use polaris_ml::adaboost::{AdaBoost, AdaBoostConfig};
+use polaris_ml::forest::{ForestConfig, RandomForest};
+use polaris_ml::gbdt::{GbdtConfig, GradientBoost};
+use polaris_ml::smote::{smote, SmoteConfig};
+use polaris_ml::{Classifier, Dataset, Tree, TreeEnsemble};
+
+use crate::config::{ModelKind, PolarisConfig};
+use crate::PolarisError;
+
+/// A trained cognition model.
+#[derive(Clone, Debug)]
+pub struct PolarisModel {
+    kind: ModelKind,
+    inner: Inner,
+}
+
+#[derive(Clone, Debug)]
+enum Inner {
+    Forest(RandomForest),
+    Gbdt(GradientBoost),
+    Ada(AdaBoost),
+}
+
+impl PolarisModel {
+    /// Trains the configured model on a cognition dataset, applying the
+    /// paper's per-model imbalance strategy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolarisError::Training`] when the dataset is degenerate
+    /// (empty or single-class).
+    pub fn train(dataset: &Dataset, config: &PolarisConfig) -> Result<Self, PolarisError> {
+        let (neg, pos) = dataset.class_counts();
+        if dataset.is_empty() || neg == 0 || pos == 0 {
+            return Err(PolarisError::Training(format!(
+                "cognition dataset is degenerate: {neg} negative / {pos} positive samples \
+                 (lower theta_r or raise iterations)"
+            )));
+        }
+        let inner = match config.model {
+            ModelKind::RandomForest => {
+                let balanced = smote(
+                    dataset,
+                    &SmoteConfig {
+                        seed: config.seed ^ 0x5307E,
+                        ..Default::default()
+                    },
+                )
+                .map_err(|e| PolarisError::Training(format!("smote failed: {e}")))?;
+                Inner::Forest(RandomForest::fit(
+                    &balanced,
+                    &ForestConfig {
+                        n_trees: config.n_estimators,
+                        max_depth: config.max_depth + 3,
+                        max_features: None,
+                        seed: config.seed,
+                    },
+                ))
+            }
+            ModelKind::Xgboost => {
+                let weights = dataset.balanced_weights()?;
+                Inner::Gbdt(
+                    GradientBoost::fit_weighted(
+                        dataset,
+                        &weights,
+                        &GbdtConfig {
+                            n_estimators: config.n_estimators,
+                            learning_rate: config.learning_rate.max(1e-6),
+                            max_depth: config.max_depth,
+                            ..Default::default()
+                        },
+                    )
+                    .map_err(PolarisError::Training)?,
+                )
+            }
+            ModelKind::Adaboost => {
+                let weights = dataset.balanced_weights()?;
+                Inner::Ada(
+                    AdaBoost::fit_weighted(
+                        dataset,
+                        &weights,
+                        &AdaBoostConfig {
+                            n_estimators: config.n_estimators,
+                            learning_rate: config.learning_rate.max(1e-6),
+                            max_depth: config.max_depth,
+                            seed: config.seed,
+                        },
+                    )
+                    .map_err(PolarisError::Training)?,
+                )
+            }
+        };
+        Ok(PolarisModel {
+            kind: config.model,
+            inner,
+        })
+    }
+
+    /// Which family this model belongs to.
+    pub fn kind(&self) -> ModelKind {
+        self.kind
+    }
+
+    /// Extracts the persistable ensemble representation.
+    pub fn to_data(&self) -> polaris_ml::persist::EnsembleData {
+        match &self.inner {
+            Inner::Forest(m) => m.to_data(),
+            Inner::Gbdt(m) => m.to_data(),
+            Inner::Ada(m) => m.to_data(),
+        }
+    }
+
+    /// Rebuilds a model from persisted ensemble data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolarisError::Training`] when the data's family tag does not
+    /// name a known model.
+    pub fn from_data(data: polaris_ml::persist::EnsembleData) -> Result<Self, PolarisError> {
+        let (kind, inner) = match data.family.as_str() {
+            "random_forest" => (
+                ModelKind::RandomForest,
+                Inner::Forest(
+                    RandomForest::from_data(data)
+                        .map_err(|e| PolarisError::Training(e.to_string()))?,
+                ),
+            ),
+            "gbdt" => (
+                ModelKind::Xgboost,
+                Inner::Gbdt(
+                    GradientBoost::from_data(data)
+                        .map_err(|e| PolarisError::Training(e.to_string()))?,
+                ),
+            ),
+            "adaboost" => (
+                ModelKind::Adaboost,
+                Inner::Ada(
+                    AdaBoost::from_data(data)
+                        .map_err(|e| PolarisError::Training(e.to_string()))?,
+                ),
+            ),
+            other => {
+                return Err(PolarisError::Training(format!(
+                    "unknown model family `{other}`"
+                )))
+            }
+        };
+        Ok(PolarisModel { kind, inner })
+    }
+}
+
+impl Classifier for PolarisModel {
+    fn predict_proba(&self, x: &[f32]) -> f64 {
+        match &self.inner {
+            Inner::Forest(m) => m.predict_proba(x),
+            Inner::Gbdt(m) => m.predict_proba(x),
+            Inner::Ada(m) => m.predict_proba(x),
+        }
+    }
+}
+
+impl TreeEnsemble for PolarisModel {
+    fn weighted_trees(&self) -> Vec<(f64, &Tree)> {
+        match &self.inner {
+            Inner::Forest(m) => m.weighted_trees(),
+            Inner::Gbdt(m) => m.weighted_trees(),
+            Inner::Ada(m) => m.weighted_trees(),
+        }
+    }
+
+    fn base_margin(&self) -> f64 {
+        match &self.inner {
+            Inner::Forest(m) => m.base_margin(),
+            Inner::Gbdt(m) => m.base_margin(),
+            Inner::Ada(m) => m.base_margin(),
+        }
+    }
+
+    fn margin_to_proba(&self, margin: f64) -> f64 {
+        match &self.inner {
+            Inner::Forest(m) => m.margin_to_proba(margin),
+            Inner::Gbdt(m) => m.margin_to_proba(margin),
+            Inner::Ada(m) => m.margin_to_proba(margin),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cognition_like(n: usize) -> Dataset {
+        // Imbalanced binary dataset with a learnable pattern: positive iff
+        // f0 and f2 set, ~20% positive.
+        let mut d = Dataset::new(vec!["f0".into(), "f1".into(), "f2".into()]);
+        for i in 0..n {
+            let f0 = (i % 3 == 0) as u8;
+            let f1 = (i % 2 == 0) as u8;
+            let f2 = (i % 5 < 3) as u8;
+            let y = f0 & f2;
+            d.push(&[f0 as f32, f1 as f32, f2 as f32], y).unwrap();
+        }
+        d
+    }
+
+    fn cfg(kind: ModelKind) -> PolarisConfig {
+        PolarisConfig {
+            model: kind,
+            n_estimators: 25,
+            learning_rate: 0.5,
+            ..PolarisConfig::fast_profile(3)
+        }
+    }
+
+    #[test]
+    fn all_three_families_train_and_classify() {
+        let d = cognition_like(300);
+        for kind in ModelKind::ALL {
+            let m = PolarisModel::train(&d, &cfg(kind)).unwrap();
+            assert_eq!(m.kind(), kind);
+            assert!(
+                m.predict_proba(&[1.0, 0.0, 1.0]) > m.predict_proba(&[0.0, 0.0, 0.0]),
+                "{} failed to separate the pattern",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_dataset_rejected() {
+        let mut single = Dataset::new(vec!["a".into()]);
+        single.push(&[1.0], 1).unwrap();
+        single.push(&[0.5], 1).unwrap();
+        for kind in ModelKind::ALL {
+            assert!(PolarisModel::train(&single, &cfg(kind)).is_err());
+        }
+    }
+
+    #[test]
+    fn ensemble_interface_consistent() {
+        let d = cognition_like(200);
+        for kind in ModelKind::ALL {
+            let m = PolarisModel::train(&d, &cfg(kind)).unwrap();
+            let x = [1.0f32, 1.0, 1.0];
+            let p_from_margin = m.margin_to_proba(m.margin(&x));
+            assert!(
+                (p_from_margin - m.predict_proba(&x)).abs() < 1e-9,
+                "{}: {p_from_margin} vs {}",
+                kind.name(),
+                m.predict_proba(&x)
+            );
+            assert!(!m.weighted_trees().is_empty());
+        }
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let d = cognition_like(200);
+        let m1 = PolarisModel::train(&d, &cfg(ModelKind::Adaboost)).unwrap();
+        let m2 = PolarisModel::train(&d, &cfg(ModelKind::Adaboost)).unwrap();
+        assert_eq!(
+            m1.predict_proba(&[1.0, 0.0, 1.0]),
+            m2.predict_proba(&[1.0, 0.0, 1.0])
+        );
+    }
+}

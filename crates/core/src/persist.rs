@@ -1,0 +1,356 @@
+//! Saving and loading trained POLARIS instances.
+//!
+//! The bundle is a single plain-text artifact containing the configuration,
+//! the tree ensemble, the SHAP background rows and the mined rules — enough
+//! to protect new designs without re-running cognition generation. The
+//! format is line-oriented and auditable (see [`polaris_ml::persist`] for
+//! the tree encoding).
+
+use std::fmt::Write as _;
+
+use polaris_ml::persist::{decode_ensemble, encode_ensemble, Lines, PersistError};
+use polaris_ml::Dataset;
+use polaris_xai::{MaskAction, Rule, RuleCondition, RuleSet};
+
+use crate::config::PolarisConfig;
+use crate::explain::Explainer;
+use crate::model::PolarisModel;
+use crate::pipeline::TrainedPolaris;
+use crate::PolarisError;
+
+/// Serializes a trained POLARIS instance to the bundle text format.
+pub fn save_trained(trained: &TrainedPolaris) -> String {
+    let mut out = String::new();
+    let cfg = trained.config();
+    let _ = writeln!(out, "polaris-bundle v1");
+    let _ = writeln!(
+        out,
+        "config {} {} {} {} {} {} {} {} {} {}",
+        cfg.msize,
+        cfg.locality,
+        cfg.iterations,
+        cfg.theta_r,
+        cfg.traces,
+        cfg.cycles,
+        cfg.learning_rate,
+        cfg.n_estimators,
+        cfg.max_depth,
+        cfg.seed,
+    );
+    let _ = writeln!(out, "glitch {}", u8::from(cfg.glitch_model));
+
+    // Feature names (one per line; may contain spaces).
+    let names = trained.dataset().feature_names();
+    let _ = writeln!(out, "features {}", names.len());
+    for n in names {
+        let _ = writeln!(out, "{n}");
+    }
+
+    // Model.
+    out.push_str(&encode_ensemble(&trained.model().to_data()));
+
+    // Background rows with labels (the SHAP reference distribution).
+    let bg = trained.explainer().background();
+    let _ = writeln!(out, "background {} {}", bg.len(), names.len());
+    for row in bg {
+        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        let _ = writeln!(out, "{}", cells.join(" "));
+    }
+
+    // Rules.
+    let rules = trained.rules().rules();
+    let _ = writeln!(out, "rules {}", rules.len());
+    for r in rules {
+        let action = match r.action {
+            MaskAction::Mask => "mask",
+            MaskAction::DontMask => "dont_mask",
+        };
+        let _ = writeln!(
+            out,
+            "rule {action} {} {} {} {}",
+            r.support,
+            r.confidence,
+            r.strength,
+            r.conditions.len()
+        );
+        for c in &r.conditions {
+            let _ = writeln!(out, "cond {} {}", c.feature, u8::from(c.expected));
+        }
+    }
+    let _ = writeln!(out, "end");
+    out
+}
+
+fn perr(e: PersistError) -> PolarisError {
+    PolarisError::Pipeline(e.to_string())
+}
+
+/// Deserializes a bundle back into a usable [`TrainedPolaris`].
+///
+/// The reconstructed instance carries the persisted background subset as its
+/// dataset (labels are not part of the bundle and default to 0) and empty
+/// cognition statistics.
+///
+/// # Errors
+///
+/// Returns [`PolarisError::Pipeline`] on any malformed section.
+pub fn load_trained(text: &str) -> Result<TrainedPolaris, PolarisError> {
+    let mut lines = Lines::new(text);
+    let (ln, magic) = lines.next_line().map_err(perr)?;
+    if magic != "polaris-bundle v1" {
+        return Err(PolarisError::Pipeline(format!(
+            "line {ln}: not a polaris bundle (found `{magic}`)"
+        )));
+    }
+
+    // Config.
+    let (ln, cfg_line) = lines.next_line().map_err(perr)?;
+    let mut p = cfg_line.split_whitespace();
+    if p.next() != Some("config") {
+        return Err(PolarisError::Pipeline(format!("line {ln}: expected `config`")));
+    }
+    let mut field = |what: &str| -> Result<f64, PolarisError> {
+        p.next()
+            .ok_or_else(|| PolarisError::Pipeline(format!("line {ln}: missing {what}")))?
+            .parse::<f64>()
+            .map_err(|_| PolarisError::Pipeline(format!("line {ln}: malformed {what}")))
+    };
+    let mut config = PolarisConfig {
+        msize: field("msize")? as usize,
+        locality: field("locality")? as usize,
+        iterations: field("iterations")? as usize,
+        theta_r: field("theta_r")?,
+        traces: field("traces")? as usize,
+        cycles: (field("cycles")? as usize).max(1),
+        learning_rate: field("learning_rate")?,
+        n_estimators: field("n_estimators")? as usize,
+        max_depth: field("max_depth")? as usize,
+        seed: field("seed")? as u64,
+        ..PolarisConfig::default()
+    };
+    let (_, glitch_line) = lines.next_line().map_err(perr)?;
+    config.glitch_model = glitch_line == "glitch 1";
+
+    // Feature names.
+    let (ln, fline) = lines.next_line().map_err(perr)?;
+    let n_features: usize = fline
+        .strip_prefix("features ")
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| PolarisError::Pipeline(format!("line {ln}: expected `features <n>`")))?;
+    let mut names = Vec::with_capacity(n_features);
+    for _ in 0..n_features {
+        let (_, name) = lines.next_line().map_err(perr)?;
+        names.push(name.to_string());
+    }
+
+    // Model.
+    let model = PolarisModel::from_data(decode_ensemble(&mut lines).map_err(perr)?)?;
+    config.model = model.kind();
+
+    // Background.
+    let (ln, bline) = lines.next_line().map_err(perr)?;
+    let mut p = bline.split_whitespace();
+    if p.next() != Some("background") {
+        return Err(PolarisError::Pipeline(format!(
+            "line {ln}: expected `background <rows> <cols>`"
+        )));
+    }
+    let rows: usize = p
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| PolarisError::Pipeline(format!("line {ln}: malformed row count")))?;
+    let cols: usize = p
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| PolarisError::Pipeline(format!("line {ln}: malformed column count")))?;
+    if cols != n_features {
+        return Err(PolarisError::Pipeline(format!(
+            "background width {cols} does not match {n_features} features"
+        )));
+    }
+    let mut background = Vec::with_capacity(rows);
+    let mut dataset = Dataset::new(names.clone());
+    for _ in 0..rows {
+        let (ln, row_line) = lines.next_line().map_err(perr)?;
+        let row: Result<Vec<f32>, _> =
+            row_line.split_whitespace().map(|v| v.parse::<f32>()).collect();
+        let row =
+            row.map_err(|_| PolarisError::Pipeline(format!("line {ln}: malformed row")))?;
+        if row.len() != cols {
+            return Err(PolarisError::Pipeline(format!(
+                "line {ln}: row has {} cells, expected {cols}",
+                row.len()
+            )));
+        }
+        dataset.push(&row, 0)?;
+        background.push(row);
+    }
+
+    // Rules.
+    let (ln, rline) = lines.next_line().map_err(perr)?;
+    let n_rules: usize = rline
+        .strip_prefix("rules ")
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| PolarisError::Pipeline(format!("line {ln}: expected `rules <n>`")))?;
+    let mut rules = Vec::with_capacity(n_rules);
+    for _ in 0..n_rules {
+        let (ln, line) = lines.next_line().map_err(perr)?;
+        let mut p = line.split_whitespace();
+        if p.next() != Some("rule") {
+            return Err(PolarisError::Pipeline(format!("line {ln}: expected `rule`")));
+        }
+        let action = match p.next() {
+            Some("mask") => MaskAction::Mask,
+            Some("dont_mask") => MaskAction::DontMask,
+            other => {
+                return Err(PolarisError::Pipeline(format!(
+                    "line {ln}: unknown action {other:?}"
+                )))
+            }
+        };
+        let support: usize = p
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| PolarisError::Pipeline(format!("line {ln}: malformed support")))?;
+        let confidence: f64 = p
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| PolarisError::Pipeline(format!("line {ln}: malformed confidence")))?;
+        let strength: f64 = p
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| PolarisError::Pipeline(format!("line {ln}: malformed strength")))?;
+        let n_conds: usize = p
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| PolarisError::Pipeline(format!("line {ln}: malformed cond count")))?;
+        let mut conditions = Vec::with_capacity(n_conds);
+        for _ in 0..n_conds {
+            let (ln, cline) = lines.next_line().map_err(perr)?;
+            let mut p = cline.split_whitespace();
+            if p.next() != Some("cond") {
+                return Err(PolarisError::Pipeline(format!("line {ln}: expected `cond`")));
+            }
+            let feature: usize = p
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| PolarisError::Pipeline(format!("line {ln}: malformed feature")))?;
+            let expected = p.next() == Some("1");
+            if feature >= n_features {
+                return Err(PolarisError::Pipeline(format!(
+                    "line {ln}: feature {feature} out of range"
+                )));
+            }
+            conditions.push(RuleCondition {
+                feature,
+                name: names[feature].clone(),
+                expected,
+            });
+        }
+        rules.push(Rule {
+            conditions,
+            action,
+            support,
+            confidence,
+            strength,
+        });
+    }
+
+    let explainer = Explainer::from_background(background, names);
+    Ok(TrainedPolaris::from_parts(
+        config,
+        model,
+        explainer,
+        RuleSet::from_rules(rules),
+        dataset,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{MaskBudget, PolarisPipeline};
+    use polaris_ml::Classifier;
+    use polaris_netlist::generators;
+    use polaris_sim::PowerModel;
+
+    fn trained() -> TrainedPolaris {
+        let config = PolarisConfig {
+            msize: 8,
+            iterations: 3,
+            traces: 150,
+            n_estimators: 15,
+            learning_rate: 0.5,
+            shap_background: 12,
+            ..PolarisConfig::fast_profile(3)
+        };
+        let training = vec![generators::iscas_like("c432", 1, 5).expect("known design")];
+        PolarisPipeline::new(config)
+            .train(&training, &PowerModel::default())
+            .expect("training succeeds")
+    }
+
+    #[test]
+    fn bundle_roundtrip_preserves_model_behaviour() {
+        let original = trained();
+        let text = save_trained(&original);
+        let loaded = load_trained(&text).expect("bundle loads");
+
+        // Identical predictions on the background rows.
+        for row in original.explainer().background() {
+            assert_eq!(
+                original.model().predict_proba(row),
+                loaded.model().predict_proba(row)
+            );
+        }
+        // Config and rules round-trip.
+        assert_eq!(original.config().locality, loaded.config().locality);
+        assert_eq!(original.rules().len(), loaded.rules().len());
+        assert_eq!(
+            original.explainer().background_len(),
+            loaded.explainer().background_len()
+        );
+    }
+
+    #[test]
+    fn loaded_bundle_can_protect_designs() {
+        let original = trained();
+        let text = save_trained(&original);
+        let loaded = load_trained(&text).expect("bundle loads");
+        let power = PowerModel::default();
+        let report = loaded
+            .mask_design(&generators::iscas_c17(), &power, MaskBudget::CellFraction(1.0))
+            .expect("masking succeeds");
+        assert!(report.reduction_pct() > 0.0);
+    }
+
+    #[test]
+    fn loaded_bundle_explains_with_same_shap() {
+        let original = trained();
+        let text = save_trained(&original);
+        let loaded = load_trained(&text).expect("bundle loads");
+        let x = original.explainer().background()[0].clone();
+        let a = original.explainer().explain(original.model(), &x);
+        let b = loaded.explainer().explain(loaded.model(), &x);
+        assert!((a.base_value - b.base_value).abs() < 1e-9);
+        for (va, vb) in a.values.iter().zip(&b.values) {
+            assert!((va - vb).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(load_trained("").is_err());
+        assert!(load_trained("hello world").is_err());
+        assert!(load_trained("polaris-bundle v1\nconfig 1 2").is_err());
+    }
+
+    #[test]
+    fn rejects_tampered_background_width() {
+        let original = trained();
+        let text = save_trained(&original);
+        let tampered = text.replacen("background ", "background 9999 ", 1);
+        // Either the row count or a later section fails — never a panic.
+        assert!(load_trained(&tampered).is_err());
+    }
+}

@@ -1,0 +1,123 @@
+//! Plain-text table rendering shared by the experiment harness.
+
+/// A simple left-padded text table with a header row.
+///
+/// ```
+/// use polaris::report::TextTable;
+///
+/// let mut t = TextTable::new(vec!["Design".into(), "Reduction %".into()]);
+/// t.push_row(vec!["des3".into(), "54.1".into()]);
+/// let s = t.render();
+/// assert!(s.contains("des3"));
+/// assert!(s.contains("Reduction %"));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: Vec<String>) -> Self {
+        TextTable {
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns and a separator line.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (c, h) in self.header.iter().enumerate() {
+            width[c] = h.chars().count();
+        }
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                width[c] = width[c].max(cell.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(cell);
+                for _ in cell.chars().count()..width[c] {
+                    line.push(' ');
+                }
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        let total: usize = width.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with `digits` decimals (helper for table cells).
+pub fn fmt_f(value: f64, digits: usize) -> String {
+    format!("{value:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["A".into(), "Bee".into()]);
+        t.push_row(vec!["longer".into(), "1".into()]);
+        t.push_row(vec!["x".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Column B starts at the same offset in every row.
+        let col = lines[0].find("Bee").unwrap();
+        assert_eq!(lines[2].find('1').unwrap(), col);
+        assert_eq!(lines[3].find("22").unwrap(), col);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = TextTable::new(vec!["A".into()]);
+        t.push_row(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn fmt_f_digits() {
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
+        assert_eq!(fmt_f(54.089, 1), "54.1");
+    }
+}

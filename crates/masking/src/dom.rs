@@ -1,0 +1,201 @@
+//! Domain-oriented masking (DOM) composites — the paper's §V-E extension.
+//!
+//! DOM splits each operand into two shares living in separate "domains" and
+//! inserts a register stage on the cross-domain partial products before they
+//! are recombined, preventing glitches from combining shares. Following the
+//! crate's local mask/re-combine convention (see the crate docs), operands
+//! arrive unmasked, are shared on entry (`a = a0 ⊕ a1` with `a1 = x`), and
+//! the result is re-combined on exit so the surrounding netlist is
+//! functionally unchanged — after the one-cycle register latency settles.
+
+use polaris_netlist::{GateId, GateKind, Netlist};
+
+use crate::trichina::MaskedExpansion;
+
+/// DOM-masked 2-input gate for `kind ∈ {And, Or, Nand, Nor}`.
+///
+/// The AND core is the DOM-indep multiplier: shares `a0 = a⊕x, a1 = x`,
+/// `b0 = b⊕y, b1 = y`; partial products `pij = ai·bj`; the cross terms
+/// `p01 ⊕ z` and `p10 ⊕ z` pass through flip-flops; output shares are
+/// `c0 = p00 ⊕ reg(p01 ⊕ z)` and `c1 = p11 ⊕ reg(p10 ⊕ z)`, re-combined as
+/// `c0 ⊕ c1 = a·b`. OR/NAND/NOR wrap the AND core De-Morgan style.
+///
+/// # Panics
+///
+/// Panics if `kind` is not one of the four supported gates.
+#[allow(clippy::too_many_arguments)] // mask wiring is positional by design
+pub fn masked_gate(
+    n: &mut Netlist,
+    p: &str,
+    kind: GateKind,
+    a: GateId,
+    b: GateId,
+    x: GateId,
+    y: GateId,
+    z: GateId,
+) -> MaskedExpansion {
+    match kind {
+        GateKind::And => dom_and(n, p, a, b, x, y, z, false),
+        GateKind::Nand => dom_and(n, p, a, b, x, y, z, true),
+        GateKind::Or => dom_or(n, p, a, b, x, y, z, false),
+        GateKind::Nor => dom_or(n, p, a, b, x, y, z, true),
+        other => panic!("DOM masking does not support {other}"),
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // mask wiring is positional by design
+fn dom_and(
+    n: &mut Netlist,
+    p: &str,
+    a: GateId,
+    b: GateId,
+    x: GateId,
+    y: GateId,
+    z: GateId,
+    invert: bool,
+) -> MaskedExpansion {
+    let mut gates = Vec::with_capacity(16);
+    fn add(
+        n: &mut Netlist,
+        gates: &mut Vec<GateId>,
+        kind: GateKind,
+        name: String,
+        fi: &[GateId],
+    ) -> GateId {
+        let g = n.add_gate(kind, name, fi).expect("valid fanin");
+        gates.push(g);
+        g
+    }
+    // Share the operands: a0 ⊕ a1 = a with a1 = x (likewise b).
+    let a0 = add(n, &mut gates, GateKind::Xor, format!("{p}_a0"), &[a, x]);
+    let b0 = add(n, &mut gates, GateKind::Xor, format!("{p}_b0"), &[b, y]);
+    // Partial products (a1 = x, b1 = y are the mask wires themselves).
+    let p00 = add(n, &mut gates, GateKind::And, format!("{p}_p00"), &[a0, b0]);
+    let p01 = add(n, &mut gates, GateKind::And, format!("{p}_p01"), &[a0, y]);
+    let p10 = add(n, &mut gates, GateKind::And, format!("{p}_p10"), &[x, b0]);
+    let p11 = add(n, &mut gates, GateKind::And, format!("{p}_p11"), &[x, y]);
+    // Resharing with fresh z, registered (the DOM glitch barrier).
+    let r01 = add(n, &mut gates, GateKind::Xor, format!("{p}_r01"), &[p01, z]);
+    let r10 = add(n, &mut gates, GateKind::Xor, format!("{p}_r10"), &[p10, z]);
+    let q01 = n.add_dff_placeholder(format!("{p}_q01"));
+    n.connect_dff(q01, r01);
+    gates.push(q01);
+    let q10 = n.add_dff_placeholder(format!("{p}_q10"));
+    n.connect_dff(q10, r10);
+    gates.push(q10);
+    // Output shares and boundary re-combination.
+    let c0 = add(n, &mut gates, GateKind::Xor, format!("{p}_c0"), &[p00, q01]);
+    let c1 = add(n, &mut gates, GateKind::Xor, format!("{p}_c1"), &[p11, q10]);
+    let comb = add(n, &mut gates, GateKind::Xor, format!("{p}_cmb"), &[c0, c1]);
+    let output = if invert {
+        add(n, &mut gates, GateKind::Not, format!("{p}_out"), &[comb])
+    } else {
+        comb
+    };
+    MaskedExpansion { output, gates }
+}
+
+#[allow(clippy::too_many_arguments)] // mask wiring is positional by design
+fn dom_or(
+    n: &mut Netlist,
+    p: &str,
+    a: GateId,
+    b: GateId,
+    x: GateId,
+    y: GateId,
+    z: GateId,
+    invert: bool,
+) -> MaskedExpansion {
+    // a | b = ¬(¬a · ¬b); NOR skips the outer inversion.
+    let na = n
+        .add_gate(GateKind::Not, format!("{p}_na"), &[a])
+        .expect("valid fanin");
+    let nb = n
+        .add_gate(GateKind::Not, format!("{p}_nb"), &[b])
+        .expect("valid fanin");
+    let mut e = dom_and(n, p, na, nb, x, y, z, !invert);
+    e.gates.push(na);
+    e.gates.push(nb);
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polaris_sim::Simulator;
+
+    /// DOM outputs are valid one clock after inputs stabilize; settle by
+    /// eval→clock→eval.
+    fn settled_output(netlist: &Netlist, data: &[bool], masks: &[bool]) -> bool {
+        let sim = Simulator::new(netlist).unwrap();
+        let dw: Vec<u64> = data.iter().map(|&v| if v { !0 } else { 0 }).collect();
+        let mw: Vec<u64> = masks.iter().map(|&v| if v { !0 } else { 0 }).collect();
+        let mut st = sim.zero_state();
+        sim.eval(&mut st, &dw, &mw);
+        sim.clock(&mut st);
+        sim.eval(&mut st, &dw, &mw);
+        st.value(netlist.outputs()[0].1) & 1 == 1
+    }
+
+    fn check(kind: GateKind, truth: impl Fn(bool, bool) -> bool) {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let x = n.add_mask_input("x");
+        let y = n.add_mask_input("y");
+        let z = n.add_mask_input("z");
+        let e = masked_gate(&mut n, "g", kind, a, b, x, y, z);
+        n.add_output("out", e.output).unwrap();
+        n.validate().unwrap();
+        for bits in 0..32u32 {
+            let v = |i: u32| bits >> i & 1 == 1;
+            let out = settled_output(&n, &[v(0), v(1)], &[v(2), v(3), v(4)]);
+            assert_eq!(out, truth(v(0), v(1)), "{kind}: bits {bits:05b}");
+        }
+    }
+
+    #[test]
+    fn dom_and_functionally_equal() {
+        check(GateKind::And, |a, b| a && b);
+    }
+
+    #[test]
+    fn dom_nand_functionally_equal() {
+        check(GateKind::Nand, |a, b| !(a && b));
+    }
+
+    #[test]
+    fn dom_or_functionally_equal() {
+        check(GateKind::Or, |a, b| a || b);
+    }
+
+    #[test]
+    fn dom_nor_functionally_equal() {
+        check(GateKind::Nor, |a, b| !(a || b));
+    }
+
+    #[test]
+    fn dom_adds_two_registers() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let x = n.add_mask_input("x");
+        let y = n.add_mask_input("y");
+        let z = n.add_mask_input("z");
+        let e = masked_gate(&mut n, "g", GateKind::And, a, b, x, y, z);
+        n.add_output("out", e.output).unwrap();
+        assert_eq!(n.stats().flops, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support")]
+    fn dom_rejects_xor() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let x = n.add_mask_input("x");
+        let y = n.add_mask_input("y");
+        let z = n.add_mask_input("z");
+        let _ = masked_gate(&mut n, "g", GateKind::Xor, a, b, x, y, z);
+    }
+}

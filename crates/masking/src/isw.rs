@@ -1,0 +1,258 @@
+//! Second-order ISW masking (3 shares).
+//!
+//! The paper's background (§II-B) defines d-th order security: every
+//! variable is split into `d + 1` shares so an adversary must combine
+//! `d + 1` probes (statistical moments) to recover it. The Trichina
+//! composites in [`crate::trichina`] are first-order (2 shares) — their
+//! centered-square statistics still leak (see the `leakage_semantics`
+//! integration tests). This module implements the classic
+//! Ishai–Sahai–Wagner multiplication at order `d = 2`:
+//!
+//! * operands enter unmasked and are shared on entry:
+//!   `a = a0 ⊕ a1 ⊕ a2` with `a1 = x1`, `a2 = x2` fresh masks;
+//! * partial products `pij = ai · bj` are re-randomized with fresh
+//!   `z01, z02, z12` per the ISW schedule:
+//!   `c0 = p00 ⊕ z01 ⊕ z02`,
+//!   `c1 = p11 ⊕ (z01 ⊕ p01 ⊕ p10) ⊕ z12`,
+//!   `c2 = p22 ⊕ (z02 ⊕ p02 ⊕ p20) ⊕ (z12 ⊕ p12 ⊕ p21)`;
+//! * the boundary re-combination `c0 ⊕ c1 ⊕ c2 = a·b` keeps the
+//!   surrounding netlist functional (crate convention).
+//!
+//! Cost: 9 AND + 16 XOR ≈ 25 cells and 7 fresh mask bits per gate — the
+//! quadratic share-count blowup that motivates *selective* higher-order
+//! masking.
+//!
+//! Security, as validated by the workspace `leakage_semantics` tests with
+//! [`polaris-tvla`'s bivariate second-order test]: every share-domain core
+//! pair of an ISW composite passes bivariate TVLA, while a Trichina
+//! composite has core pairs that fail it. The entry-sharing and exit
+//! re-combination gates are the usual boundary concession of the crate's
+//! local mask/re-combine convention (the raw operand wires exist in the
+//! surrounding unmasked netlist regardless).
+
+use polaris_netlist::{GateId, GateKind, Netlist};
+
+use crate::trichina::MaskedExpansion;
+
+/// Fresh-randomness bundle for one second-order gate.
+#[derive(Clone, Copy, Debug)]
+pub struct IswMasks {
+    /// Input-sharing masks for operand `a` (`a1`, `a2`).
+    pub x1: GateId,
+    /// Second sharing mask for `a`.
+    pub x2: GateId,
+    /// Input-sharing masks for operand `b`.
+    pub y1: GateId,
+    /// Second sharing mask for `b`.
+    pub y2: GateId,
+    /// Cross-product refresh randomness.
+    pub z01: GateId,
+    /// Cross-product refresh randomness.
+    pub z02: GateId,
+    /// Cross-product refresh randomness.
+    pub z12: GateId,
+}
+
+impl IswMasks {
+    /// Allocates the seven mask inputs on `n` with a common `prefix`.
+    pub fn allocate(n: &mut Netlist, prefix: &str) -> Self {
+        IswMasks {
+            x1: n.add_mask_input(format!("{prefix}_x1")),
+            x2: n.add_mask_input(format!("{prefix}_x2")),
+            y1: n.add_mask_input(format!("{prefix}_y1")),
+            y2: n.add_mask_input(format!("{prefix}_y2")),
+            z01: n.add_mask_input(format!("{prefix}_z01")),
+            z02: n.add_mask_input(format!("{prefix}_z02")),
+            z12: n.add_mask_input(format!("{prefix}_z12")),
+        }
+    }
+
+    /// Number of mask bits a second-order gate consumes.
+    pub const BITS: usize = 7;
+}
+
+fn add(
+    n: &mut Netlist,
+    gates: &mut Vec<GateId>,
+    kind: GateKind,
+    name: String,
+    fi: &[GateId],
+) -> GateId {
+    let g = n.add_gate(kind, name, fi).expect("valid masked-gate fanin");
+    gates.push(g);
+    g
+}
+
+/// Second-order ISW masked AND; output equals `a·b`.
+pub fn masked_and_order2(
+    n: &mut Netlist,
+    p: &str,
+    a: GateId,
+    b: GateId,
+    m: IswMasks,
+) -> MaskedExpansion {
+    let mut gates = Vec::with_capacity(26);
+    // Share the operands: a0 = a ⊕ x1 ⊕ x2, a1 = x1, a2 = x2.
+    let ax1 = add(n, &mut gates, GateKind::Xor, format!("{p}_ax1"), &[a, m.x1]);
+    let a0 = add(n, &mut gates, GateKind::Xor, format!("{p}_a0"), &[ax1, m.x2]);
+    let by1 = add(n, &mut gates, GateKind::Xor, format!("{p}_by1"), &[b, m.y1]);
+    let b0 = add(n, &mut gates, GateKind::Xor, format!("{p}_b0"), &[by1, m.y2]);
+    let shares_a = [a0, m.x1, m.x2];
+    let shares_b = [b0, m.y1, m.y2];
+    // Partial products.
+    let mut pp = [[GateId::new(0); 3]; 3];
+    for (i, &ai) in shares_a.iter().enumerate() {
+        for (j, &bj) in shares_b.iter().enumerate() {
+            pp[i][j] = add(
+                n,
+                &mut gates,
+                GateKind::And,
+                format!("{p}_p{i}{j}"),
+                &[ai, bj],
+            );
+        }
+    }
+    // ISW refresh schedule: zji = (zij ⊕ pij) ⊕ pji for i < j.
+    let cross = |n: &mut Netlist, gates: &mut Vec<GateId>, z: GateId, i: usize, j: usize| {
+        let t = add(
+            n,
+            gates,
+            GateKind::Xor,
+            format!("{p}_t{i}{j}"),
+            &[z, pp[i][j]],
+        );
+        add(
+            n,
+            gates,
+            GateKind::Xor,
+            format!("{p}_u{i}{j}"),
+            &[t, pp[j][i]],
+        )
+    };
+    let z10 = cross(n, &mut gates, m.z01, 0, 1);
+    let z20 = cross(n, &mut gates, m.z02, 0, 2);
+    let z21 = cross(n, &mut gates, m.z12, 1, 2);
+    // Output shares.
+    let c0a = add(n, &mut gates, GateKind::Xor, format!("{p}_c0a"), &[pp[0][0], m.z01]);
+    let c0 = add(n, &mut gates, GateKind::Xor, format!("{p}_c0"), &[c0a, m.z02]);
+    let c1a = add(n, &mut gates, GateKind::Xor, format!("{p}_c1a"), &[pp[1][1], z10]);
+    let c1 = add(n, &mut gates, GateKind::Xor, format!("{p}_c1"), &[c1a, m.z12]);
+    let c2a = add(n, &mut gates, GateKind::Xor, format!("{p}_c2a"), &[pp[2][2], z20]);
+    let c2 = add(n, &mut gates, GateKind::Xor, format!("{p}_c2"), &[c2a, z21]);
+    // Boundary re-combination.
+    let r01 = add(n, &mut gates, GateKind::Xor, format!("{p}_r01"), &[c0, c1]);
+    let out = add(n, &mut gates, GateKind::Xor, format!("{p}_out"), &[r01, c2]);
+    MaskedExpansion { output: out, gates }
+}
+
+/// Second-order masked OR via De Morgan; output equals `a|b`.
+pub fn masked_or_order2(
+    n: &mut Netlist,
+    p: &str,
+    a: GateId,
+    b: GateId,
+    m: IswMasks,
+) -> MaskedExpansion {
+    let na = n
+        .add_gate(GateKind::Not, format!("{p}_na"), &[a])
+        .expect("valid fanin");
+    let nb = n
+        .add_gate(GateKind::Not, format!("{p}_nb"), &[b])
+        .expect("valid fanin");
+    let mut e = masked_and_order2(n, p, na, nb, m);
+    let out = n
+        .add_gate(GateKind::Not, format!("{p}_or"), &[e.output])
+        .expect("valid fanin");
+    e.gates.push(na);
+    e.gates.push(nb);
+    e.gates.push(out);
+    e.output = out;
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polaris_sim::Simulator;
+
+    fn build(or_gate: bool) -> (Netlist, MaskedExpansion) {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let m = IswMasks::allocate(&mut n, "m");
+        let e = if or_gate {
+            masked_or_order2(&mut n, "g", a, b, m)
+        } else {
+            masked_and_order2(&mut n, "g", a, b, m)
+        };
+        n.add_output("y", e.output).unwrap();
+        n.validate().unwrap();
+        (n, e)
+    }
+
+    #[test]
+    fn isw_and_functionally_equal_for_all_masks() {
+        let (n, _) = build(false);
+        let sim = Simulator::new(&n).unwrap();
+        for bits in 0..(1u32 << 9) {
+            let v = |i: u32| bits >> i & 1 == 1;
+            let data = [v(0), v(1)];
+            let masks: Vec<bool> = (2..9).map(v).collect();
+            let out = sim.eval_bool(&data, &masks).unwrap()[0];
+            assert_eq!(out, v(0) && v(1), "bits {bits:09b}");
+        }
+    }
+
+    #[test]
+    fn isw_or_functionally_equal_for_all_masks() {
+        let (n, _) = build(true);
+        let sim = Simulator::new(&n).unwrap();
+        for bits in 0..(1u32 << 9) {
+            let v = |i: u32| bits >> i & 1 == 1;
+            let data = [v(0), v(1)];
+            let masks: Vec<bool> = (2..9).map(v).collect();
+            let out = sim.eval_bool(&data, &masks).unwrap()[0];
+            assert_eq!(out, v(0) || v(1), "bits {bits:09b}");
+        }
+    }
+
+    #[test]
+    fn every_internal_signal_is_first_order_uniform() {
+        // Mask-averaged value of every internal gate (except the boundary
+        // re-combination chain) is independent of (a, b).
+        let (n, e) = build(false);
+        let sim = Simulator::new(&n).unwrap();
+        let boundary: Vec<GateId> = e.gates[e.gates.len() - 2..].to_vec(); // r01, out
+        for &g in &e.gates {
+            if boundary.contains(&g) {
+                continue;
+            }
+            let mut counts = Vec::new();
+            for ab in 0..4u32 {
+                let mut ones = 0u32;
+                for mask_bits in 0..(1u32 << 7) {
+                    let data = [ab & 1 == 1, ab >> 1 & 1 == 1];
+                    let masks: Vec<bool> = (0..7).map(|i| mask_bits >> i & 1 == 1).collect();
+                    let dv: Vec<u64> = data.iter().map(|&x| if x { 1 } else { 0 }).collect();
+                    let mv: Vec<u64> = masks.iter().map(|&x| if x { 1 } else { 0 }).collect();
+                    let mut st = sim.zero_state();
+                    sim.eval(&mut st, &dv, &mv);
+                    ones += (st.value(g) & 1) as u32;
+                }
+                counts.push(ones);
+            }
+            assert!(
+                counts.windows(2).all(|w| w[0] == w[1]),
+                "gate {g} first-order leaks: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn gate_and_mask_budget() {
+        let (n, e) = build(false);
+        assert_eq!(n.mask_inputs().len(), IswMasks::BITS);
+        // 9 AND + 16 XOR + sharing = 26 gates give or take the boundary.
+        assert!(e.gates.len() >= 20, "expected a big composite, got {}", e.gates.len());
+    }
+}

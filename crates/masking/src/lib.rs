@@ -1,0 +1,53 @@
+//! Masking-gate transforms and design-overhead analysis.
+//!
+//! This crate provides the *mitigation* substrate of the paper:
+//!
+//! * [`trichina`] — the masked AND/OR composite gates of Trichina (paper
+//!   Eq. 5 / Fig. 1) plus masked forms of the remaining 2-input cells.
+//! * [`dom`] — Domain-Oriented-Masking style composites (the paper's §V-E
+//!   extension), which insert a register stage on the cross-domain terms.
+//! * [`transform`] — [`apply_masking`]: replaces selected gates of a
+//!   normalized netlist with their masked composites, wiring fresh mask
+//!   randomness ports and tracking the origin of every new gate so per-gate
+//!   leakage can be attributed across the rewrite.
+//! * [`tech`] / [`overhead`] — a 45 nm-flavoured standard-cell library and
+//!   the area/power/delay analysis behind Table IV.
+//!
+//! ## Masking semantics
+//!
+//! Each masked composite computes the *same boolean function* as the gate it
+//! replaces (the masked value is re-combined at the composite boundary), so
+//! the design's functionality is untouched — verified by property tests.
+//! What changes is the power profile: the composite's internal gates switch
+//! as functions of per-trace fresh mask bits, which decorrelates the
+//! composite's total energy from the data and collapses the TVLA
+//! t-statistic. This local mask/re-combine style is what gate-granular
+//! hardening flows (Karna, VALIANT) apply; share-preserving global masking
+//! (full DOM pipelines) is out of scope for gate-level selective masking.
+//!
+//! # Example
+//!
+//! ```
+//! use polaris_masking::{apply_masking, MaskingStyle};
+//! use polaris_netlist::{generators, transform::decompose};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let (design, _) = decompose(&generators::iscas_c17())?;
+//! let targets = design.cell_ids();
+//! let masked = apply_masking(&design, &targets, MaskingStyle::Trichina)?;
+//! assert!(masked.netlist.gate_count() > design.gate_count());
+//! assert_eq!(masked.netlist.mask_inputs().len(), 3 * targets.len());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod dom;
+pub mod isw;
+pub mod overhead;
+pub mod tech;
+pub mod transform;
+pub mod trichina;
+
+pub use overhead::{analyze_overhead, Overhead};
+pub use tech::CellLibrary;
+pub use transform::{apply_masking, MaskedDesign, MaskingError, MaskingStyle};

@@ -1,0 +1,106 @@
+//! Technology cell library: per-kind area, switching power coefficient and
+//! propagation delay, in the spirit of a 45 nm standard-cell datasheet.
+
+use polaris_netlist::GateKind;
+
+/// Per-kind physical characteristics used by the overhead analysis
+/// (Table IV reports area in µm², power in mW and delay in ns).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellLibrary {
+    area_um2: [f64; GateKind::ALL.len()],
+    /// Energy per output toggle, in pJ — multiplied by switching activity to
+    /// yield dynamic power.
+    energy_pj: [f64; GateKind::ALL.len()],
+    delay_ns: [f64; GateKind::ALL.len()],
+}
+
+impl CellLibrary {
+    /// A 45 nm-flavoured library with relative values echoing open PDKs
+    /// (NAND2 as the unit cell; XOR/MUX larger; DFF largest).
+    pub fn default_45nm() -> Self {
+        let mut lib = CellLibrary {
+            area_um2: [0.0; GateKind::ALL.len()],
+            energy_pj: [0.0; GateKind::ALL.len()],
+            delay_ns: [0.0; GateKind::ALL.len()],
+        };
+        let mut set = |k: GateKind, area: f64, energy: f64, delay: f64| {
+            lib.area_um2[k.ordinal()] = area;
+            lib.energy_pj[k.ordinal()] = energy;
+            lib.delay_ns[k.ordinal()] = delay;
+        };
+        set(GateKind::Input, 0.0, 0.0, 0.0);
+        set(GateKind::Const0, 0.0, 0.0, 0.0);
+        set(GateKind::Const1, 0.0, 0.0, 0.0);
+        set(GateKind::Buf, 1.6, 0.006, 0.030);
+        set(GateKind::Not, 1.1, 0.004, 0.015);
+        set(GateKind::Nand, 1.6, 0.007, 0.022);
+        set(GateKind::Nor, 1.6, 0.008, 0.026);
+        set(GateKind::And, 2.1, 0.010, 0.038);
+        set(GateKind::Or, 2.1, 0.010, 0.040);
+        set(GateKind::Xor, 3.2, 0.015, 0.055);
+        set(GateKind::Xnor, 3.2, 0.015, 0.055);
+        set(GateKind::Mux, 3.7, 0.017, 0.060);
+        set(GateKind::Dff, 6.9, 0.028, 0.090);
+        lib
+    }
+
+    /// Cell area in µm².
+    pub fn area_um2(&self, kind: GateKind) -> f64 {
+        self.area_um2[kind.ordinal()]
+    }
+
+    /// Energy per output toggle in pJ.
+    pub fn energy_pj(&self, kind: GateKind) -> f64 {
+        self.energy_pj[kind.ordinal()]
+    }
+
+    /// Propagation delay in ns.
+    pub fn delay_ns(&self, kind: GateKind) -> f64 {
+        self.delay_ns[kind.ordinal()]
+    }
+
+    /// Overrides one cell's characteristics (for ablation studies).
+    pub fn set(&mut self, kind: GateKind, area_um2: f64, energy_pj: f64, delay_ns: f64) {
+        self.area_um2[kind.ordinal()] = area_um2;
+        self.energy_pj[kind.ordinal()] = energy_pj;
+        self.delay_ns[kind.ordinal()] = delay_ns;
+    }
+}
+
+impl Default for CellLibrary {
+    fn default() -> Self {
+        CellLibrary::default_45nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pseudo_cells_are_free() {
+        let lib = CellLibrary::default();
+        for k in [GateKind::Input, GateKind::Const0, GateKind::Const1] {
+            assert_eq!(lib.area_um2(k), 0.0);
+            assert_eq!(lib.energy_pj(k), 0.0);
+            assert_eq!(lib.delay_ns(k), 0.0);
+        }
+    }
+
+    #[test]
+    fn relative_cell_ordering() {
+        let lib = CellLibrary::default();
+        assert!(lib.area_um2(GateKind::Dff) > lib.area_um2(GateKind::Xor));
+        assert!(lib.area_um2(GateKind::Xor) > lib.area_um2(GateKind::Nand));
+        assert!(lib.delay_ns(GateKind::Not) < lib.delay_ns(GateKind::And));
+    }
+
+    #[test]
+    fn set_overrides() {
+        let mut lib = CellLibrary::default();
+        lib.set(GateKind::Nand, 9.0, 1.0, 2.0);
+        assert_eq!(lib.area_um2(GateKind::Nand), 9.0);
+        assert_eq!(lib.energy_pj(GateKind::Nand), 1.0);
+        assert_eq!(lib.delay_ns(GateKind::Nand), 2.0);
+    }
+}

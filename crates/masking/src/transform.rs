@@ -1,0 +1,467 @@
+//! The gate-replacement masking transform (`modify(Sgates, D)` of the
+//! paper's Algorithms 1 and 2).
+
+use std::collections::{HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+
+use polaris_netlist::{GateId, GateKind, Netlist, NetlistError};
+
+use crate::dom;
+use crate::trichina;
+
+/// Which masked-gate family to instantiate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum MaskingStyle {
+    /// Trichina composite gates (paper Eq. 5 / Fig. 1) — the default.
+    #[default]
+    Trichina,
+    /// Domain-oriented masking with a register stage on cross-domain terms
+    /// (paper §V-E extension). Produces a sequential design; allow at least
+    /// two clock cycles for the composite outputs to settle.
+    Dom,
+    /// Second-order ISW masking (3 shares, 7 fresh mask bits per gate) —
+    /// the paper's d-th-order background (§II-B) at `d = 2`. Its
+    /// share-domain core defeats univariate *and* bivariate TVLA at ~2.3×
+    /// the Trichina cell cost.
+    IswOrder2,
+}
+
+/// Error raised by [`apply_masking`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MaskingError {
+    /// The target gate kind cannot be masked (inputs, constants, flops, or
+    /// un-normalized gates — run
+    /// [`decompose`][polaris_netlist::transform::decompose] first).
+    UnsupportedGate {
+        /// The offending gate.
+        gate: GateId,
+        /// Its kind.
+        kind: GateKind,
+        /// Its fanin count.
+        fanin: usize,
+    },
+    /// A target id is out of range.
+    UnknownGate {
+        /// The offending id.
+        gate: GateId,
+    },
+    /// Underlying netlist construction failed.
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for MaskingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MaskingError::UnsupportedGate { gate, kind, fanin } => write!(
+                f,
+                "gate {gate} ({kind}, {fanin} inputs) cannot be masked; normalize the netlist first"
+            ),
+            MaskingError::UnknownGate { gate } => write!(f, "unknown target gate {gate}"),
+            MaskingError::Netlist(e) => write!(f, "netlist error during masking: {e}"),
+        }
+    }
+}
+
+impl Error for MaskingError {}
+
+impl From<NetlistError> for MaskingError {
+    fn from(e: NetlistError) -> Self {
+        MaskingError::Netlist(e)
+    }
+}
+
+/// Result of [`apply_masking`]: the rewritten netlist plus the bookkeeping
+/// needed to attribute per-gate leakage and overhead back to the original
+/// design.
+#[derive(Clone, Debug)]
+pub struct MaskedDesign {
+    /// The masked netlist (functionally equivalent to the original).
+    pub netlist: Netlist,
+    /// For every gate of the masked netlist: the original gate it was
+    /// materialized for (`None` for the added mask inputs).
+    pub origin: Vec<Option<GateId>>,
+    /// The original gate ids that were replaced by masked composites.
+    pub masked_gates: Vec<GateId>,
+    /// Number of fresh mask-randomness input bits added.
+    pub added_mask_bits: usize,
+}
+
+impl MaskedDesign {
+    /// Grouping vector for grouped leakage assessment: entry `g` holds the
+    /// group index of masked-netlist gate `g`, where groups are numbered by
+    /// original gate id (`original.gate_count()` groups). Added mask inputs
+    /// get their own trailing group.
+    pub fn group_of(&self, original_gate_count: usize) -> Vec<usize> {
+        self.origin
+            .iter()
+            .map(|o| o.map_or(original_gate_count, |id| id.index()))
+            .collect()
+    }
+
+    /// New gates materialized for one original gate.
+    pub fn gates_for(&self, original: GateId) -> Vec<GateId> {
+        self.origin
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| **o == Some(original))
+            .map(|(i, _)| GateId::new(i))
+            .collect()
+    }
+}
+
+/// Replaces each gate in `targets` with its masked composite.
+///
+/// The input netlist must be *normalized*: every combinational cell has one
+/// or two inputs and there are no muxes (run
+/// [`decompose`][polaris_netlist::transform::decompose] first). Non-cell
+/// targets (inputs, constants, flip-flops) are rejected.
+///
+/// Every masked 2-input gate consumes three fresh mask bits (`x`, `y`, `z`);
+/// unary gates consume one. Mask bits are new
+/// [`mask inputs`][Netlist::add_mask_input] that trace campaigns
+/// re-randomize per trace.
+///
+/// # Errors
+///
+/// Returns [`MaskingError::UnsupportedGate`] / [`MaskingError::UnknownGate`]
+/// on invalid targets, or a wrapped [`NetlistError`] if reconstruction fails.
+pub fn apply_masking(
+    netlist: &Netlist,
+    targets: &[GateId],
+    style: MaskingStyle,
+) -> Result<MaskedDesign, MaskingError> {
+    let target_set: HashSet<GateId> = targets.iter().copied().collect();
+    for &t in targets {
+        if t.index() >= netlist.gate_count() {
+            return Err(MaskingError::UnknownGate { gate: t });
+        }
+        let g = netlist.gate(t);
+        let supported = g.kind().is_combinational_cell()
+            && g.fanin().len() <= 2
+            && g.kind() != GateKind::Mux;
+        if !supported {
+            return Err(MaskingError::UnsupportedGate {
+                gate: t,
+                kind: g.kind(),
+                fanin: g.fanin().len(),
+            });
+        }
+    }
+
+    let mut out = Netlist::new(format!("{}_masked", netlist.name()));
+    let mut origin: Vec<Option<GateId>> = Vec::new();
+    let mut new_id: HashMap<GateId, GateId> = HashMap::with_capacity(netlist.gate_count());
+    let data_inputs: HashSet<GateId> = netlist.data_inputs().iter().copied().collect();
+    let mut added_mask_bits = 0usize;
+
+    // Record `origin` lazily: after each append to `out`, fill entries.
+    let sync_origin = |origin: &mut Vec<Option<GateId>>, out: &Netlist, o: Option<GateId>| {
+        while origin.len() < out.gate_count() {
+            origin.push(o);
+        }
+    };
+
+    // Pre-register flip-flops so feedback resolves.
+    for (old, gate) in netlist.iter() {
+        if gate.kind() == GateKind::Dff {
+            let id = out.add_dff_placeholder(gate.name().to_string());
+            new_id.insert(old, id);
+            sync_origin(&mut origin, &out, Some(old));
+        }
+    }
+
+    for old in netlist.topo_order()? {
+        let gate = netlist.gate(old);
+        match gate.kind() {
+            GateKind::Dff => continue,
+            GateKind::Input => {
+                let id = if data_inputs.contains(&old) {
+                    out.add_input(gate.name().to_string())
+                } else {
+                    out.add_mask_input(gate.name().to_string())
+                };
+                new_id.insert(old, id);
+                sync_origin(&mut origin, &out, Some(old));
+            }
+            _ if !target_set.contains(&old) => {
+                let fanin: Vec<GateId> = gate.fanin().iter().map(|f| new_id[f]).collect();
+                let id = out.add_gate(gate.kind(), gate.name().to_string(), &fanin)?;
+                new_id.insert(old, id);
+                sync_origin(&mut origin, &out, Some(old));
+            }
+            _ => {
+                // Masked replacement. Fresh mask inputs first (origin: None —
+                // they are ports, not logic attributable to the gate).
+                let p = format!("mg{}", old.index());
+                let fanin: Vec<GateId> = gate.fanin().iter().map(|f| new_id[f]).collect();
+                let expansion = if gate.fanin().len() == 1 {
+                    let x = out.add_mask_input(format!("{p}_x"));
+                    added_mask_bits += 1;
+                    sync_origin(&mut origin, &out, None);
+                    trichina::masked_unary(
+                        &mut out,
+                        &p,
+                        gate.kind() == GateKind::Not,
+                        fanin[0],
+                        x,
+                    )
+                } else if style == MaskingStyle::IswOrder2
+                    && matches!(
+                        gate.kind(),
+                        GateKind::And | GateKind::Or | GateKind::Nand | GateKind::Nor
+                    )
+                {
+                    let masks = crate::isw::IswMasks::allocate(&mut out, &p);
+                    added_mask_bits += crate::isw::IswMasks::BITS;
+                    sync_origin(&mut origin, &out, None);
+                    let (a, b) = (fanin[0], fanin[1]);
+                    let mut e = match gate.kind() {
+                        GateKind::And => crate::isw::masked_and_order2(&mut out, &p, a, b, masks),
+                        GateKind::Or => crate::isw::masked_or_order2(&mut out, &p, a, b, masks),
+                        GateKind::Nand => {
+                            let mut e =
+                                crate::isw::masked_and_order2(&mut out, &p, a, b, masks);
+                            let inv = out
+                                .add_gate(GateKind::Not, format!("{p}_inv"), &[e.output])?;
+                            e.gates.push(inv);
+                            e.output = inv;
+                            e
+                        }
+                        GateKind::Nor => {
+                            let mut e = crate::isw::masked_or_order2(&mut out, &p, a, b, masks);
+                            let inv = out
+                                .add_gate(GateKind::Not, format!("{p}_inv"), &[e.output])?;
+                            e.gates.push(inv);
+                            e.output = inv;
+                            e
+                        }
+                        _ => unreachable!("guarded by the matches! above"),
+                    };
+                    e.gates.dedup();
+                    e
+                } else {
+                    let x = out.add_mask_input(format!("{p}_x"));
+                    let y = out.add_mask_input(format!("{p}_y"));
+                    let z = out.add_mask_input(format!("{p}_z"));
+                    added_mask_bits += 3;
+                    sync_origin(&mut origin, &out, None);
+                    let (a, b) = (fanin[0], fanin[1]);
+                    match (style, gate.kind()) {
+                        (MaskingStyle::Trichina | MaskingStyle::IswOrder2, GateKind::And) => {
+                            trichina::masked_and(&mut out, &p, a, b, x, y, z)
+                        }
+                        (MaskingStyle::Trichina | MaskingStyle::IswOrder2, GateKind::Or) => {
+                            trichina::masked_or(&mut out, &p, a, b, x, y, z)
+                        }
+                        (MaskingStyle::Trichina | MaskingStyle::IswOrder2, GateKind::Nand) => {
+                            trichina::masked_nand(&mut out, &p, a, b, x, y, z)
+                        }
+                        (MaskingStyle::Trichina | MaskingStyle::IswOrder2, GateKind::Nor) => {
+                            trichina::masked_nor(&mut out, &p, a, b, x, y, z)
+                        }
+                        (_, GateKind::Xor) => trichina::masked_xor(&mut out, &p, a, b, x, y, z),
+                        (_, GateKind::Xnor) => trichina::masked_xnor(&mut out, &p, a, b, x, y, z),
+                        (MaskingStyle::Dom, kind) => dom::masked_gate(&mut out, &p, kind, a, b, x, y, z),
+                        (MaskingStyle::Trichina | MaskingStyle::IswOrder2, kind) => {
+                            unreachable!("unsupported kind {kind} slipped validation")
+                        }
+                    }
+                };
+                sync_origin(&mut origin, &out, Some(old));
+                new_id.insert(old, expansion.output);
+            }
+        }
+    }
+    // Connect flip-flop data inputs.
+    for (old, gate) in netlist.iter() {
+        if gate.kind() == GateKind::Dff {
+            out.connect_dff(new_id[&old], new_id[&gate.fanin()[0]]);
+        }
+    }
+    for (port, driver) in netlist.outputs() {
+        out.add_output(port.clone(), new_id[driver])?;
+    }
+    out.validate()?;
+    debug_assert_eq!(origin.len(), out.gate_count());
+
+    let mut masked_gates: Vec<GateId> = target_set.into_iter().collect();
+    masked_gates.sort_unstable();
+    Ok(MaskedDesign {
+        netlist: out,
+        origin,
+        masked_gates,
+        added_mask_bits,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polaris_netlist::generators;
+    use polaris_netlist::transform::decompose;
+    use polaris_sim::Simulator;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn assert_equivalent(original: &Netlist, masked: &MaskedDesign, settle_cycles: usize, seed: u64) {
+        let sim_o = Simulator::new(original).unwrap();
+        let sim_m = Simulator::new(&masked.netlist).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let data: Vec<bool> = (0..original.data_inputs().len()).map(|_| rng.gen()).collect();
+            let masks: Vec<bool> = (0..masked.netlist.mask_inputs().len())
+                .map(|_| rng.gen())
+                .collect();
+            let out_o = sim_o.eval_bool(&data, &[]).unwrap();
+            let out_m = if settle_cycles <= 1 {
+                sim_m.eval_bool(&data, &masks).unwrap()
+            } else {
+                // Sequential composites (DOM): clock until settled.
+                let dw: Vec<u64> = data.iter().map(|&b| if b { !0 } else { 0 }).collect();
+                let mw: Vec<u64> = masks.iter().map(|&b| if b { !0 } else { 0 }).collect();
+                let mut st = sim_m.zero_state();
+                for _ in 0..settle_cycles {
+                    sim_m.eval(&mut st, &dw, &mw);
+                    sim_m.clock(&mut st);
+                }
+                sim_m.eval(&mut st, &dw, &mw);
+                masked
+                    .netlist
+                    .outputs()
+                    .iter()
+                    .map(|(_, d)| st.value(*d) & 1 == 1)
+                    .collect()
+            };
+            assert_eq!(out_o, out_m, "masking changed the function");
+        }
+    }
+
+    #[test]
+    fn masking_all_cells_preserves_function_trichina() {
+        let (d, _) = decompose(&generators::iscas_c17()).unwrap();
+        let masked = apply_masking(&d, &d.cell_ids(), MaskingStyle::Trichina).unwrap();
+        assert_equivalent(&d, &masked, 1, 11);
+    }
+
+    #[test]
+    fn masking_subset_preserves_function() {
+        let (d, _) = decompose(&generators::des3(1, 5)).unwrap();
+        let cells = d.cell_ids();
+        let subset: Vec<GateId> = cells.iter().step_by(7).copied().collect();
+        let masked = apply_masking(&d, &subset, MaskingStyle::Trichina).unwrap();
+        assert_equivalent(&d, &masked, 1, 13);
+        assert_eq!(masked.masked_gates.len(), subset.len());
+    }
+
+    #[test]
+    fn mask_bits_accounted() {
+        let (d, _) = decompose(&generators::iscas_c17()).unwrap();
+        let cells = d.cell_ids();
+        let masked = apply_masking(&d, &cells, MaskingStyle::Trichina).unwrap();
+        // c17 is all 2-input nands: 3 mask bits each.
+        assert_eq!(masked.added_mask_bits, 3 * cells.len());
+        assert_eq!(masked.netlist.mask_inputs().len(), masked.added_mask_bits);
+    }
+
+    #[test]
+    fn origin_covers_every_gate() {
+        let (d, _) = decompose(&generators::iscas_c17()).unwrap();
+        let cells = d.cell_ids();
+        let masked = apply_masking(&d, &cells, MaskingStyle::Trichina).unwrap();
+        assert_eq!(masked.origin.len(), masked.netlist.gate_count());
+        // Every original cell owns a nonempty group.
+        for &c in &cells {
+            assert!(!masked.gates_for(c).is_empty());
+        }
+        // Mask inputs have no origin.
+        let none_count = masked.origin.iter().filter(|o| o.is_none()).count();
+        assert_eq!(none_count, masked.added_mask_bits);
+    }
+
+    #[test]
+    fn group_of_layout() {
+        let (d, _) = decompose(&generators::iscas_c17()).unwrap();
+        let cells = d.cell_ids();
+        let masked = apply_masking(&d, &cells[..2], MaskingStyle::Trichina).unwrap();
+        let groups = masked.group_of(d.gate_count());
+        assert_eq!(groups.len(), masked.netlist.gate_count());
+        assert!(groups.iter().all(|&g| g <= d.gate_count()));
+    }
+
+    #[test]
+    fn rejects_input_target() {
+        let (d, _) = decompose(&generators::iscas_c17()).unwrap();
+        let input = d.data_inputs()[0];
+        let err = apply_masking(&d, &[input], MaskingStyle::Trichina).unwrap_err();
+        assert!(matches!(err, MaskingError::UnsupportedGate { .. }));
+    }
+
+    #[test]
+    fn rejects_out_of_range_target() {
+        let (d, _) = decompose(&generators::iscas_c17()).unwrap();
+        let err =
+            apply_masking(&d, &[GateId::new(10_000)], MaskingStyle::Trichina).unwrap_err();
+        assert!(matches!(err, MaskingError::UnknownGate { .. }));
+    }
+
+    #[test]
+    fn rejects_wide_gate() {
+        let mut n = Netlist::new("w");
+        let ins: Vec<GateId> = (0..3).map(|i| n.add_input(format!("i{i}"))).collect();
+        let g = n.add_gate(GateKind::And, "g", &ins).unwrap();
+        n.add_output("y", g).unwrap();
+        let err = apply_masking(&n, &[g], MaskingStyle::Trichina).unwrap_err();
+        assert!(matches!(err, MaskingError::UnsupportedGate { .. }));
+    }
+
+    #[test]
+    fn dom_style_preserves_function_after_settling() {
+        let (d, _) = decompose(&generators::iscas_c17()).unwrap();
+        let cells = d.cell_ids();
+        let masked = apply_masking(&d, &cells, MaskingStyle::Dom).unwrap();
+        assert!(masked.netlist.stats().flops > 0, "DOM adds registers");
+        // Each DOM composite adds one register latency; chained composites
+        // need one settle cycle per logic level (c17 is 3 levels deep).
+        assert_equivalent(&d, &masked, 8, 17);
+    }
+
+    #[test]
+    fn masking_sequential_design_preserves_flops() {
+        let (d, _) = decompose(&generators::memctrl(1, 3)).unwrap();
+        let cells = d.cell_ids();
+        let subset: Vec<GateId> = cells.iter().step_by(5).copied().collect();
+        let masked = apply_masking(&d, &subset, MaskingStyle::Trichina).unwrap();
+        assert_eq!(masked.netlist.stats().flops, d.stats().flops);
+        masked.netlist.validate().unwrap();
+    }
+
+    #[test]
+    fn isw_style_preserves_function() {
+        let (d, _) = decompose(&generators::iscas_c17()).unwrap();
+        let cells = d.cell_ids();
+        let masked = apply_masking(&d, &cells, MaskingStyle::IswOrder2).unwrap();
+        // c17 is all nands: 7 mask bits each.
+        assert_eq!(masked.added_mask_bits, 7 * cells.len());
+        assert_equivalent(&d, &masked, 1, 29);
+    }
+
+    #[test]
+    fn isw_style_on_mixed_gates() {
+        let (d, _) = decompose(&generators::des3(1, 5)).unwrap();
+        let cells = d.cell_ids();
+        let subset: Vec<GateId> = cells.iter().step_by(9).copied().collect();
+        let masked = apply_masking(&d, &subset, MaskingStyle::IswOrder2).unwrap();
+        masked.netlist.validate().unwrap();
+        assert_equivalent(&d, &masked, 1, 31);
+    }
+
+    #[test]
+    fn empty_target_list_is_a_copy() {
+        let (d, _) = decompose(&generators::iscas_c17()).unwrap();
+        let masked = apply_masking(&d, &[], MaskingStyle::Trichina).unwrap();
+        assert_eq!(masked.netlist.gate_count(), d.gate_count());
+        assert_eq!(masked.added_mask_bits, 0);
+        assert_equivalent(&d, &masked, 1, 23);
+    }
+}

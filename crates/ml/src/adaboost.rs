@@ -1,0 +1,299 @@
+//! SAMME discrete AdaBoost over shallow CART trees — the paper's
+//! best-performing model (Table III) and the one driving its SHAP analysis.
+
+use crate::data::Dataset;
+use crate::tree::{DecisionTree, Tree, TreeConfig, TreeNode};
+use crate::{sigmoid, Classifier, TreeEnsemble};
+
+/// AdaBoost hyper-parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AdaBoostConfig {
+    /// Number of boosting rounds.
+    pub n_estimators: usize,
+    /// Learning rate α (the paper sets 0.01).
+    pub learning_rate: f64,
+    /// Depth of each weak learner (1 = stumps).
+    pub max_depth: usize,
+    /// RNG seed (only used when trees subsample features).
+    pub seed: u64,
+}
+
+impl Default for AdaBoostConfig {
+    fn default() -> Self {
+        AdaBoostConfig {
+            n_estimators: 60,
+            learning_rate: 0.5,
+            max_depth: 2,
+            seed: 0,
+        }
+    }
+}
+
+/// A fitted AdaBoost ensemble: margin = Σ αₘ · voteₘ(x) with ±1 vote trees.
+#[derive(Clone, Debug)]
+pub struct AdaBoost {
+    stages: Vec<(f64, Tree)>,
+}
+
+impl AdaBoost {
+    /// Fits with uniform initial weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if the dataset is empty or single-class.
+    pub fn fit(data: &Dataset, config: &AdaBoostConfig) -> Result<Self, String> {
+        let w = vec![1.0; data.len()];
+        Self::fit_weighted(data, &w, config)
+    }
+
+    /// Fits with initial per-sample weights (class balancing — the paper's
+    /// "weighted training" for imbalance handling).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if the dataset is empty, single-class, or the
+    /// weight vector length mismatches.
+    pub fn fit_weighted(
+        data: &Dataset,
+        base_weights: &[f64],
+        config: &AdaBoostConfig,
+    ) -> Result<Self, String> {
+        if data.is_empty() {
+            return Err("adaboost: empty dataset".into());
+        }
+        if base_weights.len() != data.len() {
+            return Err("adaboost: weight/row count mismatch".into());
+        }
+        let (neg, pos) = data.class_counts();
+        if neg == 0 || pos == 0 {
+            return Err("adaboost: need both classes present".into());
+        }
+
+        let mut w: Vec<f64> = base_weights.to_vec();
+        normalize(&mut w);
+        let mut stages = Vec::with_capacity(config.n_estimators);
+        for m in 0..config.n_estimators {
+            let tree_cfg = TreeConfig {
+                max_depth: config.max_depth,
+                min_child_weight: 1e-9,
+                feature_subsample: None,
+                seed: config.seed ^ (m as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            };
+            let learner = DecisionTree::fit_weighted(data, &w, &tree_cfg);
+            let vote_tree = to_vote_tree(learner.into_tree());
+
+            let mut err = 0.0f64;
+            let mut predictions = Vec::with_capacity(data.len());
+            for (i, &wi) in w.iter().enumerate() {
+                let vote = vote_tree.predict(data.row(i));
+                let predicted = u8::from(vote > 0.0);
+                predictions.push(predicted);
+                if predicted != data.label(i) {
+                    err += wi;
+                }
+            }
+            err = err.clamp(1e-12, 1.0 - 1e-12);
+            if err >= 0.5 {
+                // Weak learner no better than chance: stop boosting.
+                if stages.is_empty() {
+                    stages.push((config.learning_rate, vote_tree));
+                }
+                break;
+            }
+            let alpha = config.learning_rate * ((1.0 - err) / err).ln();
+            for i in 0..data.len() {
+                if predictions[i] != data.label(i) {
+                    w[i] *= alpha.exp();
+                }
+            }
+            normalize(&mut w);
+            let perfect = err <= 1e-10;
+            stages.push((alpha, vote_tree));
+            if perfect {
+                break;
+            }
+        }
+        Ok(AdaBoost { stages })
+    }
+
+    /// Number of boosting stages actually fitted.
+    pub fn n_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Reconstructs an ensemble from `(alpha, vote_tree)` stages — the
+    /// inverse of [`crate::persist`] encoding.
+    pub fn from_stages(stages: Vec<(f64, Tree)>) -> Self {
+        AdaBoost { stages }
+    }
+
+    /// Per-feature importance: total α-weighted cover of splits on each
+    /// feature, normalized to sum to 1.
+    pub fn feature_importances(&self, n_features: usize) -> Vec<f64> {
+        let mut imp = vec![0.0f64; n_features];
+        for (alpha, tree) in &self.stages {
+            for node in tree.nodes() {
+                if let TreeNode::Internal { feature, cover, .. } = node {
+                    imp[*feature] += alpha.abs() * cover;
+                }
+            }
+        }
+        let total: f64 = imp.iter().sum();
+        if total > 0.0 {
+            for v in &mut imp {
+                *v /= total;
+            }
+        }
+        imp
+    }
+}
+
+fn normalize(w: &mut [f64]) {
+    let s: f64 = w.iter().sum();
+    if s > 0.0 {
+        for v in w {
+            *v /= s;
+        }
+    }
+}
+
+/// Converts probability leaves to ±1 votes (SAMME discrete).
+fn to_vote_tree(tree: Tree) -> Tree {
+    let nodes = tree
+        .nodes()
+        .iter()
+        .map(|n| match n {
+            TreeNode::Leaf { value, cover } => TreeNode::Leaf {
+                value: if *value >= 0.5 { 1.0 } else { -1.0 },
+                cover: *cover,
+            },
+            other => other.clone(),
+        })
+        .collect();
+    Tree::from_nodes(nodes)
+}
+
+impl Classifier for AdaBoost {
+    fn predict_proba(&self, x: &[f32]) -> f64 {
+        sigmoid(self.margin(x))
+    }
+}
+
+impl TreeEnsemble for AdaBoost {
+    fn weighted_trees(&self) -> Vec<(f64, &Tree)> {
+        self.stages.iter().map(|(a, t)| (*a, t)).collect()
+    }
+
+    fn base_margin(&self) -> f64 {
+        0.0
+    }
+
+    fn margin_to_proba(&self, margin: f64) -> f64 {
+        sigmoid(margin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> Dataset {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]);
+        for i in 0..200u32 {
+            let a = (i % 2) as f32;
+            let b = ((i / 2) % 2) as f32;
+            d.push(&[a, b], u8::from(a != b)).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn solves_xor() {
+        let model = AdaBoost::fit(&xor_data(), &AdaBoostConfig::default()).unwrap();
+        assert_eq!(model.predict(&[0.0, 0.0]), 0);
+        assert_eq!(model.predict(&[0.0, 1.0]), 1);
+        assert_eq!(model.predict(&[1.0, 0.0]), 1);
+        assert_eq!(model.predict(&[1.0, 1.0]), 0);
+    }
+
+    #[test]
+    fn rejects_degenerate_data() {
+        let empty = Dataset::new(vec!["a".into()]);
+        assert!(AdaBoost::fit(&empty, &Default::default()).is_err());
+
+        let mut single = Dataset::new(vec!["a".into()]);
+        single.push(&[1.0], 1).unwrap();
+        single.push(&[0.0], 1).unwrap();
+        assert!(AdaBoost::fit(&single, &Default::default()).is_err());
+    }
+
+    #[test]
+    fn margin_is_signed_sum() {
+        let model = AdaBoost::fit(&xor_data(), &AdaBoostConfig::default()).unwrap();
+        let x = [1.0f32, 0.0];
+        let manual: f64 = model
+            .weighted_trees()
+            .iter()
+            .map(|(a, t)| a * t.predict(&x))
+            .sum();
+        assert!((model.margin(&x) - manual).abs() < 1e-12);
+        assert!(model.margin(&x) > 0.0);
+    }
+
+    #[test]
+    fn weighted_fit_respects_imbalance_strategy() {
+        // 90/10 imbalance: balanced weights should pull the decision
+        // boundary toward the minority class.
+        let mut d = Dataset::new(vec!["a".into()]);
+        for i in 0..90 {
+            d.push(&[(i % 10) as f32 / 10.0], 0).unwrap();
+        }
+        for i in 0..10 {
+            d.push(&[0.9 + (i % 2) as f32 / 20.0], 1).unwrap();
+        }
+        let w = d.balanced_weights().unwrap();
+        let model = AdaBoost::fit_weighted(&d, &w, &Default::default()).unwrap();
+        assert_eq!(model.predict(&[0.95]), 1);
+        assert_eq!(model.predict(&[0.1]), 0);
+    }
+
+    #[test]
+    fn learning_rate_scales_alphas() {
+        let d = xor_data();
+        let slow = AdaBoost::fit(
+            &d,
+            &AdaBoostConfig { learning_rate: 0.01, n_estimators: 5, ..Default::default() },
+        )
+        .unwrap();
+        let fast = AdaBoost::fit(
+            &d,
+            &AdaBoostConfig { learning_rate: 1.0, n_estimators: 5, ..Default::default() },
+        )
+        .unwrap();
+        let sum_alpha = |m: &AdaBoost| m.stages.iter().map(|(a, _)| a.abs()).sum::<f64>();
+        assert!(sum_alpha(&fast) > sum_alpha(&slow) * 10.0);
+    }
+
+    #[test]
+    fn feature_importances_normalized_and_focused() {
+        let mut d = Dataset::new(vec!["signal".into(), "noise".into()]);
+        for i in 0..100 {
+            let s = (i % 2) as f32;
+            let nz = ((i * 13) % 7) as f32;
+            d.push(&[s, nz], s as u8).unwrap();
+        }
+        let model = AdaBoost::fit(&d, &Default::default()).unwrap();
+        let imp = model.feature_importances(2);
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(imp[0] > 0.9, "signal feature should dominate: {imp:?}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = xor_data();
+        let m1 = AdaBoost::fit(&d, &Default::default()).unwrap();
+        let m2 = AdaBoost::fit(&d, &Default::default()).unwrap();
+        assert_eq!(m1.margin(&[1.0, 0.0]), m2.margin(&[1.0, 0.0]));
+        assert_eq!(m1.n_stages(), m2.n_stages());
+    }
+}

@@ -1,0 +1,280 @@
+//! Dense binary-labelled datasets.
+
+use std::error::Error;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Error raised on malformed dataset operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DatasetError {
+    /// A pushed row's width differs from the feature count.
+    WidthMismatch {
+        /// Expected feature count.
+        expected: usize,
+        /// Width of the offending row.
+        found: usize,
+    },
+    /// An operation required a nonempty dataset.
+    Empty,
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::WidthMismatch { expected, found } => {
+                write!(f, "row has {found} features, dataset expects {expected}")
+            }
+            DatasetError::Empty => write!(f, "operation requires a nonempty dataset"),
+        }
+    }
+}
+
+impl Error for DatasetError {}
+
+/// A dense feature matrix with binary labels and named columns.
+///
+/// Row-major storage; labels are `0` / `1` (the paper's "bad" / "good"
+/// masking labels from Algorithm 1).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Dataset {
+    feature_names: Vec<String>,
+    x: Vec<f32>,
+    y: Vec<u8>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset with the given column names.
+    pub fn new(feature_names: Vec<String>) -> Self {
+        Dataset {
+            feature_names,
+            x: Vec::new(),
+            y: Vec::new(),
+        }
+    }
+
+    /// Appends one labelled row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::WidthMismatch`] if `row.len()` differs from
+    /// the feature count.
+    pub fn push(&mut self, row: &[f32], label: u8) -> Result<(), DatasetError> {
+        if row.len() != self.feature_names.len() {
+            return Err(DatasetError::WidthMismatch {
+                expected: self.feature_names.len(),
+                found: row.len(),
+            });
+        }
+        self.x.extend_from_slice(row);
+        self.y.push(u8::from(label != 0));
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// True if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Number of feature columns.
+    pub fn n_features(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// Column names.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// One row's features.
+    pub fn row(&self, i: usize) -> &[f32] {
+        let w = self.n_features();
+        &self.x[i * w..(i + 1) * w]
+    }
+
+    /// One row's label.
+    pub fn label(&self, i: usize) -> u8 {
+        self.y[i]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[u8] {
+        &self.y
+    }
+
+    /// `(negatives, positives)` counts.
+    pub fn class_counts(&self) -> (usize, usize) {
+        let pos = self.y.iter().filter(|&&l| l == 1).count();
+        (self.y.len() - pos, pos)
+    }
+
+    /// Per-sample weights balancing the classes: each class receives total
+    /// weight `len / 2` (the "weighted training" the paper applies to
+    /// XGBoost and AdaBoost to counter the θr-induced imbalance).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::Empty`] on an empty dataset.
+    pub fn balanced_weights(&self) -> Result<Vec<f64>, DatasetError> {
+        if self.is_empty() {
+            return Err(DatasetError::Empty);
+        }
+        let (neg, pos) = self.class_counts();
+        let n = self.len() as f64;
+        let w_pos = if pos == 0 { 0.0 } else { n / (2.0 * pos as f64) };
+        let w_neg = if neg == 0 { 0.0 } else { n / (2.0 * neg as f64) };
+        Ok(self
+            .y
+            .iter()
+            .map(|&l| if l == 1 { w_pos } else { w_neg })
+            .collect())
+    }
+
+    /// Stratified split into `(train, test)` with `test_fraction` of each
+    /// class in the test set. Deterministic in `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::Empty`] on an empty dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `test_fraction` is outside `(0, 1)`.
+    pub fn stratified_split(
+        &self,
+        test_fraction: f64,
+        seed: u64,
+    ) -> Result<(Dataset, Dataset), DatasetError> {
+        assert!(
+            test_fraction > 0.0 && test_fraction < 1.0,
+            "test fraction must lie in (0, 1)"
+        );
+        if self.is_empty() {
+            return Err(DatasetError::Empty);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut train = Dataset::new(self.feature_names.clone());
+        let mut test = Dataset::new(self.feature_names.clone());
+        for class in [0u8, 1u8] {
+            let mut idx: Vec<usize> =
+                (0..self.len()).filter(|&i| self.y[i] == class).collect();
+            idx.shuffle(&mut rng);
+            let n_test = ((idx.len() as f64) * test_fraction).round() as usize;
+            for (k, &i) in idx.iter().enumerate() {
+                let target = if k < n_test { &mut test } else { &mut train };
+                target
+                    .push(self.row(i), self.y[i])
+                    .expect("widths match by construction");
+            }
+        }
+        Ok((train, test))
+    }
+
+    /// Concatenates another dataset with identical columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::WidthMismatch`] if the feature counts differ.
+    pub fn extend(&mut self, other: &Dataset) -> Result<(), DatasetError> {
+        if other.n_features() != self.n_features() {
+            return Err(DatasetError::WidthMismatch {
+                expected: self.n_features(),
+                found: other.n_features(),
+            });
+        }
+        self.x.extend_from_slice(&other.x);
+        self.y.extend_from_slice(&other.y);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n_pos: usize, n_neg: usize) -> Dataset {
+        let mut d = Dataset::new(vec!["f0".into(), "f1".into()]);
+        for i in 0..n_pos {
+            d.push(&[i as f32, 1.0], 1).unwrap();
+        }
+        for i in 0..n_neg {
+            d.push(&[i as f32, 0.0], 0).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn push_and_access() {
+        let d = toy(3, 5);
+        assert_eq!(d.len(), 8);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.row(0), &[0.0, 1.0]);
+        assert_eq!(d.label(0), 1);
+        assert_eq!(d.class_counts(), (5, 3));
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let mut d = toy(1, 1);
+        let e = d.push(&[1.0], 0).unwrap_err();
+        assert!(matches!(e, DatasetError::WidthMismatch { expected: 2, found: 1 }));
+    }
+
+    #[test]
+    fn balanced_weights_sum_equally_per_class() {
+        let d = toy(2, 8);
+        let w = d.balanced_weights().unwrap();
+        let pos_sum: f64 = (0..d.len()).filter(|&i| d.label(i) == 1).map(|i| w[i]).sum();
+        let neg_sum: f64 = (0..d.len()).filter(|&i| d.label(i) == 0).map(|i| w[i]).sum();
+        assert!((pos_sum - neg_sum).abs() < 1e-9);
+        assert!((pos_sum + neg_sum - d.len() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stratified_split_preserves_ratio() {
+        let d = toy(20, 80);
+        let (train, test) = d.stratified_split(0.25, 7).unwrap();
+        assert_eq!(train.len() + test.len(), d.len());
+        let (tn, tp) = test.class_counts();
+        assert_eq!(tp, 5);
+        assert_eq!(tn, 20);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let d = toy(10, 30);
+        let a = d.stratified_split(0.3, 42).unwrap();
+        let b = d.stratified_split(0.3, 42).unwrap();
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn empty_dataset_errors() {
+        let d = Dataset::new(vec!["a".into()]);
+        assert!(matches!(d.balanced_weights(), Err(DatasetError::Empty)));
+        assert!(matches!(d.stratified_split(0.5, 0), Err(DatasetError::Empty)));
+    }
+
+    #[test]
+    fn labels_normalized_to_01() {
+        let mut d = Dataset::new(vec!["a".into()]);
+        d.push(&[0.0], 7).unwrap();
+        assert_eq!(d.label(0), 1);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = toy(2, 2);
+        let b = toy(1, 1);
+        a.extend(&b).unwrap();
+        assert_eq!(a.len(), 6);
+    }
+}

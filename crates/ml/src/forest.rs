@@ -1,0 +1,181 @@
+//! Random forest: bootstrap-aggregated CART trees with per-node feature
+//! subsampling.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::data::Dataset;
+use crate::tree::{DecisionTree, Tree, TreeConfig};
+use crate::{Classifier, TreeEnsemble};
+
+/// Random-forest hyper-parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Features per split; `None` = ⌈√f⌉.
+    pub max_features: Option<usize>,
+    /// RNG seed (bootstrap + feature subsampling).
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            n_trees: 50,
+            max_depth: 8,
+            max_features: None,
+            seed: 0,
+        }
+    }
+}
+
+/// A fitted random forest; the ensemble output is the mean of the trees'
+/// leaf probabilities.
+#[derive(Clone, Debug)]
+pub struct RandomForest {
+    trees: Vec<Tree>,
+}
+
+impl RandomForest {
+    /// Fits a forest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or `config.n_trees == 0`.
+    pub fn fit(data: &Dataset, config: &ForestConfig) -> Self {
+        assert!(!data.is_empty(), "cannot fit a forest on an empty dataset");
+        assert!(config.n_trees > 0, "need at least one tree");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let k = config
+            .max_features
+            .unwrap_or_else(|| (data.n_features() as f64).sqrt().ceil() as usize)
+            .max(1);
+        let mut trees = Vec::with_capacity(config.n_trees);
+        for t in 0..config.n_trees {
+            // Bootstrap resample expressed as per-sample multiplicity weights.
+            let mut weights = vec![0.0f64; data.len()];
+            for _ in 0..data.len() {
+                weights[rng.gen_range(0..data.len())] += 1.0;
+            }
+            let tree_cfg = TreeConfig {
+                max_depth: config.max_depth,
+                min_child_weight: 1.0,
+                feature_subsample: Some(k),
+                seed: config.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            };
+            trees.push(DecisionTree::fit_weighted(data, &weights, &tree_cfg).into_tree());
+        }
+        RandomForest { trees }
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Reconstructs a forest from its trees — the inverse of
+    /// [`crate::persist`] encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trees` is empty.
+    pub fn from_trees(trees: Vec<Tree>) -> Self {
+        assert!(!trees.is_empty(), "forest needs at least one tree");
+        RandomForest { trees }
+    }
+}
+
+impl Classifier for RandomForest {
+    fn predict_proba(&self, x: &[f32]) -> f64 {
+        let sum: f64 = self.trees.iter().map(|t| t.predict(x)).sum();
+        sum / self.trees.len() as f64
+    }
+}
+
+impl TreeEnsemble for RandomForest {
+    fn weighted_trees(&self) -> Vec<(f64, &Tree)> {
+        let w = 1.0 / self.trees.len() as f64;
+        self.trees.iter().map(|t| (w, t)).collect()
+    }
+
+    fn base_margin(&self) -> f64 {
+        0.0
+    }
+
+    /// The forest's margin already *is* a probability.
+    fn margin_to_proba(&self, margin: f64) -> f64 {
+        margin.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diagonal_data(n: usize) -> Dataset {
+        // label = 1 iff a + b > 1.0, with a deterministic grid.
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]);
+        for i in 0..n {
+            let a = (i % 21) as f32 / 20.0;
+            let b = ((i * 7) % 21) as f32 / 20.0;
+            d.push(&[a, b], u8::from(a + b > 1.0)).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn learns_linear_boundary() {
+        let d = diagonal_data(400);
+        let f = RandomForest::fit(&d, &ForestConfig { n_trees: 30, ..Default::default() });
+        assert!(f.predict_proba(&[0.9, 0.9]) > 0.8);
+        assert!(f.predict_proba(&[0.1, 0.1]) < 0.2);
+        assert_eq!(f.predict(&[1.0, 1.0]), 1);
+        assert_eq!(f.predict(&[0.0, 0.0]), 0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let d = diagonal_data(100);
+        let cfg = ForestConfig { n_trees: 10, seed: 5, ..Default::default() };
+        let f1 = RandomForest::fit(&d, &cfg);
+        let f2 = RandomForest::fit(&d, &cfg);
+        for x in [[0.3f32, 0.9], [0.5, 0.5], [0.9, 0.2]] {
+            assert_eq!(f1.predict_proba(&x), f2.predict_proba(&x));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let d = diagonal_data(100);
+        let f1 = RandomForest::fit(&d, &ForestConfig { n_trees: 10, seed: 1, ..Default::default() });
+        let f2 = RandomForest::fit(&d, &ForestConfig { n_trees: 10, seed: 2, ..Default::default() });
+        let same = [[0.3f32, 0.9], [0.5, 0.5], [0.45, 0.55], [0.9, 0.2]]
+            .iter()
+            .all(|x| f1.predict_proba(x) == f2.predict_proba(x));
+        assert!(!same, "different bootstrap seeds should change some prediction");
+    }
+
+    #[test]
+    fn ensemble_interface_consistent() {
+        let d = diagonal_data(150);
+        let f = RandomForest::fit(&d, &ForestConfig { n_trees: 7, ..Default::default() });
+        let x = [0.8f32, 0.4];
+        let margin = f.margin(&x);
+        assert!((margin - f.predict_proba(&x)).abs() < 1e-12);
+        assert_eq!(f.weighted_trees().len(), 7);
+    }
+
+    #[test]
+    fn probability_bounds() {
+        let d = diagonal_data(200);
+        let f = RandomForest::fit(&d, &Default::default());
+        for i in 0..50 {
+            let x = [(i % 10) as f32 / 10.0, (i / 10) as f32 / 5.0];
+            let p = f.predict_proba(&x);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! Gradient-boosted decision trees with second-order (gradient + hessian)
+//! split finding and regularized leaf weights — the "XGBoost" column of the
+//! paper's Table III.
+
+use crate::data::Dataset;
+use crate::tree::{Tree, TreeNode};
+use crate::{sigmoid, Classifier, TreeEnsemble};
+
+/// GBDT hyper-parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GbdtConfig {
+    /// Number of boosting rounds.
+    pub n_estimators: usize,
+    /// Shrinkage η (the paper sets α = 0.01).
+    pub learning_rate: f64,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// L2 regularization λ on leaf weights.
+    pub lambda: f64,
+    /// Minimum split gain γ.
+    pub gamma: f64,
+    /// Minimum hessian sum per child.
+    pub min_child_weight: f64,
+}
+
+impl Default for GbdtConfig {
+    fn default() -> Self {
+        GbdtConfig {
+            n_estimators: 80,
+            learning_rate: 0.3,
+            max_depth: 4,
+            lambda: 1.0,
+            gamma: 0.0,
+            min_child_weight: 1e-3,
+        }
+    }
+}
+
+/// A fitted gradient-boosted ensemble for binary logistic loss.
+#[derive(Clone, Debug)]
+pub struct GradientBoost {
+    base_margin: f64,
+    learning_rate: f64,
+    trees: Vec<Tree>,
+}
+
+impl GradientBoost {
+    /// Fits with uniform sample weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string on empty or single-class data.
+    pub fn fit(data: &Dataset, config: &GbdtConfig) -> Result<Self, String> {
+        let w = vec![1.0; data.len()];
+        Self::fit_weighted(data, &w, config)
+    }
+
+    /// Fits with per-sample weights (class balancing).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string on empty/single-class data or weight-length
+    /// mismatch.
+    pub fn fit_weighted(
+        data: &Dataset,
+        weights: &[f64],
+        config: &GbdtConfig,
+    ) -> Result<Self, String> {
+        if data.is_empty() {
+            return Err("gbdt: empty dataset".into());
+        }
+        if weights.len() != data.len() {
+            return Err("gbdt: weight/row count mismatch".into());
+        }
+        let (neg, pos) = data.class_counts();
+        if neg == 0 || pos == 0 {
+            return Err("gbdt: need both classes present".into());
+        }
+
+        // Weighted base rate in margin (log-odds) space.
+        let wp: f64 = (0..data.len())
+            .filter(|&i| data.label(i) == 1)
+            .map(|i| weights[i])
+            .sum();
+        let wt: f64 = weights.iter().sum();
+        let p0 = (wp / wt).clamp(1e-6, 1.0 - 1e-6);
+        let base_margin = (p0 / (1.0 - p0)).ln();
+
+        let mut margins = vec![base_margin; data.len()];
+        let mut trees = Vec::with_capacity(config.n_estimators);
+        let mut grad = vec![0.0f64; data.len()];
+        let mut hess = vec![0.0f64; data.len()];
+        for _ in 0..config.n_estimators {
+            for i in 0..data.len() {
+                let p = sigmoid(margins[i]);
+                grad[i] = weights[i] * (p - f64::from(data.label(i)));
+                hess[i] = (weights[i] * p * (1.0 - p)).max(1e-12);
+            }
+            let idx: Vec<u32> = (0..data.len() as u32).collect();
+            let mut nodes = Vec::new();
+            build_gh(data, &grad, &hess, config, idx, 0, &mut nodes);
+            let tree = Tree::from_nodes(nodes);
+            for (i, m) in margins.iter_mut().enumerate() {
+                *m += config.learning_rate * tree.predict(data.row(i));
+            }
+            trees.push(tree);
+        }
+        Ok(GradientBoost {
+            base_margin,
+            learning_rate: config.learning_rate,
+            trees,
+        })
+    }
+
+    /// Number of trees fitted.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Reconstructs an ensemble from its parts — the inverse of
+    /// [`crate::persist`] encoding.
+    pub fn from_parts(base_margin: f64, learning_rate: f64, trees: Vec<Tree>) -> Self {
+        GradientBoost {
+            base_margin,
+            learning_rate,
+            trees,
+        }
+    }
+}
+
+/// Recursive second-order tree builder; returns the subtree root index.
+fn build_gh(
+    data: &Dataset,
+    grad: &[f64],
+    hess: &[f64],
+    config: &GbdtConfig,
+    idx: Vec<u32>,
+    depth: usize,
+    nodes: &mut Vec<TreeNode>,
+) -> usize {
+    let (g_total, h_total) = idx.iter().fold((0.0f64, 0.0f64), |(g, h), &i| {
+        (g + grad[i as usize], h + hess[i as usize])
+    });
+    let leaf_value = -g_total / (h_total + config.lambda);
+    let make_leaf = |nodes: &mut Vec<TreeNode>| {
+        let id = nodes.len();
+        nodes.push(TreeNode::Leaf {
+            value: leaf_value,
+            cover: h_total,
+        });
+        id
+    };
+    if depth >= config.max_depth || idx.len() < 2 {
+        return make_leaf(nodes);
+    }
+
+    // Exact greedy split on every feature.
+    let score = |g: f64, h: f64| g * g / (h + config.lambda);
+    let parent_score = score(g_total, h_total);
+    let mut best: Option<(f64, usize, f32)> = None;
+    let mut pairs: Vec<(f32, f64, f64)> = Vec::with_capacity(idx.len());
+    for f in 0..data.n_features() {
+        pairs.clear();
+        pairs.extend(idx.iter().map(|&i| {
+            let i = i as usize;
+            (data.row(i)[f], grad[i], hess[i])
+        }));
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut gl = 0.0f64;
+        let mut hl = 0.0f64;
+        for k in 0..pairs.len() - 1 {
+            let (v, g, h) = pairs[k];
+            gl += g;
+            hl += h;
+            if v == pairs[k + 1].0 {
+                continue;
+            }
+            let hr = h_total - hl;
+            if hl < config.min_child_weight || hr < config.min_child_weight {
+                continue;
+            }
+            let gain = 0.5 * (score(gl, hl) + score(g_total - gl, hr) - parent_score) - config.gamma;
+            // With γ = 0, zero-gain splits are accepted so XOR-like
+            // interactions (zero first-order gain) remain learnable.
+            if gain > -1e-9 && best.is_none_or(|(bg, _, _)| gain > bg) {
+                best = Some((gain, f, v + (pairs[k + 1].0 - v) / 2.0));
+            }
+        }
+    }
+    let Some((_, feature, threshold)) = best else {
+        return make_leaf(nodes);
+    };
+    let (left_idx, right_idx): (Vec<u32>, Vec<u32>) = idx
+        .into_iter()
+        .partition(|&i| data.row(i as usize)[feature] <= threshold);
+    if left_idx.is_empty() || right_idx.is_empty() {
+        return make_leaf(nodes);
+    }
+    let id = nodes.len();
+    nodes.push(TreeNode::Internal {
+        feature,
+        threshold,
+        left: 0,
+        right: 0,
+        cover: h_total,
+    });
+    let l = build_gh(data, grad, hess, config, left_idx, depth + 1, nodes);
+    let r = build_gh(data, grad, hess, config, right_idx, depth + 1, nodes);
+    if let TreeNode::Internal { left, right, .. } = &mut nodes[id] {
+        *left = l;
+        *right = r;
+    }
+    id
+}
+
+impl Classifier for GradientBoost {
+    fn predict_proba(&self, x: &[f32]) -> f64 {
+        sigmoid(self.margin(x))
+    }
+}
+
+impl TreeEnsemble for GradientBoost {
+    fn weighted_trees(&self) -> Vec<(f64, &Tree)> {
+        self.trees.iter().map(|t| (self.learning_rate, t)).collect()
+    }
+
+    fn base_margin(&self) -> f64 {
+        self.base_margin
+    }
+
+    fn margin_to_proba(&self, margin: f64) -> f64 {
+        sigmoid(margin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> Dataset {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]);
+        for i in 0..200u32 {
+            let a = (i % 2) as f32;
+            let b = ((i / 2) % 2) as f32;
+            d.push(&[a, b], u8::from(a != b)).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn solves_xor() {
+        let m = GradientBoost::fit(&xor_data(), &GbdtConfig::default()).unwrap();
+        assert_eq!(m.predict(&[0.0, 0.0]), 0);
+        assert_eq!(m.predict(&[0.0, 1.0]), 1);
+        assert_eq!(m.predict(&[1.0, 0.0]), 1);
+        assert_eq!(m.predict(&[1.0, 1.0]), 0);
+    }
+
+    #[test]
+    fn margin_decomposes_over_trees() {
+        let m = GradientBoost::fit(&xor_data(), &GbdtConfig::default()).unwrap();
+        let x = [0.0f32, 1.0];
+        let manual: f64 = m.base_margin()
+            + m.weighted_trees().iter().map(|(w, t)| w * t.predict(&x)).sum::<f64>();
+        assert!((m.margin(&x) - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_rounds_reduce_training_error() {
+        let d = xor_data();
+        let short = GradientBoost::fit(
+            &d,
+            &GbdtConfig { n_estimators: 2, learning_rate: 0.1, ..Default::default() },
+        )
+        .unwrap();
+        let long = GradientBoost::fit(
+            &d,
+            &GbdtConfig { n_estimators: 60, learning_rate: 0.1, ..Default::default() },
+        )
+        .unwrap();
+        let err = |m: &GradientBoost| {
+            (0..d.len())
+                .filter(|&i| m.predict(d.row(i)) != d.label(i))
+                .count()
+        };
+        assert!(err(&long) <= err(&short));
+        assert_eq!(err(&long), 0);
+    }
+
+    #[test]
+    fn lambda_shrinks_leaves() {
+        let d = xor_data();
+        let relaxed = GradientBoost::fit(
+            &d,
+            &GbdtConfig { n_estimators: 1, lambda: 0.01, ..Default::default() },
+        )
+        .unwrap();
+        let regularized = GradientBoost::fit(
+            &d,
+            &GbdtConfig { n_estimators: 1, lambda: 100.0, ..Default::default() },
+        )
+        .unwrap();
+        let leaf_mag = |m: &GradientBoost| {
+            m.trees[0]
+                .nodes()
+                .iter()
+                .filter_map(|n| match n {
+                    TreeNode::Leaf { value, .. } => Some(value.abs()),
+                    _ => None,
+                })
+                .fold(0.0, f64::max)
+        };
+        assert!(leaf_mag(&regularized) < leaf_mag(&relaxed));
+    }
+
+    #[test]
+    fn gamma_prunes_splits() {
+        let d = xor_data();
+        let free = GradientBoost::fit(
+            &d,
+            &GbdtConfig { n_estimators: 1, gamma: 0.0, ..Default::default() },
+        )
+        .unwrap();
+        let pruned = GradientBoost::fit(
+            &d,
+            &GbdtConfig { n_estimators: 1, gamma: 1e9, ..Default::default() },
+        )
+        .unwrap();
+        assert!(pruned.trees[0].n_leaves() < free.trees[0].n_leaves());
+        assert_eq!(pruned.trees[0].n_leaves(), 1);
+    }
+
+    #[test]
+    fn rejects_degenerate_data() {
+        let empty = Dataset::new(vec!["a".into()]);
+        assert!(GradientBoost::fit(&empty, &Default::default()).is_err());
+        let mut single = Dataset::new(vec!["a".into()]);
+        single.push(&[0.0], 0).unwrap();
+        assert!(GradientBoost::fit(&single, &Default::default()).is_err());
+    }
+
+    #[test]
+    fn weighted_fit_moves_boundary() {
+        let mut d = Dataset::new(vec!["a".into()]);
+        for i in 0..80 {
+            d.push(&[(i % 8) as f32 / 10.0], 0).unwrap();
+        }
+        for i in 0..20 {
+            d.push(&[0.8 + (i % 2) as f32 / 10.0], 1).unwrap();
+        }
+        let w = d.balanced_weights().unwrap();
+        let m = GradientBoost::fit_weighted(&d, &w, &Default::default()).unwrap();
+        assert_eq!(m.predict(&[0.85]), 1);
+        assert_eq!(m.predict(&[0.2]), 0);
+    }
+
+    #[test]
+    fn base_margin_matches_prior() {
+        let mut d = Dataset::new(vec!["a".into()]);
+        for i in 0..100 {
+            // 25% positive, features carry no signal.
+            d.push(&[0.0], u8::from(i % 4 == 0)).unwrap();
+        }
+        let m = GradientBoost::fit(
+            &d,
+            &GbdtConfig { n_estimators: 0, ..Default::default() },
+        )
+        .unwrap();
+        assert!((sigmoid(m.base_margin()) - 0.25).abs() < 1e-9);
+    }
+}

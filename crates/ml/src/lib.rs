@@ -1,0 +1,117 @@
+//! From-scratch machine-learning substrate for POLARIS.
+//!
+//! The paper compares three models on the cognition dataset (Table III):
+//! Random Forest (with SMOTE oversampling), XGBoost-style gradient boosting
+//! and AdaBoost (both with weighted training), learning rate 0.01. No ML
+//! dependencies exist offline, so this crate implements them:
+//!
+//! * [`data`] — dense [`Dataset`] with stratified splitting and class
+//!   weighting.
+//! * [`tree`] — weighted CART decision trees on a shared [`Tree`]
+//!   representation that the SHAP crate can traverse.
+//! * [`forest`] — bootstrap-aggregated random forests.
+//! * [`adaboost`] — SAMME discrete AdaBoost with a learning rate.
+//! * [`gbdt`] — second-order (gradient + hessian) boosted trees with
+//!   regularized leaf weights, XGBoost style.
+//! * [`smote`] — Synthetic Minority Over-sampling TEchnique.
+//! * [`metrics`] — accuracy / precision / recall / F1 / ROC-AUC.
+//!
+//! All three classifiers expose the same [`TreeEnsemble`] interface: a
+//! weighted sum of trees in *margin space* plus a link function — exactly
+//! the shape exact TreeSHAP explains.
+//!
+//! # Example
+//!
+//! ```
+//! use polaris_ml::{Dataset, adaboost::AdaBoost, Classifier};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // XOR-ish toy problem.
+//! let mut d = Dataset::new(vec!["a".into(), "b".into()]);
+//! for i in 0..200u32 {
+//!     let a = (i % 2) as f32;
+//!     let b = ((i / 2) % 2) as f32;
+//!     d.push(&[a, b], (a != b) as u8)?;
+//! }
+//! let model = AdaBoost::fit(&d, &Default::default())?;
+//! assert_eq!(model.predict(&[1.0, 0.0]), 1);
+//! assert_eq!(model.predict(&[1.0, 1.0]), 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod adaboost;
+pub mod data;
+pub mod forest;
+pub mod gbdt;
+pub mod metrics;
+pub mod persist;
+pub mod smote;
+pub mod tree;
+
+pub use adaboost::AdaBoost;
+pub use data::{Dataset, DatasetError};
+pub use forest::RandomForest;
+pub use gbdt::GradientBoost;
+pub use tree::{DecisionTree, Tree, TreeNode};
+
+/// Binary classifier over dense `f32` feature vectors.
+pub trait Classifier {
+    /// Probability of the positive class.
+    fn predict_proba(&self, x: &[f32]) -> f64;
+
+    /// Hard label at the 0.5 threshold.
+    fn predict(&self, x: &[f32]) -> u8 {
+        u8::from(self.predict_proba(x) >= 0.5)
+    }
+}
+
+/// A model that is an additive ensemble of decision trees in margin space —
+/// the interface exact TreeSHAP consumes.
+pub trait TreeEnsemble {
+    /// The `(weight, tree)` pairs; the ensemble margin is
+    /// `base_margin + Σ weight · tree(x)`.
+    fn weighted_trees(&self) -> Vec<(f64, &Tree)>;
+
+    /// Additive bias in margin space.
+    fn base_margin(&self) -> f64;
+
+    /// Maps a margin to a positive-class probability.
+    fn margin_to_proba(&self, margin: f64) -> f64;
+
+    /// Raw margin of one sample.
+    fn margin(&self, x: &[f32]) -> f64 {
+        self.base_margin()
+            + self
+                .weighted_trees()
+                .iter()
+                .map(|(w, t)| w * t.predict(x))
+                .sum::<f64>()
+    }
+}
+
+/// Numerically-stable logistic sigmoid.
+pub fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_properties() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(40.0) > 0.999_999);
+        assert!(sigmoid(-40.0) < 1e-6);
+        // Symmetry: σ(−z) = 1 − σ(z).
+        for z in [-3.0, -0.5, 0.7, 2.2] {
+            assert!((sigmoid(-z) - (1.0 - sigmoid(z))).abs() < 1e-12);
+        }
+    }
+}

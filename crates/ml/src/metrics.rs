@@ -1,0 +1,157 @@
+//! Binary-classification metrics.
+
+/// Confusion-matrix counts at a 0.5 threshold.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Builds the matrix from hard predictions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn from_predictions(y_true: &[u8], y_pred: &[u8]) -> Self {
+        assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+        let mut c = Confusion::default();
+        for (&t, &p) in y_true.iter().zip(y_pred) {
+            match (t != 0, p != 0) {
+                (true, true) => c.tp += 1,
+                (false, true) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (true, false) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Fraction of correct predictions.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.tn + self.fn_;
+        if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+
+    /// `tp / (tp + fp)`; 0 when undefined.
+    pub fn precision(&self) -> f64 {
+        let d = self.tp + self.fp;
+        if d == 0 { 0.0 } else { self.tp as f64 / d as f64 }
+    }
+
+    /// `tp / (tp + fn)`; 0 when undefined.
+    pub fn recall(&self) -> f64 {
+        let d = self.tp + self.fn_;
+        if d == 0 { 0.0 } else { self.tp as f64 / d as f64 }
+    }
+
+    /// Harmonic mean of precision and recall; 0 when undefined.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) }
+    }
+}
+
+/// Area under the ROC curve by the rank statistic (ties handled with
+/// midranks). Returns 0.5 when one class is absent.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn roc_auc(y_true: &[u8], scores: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), scores.len(), "length mismatch");
+    let pos = y_true.iter().filter(|&&y| y != 0).count();
+    let neg = y_true.len() - pos;
+    if pos == 0 || neg == 0 {
+        return 0.5;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    // Midrank assignment.
+    let mut ranks = vec![0.0f64; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            ranks[k] = rank;
+        }
+        i = j + 1;
+    }
+    let rank_sum: f64 = y_true
+        .iter()
+        .zip(&ranks)
+        .filter(|(&y, _)| y != 0)
+        .map(|(_, &r)| r)
+        .sum();
+    (rank_sum - (pos * (pos + 1)) as f64 / 2.0) / (pos * neg) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts() {
+        let c = Confusion::from_predictions(&[1, 1, 0, 0, 1], &[1, 0, 0, 1, 1]);
+        assert_eq!(c, Confusion { tp: 2, fp: 1, tn: 1, fn_: 1 });
+        assert!((c.accuracy() - 0.6).abs() < 1e-12);
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_metrics_are_zero() {
+        let c = Confusion::default();
+        assert_eq!(c.accuracy(), 0.0);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let y = [0u8, 0, 1, 1];
+        assert!((roc_auc(&y, &[0.1, 0.2, 0.8, 0.9]) - 1.0).abs() < 1e-12);
+        assert!((roc_auc(&y, &[0.9, 0.8, 0.2, 0.1]) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        let y = [0u8, 1, 0, 1];
+        assert!((roc_auc(&y, &[0.5, 0.5, 0.5, 0.5]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_known_value() {
+        // scores: pos {0.8, 0.4}, neg {0.6, 0.2}: pairs won = (0.8>0.6, 0.8>0.2,
+        // 0.4>0.2) = 3 of 4 → AUC 0.75.
+        let y = [1u8, 0, 1, 0];
+        let s = [0.8, 0.6, 0.4, 0.2];
+        assert!((roc_auc(&y, &s) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_single_class_is_half() {
+        assert_eq!(roc_auc(&[1, 1], &[0.1, 0.9]), 0.5);
+    }
+}

@@ -1,0 +1,402 @@
+//! Plain-text model persistence.
+//!
+//! A deliberately simple line-oriented format (no binary, no external
+//! serialization crates) so trained POLARIS models can be saved, diffed and
+//! audited — explainability extends to the artifact itself. All floats are
+//! round-tripped via their shortest exact decimal representation.
+
+use std::fmt::Write as _;
+
+use crate::adaboost::AdaBoost;
+use crate::forest::RandomForest;
+use crate::gbdt::GradientBoost;
+use crate::tree::{Tree, TreeNode};
+
+/// Error raised when decoding a persisted model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PersistError {
+    /// 1-based line number of the problem (0 = structural).
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "model decode error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+fn err(line: usize, message: impl Into<String>) -> PersistError {
+    PersistError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Line-cursor over the persisted text.
+pub struct Lines<'a> {
+    iter: std::iter::Enumerate<std::str::Lines<'a>>,
+}
+
+impl<'a> Lines<'a> {
+    /// Starts reading from `text`.
+    pub fn new(text: &'a str) -> Self {
+        Lines {
+            iter: text.lines().enumerate(),
+        }
+    }
+
+    /// Next non-empty, non-comment line with its 1-based number.
+    pub fn next_line(&mut self) -> Result<(usize, &'a str), PersistError> {
+        for (i, raw) in self.iter.by_ref() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            return Ok((i + 1, line));
+        }
+        Err(err(0, "unexpected end of model text"))
+    }
+}
+
+fn parse_field<T: std::str::FromStr>(
+    line_no: usize,
+    field: Option<&str>,
+    what: &str,
+) -> Result<T, PersistError> {
+    field
+        .ok_or_else(|| err(line_no, format!("missing {what}")))?
+        .parse()
+        .map_err(|_| err(line_no, format!("malformed {what}")))
+}
+
+/// Encodes one tree.
+pub fn encode_tree(tree: &Tree, out: &mut String) {
+    let _ = writeln!(out, "tree {}", tree.nodes().len());
+    for node in tree.nodes() {
+        match node {
+            TreeNode::Leaf { value, cover } => {
+                let _ = writeln!(out, "L {value} {cover}");
+            }
+            TreeNode::Internal {
+                feature,
+                threshold,
+                left,
+                right,
+                cover,
+            } => {
+                let _ = writeln!(out, "I {feature} {threshold} {left} {right} {cover}");
+            }
+        }
+    }
+}
+
+/// Decodes one tree.
+///
+/// # Errors
+///
+/// Returns [`PersistError`] on malformed input.
+pub fn decode_tree(lines: &mut Lines<'_>) -> Result<Tree, PersistError> {
+    let (ln, header) = lines.next_line()?;
+    let mut parts = header.split_whitespace();
+    if parts.next() != Some("tree") {
+        return Err(err(ln, "expected `tree <n>` header"));
+    }
+    let n: usize = parse_field(ln, parts.next(), "node count")?;
+    if n == 0 {
+        return Err(err(ln, "tree must have at least one node"));
+    }
+    let mut nodes = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (ln, line) = lines.next_line()?;
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("L") => {
+                let value: f64 = parse_field(ln, parts.next(), "leaf value")?;
+                let cover: f64 = parse_field(ln, parts.next(), "leaf cover")?;
+                nodes.push(TreeNode::Leaf { value, cover });
+            }
+            Some("I") => {
+                let feature: usize = parse_field(ln, parts.next(), "feature")?;
+                let threshold: f32 = parse_field(ln, parts.next(), "threshold")?;
+                let left: usize = parse_field(ln, parts.next(), "left child")?;
+                let right: usize = parse_field(ln, parts.next(), "right child")?;
+                let cover: f64 = parse_field(ln, parts.next(), "cover")?;
+                if left >= n || right >= n {
+                    return Err(err(ln, "child index out of range"));
+                }
+                nodes.push(TreeNode::Internal {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    cover,
+                });
+            }
+            _ => return Err(err(ln, "expected `L` or `I` node line")),
+        }
+    }
+    Ok(Tree::from_nodes(nodes))
+}
+
+/// A weighted-tree ensemble in transit: the common denominator all three
+/// model families serialize through.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EnsembleData {
+    /// Family tag: `random_forest`, `gbdt`, or `adaboost`.
+    pub family: String,
+    /// Margin-space bias.
+    pub base_margin: f64,
+    /// `(weight, tree)` stages.
+    pub stages: Vec<(f64, Tree)>,
+}
+
+/// Encodes an ensemble.
+pub fn encode_ensemble(data: &EnsembleData) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "ensemble {} {} {}",
+        data.family,
+        data.base_margin,
+        data.stages.len()
+    );
+    for (w, tree) in &data.stages {
+        let _ = writeln!(out, "stage {w}");
+        encode_tree(tree, &mut out);
+    }
+    out
+}
+
+/// Decodes an ensemble.
+///
+/// # Errors
+///
+/// Returns [`PersistError`] on malformed input.
+pub fn decode_ensemble(lines: &mut Lines<'_>) -> Result<EnsembleData, PersistError> {
+    let (ln, header) = lines.next_line()?;
+    let mut parts = header.split_whitespace();
+    if parts.next() != Some("ensemble") {
+        return Err(err(ln, "expected `ensemble <family> <base> <n>` header"));
+    }
+    let family: String = parse_field(ln, parts.next(), "family")?;
+    let base_margin: f64 = parse_field(ln, parts.next(), "base margin")?;
+    let n: usize = parse_field(ln, parts.next(), "stage count")?;
+    let mut stages = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (ln, line) = lines.next_line()?;
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("stage") {
+            return Err(err(ln, "expected `stage <weight>`"));
+        }
+        let w: f64 = parse_field(ln, parts.next(), "stage weight")?;
+        stages.push((w, decode_tree(lines)?));
+    }
+    Ok(EnsembleData {
+        family,
+        base_margin,
+        stages,
+    })
+}
+
+impl AdaBoost {
+    /// Extracts the persistable representation.
+    pub fn to_data(&self) -> EnsembleData {
+        EnsembleData {
+            family: "adaboost".into(),
+            base_margin: 0.0,
+            stages: crate::TreeEnsemble::weighted_trees(self)
+                .into_iter()
+                .map(|(w, t)| (w, t.clone()))
+                .collect(),
+        }
+    }
+
+    /// Rebuilds from persisted data.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the family tag mismatches.
+    pub fn from_data(data: EnsembleData) -> Result<Self, PersistError> {
+        if data.family != "adaboost" {
+            return Err(err(0, format!("expected adaboost, found {}", data.family)));
+        }
+        Ok(AdaBoost::from_stages(data.stages))
+    }
+}
+
+impl GradientBoost {
+    /// Extracts the persistable representation.
+    pub fn to_data(&self) -> EnsembleData {
+        let stages = crate::TreeEnsemble::weighted_trees(self);
+        EnsembleData {
+            family: "gbdt".into(),
+            base_margin: crate::TreeEnsemble::base_margin(self),
+            stages: stages.into_iter().map(|(w, t)| (w, t.clone())).collect(),
+        }
+    }
+
+    /// Rebuilds from persisted data.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the family tag mismatches or stage weights are
+    /// inconsistent (GBDT uses one shared learning rate).
+    pub fn from_data(data: EnsembleData) -> Result<Self, PersistError> {
+        if data.family != "gbdt" {
+            return Err(err(0, format!("expected gbdt, found {}", data.family)));
+        }
+        let lr = data.stages.first().map_or(1.0, |(w, _)| *w);
+        if data.stages.iter().any(|(w, _)| (*w - lr).abs() > 1e-12) {
+            return Err(err(0, "gbdt stages must share one learning rate"));
+        }
+        Ok(GradientBoost::from_parts(
+            data.base_margin,
+            lr,
+            data.stages.into_iter().map(|(_, t)| t).collect(),
+        ))
+    }
+}
+
+impl RandomForest {
+    /// Extracts the persistable representation.
+    pub fn to_data(&self) -> EnsembleData {
+        EnsembleData {
+            family: "random_forest".into(),
+            base_margin: 0.0,
+            stages: crate::TreeEnsemble::weighted_trees(self)
+                .into_iter()
+                .map(|(w, t)| (w, t.clone()))
+                .collect(),
+        }
+    }
+
+    /// Rebuilds from persisted data.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the family tag mismatches.
+    pub fn from_data(data: EnsembleData) -> Result<Self, PersistError> {
+        if data.family != "random_forest" {
+            return Err(err(
+                0,
+                format!("expected random_forest, found {}", data.family),
+            ));
+        }
+        Ok(RandomForest::from_trees(
+            data.stages.into_iter().map(|(_, t)| t).collect(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaboost::AdaBoostConfig;
+    use crate::data::Dataset;
+    use crate::forest::ForestConfig;
+    use crate::gbdt::GbdtConfig;
+    use crate::{Classifier, TreeEnsemble};
+
+    fn xor_data() -> Dataset {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]);
+        for i in 0..200u32 {
+            let a = (i % 2) as f32;
+            let b = ((i / 2) % 2) as f32;
+            d.push(&[a, b], u8::from(a != b)).unwrap();
+        }
+        d
+    }
+
+    fn probe_points() -> Vec<[f32; 2]> {
+        vec![[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0], [0.5, 0.3]]
+    }
+
+    #[test]
+    fn tree_roundtrip() {
+        let d = xor_data();
+        let model = AdaBoost::fit(&d, &AdaBoostConfig::default()).unwrap();
+        let (_, tree) = &model.to_data().stages[0];
+        let mut text = String::new();
+        encode_tree(tree, &mut text);
+        let back = decode_tree(&mut Lines::new(&text)).unwrap();
+        assert_eq!(tree, &back);
+    }
+
+    #[test]
+    fn adaboost_roundtrip_preserves_predictions() {
+        let d = xor_data();
+        let model = AdaBoost::fit(&d, &AdaBoostConfig::default()).unwrap();
+        let text = encode_ensemble(&model.to_data());
+        let back =
+            AdaBoost::from_data(decode_ensemble(&mut Lines::new(&text)).unwrap()).unwrap();
+        for p in probe_points() {
+            assert_eq!(model.margin(&p), back.margin(&p));
+            assert_eq!(model.predict_proba(&p), back.predict_proba(&p));
+        }
+    }
+
+    #[test]
+    fn gbdt_roundtrip_preserves_predictions() {
+        let d = xor_data();
+        let model = GradientBoost::fit(&d, &GbdtConfig::default()).unwrap();
+        let text = encode_ensemble(&model.to_data());
+        let back =
+            GradientBoost::from_data(decode_ensemble(&mut Lines::new(&text)).unwrap()).unwrap();
+        for p in probe_points() {
+            assert_eq!(model.margin(&p), back.margin(&p));
+        }
+    }
+
+    #[test]
+    fn forest_roundtrip_preserves_predictions() {
+        let d = xor_data();
+        let model = RandomForest::fit(&d, &ForestConfig { n_trees: 9, ..Default::default() });
+        let text = encode_ensemble(&model.to_data());
+        let back =
+            RandomForest::from_data(decode_ensemble(&mut Lines::new(&text)).unwrap()).unwrap();
+        for p in probe_points() {
+            assert_eq!(model.predict_proba(&p), back.predict_proba(&p));
+        }
+    }
+
+    #[test]
+    fn family_mismatch_detected() {
+        let d = xor_data();
+        let model = AdaBoost::fit(&d, &AdaBoostConfig::default()).unwrap();
+        let text = encode_ensemble(&model.to_data());
+        let data = decode_ensemble(&mut Lines::new(&text)).unwrap();
+        assert!(GradientBoost::from_data(data).is_err());
+    }
+
+    #[test]
+    fn malformed_input_rejected() {
+        for bad in [
+            "",
+            "tree",
+            "tree 1\nX 1 2",
+            "tree 2\nI 0 0.5 5 9 1.0\nL 1 1",
+            "ensemble adaboost nan_count",
+        ] {
+            let mut lines = Lines::new(bad);
+            assert!(
+                decode_tree(&mut lines).is_err() || decode_ensemble(&mut Lines::new(bad)).is_err(),
+                "accepted malformed input: {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let d = xor_data();
+        let model = AdaBoost::fit(&d, &AdaBoostConfig::default()).unwrap();
+        let text = encode_ensemble(&model.to_data());
+        let commented = format!("# saved model\n\n{text}");
+        let back =
+            AdaBoost::from_data(decode_ensemble(&mut Lines::new(&commented)).unwrap()).unwrap();
+        assert_eq!(model.margin(&[1.0, 0.0]), back.margin(&[1.0, 0.0]));
+    }
+}

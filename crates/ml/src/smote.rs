@@ -1,0 +1,195 @@
+//! SMOTE — Synthetic Minority Over-sampling TEchnique (Chawla et al., JAIR
+//! 2002), the imbalance handler the paper pairs with Random Forest.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::data::{Dataset, DatasetError};
+
+/// SMOTE parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SmoteConfig {
+    /// Neighbors considered per minority sample.
+    pub k_neighbors: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SmoteConfig {
+    fn default() -> Self {
+        SmoteConfig {
+            k_neighbors: 5,
+            seed: 0,
+        }
+    }
+}
+
+/// Oversamples the minority class with synthetic interpolated samples until
+/// the classes are balanced, returning a new dataset (original rows first).
+///
+/// Each synthetic sample is `x + u · (neighbor − x)` for a uniform
+/// `u ∈ [0, 1]` and a random one of the `k` nearest minority neighbors.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::Empty`] if either class is absent (nothing to
+/// balance toward) or the dataset is empty.
+pub fn smote(data: &Dataset, config: &SmoteConfig) -> Result<Dataset, DatasetError> {
+    if data.is_empty() {
+        return Err(DatasetError::Empty);
+    }
+    let (neg, pos) = data.class_counts();
+    if neg == 0 || pos == 0 {
+        return Err(DatasetError::Empty);
+    }
+    let minority_label = u8::from(pos < neg);
+    let (n_min, n_maj) = if minority_label == 1 { (pos, neg) } else { (neg, pos) };
+    let deficit = n_maj - n_min;
+
+    let mut out = data.clone();
+    if deficit == 0 || n_min < 2 {
+        return Ok(out);
+    }
+
+    let minority: Vec<usize> = (0..data.len())
+        .filter(|&i| data.label(i) == minority_label)
+        .collect();
+
+    // k nearest minority neighbors per minority sample (Euclidean).
+    let k = config.k_neighbors.min(minority.len() - 1).max(1);
+    let mut neighbors: Vec<Vec<usize>> = Vec::with_capacity(minority.len());
+    for &i in &minority {
+        let xi = data.row(i);
+        let mut dists: Vec<(f64, usize)> = minority
+            .iter()
+            .filter(|&&j| j != i)
+            .map(|&j| {
+                let xj = data.row(j);
+                let d: f64 = xi
+                    .iter()
+                    .zip(xj)
+                    .map(|(a, b)| (f64::from(*a) - f64::from(*b)).powi(2))
+                    .sum();
+                (d, j)
+            })
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        neighbors.push(dists.into_iter().take(k).map(|(_, j)| j).collect());
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut synth_row = vec![0.0f32; data.n_features()];
+    for s in 0..deficit {
+        let mi = s % minority.len();
+        let i = minority[mi];
+        let nbrs = &neighbors[mi];
+        let j = nbrs[rng.gen_range(0..nbrs.len())];
+        let u: f32 = rng.gen();
+        for (c, slot) in synth_row.iter_mut().enumerate() {
+            let a = data.row(i)[c];
+            let b = data.row(j)[c];
+            *slot = a + u * (b - a);
+        }
+        out.push(&synth_row, minority_label)
+            .expect("widths match by construction");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn imbalanced(n_min: usize, n_maj: usize) -> Dataset {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]);
+        for i in 0..n_maj {
+            d.push(&[(i % 10) as f32, 0.0], 0).unwrap();
+        }
+        for i in 0..n_min {
+            d.push(&[5.0 + (i % 3) as f32, 10.0 + (i % 2) as f32], 1).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn balances_classes() {
+        let d = imbalanced(10, 90);
+        let s = smote(&d, &SmoteConfig::default()).unwrap();
+        let (neg, pos) = s.class_counts();
+        assert_eq!(neg, pos);
+        assert_eq!(s.len(), 180);
+    }
+
+    #[test]
+    fn synthetic_samples_lie_in_minority_hull() {
+        let d = imbalanced(10, 50);
+        let s = smote(&d, &SmoteConfig::default()).unwrap();
+        // Minority features live in a=[5,7], b=[10,11]; synthetics must too
+        // (convex combinations).
+        for i in d.len()..s.len() {
+            let r = s.row(i);
+            assert!(s.label(i) == 1);
+            assert!((5.0..=7.0).contains(&r[0]), "a = {}", r[0]);
+            assert!((10.0..=11.0).contains(&r[1]), "b = {}", r[1]);
+        }
+    }
+
+    #[test]
+    fn original_rows_preserved() {
+        let d = imbalanced(5, 20);
+        let s = smote(&d, &SmoteConfig::default()).unwrap();
+        for i in 0..d.len() {
+            assert_eq!(s.row(i), d.row(i));
+            assert_eq!(s.label(i), d.label(i));
+        }
+    }
+
+    #[test]
+    fn already_balanced_is_identity() {
+        let d = imbalanced(20, 20);
+        let s = smote(&d, &SmoteConfig::default()).unwrap();
+        assert_eq!(s.len(), d.len());
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = imbalanced(8, 40);
+        let a = smote(&d, &SmoteConfig { seed: 3, ..Default::default() }).unwrap();
+        let b = smote(&d, &SmoteConfig { seed: 3, ..Default::default() }).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_class_rejected() {
+        let mut d = Dataset::new(vec!["a".into()]);
+        d.push(&[1.0], 1).unwrap();
+        d.push(&[2.0], 1).unwrap();
+        assert!(smote(&d, &SmoteConfig::default()).is_err());
+    }
+
+    #[test]
+    fn minority_of_one_copies_nothing_weird() {
+        let mut d = Dataset::new(vec!["a".into()]);
+        for i in 0..10 {
+            d.push(&[i as f32], 0).unwrap();
+        }
+        d.push(&[100.0], 1).unwrap();
+        // n_min < 2: no neighbors to interpolate with; dataset returned as-is.
+        let s = smote(&d, &SmoteConfig::default()).unwrap();
+        assert_eq!(s.len(), d.len());
+    }
+
+    #[test]
+    fn majority_can_be_class_one() {
+        let mut d = Dataset::new(vec!["a".into()]);
+        for i in 0..30 {
+            d.push(&[i as f32], 1).unwrap();
+        }
+        for i in 0..6 {
+            d.push(&[100.0 + i as f32], 0).unwrap();
+        }
+        let s = smote(&d, &SmoteConfig::default()).unwrap();
+        let (neg, pos) = s.class_counts();
+        assert_eq!(neg, pos);
+    }
+}

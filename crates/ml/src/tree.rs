@@ -1,0 +1,435 @@
+//! Decision trees: a shared [`Tree`] representation plus a weighted CART
+//! classification builder ([`DecisionTree`]).
+//!
+//! The representation is deliberately open (features, thresholds, covers,
+//! leaf values) because exact TreeSHAP in `polaris-xai` must traverse it.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::data::Dataset;
+
+/// One node of a [`Tree`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum TreeNode {
+    /// Terminal node.
+    Leaf {
+        /// Output value (class probability or regression weight).
+        value: f64,
+        /// Total training weight that reached this node.
+        cover: f64,
+    },
+    /// Binary split: `x[feature] <= threshold` goes left.
+    Internal {
+        /// Feature column index.
+        feature: usize,
+        /// Split threshold.
+        threshold: f32,
+        /// Index of the left child in the node array.
+        left: usize,
+        /// Index of the right child in the node array.
+        right: usize,
+        /// Total training weight that reached this node.
+        cover: f64,
+    },
+}
+
+/// A binary decision tree stored as a node array with the root at index 0.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tree {
+    nodes: Vec<TreeNode>,
+}
+
+impl Tree {
+    /// Builds a tree from raw nodes (root at index 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty.
+    pub fn from_nodes(nodes: Vec<TreeNode>) -> Self {
+        assert!(!nodes.is_empty(), "tree needs at least one node");
+        Tree { nodes }
+    }
+
+    /// The node array (root at index 0).
+    pub fn nodes(&self) -> &[TreeNode] {
+        &self.nodes
+    }
+
+    /// Evaluates the tree on one sample.
+    pub fn predict(&self, x: &[f32]) -> f64 {
+        let mut i = 0usize;
+        loop {
+            match &self.nodes[i] {
+                TreeNode::Leaf { value, .. } => return *value,
+                TreeNode::Internal {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    i = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, TreeNode::Leaf { .. }))
+            .count()
+    }
+
+    /// Maximum root-to-leaf depth (root alone = 0).
+    pub fn depth(&self) -> usize {
+        fn rec(nodes: &[TreeNode], i: usize) -> usize {
+            match &nodes[i] {
+                TreeNode::Leaf { .. } => 0,
+                TreeNode::Internal { left, right, .. } => {
+                    1 + rec(nodes, *left).max(rec(nodes, *right))
+                }
+            }
+        }
+        rec(&self.nodes, 0)
+    }
+
+    /// Set of feature indices used by splits.
+    pub fn used_features(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .nodes
+            .iter()
+            .filter_map(|n| match n {
+                TreeNode::Internal { feature, .. } => Some(*feature),
+                TreeNode::Leaf { .. } => None,
+            })
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+/// Hyper-parameters for the CART builder.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TreeConfig {
+    /// Maximum depth (0 = a single leaf).
+    pub max_depth: usize,
+    /// Minimum training weight in each child after a split.
+    pub min_child_weight: f64,
+    /// Features examined per split: `None` = all, `Some(k)` = k random
+    /// (random-forest style).
+    pub feature_subsample: Option<usize>,
+    /// Seed for feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 4,
+            min_child_weight: 1e-6,
+            feature_subsample: None,
+            seed: 0,
+        }
+    }
+}
+
+/// A weighted CART classification tree (gini impurity, probability leaves).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DecisionTree {
+    tree: Tree,
+}
+
+impl DecisionTree {
+    /// Fits a tree on uniformly-weighted data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn fit(data: &Dataset, config: &TreeConfig) -> Self {
+        let w = vec![1.0; data.len()];
+        Self::fit_weighted(data, &w, config)
+    }
+
+    /// Fits a tree with per-sample weights (AdaBoost reweighting, class
+    /// balancing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or `weights.len() != data.len()`.
+    pub fn fit_weighted(data: &Dataset, weights: &[f64], config: &TreeConfig) -> Self {
+        assert!(!data.is_empty(), "cannot fit a tree on an empty dataset");
+        assert_eq!(weights.len(), data.len(), "weight/row count mismatch");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let idx: Vec<u32> = (0..data.len() as u32).collect();
+        let mut nodes = Vec::new();
+        build(data, weights, config, &mut rng, idx, 0, &mut nodes);
+        DecisionTree {
+            tree: Tree::from_nodes(nodes),
+        }
+    }
+
+    /// The underlying traversable tree.
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// Consumes self, returning the traversable tree.
+    pub fn into_tree(self) -> Tree {
+        self.tree
+    }
+
+    /// Positive-class probability for a sample.
+    pub fn predict_proba(&self, x: &[f32]) -> f64 {
+        self.tree.predict(x)
+    }
+}
+
+/// Recursively builds nodes, returning the index of the subtree root.
+fn build(
+    data: &Dataset,
+    weights: &[f64],
+    config: &TreeConfig,
+    rng: &mut StdRng,
+    idx: Vec<u32>,
+    depth: usize,
+    nodes: &mut Vec<TreeNode>,
+) -> usize {
+    let (w_total, w_pos) = idx.iter().fold((0.0f64, 0.0f64), |(wt, wp), &i| {
+        let w = weights[i as usize];
+        (wt + w, wp + w * f64::from(data.label(i as usize)))
+    });
+    let p = if w_total > 0.0 { w_pos / w_total } else { 0.0 };
+
+    let make_leaf = |nodes: &mut Vec<TreeNode>| {
+        let id = nodes.len();
+        nodes.push(TreeNode::Leaf {
+            value: p,
+            cover: w_total,
+        });
+        id
+    };
+
+    if depth >= config.max_depth || p <= 0.0 || p >= 1.0 || idx.len() < 2 {
+        return make_leaf(nodes);
+    }
+
+    let best = find_best_split(data, weights, config, rng, &idx, w_total, w_pos);
+    let Some((feature, threshold)) = best else {
+        return make_leaf(nodes);
+    };
+
+    let (left_idx, right_idx): (Vec<u32>, Vec<u32>) = idx
+        .into_iter()
+        .partition(|&i| data.row(i as usize)[feature] <= threshold);
+    if left_idx.is_empty() || right_idx.is_empty() {
+        return make_leaf(nodes);
+    }
+
+    let id = nodes.len();
+    nodes.push(TreeNode::Internal {
+        feature,
+        threshold,
+        left: 0,  // patched below
+        right: 0, // patched below
+        cover: w_total,
+    });
+    let left = build(data, weights, config, rng, left_idx, depth + 1, nodes);
+    let right = build(data, weights, config, rng, right_idx, depth + 1, nodes);
+    if let TreeNode::Internal {
+        left: l, right: r, ..
+    } = &mut nodes[id]
+    {
+        *l = left;
+        *r = right;
+    }
+    id
+}
+
+/// Finds the gini-optimal `(feature, threshold)` or `None` if no split
+/// improves impurity.
+#[allow(clippy::too_many_arguments)]
+fn find_best_split(
+    data: &Dataset,
+    weights: &[f64],
+    config: &TreeConfig,
+    rng: &mut StdRng,
+    idx: &[u32],
+    w_total: f64,
+    w_pos: f64,
+) -> Option<(usize, f32)> {
+    let gini = |wp: f64, wt: f64| -> f64 {
+        if wt <= 0.0 {
+            0.0
+        } else {
+            let p = wp / wt;
+            2.0 * p * (1.0 - p) * wt
+        }
+    };
+    let parent_impurity = gini(w_pos, w_total);
+
+    let mut features: Vec<usize> = (0..data.n_features()).collect();
+    if let Some(k) = config.feature_subsample {
+        features.shuffle(rng);
+        features.truncate(k.max(1));
+    }
+
+    let mut best: Option<(f64, usize, f32)> = None;
+    let mut pairs: Vec<(f32, f64, u8)> = Vec::with_capacity(idx.len());
+    for &f in &features {
+        pairs.clear();
+        pairs.extend(idx.iter().map(|&i| {
+            let i = i as usize;
+            (data.row(i)[f], weights[i], data.label(i))
+        }));
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut wl = 0.0f64;
+        let mut wl_pos = 0.0f64;
+        for k in 0..pairs.len() - 1 {
+            let (v, w, y) = pairs[k];
+            wl += w;
+            wl_pos += w * f64::from(y);
+            let v_next = pairs[k + 1].0;
+            if v == v_next {
+                continue;
+            }
+            let wr = w_total - wl;
+            if wl < config.min_child_weight || wr < config.min_child_weight {
+                continue;
+            }
+            let gain = parent_impurity - gini(wl_pos, wl) - gini(w_pos - wl_pos, wr);
+            // Zero-gain splits on impure nodes are accepted (as in sklearn's
+            // CART): XOR-like interactions have zero first-split gain but
+            // become separable one level down.
+            if gain > -1e-9 && best.is_none_or(|(g, _, _)| gain > g) {
+                let threshold = v + (v_next - v) / 2.0;
+                best = Some((gain, f, threshold));
+            }
+        }
+    }
+    best.map(|(_, f, t)| (f, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(rows: &[(&[f32], u8)]) -> Dataset {
+        let n = rows[0].0.len();
+        let names = (0..n).map(|i| format!("f{i}")).collect();
+        let mut d = Dataset::new(names);
+        for (row, y) in rows {
+            d.push(row, *y).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn single_split_problem() {
+        let d = dataset(&[
+            (&[0.0], 0),
+            (&[0.2], 0),
+            (&[0.8], 1),
+            (&[1.0], 1),
+        ]);
+        let t = DecisionTree::fit(&d, &TreeConfig::default());
+        assert_eq!(t.predict_proba(&[0.1]), 0.0);
+        assert_eq!(t.predict_proba(&[0.9]), 1.0);
+        assert_eq!(t.tree().depth(), 1);
+        assert_eq!(t.tree().n_leaves(), 2);
+    }
+
+    #[test]
+    fn xor_needs_depth_two() {
+        let d = dataset(&[
+            (&[0.0, 0.0], 0),
+            (&[0.0, 1.0], 1),
+            (&[1.0, 0.0], 1),
+            (&[1.0, 1.0], 0),
+        ]);
+        let shallow = DecisionTree::fit(&d, &TreeConfig { max_depth: 1, ..Default::default() });
+        // Depth 1 cannot solve XOR: at least one corner is wrong.
+        let wrong = [(0.0, 0.0, 0u8), (0.0, 1.0, 1), (1.0, 0.0, 1), (1.0, 1.0, 0)]
+            .iter()
+            .filter(|(a, b, y)| {
+                (shallow.predict_proba(&[*a as f32, *b as f32]) >= 0.5) != (*y == 1)
+            })
+            .count();
+        assert!(wrong > 0);
+        let deep = DecisionTree::fit(&d, &TreeConfig { max_depth: 3, ..Default::default() });
+        for (a, b) in [(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+            let want = (a != b) as u8;
+            let got = u8::from(deep.predict_proba(&[a as f32, b as f32]) >= 0.5);
+            assert_eq!(got, want, "xor({a},{b})");
+        }
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let d = dataset(&[(&[0.0], 1), (&[1.0], 1), (&[2.0], 1)]);
+        let t = DecisionTree::fit(&d, &TreeConfig::default());
+        assert_eq!(t.tree().n_leaves(), 1);
+        assert_eq!(t.predict_proba(&[5.0]), 1.0);
+    }
+
+    #[test]
+    fn weights_shift_the_split() {
+        // Identical features, conflicting labels: leaf probability follows
+        // the weights.
+        let d = dataset(&[(&[0.0], 1), (&[0.0], 0)]);
+        let t = DecisionTree::fit_weighted(&d, &[3.0, 1.0], &TreeConfig::default());
+        assert!((t.predict_proba(&[0.0]) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_depth_zero_gives_prior() {
+        let d = dataset(&[(&[0.0], 0), (&[1.0], 1), (&[2.0], 1), (&[3.0], 1)]);
+        let t = DecisionTree::fit(&d, &TreeConfig { max_depth: 0, ..Default::default() });
+        assert!((t.predict_proba(&[0.0]) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cover_tracks_weight() {
+        let d = dataset(&[(&[0.0], 0), (&[1.0], 1)]);
+        let t = DecisionTree::fit_weighted(&d, &[2.0, 3.0], &TreeConfig::default());
+        match &t.tree().nodes()[0] {
+            TreeNode::Internal { cover, .. } => assert!((cover - 5.0).abs() < 1e-12),
+            TreeNode::Leaf { cover, .. } => assert!((cover - 5.0).abs() < 1e-12),
+        }
+    }
+
+    #[test]
+    fn used_features_reports_split_columns() {
+        let d = dataset(&[
+            (&[0.0, 9.0], 0),
+            (&[1.0, 9.0], 1),
+        ]);
+        let t = DecisionTree::fit(&d, &TreeConfig::default());
+        assert_eq!(t.tree().used_features(), vec![0]);
+    }
+
+    #[test]
+    fn deterministic_with_subsampling() {
+        let rows: Vec<(Vec<f32>, u8)> = (0..100)
+            .map(|i| {
+                let a = (i % 7) as f32;
+                let b = (i % 3) as f32;
+                (vec![a, b, (i % 2) as f32], u8::from(a > 3.0))
+            })
+            .collect();
+        let refs: Vec<(&[f32], u8)> = rows.iter().map(|(r, y)| (r.as_slice(), *y)).collect();
+        let d = dataset(&refs);
+        let cfg = TreeConfig {
+            feature_subsample: Some(2),
+            seed: 9,
+            ..Default::default()
+        };
+        let t1 = DecisionTree::fit(&d, &cfg);
+        let t2 = DecisionTree::fit(&d, &cfg);
+        assert_eq!(t1, t2);
+    }
+}

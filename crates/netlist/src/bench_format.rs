@@ -1,0 +1,374 @@
+//! ISCAS `.bench` format support.
+//!
+//! The classic benchmark distribution format (ISCAS-85/89, used by ABC,
+//! Atalanta, HOPE, …):
+//!
+//! ```text
+//! # c17
+//! INPUT(G1)
+//! OUTPUT(G22)
+//! G10 = NAND(G1, G3)
+//! G22 = NAND(G10, G16)
+//! G5  = DFF(G4)
+//! ```
+//!
+//! Supported functions: `AND OR NAND NOR XOR XNOR NOT BUF BUFF DFF MUX
+//! CONST0 CONST1`, plus the `MASK_INPUT(...)` extension mirroring the
+//! structural-Verilog subset. Round-trips through [`write_bench`].
+
+use std::collections::HashMap;
+
+use crate::gate::{GateId, GateKind};
+use crate::netlist::Netlist;
+use crate::parser::ParseError;
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses `.bench` text into a [`Netlist`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the offending line for unknown
+/// functions, undriven signals, duplicate drivers or arity violations.
+pub fn parse_bench(src: &str) -> Result<Netlist, ParseError> {
+    struct RawGate {
+        out: String,
+        func: String,
+        ins: Vec<String>,
+        line: usize,
+    }
+    let mut inputs: Vec<(String, usize)> = Vec::new();
+    let mut mask_inputs: Vec<(String, usize)> = Vec::new();
+    let mut outputs: Vec<(String, usize)> = Vec::new();
+    let mut gates: Vec<RawGate> = Vec::new();
+    let mut name = "bench".to_string();
+
+    for (i, raw) in src.lines().enumerate() {
+        let ln = i + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            // First comment conventionally names the circuit.
+            if name == "bench" {
+                let c = comment.trim();
+                if !c.is_empty() {
+                    name = c.split_whitespace().next().unwrap_or("bench").to_string();
+                }
+            }
+            continue;
+        }
+        let directive = |prefix: &str, line: &str| -> Option<String> {
+            line.strip_prefix(prefix).and_then(|rest| {
+                let rest = rest.trim_start();
+                rest.strip_prefix('(')
+                    .and_then(|r| r.strip_suffix(')'))
+                    .map(|s| s.trim().to_string())
+            })
+        };
+        if let Some(sig) = directive("INPUT", line) {
+            inputs.push((sig, ln));
+            continue;
+        }
+        if let Some(sig) = directive("MASK_INPUT", line) {
+            mask_inputs.push((sig, ln));
+            continue;
+        }
+        if let Some(sig) = directive("OUTPUT", line) {
+            outputs.push((sig, ln));
+            continue;
+        }
+        // `out = FUNC(in, in, ...)`
+        let Some((lhs, rhs)) = line.split_once('=') else {
+            return Err(err(ln, format!("unrecognized line `{line}`")));
+        };
+        let out = lhs.trim().to_string();
+        let rhs = rhs.trim();
+        let Some(paren) = rhs.find('(') else {
+            return Err(err(ln, "expected `FUNC(args)` on right-hand side"));
+        };
+        let func = rhs[..paren].trim().to_uppercase();
+        let Some(args) = rhs[paren + 1..].strip_suffix(')') else {
+            return Err(err(ln, "missing closing parenthesis"));
+        };
+        let ins: Vec<String> = args
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        gates.push(RawGate { out, func, ins, line: ln });
+    }
+
+    let kind_of = |func: &str, line: usize| -> Result<GateKind, ParseError> {
+        Ok(match func {
+            "AND" => GateKind::And,
+            "OR" => GateKind::Or,
+            "NAND" => GateKind::Nand,
+            "NOR" => GateKind::Nor,
+            "XOR" => GateKind::Xor,
+            "XNOR" => GateKind::Xnor,
+            "NOT" | "INV" => GateKind::Not,
+            "BUF" | "BUFF" => GateKind::Buf,
+            "DFF" => GateKind::Dff,
+            "MUX" => GateKind::Mux,
+            "CONST0" => GateKind::Const0,
+            "CONST1" => GateKind::Const1,
+            other => return Err(err(line, format!("unknown function `{other}`"))),
+        })
+    };
+
+    let mut netlist = Netlist::new(name);
+    let mut driver: HashMap<String, GateId> = HashMap::new();
+    for (sig, ln) in &inputs {
+        let id = netlist.add_input(sig.clone());
+        if driver.insert(sig.clone(), id).is_some() {
+            return Err(err(*ln, format!("signal `{sig}` has two drivers")));
+        }
+    }
+    for (sig, ln) in &mask_inputs {
+        let id = netlist.add_mask_input(sig.clone());
+        if driver.insert(sig.clone(), id).is_some() {
+            return Err(err(*ln, format!("signal `{sig}` has two drivers")));
+        }
+    }
+    // Reserve ids first so feedback through DFFs resolves.
+    let mut ids = Vec::with_capacity(gates.len());
+    for g in &gates {
+        let kind = kind_of(&g.func, g.line)?;
+        let id = netlist.add_placeholder(kind, g.out.clone());
+        if driver.insert(g.out.clone(), id).is_some() {
+            return Err(err(g.line, format!("signal `{}` has two drivers", g.out)));
+        }
+        ids.push((id, kind));
+    }
+    for (g, (id, kind)) in gates.iter().zip(&ids) {
+        let mut fanin = Vec::with_capacity(g.ins.len());
+        for sig in &g.ins {
+            let Some(&d) = driver.get(sig) else {
+                return Err(err(g.line, format!("signal `{sig}` is never driven")));
+            };
+            fanin.push(d);
+        }
+        netlist
+            .replace_fanin(*id, *kind, &fanin)
+            .map_err(|e| err(g.line, e.to_string()))?;
+    }
+    for (sig, ln) in &outputs {
+        let Some(&d) = driver.get(sig) else {
+            return Err(err(*ln, format!("output `{sig}` is never driven")));
+        };
+        netlist
+            .add_output(sig.clone(), d)
+            .map_err(|e| err(*ln, e.to_string()))?;
+    }
+    netlist
+        .validate()
+        .map_err(|e| err(0, format!("invalid netlist: {e}")))?;
+    Ok(netlist)
+}
+
+/// Serializes a netlist to `.bench` text, parseable by [`parse_bench`].
+pub fn write_bench(netlist: &Netlist) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "# {}", netlist.name());
+    let sig = |id: GateId| -> String {
+        let g = netlist.gate(id);
+        if g.name().is_empty() {
+            format!("N{}", id.index())
+        } else {
+            g.name().to_string()
+        }
+    };
+    for &i in netlist.data_inputs() {
+        let _ = writeln!(s, "INPUT({})", sig(i));
+    }
+    for &i in netlist.mask_inputs() {
+        let _ = writeln!(s, "MASK_INPUT({})", sig(i));
+    }
+    for (_, d) in netlist.outputs() {
+        let _ = writeln!(s, "OUTPUT({})", sig(*d));
+    }
+    for (id, gate) in netlist.iter() {
+        if gate.kind().is_input() {
+            continue;
+        }
+        let func = match gate.kind() {
+            GateKind::And => "AND",
+            GateKind::Or => "OR",
+            GateKind::Nand => "NAND",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+            GateKind::Not => "NOT",
+            GateKind::Buf => "BUFF",
+            GateKind::Dff => "DFF",
+            GateKind::Mux => "MUX",
+            GateKind::Const0 => "CONST0",
+            GateKind::Const1 => "CONST1",
+            GateKind::Input => unreachable!("inputs skipped"),
+        };
+        let args: Vec<String> = gate.fanin().iter().map(|&f| sig(f)).collect();
+        let _ = writeln!(s, "{} = {func}({})", sig(id), args.join(", "));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C17: &str = "
+# c17
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+";
+
+    #[test]
+    fn parses_c17() {
+        let n = parse_bench(C17).unwrap();
+        assert_eq!(n.name(), "c17");
+        assert_eq!(n.stats().cells, 6);
+        assert_eq!(n.data_inputs().len(), 5);
+        assert_eq!(n.outputs().len(), 2);
+    }
+
+    #[test]
+    fn bench_matches_builtin_c17() {
+        // Same functionality as the hand-built c17 generator.
+        use polaris_sim_free_check::equivalent;
+        let a = parse_bench(C17).unwrap();
+        let b = crate::generators::iscas_c17();
+        assert!(equivalent(&a, &b));
+    }
+
+    /// Tiny combinational equivalence check via exhaustive truth tables —
+    /// test-local, no simulator dependency (netlist is below sim in the
+    /// crate graph).
+    mod polaris_sim_free_check {
+        use crate::gate::GateKind;
+        use crate::netlist::Netlist;
+
+        fn eval(n: &Netlist, assignment: u32) -> Vec<bool> {
+            let order = n.topo_order().unwrap();
+            let mut v = vec![false; n.gate_count()];
+            for (i, &id) in n.data_inputs().iter().enumerate() {
+                v[id.index()] = assignment >> i & 1 == 1;
+            }
+            for id in order {
+                let g = n.gate(id);
+                let f = |k: usize| v[g.fanin()[k].index()];
+                let all = || g.fanin().iter().map(|x| v[x.index()]);
+                v[id.index()] = match g.kind() {
+                    GateKind::Input => continue,
+                    GateKind::Const0 => false,
+                    GateKind::Const1 => true,
+                    GateKind::Buf => f(0),
+                    GateKind::Not => !f(0),
+                    GateKind::And => all().all(|x| x),
+                    GateKind::Or => all().any(|x| x),
+                    GateKind::Nand => !all().all(|x| x),
+                    GateKind::Nor => !all().any(|x| x),
+                    GateKind::Xor => all().fold(false, |a, b| a ^ b),
+                    GateKind::Xnor => !all().fold(false, |a, b| a ^ b),
+                    GateKind::Mux => {
+                        if f(0) {
+                            f(1)
+                        } else {
+                            f(2)
+                        }
+                    }
+                    GateKind::Dff => false,
+                };
+            }
+            n.outputs().iter().map(|(_, d)| v[d.index()]).collect()
+        }
+
+        pub fn equivalent(a: &Netlist, b: &Netlist) -> bool {
+            let k = a.data_inputs().len();
+            if k != b.data_inputs().len() || k > 16 {
+                return false;
+            }
+            (0..1u32 << k).all(|x| eval(a, x) == eval(b, x))
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_write_bench() {
+        let n = parse_bench(C17).unwrap();
+        let text = write_bench(&n);
+        let back = parse_bench(&text).unwrap();
+        assert_eq!(n.stats().cells, back.stats().cells);
+        assert_eq!(n.outputs().len(), back.outputs().len());
+        assert!(polaris_sim_free_check::equivalent(&n, &back));
+    }
+
+    #[test]
+    fn dff_feedback_supported() {
+        let src = "
+# counter
+OUTPUT(Q)
+Q = DFF(D)
+D = NOT(Q)
+";
+        let n = parse_bench(src).unwrap();
+        assert_eq!(n.stats().flops, 1);
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn mask_input_extension() {
+        let src = "
+INPUT(A)
+MASK_INPUT(M)
+OUTPUT(Y)
+Y = XOR(A, M)
+";
+        let n = parse_bench(src).unwrap();
+        assert_eq!(n.mask_inputs().len(), 1);
+        let text = write_bench(&n);
+        assert!(text.contains("MASK_INPUT(M)"));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let src = "INPUT(A)\nOUTPUT(Y)\nY = FROB(A)\n";
+        let e = parse_bench(src).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("FROB"));
+
+        let undriven = "OUTPUT(Y)\nY = NOT(NOPE)\n";
+        let e = parse_bench(undriven).unwrap_err();
+        assert!(e.message.contains("never driven"));
+
+        let double = "INPUT(A)\nOUTPUT(Y)\nY = NOT(A)\nY = BUFF(A)\n";
+        let e = parse_bench(double).unwrap_err();
+        assert!(e.message.contains("two drivers"));
+    }
+
+    #[test]
+    fn generated_designs_roundtrip() {
+        let d = crate::generators::des3(1, 3);
+        let text = write_bench(&d);
+        let back = parse_bench(&text).unwrap();
+        assert_eq!(d.gate_count(), back.gate_count());
+        assert_eq!(d.stats().kind_histogram, back.stats().kind_histogram);
+    }
+}

@@ -1,0 +1,305 @@
+//! Gate primitives: [`GateKind`], [`GateId`] and [`Gate`].
+
+use std::fmt;
+
+/// Identifier of a gate inside a [`crate::Netlist`].
+///
+/// Ids are dense indices assigned in insertion order; they are stable for the
+/// lifetime of the netlist (no gate is ever removed in place — rewriting
+/// passes build a new netlist instead).
+///
+/// ```
+/// use polaris_netlist::GateId;
+/// let id = GateId::new(7);
+/// assert_eq!(id.index(), 7);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GateId(u32);
+
+impl GateId {
+    /// Creates an id from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    pub fn new(index: usize) -> Self {
+        GateId(u32::try_from(index).expect("gate index overflows u32"))
+    }
+
+    /// Returns the dense index backing this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+impl fmt::Display for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// The logic function computed by a gate.
+///
+/// The alphabet matches what a post-synthesis gate-level netlist from a
+/// standard-cell flow contains, plus `Input`/`Const*` pseudo-gates so the
+/// whole design is one homogeneous graph.
+///
+/// Arity contract (checked by [`crate::Netlist::validate`]):
+///
+/// | kind | fanin count |
+/// |------|-------------|
+/// | `Input`, `Const0`, `Const1` | 0 |
+/// | `Buf`, `Not`, `Dff` | 1 |
+/// | `And`, `Or`, `Nand`, `Nor`, `Xor`, `Xnor` | ≥ 2 |
+/// | `Mux` | 3 (`sel`, `a` when sel=1, `b` when sel=0) |
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum GateKind {
+    /// Primary input (data or mask randomness).
+    Input,
+    /// Constant logic 0.
+    Const0,
+    /// Constant logic 1.
+    Const1,
+    /// Buffer (identity).
+    Buf,
+    /// Inverter.
+    Not,
+    /// N-ary AND.
+    And,
+    /// N-ary OR.
+    Or,
+    /// N-ary NAND.
+    Nand,
+    /// N-ary NOR.
+    Nor,
+    /// N-ary XOR (odd parity).
+    Xor,
+    /// N-ary XNOR (even parity).
+    Xnor,
+    /// 2:1 multiplexer: `out = sel ? a : b`.
+    Mux,
+    /// D flip-flop with an implicit global clock; fanin is `d`, the gate's
+    /// value is `q`.
+    Dff,
+}
+
+impl GateKind {
+    /// All kinds, in a fixed order used for one-hot feature encodings.
+    pub const ALL: [GateKind; 13] = [
+        GateKind::Input,
+        GateKind::Const0,
+        GateKind::Const1,
+        GateKind::Buf,
+        GateKind::Not,
+        GateKind::And,
+        GateKind::Or,
+        GateKind::Nand,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Mux,
+        GateKind::Dff,
+    ];
+
+    /// Position of this kind within [`GateKind::ALL`].
+    pub fn ordinal(self) -> usize {
+        GateKind::ALL
+            .iter()
+            .position(|k| *k == self)
+            .expect("kind listed in ALL")
+    }
+
+    /// Returns the permitted fanin arity as `(min, max)`; `max == usize::MAX`
+    /// means unbounded (n-ary gates).
+    pub fn arity(self) -> (usize, usize) {
+        match self {
+            GateKind::Input | GateKind::Const0 | GateKind::Const1 => (0, 0),
+            GateKind::Buf | GateKind::Not | GateKind::Dff => (1, 1),
+            GateKind::Mux => (3, 3),
+            GateKind::And
+            | GateKind::Or
+            | GateKind::Nand
+            | GateKind::Nor
+            | GateKind::Xor
+            | GateKind::Xnor => (2, usize::MAX),
+        }
+    }
+
+    /// True for the kinds that hold sequential state.
+    pub fn is_sequential(self) -> bool {
+        matches!(self, GateKind::Dff)
+    }
+
+    /// True for `Input` (data or mask) pseudo-gates.
+    pub fn is_input(self) -> bool {
+        matches!(self, GateKind::Input)
+    }
+
+    /// True for constant pseudo-gates.
+    pub fn is_const(self) -> bool {
+        matches!(self, GateKind::Const0 | GateKind::Const1)
+    }
+
+    /// True for real combinational logic cells (excludes inputs, constants and
+    /// flip-flops). These are the cells that consume dynamic power on a
+    /// toggle and that the masking transforms may replace.
+    pub fn is_combinational_cell(self) -> bool {
+        !self.is_input() && !self.is_const() && !self.is_sequential()
+    }
+
+    /// Keyword used in the textual netlist format.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            GateKind::Input => "input",
+            GateKind::Const0 => "const0",
+            GateKind::Const1 => "const1",
+            GateKind::Buf => "buf",
+            GateKind::Not => "not",
+            GateKind::And => "and",
+            GateKind::Or => "or",
+            GateKind::Nand => "nand",
+            GateKind::Nor => "nor",
+            GateKind::Xor => "xor",
+            GateKind::Xnor => "xnor",
+            GateKind::Mux => "mux",
+            GateKind::Dff => "dff",
+        }
+    }
+
+    /// Parses a textual keyword back into a kind.
+    ///
+    /// ```
+    /// use polaris_netlist::GateKind;
+    /// assert_eq!(GateKind::from_keyword("nand"), Some(GateKind::Nand));
+    /// assert_eq!(GateKind::from_keyword("bogus"), None);
+    /// ```
+    pub fn from_keyword(kw: &str) -> Option<Self> {
+        GateKind::ALL.iter().copied().find(|k| k.keyword() == kw)
+    }
+
+    /// Short upper-case mnemonic used in reports and extracted rules
+    /// (Table V of the paper prints e.g. `G4 = NAND`).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            GateKind::Input => "IN",
+            GateKind::Const0 => "C0",
+            GateKind::Const1 => "C1",
+            GateKind::Buf => "BUF",
+            GateKind::Not => "NOT",
+            GateKind::And => "AND",
+            GateKind::Or => "OR",
+            GateKind::Nand => "NAND",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+            GateKind::Mux => "MUX",
+            GateKind::Dff => "DFF",
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A single gate instance inside a netlist.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Gate {
+    kind: GateKind,
+    name: String,
+    fanin: Vec<GateId>,
+}
+
+impl Gate {
+    pub(crate) fn new(kind: GateKind, name: impl Into<String>, fanin: Vec<GateId>) -> Self {
+        Gate {
+            kind,
+            name: name.into(),
+            fanin,
+        }
+    }
+
+    /// The gate's logic function.
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// Instance name (unique within a parsed netlist).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Driver gates, in pin order.
+    pub fn fanin(&self) -> &[GateId] {
+        &self.fanin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_id_roundtrip() {
+        for i in [0usize, 1, 42, 1_000_000] {
+            assert_eq!(GateId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn gate_id_display_matches_debug() {
+        let id = GateId::new(9);
+        assert_eq!(format!("{id}"), "g9");
+        assert_eq!(format!("{id:?}"), "g9");
+    }
+
+    #[test]
+    fn kind_ordinal_is_position_in_all() {
+        for (i, k) in GateKind::ALL.iter().enumerate() {
+            assert_eq!(k.ordinal(), i);
+        }
+    }
+
+    #[test]
+    fn kind_keyword_roundtrip() {
+        for k in GateKind::ALL {
+            assert_eq!(GateKind::from_keyword(k.keyword()), Some(k));
+        }
+        assert_eq!(GateKind::from_keyword(""), None);
+        assert_eq!(GateKind::from_keyword("AND"), None, "keywords are lowercase");
+    }
+
+    #[test]
+    fn arity_contract() {
+        assert_eq!(GateKind::Input.arity(), (0, 0));
+        assert_eq!(GateKind::Not.arity(), (1, 1));
+        assert_eq!(GateKind::Mux.arity(), (3, 3));
+        assert_eq!(GateKind::And.arity().0, 2);
+    }
+
+    #[test]
+    fn sequential_and_cell_classification() {
+        assert!(GateKind::Dff.is_sequential());
+        assert!(!GateKind::Dff.is_combinational_cell());
+        assert!(!GateKind::Input.is_combinational_cell());
+        assert!(!GateKind::Const1.is_combinational_cell());
+        assert!(GateKind::Nand.is_combinational_cell());
+        assert!(GateKind::Xor.is_combinational_cell());
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for k in GateKind::ALL {
+            assert!(seen.insert(k.mnemonic()), "duplicate mnemonic {}", k.mnemonic());
+        }
+    }
+}

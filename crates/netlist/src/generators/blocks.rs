@@ -1,0 +1,654 @@
+//! Composable hardware blocks used by the benchmark generators.
+//!
+//! Each builder appends gates to an existing [`Netlist`] and returns the
+//! output signal ids, so generators can stitch real arithmetic and control
+//! structures together. All builders are pure functions of their inputs and
+//! the `prefix` (used for unique instance names).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::gate::{GateId, GateKind};
+use crate::netlist::Netlist;
+
+/// Returns `(sum, carry)` of a full adder over `a`, `b`, `cin`.
+pub fn full_adder(
+    n: &mut Netlist,
+    prefix: &str,
+    a: GateId,
+    b: GateId,
+    cin: GateId,
+) -> (GateId, GateId) {
+    let axb = n
+        .add_gate(GateKind::Xor, format!("{prefix}_axb"), &[a, b])
+        .expect("valid fanin");
+    let sum = n
+        .add_gate(GateKind::Xor, format!("{prefix}_sum"), &[axb, cin])
+        .expect("valid fanin");
+    let t1 = n
+        .add_gate(GateKind::And, format!("{prefix}_t1"), &[a, b])
+        .expect("valid fanin");
+    let t2 = n
+        .add_gate(GateKind::And, format!("{prefix}_t2"), &[axb, cin])
+        .expect("valid fanin");
+    let cout = n
+        .add_gate(GateKind::Or, format!("{prefix}_cout"), &[t1, t2])
+        .expect("valid fanin");
+    (sum, cout)
+}
+
+/// Ripple-carry adder; returns `(sum_bits, carry_out)`.
+///
+/// # Panics
+///
+/// Panics if `a` and `b` have different widths or are empty.
+pub fn ripple_adder(
+    n: &mut Netlist,
+    prefix: &str,
+    a: &[GateId],
+    b: &[GateId],
+    cin: Option<GateId>,
+) -> (Vec<GateId>, GateId) {
+    assert_eq!(a.len(), b.len(), "adder operand widths differ");
+    assert!(!a.is_empty(), "adder width must be nonzero");
+    let mut carry = match cin {
+        Some(c) => c,
+        None => n
+            .add_gate(GateKind::Const0, format!("{prefix}_c0"), &[])
+            .expect("const"),
+    };
+    let mut sums = Vec::with_capacity(a.len());
+    for (i, (&ai, &bi)) in a.iter().zip(b).enumerate() {
+        let (s, c) = full_adder(n, &format!("{prefix}_fa{i}"), ai, bi, carry);
+        sums.push(s);
+        carry = c;
+    }
+    (sums, carry)
+}
+
+/// Two's-complement subtractor `a - b`; returns `(diff_bits, borrow_out)`.
+pub fn ripple_subtractor(
+    n: &mut Netlist,
+    prefix: &str,
+    a: &[GateId],
+    b: &[GateId],
+) -> (Vec<GateId>, GateId) {
+    assert_eq!(a.len(), b.len());
+    let nb: Vec<GateId> = b
+        .iter()
+        .enumerate()
+        .map(|(i, &bi)| {
+            n.add_gate(GateKind::Not, format!("{prefix}_nb{i}"), &[bi])
+                .expect("valid fanin")
+        })
+        .collect();
+    let one = n
+        .add_gate(GateKind::Const1, format!("{prefix}_one"), &[])
+        .expect("const");
+    let (diff, cout) = ripple_adder(n, prefix, a, &nb, Some(one));
+    (diff, cout)
+}
+
+/// Unsigned array multiplier; returns the `2 * width` product bits.
+pub fn array_multiplier(
+    n: &mut Netlist,
+    prefix: &str,
+    a: &[GateId],
+    b: &[GateId],
+) -> Vec<GateId> {
+    assert_eq!(a.len(), b.len());
+    let w = a.len();
+    // Partial products.
+    let mut rows: Vec<Vec<GateId>> = Vec::with_capacity(w);
+    for (j, &bj) in b.iter().enumerate() {
+        let row = a
+            .iter()
+            .enumerate()
+            .map(|(i, &ai)| {
+                n.add_gate(GateKind::And, format!("{prefix}_pp{j}_{i}"), &[ai, bj])
+                    .expect("valid fanin")
+            })
+            .collect();
+        rows.push(row);
+    }
+    // Accumulate rows with shifted ripple adders.
+    let zero = n
+        .add_gate(GateKind::Const0, format!("{prefix}_z"), &[])
+        .expect("const");
+    let mut acc: Vec<GateId> = vec![zero; 2 * w];
+    for (i, bit) in rows[0].iter().enumerate() {
+        acc[i] = *bit;
+    }
+    for (j, row) in rows.iter().enumerate().skip(1) {
+        // Add row << j into acc[j .. j+w+1].
+        let addend: Vec<GateId> = row.clone();
+        let target: Vec<GateId> = acc[j..j + w].to_vec();
+        let (sum, cout) = ripple_adder(n, &format!("{prefix}_r{j}"), &target, &addend, None);
+        for (k, s) in sum.into_iter().enumerate() {
+            acc[j + k] = s;
+        }
+        acc[j + w] = cout;
+    }
+    acc
+}
+
+/// Sum-of-products S-box: `truth[k]` holds the output bits for input value
+/// `k` (bit `o` of `truth[k]` = output `o`). Returns one id per output bit.
+///
+/// This is how a logic synthesizer would realize a small LUT: a decoder of
+/// minterms feeding OR planes — exactly the structure of synthesized cipher
+/// S-boxes.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty, longer than 8, or `truth` length is not
+/// `2^inputs.len()`.
+pub fn sbox(
+    n: &mut Netlist,
+    prefix: &str,
+    inputs: &[GateId],
+    truth: &[u16],
+    out_bits: usize,
+) -> Vec<GateId> {
+    let k = inputs.len();
+    assert!((1..=8).contains(&k), "sbox supports 1..=8 inputs");
+    assert_eq!(truth.len(), 1 << k, "truth table size mismatch");
+    // Input inverters.
+    let inv: Vec<GateId> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| {
+            n.add_gate(GateKind::Not, format!("{prefix}_inv{i}"), &[x])
+                .expect("valid fanin")
+        })
+        .collect();
+    // Minterm AND planes (only the minterms actually used by some output).
+    let mut minterm: Vec<Option<GateId>> = vec![None; 1 << k];
+    let mut get_minterm = |n: &mut Netlist, m: usize| -> GateId {
+        if let Some(g) = minterm[m] {
+            return g;
+        }
+        let lits: Vec<GateId> = (0..k)
+            .map(|i| if (m >> i) & 1 == 1 { inputs[i] } else { inv[i] })
+            .collect();
+        let g = if lits.len() == 1 {
+            lits[0]
+        } else {
+            n.add_gate(GateKind::And, format!("{prefix}_m{m}"), &lits)
+                .expect("valid fanin")
+        };
+        minterm[m] = Some(g);
+        g
+    };
+    let mut outs = Vec::with_capacity(out_bits);
+    for o in 0..out_bits {
+        let terms: Vec<GateId> = (0..1usize << k)
+            .filter(|&m| (truth[m] >> o) & 1 == 1)
+            .map(|m| get_minterm(n, m))
+            .collect();
+        let out = match terms.len() {
+            0 => n
+                .add_gate(GateKind::Const0, format!("{prefix}_o{o}z"), &[])
+                .expect("const"),
+            1 => terms[0],
+            _ => n
+                .add_gate(GateKind::Or, format!("{prefix}_o{o}"), &terms)
+                .expect("valid fanin"),
+        };
+        outs.push(out);
+    }
+    outs
+}
+
+/// The AES S-box lookup table (FIPS-197).
+pub const AES_SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+/// The real 8-bit AES S-box as sum-of-products logic; returns the 8 output
+/// bits (LSB first).
+///
+/// # Panics
+///
+/// Panics if `inputs` is not exactly 8 bits wide.
+pub fn aes_sbox(n: &mut Netlist, prefix: &str, inputs: &[GateId]) -> Vec<GateId> {
+    assert_eq!(inputs.len(), 8, "AES S-box takes an 8-bit input");
+    let truth: Vec<u16> = AES_SBOX.iter().map(|&v| u16::from(v)).collect();
+    sbox(n, prefix, inputs, &truth, 8)
+}
+
+/// XORs two equal-width buses bitwise.
+pub fn xor_bus(n: &mut Netlist, prefix: &str, a: &[GateId], b: &[GateId]) -> Vec<GateId> {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .enumerate()
+        .map(|(i, (&x, &y))| {
+            n.add_gate(GateKind::Xor, format!("{prefix}_x{i}"), &[x, y])
+                .expect("valid fanin")
+        })
+        .collect()
+}
+
+/// Balanced parity (XOR) tree over `bits`; returns the single parity bit.
+///
+/// # Panics
+///
+/// Panics if `bits` is empty.
+pub fn parity_tree(n: &mut Netlist, prefix: &str, bits: &[GateId]) -> GateId {
+    assert!(!bits.is_empty());
+    let mut level: Vec<GateId> = bits.to_vec();
+    let mut c = 0usize;
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                let g = n
+                    .add_gate(GateKind::Xor, format!("{prefix}_p{c}"), pair)
+                    .expect("valid fanin");
+                c += 1;
+                next.push(g);
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+    }
+    level[0]
+}
+
+/// 3-input majority gate: `ab | bc | ac`.
+pub fn majority3(n: &mut Netlist, prefix: &str, a: GateId, b: GateId, c: GateId) -> GateId {
+    let ab = n
+        .add_gate(GateKind::And, format!("{prefix}_ab"), &[a, b])
+        .expect("valid fanin");
+    let bc = n
+        .add_gate(GateKind::And, format!("{prefix}_bc"), &[b, c])
+        .expect("valid fanin");
+    let ac = n
+        .add_gate(GateKind::And, format!("{prefix}_ac"), &[a, c])
+        .expect("valid fanin");
+    n.add_gate(GateKind::Or, format!("{prefix}_maj"), &[ab, bc, ac])
+        .expect("valid fanin")
+}
+
+/// Majority vote over an odd number of inputs, built as a tree of
+/// [`majority3`] reductions (the structure of the EPFL `voter` benchmark).
+///
+/// # Panics
+///
+/// Panics if `bits` is empty.
+pub fn majority_tree(n: &mut Netlist, prefix: &str, bits: &[GateId]) -> GateId {
+    assert!(!bits.is_empty());
+    let mut level: Vec<GateId> = bits.to_vec();
+    let mut c = 0usize;
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len() / 3 + 1);
+        let mut chunks = level.chunks(3);
+        for group in &mut chunks {
+            match group {
+                [a, b, cc] => {
+                    let g = majority3(n, &format!("{prefix}_m{c}"), *a, *b, *cc);
+                    c += 1;
+                    next.push(g);
+                }
+                [a, b] => {
+                    let g = n
+                        .add_gate(GateKind::And, format!("{prefix}_and{c}"), &[*a, *b])
+                        .expect("valid fanin");
+                    c += 1;
+                    next.push(g);
+                }
+                [a] => next.push(*a),
+                _ => unreachable!(),
+            }
+        }
+        level = next;
+    }
+    level[0]
+}
+
+/// Priority arbiter: for request lines `reqs`, grant `i` is high iff `reqs[i]`
+/// is high and no lower-indexed request is. Returns the grant lines.
+pub fn priority_arbiter(n: &mut Netlist, prefix: &str, reqs: &[GateId]) -> Vec<GateId> {
+    assert!(!reqs.is_empty());
+    let mut grants = Vec::with_capacity(reqs.len());
+    grants.push(reqs[0]);
+    // blocked[i] = OR of reqs[0..=i]
+    let mut blocked = reqs[0];
+    for (i, &r) in reqs.iter().enumerate().skip(1) {
+        let nb = n
+            .add_gate(GateKind::Not, format!("{prefix}_nb{i}"), &[blocked])
+            .expect("valid fanin");
+        let g = n
+            .add_gate(GateKind::And, format!("{prefix}_g{i}"), &[r, nb])
+            .expect("valid fanin");
+        grants.push(g);
+        blocked = n
+            .add_gate(GateKind::Or, format!("{prefix}_b{i}"), &[blocked, r])
+            .expect("valid fanin");
+    }
+    grants
+}
+
+/// `2^sel.len()`-output one-hot decoder.
+///
+/// # Panics
+///
+/// Panics if `sel` is empty or wider than 8 bits.
+pub fn decoder(n: &mut Netlist, prefix: &str, sel: &[GateId]) -> Vec<GateId> {
+    let k = sel.len();
+    assert!((1..=8).contains(&k));
+    let inv: Vec<GateId> = sel
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            n.add_gate(GateKind::Not, format!("{prefix}_i{i}"), &[s])
+                .expect("valid fanin")
+        })
+        .collect();
+    (0..1usize << k)
+        .map(|m| {
+            let lits: Vec<GateId> = (0..k)
+                .map(|i| if (m >> i) & 1 == 1 { sel[i] } else { inv[i] })
+                .collect();
+            if lits.len() == 1 {
+                lits[0]
+            } else {
+                n.add_gate(GateKind::And, format!("{prefix}_d{m}"), &lits)
+                    .expect("valid fanin")
+            }
+        })
+        .collect()
+}
+
+/// Word-level 2:1 mux: `sel ? a : b` per bit.
+pub fn mux_bus(
+    n: &mut Netlist,
+    prefix: &str,
+    sel: GateId,
+    a: &[GateId],
+    b: &[GateId],
+) -> Vec<GateId> {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .enumerate()
+        .map(|(i, (&x, &y))| {
+            n.add_gate(GateKind::Mux, format!("{prefix}_m{i}"), &[sel, x, y])
+                .expect("valid fanin")
+        })
+        .collect()
+}
+
+/// Equality comparator over two buses; returns one bit.
+pub fn equals(n: &mut Netlist, prefix: &str, a: &[GateId], b: &[GateId]) -> GateId {
+    assert_eq!(a.len(), b.len());
+    let xn: Vec<GateId> = a
+        .iter()
+        .zip(b)
+        .enumerate()
+        .map(|(i, (&x, &y))| {
+            n.add_gate(GateKind::Xnor, format!("{prefix}_e{i}"), &[x, y])
+                .expect("valid fanin")
+        })
+        .collect();
+    if xn.len() == 1 {
+        xn[0]
+    } else {
+        n.add_gate(GateKind::And, format!("{prefix}_all"), &xn)
+            .expect("valid fanin")
+    }
+}
+
+/// Fibonacci LFSR register bank of `width` bits with feedback from `taps`.
+/// Returns the state bits (DFF outputs). The LFSR free-runs from whatever
+/// reset state the simulator assigns; `seed_in` is XORed into the feedback so
+/// the state depends on a data input.
+pub fn lfsr(
+    n: &mut Netlist,
+    prefix: &str,
+    width: usize,
+    taps: &[usize],
+    seed_in: GateId,
+) -> Vec<GateId> {
+    assert!(width >= 2);
+    let state: Vec<GateId> = (0..width)
+        .map(|i| n.add_dff_placeholder(format!("{prefix}_s{i}")))
+        .collect();
+    let tap_bits: Vec<GateId> = taps.iter().map(|&t| state[t % width]).collect();
+    let mut fb = parity_tree(n, &format!("{prefix}_fb"), &tap_bits);
+    fb = n
+        .add_gate(GateKind::Xor, format!("{prefix}_fbx"), &[fb, seed_in])
+        .expect("valid fanin");
+    n.connect_dff(state[0], fb);
+    for i in 1..width {
+        n.connect_dff(state[i], state[i - 1]);
+    }
+    state
+}
+
+/// Random cloud of 2-input gates over `signals`, adding `count` gates with
+/// kinds drawn from a realistic synthesis mix. Returns the last few outputs
+/// (the "live" frontier) so callers can connect them onward.
+pub fn random_cloud(
+    n: &mut Netlist,
+    prefix: &str,
+    signals: &[GateId],
+    count: usize,
+    seed: u64,
+) -> Vec<GateId> {
+    assert!(signals.len() >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Frequency-weighted kind mix echoing post-synthesis netlists.
+    const MIX: [(GateKind, u32); 7] = [
+        (GateKind::Nand, 28),
+        (GateKind::Nor, 14),
+        (GateKind::And, 16),
+        (GateKind::Or, 12),
+        (GateKind::Xor, 12),
+        (GateKind::Xnor, 6),
+        (GateKind::Not, 12),
+    ];
+    let total: u32 = MIX.iter().map(|(_, w)| w).sum();
+    let mut pool: Vec<GateId> = signals.to_vec();
+    let mut frontier = Vec::new();
+    for i in 0..count {
+        let mut pick = rng.gen_range(0..total);
+        let kind = MIX
+            .iter()
+            .find(|(_, w)| {
+                if pick < *w {
+                    true
+                } else {
+                    pick -= w;
+                    false
+                }
+            })
+            .map(|(k, _)| *k)
+            .expect("weighted pick in range");
+        let a = pool[rng.gen_range(0..pool.len())];
+        let g = if kind == GateKind::Not {
+            n.add_gate(kind, format!("{prefix}_c{i}"), &[a])
+                .expect("valid fanin")
+        } else {
+            let mut b = pool[rng.gen_range(0..pool.len())];
+            if b == a {
+                // one re-roll to avoid degenerate g(a, a) gates dominating
+                b = pool[rng.gen_range(0..pool.len())];
+            }
+            n.add_gate(kind, format!("{prefix}_c{i}"), &[a, b])
+                .expect("valid fanin")
+        };
+        pool.push(g);
+        frontier.push(g);
+        if frontier.len() > 16 {
+            frontier.remove(0);
+        }
+    }
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh(name: &str, inputs: usize) -> (Netlist, Vec<GateId>) {
+        let mut n = Netlist::new(name);
+        let ins = (0..inputs).map(|i| n.add_input(format!("i{i}"))).collect();
+        (n, ins)
+    }
+
+    #[test]
+    fn ripple_adder_structure() {
+        let (mut n, ins) = fresh("add", 8);
+        let (sum, cout) = ripple_adder(&mut n, "a", &ins[0..4], &ins[4..8], None);
+        assert_eq!(sum.len(), 4);
+        n.add_output("c", cout).unwrap();
+        for (i, s) in sum.iter().enumerate() {
+            n.add_output(format!("s{i}"), *s).unwrap();
+        }
+        n.validate().unwrap();
+        // 4 full adders × 5 gates + const0
+        assert_eq!(n.stats().cells, 20);
+    }
+
+    #[test]
+    fn multiplier_structure() {
+        let (mut n, ins) = fresh("mul", 8);
+        let p = array_multiplier(&mut n, "m", &ins[0..4], &ins[4..8]);
+        assert_eq!(p.len(), 8);
+        for (i, b) in p.iter().enumerate() {
+            n.add_output(format!("p{i}"), *b).unwrap();
+        }
+        n.validate().unwrap();
+        assert!(n.stats().cells >= 16 + 3 * 20);
+    }
+
+    #[test]
+    fn sbox_structure() {
+        let (mut n, ins) = fresh("sb", 4);
+        // 4-in/4-out bijective-ish toy table.
+        let truth: Vec<u16> = (0..16).map(|i| ((i * 7 + 3) % 16) as u16).collect();
+        let outs = sbox(&mut n, "s", &ins, &truth, 4);
+        assert_eq!(outs.len(), 4);
+        for (i, o) in outs.iter().enumerate() {
+            n.add_output(format!("o{i}"), *o).unwrap();
+        }
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn aes_sbox_matches_fips_table() {
+        let (mut n, ins) = fresh("aes", 8);
+        let outs = aes_sbox(&mut n, "s", &ins);
+        for (i, o) in outs.iter().enumerate() {
+            n.add_output(format!("o{i}"), *o).unwrap();
+        }
+        n.validate().unwrap();
+        // Exhaustive functional check via topological evaluation.
+        let order = n.topo_order().unwrap();
+        for x in 0u32..256 {
+            let mut v = vec![false; n.gate_count()];
+            for (k, &id) in n.data_inputs().iter().enumerate() {
+                v[id.index()] = x >> k & 1 == 1;
+            }
+            for &id in &order {
+                let g = n.gate(id);
+                let vals = || g.fanin().iter().map(|f| v[f.index()]);
+                v[id.index()] = match g.kind() {
+                    crate::GateKind::Input => continue,
+                    crate::GateKind::Const0 => false,
+                    crate::GateKind::And => vals().all(|b| b),
+                    crate::GateKind::Or => vals().any(|b| b),
+                    crate::GateKind::Not => !v[g.fanin()[0].index()],
+                    other => unreachable!("unexpected {other} in sbox logic"),
+                };
+            }
+            let got = outs
+                .iter()
+                .enumerate()
+                .fold(0u32, |acc, (k, o)| acc | (u32::from(v[o.index()]) << k));
+            assert_eq!(got, u32::from(AES_SBOX[x as usize]), "S[{x:#04x}]");
+        }
+    }
+
+    #[test]
+    fn arbiter_grants_are_one_hot_shape() {
+        let (mut n, ins) = fresh("arb", 6);
+        let g = priority_arbiter(&mut n, "p", &ins);
+        assert_eq!(g.len(), 6);
+        for (i, gi) in g.iter().enumerate() {
+            n.add_output(format!("g{i}"), *gi).unwrap();
+        }
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn decoder_width() {
+        let (mut n, ins) = fresh("dec", 3);
+        let outs = decoder(&mut n, "d", &ins);
+        assert_eq!(outs.len(), 8);
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn lfsr_is_sequential_and_valid() {
+        let (mut n, ins) = fresh("l", 1);
+        let st = lfsr(&mut n, "r", 8, &[0, 3, 5], ins[0]);
+        n.add_output("o", st[7]).unwrap();
+        n.validate().unwrap();
+        assert_eq!(n.stats().flops, 8);
+    }
+
+    #[test]
+    fn majority_tree_reduces_to_one() {
+        let (mut n, ins) = fresh("v", 9);
+        let m = majority_tree(&mut n, "t", &ins);
+        n.add_output("y", m).unwrap();
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn random_cloud_is_deterministic() {
+        let (mut n1, ins1) = fresh("c1", 4);
+        random_cloud(&mut n1, "c", &ins1, 50, 7);
+        let (mut n2, ins2) = fresh("c1", 4);
+        random_cloud(&mut n2, "c", &ins2, 50, 7);
+        assert_eq!(n1, n2);
+    }
+
+    #[test]
+    fn equals_and_mux_bus() {
+        let (mut n, ins) = fresh("e", 9);
+        let e = equals(&mut n, "eq", &ins[0..4], &ins[4..8]);
+        let m = mux_bus(&mut n, "mx", e, &ins[0..4], &ins[4..8]);
+        assert_eq!(m.len(), 4);
+        n.add_output("e", e).unwrap();
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn parity_tree_single_bit_passthrough() {
+        let (mut n, ins) = fresh("p", 1);
+        let p = parity_tree(&mut n, "t", &ins);
+        assert_eq!(p, ins[0]);
+    }
+}

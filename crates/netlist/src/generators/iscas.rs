@@ -1,0 +1,241 @@
+//! ISCAS-85-like training designs.
+//!
+//! The paper trains on six ISCAS-85 benchmarks synthesized with Synopsys DC.
+//! The real netlists are unavailable offline, so we generate six small
+//! designs with the documented functional flavour and comparable gate counts
+//! of the classic suite (c432 27-channel interrupt controller, c499/c1355
+//! ECC, c880 ALU, c1908 ECC, c2670 ALU+control), built from real arithmetic
+//! and control blocks.
+
+use crate::gate::GateId;
+use crate::netlist::Netlist;
+
+use super::blocks;
+
+/// A named training design generator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TrainingDesign {
+    /// ISCAS-85-like name, e.g. `"c432"`.
+    pub name: &'static str,
+    /// Approximate cell count at `scale = 1`.
+    pub approx_cells: usize,
+}
+
+/// The six training designs used by the paper (§V-A).
+pub const TRAINING: [TrainingDesign; 6] = [
+    TrainingDesign { name: "c432", approx_cells: 190 },
+    TrainingDesign { name: "c499", approx_cells: 260 },
+    TrainingDesign { name: "c880", approx_cells: 420 },
+    TrainingDesign { name: "c1355", approx_cells: 590 },
+    TrainingDesign { name: "c1908", approx_cells: 740 },
+    TrainingDesign { name: "c2670", approx_cells: 980 },
+];
+
+/// The classic 6-gate ISCAS-85 `c17` netlist, reproduced exactly — handy as a
+/// tiny ground-truth design for tests.
+pub fn iscas_c17() -> Netlist {
+    let src = "
+module c17 (g1, g2, g3, g6, g7, g22, g23);
+  input g1, g2, g3, g6, g7;
+  output g22, g23;
+  nand n10 (g10, g1, g3);
+  nand n11 (g11, g3, g6);
+  nand n16 (g16, g2, g11);
+  nand n19 (g19, g11, g7);
+  nand n22 (g22, g10, g16);
+  nand n23 (g23, g16, g19);
+endmodule";
+    crate::parser::parse_netlist(src).expect("c17 source is valid")
+}
+
+/// Builds one of the ISCAS-85-like training designs by name.
+///
+/// `scale` multiplies the datapath widths/depths; `seed` drives the random
+/// glue-logic clouds. Returns `None` for unknown names.
+pub fn iscas_like(name: &str, scale: u32, seed: u64) -> Option<Netlist> {
+    let s = scale.max(1) as usize;
+    Some(match name {
+        "c432" => interrupt_controller("c432", 9 * s, seed),
+        "c499" => ecc_design("c499", 8 * s, seed),
+        "c880" => alu_design("c880", 8 * s, seed, false),
+        "c1355" => ecc_design("c1355", 12 * s, seed ^ 0x1355),
+        "c1908" => ecc_design("c1908", 16 * s, seed ^ 0x1908),
+        "c2670" => alu_design("c2670", 12 * s, seed ^ 0x2670, true),
+        _ => return None,
+    })
+}
+
+/// The full training suite at a given scale.
+pub fn training_suite(scale: u32, seed: u64) -> Vec<Netlist> {
+    TRAINING
+        .iter()
+        .map(|d| iscas_like(d.name, scale, seed).expect("known training design"))
+        .collect()
+}
+
+/// c432 flavour: priority/interrupt channel logic.
+fn interrupt_controller(name: &str, channels: usize, seed: u64) -> Netlist {
+    let mut n = Netlist::new(name);
+    let reqs: Vec<GateId> = (0..channels).map(|i| n.add_input(format!("req{i}"))).collect();
+    let masks: Vec<GateId> = (0..channels).map(|i| n.add_input(format!("msk{i}"))).collect();
+    let enabled: Vec<GateId> = reqs
+        .iter()
+        .zip(&masks)
+        .enumerate()
+        .map(|(i, (&r, &m))| {
+            n.add_gate(crate::GateKind::And, format!("en{i}"), &[r, m])
+                .expect("valid")
+        })
+        .collect();
+    let grants = blocks::priority_arbiter(&mut n, "arb", &enabled);
+    let any = blocks::parity_tree(&mut n, "any", &grants);
+    let cloud_in: Vec<GateId> = grants.iter().copied().chain([any]).collect();
+    let frontier = blocks::random_cloud(&mut n, "glue", &cloud_in, channels * 8, seed);
+    for (i, &g) in grants.iter().enumerate() {
+        n.add_output(format!("grant{i}"), g).expect("valid output");
+    }
+    n.add_output("any", any).expect("valid output");
+    for (i, &f) in frontier.iter().take(4).enumerate() {
+        n.add_output(format!("f{i}"), f).expect("valid output");
+    }
+    n
+}
+
+/// c499/c1355/c1908 flavour: single-error-correcting code logic (parity
+/// trees + syndrome decode + correction XORs), applied over two
+/// encode/decode stages like the expanded c1355/c1908 variants.
+fn ecc_design(name: &str, width: usize, seed: u64) -> Netlist {
+    let mut n = Netlist::new(name);
+    let data: Vec<GateId> = (0..width).map(|i| n.add_input(format!("d{i}"))).collect();
+    let chk_bits = (usize::BITS - width.leading_zeros()) as usize + 1;
+    let chk: Vec<GateId> = (0..chk_bits).map(|i| n.add_input(format!("c{i}"))).collect();
+    let mut current = data;
+    for stage in 0..2 {
+        // Syndrome: parity of data subsets XOR check bit.
+        let mut syndrome = Vec::with_capacity(chk_bits);
+        for (b, &c) in chk.iter().enumerate() {
+            let subset: Vec<GateId> = current
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| (i >> b) & 1 == 1 || b == 0)
+                .map(|(_, &g)| g)
+                .collect();
+            let subset = if subset.is_empty() { vec![current[0]] } else { subset };
+            let p = blocks::parity_tree(&mut n, &format!("st{stage}_syn{b}"), &subset);
+            let s = n
+                .add_gate(crate::GateKind::Xor, format!("st{stage}_snd{b}"), &[p, c])
+                .expect("valid");
+            syndrome.push(s);
+        }
+        // Decode syndrome to correction mask and apply.
+        let dec = blocks::decoder(
+            &mut n,
+            &format!("st{stage}_dec"),
+            &syndrome[0..syndrome.len().min(5)],
+        );
+        current = current
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| {
+                let sel = dec[i % dec.len()];
+                n.add_gate(crate::GateKind::Xor, format!("st{stage}_cor{i}"), &[d, sel])
+                    .expect("valid")
+            })
+            .collect();
+    }
+    let frontier = blocks::random_cloud(&mut n, "glue", &current, width * 10, seed);
+    for (i, &c) in current.iter().enumerate() {
+        n.add_output(format!("q{i}"), c).expect("valid output");
+    }
+    for (i, &f) in frontier.iter().take(4).enumerate() {
+        n.add_output(format!("f{i}"), f).expect("valid output");
+    }
+    n
+}
+
+/// c880/c2670 flavour: small ALU (add/sub/logic ops muxed by opcode) with
+/// optional comparator/control extras.
+fn alu_design(name: &str, width: usize, seed: u64, extras: bool) -> Netlist {
+    let mut n = Netlist::new(name);
+    let a: Vec<GateId> = (0..width).map(|i| n.add_input(format!("a{i}"))).collect();
+    let b: Vec<GateId> = (0..width).map(|i| n.add_input(format!("b{i}"))).collect();
+    let op0 = n.add_input("op0");
+    let op1 = n.add_input("op1");
+    let (sum, _c) = blocks::ripple_adder(&mut n, "add", &a, &b, None);
+    let (diff, _bo) = blocks::ripple_subtractor(&mut n, "sub", &a, &b);
+    let andv: Vec<GateId> = a
+        .iter()
+        .zip(&b)
+        .enumerate()
+        .map(|(i, (&x, &y))| {
+            n.add_gate(crate::GateKind::And, format!("la{i}"), &[x, y])
+                .expect("valid")
+        })
+        .collect();
+    let xorv = blocks::xor_bus(&mut n, "lx", &a, &b);
+    let m0 = blocks::mux_bus(&mut n, "m0", op0, &sum, &diff);
+    let m1 = blocks::mux_bus(&mut n, "m1", op0, &andv, &xorv);
+    let res = blocks::mux_bus(&mut n, "m2", op1, &m0, &m1);
+    let mut sinks = res.clone();
+    if extras {
+        let eq = blocks::equals(&mut n, "eq", &a, &b);
+        let grants = blocks::priority_arbiter(&mut n, "pri", &res[0..width.min(8)]);
+        sinks.push(eq);
+        sinks.extend(&grants);
+        n.add_output("eq", eq).expect("valid output");
+    }
+    let frontier = blocks::random_cloud(&mut n, "glue", &sinks, width * 10, seed);
+    for (i, &r) in res.iter().enumerate() {
+        n.add_output(format!("r{i}"), r).expect("valid output");
+    }
+    for (i, &f) in frontier.iter().take(4).enumerate() {
+        n.add_output(format!("f{i}"), f).expect("valid output");
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c17_matches_published_structure() {
+        let n = iscas_c17();
+        assert_eq!(n.stats().cells, 6);
+        assert_eq!(n.data_inputs().len(), 5);
+        assert_eq!(n.outputs().len(), 2);
+    }
+
+    #[test]
+    fn all_training_designs_build_and_validate() {
+        for d in TRAINING {
+            let n = iscas_like(d.name, 1, 99).unwrap();
+            n.validate().unwrap_or_else(|e| panic!("{}: {e}", d.name));
+            assert!(
+                n.stats().cells >= d.approx_cells / 3,
+                "{} too small: {} cells",
+                d.name,
+                n.stats().cells
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_name_returns_none() {
+        assert!(iscas_like("c9999", 1, 0).is_none());
+    }
+
+    #[test]
+    fn training_suite_is_deterministic() {
+        let a = training_suite(1, 5);
+        let b = training_suite(1, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scale_grows_designs() {
+        let small = iscas_like("c880", 1, 1).unwrap();
+        let large = iscas_like("c880", 2, 1).unwrap();
+        assert!(large.stats().cells > small.stats().cells);
+    }
+}

@@ -1,0 +1,32 @@
+//! Deterministic synthetic benchmark generators.
+//!
+//! The paper trains POLARIS on six ISCAS-85 designs and evaluates on eleven
+//! larger designs from the EPFL combinational suite and MIT-CEP. Those
+//! netlist files (and the Synopsys DC synthesis flow that produced the
+//! gate-level versions) are not available offline, so this module provides
+//! *generators*: deterministic functions that build structurally realistic
+//! gate-level netlists from composable arithmetic/control blocks — real
+//! ripple adders, array multipliers, S-box sum-of-products logic, priority
+//! arbiters, majority voters, FSMs — sized to echo the originals.
+//!
+//! Every generator takes a `scale` factor (1 = laptop-friendly; larger values
+//! approach paper-scale gate counts) and is seeded, so netlists are
+//! reproducible bit-for-bit.
+//!
+//! ```
+//! use polaris_netlist::generators;
+//!
+//! let d = generators::des3(1, 42);
+//! assert!(d.gate_count() > 100);
+//! d.validate().expect("generators emit valid netlists");
+//! ```
+
+pub mod blocks;
+mod iscas;
+mod suite;
+
+pub use iscas::{iscas_c17, iscas_like, training_suite, TrainingDesign};
+pub use suite::{
+    aes_round, arbiter, by_name, des3, div, evaluation_suite, log2, md5, memctrl, multiplier,
+    sin, sqrt, square, voter, EVALUATION_NAMES,
+};

@@ -1,0 +1,237 @@
+//! Graph utilities over a [`Netlist`]: undirected adjacency, BFS locality
+//! neighborhoods (the `L`-neighborhood POLARIS extracts structural features
+//! from), and connectivity queries.
+
+use std::collections::HashSet;
+
+use crate::gate::GateId;
+use crate::netlist::Netlist;
+
+/// The ordered BFS neighborhood of a gate.
+///
+/// Slot 0 is always the center gate itself; slots `1..=l` are the first `l`
+/// gates discovered by a deterministic breadth-first search over the
+/// *undirected* gate graph (fanins before fanouts, each sorted by id).
+/// If the component is exhausted before `l` neighbors are found the
+/// remaining slots are `None`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Locality {
+    slots: Vec<Option<GateId>>,
+}
+
+impl Locality {
+    /// Total number of slots, including the center gate.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The gate occupying `slot`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= slot_count()`.
+    pub fn slot(&self, slot: usize) -> Option<GateId> {
+        self.slots[slot]
+    }
+
+    /// The center gate (slot 0).
+    pub fn center(&self) -> GateId {
+        self.slots[0].expect("slot 0 always holds the center gate")
+    }
+
+    /// Iterates over the slots in order.
+    pub fn iter(&self) -> impl Iterator<Item = Option<GateId>> + '_ {
+        self.slots.iter().copied()
+    }
+
+    /// Number of populated slots (center included).
+    pub fn populated(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+/// Precomputed adjacency over a netlist for fast repeated locality queries.
+///
+/// # Example
+///
+/// ```
+/// use polaris_netlist::{GateKind, GraphView, Netlist};
+/// # fn main() -> Result<(), polaris_netlist::NetlistError> {
+/// let mut n = Netlist::new("t");
+/// let a = n.add_input("a");
+/// let b = n.add_input("b");
+/// let g = n.add_gate(GateKind::Nand, "g", &[a, b])?;
+/// n.add_output("y", g)?;
+/// let view = GraphView::new(&n);
+/// let loc = view.locality(g, 2);
+/// assert_eq!(loc.center(), g);
+/// assert_eq!(loc.populated(), 3); // g, a, b
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphView {
+    fanins: Vec<Vec<GateId>>,
+    fanouts: Vec<Vec<GateId>>,
+}
+
+impl GraphView {
+    /// Builds the adjacency for `netlist`.
+    pub fn new(netlist: &Netlist) -> Self {
+        let mut fanins = Vec::with_capacity(netlist.gate_count());
+        for (_, g) in netlist.iter() {
+            fanins.push(g.fanin().to_vec());
+        }
+        let mut fanouts = netlist.fanouts();
+        for f in &mut fanouts {
+            f.sort_unstable();
+            f.dedup();
+        }
+        GraphView { fanins, fanouts }
+    }
+
+    /// Number of gates in the underlying netlist.
+    pub fn gate_count(&self) -> usize {
+        self.fanins.len()
+    }
+
+    /// Drivers of `id` in pin order.
+    pub fn fanin(&self, id: GateId) -> &[GateId] {
+        &self.fanins[id.index()]
+    }
+
+    /// Readers of `id`, sorted by id.
+    pub fn fanout(&self, id: GateId) -> &[GateId] {
+        &self.fanouts[id.index()]
+    }
+
+    /// True if `a` drives `b` or `b` drives `a` (undirected adjacency).
+    pub fn connected(&self, a: GateId, b: GateId) -> bool {
+        self.fanins[b.index()].contains(&a) || self.fanins[a.index()].contains(&b)
+    }
+
+    /// Deterministic BFS locality of `center`: up to `l` neighbors,
+    /// fanins-before-fanouts, ties broken by gate id.
+    ///
+    /// This is the neighborhood POLARIS vectorizes into structural features
+    /// (paper §IV-A: "Breadth-first search (BFS) is employed to explore
+    /// neighboring gates (Locality L)").
+    pub fn locality(&self, center: GateId, l: usize) -> Locality {
+        let mut slots = Vec::with_capacity(l + 1);
+        slots.push(Some(center));
+        let mut seen: HashSet<GateId> = HashSet::with_capacity(l + 1);
+        seen.insert(center);
+        let mut frontier = vec![center];
+        'outer: while !frontier.is_empty() && slots.len() < l + 1 {
+            let mut next = Vec::new();
+            for &g in &frontier {
+                // Fanins first (pin order), then fanouts (id order): a fixed,
+                // documented traversal so feature vectors are reproducible.
+                let fi = self.fanins[g.index()].iter();
+                let fo = self.fanouts[g.index()].iter();
+                for &nb in fi.chain(fo) {
+                    if seen.insert(nb) {
+                        slots.push(Some(nb));
+                        next.push(nb);
+                        if slots.len() == l + 1 {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            frontier = next;
+        }
+        while slots.len() < l + 1 {
+            slots.push(None);
+        }
+        Locality { slots }
+    }
+
+    /// Degree (fanin + fanout count) of a gate.
+    pub fn degree(&self, id: GateId) -> usize {
+        self.fanins[id.index()].len() + self.fanouts[id.index()].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+
+    /// Chain: a -> n1 -> n2 -> n3, plus b feeding n2.
+    fn chain() -> (Netlist, Vec<GateId>) {
+        let mut n = Netlist::new("chain");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let n1 = n.add_gate(GateKind::Not, "n1", &[a]).unwrap();
+        let n2 = n.add_gate(GateKind::And, "n2", &[n1, b]).unwrap();
+        let n3 = n.add_gate(GateKind::Not, "n3", &[n2]).unwrap();
+        n.add_output("y", n3).unwrap();
+        (n, vec![a, b, n1, n2, n3])
+    }
+
+    #[test]
+    fn locality_orders_fanin_before_fanout() {
+        let (n, ids) = chain();
+        let view = GraphView::new(&n);
+        let loc = view.locality(ids[3], 4); // center = n2
+        assert_eq!(loc.center(), ids[3]);
+        // BFS ring 1 of n2: fanins [n1, b] then fanouts [n3].
+        assert_eq!(loc.slot(1), Some(ids[2]));
+        assert_eq!(loc.slot(2), Some(ids[1]));
+        assert_eq!(loc.slot(3), Some(ids[4]));
+        // ring 2: neighbor of n1 = a.
+        assert_eq!(loc.slot(4), Some(ids[0]));
+    }
+
+    #[test]
+    fn locality_pads_with_none() {
+        let (n, ids) = chain();
+        let view = GraphView::new(&n);
+        let loc = view.locality(ids[0], 10);
+        assert_eq!(loc.slot_count(), 11);
+        assert_eq!(loc.populated(), 5, "whole component reachable");
+        assert_eq!(loc.slot(10), None);
+    }
+
+    #[test]
+    fn locality_never_repeats_gates() {
+        let (n, ids) = chain();
+        let view = GraphView::new(&n);
+        let loc = view.locality(ids[3], 8);
+        let mut seen = std::collections::HashSet::new();
+        for s in loc.iter().flatten() {
+            assert!(seen.insert(s), "gate {s} appeared twice");
+        }
+    }
+
+    #[test]
+    fn connected_is_symmetric() {
+        let (n, ids) = chain();
+        let view = GraphView::new(&n);
+        for &x in &ids {
+            for &y in &ids {
+                assert_eq!(view.connected(x, y), view.connected(y, x));
+            }
+        }
+        assert!(view.connected(ids[0], ids[2]));
+        assert!(!view.connected(ids[0], ids[4]));
+    }
+
+    #[test]
+    fn degree_counts_both_directions() {
+        let (n, ids) = chain();
+        let view = GraphView::new(&n);
+        assert_eq!(view.degree(ids[3]), 3); // n2: fanins n1,b + fanout n3
+        assert_eq!(view.degree(ids[0]), 1); // a: fanout n1
+    }
+
+    #[test]
+    fn zero_locality_is_center_only() {
+        let (n, ids) = chain();
+        let view = GraphView::new(&n);
+        let loc = view.locality(ids[3], 0);
+        assert_eq!(loc.slot_count(), 1);
+        assert_eq!(loc.center(), ids[3]);
+    }
+}

@@ -1,0 +1,513 @@
+//! Textual netlist format: a small structural-Verilog subset.
+//!
+//! The grammar (whitespace-insensitive, `//` line comments):
+//!
+//! ```text
+//! module <name> ( <port> [, <port>]* ) ;
+//!   input  a, b, c ;
+//!   mask_input m0, m1 ;           // extension: mask randomness ports
+//!   output y, z ;
+//!   wire   w1, w2 ;               // optional, informational only
+//!   <kind> <inst> ( <out> , <in>* ) ;
+//!   ...
+//! endmodule
+//! ```
+//!
+//! `<kind>` is one of `buf not and or nand nor xor xnor mux dff const0
+//! const1`. The first terminal of an instance is the driven wire; the rest
+//! are inputs. `mux` pin order is `(out, sel, a, b)` computing
+//! `out = sel ? a : b`; `dff` is `(q, d)` with an implicit global clock.
+//!
+//! # Example
+//!
+//! ```
+//! use polaris_netlist::{parse_netlist, write_netlist};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let src = "
+//! module ha (a, b, s, c);
+//!   input a, b;
+//!   output s, c;
+//!   xor x1 (s, a, b);
+//!   and a1 (c, a, b);
+//! endmodule";
+//! let n = parse_netlist(src)?;
+//! let text = write_netlist(&n);
+//! let n2 = parse_netlist(&text)?;
+//! // The writer adds one buffer per output port, otherwise structure is kept.
+//! assert_eq!(n2.gate_count(), n.gate_count() + n.outputs().len());
+//! assert_eq!(n2.outputs().len(), n.outputs().len());
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::gate::{GateId, GateKind};
+use crate::netlist::Netlist;
+
+/// Error produced when parsing a textual netlist.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending token (0 when unknown).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Token {
+    text: String,
+    line: usize,
+}
+
+fn tokenize(src: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = lineno + 1;
+        let code = match raw.find("//") {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        let mut cur = String::new();
+        for ch in code.chars() {
+            if ch.is_alphanumeric() || ch == '_' || ch == '$' || ch == '.' {
+                cur.push(ch);
+            } else {
+                if !cur.is_empty() {
+                    tokens.push(Token {
+                        text: std::mem::take(&mut cur),
+                        line,
+                    });
+                }
+                if !ch.is_whitespace() {
+                    tokens.push(Token {
+                        text: ch.to_string(),
+                        line,
+                    });
+                }
+            }
+        }
+        if !cur.is_empty() {
+            tokens.push(Token { text: cur, line });
+        }
+    }
+    tokens
+}
+
+struct Cursor {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, text: &str) -> Result<Token, ParseError> {
+        match self.next() {
+            Some(t) if t.text == text => Ok(t),
+            Some(t) => Err(err(t.line, format!("expected `{text}`, found `{}`", t.text))),
+            None => Err(err(0, format!("expected `{text}`, found end of input"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<Token, ParseError> {
+        match self.next() {
+            Some(t)
+                if t.text
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_') =>
+            {
+                Ok(t)
+            }
+            Some(t) => Err(err(t.line, format!("expected identifier, found `{}`", t.text))),
+            None => Err(err(0, "expected identifier, found end of input")),
+        }
+    }
+
+    /// Parses `name [, name]* ;` and returns the names.
+    fn name_list(&mut self) -> Result<Vec<Token>, ParseError> {
+        let mut names = vec![self.ident()?];
+        loop {
+            match self.next() {
+                Some(t) if t.text == "," => names.push(self.ident()?),
+                Some(t) if t.text == ";" => return Ok(names),
+                Some(t) => {
+                    return Err(err(t.line, format!("expected `,` or `;`, found `{}`", t.text)))
+                }
+                None => return Err(err(0, "unterminated declaration")),
+            }
+        }
+    }
+}
+
+/// Intermediate instance record before wire resolution.
+struct RawInstance {
+    kind: GateKind,
+    name: String,
+    out: String,
+    ins: Vec<String>,
+    line: usize,
+}
+
+/// Parses the textual format into a [`Netlist`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntactic or semantic
+/// problem (unknown gate kind, undriven wire, duplicate driver, …). The
+/// resulting netlist is additionally passed through
+/// [`Netlist::validate`][crate::Netlist::validate].
+pub fn parse_netlist(src: &str) -> Result<Netlist, ParseError> {
+    let mut cur = Cursor {
+        tokens: tokenize(src),
+        pos: 0,
+    };
+    cur.expect("module")?;
+    let mod_name = cur.ident()?;
+    cur.expect("(")?;
+    // Port list (names only; direction comes from the declarations below).
+    loop {
+        match cur.next() {
+            Some(t) if t.text == ")" => break,
+            Some(t) if t.text == "," => continue,
+            Some(t)
+                if t.text
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_') => {}
+            Some(t) => return Err(err(t.line, format!("unexpected `{}` in port list", t.text))),
+            None => return Err(err(0, "unterminated port list")),
+        }
+    }
+    cur.expect(";")?;
+
+    let mut inputs: Vec<Token> = Vec::new();
+    let mut mask_inputs: Vec<Token> = Vec::new();
+    let mut outputs: Vec<Token> = Vec::new();
+    let mut instances: Vec<RawInstance> = Vec::new();
+
+    loop {
+        let Some(tok) = cur.next() else {
+            return Err(err(0, "missing `endmodule`"));
+        };
+        match tok.text.as_str() {
+            "endmodule" => break,
+            "input" => inputs.extend(cur.name_list()?),
+            "mask_input" => mask_inputs.extend(cur.name_list()?),
+            "output" => outputs.extend(cur.name_list()?),
+            "wire" => {
+                cur.name_list()?; // informational; wires are inferred from use
+            }
+            kw => {
+                let Some(kind) = GateKind::from_keyword(kw) else {
+                    return Err(err(tok.line, format!("unknown gate kind `{kw}`")));
+                };
+                if kind == GateKind::Input {
+                    return Err(err(tok.line, "`input` cannot be instantiated"));
+                }
+                let inst = cur.ident()?;
+                cur.expect("(")?;
+                let out = cur.ident()?;
+                let mut ins = Vec::new();
+                loop {
+                    match cur.next() {
+                        Some(t) if t.text == "," => ins.push(cur.ident()?.text),
+                        Some(t) if t.text == ")" => break,
+                        Some(t) => {
+                            return Err(err(
+                                t.line,
+                                format!("expected `,` or `)`, found `{}`", t.text),
+                            ))
+                        }
+                        None => return Err(err(0, "unterminated instance")),
+                    }
+                }
+                cur.expect(";")?;
+                instances.push(RawInstance {
+                    kind,
+                    name: inst.text,
+                    out: out.text,
+                    ins,
+                    line: tok.line,
+                });
+            }
+        }
+    }
+
+    // Wire resolution: every wire has exactly one driver (an input port or an
+    // instance output).
+    let mut netlist = Netlist::new(mod_name.text);
+    let mut driver: HashMap<String, GateId> = HashMap::new();
+    for t in &inputs {
+        let id = netlist.add_input(t.text.clone());
+        if driver.insert(t.text.clone(), id).is_some() {
+            return Err(err(t.line, format!("wire `{}` has two drivers", t.text)));
+        }
+    }
+    for t in &mask_inputs {
+        let id = netlist.add_mask_input(t.text.clone());
+        if driver.insert(t.text.clone(), id).is_some() {
+            return Err(err(t.line, format!("wire `{}` has two drivers", t.text)));
+        }
+    }
+
+    // Two passes: first reserve ids for every instance output (so feedback
+    // through dffs resolves), then connect fanins.
+    let mut inst_ids: Vec<GateId> = Vec::with_capacity(instances.len());
+    for inst in &instances {
+        let id = netlist.add_placeholder(inst.kind, inst.name.clone());
+        inst_ids.push(id);
+        if driver.insert(inst.out.clone(), id).is_some() {
+            return Err(err(inst.line, format!("wire `{}` has two drivers", inst.out)));
+        }
+    }
+    for (inst, &id) in instances.iter().zip(&inst_ids) {
+        if inst.kind.is_const() {
+            if !inst.ins.is_empty() {
+                return Err(err(inst.line, "constants take no inputs"));
+            }
+            continue;
+        }
+        let mut fanin = Vec::with_capacity(inst.ins.len());
+        for w in &inst.ins {
+            let Some(&d) = driver.get(w) else {
+                return Err(err(inst.line, format!("wire `{w}` is never driven")));
+            };
+            fanin.push(d);
+        }
+        netlist
+            .replace_fanin(id, inst.kind, &fanin)
+            .map_err(|e| err(inst.line, e.to_string()))?;
+    }
+    for t in &outputs {
+        let Some(&d) = driver.get(&t.text) else {
+            return Err(err(t.line, format!("output `{}` is never driven", t.text)));
+        };
+        netlist
+            .add_output(t.text.clone(), d)
+            .map_err(|e| err(t.line, e.to_string()))?;
+    }
+
+    netlist
+        .validate()
+        .map_err(|e| err(0, format!("invalid netlist: {e}")))?;
+    Ok(netlist)
+}
+
+/// Serializes a netlist back to the textual format accepted by
+/// [`parse_netlist`].
+///
+/// Gate instance names are used as the driven wire names (`<name>` drives
+/// wire `n_<id>` when the instance name is empty).
+pub fn write_netlist(netlist: &Netlist) -> String {
+    use std::fmt::Write as _;
+
+    let mut wire_name: Vec<String> = Vec::with_capacity(netlist.gate_count());
+    for (id, gate) in netlist.iter() {
+        if gate.name().is_empty() {
+            wire_name.push(format!("n_{}", id.index()));
+        } else {
+            wire_name.push(gate.name().to_string());
+        }
+    }
+
+    let mut s = String::new();
+    let mut ports: Vec<String> = Vec::new();
+    for &i in netlist.data_inputs() {
+        ports.push(wire_name[i.index()].clone());
+    }
+    for &i in netlist.mask_inputs() {
+        ports.push(wire_name[i.index()].clone());
+    }
+    for (p, _) in netlist.outputs() {
+        ports.push(format!("{p}_po"));
+    }
+    let _ = writeln!(s, "module {} ({});", netlist.name(), ports.join(", "));
+
+    let fmt_list = |ids: &[GateId]| -> String {
+        ids.iter()
+            .map(|i| wire_name[i.index()].clone())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    if !netlist.data_inputs().is_empty() {
+        let _ = writeln!(s, "  input {};", fmt_list(netlist.data_inputs()));
+    }
+    if !netlist.mask_inputs().is_empty() {
+        let _ = writeln!(s, "  mask_input {};", fmt_list(netlist.mask_inputs()));
+    }
+    if !netlist.outputs().is_empty() {
+        let outs: Vec<String> = netlist
+            .outputs()
+            .iter()
+            .map(|(p, _)| format!("{p}_po"))
+            .collect();
+        let _ = writeln!(s, "  output {};", outs.join(", "));
+    }
+    for (id, gate) in netlist.iter() {
+        if gate.kind().is_input() {
+            continue;
+        }
+        let out = &wire_name[id.index()];
+        if gate.fanin().is_empty() {
+            let _ = writeln!(s, "  {} i_{} ({});", gate.kind().keyword(), id.index(), out);
+        } else {
+            let _ = writeln!(
+                s,
+                "  {} i_{} ({}, {});",
+                gate.kind().keyword(),
+                id.index(),
+                out,
+                fmt_list(gate.fanin())
+            );
+        }
+    }
+    // Output ports are emitted as buffers so the port wire has a driver.
+    for (p, d) in netlist.outputs() {
+        let _ = writeln!(s, "  buf o_{p} ({p}_po, {});", wire_name[d.index()]);
+    }
+    s.push_str("endmodule\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+
+    const HA: &str = "
+// half adder
+module ha (a, b, s, c);
+  input a, b;
+  output s, c;
+  wire w0;
+  xor x1 (s, a, b);
+  and a1 (c, a, b);
+endmodule";
+
+    #[test]
+    fn parses_half_adder() {
+        let n = parse_netlist(HA).unwrap();
+        assert_eq!(n.name(), "ha");
+        assert_eq!(n.gate_count(), 4);
+        assert_eq!(n.outputs().len(), 2);
+        assert_eq!(n.stats().cells, 2);
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let n = parse_netlist(HA).unwrap();
+        let text = write_netlist(&n);
+        let n2 = parse_netlist(&text).unwrap();
+        // The writer adds one buf per output port.
+        assert_eq!(n2.gate_count(), n.gate_count() + n.outputs().len());
+        assert_eq!(n2.outputs().len(), n.outputs().len());
+        assert_eq!(n2.data_inputs().len(), n.data_inputs().len());
+    }
+
+    #[test]
+    fn mask_inputs_roundtrip() {
+        let src = "
+module m (a, m0, y);
+  input a;
+  mask_input m0;
+  output y;
+  xor g (y, a, m0);
+endmodule";
+        let n = parse_netlist(src).unwrap();
+        assert_eq!(n.mask_inputs().len(), 1);
+        let n2 = parse_netlist(&write_netlist(&n)).unwrap();
+        assert_eq!(n2.mask_inputs().len(), 1);
+    }
+
+    #[test]
+    fn dff_feedback_parses() {
+        let src = "
+module c (y);
+  output y;
+  dff r (q, d);
+  not n1 (d, q);
+  buf b1 (y, q);
+endmodule";
+        let n = parse_netlist(src).unwrap();
+        assert!(!n.is_combinational());
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let src = "module m (y); output y; frob g (y); endmodule";
+        let e = parse_netlist(src).unwrap_err();
+        assert!(e.message.contains("unknown gate kind"));
+    }
+
+    #[test]
+    fn undriven_wire_rejected() {
+        let src = "module m (y); output y; not g (y, nothere); endmodule";
+        let e = parse_netlist(src).unwrap_err();
+        assert!(e.message.contains("never driven"));
+    }
+
+    #[test]
+    fn double_driver_rejected() {
+        let src = "
+module m (a, y);
+  input a;
+  output y;
+  not g1 (y, a);
+  buf g2 (y, a);
+endmodule";
+        let e = parse_netlist(src).unwrap_err();
+        assert!(e.message.contains("two drivers"));
+    }
+
+    #[test]
+    fn mux_and_const_parse() {
+        let src = "
+module m (s, a, y);
+  input s, a;
+  output y;
+  const1 k (one);
+  mux g (y, s, a, one);
+endmodule";
+        let n = parse_netlist(src).unwrap();
+        let mux = n
+            .iter()
+            .find(|(_, g)| g.kind() == GateKind::Mux)
+            .map(|(id, _)| id)
+            .unwrap();
+        assert_eq!(n.gate(mux).fanin().len(), 3);
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let src = "module m (y);\n output y;\n frob g (y);\nendmodule";
+        let e = parse_netlist(src).unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+}

@@ -1,0 +1,644 @@
+//! Generic netlist rewriting passes.
+//!
+//! * [`decompose`] — lowers n-ary gates to 2-input trees and muxes to
+//!   AND/OR/NOT, producing the normalized alphabet the masking transforms
+//!   operate on.
+//! * [`sweep_dead`] — removes gates that reach no output (keeps inputs).
+//! * [`RebuildMap`] — id mapping returned by the passes so callers can track
+//!   gates across a rewrite (per-gate leakage attribution needs this).
+
+use std::collections::HashMap;
+
+use crate::gate::{GateId, GateKind};
+use crate::netlist::{Netlist, NetlistError};
+
+/// Mapping from gate ids in the original netlist to gate ids in a rewritten
+/// netlist.
+///
+/// A single original gate may expand to several new gates; `representative`
+/// maps it to the new gate computing its original output value, and `group`
+/// lists every new gate materialized on its behalf (for leakage/overhead
+/// attribution).
+#[derive(Clone, Debug, Default)]
+pub struct RebuildMap {
+    representative: HashMap<GateId, GateId>,
+    group: HashMap<GateId, Vec<GateId>>,
+}
+
+impl RebuildMap {
+    /// Records that `old` is now computed by `new`, with `extras` being any
+    /// additional gates created for it.
+    pub fn record(&mut self, old: GateId, new: GateId, extras: Vec<GateId>) {
+        self.representative.insert(old, new);
+        let mut g = extras;
+        g.push(new);
+        self.group.insert(old, g);
+    }
+
+    /// The new gate computing the original output of `old`.
+    pub fn representative(&self, old: GateId) -> Option<GateId> {
+        self.representative.get(&old).copied()
+    }
+
+    /// All new gates materialized for `old` (representative included).
+    pub fn group(&self, old: GateId) -> &[GateId] {
+        self.group.get(&old).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Number of mapped original gates.
+    pub fn len(&self) -> usize {
+        self.representative.len()
+    }
+
+    /// True if no gates are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.representative.is_empty()
+    }
+}
+
+/// Lowers every n-ary (>2 input) gate into a balanced tree of 2-input gates
+/// and every mux into AND/OR/NOT, leaving the rest untouched.
+///
+/// The output netlist uses only the alphabet
+/// `{Input, Const0, Const1, Buf, Not, And, Or, Nand, Nor, Xor, Xnor, Dff}`
+/// with all logic gates having exactly 1 or 2 inputs — the normal form the
+/// Trichina masking transform expects.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from netlist construction (cannot happen for a
+/// valid input netlist).
+pub fn decompose(netlist: &Netlist) -> Result<(Netlist, RebuildMap), NetlistError> {
+    let mut out = Netlist::new(netlist.name().to_string());
+    let mut map = RebuildMap::default();
+    let mut new_id: HashMap<GateId, GateId> = HashMap::with_capacity(netlist.gate_count());
+
+    // Reserve dffs first so feedback resolves, mirroring the parser.
+    let order = netlist.topo_order()?;
+    for (old_id, gate) in netlist.iter() {
+        if gate.kind() == GateKind::Dff {
+            let id = out.add_dff_placeholder(gate.name().to_string());
+            new_id.insert(old_id, id);
+            map.record(old_id, id, Vec::new());
+        }
+    }
+    let data_inputs: std::collections::HashSet<GateId> =
+        netlist.data_inputs().iter().copied().collect();
+
+    for old_id in order {
+        let gate = netlist.gate(old_id);
+        if gate.kind() == GateKind::Dff {
+            continue; // connected below
+        }
+        let fanin: Vec<GateId> = gate.fanin().iter().map(|f| new_id[f]).collect();
+        let (rep, extras) = lower_gate(&mut out, gate.kind(), gate.name(), &fanin, old_id, {
+            if gate.kind().is_input() {
+                Some(data_inputs.contains(&old_id))
+            } else {
+                None
+            }
+        })?;
+        new_id.insert(old_id, rep);
+        map.record(old_id, rep, extras);
+    }
+    for (old_id, gate) in netlist.iter() {
+        if gate.kind() == GateKind::Dff {
+            out.connect_dff(new_id[&old_id], new_id[&gate.fanin()[0]]);
+        }
+    }
+    for (port, driver) in netlist.outputs() {
+        out.add_output(port.clone(), new_id[driver])?;
+    }
+    out.validate()?;
+    Ok((out, map))
+}
+
+/// Emits the lowered form of one gate; returns `(representative, extras)`.
+fn lower_gate(
+    out: &mut Netlist,
+    kind: GateKind,
+    name: &str,
+    fanin: &[GateId],
+    old_id: GateId,
+    input_is_data: Option<bool>,
+) -> Result<(GateId, Vec<GateId>), NetlistError> {
+    let uniq = |suffix: &str| format!("{name}_{suffix}_{}", old_id.index());
+    match kind {
+        GateKind::Input => {
+            let id = if input_is_data == Some(false) {
+                out.add_mask_input(name.to_string())
+            } else {
+                out.add_input(name.to_string())
+            };
+            Ok((id, Vec::new()))
+        }
+        GateKind::Const0 | GateKind::Const1 => {
+            Ok((out.add_gate(kind, name.to_string(), &[])?, Vec::new()))
+        }
+        GateKind::Buf | GateKind::Not => {
+            Ok((out.add_gate(kind, name.to_string(), fanin)?, Vec::new()))
+        }
+        GateKind::Mux => {
+            // out = (sel & a) | (!sel & b)
+            let sel = fanin[0];
+            let a = fanin[1];
+            let b = fanin[2];
+            let ns = out.add_gate(GateKind::Not, uniq("muxn"), &[sel])?;
+            let t1 = out.add_gate(GateKind::And, uniq("muxa"), &[sel, a])?;
+            let t2 = out.add_gate(GateKind::And, uniq("muxb"), &[ns, b])?;
+            let rep = out.add_gate(GateKind::Or, name.to_string(), &[t1, t2])?;
+            Ok((rep, vec![ns, t1, t2]))
+        }
+        GateKind::And | GateKind::Or | GateKind::Xor => {
+            if fanin.len() == 2 {
+                return Ok((out.add_gate(kind, name.to_string(), fanin)?, Vec::new()));
+            }
+            let (rep, extras) = reduce_tree(out, kind, name, fanin, old_id)?;
+            Ok((rep, extras))
+        }
+        GateKind::Nand | GateKind::Nor | GateKind::Xnor => {
+            if fanin.len() == 2 {
+                return Ok((out.add_gate(kind, name.to_string(), fanin)?, Vec::new()));
+            }
+            // n-ary inverting gate = tree of the positive kind + inverter.
+            let pos = match kind {
+                GateKind::Nand => GateKind::And,
+                GateKind::Nor => GateKind::Or,
+                GateKind::Xnor => GateKind::Xor,
+                _ => unreachable!(),
+            };
+            let (tree, mut extras) = reduce_tree(out, pos, &uniq("pos"), fanin, old_id)?;
+            extras.push(tree);
+            let rep = out.add_gate(GateKind::Not, name.to_string(), &[tree])?;
+            Ok((rep, extras))
+        }
+        GateKind::Dff => unreachable!("dffs handled by caller"),
+    }
+}
+
+/// Builds a balanced binary tree of `kind` over `leaves`.
+fn reduce_tree(
+    out: &mut Netlist,
+    kind: GateKind,
+    name: &str,
+    leaves: &[GateId],
+    old_id: GateId,
+) -> Result<(GateId, Vec<GateId>), NetlistError> {
+    debug_assert!(leaves.len() >= 2);
+    let mut level: Vec<GateId> = leaves.to_vec();
+    let mut extras = Vec::new();
+    let mut counter = 0usize;
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        let mut it = level.chunks(2);
+        for pair in &mut it {
+            if pair.len() == 2 {
+                let is_root = level.len() == 2;
+                let gname = if is_root {
+                    name.to_string()
+                } else {
+                    format!("{name}_t{counter}_{}", old_id.index())
+                };
+                counter += 1;
+                let g = out.add_gate(kind, gname, pair)?;
+                if !is_root {
+                    extras.push(g);
+                }
+                next.push(g);
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+    }
+    let rep = level[0];
+    Ok((rep, extras))
+}
+
+/// Constant-propagation and local simplification.
+///
+/// Folds gates whose inputs are known constants, absorbs identity/annihilator
+/// operands (`AND(x, 1) → BUF(x)`, `AND(x, 0) → CONST0`, `XOR(x, 1) →
+/// NOT(x)`, mux with a known select, …) and rewrites the netlist. Constants
+/// are *not* propagated through flip-flops (their reset state is a runtime
+/// property). Run [`sweep_dead`] afterwards to drop the orphaned logic.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from reconstruction.
+pub fn propagate_constants(netlist: &Netlist) -> Result<(Netlist, RebuildMap), NetlistError> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Value {
+        Known(bool),
+        Unknown,
+    }
+
+    let mut out = Netlist::new(netlist.name().to_string());
+    let mut map = RebuildMap::default();
+    let mut new_id: HashMap<GateId, GateId> = HashMap::with_capacity(netlist.gate_count());
+    let mut value: Vec<Value> = vec![Value::Unknown; netlist.gate_count()];
+    let data_inputs: std::collections::HashSet<GateId> =
+        netlist.data_inputs().iter().copied().collect();
+
+    // Reserve flip-flops (opaque to constant propagation).
+    for (old, gate) in netlist.iter() {
+        if gate.kind() == GateKind::Dff {
+            let id = out.add_dff_placeholder(gate.name().to_string());
+            new_id.insert(old, id);
+            map.record(old, id, Vec::new());
+        }
+    }
+
+    // Emit a constant gate in `out`, reusing one per polarity.
+    let mut const_cache: [Option<GateId>; 2] = [None, None];
+    let mut emit_const = |out: &mut Netlist, v: bool, hint: &str| -> GateId {
+        let slot = usize::from(v);
+        if let Some(id) = const_cache[slot] {
+            return id;
+        }
+        let kind = if v { GateKind::Const1 } else { GateKind::Const0 };
+        let id = out
+            .add_gate(kind, format!("fold_{hint}_{}", u8::from(v)), &[])
+            .expect("constants are always valid");
+        const_cache[slot] = Some(id);
+        id
+    };
+
+    for old in netlist.topo_order()? {
+        let gate = netlist.gate(old);
+        match gate.kind() {
+            GateKind::Dff => continue,
+            GateKind::Input => {
+                let id = if data_inputs.contains(&old) {
+                    out.add_input(gate.name().to_string())
+                } else {
+                    out.add_mask_input(gate.name().to_string())
+                };
+                new_id.insert(old, id);
+                map.record(old, id, Vec::new());
+                continue;
+            }
+            GateKind::Const0 | GateKind::Const1 => {
+                value[old.index()] = Value::Known(gate.kind() == GateKind::Const1);
+                let id = emit_const(&mut out, gate.kind() == GateKind::Const1, gate.name());
+                new_id.insert(old, id);
+                map.record(old, id, Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+
+        // Partition fanins into known constants and live signals.
+        let kinds = gate.kind();
+        let fanin_vals: Vec<Value> = gate.fanin().iter().map(|f| value[f.index()]).collect();
+        let live: Vec<GateId> = gate
+            .fanin()
+            .iter()
+            .zip(&fanin_vals)
+            .filter(|(_, v)| **v == Value::Unknown)
+            .map(|(f, _)| new_id[f])
+            .collect();
+        let consts: Vec<bool> = fanin_vals
+            .iter()
+            .filter_map(|v| match v {
+                Value::Known(b) => Some(*b),
+                Value::Unknown => None,
+            })
+            .collect();
+
+        // Decide the folded form.
+        enum Fold {
+            Const(bool),
+            Wire(GateId, bool /*invert*/),
+            Gate(GateKind, Vec<GateId>, bool /*invert*/),
+        }
+        let fold = match kinds {
+            GateKind::Buf | GateKind::Not => {
+                let invert = kinds == GateKind::Not;
+                match fanin_vals[0] {
+                    Value::Known(b) => Fold::Const(b ^ invert),
+                    Value::Unknown => Fold::Wire(live[0], invert),
+                }
+            }
+            GateKind::And | GateKind::Nand => {
+                let invert = kinds == GateKind::Nand;
+                if consts.iter().any(|&b| !b) {
+                    Fold::Const(invert)
+                } else if live.is_empty() {
+                    Fold::Const(!invert)
+                } else if live.len() == 1 {
+                    Fold::Wire(live[0], invert)
+                } else {
+                    Fold::Gate(GateKind::And, live, invert)
+                }
+            }
+            GateKind::Or | GateKind::Nor => {
+                let invert = kinds == GateKind::Nor;
+                if consts.contains(&true) {
+                    Fold::Const(!invert)
+                } else if live.is_empty() {
+                    Fold::Const(invert)
+                } else if live.len() == 1 {
+                    Fold::Wire(live[0], invert)
+                } else {
+                    Fold::Gate(GateKind::Or, live, invert)
+                }
+            }
+            GateKind::Xor | GateKind::Xnor => {
+                let mut invert = kinds == GateKind::Xnor;
+                invert ^= consts.iter().filter(|&&b| b).count() % 2 == 1;
+                if live.is_empty() {
+                    Fold::Const(invert)
+                } else if live.len() == 1 {
+                    Fold::Wire(live[0], invert)
+                } else {
+                    Fold::Gate(GateKind::Xor, live, invert)
+                }
+            }
+            GateKind::Mux => match fanin_vals[0] {
+                Value::Known(sel) => {
+                    let pick = if sel { 1 } else { 2 };
+                    match fanin_vals[pick] {
+                        Value::Known(b) => Fold::Const(b),
+                        Value::Unknown => Fold::Wire(new_id[&gate.fanin()[pick]], false),
+                    }
+                }
+                Value::Unknown => match (fanin_vals[1], fanin_vals[2]) {
+                    (Value::Known(a), Value::Known(b)) if a == b => Fold::Const(a),
+                    _ => Fold::Gate(
+                        GateKind::Mux,
+                        gate.fanin().iter().map(|f| new_id[f]).collect(),
+                        false,
+                    ),
+                },
+            },
+            GateKind::Input | GateKind::Const0 | GateKind::Const1 | GateKind::Dff => {
+                unreachable!("handled above")
+            }
+        };
+
+        let (rep, extras) = match fold {
+            Fold::Const(b) => {
+                value[old.index()] = Value::Known(b);
+                (emit_const(&mut out, b, gate.name()), Vec::new())
+            }
+            Fold::Wire(w, false) => (w, Vec::new()),
+            Fold::Wire(w, true) => (
+                out.add_gate(GateKind::Not, gate.name().to_string(), &[w])?,
+                Vec::new(),
+            ),
+            Fold::Gate(kind, fanin, invert) => {
+                // Inversion folds into the native inverted kind.
+                let final_kind = match (kind, invert) {
+                    (GateKind::And, true) => GateKind::Nand,
+                    (GateKind::Or, true) => GateKind::Nor,
+                    (GateKind::Xor, true) => GateKind::Xnor,
+                    (k, _) => k,
+                };
+                (
+                    out.add_gate(final_kind, gate.name().to_string(), &fanin)?,
+                    Vec::new(),
+                )
+            }
+        };
+        new_id.insert(old, rep);
+        map.record(old, rep, extras);
+    }
+    for (old, gate) in netlist.iter() {
+        if gate.kind() == GateKind::Dff {
+            out.connect_dff(new_id[&old], new_id[&gate.fanin()[0]]);
+        }
+    }
+    for (port, driver) in netlist.outputs() {
+        out.add_output(port.clone(), new_id[driver])?;
+    }
+    out.validate()?;
+    Ok((out, map))
+}
+
+/// Removes gates that cannot reach any primary output. Inputs (data and
+/// mask) are always kept so the port interface is stable.
+///
+/// Returns the swept netlist and the id mapping for surviving gates.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from reconstruction.
+pub fn sweep_dead(netlist: &Netlist) -> Result<(Netlist, RebuildMap), NetlistError> {
+    let n = netlist.gate_count();
+    let mut live = vec![false; n];
+    let mut stack: Vec<GateId> = netlist.outputs().iter().map(|(_, d)| *d).collect();
+    while let Some(id) = stack.pop() {
+        if std::mem::replace(&mut live[id.index()], true) {
+            continue;
+        }
+        for &f in netlist.gate(id).fanin() {
+            if !live[f.index()] {
+                stack.push(f);
+            }
+        }
+    }
+    for &i in netlist.data_inputs().iter().chain(netlist.mask_inputs()) {
+        live[i.index()] = true;
+    }
+
+    let mut out = Netlist::new(netlist.name().to_string());
+    let mut map = RebuildMap::default();
+    let mut new_id: HashMap<GateId, GateId> = HashMap::new();
+    for (old, gate) in netlist.iter() {
+        if live[old.index()] && gate.kind() == GateKind::Dff {
+            let id = out.add_dff_placeholder(gate.name().to_string());
+            new_id.insert(old, id);
+            map.record(old, id, Vec::new());
+        }
+    }
+    let data_inputs: std::collections::HashSet<GateId> =
+        netlist.data_inputs().iter().copied().collect();
+    for old in netlist.topo_order()? {
+        if !live[old.index()] {
+            continue;
+        }
+        let gate = netlist.gate(old);
+        match gate.kind() {
+            GateKind::Dff => continue,
+            GateKind::Input => {
+                let id = if data_inputs.contains(&old) {
+                    out.add_input(gate.name().to_string())
+                } else {
+                    out.add_mask_input(gate.name().to_string())
+                };
+                new_id.insert(old, id);
+                map.record(old, id, Vec::new());
+            }
+            _ => {
+                let fanin: Vec<GateId> = gate.fanin().iter().map(|f| new_id[f]).collect();
+                let id = out.add_gate(gate.kind(), gate.name().to_string(), &fanin)?;
+                new_id.insert(old, id);
+                map.record(old, id, Vec::new());
+            }
+        }
+    }
+    for (old, gate) in netlist.iter() {
+        if live[old.index()] && gate.kind() == GateKind::Dff {
+            out.connect_dff(new_id[&old], new_id[&gate.fanin()[0]]);
+        }
+    }
+    for (port, driver) in netlist.outputs() {
+        out.add_output(port.clone(), new_id[driver])?;
+    }
+    out.validate()?;
+    Ok((out, map))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decompose_lowers_wide_and() {
+        let mut n = Netlist::new("w");
+        let ins: Vec<GateId> = (0..5).map(|i| n.add_input(format!("i{i}"))).collect();
+        let g = n.add_gate(GateKind::And, "g", &ins).unwrap();
+        n.add_output("y", g).unwrap();
+        let (d, map) = decompose(&n).unwrap();
+        for (_, gate) in d.iter() {
+            if gate.kind().is_combinational_cell() {
+                assert!(gate.fanin().len() <= 2);
+            }
+        }
+        assert!(map.representative(g).is_some());
+        assert!(!map.group(g).is_empty());
+    }
+
+    #[test]
+    fn decompose_lowers_mux() {
+        let mut n = Netlist::new("m");
+        let s = n.add_input("s");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_gate(GateKind::Mux, "g", &[s, a, b]).unwrap();
+        n.add_output("y", g).unwrap();
+        let (d, _) = decompose(&n).unwrap();
+        assert!(d.iter().all(|(_, g)| g.kind() != GateKind::Mux));
+        d.validate().unwrap();
+    }
+
+    #[test]
+    fn decompose_preserves_dff_feedback() {
+        let mut n = Netlist::new("c");
+        let q = n.add_dff_placeholder("q");
+        let d = n.add_gate(GateKind::Not, "d", &[q]).unwrap();
+        n.connect_dff(q, d);
+        n.add_output("y", q).unwrap();
+        let (dec, _) = decompose(&n).unwrap();
+        dec.validate().unwrap();
+        assert_eq!(dec.stats().flops, 1);
+    }
+
+    #[test]
+    fn decompose_nary_inverting_gates() {
+        let mut n = Netlist::new("w");
+        let ins: Vec<GateId> = (0..4).map(|i| n.add_input(format!("i{i}"))).collect();
+        let g = n.add_gate(GateKind::Nand, "g", &ins).unwrap();
+        n.add_output("y", g).unwrap();
+        let (d, map) = decompose(&n).unwrap();
+        let rep = map.representative(g).unwrap();
+        assert_eq!(d.gate(rep).kind(), GateKind::Not, "root of lowered nand is an inverter");
+    }
+
+    #[test]
+    fn constants_fold_through_logic() {
+        // y = AND(a, CONST1) → BUF(a); z = OR(b, CONST1) → CONST1;
+        // w = XOR(a, CONST1) → NOT(a).
+        let mut n = Netlist::new("cp");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let one = n.add_gate(GateKind::Const1, "one", &[]).unwrap();
+        let y = n.add_gate(GateKind::And, "y", &[a, one]).unwrap();
+        let z = n.add_gate(GateKind::Or, "z", &[b, one]).unwrap();
+        let w = n.add_gate(GateKind::Xor, "w", &[a, one]).unwrap();
+        n.add_output("y", y).unwrap();
+        n.add_output("z", z).unwrap();
+        n.add_output("w", w).unwrap();
+        let (f, map) = propagate_constants(&n).unwrap();
+        // y folded to the input wire itself.
+        assert_eq!(map.representative(y), map.representative(a));
+        // z folded to a constant-1 gate.
+        let zr = map.representative(z).unwrap();
+        assert_eq!(f.gate(zr).kind(), GateKind::Const1);
+        // w folded to an inverter.
+        let wr = map.representative(w).unwrap();
+        assert_eq!(f.gate(wr).kind(), GateKind::Not);
+    }
+
+    #[test]
+    fn mux_with_known_select_folds() {
+        let mut n = Netlist::new("cp");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let zero = n.add_gate(GateKind::Const0, "z", &[]).unwrap();
+        let m = n.add_gate(GateKind::Mux, "m", &[zero, a, b]).unwrap();
+        n.add_output("y", m).unwrap();
+        let (_, map) = propagate_constants(&n).unwrap();
+        // sel = 0 picks the `b` branch.
+        assert_eq!(map.representative(m), map.representative(b));
+    }
+
+    #[test]
+    fn full_constant_cone_collapses() {
+        let mut n = Netlist::new("cp");
+        let one = n.add_gate(GateKind::Const1, "one", &[]).unwrap();
+        let zero = n.add_gate(GateKind::Const0, "zero", &[]).unwrap();
+        let g1 = n.add_gate(GateKind::Nand, "g1", &[one, zero]).unwrap(); // 1
+        let g2 = n.add_gate(GateKind::Xor, "g2", &[g1, one]).unwrap(); // 0
+        n.add_output("y", g2).unwrap();
+        let (f, map) = propagate_constants(&n).unwrap();
+        let rep = map.representative(g2).unwrap();
+        assert_eq!(f.gate(rep).kind(), GateKind::Const0);
+    }
+
+    #[test]
+    fn propagation_preserves_function_and_dffs() {
+        // Mixed design with feedback: fold must not touch dff semantics.
+        let mut n = Netlist::new("cp");
+        let a = n.add_input("a");
+        let one = n.add_gate(GateKind::Const1, "one", &[]).unwrap();
+        let q = n.add_dff_placeholder("q");
+        let nx = n.add_gate(GateKind::Xor, "nx", &[q, one]).unwrap(); // = NOT q
+        n.connect_dff(q, nx);
+        let y = n.add_gate(GateKind::And, "y", &[a, q]).unwrap();
+        n.add_output("y", y).unwrap();
+        let (f, _) = propagate_constants(&n).unwrap();
+        f.validate().unwrap();
+        assert_eq!(f.stats().flops, 1);
+        // The xor-with-1 became an inverter feeding the dff.
+        assert!(f.iter().any(|(_, g)| g.kind() == GateKind::Not));
+    }
+
+    #[test]
+    fn sweep_removes_unreachable() {
+        let mut n = Netlist::new("s");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let used = n.add_gate(GateKind::Not, "used", &[a]).unwrap();
+        let _dead = n.add_gate(GateKind::And, "dead", &[a, b]).unwrap();
+        n.add_output("y", used).unwrap();
+        let (s, map) = sweep_dead(&n).unwrap();
+        assert_eq!(s.stats().cells, 1);
+        assert!(map.representative(used).is_some());
+        // Inputs survive even if dead.
+        assert_eq!(s.data_inputs().len(), 2);
+    }
+
+    #[test]
+    fn sweep_keeps_dff_loops_reaching_outputs() {
+        let mut n = Netlist::new("c");
+        let q = n.add_dff_placeholder("q");
+        let d = n.add_gate(GateKind::Not, "d", &[q]).unwrap();
+        n.connect_dff(q, d);
+        n.add_output("y", q).unwrap();
+        let (s, _) = sweep_dead(&n).unwrap();
+        assert_eq!(s.stats().flops, 1);
+        assert_eq!(s.stats().cells, 1);
+    }
+}

@@ -1,0 +1,439 @@
+//! Bit-parallel levelized logic simulation.
+
+use polaris_netlist::{GateId, GateKind, Netlist, NetlistError};
+
+/// Signal state for one 64-lane batch: one `u64` word per gate, with the
+/// flip-flop states held separately so a clock edge is an explicit commit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimState {
+    /// Current value word of every gate (lane `i` = trace `i`).
+    values: Vec<u64>,
+    /// State word of every flip-flop, indexed like `values`.
+    dff_state: Vec<u64>,
+}
+
+impl SimState {
+    /// Value word of a gate.
+    pub fn value(&self, id: GateId) -> u64 {
+        self.values[id.index()]
+    }
+
+    /// All value words, indexed by gate id.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+}
+
+/// A compiled, levelized simulator for one netlist.
+///
+/// Construction topologically sorts the combinational logic once; every
+/// [`Simulator::eval`] then visits gates in that fixed order, evaluating all
+/// 64 lanes of a batch per visit.
+#[derive(Clone, Debug)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    order: Vec<GateId>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Compiles a simulator for `netlist`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the design has
+    /// combinational feedback.
+    pub fn new(netlist: &'a Netlist) -> Result<Self, NetlistError> {
+        let order = netlist.topo_order()?;
+        Ok(Simulator { netlist, order })
+    }
+
+    /// The netlist this simulator was compiled for.
+    pub fn netlist(&self) -> &'a Netlist {
+        self.netlist
+    }
+
+    /// Creates an all-zero state (flip-flops reset to 0).
+    pub fn zero_state(&self) -> SimState {
+        SimState {
+            values: vec![0; self.netlist.gate_count()],
+            dff_state: vec![0; self.netlist.gate_count()],
+        }
+    }
+
+    /// Settles the combinational logic for the given input words.
+    ///
+    /// `data` and `mask` are lane words for the data and mask inputs, in
+    /// declaration order. Flip-flop outputs present their current state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices do not match the input counts of the netlist.
+    pub fn eval(&self, state: &mut SimState, data: &[u64], mask: &[u64]) {
+        let nl = self.netlist;
+        assert_eq!(data.len(), nl.data_inputs().len(), "data input width mismatch");
+        assert_eq!(mask.len(), nl.mask_inputs().len(), "mask input width mismatch");
+        for (&id, &w) in nl.data_inputs().iter().zip(data) {
+            state.values[id.index()] = w;
+        }
+        for (&id, &w) in nl.mask_inputs().iter().zip(mask) {
+            state.values[id.index()] = w;
+        }
+        for &id in &self.order {
+            let gate = nl.gate(id);
+            let i = id.index();
+            let v = match gate.kind() {
+                GateKind::Input => continue, // already assigned
+                GateKind::Dff => {
+                    state.values[i] = state.dff_state[i];
+                    continue;
+                }
+                GateKind::Const0 => 0,
+                GateKind::Const1 => !0u64,
+                GateKind::Buf => state.values[gate.fanin()[0].index()],
+                GateKind::Not => !state.values[gate.fanin()[0].index()],
+                GateKind::And => fold(state, gate.fanin(), !0u64, |a, b| a & b),
+                GateKind::Or => fold(state, gate.fanin(), 0, |a, b| a | b),
+                GateKind::Nand => !fold(state, gate.fanin(), !0u64, |a, b| a & b),
+                GateKind::Nor => !fold(state, gate.fanin(), 0, |a, b| a | b),
+                GateKind::Xor => fold(state, gate.fanin(), 0, |a, b| a ^ b),
+                GateKind::Xnor => !fold(state, gate.fanin(), 0, |a, b| a ^ b),
+                GateKind::Mux => {
+                    let s = state.values[gate.fanin()[0].index()];
+                    let a = state.values[gate.fanin()[1].index()];
+                    let b = state.values[gate.fanin()[2].index()];
+                    (s & a) | (!s & b)
+                }
+            };
+            state.values[i] = v;
+        }
+    }
+
+    /// Commits flip-flop next-state values (a positive clock edge). Call
+    /// after [`Simulator::eval`]; the new state becomes visible at the next
+    /// `eval`.
+    pub fn clock(&self, state: &mut SimState) {
+        for (id, gate) in self.netlist.iter() {
+            if gate.kind() == GateKind::Dff {
+                state.dff_state[id.index()] = state.values[gate.fanin()[0].index()];
+            }
+        }
+    }
+
+    /// Unit-delay settling evaluation with glitch visibility.
+    ///
+    /// All gates re-evaluate *simultaneously* from the previous wave's
+    /// values (the classic synchronous relaxation delay model): a gate whose
+    /// inputs arrive at different logic depths transitions multiple times
+    /// before settling, exactly the glitching that dominates dynamic power
+    /// in deep combinational logic. `on_wave_toggle(gate, diff)` is called
+    /// for every gate whose value word changed in a wave, once per wave.
+    ///
+    /// Returns the number of waves until fixpoint (bounded by the
+    /// combinational depth + 1; panics only if the bound `4 + 2·depth` is
+    /// exceeded, which cannot happen for a valid levelized netlist).
+    pub fn eval_unit_delay(
+        &self,
+        state: &mut SimState,
+        data: &[u64],
+        mask: &[u64],
+        mut on_wave_toggle: impl FnMut(usize, u64),
+    ) -> usize {
+        let nl = self.netlist;
+        assert_eq!(data.len(), nl.data_inputs().len(), "data input width mismatch");
+        assert_eq!(mask.len(), nl.mask_inputs().len(), "mask input width mismatch");
+        for (&id, &w) in nl.data_inputs().iter().zip(data) {
+            state.values[id.index()] = w;
+        }
+        for (&id, &w) in nl.mask_inputs().iter().zip(mask) {
+            state.values[id.index()] = w;
+        }
+        // Flip-flop outputs present their held state during settling.
+        for &id in &self.order {
+            if nl.gate(id).kind() == GateKind::Dff {
+                state.values[id.index()] = state.dff_state[id.index()];
+            }
+        }
+        let depth_bound = 4 + 2 * self.order.len();
+        let mut next = state.values.clone();
+        let mut waves = 0usize;
+        loop {
+            let mut changed = false;
+            for &id in &self.order {
+                let gate = nl.gate(id);
+                let i = id.index();
+                let v = match gate.kind() {
+                    GateKind::Input | GateKind::Dff => continue,
+                    GateKind::Const0 => 0,
+                    GateKind::Const1 => !0u64,
+                    GateKind::Buf => state.values[gate.fanin()[0].index()],
+                    GateKind::Not => !state.values[gate.fanin()[0].index()],
+                    GateKind::And => fold(state, gate.fanin(), !0u64, |a, b| a & b),
+                    GateKind::Or => fold(state, gate.fanin(), 0, |a, b| a | b),
+                    GateKind::Nand => !fold(state, gate.fanin(), !0u64, |a, b| a & b),
+                    GateKind::Nor => !fold(state, gate.fanin(), 0, |a, b| a | b),
+                    GateKind::Xor => fold(state, gate.fanin(), 0, |a, b| a ^ b),
+                    GateKind::Xnor => !fold(state, gate.fanin(), 0, |a, b| a ^ b),
+                    GateKind::Mux => {
+                        let s = state.values[gate.fanin()[0].index()];
+                        let a = state.values[gate.fanin()[1].index()];
+                        let b = state.values[gate.fanin()[2].index()];
+                        (s & a) | (!s & b)
+                    }
+                };
+                let diff = v ^ state.values[i];
+                if diff != 0 {
+                    on_wave_toggle(i, diff);
+                    changed = true;
+                }
+                next[i] = v;
+            }
+            state.values.copy_from_slice(&next);
+            waves += 1;
+            if !changed {
+                return waves;
+            }
+            assert!(
+                waves < depth_bound,
+                "unit-delay settling exceeded the depth bound (oscillation?)"
+            );
+        }
+    }
+
+    /// Convenience single-trace functional evaluation: drives boolean inputs,
+    /// settles, and returns the primary output values. Sequential state is
+    /// all-zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message if the input widths are wrong.
+    pub fn eval_bool(&self, data: &[bool], mask: &[bool]) -> Result<Vec<bool>, String> {
+        let nl = self.netlist;
+        if data.len() != nl.data_inputs().len() {
+            return Err(format!(
+                "expected {} data inputs, got {}",
+                nl.data_inputs().len(),
+                data.len()
+            ));
+        }
+        if mask.len() != nl.mask_inputs().len() {
+            return Err(format!(
+                "expected {} mask inputs, got {}",
+                nl.mask_inputs().len(),
+                mask.len()
+            ));
+        }
+        let to_word = |b: &bool| if *b { !0u64 } else { 0 };
+        let dw: Vec<u64> = data.iter().map(to_word).collect();
+        let mw: Vec<u64> = mask.iter().map(to_word).collect();
+        let mut st = self.zero_state();
+        self.eval(&mut st, &dw, &mw);
+        Ok(nl
+            .outputs()
+            .iter()
+            .map(|(_, d)| st.values[d.index()] & 1 == 1)
+            .collect())
+    }
+}
+
+#[inline]
+fn fold(state: &SimState, fanin: &[GateId], init: u64, op: impl Fn(u64, u64) -> u64) -> u64 {
+    fanin
+        .iter()
+        .fold(init, |acc, f| op(acc, state.values[f.index()]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polaris_netlist::generators;
+
+    fn build(src: &str) -> Netlist {
+        polaris_netlist::parse_netlist(src).unwrap()
+    }
+
+    #[test]
+    fn truth_tables_all_two_input_kinds() {
+        let src = "
+module t (a, b, y0, y1, y2, y3, y4, y5);
+  input a, b;
+  output y0, y1, y2, y3, y4, y5;
+  and  g0 (y0, a, b);
+  or   g1 (y1, a, b);
+  nand g2 (y2, a, b);
+  nor  g3 (y3, a, b);
+  xor  g4 (y4, a, b);
+  xnor g5 (y5, a, b);
+endmodule";
+        let n = build(src);
+        let sim = Simulator::new(&n).unwrap();
+        let cases = [
+            // (a, b) -> and or nand nor xor xnor
+            ((false, false), [false, false, true, true, false, true]),
+            ((false, true), [false, true, true, false, true, false]),
+            ((true, false), [false, true, true, false, true, false]),
+            ((true, true), [true, true, false, false, false, true]),
+        ];
+        for ((a, b), expect) in cases {
+            let outs = sim.eval_bool(&[a, b], &[]).unwrap();
+            assert_eq!(outs, expect, "inputs a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn mux_selects_correctly() {
+        let src = "
+module m (s, a, b, y);
+  input s, a, b;
+  output y;
+  mux g (y, s, a, b);
+endmodule";
+        let n = build(src);
+        let sim = Simulator::new(&n).unwrap();
+        for s in [false, true] {
+            for a in [false, true] {
+                for b in [false, true] {
+                    let y = sim.eval_bool(&[s, a, b], &[]).unwrap()[0];
+                    assert_eq!(y, if s { a } else { b });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn c17_known_vectors() {
+        // c17: g22 = !(g10 & g16), g23 = !(g16 & g19) with
+        // g10=!(g1&g3), g11=!(g3&g6), g16=!(g2&g11), g19=!(g11&g7).
+        let n = generators::iscas_c17();
+        let sim = Simulator::new(&n).unwrap();
+        let eval = |v: [bool; 5]| sim.eval_bool(&v, &[]).unwrap();
+        // All zeros: g10=1, g11=1, g16=1, g19=1 -> g22=0, g23=0.
+        assert_eq!(eval([false; 5]), vec![false, false]);
+        // All ones: g10=0, g11=0, g16=1, g19=1 -> g22=1, g23=0.
+        assert_eq!(eval([true; 5]), vec![true, false]);
+    }
+
+    #[test]
+    fn ripple_adder_adds() {
+        // 4-bit adder via generators::blocks through a hand-built netlist.
+        let mut n = Netlist::new("add4");
+        let a: Vec<_> = (0..4).map(|i| n.add_input(format!("a{i}"))).collect();
+        let b: Vec<_> = (0..4).map(|i| n.add_input(format!("b{i}"))).collect();
+        let (sum, cout) = generators::blocks::ripple_adder(&mut n, "s", &a, &b, None);
+        for (i, s) in sum.iter().enumerate() {
+            n.add_output(format!("s{i}"), *s).unwrap();
+        }
+        n.add_output("cout", cout).unwrap();
+        let sim = Simulator::new(&n).unwrap();
+        for x in 0u32..16 {
+            for y in 0u32..16 {
+                let bits = |v: u32| (0..4).map(|i| (v >> i) & 1 == 1).collect::<Vec<_>>();
+                let mut inputs = bits(x);
+                inputs.extend(bits(y));
+                let outs = sim.eval_bool(&inputs, &[]).unwrap();
+                let got = outs
+                    .iter()
+                    .enumerate()
+                    .fold(0u32, |acc, (i, &b)| acc | ((b as u32) << i));
+                assert_eq!(got, x + y, "{x}+{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_multiplies() {
+        let mut n = Netlist::new("mul3");
+        let a: Vec<_> = (0..3).map(|i| n.add_input(format!("a{i}"))).collect();
+        let b: Vec<_> = (0..3).map(|i| n.add_input(format!("b{i}"))).collect();
+        let p = generators::blocks::array_multiplier(&mut n, "m", &a, &b);
+        for (i, s) in p.iter().enumerate() {
+            n.add_output(format!("p{i}"), *s).unwrap();
+        }
+        let sim = Simulator::new(&n).unwrap();
+        for x in 0u32..8 {
+            for y in 0u32..8 {
+                let bits = |v: u32| (0..3).map(|i| (v >> i) & 1 == 1).collect::<Vec<_>>();
+                let mut inputs = bits(x);
+                inputs.extend(bits(y));
+                let outs = sim.eval_bool(&inputs, &[]).unwrap();
+                let got = outs
+                    .iter()
+                    .enumerate()
+                    .fold(0u32, |acc, (i, &b)| acc | ((b as u32) << i));
+                assert_eq!(got, x * y, "{x}*{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn dff_holds_and_updates_on_clock() {
+        let src = "
+module c (d, q);
+  input d;
+  output q;
+  dff r (q, d);
+endmodule";
+        let n = build(src);
+        let sim = Simulator::new(&n).unwrap();
+        let mut st = sim.zero_state();
+        // Drive d=1: q stays 0 until clocked.
+        sim.eval(&mut st, &[!0u64], &[]);
+        let q = n.outputs()[0].1;
+        assert_eq!(st.value(q), 0);
+        sim.clock(&mut st);
+        sim.eval(&mut st, &[!0u64], &[]);
+        assert_eq!(st.value(q), !0u64);
+        // Drive d=0: q holds 1 until next edge.
+        sim.eval(&mut st, &[0], &[]);
+        assert_eq!(st.value(q), !0u64);
+        sim.clock(&mut st);
+        sim.eval(&mut st, &[0], &[]);
+        assert_eq!(st.value(q), 0);
+    }
+
+    #[test]
+    fn toggle_counter_feedback_divides_by_two() {
+        // q' = !q toggles every cycle.
+        let src = "
+module t (y);
+  output y;
+  dff r (q, d);
+  not n1 (d, q);
+  buf b1 (y, q);
+endmodule";
+        let n = build(src);
+        let sim = Simulator::new(&n).unwrap();
+        let mut st = sim.zero_state();
+        let y = n.outputs()[0].1;
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            sim.eval(&mut st, &[], &[]);
+            seen.push(st.value(y) & 1);
+            sim.clock(&mut st);
+        }
+        assert_eq!(seen, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        let src = "
+module t (a, b, y);
+  input a, b;
+  output y;
+  xor g (y, a, b);
+endmodule";
+        let n = build(src);
+        let sim = Simulator::new(&n).unwrap();
+        let mut st = sim.zero_state();
+        // lane 0: a=1,b=0; lane 1: a=1,b=1; lane 2: a=0,b=1.
+        sim.eval(&mut st, &[0b011, 0b110], &[]);
+        let y = n.outputs()[0].1;
+        assert_eq!(st.value(y) & 0b111, 0b101);
+    }
+
+    #[test]
+    fn eval_bool_rejects_wrong_widths() {
+        let n = generators::iscas_c17();
+        let sim = Simulator::new(&n).unwrap();
+        assert!(sim.eval_bool(&[true; 3], &[]).is_err());
+    }
+}

@@ -1,0 +1,150 @@
+//! Switching-activity power model.
+//!
+//! Dynamic power of a CMOS cell is `½ · C · V² · f · α`; at fixed voltage and
+//! frequency the per-gate, per-cycle energy is proportional to the cell's
+//! switched capacitance times its toggle activity. The model therefore
+//! assigns each [`GateKind`] a relative capacitance weight and adds zero-mean
+//! Gaussian measurement noise, the standard gate-level leakage-simulation
+//! setup used by TVLA-based EDA flows (CASCADE, Karna, VALIANT).
+
+use polaris_netlist::GateKind;
+use rand::Rng;
+
+/// Per-kind capacitance weights plus measurement-noise level.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PowerModel {
+    /// Relative switched capacitance per gate kind, indexed by
+    /// [`GateKind::ordinal`].
+    cap: [f64; GateKind::ALL.len()],
+    /// Standard deviation of the additive Gaussian measurement noise applied
+    /// to each per-gate energy sample.
+    noise_sigma: f64,
+}
+
+impl PowerModel {
+    /// Builds a model with explicit weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is negative or `noise_sigma < 0`.
+    pub fn new(cap: [f64; GateKind::ALL.len()], noise_sigma: f64) -> Self {
+        assert!(cap.iter().all(|&c| c >= 0.0), "negative capacitance");
+        assert!(noise_sigma >= 0.0, "negative noise sigma");
+        PowerModel { cap, noise_sigma }
+    }
+
+    /// Default 45 nm-flavoured relative weights: inverters cheapest, XOR-class
+    /// and sequential cells the most capacitive.
+    pub fn default_cmos() -> Self {
+        let mut cap = [0.0; GateKind::ALL.len()];
+        cap[GateKind::Input.ordinal()] = 0.0; // pads are outside the power rail
+        cap[GateKind::Const0.ordinal()] = 0.0;
+        cap[GateKind::Const1.ordinal()] = 0.0;
+        cap[GateKind::Buf.ordinal()] = 0.9;
+        cap[GateKind::Not.ordinal()] = 0.6;
+        cap[GateKind::And.ordinal()] = 1.4;
+        cap[GateKind::Or.ordinal()] = 1.4;
+        cap[GateKind::Nand.ordinal()] = 1.0;
+        cap[GateKind::Nor.ordinal()] = 1.1;
+        cap[GateKind::Xor.ordinal()] = 2.1;
+        cap[GateKind::Xnor.ordinal()] = 2.2;
+        cap[GateKind::Mux.ordinal()] = 2.4;
+        cap[GateKind::Dff.ordinal()] = 3.6;
+        PowerModel {
+            cap,
+            noise_sigma: 0.35,
+        }
+    }
+
+    /// Capacitance weight for a gate kind.
+    pub fn cap(&self, kind: GateKind) -> f64 {
+        self.cap[kind.ordinal()]
+    }
+
+    /// Measurement noise standard deviation.
+    pub fn noise_sigma(&self) -> f64 {
+        self.noise_sigma
+    }
+
+    /// Returns a copy with a different noise level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma < 0`.
+    pub fn with_noise(mut self, sigma: f64) -> Self {
+        assert!(sigma >= 0.0, "negative noise sigma");
+        self.noise_sigma = sigma;
+        self
+    }
+
+    /// Energy of `toggles` transitions on a cell of `kind`, before noise.
+    pub fn energy(&self, kind: GateKind, toggles: u32) -> f64 {
+        self.cap(kind) * f64::from(toggles)
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel::default_cmos()
+    }
+}
+
+/// Draws one standard-normal sample via the Box–Muller transform.
+///
+/// `rand` offers only uniform sources offline, so the Gaussian is derived
+/// here; two uniforms in `(0, 1]` map to one normal deviate.
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by shifting the uniform into (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_weights_are_sane() {
+        let m = PowerModel::default();
+        assert_eq!(m.cap(GateKind::Input), 0.0);
+        assert!(m.cap(GateKind::Xor) > m.cap(GateKind::Nand));
+        assert!(m.cap(GateKind::Dff) > m.cap(GateKind::Not));
+        assert!(m.noise_sigma() > 0.0);
+    }
+
+    #[test]
+    fn energy_scales_linearly_with_toggles() {
+        let m = PowerModel::default();
+        let e1 = m.energy(GateKind::Nand, 1);
+        let e3 = m.energy(GateKind::Nand, 3);
+        assert!((e3 - 3.0 * e1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative noise sigma")]
+    fn negative_sigma_rejected() {
+        let _ = PowerModel::default().with_noise(-1.0);
+    }
+
+    #[test]
+    fn box_muller_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn box_muller_is_finite() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            assert!(sample_standard_normal(&mut rng).is_finite());
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Bivariate (true second-order) TVLA.
+//!
+//! A d-th-order masked implementation forces the adversary to *combine*
+//! d + 1 probe points. The standard second-order test therefore combines
+//! two sample points per trace: the preprocessed statistic is the product
+//! of the two points' class-centered samples,
+//! `y = (e₁ − μ₁)(e₂ − μ₂)`, followed by Welch's t-test between the fixed
+//! and random classes (Schneider–Moradi §4.2).
+//!
+//! Against the crate's gate-level samples this combines two *gates'*
+//! energies. A first-order (2-share) Trichina composite has gate pairs
+//! whose joint toggle statistics are data-dependent — e.g. the remasked
+//! product `(a·b) ⊕ z` together with any gate carrying `z` — while a
+//! second-order (3-share) ISW composite requires three-way combinations and
+//! passes every bivariate test (see the workspace integration tests).
+
+use polaris_sim::campaign::GateSamples;
+use polaris_netlist::GateId;
+
+use crate::moments::StreamingMoments;
+use crate::welch::WelchResult;
+
+/// Second-order statistic between two gates for one class: the per-trace
+/// centered product.
+fn centered_products(e1: &[f64], e2: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(e1.len(), e2.len());
+    let n = e1.len() as f64;
+    let m1 = e1.iter().sum::<f64>() / n;
+    let m2 = e2.iter().sum::<f64>() / n;
+    e1.iter()
+        .zip(e2)
+        .map(|(&a, &b)| (a - m1) * (b - m2))
+        .collect()
+}
+
+/// Bivariate second-order Welch t-test between the fixed and random classes
+/// for the gate pair `(g1, g2)`.
+///
+/// # Panics
+///
+/// Panics if the samples do not cover both gates.
+pub fn bivariate_t(samples: &GateSamples, g1: GateId, g2: GateId) -> WelchResult {
+    let fixed = centered_products(samples.fixed(g1), samples.fixed(g2));
+    let random = centered_products(samples.random(g1), samples.random(g2));
+    let mut mf = StreamingMoments::new();
+    mf.extend_from_slice(&fixed);
+    let mut mr = StreamingMoments::new();
+    mr.extend_from_slice(&random);
+    crate::welch::welch_t(&mf, &mr)
+}
+
+/// Scans every pair among `gates` and returns `(g1, g2, result)` sorted by
+/// descending `|t|` — the exhaustive bivariate sweep an evaluator runs on a
+/// masked core.
+pub fn bivariate_sweep(
+    samples: &GateSamples,
+    gates: &[GateId],
+) -> Vec<(GateId, GateId, WelchResult)> {
+    let mut out = Vec::with_capacity(gates.len() * gates.len() / 2);
+    for (i, &g1) in gates.iter().enumerate() {
+        for &g2 in &gates[i + 1..] {
+            out.push((g1, g2, bivariate_t(samples, g1, g2)));
+        }
+    }
+    out.sort_by(|a, b| {
+        b.2.t
+            .abs()
+            .partial_cmp(&a.2.t.abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polaris_sim::{campaign::collect_gate_samples, CampaignConfig, PowerModel};
+
+    #[test]
+    fn independent_gates_show_no_bivariate_leakage() {
+        // Two xors of independent fresh masks: no pair carries joint
+        // data-dependence.
+        let src = "
+module m (a, b, m0, m1, y0, y1);
+  input a, b;
+  mask_input m0, m1;
+  output y0, y1;
+  xor g0 (y0, a, m0);
+  xor g1 (y1, b, m1);
+endmodule";
+        let n = polaris_netlist::parse_netlist(src).unwrap();
+        let cfg = CampaignConfig::new(3000, 3000, 5);
+        let model = PowerModel::default().with_noise(0.05);
+        let samples = collect_gate_samples(&n, &model, &cfg).unwrap();
+        let cells = n.cell_ids();
+        let r = bivariate_t(&samples, cells[0], cells[1]);
+        assert!(
+            r.t.abs() < crate::TVLA_THRESHOLD,
+            "independent masked gates must pass: |t| = {:.2}",
+            r.t.abs()
+        );
+    }
+
+    #[test]
+    fn shared_mask_pair_leaks_bivariately() {
+        // The classic 2nd-order situation: y0 = a ⊕ m, y1 = m. Neither gate
+        // leaks first-order, but their joint statistics reveal `a`.
+        let src = "
+module m (a, m0, y0, y1);
+  input a;
+  mask_input m0;
+  output y0, y1;
+  xor g0 (y0, a, m0);
+  buf g1 (y1, m0);
+endmodule";
+        let n = polaris_netlist::parse_netlist(src).unwrap();
+        let cfg = CampaignConfig::new(4000, 4000, 7).with_fixed_vector(vec![true]);
+        let model = PowerModel::default().with_noise(0.05);
+        let samples = collect_gate_samples(&n, &model, &cfg).unwrap();
+        let cells = n.cell_ids();
+        // First order: both clean.
+        let first = crate::assess(&n, &model, &cfg).unwrap();
+        for &c in &cells {
+            assert!(
+                first.abs_t(c) < crate::TVLA_THRESHOLD,
+                "gate should be first-order clean: {:.2}",
+                first.abs_t(c)
+            );
+        }
+        // Second order: the pair leaks.
+        let r = bivariate_t(&samples, cells[0], cells[1]);
+        assert!(
+            r.t.abs() > crate::TVLA_THRESHOLD,
+            "shared-mask pair must fail bivariate TVLA: |t| = {:.2}",
+            r.t.abs()
+        );
+    }
+
+    #[test]
+    fn sweep_orders_by_magnitude() {
+        let src = "
+module m (a, m0, y0, y1, y2);
+  input a;
+  mask_input m0;
+  output y0, y1, y2;
+  xor g0 (y0, a, m0);
+  buf g1 (y1, m0);
+  not g2 (y2, m0);
+endmodule";
+        let n = polaris_netlist::parse_netlist(src).unwrap();
+        let cfg = CampaignConfig::new(1500, 1500, 7).with_fixed_vector(vec![true]);
+        let model = PowerModel::default().with_noise(0.05);
+        let samples = collect_gate_samples(&n, &model, &cfg).unwrap();
+        let sweep = bivariate_sweep(&samples, &n.cell_ids());
+        assert_eq!(sweep.len(), 3);
+        for w in sweep.windows(2) {
+            assert!(w[0].2.t.abs() >= w[1].2.t.abs());
+        }
+    }
+}

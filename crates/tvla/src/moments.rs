@@ -1,0 +1,273 @@
+//! One-pass streaming moments (Schneider–Moradi / Pébay update formulas).
+//!
+//! The naive TVLA implementation recomputes means and variances with two
+//! passes over all traces (paper Eq. 2); this accumulator maintains the
+//! first raw moment and the second-to-fourth central sums *incrementally*
+//! (paper Eqs. 3–4 and their higher-order extension), so trace acquisition
+//! and leakage assessment are a single streaming pass. Accumulators can be
+//! merged, enabling batched or distributed acquisition.
+
+/// Streaming accumulator for mean and 2nd–4th central moments.
+///
+/// ```
+/// use polaris_tvla::StreamingMoments;
+///
+/// let mut m = StreamingMoments::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     m.push(x);
+/// }
+/// assert_eq!(m.count(), 8);
+/// assert!((m.mean() - 5.0).abs() < 1e-12);
+/// assert!((m.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StreamingMoments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    m3: f64,
+    m4: f64,
+}
+
+impl StreamingMoments {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        StreamingMoments::default()
+    }
+
+    /// Adds one sample (paper Eq. 3: `M1' = M1 + Δ/n`).
+    pub fn push(&mut self, x: f64) {
+        let n1 = self.n;
+        self.n += 1;
+        let n = self.n as f64;
+        let delta = x - self.mean;
+        let delta_n = delta / n;
+        let delta_n2 = delta_n * delta_n;
+        let term1 = delta * delta_n * n1 as f64;
+        self.mean += delta_n;
+        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * self.m2
+            - 4.0 * delta_n * self.m3;
+        self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
+        self.m2 += term1;
+    }
+
+    /// Adds every sample of a slice.
+    pub fn extend_from_slice(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel combination).
+    pub fn merge(&mut self, other: &StreamingMoments) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let na = self.n as f64;
+        let nb = other.n as f64;
+        let n = na + nb;
+        let delta = other.mean - self.mean;
+        let delta2 = delta * delta;
+        let delta3 = delta2 * delta;
+        let delta4 = delta3 * delta;
+
+        let m2 = self.m2 + other.m2 + delta2 * na * nb / n;
+        let m3 = self.m3
+            + other.m3
+            + delta3 * na * nb * (na - nb) / (n * n)
+            + 3.0 * delta * (na * other.m2 - nb * self.m2) / n;
+        let m4 = self.m4
+            + other.m4
+            + delta4 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n)
+            + 6.0 * delta2 * (na * na * other.m2 + nb * nb * self.m2) / (n * n)
+            + 4.0 * delta * (na * other.m3 - nb * self.m3) / n;
+
+        self.mean += delta * nb / n;
+        self.m2 = m2;
+        self.m3 = m3;
+        self.m4 = m4;
+        self.n += other.n;
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (first raw moment `M1`).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance `CM2 = M2 − M1²` (paper Eq. 4).
+    pub fn population_variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Unbiased sample variance `s²` (used by the t-test).
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Third central moment `CM3`.
+    pub fn central_moment3(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m3 / self.n as f64
+        }
+    }
+
+    /// Fourth central moment `CM4` — needed for the variance of centered
+    /// squares in second-order TVLA.
+    pub fn central_moment4(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m4 / self.n as f64
+        }
+    }
+
+    /// Skewness (standardized CM3).
+    pub fn skewness(&self) -> f64 {
+        let v = self.population_variance();
+        if v <= 0.0 {
+            0.0
+        } else {
+            self.central_moment3() / v.powf(1.5)
+        }
+    }
+
+    /// Excess kurtosis (standardized CM4 − 3).
+    pub fn kurtosis_excess(&self) -> f64 {
+        let v = self.population_variance();
+        if v <= 0.0 {
+            0.0
+        } else {
+            self.central_moment4() / (v * v) - 3.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference two-pass implementation (paper Eq. 2 style).
+    fn naive(xs: &[f64]) -> (f64, f64, f64, f64) {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let cm = |p: i32| xs.iter().map(|x| (x - mean).powi(p)).sum::<f64>() / n;
+        (mean, cm(2), cm(3), cm(4))
+    }
+
+    fn pseudo_random(n: usize, seed: u64) -> Vec<f64> {
+        // Small deterministic LCG so this module needs no rand dependency.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 10.0 - 5.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streaming_matches_two_pass() {
+        let xs = pseudo_random(5000, 42);
+        let mut m = StreamingMoments::new();
+        m.extend_from_slice(&xs);
+        let (mean, cm2, cm3, cm4) = naive(&xs);
+        assert!((m.mean() - mean).abs() < 1e-9);
+        assert!((m.population_variance() - cm2).abs() < 1e-9);
+        assert!((m.central_moment3() - cm3).abs() < 1e-7);
+        assert!((m.central_moment4() - cm4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs = pseudo_random(3000, 7);
+        let (a, b) = xs.split_at(1234);
+        let mut ma = StreamingMoments::new();
+        ma.extend_from_slice(a);
+        let mut mb = StreamingMoments::new();
+        mb.extend_from_slice(b);
+        ma.merge(&mb);
+
+        let mut all = StreamingMoments::new();
+        all.extend_from_slice(&xs);
+
+        assert_eq!(ma.count(), all.count());
+        assert!((ma.mean() - all.mean()).abs() < 1e-10);
+        assert!((ma.population_variance() - all.population_variance()).abs() < 1e-9);
+        assert!((ma.central_moment4() - all.central_moment4()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let xs = pseudo_random(100, 3);
+        let mut m = StreamingMoments::new();
+        m.extend_from_slice(&xs);
+        let snapshot = m;
+        m.merge(&StreamingMoments::new());
+        assert_eq!(m, snapshot);
+
+        let mut empty = StreamingMoments::new();
+        empty.merge(&snapshot);
+        assert_eq!(empty, snapshot);
+    }
+
+    #[test]
+    fn constant_stream_has_zero_variance() {
+        let mut m = StreamingMoments::new();
+        for _ in 0..100 {
+            m.push(3.25);
+        }
+        assert!((m.mean() - 3.25).abs() < 1e-12);
+        assert!(m.population_variance().abs() < 1e-12);
+        assert!(m.sample_variance().abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_variance_uses_n_minus_one() {
+        let mut m = StreamingMoments::new();
+        m.extend_from_slice(&[1.0, 3.0]);
+        assert!((m.sample_variance() - 2.0).abs() < 1e-12);
+        assert!((m.population_variance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_counts() {
+        let mut m = StreamingMoments::new();
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.sample_variance(), 0.0);
+        m.push(5.0);
+        assert_eq!(m.sample_variance(), 0.0, "single sample: s² undefined → 0");
+        assert_eq!(m.mean(), 5.0);
+    }
+
+    #[test]
+    fn gaussianish_kurtosis_near_zero() {
+        // Sum of 12 uniforms ≈ normal; excess kurtosis ≈ -0.1 (Irwin–Hall 12).
+        let base = pseudo_random(120_000, 11);
+        let xs: Vec<f64> = base.chunks(12).map(|c| c.iter().sum::<f64>()).collect();
+        let mut m = StreamingMoments::new();
+        m.extend_from_slice(&xs);
+        assert!(m.kurtosis_excess().abs() < 0.2, "kurt {}", m.kurtosis_excess());
+        assert!(m.skewness().abs() < 0.1, "skew {}", m.skewness());
+    }
+}

@@ -1,0 +1,130 @@
+//! Waveform-mode TVLA: per-*cycle* t-tests over total power.
+//!
+//! Gate-level assessment (the [`crate::gate_leakage`] module) assumes white-
+//! box access to per-gate energies — what an EDA flow has. A lab evaluator
+//! instead records the chip's total supply current per time sample; TVLA is
+//! then run *per trace point*. This module provides that view over the
+//! simulator's total-power waveforms: one Welch t-statistic per clock cycle,
+//! plus the conventional "any point above ±4.5" verdict.
+
+use polaris_netlist::{Netlist, NetlistError};
+use polaris_sim::campaign::{collect_waveforms, CampaignConfig, Population};
+use polaris_sim::PowerModel;
+
+use crate::moments::StreamingMoments;
+use crate::welch::{welch_t, WelchResult};
+use crate::TVLA_THRESHOLD;
+
+/// Per-cycle t-test results over total-power waveforms.
+#[derive(Clone, Debug)]
+pub struct WaveformLeakage {
+    results: Vec<WelchResult>,
+}
+
+impl WaveformLeakage {
+    /// Number of cycles assessed.
+    pub fn cycles(&self) -> usize {
+        self.results.len()
+    }
+
+    /// The t-test result of one cycle.
+    pub fn result(&self, cycle: usize) -> WelchResult {
+        self.results[cycle]
+    }
+
+    /// All `|t|` values in cycle order.
+    pub fn abs_t(&self) -> Vec<f64> {
+        self.results.iter().map(|r| r.t.abs()).collect()
+    }
+
+    /// Largest `|t|` across cycles.
+    pub fn max_abs_t(&self) -> f64 {
+        self.results.iter().map(|r| r.t.abs()).fold(0.0, f64::max)
+    }
+
+    /// The standard verdict: does any trace point exceed ±4.5?
+    pub fn is_leaky(&self) -> bool {
+        self.max_abs_t() > TVLA_THRESHOLD
+    }
+}
+
+/// Runs a fixed-vs-random campaign in waveform mode and t-tests each cycle.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from simulation.
+pub fn assess_waveform(
+    netlist: &Netlist,
+    model: &PowerModel,
+    config: &CampaignConfig,
+) -> Result<WaveformLeakage, NetlistError> {
+    let fixed = collect_waveforms(netlist, model, config, Population::Fixed)?;
+    let random = collect_waveforms(netlist, model, config, Population::Random)?;
+    let cycles = config.cycles;
+    let mut results = Vec::with_capacity(cycles);
+    for c in 0..cycles {
+        let mut mf = StreamingMoments::new();
+        for trace in &fixed {
+            mf.push(trace[c]);
+        }
+        let mut mr = StreamingMoments::new();
+        for trace in &random {
+            mr.push(trace[c]);
+        }
+        results.push(welch_t(&mf, &mr));
+    }
+    Ok(WaveformLeakage { results })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polaris_netlist::generators;
+
+    #[test]
+    fn unprotected_design_leaks_in_waveform_mode() {
+        let design = generators::iscas_c17();
+        let cfg = CampaignConfig::new(800, 800, 5);
+        let w = assess_waveform(&design, &PowerModel::default(), &cfg).unwrap();
+        assert_eq!(w.cycles(), 1);
+        assert!(w.is_leaky(), "max |t| = {:.2}", w.max_abs_t());
+    }
+
+    #[test]
+    fn sequential_design_assessed_per_cycle() {
+        let design = generators::memctrl(1, 3);
+        let cfg = CampaignConfig::new(400, 400, 5).with_cycles(4);
+        let w = assess_waveform(&design, &PowerModel::default(), &cfg).unwrap();
+        assert_eq!(w.cycles(), 4);
+        // First cycle (data application) carries the biggest switch.
+        assert!(w.result(0).t.abs() >= 0.0);
+        assert!(w.is_leaky());
+    }
+
+    #[test]
+    fn masked_design_waveform_below_unmasked() {
+        use polaris_masking::{apply_masking, MaskingStyle};
+        use polaris_netlist::transform::decompose;
+        let (design, _) = decompose(&generators::iscas_c17()).unwrap();
+        let cfg = CampaignConfig::new(1200, 1200, 9);
+        let model = PowerModel::default();
+        let before = assess_waveform(&design, &model, &cfg).unwrap();
+        let masked = apply_masking(&design, &design.cell_ids(), MaskingStyle::Trichina).unwrap();
+        let after = assess_waveform(&masked.netlist, &model, &cfg).unwrap();
+        assert!(
+            after.max_abs_t() < before.max_abs_t() / 2.0,
+            "masking should cut the waveform t: {:.1} -> {:.1}",
+            before.max_abs_t(),
+            after.max_abs_t()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let design = generators::iscas_c17();
+        let cfg = CampaignConfig::new(200, 200, 7);
+        let a = assess_waveform(&design, &PowerModel::default(), &cfg).unwrap();
+        let b = assess_waveform(&design, &PowerModel::default(), &cfg).unwrap();
+        assert_eq!(a.abs_t(), b.abs_t());
+    }
+}

@@ -1,0 +1,131 @@
+//! Welch's unequal-variance t-test (paper Eq. 1).
+
+use crate::moments::StreamingMoments;
+use crate::special::student_t_two_sided_p;
+
+/// Result of a Welch t-test between two sample populations.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WelchResult {
+    /// The t-statistic `((μ0 − μ1) / √(s0²/n0 + s1²/n1))`.
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub dof: f64,
+}
+
+impl WelchResult {
+    /// Two-sided p-value under the Student-t null distribution.
+    ///
+    /// Returns 1.0 when the degrees of freedom are degenerate (too few
+    /// samples to test).
+    pub fn p_value(&self) -> f64 {
+        if self.dof <= 0.0 || !self.t.is_finite() {
+            return 1.0;
+        }
+        student_t_two_sided_p(self.t, self.dof)
+    }
+
+    /// True if `|t|` exceeds the given threshold (TVLA uses 4.5).
+    pub fn is_leaky(&self, threshold: f64) -> bool {
+        self.t.abs() > threshold
+    }
+}
+
+/// Computes Welch's t-statistic and degrees of freedom from two accumulated
+/// populations (paper Eq. 1).
+///
+/// Degenerate inputs (fewer than 2 samples on a side, or both variances
+/// zero) yield `t = 0, dof = 0` — "no evidence of leakage" rather than an
+/// error, matching how leakage assessments treat dead gates.
+pub fn welch_t(q0: &StreamingMoments, q1: &StreamingMoments) -> WelchResult {
+    let n0 = q0.count() as f64;
+    let n1 = q1.count() as f64;
+    if q0.count() < 2 || q1.count() < 2 {
+        return WelchResult { t: 0.0, dof: 0.0 };
+    }
+    let v0 = q0.sample_variance();
+    let v1 = q1.sample_variance();
+    let se2 = v0 / n0 + v1 / n1;
+    if se2 <= 0.0 {
+        return WelchResult { t: 0.0, dof: 0.0 };
+    }
+    let t = (q0.mean() - q1.mean()) / se2.sqrt();
+    let denom = (v0 / n0).powi(2) / (n0 - 1.0) + (v1 / n1).powi(2) / (n1 - 1.0);
+    let dof = if denom > 0.0 { se2 * se2 / denom } else { 0.0 };
+    WelchResult { t, dof }
+}
+
+/// Welch's t-test directly over sample slices (convenience for tests and
+/// small analyses; the streaming path is [`welch_t`]).
+pub fn welch_t_slices(q0: &[f64], q1: &[f64]) -> WelchResult {
+    let mut m0 = StreamingMoments::new();
+    m0.extend_from_slice(q0);
+    let mut m1 = StreamingMoments::new();
+    m1.extend_from_slice(q1);
+    welch_t(&m0, &m1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_welch_example() {
+        // Classic example (NIST-style): two small samples.
+        let a = [27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7, 21.4];
+        let b = [27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.3, 23.8];
+        let r = welch_t_slices(&a, &b);
+        // Independently computed (two-pass formulas):
+        // t = -2.821665, dof = 27.81897, two-sided p = 0.0087177.
+        assert!((r.t - (-2.8216651667585237)).abs() < 1e-9, "t = {}", r.t);
+        assert!((r.dof - 27.818966038567552).abs() < 1e-6, "dof = {}", r.dof);
+        let p = r.p_value();
+        assert!((p - 0.008717728775).abs() < 1e-9, "p = {p}");
+    }
+
+    #[test]
+    fn identical_populations_give_zero_t() {
+        let xs: Vec<f64> = (0..100).map(|i| (i % 7) as f64).collect();
+        let r = welch_t_slices(&xs, &xs);
+        assert!(r.t.abs() < 1e-12);
+        assert!(!r.is_leaky(4.5));
+    }
+
+    #[test]
+    fn shifted_population_detected() {
+        let a: Vec<f64> = (0..2000).map(|i| (i % 10) as f64).collect();
+        let b: Vec<f64> = a.iter().map(|x| x + 1.0).collect();
+        let r = welch_t_slices(&a, &b);
+        assert!(r.is_leaky(4.5), "t = {}", r.t);
+        assert!(r.t < 0.0, "a < b means negative t");
+        assert!(r.p_value() < 1e-5);
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_blow_up() {
+        assert_eq!(welch_t_slices(&[], &[1.0, 2.0]).t, 0.0);
+        assert_eq!(welch_t_slices(&[1.0], &[1.0, 2.0]).t, 0.0);
+        let constant = welch_t_slices(&[2.0, 2.0, 2.0], &[2.0, 2.0, 2.0]);
+        assert_eq!(constant.t, 0.0);
+        assert_eq!(constant.p_value(), 1.0);
+    }
+
+    #[test]
+    fn dof_between_min_and_sum() {
+        // Welch dof lies in [min(n0,n1)-1, n0+n1-2].
+        let a: Vec<f64> = (0..30).map(|i| (i as f64).sin() * 3.0).collect();
+        let b: Vec<f64> = (0..50).map(|i| (i as f64).cos() * 0.5 + 2.0).collect();
+        let r = welch_t_slices(&a, &b);
+        assert!(r.dof >= 29.0_f64.min(49.0) - 1.0);
+        assert!(r.dof <= (30 + 50 - 2) as f64);
+    }
+
+    #[test]
+    fn symmetry_in_sign() {
+        let a: Vec<f64> = (0..500).map(|i| (i % 13) as f64).collect();
+        let b: Vec<f64> = (0..500).map(|i| (i % 13) as f64 + 0.5).collect();
+        let r1 = welch_t_slices(&a, &b);
+        let r2 = welch_t_slices(&b, &a);
+        assert!((r1.t + r2.t).abs() < 1e-12);
+        assert!((r1.dof - r2.dof).abs() < 1e-9);
+    }
+}

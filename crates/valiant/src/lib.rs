@@ -1,0 +1,311 @@
+//! VALIANT-style baseline: TVLA-driven selective masking.
+//!
+//! VALIANT (Sadhukhan et al., IEEE TC 2024) is the state-of-the-art
+//! comparator of the paper's Tables II and IV. Its flow shape is:
+//!
+//! 1. run a full TVLA campaign on the design,
+//! 2. rank gates by `|t|` and mask the batch exceeding the ±4.5 threshold,
+//! 3. **re-run TVLA on the masked design** and repeat until no gate leaks or
+//!    an iteration budget is exhausted.
+//!
+//! The repeated trace simulation in step 3 is what makes TVLA-in-the-loop
+//! flows slow on large designs — the cost POLARIS avoids by predicting
+//! leaky gates from structure alone (one campaign at most, for reporting).
+//!
+//! # Example
+//!
+//! ```
+//! use polaris_netlist::{generators, transform::decompose};
+//! use polaris_sim::{CampaignConfig, PowerModel};
+//! use polaris_valiant::{ValiantConfig, ValiantFlow};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let (design, _) = decompose(&generators::iscas_c17())?;
+//! let flow = ValiantFlow::new(ValiantConfig {
+//!     campaign: CampaignConfig::new(300, 300, 7),
+//!     ..Default::default()
+//! });
+//! let outcome = flow.run(&design, &PowerModel::default())?;
+//! assert!(outcome.reduction_pct() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::time::Instant;
+
+use polaris_masking::{apply_masking, MaskedDesign, MaskingError, MaskingStyle};
+use polaris_netlist::{GateId, Netlist};
+use polaris_sim::{CampaignConfig, PowerModel};
+use polaris_tvla::{assess, GateLeakage, LeakageSummary, TVLA_THRESHOLD};
+
+/// VALIANT flow parameters.
+#[derive(Clone, Debug)]
+pub struct ValiantConfig {
+    /// TVLA campaign run at every iteration.
+    pub campaign: CampaignConfig,
+    /// `|t|` threshold above which a gate counts as leaky (±4.5 standard).
+    pub threshold: f64,
+    /// Fraction of the currently-leaky gates masked per iteration.
+    pub batch_fraction: f64,
+    /// Maximum mask-and-reassess iterations.
+    pub max_iterations: usize,
+    /// Masked-gate family to insert.
+    pub style: MaskingStyle,
+}
+
+impl Default for ValiantConfig {
+    fn default() -> Self {
+        ValiantConfig {
+            campaign: CampaignConfig::new(500, 500, 0),
+            threshold: TVLA_THRESHOLD,
+            batch_fraction: 0.5,
+            max_iterations: 4,
+            style: MaskingStyle::Trichina,
+        }
+    }
+}
+
+/// Outcome of a VALIANT run.
+#[derive(Clone, Debug)]
+pub struct ValiantOutcome {
+    /// The final masked design (with origin bookkeeping against the input
+    /// netlist).
+    pub masked: MaskedDesign,
+    /// Leakage summary of the unprotected input.
+    pub before: LeakageSummary,
+    /// Leakage summary of the final masked design.
+    pub after: LeakageSummary,
+    /// Per-gate leakage of the unprotected input.
+    pub before_map: GateLeakage,
+    /// Original gate ids masked across all iterations.
+    pub masked_gates: Vec<GateId>,
+    /// TVLA campaigns executed (1 initial + 1 per iteration).
+    pub tvla_runs: usize,
+    /// Wall-clock seconds.
+    pub runtime_s: f64,
+}
+
+impl ValiantOutcome {
+    /// Total leakage reduction percent (Table II semantics).
+    pub fn reduction_pct(&self) -> f64 {
+        self.after.reduction_pct_from(&self.before)
+    }
+}
+
+/// The iterative TVLA → mask → re-TVLA flow.
+#[derive(Clone, Debug)]
+pub struct ValiantFlow {
+    config: ValiantConfig,
+}
+
+impl ValiantFlow {
+    /// Creates a flow with the given configuration.
+    pub fn new(config: ValiantConfig) -> Self {
+        ValiantFlow { config }
+    }
+
+    /// Runs the flow on a normalized netlist (2-input cells; see
+    /// [`polaris_netlist::transform::decompose`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MaskingError`] from the masking transform or wrapped
+    /// netlist errors from simulation.
+    pub fn run(
+        &self,
+        netlist: &Netlist,
+        model: &PowerModel,
+    ) -> Result<ValiantOutcome, MaskingError> {
+        let start = Instant::now();
+        let cfg = &self.config;
+
+        // Initial assessment of the unprotected design.
+        let before_map = assess(netlist, model, &cfg.campaign)?;
+        let before = before_map.summarize(netlist);
+        let mut tvla_runs = 1;
+
+        // Iteratively grow the masked set. Each iteration re-masks from the
+        // *original* netlist (so origin bookkeeping stays against the input)
+        // and re-runs TVLA on the result — the expensive loop of the
+        // published flow.
+        let mut masked_set: Vec<GateId> = Vec::new();
+        let mut current = apply_masking(netlist, &masked_set, cfg.style)?;
+        let mut current_leakage = before_map.clone();
+        let mut after = before;
+
+        for iteration in 0..cfg.max_iterations {
+            // Rank still-leaky *original* gates by the grouped |t| of their
+            // realization in the current design.
+            let leaky = leaky_original_gates(
+                netlist,
+                &current,
+                &current_leakage,
+                cfg.threshold,
+                &masked_set,
+            );
+            if leaky.is_empty() {
+                break;
+            }
+            let batch = ((leaky.len() as f64) * cfg.batch_fraction).ceil() as usize;
+            masked_set.extend(leaky.into_iter().take(batch.max(1)));
+
+            current = apply_masking(netlist, &masked_set, cfg.style)?;
+            let mut campaign = cfg.campaign.clone();
+            campaign.seed = campaign.seed.wrapping_add(iteration as u64 + 1);
+            current_leakage = assess(&current.netlist, model, &campaign)?;
+            tvla_runs += 1;
+            after = summarize_grouped(netlist, &current, &current_leakage);
+        }
+
+        Ok(ValiantOutcome {
+            masked: current,
+            before,
+            after,
+            before_map,
+            masked_gates: masked_set,
+            tvla_runs,
+            runtime_s: start.elapsed().as_secs_f64(),
+        })
+    }
+}
+
+/// Leaky original gates ranked by descending grouped `|t|`, excluding those
+/// already masked.
+fn leaky_original_gates(
+    original: &Netlist,
+    current: &MaskedDesign,
+    leakage: &GateLeakage,
+    threshold: f64,
+    already_masked: &[GateId],
+) -> Vec<GateId> {
+    let grouped = grouped_abs_t(original, current, leakage);
+    let mut leaky: Vec<(GateId, f64)> = original
+        .cell_ids()
+        .into_iter()
+        .filter(|id| !already_masked.contains(id))
+        .filter(|id| {
+            // Only 1–2 input cells are maskable in the normalized netlist.
+            original.gate(*id).fanin().len() <= 2
+        })
+        .map(|id| (id, grouped[id.index()]))
+        .filter(|(_, t)| *t > threshold)
+        .collect();
+    leaky.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    leaky.into_iter().map(|(id, _)| id).collect()
+}
+
+/// Mean `|t|` per original gate over its realization group in the masked
+/// design.
+fn grouped_abs_t(original: &Netlist, current: &MaskedDesign, leakage: &GateLeakage) -> Vec<f64> {
+    let mut sum = vec![0.0f64; original.gate_count()];
+    let mut count = vec![0usize; original.gate_count()];
+    for (new_idx, origin) in current.origin.iter().enumerate() {
+        if let Some(orig) = origin {
+            sum[orig.index()] += leakage.abs_t(GateId::new(new_idx));
+            count[orig.index()] += 1;
+        }
+    }
+    sum.iter()
+        .zip(&count)
+        .map(|(s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+        .collect()
+}
+
+/// Leakage summary over original cells, attributing grouped `|t|`.
+fn summarize_grouped(
+    original: &Netlist,
+    current: &MaskedDesign,
+    leakage: &GateLeakage,
+) -> LeakageSummary {
+    let grouped = grouped_abs_t(original, current, leakage);
+    let cells = original.cell_ids();
+    let mut total = 0.0;
+    let mut max: f64 = 0.0;
+    let mut leaky = 0;
+    for &id in &cells {
+        let t = grouped[id.index()];
+        total += t;
+        max = max.max(t);
+        if t > TVLA_THRESHOLD {
+            leaky += 1;
+        }
+    }
+    LeakageSummary {
+        cells: cells.len(),
+        mean_abs_t: if cells.is_empty() { 0.0 } else { total / cells.len() as f64 },
+        total_abs_t: total,
+        max_abs_t: max,
+        leaky_cells: leaky,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polaris_netlist::generators;
+    use polaris_netlist::transform::decompose;
+
+    fn flow(traces: usize, iters: usize) -> ValiantFlow {
+        ValiantFlow::new(ValiantConfig {
+            campaign: CampaignConfig::new(traces, traces, 11),
+            max_iterations: iters,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn reduces_leakage_on_c17() {
+        let (d, _) = decompose(&generators::iscas_c17()).unwrap();
+        let out = flow(400, 3).run(&d, &PowerModel::default()).unwrap();
+        assert!(
+            out.reduction_pct() > 20.0,
+            "reduction = {:.1}%",
+            out.reduction_pct()
+        );
+        assert!(!out.masked_gates.is_empty());
+        assert!(out.tvla_runs >= 2, "flow must re-assess after masking");
+    }
+
+    #[test]
+    fn masked_design_stays_functional() {
+        let (d, _) = decompose(&generators::iscas_c17()).unwrap();
+        let out = flow(200, 2).run(&d, &PowerModel::default()).unwrap();
+        let sim_o = polaris_sim::Simulator::new(&d).unwrap();
+        let sim_m = polaris_sim::Simulator::new(&out.masked.netlist).unwrap();
+        for bits in 0..32u32 {
+            let data: Vec<bool> = (0..5).map(|i| bits >> i & 1 == 1).collect();
+            let masks = vec![false; out.masked.netlist.mask_inputs().len()];
+            assert_eq!(
+                sim_o.eval_bool(&data, &[]).unwrap(),
+                sim_m.eval_bool(&data, &masks).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_iterations_is_assessment_only() {
+        let (d, _) = decompose(&generators::iscas_c17()).unwrap();
+        let out = flow(200, 0).run(&d, &PowerModel::default()).unwrap();
+        assert!(out.masked_gates.is_empty());
+        assert_eq!(out.tvla_runs, 1);
+        assert_eq!(out.reduction_pct(), 0.0);
+    }
+
+    #[test]
+    fn iterations_monotonically_extend_masked_set() {
+        let (d, _) = decompose(&generators::des3(1, 3)).unwrap();
+        let out1 = flow(150, 1).run(&d, &PowerModel::default()).unwrap();
+        let out3 = flow(150, 3).run(&d, &PowerModel::default()).unwrap();
+        assert!(out3.masked_gates.len() >= out1.masked_gates.len());
+    }
+
+    #[test]
+    fn runtime_grows_with_iterations() {
+        // The defining inefficiency of TVLA-in-the-loop: more iterations →
+        // more campaigns → more wall-clock.
+        let (d, _) = decompose(&generators::sin(1, 3)).unwrap();
+        let o1 = flow(150, 1).run(&d, &PowerModel::default()).unwrap();
+        let o3 = flow(150, 3).run(&d, &PowerModel::default()).unwrap();
+        assert!(o3.tvla_runs > o1.tvla_runs);
+    }
+}

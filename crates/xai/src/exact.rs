@@ -1,0 +1,114 @@
+//! Brute-force Shapley oracle (paper Eq. 6, computed literally).
+//!
+//! `val(S)` is the interventional expectation: features in `S` take the
+//! explained sample's values, the rest are drawn from a background dataset
+//! and the model output is averaged. Exponential in the feature count —
+//! test-only scale, but exact by construction.
+
+/// Exact Shapley values of `f` at `x` against `background`, enumerating all
+/// `2^M` coalitions (paper Eq. 6).
+///
+/// # Panics
+///
+/// Panics if `x` has more than 20 features (enumeration would explode), if
+/// `background` is empty, or if widths disagree.
+pub fn exact_shapley(
+    f: &dyn Fn(&[f32]) -> f64,
+    x: &[f32],
+    background: &[Vec<f32>],
+) -> Vec<f64> {
+    let m = x.len();
+    assert!(m <= 20, "brute-force Shapley is capped at 20 features");
+    assert!(!background.is_empty(), "background must be nonempty");
+    assert!(
+        background.iter().all(|b| b.len() == m),
+        "background width mismatch"
+    );
+
+    // val(S) for every coalition bitmask.
+    let mut val = vec![0.0f64; 1 << m];
+    let mut composite = vec![0.0f32; m];
+    for (mask, slot) in val.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for b in background {
+            for i in 0..m {
+                composite[i] = if mask >> i & 1 == 1 { x[i] } else { b[i] };
+            }
+            acc += f(&composite);
+        }
+        *slot = acc / background.len() as f64;
+    }
+
+    // Factorial weights w(s) = s!(M-s-1)!/M!.
+    let mut fact = vec![1.0f64; m + 1];
+    for i in 1..=m {
+        fact[i] = fact[i - 1] * i as f64;
+    }
+    let weight = |s: usize| fact[s] * fact[m - s - 1] / fact[m];
+
+    let mut phi = vec![0.0f64; m];
+    for (i, p) in phi.iter_mut().enumerate() {
+        let bit = 1usize << i;
+        for mask in 0..(1usize << m) {
+            if mask & bit != 0 {
+                continue;
+            }
+            let s = mask.count_ones() as usize;
+            *p += weight(s) * (val[mask | bit] - val[mask]);
+        }
+    }
+    phi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_model_recovers_coefficients() {
+        // f(x) = 3x0 − 2x1 + 5: φ_i = c_i (x_i − E[b_i]).
+        let f = |x: &[f32]| 3.0 * f64::from(x[0]) - 2.0 * f64::from(x[1]) + 5.0;
+        let background = vec![vec![0.0, 0.0], vec![1.0, 1.0]]; // means 0.5, 0.5
+        let phi = exact_shapley(&f, &[1.0, 1.0], &background);
+        assert!((phi[0] - 3.0 * 0.5).abs() < 1e-12);
+        assert!((phi[1] - (-2.0) * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_axiom() {
+        let f = |x: &[f32]| f64::from(x[0]) * f64::from(x[1]) + 2.0 * f64::from(x[2]);
+        let background = vec![vec![0.1, 0.4, 0.9], vec![0.7, 0.2, 0.3], vec![0.5, 0.5, 0.5]];
+        let x = [1.0f32, 0.0, 0.6];
+        let phi = exact_shapley(&f, &x, &background);
+        let base: f64 = background.iter().map(|b| f(b)).sum::<f64>() / background.len() as f64;
+        let total: f64 = phi.iter().sum();
+        assert!((base + total - f(&x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dummy_feature_gets_zero() {
+        let f = |x: &[f32]| f64::from(x[0]) * 7.0;
+        let background = vec![vec![0.0, 0.3], vec![1.0, 0.8]];
+        let phi = exact_shapley(&f, &[0.5, 0.9], &background);
+        assert!(phi[1].abs() < 1e-12, "irrelevant feature must get φ = 0");
+    }
+
+    #[test]
+    fn symmetry_axiom() {
+        // f symmetric in x0, x1 and x equal on both → equal φ.
+        let f = |x: &[f32]| f64::from(x[0]) + f64::from(x[1]) + f64::from(x[0]) * f64::from(x[1]);
+        let background = vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![0.5, 0.5]];
+        let phi = exact_shapley(&f, &[0.8, 0.8], &background);
+        assert!((phi[0] - phi[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interaction_split_between_players() {
+        // Pure AND game with zero background: φ0 = φ1 = 1/2 at x=(1,1).
+        let f = |x: &[f32]| f64::from(x[0]) * f64::from(x[1]);
+        let background = vec![vec![0.0, 0.0]];
+        let phi = exact_shapley(&f, &[1.0, 1.0], &background);
+        assert!((phi[0] - 0.5).abs() < 1e-12);
+        assert!((phi[1] - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,226 @@
+//! KernelSHAP: model-agnostic Shapley estimation (Lundberg & Lee 2017).
+//!
+//! Fits a weighted linear model over coalition indicators with the Shapley
+//! kernel `π(z) = (M−1) / (C(M,|z|) · |z| · (M−|z|))`, with the two
+//! infinite-weight coalitions (∅ and the grand coalition) folded in as the
+//! intercept and an equality constraint. With full coalition enumeration the
+//! estimate is *exact*; with sampling it converges as the sample count
+//! grows.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::linalg::weighted_least_squares;
+use crate::tree_shap::ShapExplanation;
+
+/// KernelSHAP settings.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelShapConfig {
+    /// Enumerate all coalitions when the feature count is at most this
+    /// (exact mode); otherwise sample.
+    pub max_exhaustive_features: usize,
+    /// Number of sampled coalitions in sampling mode.
+    pub n_samples: usize,
+    /// RNG seed for sampling mode.
+    pub seed: u64,
+}
+
+impl Default for KernelShapConfig {
+    fn default() -> Self {
+        KernelShapConfig {
+            max_exhaustive_features: 13,
+            n_samples: 4096,
+            seed: 0,
+        }
+    }
+}
+
+/// Estimates SHAP values of a black-box scorer `f` at `x` against a
+/// background dataset.
+///
+/// # Panics
+///
+/// Panics if `background` is empty or widths disagree.
+pub fn kernel_shap(
+    f: &dyn Fn(&[f32]) -> f64,
+    x: &[f32],
+    background: &[Vec<f32>],
+    config: &KernelShapConfig,
+) -> ShapExplanation {
+    let m = x.len();
+    assert!(!background.is_empty(), "background must be nonempty");
+    assert!(
+        background.iter().all(|b| b.len() == m),
+        "background width mismatch"
+    );
+
+    // val(z): interventional expectation over the background.
+    let mut composite = vec![0.0f32; m];
+    let mut val = |mask: &[bool]| -> f64 {
+        let mut acc = 0.0;
+        for b in background {
+            for i in 0..m {
+                composite[i] = if mask[i] { x[i] } else { b[i] };
+            }
+            acc += f(&composite);
+        }
+        acc / background.len() as f64
+    };
+
+    let base_value = val(&vec![false; m]);
+    let fx = val(&vec![true; m]);
+    if m == 1 {
+        return ShapExplanation {
+            base_value,
+            values: vec![fx - base_value],
+            fx,
+        };
+    }
+    let delta = fx - base_value;
+
+    // Shapley kernel over coalition sizes 1..m-1.
+    let ln_choose = |n: usize, k: usize| -> f64 {
+        let ln_fact = |v: usize| (1..=v).map(|i| (i as f64).ln()).sum::<f64>();
+        ln_fact(n) - ln_fact(k) - ln_fact(n - k)
+    };
+    let kernel = |s: usize| -> f64 {
+        ((m - 1) as f64 / (s * (m - s)) as f64) * (-ln_choose(m, s)).exp()
+    };
+
+    // Collect coalitions (mask, weight).
+    let mut masks: Vec<(Vec<bool>, f64)> = Vec::new();
+    if m <= config.max_exhaustive_features {
+        for bits in 1..(1usize << m) - 1 {
+            let mask: Vec<bool> = (0..m).map(|i| bits >> i & 1 == 1).collect();
+            masks.push((mask, kernel(bits.count_ones() as usize)));
+        }
+    } else {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        // Sample sizes proportional to total kernel mass per size, then a
+        // uniform subset of that size.
+        let size_mass: Vec<f64> = (1..m)
+            .map(|s| kernel(s) * ln_choose(m, s).exp())
+            .collect();
+        let total: f64 = size_mass.iter().sum();
+        for _ in 0..config.n_samples {
+            let mut pick = rng.gen::<f64>() * total;
+            let mut s = 1usize;
+            for (i, w) in size_mass.iter().enumerate() {
+                if pick < *w {
+                    s = i + 1;
+                    break;
+                }
+                pick -= w;
+                s = i + 1;
+            }
+            // Uniform random subset of size s (partial Fisher–Yates).
+            let mut idx: Vec<usize> = (0..m).collect();
+            for i in 0..s {
+                let j = rng.gen_range(i..m);
+                idx.swap(i, j);
+            }
+            let mut mask = vec![false; m];
+            for &i in &idx[..s] {
+                mask[i] = true;
+            }
+            masks.push((mask, 1.0)); // kernel folded into sampling distribution
+        }
+    }
+
+    // Constrained WLS: substitute φ_{m-1} = Δ − Σ_{i<m-1} φ_i.
+    let cols = m - 1;
+    let rows = masks.len();
+    let mut design = vec![0.0f64; rows * cols];
+    let mut target = vec![0.0f64; rows];
+    let mut weights = vec![0.0f64; rows];
+    for (r, (mask, w)) in masks.iter().enumerate() {
+        let z_last = f64::from(u8::from(mask[m - 1]));
+        for i in 0..cols {
+            design[r * cols + i] = f64::from(u8::from(mask[i])) - z_last;
+        }
+        target[r] = val(mask) - base_value - z_last * delta;
+        weights[r] = *w;
+    }
+    let beta = weighted_least_squares(&design, &target, &weights, rows, cols)
+        .unwrap_or_else(|| vec![0.0; cols]);
+    let mut values = beta;
+    let sum_head: f64 = values.iter().sum();
+    values.push(delta - sum_head);
+
+    ShapExplanation {
+        base_value,
+        values,
+        fx,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_shapley;
+
+    #[test]
+    fn exhaustive_mode_matches_bruteforce() {
+        let f = |x: &[f32]| {
+            f64::from(x[0]) * f64::from(x[1]) + 2.0 * f64::from(x[2]) - 0.5 * f64::from(x[3])
+        };
+        let background = vec![
+            vec![0.0, 0.0, 0.0, 0.0],
+            vec![1.0, 0.5, 0.2, 0.8],
+            vec![0.3, 1.0, 0.9, 0.1],
+        ];
+        let x = [1.0f32, 1.0, 0.5, 0.0];
+        let ks = kernel_shap(&f, &x, &background, &KernelShapConfig::default());
+        let ex = exact_shapley(&f, &x, &background);
+        for (a, b) in ks.values.iter().zip(&ex) {
+            assert!((a - b).abs() < 1e-6, "kernel {a} vs exact {b}");
+        }
+        assert!(ks.efficiency_gap().abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_feature_gets_full_delta() {
+        let f = |x: &[f32]| 3.0 * f64::from(x[0]);
+        let bg = vec![vec![0.0]];
+        let e = kernel_shap(&f, &[2.0], &bg, &KernelShapConfig::default());
+        assert!((e.values[0] - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_holds_in_sampling_mode() {
+        let f = |x: &[f32]| {
+            x.iter()
+                .enumerate()
+                .map(|(i, &v)| (i as f64 + 1.0) * f64::from(v))
+                .sum::<f64>()
+        };
+        let m = 16; // above the exhaustive cap
+        let background = vec![vec![0.0f32; m], vec![1.0f32; m]];
+        let x: Vec<f32> = (0..m).map(|i| (i % 2) as f32).collect();
+        let cfg = KernelShapConfig { n_samples: 2000, ..Default::default() };
+        let e = kernel_shap(&f, &x, &background, &cfg);
+        assert!(e.efficiency_gap().abs() < 1e-9, "gap {}", e.efficiency_gap());
+    }
+
+    #[test]
+    fn sampling_mode_approximates_linear_model() {
+        // Linear model: φ_i = c_i (x_i − mean(b_i)) exactly.
+        let coefs: Vec<f64> = (0..16).map(|i| (i as f64) - 7.5).collect();
+        let c = coefs.clone();
+        let f = move |x: &[f32]| {
+            x.iter().zip(&c).map(|(&v, &ci)| ci * f64::from(v)).sum::<f64>()
+        };
+        let m = 16;
+        let background = vec![vec![0.0f32; m], vec![1.0f32; m]];
+        let x: Vec<f32> = vec![1.0; m];
+        let cfg = KernelShapConfig { n_samples: 6000, seed: 3, ..Default::default() };
+        let e = kernel_shap(&f, &x, &background, &cfg);
+        for (i, &phi) in e.values.iter().enumerate() {
+            let want = coefs[i] * 0.5;
+            assert!(
+                (phi - want).abs() < 0.35,
+                "feature {i}: kernel {phi} vs exact {want}"
+            );
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Minimal dense linear algebra: Gaussian elimination for the KernelSHAP
+//! weighted-least-squares solve.
+
+/// Solves `A x = b` for square `A` (row-major) by Gaussian elimination with
+/// partial pivoting. Returns `None` if the matrix is numerically singular.
+///
+/// # Panics
+///
+/// Panics if dimensions are inconsistent.
+pub fn solve(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
+    assert_eq!(a.len(), n * n, "matrix must be n×n");
+    assert_eq!(b.len(), n, "rhs must have length n");
+    let mut m = a.to_vec();
+    let mut rhs = b.to_vec();
+    for col in 0..n {
+        // Partial pivot.
+        let (pivot_row, pivot_val) = (col..n)
+            .map(|r| (r, m[r * n + col].abs()))
+            .max_by(|x, y| x.1.partial_cmp(&y.1).unwrap_or(std::cmp::Ordering::Equal))?;
+        if pivot_val < 1e-12 {
+            return None;
+        }
+        if pivot_row != col {
+            for k in 0..n {
+                m.swap(col * n + k, pivot_row * n + k);
+            }
+            rhs.swap(col, pivot_row);
+        }
+        let pivot = m[col * n + col];
+        for r in col + 1..n {
+            let factor = m[r * n + col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                m[r * n + k] -= factor * m[col * n + k];
+            }
+            rhs[r] -= factor * rhs[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0f64; n];
+    for row in (0..n).rev() {
+        let mut acc = rhs[row];
+        for k in row + 1..n {
+            acc -= m[row * n + k] * x[k];
+        }
+        x[row] = acc / m[row * n + row];
+    }
+    Some(x)
+}
+
+/// Weighted least squares: minimizes `Σ w_i (y_i − X_i·β)²` via the normal
+/// equations with a small ridge for conditioning. `x` is row-major
+/// `rows × cols`.
+///
+/// Returns `None` on a singular system.
+///
+/// # Panics
+///
+/// Panics if dimensions are inconsistent.
+pub fn weighted_least_squares(
+    x: &[f64],
+    y: &[f64],
+    w: &[f64],
+    rows: usize,
+    cols: usize,
+) -> Option<Vec<f64>> {
+    assert_eq!(x.len(), rows * cols);
+    assert_eq!(y.len(), rows);
+    assert_eq!(w.len(), rows);
+    let mut xtx = vec![0.0f64; cols * cols];
+    let mut xty = vec![0.0f64; cols];
+    for r in 0..rows {
+        let wr = w[r];
+        let row = &x[r * cols..(r + 1) * cols];
+        for i in 0..cols {
+            xty[i] += wr * row[i] * y[r];
+            for j in i..cols {
+                xtx[i * cols + j] += wr * row[i] * row[j];
+            }
+        }
+    }
+    // Mirror the upper triangle and add a tiny ridge.
+    for i in 0..cols {
+        for j in 0..i {
+            xtx[i * cols + j] = xtx[j * cols + i];
+        }
+        xtx[i * cols + i] += 1e-10;
+    }
+    solve(&xtx, &xty, cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_known_system() {
+        // [2 1; 1 3] x = [5; 10] → x = (1, 3).
+        let a = [2.0, 1.0, 1.0, 3.0];
+        let b = [5.0, 10.0];
+        let x = solve(&a, &b, 2).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = [1.0, 2.0, 2.0, 4.0];
+        assert!(solve(&a, &[1.0, 2.0], 2).is_none());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // [0 1; 1 0] x = [2; 3] → x = (3, 2).
+        let a = [0.0, 1.0, 1.0, 0.0];
+        let x = solve(&a, &[2.0, 3.0], 2).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-10);
+        assert!((x[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn wls_recovers_line() {
+        // y = 2a − b exactly; WLS must recover (2, −1) for any weights.
+        let x = [1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 2.0, 1.0];
+        let y = [2.0, -1.0, 1.0, 3.0];
+        let w = [1.0, 2.0, 0.5, 1.5];
+        let beta = weighted_least_squares(&x, &y, &w, 4, 2).unwrap();
+        assert!((beta[0] - 2.0).abs() < 1e-6);
+        assert!((beta[1] + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wls_weights_matter() {
+        // Conflicting observations of a constant: weighted mean wins.
+        let x = [1.0, 1.0];
+        let y = [0.0, 10.0];
+        let w = [9.0, 1.0];
+        let beta = weighted_least_squares(&x, &y, &w, 2, 1).unwrap();
+        assert!((beta[0] - 1.0).abs() < 1e-6);
+    }
+}

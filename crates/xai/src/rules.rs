@@ -1,0 +1,390 @@
+//! SHAP-guided rule mining (paper Table V).
+//!
+//! POLARIS distills its trained model into human-readable conjunction rules:
+//! for confidently-classified samples, the top-|φ| features *supporting* the
+//! prediction form a candidate condition set; condition sets recurring
+//! across many samples become rules ("as long as G4 = NAND && G5 = AND … →
+//! Select & Replace with masking gate"). Rules can then drive masking
+//! decisions on their own or refine model scores (paper §IV-B).
+
+use std::collections::HashMap;
+
+use crate::tree_shap::ShapExplanation;
+
+/// What a matched rule recommends.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MaskAction {
+    /// Select the gate and replace it with a masking composite.
+    Mask,
+    /// Leave the gate unmasked.
+    DontMask,
+}
+
+impl std::fmt::Display for MaskAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MaskAction::Mask => write!(f, "Select & Replace with masking gate"),
+            MaskAction::DontMask => write!(f, "Do not Mask"),
+        }
+    }
+}
+
+/// One conjunct of a rule: a binary feature required to be set / unset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RuleCondition {
+    /// Feature column index.
+    pub feature: usize,
+    /// Feature name (as produced by the feature extractor).
+    pub name: String,
+    /// Required truth value (features are thresholded at 0.5).
+    pub expected: bool,
+}
+
+impl RuleCondition {
+    /// True if the sample satisfies this conjunct.
+    pub fn matches(&self, x: &[f32]) -> bool {
+        (x[self.feature] >= 0.5) == self.expected
+    }
+}
+
+/// A mined conjunction rule.
+#[derive(Clone, Debug)]
+pub struct Rule {
+    /// The conjuncts, in descending mean-|φ| order.
+    pub conditions: Vec<RuleCondition>,
+    /// Recommended action when all conditions hold.
+    pub action: MaskAction,
+    /// Number of mining samples matching the condition set.
+    pub support: usize,
+    /// Fraction of matching samples whose model prediction agrees with
+    /// `action`.
+    pub confidence: f64,
+    /// Mean total |φ| of the conditions across supporting samples.
+    pub strength: f64,
+}
+
+impl Rule {
+    /// True if every condition holds for the sample.
+    pub fn matches(&self, x: &[f32]) -> bool {
+        self.conditions.iter().all(|c| c.matches(x))
+    }
+
+    /// Renders the rule in the paper's Table-V style.
+    pub fn render(&self) -> String {
+        let conds: Vec<String> = self
+            .conditions
+            .iter()
+            .map(|c| {
+                if c.expected {
+                    c.name.clone()
+                } else {
+                    format!("NOT({})", c.name)
+                }
+            })
+            .collect();
+        format!(
+            "As long as {} => {} [support={}, confidence={:.2}]",
+            conds.join(" && "),
+            self.action,
+            self.support,
+            self.confidence
+        )
+    }
+}
+
+/// A mined rule list usable as a standalone decision procedure or a score
+/// refiner.
+#[derive(Clone, Debug, Default)]
+pub struct RuleSet {
+    rules: Vec<Rule>,
+}
+
+impl RuleSet {
+    /// Builds a rule set from pre-constructed rules (persistence path);
+    /// callers are responsible for ordering (strongest first).
+    pub fn from_rules(rules: Vec<Rule>) -> Self {
+        RuleSet { rules }
+    }
+
+    /// The rules, strongest first.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when no rules were mined.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// First matching rule's action, if any (rules are ordered strongest
+    /// first).
+    pub fn decide(&self, x: &[f32]) -> Option<MaskAction> {
+        self.rules.iter().find(|r| r.matches(x)).map(|r| r.action)
+    }
+
+    /// Score adjustment for model/rule hybrid inference (paper §IV-C): a
+    /// matching Mask rule boosts the model score, a DontMask rule lowers it,
+    /// each scaled by rule confidence.
+    pub fn score_adjustment(&self, x: &[f32], boost: f64) -> f64 {
+        match self.rules.iter().find(|r| r.matches(x)) {
+            Some(r) => match r.action {
+                MaskAction::Mask => boost * r.confidence,
+                MaskAction::DontMask => -boost * r.confidence,
+            },
+            None => 0.0,
+        }
+    }
+}
+
+/// Rule-mining parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RuleMiner {
+    /// Conjuncts per candidate rule.
+    pub conditions_per_rule: usize,
+    /// Only samples with model probability ≥ this (or ≤ 1−this for
+    /// DontMask rules) are mined.
+    pub min_probability: f64,
+    /// Minimum supporting samples for a rule to be kept.
+    pub min_support: usize,
+    /// Maximum rules kept per action.
+    pub max_rules: usize,
+}
+
+impl Default for RuleMiner {
+    fn default() -> Self {
+        RuleMiner {
+            conditions_per_rule: 3,
+            min_probability: 0.7,
+            min_support: 3,
+            max_rules: 5,
+        }
+    }
+}
+
+impl RuleMiner {
+    /// Mines rules from explained samples.
+    ///
+    /// `samples` pairs each feature vector with its SHAP explanation and the
+    /// model's positive-class probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feature_names` length disagrees with the explanations.
+    pub fn mine(
+        &self,
+        samples: &[(Vec<f32>, ShapExplanation, f64)],
+        feature_names: &[String],
+    ) -> RuleSet {
+        // condition-set key → (support, agreeing predictions, Σ strength)
+        type BucketKey = (Vec<(usize, bool)>, MaskAction);
+        let mut buckets: HashMap<BucketKey, (usize, usize, f64)> = HashMap::new();
+        for (x, explanation, proba) in samples {
+            assert_eq!(
+                explanation.values.len(),
+                feature_names.len(),
+                "explanation width mismatch"
+            );
+            let action = if *proba >= self.min_probability {
+                MaskAction::Mask
+            } else if *proba <= 1.0 - self.min_probability {
+                MaskAction::DontMask
+            } else {
+                continue;
+            };
+            // Features pushing *toward* the decision: positive φ for Mask,
+            // negative φ for DontMask.
+            let mut ranked: Vec<(usize, f64)> = explanation
+                .values
+                .iter()
+                .enumerate()
+                .map(|(i, &phi)| (i, phi))
+                .filter(|(_, phi)| match action {
+                    MaskAction::Mask => *phi > 0.0,
+                    MaskAction::DontMask => *phi < 0.0,
+                })
+                .collect();
+            ranked.sort_by(|a, b| {
+                b.1.abs()
+                    .partial_cmp(&a.1.abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            ranked.truncate(self.conditions_per_rule);
+            if ranked.len() < self.conditions_per_rule {
+                continue;
+            }
+            let strength: f64 = ranked.iter().map(|(_, phi)| phi.abs()).sum();
+            let mut key: Vec<(usize, bool)> = ranked
+                .iter()
+                .map(|(i, _)| (*i, x[*i] >= 0.5))
+                .collect();
+            key.sort_unstable();
+            let entry = buckets.entry((key, action)).or_insert((0, 0, 0.0));
+            entry.0 += 1; // support
+            let agrees = match action {
+                MaskAction::Mask => *proba >= 0.5,
+                MaskAction::DontMask => *proba < 0.5,
+            };
+            if agrees {
+                entry.1 += 1;
+            }
+            entry.2 += strength;
+        }
+
+        let mut per_action: HashMap<MaskAction, Vec<Rule>> = HashMap::new();
+        for ((key, action), (support, agree, strength_sum)) in buckets {
+            if support < self.min_support {
+                continue;
+            }
+            let conditions = key
+                .into_iter()
+                .map(|(feature, expected)| RuleCondition {
+                    feature,
+                    name: feature_names[feature].clone(),
+                    expected,
+                })
+                .collect();
+            per_action.entry(action).or_default().push(Rule {
+                conditions,
+                action,
+                support,
+                confidence: agree as f64 / support as f64,
+                strength: strength_sum / support as f64,
+            });
+        }
+        let mut rules = Vec::new();
+        for (_, mut v) in per_action {
+            v.sort_by(|a, b| {
+                (b.support as f64 * b.strength)
+                    .partial_cmp(&(a.support as f64 * a.strength))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            v.truncate(self.max_rules);
+            rules.extend(v);
+        }
+        rules.sort_by(|a, b| {
+            (b.support as f64 * b.strength)
+                .partial_cmp(&(a.support as f64 * a.strength))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        RuleSet { rules }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(
+        x: Vec<f32>,
+        phis: Vec<f64>,
+        proba: f64,
+    ) -> (Vec<f32>, ShapExplanation, f64) {
+        let fx = phis.iter().sum::<f64>();
+        (
+            x,
+            ShapExplanation {
+                base_value: 0.0,
+                values: phis,
+                fx,
+            },
+            proba,
+        )
+    }
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("f{i}")).collect()
+    }
+
+    #[test]
+    fn mines_recurring_positive_pattern() {
+        // Five samples share the same top-2 positive features (0, 1).
+        let samples: Vec<_> = (0..5)
+            .map(|_| sample(vec![1.0, 1.0, 0.0], vec![0.9, 0.6, 0.01], 0.95))
+            .collect();
+        let miner = RuleMiner {
+            conditions_per_rule: 2,
+            min_support: 3,
+            ..Default::default()
+        };
+        let rules = miner.mine(&samples, &names(3));
+        assert_eq!(rules.len(), 1);
+        let r = &rules.rules()[0];
+        assert_eq!(r.action, MaskAction::Mask);
+        assert_eq!(r.support, 5);
+        assert!((r.confidence - 1.0).abs() < 1e-12);
+        assert!(r.matches(&[1.0, 1.0, 0.0]));
+        assert!(!r.matches(&[0.0, 1.0, 0.0]));
+    }
+
+    #[test]
+    fn mines_dont_mask_rules_from_negative_shap() {
+        let samples: Vec<_> = (0..4)
+            .map(|_| sample(vec![0.0, 1.0], vec![-0.8, -0.5], 0.05))
+            .collect();
+        let miner = RuleMiner {
+            conditions_per_rule: 2,
+            min_support: 3,
+            ..Default::default()
+        };
+        let rules = miner.mine(&samples, &names(2));
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules.rules()[0].action, MaskAction::DontMask);
+        assert_eq!(rules.decide(&[0.0, 1.0]), Some(MaskAction::DontMask));
+        assert!(rules.score_adjustment(&[0.0, 1.0], 0.2) < 0.0);
+    }
+
+    #[test]
+    fn low_support_patterns_dropped() {
+        let samples = vec![sample(vec![1.0, 1.0], vec![0.9, 0.6], 0.95)];
+        let miner = RuleMiner {
+            conditions_per_rule: 2,
+            min_support: 3,
+            ..Default::default()
+        };
+        assert!(miner.mine(&samples, &names(2)).is_empty());
+    }
+
+    #[test]
+    fn uncertain_samples_ignored() {
+        let samples: Vec<_> = (0..10)
+            .map(|_| sample(vec![1.0, 1.0], vec![0.3, 0.2], 0.55))
+            .collect();
+        let miner = RuleMiner {
+            conditions_per_rule: 2,
+            min_support: 1,
+            min_probability: 0.7,
+            ..Default::default()
+        };
+        assert!(miner.mine(&samples, &names(2)).is_empty());
+    }
+
+    #[test]
+    fn render_matches_table_v_style() {
+        let samples: Vec<_> = (0..3)
+            .map(|_| sample(vec![1.0, 0.0], vec![0.9, 0.6], 0.9))
+            .collect();
+        let miner = RuleMiner {
+            conditions_per_rule: 2,
+            min_support: 2,
+            ..Default::default()
+        };
+        let rules = miner.mine(&samples, &["G4 = NAND".into(), "conn(G8,G9)".into()]);
+        let text = rules.rules()[0].render();
+        assert!(text.contains("As long as"));
+        assert!(text.contains("G4 = NAND"));
+        assert!(text.contains("NOT(conn(G8,G9))"));
+        assert!(text.contains("Select & Replace"));
+    }
+
+    #[test]
+    fn no_match_gives_no_decision() {
+        let rules = RuleSet::default();
+        assert_eq!(rules.decide(&[1.0]), None);
+        assert_eq!(rules.score_adjustment(&[1.0], 0.5), 0.0);
+    }
+}

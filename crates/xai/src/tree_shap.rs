@@ -1,0 +1,337 @@
+//! Exact interventional TreeSHAP.
+//!
+//! For one background sample `b` the coalition game is
+//! `val(S) = tree(x with features outside S replaced by b)`. For a decision
+//! tree this game decomposes over leaves: a leaf `l` is reached by coalition
+//! `S` iff every path feature that only `x` satisfies is *in* `S` (set
+//! `X_l`, size `a`) and every path feature that only `b` satisfies is *out*
+//! (set `B_l`, size `c`); features satisfying both are irrelevant, and a
+//! feature satisfying neither makes the leaf unreachable. Free features are
+//! Shapley-dummies, so the per-leaf contribution has the closed form
+//!
+//! ```text
+//! f ∈ X_l:  φ_f += v_l · (a−1)! c! / (a+c)!
+//! f ∈ B_l:  φ_f −= v_l · a! (c−1)! / (a+c)!
+//! ```
+//!
+//! This runs in `O(leaves × depth)` per background sample and matches the
+//! brute-force oracle of [`crate::exact`] bit-for-bit (see tests). Ensemble
+//! values are the weighted sums over trees, in margin space, averaged over
+//! the background set.
+
+use polaris_ml::{Tree, TreeEnsemble, TreeNode};
+
+/// SHAP explanation of one prediction, in the ensemble's margin space.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShapExplanation {
+    /// Expected margin over the background set (`E[f(x)]` in Fig. 3).
+    pub base_value: f64,
+    /// Per-feature Shapley contributions φ.
+    pub values: Vec<f64>,
+    /// The explained sample's margin (`f(x)` in Fig. 3).
+    pub fx: f64,
+}
+
+impl ShapExplanation {
+    /// Efficiency-axiom residual `(base + Σφ) − f(x)`; ~0 for exact methods.
+    pub fn efficiency_gap(&self) -> f64 {
+        self.base_value + self.values.iter().sum::<f64>() - self.fx
+    }
+}
+
+/// Computes exact interventional SHAP values of `model` at `x` against a
+/// background dataset, in margin space.
+///
+/// # Panics
+///
+/// Panics if `background` is empty or any row width differs from `x`.
+pub fn tree_shap<M: TreeEnsemble>(
+    model: &M,
+    background: &[Vec<f32>],
+    x: &[f32],
+) -> ShapExplanation {
+    assert!(!background.is_empty(), "background must be nonempty");
+    assert!(
+        background.iter().all(|b| b.len() == x.len()),
+        "background width mismatch"
+    );
+    let trees = model.weighted_trees();
+    let mut values = vec![0.0f64; x.len()];
+    let mut base = model.base_margin();
+
+    // Factorials up to the deepest path (paths cannot exceed tree depth).
+    let max_depth = trees.iter().map(|(_, t)| t.depth()).max().unwrap_or(0) + 1;
+    let mut fact = vec![1.0f64; max_depth + 2];
+    for i in 1..fact.len() {
+        fact[i] = fact[i - 1] * i as f64;
+    }
+
+    let inv_bg = 1.0 / background.len() as f64;
+    for b in background {
+        for (w, tree) in &trees {
+            single_reference_shap(tree, x, b, *w * inv_bg, &fact, &mut values);
+        }
+        base += inv_bg
+            * trees
+                .iter()
+                .map(|(w, t)| w * t.predict(b))
+                .sum::<f64>();
+    }
+    ShapExplanation {
+        base_value: base,
+        values,
+        fx: model.margin(x),
+    }
+}
+
+/// Per-feature path consistency while descending to a leaf.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Consistency {
+    Unseen,
+    Both,
+    XOnly,
+    BOnly,
+    Neither,
+}
+
+/// Adds `scale ×` the single-background-sample SHAP values of one tree.
+fn single_reference_shap(
+    tree: &Tree,
+    x: &[f32],
+    b: &[f32],
+    scale: f64,
+    fact: &[f64],
+    out: &mut [f64],
+) {
+    // Depth-first traversal carrying per-feature consistency state.
+    let mut state = vec![Consistency::Unseen; x.len()];
+    let mut path_features: Vec<usize> = Vec::new();
+    descend(tree, 0, x, b, scale, fact, &mut state, &mut path_features, out);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn descend(
+    tree: &Tree,
+    node: usize,
+    x: &[f32],
+    b: &[f32],
+    scale: f64,
+    fact: &[f64],
+    state: &mut Vec<Consistency>,
+    path_features: &mut Vec<usize>,
+    out: &mut [f64],
+) {
+    match &tree.nodes()[node] {
+        TreeNode::Leaf { value, .. } => {
+            // Gather X_l and B_l from the path state.
+            let mut a = 0usize; // |X_l|
+            let mut c = 0usize; // |B_l|
+            for &f in path_features.iter() {
+                match state[f] {
+                    Consistency::XOnly => a += 1,
+                    Consistency::BOnly => c += 1,
+                    Consistency::Neither => return, // unreachable leaf
+                    _ => {}
+                }
+            }
+            if a == 0 && c == 0 {
+                return; // both reach: no feature gets credit for this leaf
+            }
+            let v = value * scale;
+            let denom = fact[a + c];
+            for &f in path_features.iter() {
+                match state[f] {
+                    Consistency::XOnly => out[f] += v * fact[a - 1] * fact[c] / denom,
+                    Consistency::BOnly => out[f] -= v * fact[a] * fact[c - 1] / denom,
+                    _ => {}
+                }
+            }
+        }
+        TreeNode::Internal {
+            feature,
+            threshold,
+            left,
+            right,
+            ..
+        } => {
+            let f = *feature;
+            let x_goes_left = x[f] <= *threshold;
+            let b_goes_left = b[f] <= *threshold;
+            for (child, branch_left) in [(*left, true), (*right, false)] {
+                let x_ok = x_goes_left == branch_left;
+                let b_ok = b_goes_left == branch_left;
+                // Early prune: if neither sample can take this branch given
+                // prior path constraints, the subtree is unreachable for
+                // every coalition.
+                let prev = state[f];
+                let combined = combine(prev, x_ok, b_ok);
+                if combined == Consistency::Neither {
+                    continue;
+                }
+                let pushed = prev == Consistency::Unseen;
+                if pushed {
+                    path_features.push(f);
+                }
+                state[f] = combined;
+                descend(tree, child, x, b, scale, fact, state, path_features, out);
+                state[f] = prev;
+                if pushed {
+                    path_features.pop();
+                }
+            }
+        }
+    }
+}
+
+/// Merges a new `(x_ok, b_ok)` decision into a feature's path consistency.
+fn combine(prev: Consistency, x_ok: bool, b_ok: bool) -> Consistency {
+    let cur = match (x_ok, b_ok) {
+        (true, true) => Consistency::Both,
+        (true, false) => Consistency::XOnly,
+        (false, true) => Consistency::BOnly,
+        (false, false) => Consistency::Neither,
+    };
+    match prev {
+        Consistency::Unseen | Consistency::Both => cur,
+        Consistency::Neither => Consistency::Neither,
+        Consistency::XOnly => match cur {
+            Consistency::Both | Consistency::XOnly => Consistency::XOnly,
+            _ => Consistency::Neither,
+        },
+        Consistency::BOnly => match cur {
+            Consistency::Both | Consistency::BOnly => Consistency::BOnly,
+            _ => Consistency::Neither,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_shapley;
+    use polaris_ml::adaboost::{AdaBoost, AdaBoostConfig};
+    use polaris_ml::forest::{ForestConfig, RandomForest};
+    use polaris_ml::gbdt::{GbdtConfig, GradientBoost};
+    use polaris_ml::{Classifier, Dataset};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_dataset(n: usize, m: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let names = (0..m).map(|i| format!("f{i}")).collect();
+        let mut d = Dataset::new(names);
+        for _ in 0..n {
+            let row: Vec<f32> = (0..m).map(|_| rng.gen_range(0..2) as f32).collect();
+            // Nontrivial label: f0 XOR f1 OR (f2 AND f3-ish).
+            let y = (row[0] != row[1]) || (m > 3 && row[2] == 1.0 && row[3] == 1.0);
+            d.push(&row, y as u8).unwrap();
+        }
+        d
+    }
+
+    fn rows(d: &Dataset) -> Vec<Vec<f32>> {
+        (0..d.len()).map(|i| d.row(i).to_vec()).collect()
+    }
+
+    fn margin_fn<'a, M: TreeEnsemble>(model: &'a M) -> impl Fn(&[f32]) -> f64 + 'a {
+        move |x: &[f32]| model.margin(x)
+    }
+
+    #[test]
+    fn matches_bruteforce_adaboost() {
+        let d = random_dataset(80, 5, 3);
+        let model = AdaBoost::fit(
+            &d,
+            &AdaBoostConfig { n_estimators: 12, max_depth: 3, ..Default::default() },
+        )
+        .unwrap();
+        let bg: Vec<Vec<f32>> = rows(&d).into_iter().take(10).collect();
+        let f = margin_fn(&model);
+        for i in 0..6 {
+            let x = d.row(i);
+            let fast = tree_shap(&model, &bg, x);
+            let slow = exact_shapley(&f, x, &bg);
+            for (a, b) in fast.values.iter().zip(&slow) {
+                assert!((a - b).abs() < 1e-9, "fast {a} vs exact {b}");
+            }
+            assert!(fast.efficiency_gap().abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matches_bruteforce_gbdt() {
+        let d = random_dataset(60, 4, 7);
+        let model = GradientBoost::fit(
+            &d,
+            &GbdtConfig { n_estimators: 10, max_depth: 3, ..Default::default() },
+        )
+        .unwrap();
+        let bg: Vec<Vec<f32>> = rows(&d).into_iter().take(8).collect();
+        let f = margin_fn(&model);
+        for i in 0..5 {
+            let x = d.row(i);
+            let fast = tree_shap(&model, &bg, x);
+            let slow = exact_shapley(&f, x, &bg);
+            for (a, b) in fast.values.iter().zip(&slow) {
+                assert!((a - b).abs() < 1e-9, "fast {a} vs exact {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_bruteforce_forest() {
+        let d = random_dataset(60, 4, 11);
+        let model = RandomForest::fit(
+            &d,
+            &ForestConfig { n_trees: 8, max_depth: 4, ..Default::default() },
+        );
+        let bg: Vec<Vec<f32>> = rows(&d).into_iter().take(6).collect();
+        let f = margin_fn(&model);
+        for i in 0..5 {
+            let x = d.row(i);
+            let fast = tree_shap(&model, &bg, x);
+            let slow = exact_shapley(&f, x, &bg);
+            for (a, b) in fast.values.iter().zip(&slow) {
+                assert!((a - b).abs() < 1e-9, "fast {a} vs exact {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn efficiency_axiom_always_holds() {
+        let d = random_dataset(120, 8, 5);
+        let model = AdaBoost::fit(&d, &Default::default()).unwrap();
+        let bg = rows(&d);
+        for i in (0..d.len()).step_by(17) {
+            let e = tree_shap(&model, &bg, d.row(i));
+            assert!(e.efficiency_gap().abs() < 1e-8, "gap {}", e.efficiency_gap());
+        }
+    }
+
+    #[test]
+    fn base_value_is_mean_background_margin() {
+        let d = random_dataset(50, 4, 9);
+        let model = AdaBoost::fit(&d, &Default::default()).unwrap();
+        let bg = rows(&d);
+        let e = tree_shap(&model, &bg, d.row(0));
+        let mean: f64 = bg.iter().map(|b| model.margin(b)).sum::<f64>() / bg.len() as f64;
+        assert!((e.base_value - mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dummy_feature_gets_zero_shap() {
+        // Train on data where feature 2 is constant: no split can use it.
+        let mut d = Dataset::new(vec!["a".into(), "b".into(), "dead".into()]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let a = rng.gen_range(0..2) as f32;
+            let b = rng.gen_range(0..2) as f32;
+            d.push(&[a, b, 0.5], (a != b) as u8).unwrap();
+        }
+        let model = AdaBoost::fit(&d, &Default::default()).unwrap();
+        let bg = rows(&d);
+        let e = tree_shap(&model, &bg, &[1.0, 0.0, 0.5]);
+        assert!(e.values[2].abs() < 1e-12);
+        assert!(model.predict(&[1.0, 0.0, 0.5]) == 1);
+    }
+}

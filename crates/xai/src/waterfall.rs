@@ -1,0 +1,147 @@
+//! Text waterfall plots (paper Fig. 3): how each feature's SHAP value moves
+//! the prediction from the expected value `E[f(x)]` to the model output
+//! `f(x)`.
+
+use crate::tree_shap::ShapExplanation;
+
+/// A rendered-ready waterfall: contributions sorted by magnitude.
+#[derive(Clone, Debug)]
+pub struct Waterfall {
+    /// Expected model output `E[f(x)]`.
+    pub base_value: f64,
+    /// Model output `f(x)` for the explained sample.
+    pub fx: f64,
+    /// `(feature name, φ, feature value)` sorted by descending `|φ|`.
+    pub contributions: Vec<(String, f64, f32)>,
+}
+
+impl Waterfall {
+    /// Builds a waterfall from an explanation, feature names and the
+    /// explained sample's feature values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree.
+    pub fn new(explanation: &ShapExplanation, names: &[String], x: &[f32]) -> Self {
+        assert_eq!(explanation.values.len(), names.len(), "name count mismatch");
+        assert_eq!(x.len(), names.len(), "value count mismatch");
+        let mut contributions: Vec<(String, f64, f32)> = names
+            .iter()
+            .zip(&explanation.values)
+            .zip(x)
+            .map(|((n, &phi), &v)| (n.clone(), phi, v))
+            .collect();
+        contributions.sort_by(|a, b| {
+            b.1.abs()
+                .partial_cmp(&a.1.abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        Waterfall {
+            base_value: explanation.base_value,
+            fx: explanation.fx,
+            contributions,
+        }
+    }
+
+    /// Renders an ASCII waterfall with up to `max_rows` features; the rest
+    /// are folded into an "other features" row. Bars are scaled to
+    /// `bar_width` characters.
+    pub fn render(&self, max_rows: usize, bar_width: usize) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "f(x) = {:+.4}", self.fx);
+        let shown = self.contributions.iter().take(max_rows);
+        let rest: f64 = self
+            .contributions
+            .iter()
+            .skip(max_rows)
+            .map(|(_, phi, _)| phi)
+            .sum();
+        let max_abs = self
+            .contributions
+            .iter()
+            .map(|(_, phi, _)| phi.abs())
+            .fold(rest.abs(), f64::max)
+            .max(1e-12);
+        let bar = |phi: f64| -> String {
+            let len = ((phi.abs() / max_abs) * bar_width as f64).round() as usize;
+            let ch = if phi >= 0.0 { '█' } else { '░' };
+            std::iter::repeat_n(ch, len.max(1)).collect()
+        };
+        for (name, phi, value) in shown {
+            let _ = writeln!(
+                s,
+                "  {phi:+8.4}  {bar:<width$}  {name} = {value}",
+                bar = bar(*phi),
+                width = bar_width,
+            );
+        }
+        if self.contributions.len() > max_rows {
+            let n = self.contributions.len() - max_rows;
+            let _ = writeln!(
+                s,
+                "  {rest:+8.4}  {bar:<width$}  ({n} other features)",
+                bar = bar(rest),
+                width = bar_width,
+            );
+        }
+        let _ = writeln!(s, "E[f(x)] = {:+.4}", self.base_value);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn explanation() -> (ShapExplanation, Vec<String>, Vec<f32>) {
+        (
+            ShapExplanation {
+                base_value: 0.1,
+                values: vec![0.5, -0.3, 0.05],
+                fx: 0.35,
+            },
+            vec!["g4_nand".into(), "g5_and".into(), "conn_8_9".into()],
+            vec![1.0, 0.0, 1.0],
+        )
+    }
+
+    #[test]
+    fn contributions_sorted_by_magnitude() {
+        let (e, names, x) = explanation();
+        let w = Waterfall::new(&e, &names, &x);
+        assert_eq!(w.contributions[0].0, "g4_nand");
+        assert_eq!(w.contributions[1].0, "g5_and");
+        assert_eq!(w.contributions[2].0, "conn_8_9");
+    }
+
+    #[test]
+    fn render_contains_endpoints_and_features() {
+        let (e, names, x) = explanation();
+        let w = Waterfall::new(&e, &names, &x);
+        let out = w.render(10, 20);
+        assert!(out.contains("f(x) = +0.3500"));
+        assert!(out.contains("E[f(x)] = +0.1000"));
+        assert!(out.contains("g4_nand"));
+        assert!(out.contains("+0.5000"));
+    }
+
+    #[test]
+    fn overflow_folds_into_other_row() {
+        let (e, names, x) = explanation();
+        let w = Waterfall::new(&e, &names, &x);
+        let out = w.render(1, 10);
+        assert!(out.contains("(2 other features)"));
+        // Folded value = −0.3 + 0.05 = −0.25.
+        assert!(out.contains("-0.2500"));
+    }
+
+    #[test]
+    fn negative_bars_use_light_shade() {
+        let (e, names, x) = explanation();
+        let w = Waterfall::new(&e, &names, &x);
+        let out = w.render(10, 10);
+        assert!(out.contains('░'), "negative φ rendered with ░");
+        assert!(out.contains('█'), "positive φ rendered with █");
+    }
+}

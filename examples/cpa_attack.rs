@@ -1,0 +1,100 @@
+//! Key recovery by Correlation Power Analysis — and what masking buys.
+//!
+//! Plays the adversary: attacks a keyed PRESENT-style S-box with CPA,
+//! recovering the 4-bit key from power traces alone, then repeats the
+//! attack against the same design protected by POLARIS-style Trichina
+//! masking and measures how far the correlation (and thus the attack)
+//! degrades.
+//!
+//! ```sh
+//! cargo run --release --example cpa_attack
+//! ```
+
+use polaris_masking::{apply_masking, MaskingStyle};
+use polaris_netlist::transform::decompose;
+use polaris_netlist::{generators::blocks, GateId, GateKind, Netlist};
+use polaris_sim::PowerModel;
+use polaris_tvla::cpa::{run_cpa, CpaConfig};
+
+const PRESENT_SBOX: [u16; 16] = [0xC, 5, 6, 0xB, 9, 0, 0xA, 0xD, 3, 0xE, 0xF, 8, 4, 7, 1, 2];
+
+fn keyed_sbox() -> Netlist {
+    let mut n = Netlist::new("keyed_sbox");
+    let data: Vec<GateId> = (0..4).map(|i| n.add_input(format!("d{i}"))).collect();
+    let key: Vec<GateId> = (0..4).map(|i| n.add_input(format!("k{i}"))).collect();
+    let keyed: Vec<GateId> = data
+        .iter()
+        .zip(&key)
+        .enumerate()
+        .map(|(i, (&d, &k))| {
+            n.add_gate(GateKind::Xor, format!("kx{i}"), &[d, k])
+                .expect("valid")
+        })
+        .collect();
+    let out = blocks::sbox(&mut n, "sb", &keyed, &PRESENT_SBOX, 4);
+    for (i, o) in out.iter().enumerate() {
+        n.add_output(format!("s{i}"), *o).expect("valid");
+    }
+    n
+}
+
+/// Hamming-distance leakage model against the all-zero reference state.
+fn predictor(pt: u32, guess: u32) -> f64 {
+    let x = (pt ^ guess) as usize & 0xF;
+    f64::from((PRESENT_SBOX[0] ^ PRESENT_SBOX[x]).count_ones() + (x as u32).count_ones())
+}
+
+fn bar(v: f64, scale: f64) -> String {
+    "█".repeat(((v / scale) * 40.0).round() as usize)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let secret_key = 0xB;
+    let model = PowerModel::default().with_noise(0.3);
+    let config = CpaConfig {
+        traces: 2000,
+        seed: 42,
+        plaintext_bits: vec![0, 1, 2, 3],
+        key_bits: vec![4, 5, 6, 7],
+        key_value: secret_key,
+    };
+
+    // --- attack the unprotected device ---
+    let design = keyed_sbox();
+    println!("attacking unprotected keyed S-box ({} traces)…\n", config.traces);
+    let outcome = run_cpa(&design, &model, &config, &predictor)?;
+    let max = outcome.correlations.iter().cloned().fold(0.0f64, f64::max);
+    for (guess, &rho) in outcome.correlations.iter().enumerate() {
+        let marker = if guess as u32 == secret_key { "  <-- true key" } else { "" };
+        println!("  guess {guess:#3x}  |r| = {rho:.3}  {}{marker}", bar(rho, max));
+    }
+    println!(
+        "\nbest guess: {:#x} — key {}; margin over runner-up: {:.2}x",
+        outcome.best_guess,
+        if outcome.key_recovered() { "RECOVERED" } else { "missed" },
+        outcome.distinguishing_margin()
+    );
+    assert!(outcome.key_recovered(), "the unprotected attack must succeed");
+
+    // --- attack the masked device ---
+    println!("\nmasking every cell (Trichina) and re-attacking…\n");
+    let (norm, _) = decompose(&design)?;
+    let masked = apply_masking(&norm, &norm.cell_ids(), MaskingStyle::Trichina)?;
+    let protected = run_cpa(&masked.netlist, &model, &config, &predictor)?;
+    let rho_before = outcome.correlations[secret_key as usize];
+    let rho_after = protected.correlations[secret_key as usize];
+    println!("  correct-key correlation: {rho_before:.3} -> {rho_after:.3}");
+    println!(
+        "  attack-cost scaling (~1/r^2): {:.1}x more traces needed",
+        (rho_before / rho_after.max(1e-6)).powi(2)
+    );
+    println!(
+        "  key under masking: {}",
+        if protected.key_recovered() {
+            "still recovered (boundary leakage — raise the order / share the I/O)"
+        } else {
+            "NOT recovered at this trace budget"
+        }
+    );
+    Ok(())
+}

@@ -1,0 +1,180 @@
+//! Property-based tests: masking transforms preserve function on arbitrary
+//! generated netlists, and netlist text round-trips.
+
+use proptest::prelude::*;
+
+use polaris_masking::{apply_masking, MaskingStyle};
+use polaris_netlist::transform::decompose;
+use polaris_netlist::{GateId, GateKind, Netlist};
+use polaris_sim::Simulator;
+
+/// Strategy: a random valid combinational netlist with `n_inputs` inputs and
+/// up to `max_gates` random 1–3 input gates, all outputs bound.
+fn arb_netlist(n_inputs: usize, max_gates: usize) -> impl Strategy<Value = Netlist> {
+    let kinds = prop::sample::select(vec![
+        GateKind::And,
+        GateKind::Or,
+        GateKind::Nand,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Not,
+        GateKind::Buf,
+        GateKind::Mux,
+    ]);
+    let gate_specs = prop::collection::vec((kinds, any::<u64>()), 1..max_gates);
+    gate_specs.prop_map(move |specs| {
+        let mut n = Netlist::new("prop");
+        let mut signals: Vec<GateId> = (0..n_inputs)
+            .map(|i| n.add_input(format!("i{i}")))
+            .collect();
+        for (idx, (kind, pick)) in specs.into_iter().enumerate() {
+            let arity = match kind {
+                GateKind::Not | GateKind::Buf => 1,
+                GateKind::Mux => 3,
+                _ => 2,
+            };
+            let fanin: Vec<GateId> = (0..arity)
+                .map(|k| {
+                    let j = ((pick >> (8 * k)) as usize) % signals.len();
+                    signals[j]
+                })
+                .collect();
+            let g = n
+                .add_gate(kind, format!("g{idx}"), &fanin)
+                .expect("fanin ids exist");
+            signals.push(g);
+        }
+        // Bind the last few signals as outputs so nothing is trivially dead.
+        let outs = signals.len().min(4);
+        for (i, &s) in signals.iter().rev().take(outs).enumerate() {
+            n.add_output(format!("o{i}"), s).expect("valid output");
+        }
+        n
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Trichina-masking any subset of gates never changes the function.
+    #[test]
+    fn masking_preserves_function(
+        netlist in arb_netlist(5, 24),
+        subset_seed in any::<u64>(),
+        stimulus in prop::collection::vec(any::<bool>(), 5),
+        mask_bits in any::<u64>(),
+    ) {
+        let (norm, _) = decompose(&netlist).expect("decompose succeeds");
+        let cells = norm.cell_ids();
+        let targets: Vec<GateId> = cells
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (subset_seed >> (i % 64)) & 1 == 1)
+            .map(|(_, &id)| id)
+            .collect();
+        let masked = apply_masking(&norm, &targets, MaskingStyle::Trichina)
+            .expect("masking succeeds");
+
+        let sim_o = Simulator::new(&norm).expect("compiles");
+        let sim_m = Simulator::new(&masked.netlist).expect("compiles");
+        let masks: Vec<bool> = (0..masked.netlist.mask_inputs().len())
+            .map(|i| (mask_bits >> (i % 64)) & 1 == 1)
+            .collect();
+        let out_o = sim_o.eval_bool(&stimulus, &[]).expect("widths ok");
+        let out_m = sim_m.eval_bool(&stimulus, &masks).expect("widths ok");
+        prop_assert_eq!(out_o, out_m);
+    }
+
+    /// Decomposition itself preserves function.
+    #[test]
+    fn decompose_preserves_function(
+        netlist in arb_netlist(4, 20),
+        stimulus in prop::collection::vec(any::<bool>(), 4),
+    ) {
+        let (norm, _) = decompose(&netlist).expect("decompose succeeds");
+        let sim_o = Simulator::new(&netlist).expect("compiles");
+        let sim_n = Simulator::new(&norm).expect("compiles");
+        prop_assert_eq!(
+            sim_o.eval_bool(&stimulus, &[]).expect("widths ok"),
+            sim_n.eval_bool(&stimulus, &[]).expect("widths ok")
+        );
+    }
+
+    /// Constant propagation preserves function on netlists salted with
+    /// constants, and never grows the design.
+    #[test]
+    fn constant_propagation_preserves_function(
+        netlist in arb_netlist(4, 20),
+        stimulus in prop::collection::vec(any::<bool>(), 4),
+    ) {
+        use polaris_netlist::transform::propagate_constants;
+        // Salt: rebuild with two constants appended to the signal pool by
+        // XOR-ing them into the first output.
+        let mut salted = netlist.clone();
+        let one = salted.add_gate(GateKind::Const1, "salt1", &[]).expect("valid");
+        let zero = salted.add_gate(GateKind::Const0, "salt0", &[]).expect("valid");
+        let first_out = netlist.outputs()[0].1;
+        let x1 = salted.add_gate(GateKind::Xor, "saltx1", &[first_out, one]).expect("valid");
+        let x2 = salted.add_gate(GateKind::Xor, "saltx2", &[x1, one]).expect("valid");
+        let a1 = salted.add_gate(GateKind::Or, "salto", &[x2, zero]).expect("valid");
+        salted.add_output("salted", a1).expect("valid");
+
+        let (folded, _) = propagate_constants(&salted).expect("propagation succeeds");
+        let sim_o = Simulator::new(&salted).expect("compiles");
+        let sim_f = Simulator::new(&folded).expect("compiles");
+        prop_assert_eq!(
+            sim_o.eval_bool(&stimulus, &[]).expect("widths ok"),
+            sim_f.eval_bool(&stimulus, &[]).expect("widths ok")
+        );
+        prop_assert!(folded.gate_count() <= salted.gate_count() + 2);
+    }
+
+    /// The netlist writer's output re-parses to a design with identical
+    /// simulation behaviour.
+    #[test]
+    fn netlist_text_roundtrip(
+        netlist in arb_netlist(4, 16),
+        stimulus in prop::collection::vec(any::<bool>(), 4),
+    ) {
+        let text = polaris_netlist::write_netlist(&netlist);
+        let reparsed = polaris_netlist::parse_netlist(&text).expect("writer output parses");
+        let sim_a = Simulator::new(&netlist).expect("compiles");
+        let sim_b = Simulator::new(&reparsed).expect("compiles");
+        prop_assert_eq!(
+            sim_a.eval_bool(&stimulus, &[]).expect("widths ok"),
+            sim_b.eval_bool(&stimulus, &[]).expect("widths ok")
+        );
+    }
+
+    /// Masking bookkeeping invariants hold for arbitrary subsets.
+    #[test]
+    fn masking_bookkeeping_invariants(
+        netlist in arb_netlist(5, 20),
+        subset_seed in any::<u64>(),
+    ) {
+        let (norm, _) = decompose(&netlist).expect("decompose succeeds");
+        let cells = norm.cell_ids();
+        let targets: Vec<GateId> = cells
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (subset_seed >> (i % 64)) & 1 == 1)
+            .map(|(_, &id)| id)
+            .collect();
+        let masked = apply_masking(&norm, &targets, MaskingStyle::Trichina)
+            .expect("masking succeeds");
+        // Origin covers exactly the new netlist.
+        prop_assert_eq!(masked.origin.len(), masked.netlist.gate_count());
+        // All target groups are nonempty and grew.
+        for &t in &targets {
+            prop_assert!(masked.gates_for(t).len() > 1, "gate {} did not expand", t);
+        }
+        // Mask-bit accounting: 3 per 2-input target, 1 per unary target.
+        let expected: usize = targets
+            .iter()
+            .map(|&t| if norm.gate(t).fanin().len() == 1 { 1 } else { 3 })
+            .sum();
+        prop_assert_eq!(masked.added_mask_bits, expected);
+        masked.netlist.validate().expect("masked netlist valid");
+    }
+}

@@ -1,0 +1,207 @@
+//! End-to-end integration: the full POLARIS workflow across crates.
+
+use polaris::config::{ModelKind, PolarisConfig};
+use polaris::pipeline::{MaskBudget, PolarisPipeline};
+use polaris_netlist::generators;
+use polaris_sim::PowerModel;
+
+fn fast_config(seed: u64) -> PolarisConfig {
+    PolarisConfig {
+        msize: 10,
+        iterations: 4,
+        traces: 200,
+        n_estimators: 25,
+        learning_rate: 0.5,
+        ..PolarisConfig::fast_profile(seed)
+    }
+}
+
+fn small_training() -> Vec<polaris_netlist::Netlist> {
+    vec![
+        generators::iscas_like("c432", 1, 5).expect("known design"),
+        generators::iscas_like("c499", 1, 6).expect("known design"),
+    ]
+}
+
+#[test]
+fn train_then_protect_unseen_design() {
+    let power = PowerModel::default();
+    let trained = PolarisPipeline::new(fast_config(3))
+        .train(&small_training(), &power)
+        .expect("training succeeds");
+
+    // The cognition dataset has both classes and real volume.
+    let (bad, good) = trained.dataset().class_counts();
+    assert!(good > 0 && bad > 0, "classes {good}/{bad}");
+
+    // Protect a design family never seen in training.
+    let target = generators::voter(1, 77);
+    let report = trained
+        .mask_design(&target, &power, MaskBudget::LeakyFraction(1.0))
+        .expect("masking succeeds");
+    assert!(
+        report.reduction_pct() > 15.0,
+        "full leaky-gate masking should reduce leakage materially: {:.1}%",
+        report.reduction_pct()
+    );
+    assert!(
+        report.after.leaky_cells < report.before.leaky_cells,
+        "leaky cell count should drop: {} -> {}",
+        report.before.leaky_cells,
+        report.after.leaky_cells
+    );
+}
+
+#[test]
+fn masked_design_is_functionally_equivalent() {
+    use polaris_netlist::transform::decompose;
+    use polaris_sim::Simulator;
+
+    let power = PowerModel::default();
+    let trained = PolarisPipeline::new(fast_config(5))
+        .train(&small_training(), &power)
+        .expect("training succeeds");
+    let target = generators::iscas_c17();
+    let report = trained
+        .mask_design(&target, &power, MaskBudget::CellFraction(0.6))
+        .expect("masking succeeds");
+
+    let (norm, _) = decompose(&target).expect("valid design");
+    let sim_o = Simulator::new(&norm).expect("compiles");
+    let sim_m = Simulator::new(&report.masked.netlist).expect("compiles");
+    for bits in 0..32u32 {
+        let data: Vec<bool> = (0..5).map(|i| bits >> i & 1 == 1).collect();
+        // Any mask assignment leaves the function unchanged.
+        let masks: Vec<bool> = (0..report.masked.netlist.mask_inputs().len())
+            .map(|i| (bits as usize + i).is_multiple_of(3))
+            .collect();
+        assert_eq!(
+            sim_o.eval_bool(&data, &[]).expect("widths ok"),
+            sim_m.eval_bool(&data, &masks).expect("widths ok"),
+            "input {bits:05b}"
+        );
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let power = PowerModel::default();
+    let run = || {
+        let trained = PolarisPipeline::new(fast_config(9))
+            .train(&small_training(), &power)
+            .expect("training succeeds");
+        let report = trained
+            .mask_design(&generators::sin(1, 5), &power, MaskBudget::Count(10))
+            .expect("masking succeeds");
+        (
+            trained.dataset().len(),
+            report.masked_gates.clone(),
+            report.before.total_abs_t,
+            report.after.total_abs_t,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2);
+    assert_eq!(a.3, b.3);
+}
+
+#[test]
+fn all_model_kinds_complete_the_pipeline() {
+    let power = PowerModel::default();
+    for kind in ModelKind::ALL {
+        let cfg = PolarisConfig {
+            model: kind,
+            ..fast_config(11)
+        };
+        let trained = PolarisPipeline::new(cfg)
+            .train(&small_training(), &power)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", kind.name()));
+        let report = trained
+            .mask_design(&generators::iscas_c17(), &power, MaskBudget::CellFraction(1.0))
+            .expect("masking succeeds");
+        assert!(
+            report.reduction_pct() > 0.0,
+            "{}: {:.1}%",
+            kind.name(),
+            report.reduction_pct()
+        );
+    }
+}
+
+#[test]
+fn zero_budget_masks_nothing() {
+    let power = PowerModel::default();
+    let trained = PolarisPipeline::new(fast_config(21))
+        .train(&small_training(), &power)
+        .expect("training succeeds");
+    let report = trained
+        .mask_design(&generators::iscas_c17(), &power, MaskBudget::Count(0))
+        .expect("masking succeeds");
+    assert!(report.masked_gates.is_empty());
+    assert_eq!(report.masked.added_mask_bits, 0);
+    // Reduction is pure assessment noise around zero.
+    assert!(report.reduction_pct().abs() < 25.0);
+}
+
+#[test]
+fn oversized_budget_clamps_to_maskable_cells() {
+    let power = PowerModel::default();
+    let trained = PolarisPipeline::new(fast_config(23))
+        .train(&small_training(), &power)
+        .expect("training succeeds");
+    let report = trained
+        .mask_design(&generators::iscas_c17(), &power, MaskBudget::Count(10_000))
+        .expect("masking succeeds");
+    assert_eq!(report.masked_gates.len(), 6, "c17 has six maskable cells");
+}
+
+#[test]
+fn bundle_roundtrip_through_files_matches() {
+    let power = PowerModel::default();
+    let trained = PolarisPipeline::new(fast_config(29))
+        .train(&small_training(), &power)
+        .expect("training succeeds");
+    let text = polaris::persist::save_trained(&trained);
+    let loaded = polaris::persist::load_trained(&text).expect("bundle loads");
+    let target = generators::iscas_c17();
+    let a = trained
+        .mask_design(&target, &power, MaskBudget::Count(4))
+        .expect("masking succeeds");
+    let b = loaded
+        .mask_design(&target, &power, MaskBudget::Count(4))
+        .expect("masking succeeds");
+    assert_eq!(a.masked_gates, b.masked_gates, "persisted model selects the same gates");
+}
+
+#[test]
+fn rules_and_waterfalls_available_after_training() {
+    let power = PowerModel::default();
+    let trained = PolarisPipeline::new(fast_config(13))
+        .train(&small_training(), &power)
+        .expect("training succeeds");
+    // Waterfall over an arbitrary cognition sample renders non-trivially.
+    let w = trained
+        .explainer()
+        .waterfall(trained.model(), trained.dataset().row(0));
+    let text = w.render(6, 20);
+    assert!(text.contains("E[f(x)]"));
+    // Every contribution row names a structural feature (slot kinds,
+    // connectivity, or G0 scalars).
+    assert_eq!(
+        w.contributions.len(),
+        trained.extractor().n_features(),
+        "waterfall covers the full feature vector"
+    );
+    assert!(
+        w.contributions.iter().any(|(name, _, _)| name.contains('G')),
+        "feature names are structural"
+    );
+    // Efficiency axiom on the real model.
+    let e = trained
+        .explainer()
+        .explain(trained.model(), trained.dataset().row(0));
+    assert!(e.efficiency_gap().abs() < 1e-8);
+}

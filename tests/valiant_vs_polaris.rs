@@ -1,0 +1,186 @@
+//! The paper's comparative claims, verified end-to-end at test scale:
+//! POLARIS matches/or-beats VALIANT's leakage reduction per masked gate,
+//! runs its mitigation path much faster, and costs less overhead at the
+//! same budget.
+
+use std::time::Instant;
+
+use polaris::config::PolarisConfig;
+use polaris::masking_flow::{assess_grouped, rank_gates};
+use polaris::pipeline::PolarisPipeline;
+use polaris_masking::{analyze_overhead, apply_masking, CellLibrary, MaskingStyle};
+use polaris_netlist::generators;
+use polaris_netlist::transform::decompose;
+use polaris_sim::{CampaignConfig, PowerModel};
+use polaris_valiant::{ValiantConfig, ValiantFlow};
+
+fn trained() -> polaris::TrainedPolaris {
+    let config = PolarisConfig {
+        msize: 10,
+        iterations: 4,
+        traces: 200,
+        n_estimators: 25,
+        learning_rate: 0.5,
+        ..PolarisConfig::fast_profile(3)
+    };
+    let training = vec![
+        generators::iscas_like("c432", 1, 5).expect("known design"),
+        generators::iscas_like("c499", 1, 6).expect("known design"),
+    ];
+    PolarisPipeline::new(config)
+        .train(&training, &PowerModel::default())
+        .expect("training succeeds")
+}
+
+#[test]
+fn polaris_mitigation_path_is_faster_than_valiant() {
+    let power = PowerModel::default();
+    let trained = trained();
+    let (design, _) = decompose(&generators::sin(1, 7)).expect("valid design");
+    let campaign = CampaignConfig::new(200, 200, 5);
+
+    // VALIANT: full TVLA-in-the-loop flow.
+    let valiant = ValiantFlow::new(ValiantConfig {
+        campaign: campaign.clone(),
+        max_iterations: 2,
+        ..Default::default()
+    })
+    .run(&design, &power)
+    .expect("valiant runs");
+
+    // POLARIS mitigation path: rank + mask, no TVLA.
+    let t0 = Instant::now();
+    let ranked = rank_gates(&design, trained.model(), Some(trained.rules()), trained.extractor())
+        .expect("ranking runs");
+    let selected: Vec<_> = ranked
+        .iter()
+        .take(valiant.masked_gates.len().max(1))
+        .map(|(id, _)| *id)
+        .collect();
+    let _masked = apply_masking(&design, &selected, MaskingStyle::Trichina).expect("masking");
+    let polaris_time = t0.elapsed().as_secs_f64();
+
+    assert!(
+        polaris_time < valiant.runtime_s / 2.0,
+        "POLARIS ({polaris_time:.3}s) should be far faster than VALIANT ({:.3}s)",
+        valiant.runtime_s
+    );
+}
+
+#[test]
+fn comparable_reduction_at_equal_budget() {
+    let power = PowerModel::default();
+    let trained = trained();
+    let (design, _) = decompose(&generators::voter(1, 7)).expect("valid design");
+    let campaign = CampaignConfig::new(250, 250, 5);
+    let before = polaris_tvla::assess(&design, &power, &campaign)
+        .expect("assessment")
+        .summarize(&design);
+
+    let valiant = ValiantFlow::new(ValiantConfig {
+        campaign: campaign.clone(),
+        max_iterations: 3,
+        ..Default::default()
+    })
+    .run(&design, &power)
+    .expect("valiant runs");
+
+    // POLARIS with the same number of masked gates.
+    let budget = valiant.masked_gates.len().max(1);
+    let ranked = rank_gates(&design, trained.model(), Some(trained.rules()), trained.extractor())
+        .expect("ranking runs");
+    let selected: Vec<_> = ranked.iter().take(budget).map(|(id, _)| *id).collect();
+    let masked = apply_masking(&design, &selected, MaskingStyle::Trichina).expect("masking");
+    let (after, _) = assess_grouped(&design, &masked, &power, &campaign).expect("assessment");
+    let polaris_red = after.reduction_pct_from(&before);
+
+    assert!(
+        polaris_red > valiant.reduction_pct() * 0.5,
+        "POLARIS ({polaris_red:.1}%) should be in VALIANT's league ({:.1}%) at equal budget",
+        valiant.reduction_pct()
+    );
+    assert!(polaris_red > 10.0, "absolute reduction too small: {polaris_red:.1}%");
+}
+
+#[test]
+fn lower_overhead_at_half_budget() {
+    let power = PowerModel::default();
+    let trained = trained();
+    let lib = CellLibrary::default();
+    let (design, _) = decompose(&generators::des3(1, 7)).expect("valid design");
+    let campaign = CampaignConfig::new(200, 200, 5);
+
+    let valiant = ValiantFlow::new(ValiantConfig {
+        campaign: campaign.clone(),
+        max_iterations: 3,
+        ..Default::default()
+    })
+    .run(&design, &power)
+    .expect("valiant runs");
+    let v_cost =
+        analyze_overhead(&valiant.masked.netlist, &lib, 32, 1).expect("overhead analysis");
+
+    // POLARIS at half VALIANT's gate budget (Table IV setting).
+    let budget = (valiant.masked_gates.len() / 2).max(1);
+    let ranked = rank_gates(&design, trained.model(), Some(trained.rules()), trained.extractor())
+        .expect("ranking runs");
+    let selected: Vec<_> = ranked.iter().take(budget).map(|(id, _)| *id).collect();
+    let masked = apply_masking(&design, &selected, MaskingStyle::Trichina).expect("masking");
+    let p_cost = analyze_overhead(&masked.netlist, &lib, 32, 1).expect("overhead analysis");
+
+    assert!(
+        p_cost.area_um2 < v_cost.area_um2,
+        "half the gates must cost less area: {} vs {}",
+        p_cost.area_um2,
+        v_cost.area_um2
+    );
+    assert!(p_cost.power_mw < v_cost.power_mw);
+}
+
+#[test]
+fn model_ranking_beats_random_selection() {
+    // The learned ranking should pick gates whose masking reduces more
+    // leakage than a random selection of the same size.
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    let power = PowerModel::default();
+    let trained = trained();
+    let (design, _) = decompose(&generators::md5(1, 7)).expect("valid design");
+    let campaign = CampaignConfig::new(250, 250, 5);
+    let before = polaris_tvla::assess(&design, &power, &campaign)
+        .expect("assessment")
+        .summarize(&design);
+
+    let maskable: Vec<_> = design
+        .cell_ids()
+        .into_iter()
+        .filter(|&id| design.gate(id).fanin().len() <= 2)
+        .collect();
+    let budget = maskable.len() / 5;
+
+    let ranked = rank_gates(&design, trained.model(), Some(trained.rules()), trained.extractor())
+        .expect("ranking runs");
+    let model_pick: Vec<_> = ranked.iter().take(budget).map(|(id, _)| *id).collect();
+    let masked = apply_masking(&design, &model_pick, MaskingStyle::Trichina).expect("masking");
+    let (after_model, _) =
+        assess_grouped(&design, &masked, &power, &campaign).expect("assessment");
+    let model_red = after_model.reduction_pct_from(&before);
+
+    // Average of three random picks.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    let mut random_red = 0.0;
+    for _ in 0..3 {
+        let mut pool = maskable.clone();
+        pool.shuffle(&mut rng);
+        let pick: Vec<_> = pool.into_iter().take(budget).collect();
+        let masked = apply_masking(&design, &pick, MaskingStyle::Trichina).expect("masking");
+        let (after, _) = assess_grouped(&design, &masked, &power, &campaign).expect("assessment");
+        random_red += after.reduction_pct_from(&before) / 3.0;
+    }
+
+    assert!(
+        model_red > random_red - 3.0,
+        "learned ranking ({model_red:.1}%) should not lose to random ({random_red:.1}%)"
+    );
+}
