@@ -14,15 +14,17 @@ fn toy_model(features: usize) -> (AdaBoost, Dataset) {
     let names = (0..features).map(|i| format!("f{i}")).collect();
     let mut d = Dataset::new(names);
     for i in 0..400usize {
-        let row: Vec<f32> = (0..features)
-            .map(|f| ((i >> (f % 8)) & 1) as f32)
-            .collect();
+        let row: Vec<f32> = (0..features).map(|f| ((i >> (f % 8)) & 1) as f32).collect();
         let y = u8::from(row[0] != row[1] || (features > 3 && row[2] * row[3] > 0.0));
         d.push(&row, y).unwrap();
     }
     let model = AdaBoost::fit(
         &d,
-        &AdaBoostConfig { n_estimators: 25, max_depth: 3, ..Default::default() },
+        &AdaBoostConfig {
+            n_estimators: 25,
+            max_depth: 3,
+            ..Default::default()
+        },
     )
     .unwrap();
     (model, d)
@@ -60,8 +62,9 @@ fn bench_tree_shap_scaling(c: &mut Criterion) {
     let (model, data) = toy_model(16);
     let x: Vec<f32> = data.row(0).to_vec();
     for bg_size in [8usize, 64, 256] {
-        let background: Vec<Vec<f32>> =
-            (0..bg_size).map(|i| data.row(i % data.len()).to_vec()).collect();
+        let background: Vec<Vec<f32>> = (0..bg_size)
+            .map(|i| data.row(i % data.len()).to_vec())
+            .collect();
         g.bench_function(format!("background_{bg_size}"), |b| {
             b.iter(|| black_box(tree_shap(&model, &background, black_box(&x))))
         });

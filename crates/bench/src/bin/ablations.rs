@@ -30,9 +30,16 @@ fn glitch_model_comparison(cfg: &HarnessConfig, power: &PowerModel) {
     // Zero-delay vs unit-delay: glitching concentrates leakage in deep
     // logic, raising both mean |t| and its spread across gates.
     let mut t = TextTable::new(
-        ["design", "model", "mean |t|", "max |t|", "leaky cells", "top-10% |t| share"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "design",
+            "model",
+            "mean |t|",
+            "max |t|",
+            "leaky cells",
+            "top-10% |t| share",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for name in ["multiplier", "voter"] {
         let design = generators::by_name(name, cfg.scale, cfg.seed).expect("known design");
@@ -46,13 +53,22 @@ fn glitch_model_comparison(cfg: &HarnessConfig, power: &PowerModel) {
             let s = leakage.summarize(&norm);
             // Leakage concentration: share of total |t| held by the top 10%
             // of cells.
-            let mut ts: Vec<f64> = norm.cell_ids().iter().map(|&id| leakage.abs_t(id)).collect();
+            let mut ts: Vec<f64> = norm
+                .cell_ids()
+                .iter()
+                .map(|&id| leakage.abs_t(id))
+                .collect();
             ts.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
             let top = ts.len().div_ceil(10);
             let share = ts[..top].iter().sum::<f64>() / ts.iter().sum::<f64>().max(1e-12);
             t.push_row(vec![
                 name.to_string(),
-                if glitch { "unit-delay (glitch)" } else { "zero-delay" }.to_string(),
+                if glitch {
+                    "unit-delay (glitch)"
+                } else {
+                    "zero-delay"
+                }
+                .to_string(),
                 fmt_f(s.mean_abs_t, 2),
                 fmt_f(s.max_abs_t, 2),
                 s.leaky_cells.to_string(),
@@ -76,7 +92,10 @@ fn theta_r_sweep(cfg: &HarnessConfig, power: &PowerModel, target: &polaris_netli
     );
     for theta in [0.3, 0.5, 0.7, 0.9] {
         eprintln!("[ablation] theta_r = {theta}…");
-        let config = PolarisConfig { theta_r: theta, ..base_config(cfg) };
+        let config = PolarisConfig {
+            theta_r: theta,
+            ..base_config(cfg)
+        };
         let trained = match PolarisPipeline::new(config).train(&cfg.training_designs(), power) {
             Ok(tr) => tr,
             Err(e) => {
@@ -108,12 +127,13 @@ fn theta_r_sweep(cfg: &HarnessConfig, power: &PowerModel, target: &polaris_netli
 }
 
 fn locality_sweep(cfg: &HarnessConfig, power: &PowerModel, target: &polaris_netlist::Netlist) {
-    let mut t = TextTable::new(
-        ["L", "features", "reduction %"].map(String::from).to_vec(),
-    );
+    let mut t = TextTable::new(["L", "features", "reduction %"].map(String::from).to_vec());
     for l in [1usize, 3, 5, 7, 11] {
         eprintln!("[ablation] L = {l}…");
-        let config = PolarisConfig { locality: l, ..base_config(cfg) };
+        let config = PolarisConfig {
+            locality: l,
+            ..base_config(cfg)
+        };
         let trained = match PolarisPipeline::new(config).train(&cfg.training_designs(), power) {
             Ok(tr) => tr,
             Err(_) => continue,

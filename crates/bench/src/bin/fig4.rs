@@ -53,7 +53,11 @@ fn main() {
     for (r, row) in grid.iter().enumerate() {
         let label = max_t * (bands - r) as f64 / bands as f64;
         let line: String = row.iter().collect();
-        let marker = if r == threshold_band { " <-- |t| = 4.5" } else { "" };
+        let marker = if r == threshold_band {
+            " <-- |t| = 4.5"
+        } else {
+            ""
+        };
         println!("{label:6.1} |{line}|{marker}");
     }
     println!("       +{}+", "-".repeat(buckets));

@@ -6,9 +6,17 @@ use polaris::report::TextTable;
 
 fn main() {
     let mut t = TextTable::new(
-        ["Approach", "Method", "Model Training", "Feature Set", "Mitigation", "Performance", "Platform"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "Approach",
+            "Method",
+            "Model Training",
+            "Feature Set",
+            "Mitigation",
+            "Performance",
+            "Platform",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     let rows: [[&str; 7]; 6] = [
         ["CASCADE", "TVLA", "N/A", "N/A", "No", "Slow", "ASIC"],

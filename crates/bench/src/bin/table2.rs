@@ -24,8 +24,18 @@ fn main() {
 
     let mut table = TextTable::new(
         [
-            "Benchmark", "Before", "VALIANT", "P-50%", "P-75%", "P-100%",
-            "V Red%", "P50 Red%", "P75 Red%", "P100 Red%", "V Time(s)", "P Time(s)",
+            "Benchmark",
+            "Before",
+            "VALIANT",
+            "P-50%",
+            "P-75%",
+            "P-100%",
+            "V Red%",
+            "P50 Red%",
+            "P75 Red%",
+            "P100 Red%",
+            "V Time(s)",
+            "P Time(s)",
         ]
         .map(String::from)
         .to_vec(),
@@ -38,12 +48,10 @@ fn main() {
         eprintln!("[table2] {name}…");
         let (norm, _) = decompose(&design).expect("generated designs are valid");
         let cycles = if norm.is_combinational() { 1 } else { 3 };
-        let campaign =
-            CampaignConfig::new(cfg.traces, cfg.traces, cfg.seed).with_cycles(cycles);
+        let campaign = CampaignConfig::new(cfg.traces, cfg.traces, cfg.seed).with_cycles(cycles);
 
         // Shared baseline (experiment context for both flows).
-        let before_map =
-            polaris_tvla::assess(&norm, &power, &campaign).expect("assessment runs");
+        let before_map = polaris_tvla::assess(&norm, &power, &campaign).expect("assessment runs");
         let before = before_map.summarize(&norm);
         let leaky = before.leaky_cells.max(1);
 
@@ -59,8 +67,13 @@ fn main() {
 
         // POLARIS: structural ranking once (timed), then three mask sizes.
         let t0 = Instant::now();
-        let ranked = rank_gates(&norm, trained.model(), Some(trained.rules()), trained.extractor())
-            .expect("ranking runs");
+        let ranked = rank_gates(
+            &norm,
+            trained.model(),
+            Some(trained.rules()),
+            trained.extractor(),
+        )
+        .expect("ranking runs");
         let rank_time = t0.elapsed().as_secs_f64();
 
         let mut per_gate = Vec::new();

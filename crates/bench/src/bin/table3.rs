@@ -45,19 +45,17 @@ fn main() {
         eprintln!("[table3] {name}…");
         let (norm, _) = decompose(&design).expect("generated designs are valid");
         let cycles = if norm.is_combinational() { 1 } else { 3 };
-        let campaign =
-            CampaignConfig::new(cfg.traces, cfg.traces, cfg.seed).with_cycles(cycles);
+        let campaign = CampaignConfig::new(cfg.traces, cfg.traces, cfg.seed).with_cycles(cycles);
         let before_map = polaris_tvla::assess(&norm, &power, &campaign).expect("assessment");
         let before = before_map.summarize(&norm);
         let msize = before.leaky_cells.max(1);
 
         let mut cells = vec![name];
         for (i, (_, model)) in models.iter().enumerate() {
-            let ranked = rank_gates(&norm, model, Some(base.rules()), base.extractor())
-                .expect("ranking");
+            let ranked =
+                rank_gates(&norm, model, Some(base.rules()), base.extractor()).expect("ranking");
             let selected: Vec<_> = ranked.iter().take(msize).map(|(id, _)| *id).collect();
-            let masked =
-                apply_masking(&norm, &selected, MaskingStyle::Trichina).expect("masking");
+            let masked = apply_masking(&norm, &selected, MaskingStyle::Trichina).expect("masking");
             let mut rc = campaign.clone();
             rc.seed = cfg.seed.wrapping_add(1000 + i as u64);
             let (after, _) =

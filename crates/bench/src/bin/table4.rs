@@ -18,10 +18,19 @@ fn main() {
 
     let mut table = TextTable::new(
         [
-            "Designs", "Area(um2)", "Power(mW)", "Delay(ns)",
-            "V-Area x", "V-Power x", "V-Delay x",
-            "P-Area x", "P-Power x", "P-Delay x",
-            "RedA%", "RedP%", "RedD%",
+            "Designs",
+            "Area(um2)",
+            "Power(mW)",
+            "Delay(ns)",
+            "V-Area x",
+            "V-Power x",
+            "V-Delay x",
+            "P-Area x",
+            "P-Power x",
+            "P-Delay x",
+            "RedA%",
+            "RedP%",
+            "RedD%",
         ]
         .map(String::from)
         .to_vec(),
@@ -34,8 +43,7 @@ fn main() {
         eprintln!("[table4] {name}…");
         let (norm, _) = decompose(&design).expect("generated designs are valid");
         let cycles = if norm.is_combinational() { 1 } else { 3 };
-        let campaign =
-            CampaignConfig::new(cfg.traces, cfg.traces, cfg.seed).with_cycles(cycles);
+        let campaign = CampaignConfig::new(cfg.traces, cfg.traces, cfg.seed).with_cycles(cycles);
 
         let original = analyze_overhead(&norm, &lib, 64, cfg.seed).expect("overhead analysis");
 
@@ -57,9 +65,18 @@ fn main() {
             .expect("assessment")
             .summarize(&norm);
         let msize = ((before.leaky_cells as f64) * 0.5).round() as usize;
-        let ranked = rank_gates(&norm, trained.model(), Some(trained.rules()), trained.extractor())
-            .expect("ranking");
-        let selected: Vec<_> = ranked.iter().take(msize.max(1)).map(|(id, _)| *id).collect();
+        let ranked = rank_gates(
+            &norm,
+            trained.model(),
+            Some(trained.rules()),
+            trained.extractor(),
+        )
+        .expect("ranking");
+        let selected: Vec<_> = ranked
+            .iter()
+            .take(msize.max(1))
+            .map(|(id, _)| *id)
+            .collect();
         let masked = apply_masking(&norm, &selected, MaskingStyle::Trichina).expect("masking");
         let p_cost = analyze_overhead(&masked.netlist, &lib, 64, cfg.seed).expect("overhead");
         let p_ratio = p_cost.ratio_to(&original);

@@ -71,7 +71,10 @@ impl HarnessConfig {
                     i += 2;
                 }
                 "--designs" => {
-                    cfg.designs = need_value(i).split(',').map(|s| s.trim().to_string()).collect();
+                    cfg.designs = need_value(i)
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .collect();
                     i += 2;
                 }
                 "--paper" => {
@@ -80,9 +83,7 @@ impl HarnessConfig {
                     i += 1;
                 }
                 "--help" | "-h" => {
-                    eprintln!(
-                        "flags: --scale N  --traces N  --seed N  --designs a,b,c  --paper"
-                    );
+                    eprintln!("flags: --scale N  --traces N  --seed N  --designs a,b,c  --paper");
                     std::process::exit(0);
                 }
                 other => {
@@ -170,7 +171,11 @@ mod tests {
 
     #[test]
     fn polaris_config_tracks_harness() {
-        let cfg = HarnessConfig { traces: 123, seed: 9, ..Default::default() };
+        let cfg = HarnessConfig {
+            traces: 123,
+            seed: 9,
+            ..Default::default()
+        };
         let pc = cfg.polaris_config(ModelKind::Xgboost);
         assert_eq!(pc.traces, 123);
         assert_eq!(pc.seed, 9);

@@ -81,12 +81,21 @@ pub(crate) fn train(args: &[String]) -> Result<(), String> {
         seed,
         ..Default::default()
     };
-    eprintln!("training {} on the generated ISCAS-85-like suite…", model.name());
+    eprintln!(
+        "training {} on the generated ISCAS-85-like suite…",
+        model.name()
+    );
     let trained = PolarisPipeline::new(config)
-        .train(&generators::training_suite(scale, seed), &PowerModel::default())
+        .train(
+            &generators::training_suite(scale, seed),
+            &PowerModel::default(),
+        )
         .map_err(|e| e.to_string())?;
     let (bad, good) = trained.dataset().class_counts();
-    eprintln!("cognition dataset: {} samples ({good} good / {bad} bad)", good + bad);
+    eprintln!(
+        "cognition dataset: {} samples ({good} good / {bad} bad)",
+        good + bad
+    );
     let v = trained.validation();
     eprintln!(
         "held-out validation: accuracy {:.3}, F1 {:.3}, AUC {:.3} ({} samples)",
@@ -114,7 +123,10 @@ pub(crate) fn stats(args: &[String]) -> Result<(), String> {
     println!("outputs:      {}", s.outputs);
     println!("flip-flops:   {}", s.flops);
     let levels = netlist.levels().map_err(|e| e.to_string())?;
-    println!("logic depth:  {}", levels.iter().max().copied().unwrap_or(0));
+    println!(
+        "logic depth:  {}",
+        levels.iter().max().copied().unwrap_or(0)
+    );
     let mut t = TextTable::new(vec!["kind".into(), "count".into()]);
     for kind in polaris_netlist::GateKind::ALL {
         let c = s.kind_histogram[kind.ordinal()];
@@ -203,7 +215,11 @@ pub(crate) fn assess(args: &[String]) -> Result<(), String> {
                 netlist.gate(*g1).name(),
                 netlist.gate(*g2).name(),
                 r.t.abs(),
-                if r.is_leaky(TVLA_THRESHOLD) { "  LEAKY" } else { "" }
+                if r.is_leaky(TVLA_THRESHOLD) {
+                    "  LEAKY"
+                } else {
+                    ""
+                }
             );
         }
     }
@@ -285,18 +301,24 @@ pub(crate) fn mask(args: &[String]) -> Result<(), String> {
 }
 
 fn parse_budget(spec: &str) -> Result<MaskBudget, String> {
-    let (kind, value) = spec
-        .split_once(':')
-        .ok_or_else(|| format!("budget `{spec}` should look like leaky:0.5 / cells:0.5 / count:40"))?;
+    let (kind, value) = spec.split_once(':').ok_or_else(|| {
+        format!("budget `{spec}` should look like leaky:0.5 / cells:0.5 / count:40")
+    })?;
     match kind {
         "leaky" => Ok(MaskBudget::LeakyFraction(
-            value.parse().map_err(|_| format!("malformed fraction `{value}`"))?,
+            value
+                .parse()
+                .map_err(|_| format!("malformed fraction `{value}`"))?,
         )),
         "cells" => Ok(MaskBudget::CellFraction(
-            value.parse().map_err(|_| format!("malformed fraction `{value}`"))?,
+            value
+                .parse()
+                .map_err(|_| format!("malformed fraction `{value}`"))?,
         )),
         "count" => Ok(MaskBudget::Count(
-            value.parse().map_err(|_| format!("malformed count `{value}`"))?,
+            value
+                .parse()
+                .map_err(|_| format!("malformed count `{value}`"))?,
         )),
         other => Err(format!("unknown budget kind `{other}`")),
     }
@@ -315,7 +337,11 @@ pub(crate) fn rules(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
     for (i, rule) in trained.rules().rules().iter().enumerate() {
-        println!("Rule {}: {}", (b'A' + (i % 26) as u8) as char, rule.render());
+        println!(
+            "Rule {}: {}",
+            (b'A' + (i % 26) as u8) as char,
+            rule.render()
+        );
     }
     Ok(())
 }
@@ -331,8 +357,7 @@ pub(crate) fn explain(args: &[String]) -> Result<(), String> {
     let trained = load_model(&flags)?;
     let gate_name = flags.get("gate").ok_or("missing --gate <instance-name>")?;
 
-    let (norm, map) =
-        polaris_netlist::transform::decompose(&netlist).map_err(|e| e.to_string())?;
+    let (norm, map) = polaris_netlist::transform::decompose(&netlist).map_err(|e| e.to_string())?;
     let original_id = netlist
         .iter()
         .find(|(_, g)| g.name() == gate_name)

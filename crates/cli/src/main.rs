@@ -128,7 +128,9 @@ impl Flags {
     ) -> Result<T, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("malformed --{key} value `{v}`")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("malformed --{key} value `{v}`")),
         }
     }
 

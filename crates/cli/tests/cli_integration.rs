@@ -45,10 +45,20 @@ fn model_path() -> PathBuf {
     let path = tmp("model.polaris");
     if !path.exists() {
         let out = cli()
-            .args(["train", "--out", path.to_str().expect("utf8"), "--traces", "120"])
+            .args([
+                "train",
+                "--out",
+                path.to_str().expect("utf8"),
+                "--traces",
+                "120",
+            ])
             .output()
             .expect("train runs");
-        assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "train failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
     }
     path
 }
@@ -78,7 +88,11 @@ fn stats_reports_structure() {
         .args(["stats", design.to_str().expect("utf8")])
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("logic cells:  3"));
     assert!(text.contains("data inputs:  4"));
@@ -101,9 +115,16 @@ fn assess_flags_leaky_design_and_writes_csv() {
         ])
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("LEAKY"), "unprotected design must be flagged:\n{text}");
+    assert!(
+        text.contains("LEAKY"),
+        "unprotected design must be flagged:\n{text}"
+    );
     let csv_text = std::fs::read_to_string(&csv).expect("csv written");
     assert!(csv_text.starts_with("gate,name,kind,t,leaky"));
     assert!(csv_text.lines().count() > 5);
@@ -129,7 +150,11 @@ fn mask_reduces_leakage_and_roundtrips() {
         ])
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("gates masked:     3"), "{text}");
     // The written netlist parses and is itself assessable.
@@ -150,7 +175,11 @@ fn bench_format_accepted() {
         .args(["stats", design.to_str().expect("utf8")])
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("logic cells:  6"));
 }
@@ -162,7 +191,11 @@ fn rules_and_explain_work_with_bundle() {
         .args(["rules", "--model", model.to_str().expect("utf8")])
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let design = tmp("demo_explain.v");
     std::fs::write(&design, DEMO).expect("write design");
@@ -177,7 +210,11 @@ fn rules_and_explain_work_with_bundle() {
         ])
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("P(good masking candidate)"));
     assert!(text.contains("E[f(x)]"));

@@ -138,15 +138,8 @@ mod tests {
         let (d, _) = decompose(&generators::iscas_c17()).unwrap();
         let fx = StructuralFeatureExtractor::new(config.locality);
         let mut data = Dataset::new(fx.feature_names());
-        let stats = generate_for_design(
-            &d,
-            config,
-            &PowerModel::default(),
-            &fx,
-            &mut data,
-            11,
-        )
-        .unwrap();
+        let stats =
+            generate_for_design(&d, config, &PowerModel::default(), &fx, &mut data, 11).unwrap();
         (data, stats)
     }
 
@@ -165,26 +158,42 @@ mod tests {
         assert!(stats.samples > 0);
         assert_eq!(data.len(), stats.samples);
         assert_eq!(stats.iterations, 3);
-        assert_eq!(data.n_features(), StructuralFeatureExtractor::new(7).n_features());
+        assert_eq!(
+            data.n_features(),
+            StructuralFeatureExtractor::new(7).n_features()
+        );
     }
 
     #[test]
     fn labels_respond_to_theta_r() {
         // θr = 0 labels every leakage-reducing mask "good"; θr close to 1
         // almost none. Positives must not increase with θr.
-        let lenient = PolarisConfig { theta_r: 0.0, ..small_cfg() };
-        let strict = PolarisConfig { theta_r: 0.999, ..small_cfg() };
+        let lenient = PolarisConfig {
+            theta_r: 0.0,
+            ..small_cfg()
+        };
+        let strict = PolarisConfig {
+            theta_r: 0.999,
+            ..small_cfg()
+        };
         let (_, stats_lenient) = run(&lenient);
         let (_, stats_strict) = run(&strict);
         assert!(stats_lenient.positives >= stats_strict.positives);
-        assert!(stats_lenient.positives > 0, "masking c17 gates reduces their leakage");
+        assert!(
+            stats_lenient.positives > 0,
+            "masking c17 gates reduces their leakage"
+        );
     }
 
     #[test]
     fn respects_iteration_budget_and_pool() {
         // msize 4 on 6 maskable gates: only one batch fits; the pool rule
         // (Msize ≤ |R|) stops after it.
-        let cfg = PolarisConfig { msize: 4, iterations: 10, ..small_cfg() };
+        let cfg = PolarisConfig {
+            msize: 4,
+            iterations: 10,
+            ..small_cfg()
+        };
         let (_, stats) = run(&cfg);
         assert_eq!(stats.iterations, 1);
     }

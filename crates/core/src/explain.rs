@@ -213,7 +213,10 @@ mod tests {
             .find(|r| r.action == polaris_xai::MaskAction::Mask)
             .expect("a mask rule exists");
         let features: Vec<usize> = mask_rule.conditions.iter().map(|c| c.feature).collect();
-        assert!(features.contains(&0) && features.contains(&2), "{features:?}");
+        assert!(
+            features.contains(&0) && features.contains(&2),
+            "{features:?}"
+        );
     }
 
     #[test]

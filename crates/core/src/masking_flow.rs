@@ -165,11 +165,7 @@ pub fn assess_grouped(
     Ok((summary, grouped))
 }
 
-fn grouped_abs_t(
-    original: &Netlist,
-    masked: &MaskedDesign,
-    leakage: &GateLeakage,
-) -> Vec<f64> {
+fn grouped_abs_t(original: &Netlist, masked: &MaskedDesign, leakage: &GateLeakage) -> Vec<f64> {
     let mut sum = vec![0.0f64; original.gate_count()];
     let mut count = vec![0usize; original.gate_count()];
     for (new_idx, origin) in masked.origin.iter().enumerate() {
@@ -199,7 +195,11 @@ fn summarize_grouped(original: &Netlist, grouped: &[f64]) -> LeakageSummary {
     }
     LeakageSummary {
         cells: cells.len(),
-        mean_abs_t: if cells.is_empty() { 0.0 } else { total / cells.len() as f64 },
+        mean_abs_t: if cells.is_empty() {
+            0.0
+        } else {
+            total / cells.len() as f64
+        },
         total_abs_t: total,
         max_abs_t: max,
         leaky_cells: leaky,

@@ -139,8 +139,7 @@ impl PolarisModel {
             "adaboost" => (
                 ModelKind::Adaboost,
                 Inner::Ada(
-                    AdaBoost::from_data(data)
-                        .map_err(|e| PolarisError::Training(e.to_string()))?,
+                    AdaBoost::from_data(data).map_err(|e| PolarisError::Training(e.to_string()))?,
                 ),
             ),
             other => {

@@ -107,7 +107,9 @@ pub fn load_trained(text: &str) -> Result<TrainedPolaris, PolarisError> {
     let (ln, cfg_line) = lines.next_line().map_err(perr)?;
     let mut p = cfg_line.split_whitespace();
     if p.next() != Some("config") {
-        return Err(PolarisError::Pipeline(format!("line {ln}: expected `config`")));
+        return Err(PolarisError::Pipeline(format!(
+            "line {ln}: expected `config`"
+        )));
     }
     let mut field = |what: &str| -> Result<f64, PolarisError> {
         p.next()
@@ -172,10 +174,11 @@ pub fn load_trained(text: &str) -> Result<TrainedPolaris, PolarisError> {
     let mut dataset = Dataset::new(names.clone());
     for _ in 0..rows {
         let (ln, row_line) = lines.next_line().map_err(perr)?;
-        let row: Result<Vec<f32>, _> =
-            row_line.split_whitespace().map(|v| v.parse::<f32>()).collect();
-        let row =
-            row.map_err(|_| PolarisError::Pipeline(format!("line {ln}: malformed row")))?;
+        let row: Result<Vec<f32>, _> = row_line
+            .split_whitespace()
+            .map(|v| v.parse::<f32>())
+            .collect();
+        let row = row.map_err(|_| PolarisError::Pipeline(format!("line {ln}: malformed row")))?;
         if row.len() != cols {
             return Err(PolarisError::Pipeline(format!(
                 "line {ln}: row has {} cells, expected {cols}",
@@ -197,7 +200,9 @@ pub fn load_trained(text: &str) -> Result<TrainedPolaris, PolarisError> {
         let (ln, line) = lines.next_line().map_err(perr)?;
         let mut p = line.split_whitespace();
         if p.next() != Some("rule") {
-            return Err(PolarisError::Pipeline(format!("line {ln}: expected `rule`")));
+            return Err(PolarisError::Pipeline(format!(
+                "line {ln}: expected `rule`"
+            )));
         }
         let action = match p.next() {
             Some("mask") => MaskAction::Mask,
@@ -229,7 +234,9 @@ pub fn load_trained(text: &str) -> Result<TrainedPolaris, PolarisError> {
             let (ln, cline) = lines.next_line().map_err(perr)?;
             let mut p = cline.split_whitespace();
             if p.next() != Some("cond") {
-                return Err(PolarisError::Pipeline(format!("line {ln}: expected `cond`")));
+                return Err(PolarisError::Pipeline(format!(
+                    "line {ln}: expected `cond`"
+                )));
             }
             let feature: usize = p
                 .next()
@@ -319,7 +326,11 @@ mod tests {
         let loaded = load_trained(&text).expect("bundle loads");
         let power = PowerModel::default();
         let report = loaded
-            .mask_design(&generators::iscas_c17(), &power, MaskBudget::CellFraction(1.0))
+            .mask_design(
+                &generators::iscas_c17(),
+                &power,
+                MaskBudget::CellFraction(1.0),
+            )
             .expect("masking succeeds");
         assert!(report.reduction_pct() > 0.0);
     }

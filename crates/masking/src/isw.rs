@@ -94,9 +94,21 @@ pub fn masked_and_order2(
     let mut gates = Vec::with_capacity(26);
     // Share the operands: a0 = a ⊕ x1 ⊕ x2, a1 = x1, a2 = x2.
     let ax1 = add(n, &mut gates, GateKind::Xor, format!("{p}_ax1"), &[a, m.x1]);
-    let a0 = add(n, &mut gates, GateKind::Xor, format!("{p}_a0"), &[ax1, m.x2]);
+    let a0 = add(
+        n,
+        &mut gates,
+        GateKind::Xor,
+        format!("{p}_a0"),
+        &[ax1, m.x2],
+    );
     let by1 = add(n, &mut gates, GateKind::Xor, format!("{p}_by1"), &[b, m.y1]);
-    let b0 = add(n, &mut gates, GateKind::Xor, format!("{p}_b0"), &[by1, m.y2]);
+    let b0 = add(
+        n,
+        &mut gates,
+        GateKind::Xor,
+        format!("{p}_b0"),
+        &[by1, m.y2],
+    );
     let shares_a = [a0, m.x1, m.x2];
     let shares_b = [b0, m.y1, m.y2];
     // Partial products.
@@ -133,11 +145,41 @@ pub fn masked_and_order2(
     let z20 = cross(n, &mut gates, m.z02, 0, 2);
     let z21 = cross(n, &mut gates, m.z12, 1, 2);
     // Output shares.
-    let c0a = add(n, &mut gates, GateKind::Xor, format!("{p}_c0a"), &[pp[0][0], m.z01]);
-    let c0 = add(n, &mut gates, GateKind::Xor, format!("{p}_c0"), &[c0a, m.z02]);
-    let c1a = add(n, &mut gates, GateKind::Xor, format!("{p}_c1a"), &[pp[1][1], z10]);
-    let c1 = add(n, &mut gates, GateKind::Xor, format!("{p}_c1"), &[c1a, m.z12]);
-    let c2a = add(n, &mut gates, GateKind::Xor, format!("{p}_c2a"), &[pp[2][2], z20]);
+    let c0a = add(
+        n,
+        &mut gates,
+        GateKind::Xor,
+        format!("{p}_c0a"),
+        &[pp[0][0], m.z01],
+    );
+    let c0 = add(
+        n,
+        &mut gates,
+        GateKind::Xor,
+        format!("{p}_c0"),
+        &[c0a, m.z02],
+    );
+    let c1a = add(
+        n,
+        &mut gates,
+        GateKind::Xor,
+        format!("{p}_c1a"),
+        &[pp[1][1], z10],
+    );
+    let c1 = add(
+        n,
+        &mut gates,
+        GateKind::Xor,
+        format!("{p}_c1"),
+        &[c1a, m.z12],
+    );
+    let c2a = add(
+        n,
+        &mut gates,
+        GateKind::Xor,
+        format!("{p}_c2a"),
+        &[pp[2][2], z20],
+    );
     let c2 = add(n, &mut gates, GateKind::Xor, format!("{p}_c2"), &[c2a, z21]);
     // Boundary re-combination.
     let r01 = add(n, &mut gates, GateKind::Xor, format!("{p}_r01"), &[c0, c1]);
@@ -253,6 +295,10 @@ mod tests {
         let (n, e) = build(false);
         assert_eq!(n.mask_inputs().len(), IswMasks::BITS);
         // 9 AND + 16 XOR + sharing = 26 gates give or take the boundary.
-        assert!(e.gates.len() >= 20, "expected a big composite, got {}", e.gates.len());
+        assert!(
+            e.gates.len() >= 20,
+            "expected a big composite, got {}",
+            e.gates.len()
+        );
     }
 }

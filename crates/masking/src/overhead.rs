@@ -195,7 +195,11 @@ endmodule";
         assert!(cost.power_mw > base.power_mw * 1.5);
         assert!(cost.delay_ns > base.delay_ns);
         let r = cost.ratio_to(&base);
-        assert!(r.area_um2 > 2.0 && r.area_um2 < 20.0, "area ratio {}", r.area_um2);
+        assert!(
+            r.area_um2 > 2.0 && r.area_um2 < 20.0,
+            "area ratio {}",
+            r.area_um2
+        );
     }
 
     #[test]

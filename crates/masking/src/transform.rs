@@ -137,9 +137,8 @@ pub fn apply_masking(
             return Err(MaskingError::UnknownGate { gate: t });
         }
         let g = netlist.gate(t);
-        let supported = g.kind().is_combinational_cell()
-            && g.fanin().len() <= 2
-            && g.kind() != GateKind::Mux;
+        let supported =
+            g.kind().is_combinational_cell() && g.fanin().len() <= 2 && g.kind() != GateKind::Mux;
         if !supported {
             return Err(MaskingError::UnsupportedGate {
                 gate: t,
@@ -199,13 +198,7 @@ pub fn apply_masking(
                     let x = out.add_mask_input(format!("{p}_x"));
                     added_mask_bits += 1;
                     sync_origin(&mut origin, &out, None);
-                    trichina::masked_unary(
-                        &mut out,
-                        &p,
-                        gate.kind() == GateKind::Not,
-                        fanin[0],
-                        x,
-                    )
+                    trichina::masked_unary(&mut out, &p, gate.kind() == GateKind::Not, fanin[0], x)
                 } else if style == MaskingStyle::IswOrder2
                     && matches!(
                         gate.kind(),
@@ -220,18 +213,17 @@ pub fn apply_masking(
                         GateKind::And => crate::isw::masked_and_order2(&mut out, &p, a, b, masks),
                         GateKind::Or => crate::isw::masked_or_order2(&mut out, &p, a, b, masks),
                         GateKind::Nand => {
-                            let mut e =
-                                crate::isw::masked_and_order2(&mut out, &p, a, b, masks);
-                            let inv = out
-                                .add_gate(GateKind::Not, format!("{p}_inv"), &[e.output])?;
+                            let mut e = crate::isw::masked_and_order2(&mut out, &p, a, b, masks);
+                            let inv =
+                                out.add_gate(GateKind::Not, format!("{p}_inv"), &[e.output])?;
                             e.gates.push(inv);
                             e.output = inv;
                             e
                         }
                         GateKind::Nor => {
                             let mut e = crate::isw::masked_or_order2(&mut out, &p, a, b, masks);
-                            let inv = out
-                                .add_gate(GateKind::Not, format!("{p}_inv"), &[e.output])?;
+                            let inv =
+                                out.add_gate(GateKind::Not, format!("{p}_inv"), &[e.output])?;
                             e.gates.push(inv);
                             e.output = inv;
                             e
@@ -262,7 +254,9 @@ pub fn apply_masking(
                         }
                         (_, GateKind::Xor) => trichina::masked_xor(&mut out, &p, a, b, x, y, z),
                         (_, GateKind::Xnor) => trichina::masked_xnor(&mut out, &p, a, b, x, y, z),
-                        (MaskingStyle::Dom, kind) => dom::masked_gate(&mut out, &p, kind, a, b, x, y, z),
+                        (MaskingStyle::Dom, kind) => {
+                            dom::masked_gate(&mut out, &p, kind, a, b, x, y, z)
+                        }
                         (MaskingStyle::Trichina | MaskingStyle::IswOrder2, kind) => {
                             unreachable!("unsupported kind {kind} slipped validation")
                         }
@@ -304,12 +298,19 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn assert_equivalent(original: &Netlist, masked: &MaskedDesign, settle_cycles: usize, seed: u64) {
+    fn assert_equivalent(
+        original: &Netlist,
+        masked: &MaskedDesign,
+        settle_cycles: usize,
+        seed: u64,
+    ) {
         let sim_o = Simulator::new(original).unwrap();
         let sim_m = Simulator::new(&masked.netlist).unwrap();
         let mut rng = StdRng::seed_from_u64(seed);
         for _ in 0..50 {
-            let data: Vec<bool> = (0..original.data_inputs().len()).map(|_| rng.gen()).collect();
+            let data: Vec<bool> = (0..original.data_inputs().len())
+                .map(|_| rng.gen())
+                .collect();
             let masks: Vec<bool> = (0..masked.netlist.mask_inputs().len())
                 .map(|_| rng.gen())
                 .collect();
@@ -400,8 +401,7 @@ mod tests {
     #[test]
     fn rejects_out_of_range_target() {
         let (d, _) = decompose(&generators::iscas_c17()).unwrap();
-        let err =
-            apply_masking(&d, &[GateId::new(10_000)], MaskingStyle::Trichina).unwrap_err();
+        let err = apply_masking(&d, &[GateId::new(10_000)], MaskingStyle::Trichina).unwrap_err();
         assert!(matches!(err, MaskingError::UnknownGate { .. }));
     }
 

@@ -48,7 +48,9 @@ fn masked_and_core(
     let t2 = add(n, GateKind::And, format!("{p}_t2"), &[x, b_hat]); // x·b̂
     let t3 = add(n, GateKind::And, format!("{p}_t3"), &[x, y]); // x·y
     let t4 = add(n, GateKind::And, format!("{p}_t4"), &[y, a_hat]); // y·â
-    // Eq. 5 inner-to-outer: ((x·y) ⊕ z), then ⊕ (x·b̂), then ⊕ (â·b̂), then ⊕ (y·â).
+
+    // Eq. 5 inner-to-outer: ((x·y) ⊕ z), then ⊕ (x·b̂), then ⊕ (â·b̂),
+    // then ⊕ (y·â).
     let s1 = add(n, GateKind::Xor, format!("{p}_s1"), &[t3, z]);
     let s2 = add(n, GateKind::Xor, format!("{p}_s2"), &[t2, s1]);
     let s3 = add(n, GateKind::Xor, format!("{p}_s3"), &[t1, s2]);
@@ -244,9 +246,7 @@ mod tests {
         let sim = Simulator::new(&n).unwrap();
         for bits in 0..32u32 {
             let v = |i: u32| bits >> i & 1 == 1;
-            let out = sim
-                .eval_bool(&[v(0), v(1)], &[v(2), v(3), v(4)])
-                .unwrap()[0];
+            let out = sim.eval_bool(&[v(0), v(1)], &[v(2), v(3), v(4)]).unwrap()[0];
             assert_eq!(
                 out,
                 truth(v(0), v(1)),

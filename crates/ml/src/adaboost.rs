@@ -262,12 +262,20 @@ mod tests {
         let d = xor_data();
         let slow = AdaBoost::fit(
             &d,
-            &AdaBoostConfig { learning_rate: 0.01, n_estimators: 5, ..Default::default() },
+            &AdaBoostConfig {
+                learning_rate: 0.01,
+                n_estimators: 5,
+                ..Default::default()
+            },
         )
         .unwrap();
         let fast = AdaBoost::fit(
             &d,
-            &AdaBoostConfig { learning_rate: 1.0, n_estimators: 5, ..Default::default() },
+            &AdaBoostConfig {
+                learning_rate: 1.0,
+                n_estimators: 5,
+                ..Default::default()
+            },
         )
         .unwrap();
         let sum_alpha = |m: &AdaBoost| m.stages.iter().map(|(a, _)| a.abs()).sum::<f64>();

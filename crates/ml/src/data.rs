@@ -128,8 +128,16 @@ impl Dataset {
         }
         let (neg, pos) = self.class_counts();
         let n = self.len() as f64;
-        let w_pos = if pos == 0 { 0.0 } else { n / (2.0 * pos as f64) };
-        let w_neg = if neg == 0 { 0.0 } else { n / (2.0 * neg as f64) };
+        let w_pos = if pos == 0 {
+            0.0
+        } else {
+            n / (2.0 * pos as f64)
+        };
+        let w_neg = if neg == 0 {
+            0.0
+        } else {
+            n / (2.0 * neg as f64)
+        };
         Ok(self
             .y
             .iter()
@@ -163,8 +171,7 @@ impl Dataset {
         let mut train = Dataset::new(self.feature_names.clone());
         let mut test = Dataset::new(self.feature_names.clone());
         for class in [0u8, 1u8] {
-            let mut idx: Vec<usize> =
-                (0..self.len()).filter(|&i| self.y[i] == class).collect();
+            let mut idx: Vec<usize> = (0..self.len()).filter(|&i| self.y[i] == class).collect();
             idx.shuffle(&mut rng);
             let n_test = ((idx.len() as f64) * test_fraction).round() as usize;
             for (k, &i) in idx.iter().enumerate() {
@@ -224,15 +231,27 @@ mod tests {
     fn width_mismatch_rejected() {
         let mut d = toy(1, 1);
         let e = d.push(&[1.0], 0).unwrap_err();
-        assert!(matches!(e, DatasetError::WidthMismatch { expected: 2, found: 1 }));
+        assert!(matches!(
+            e,
+            DatasetError::WidthMismatch {
+                expected: 2,
+                found: 1
+            }
+        ));
     }
 
     #[test]
     fn balanced_weights_sum_equally_per_class() {
         let d = toy(2, 8);
         let w = d.balanced_weights().unwrap();
-        let pos_sum: f64 = (0..d.len()).filter(|&i| d.label(i) == 1).map(|i| w[i]).sum();
-        let neg_sum: f64 = (0..d.len()).filter(|&i| d.label(i) == 0).map(|i| w[i]).sum();
+        let pos_sum: f64 = (0..d.len())
+            .filter(|&i| d.label(i) == 1)
+            .map(|i| w[i])
+            .sum();
+        let neg_sum: f64 = (0..d.len())
+            .filter(|&i| d.label(i) == 0)
+            .map(|i| w[i])
+            .sum();
         assert!((pos_sum - neg_sum).abs() < 1e-9);
         assert!((pos_sum + neg_sum - d.len() as f64).abs() < 1e-9);
     }
@@ -260,7 +279,10 @@ mod tests {
     fn empty_dataset_errors() {
         let d = Dataset::new(vec!["a".into()]);
         assert!(matches!(d.balanced_weights(), Err(DatasetError::Empty)));
-        assert!(matches!(d.stratified_split(0.5, 0), Err(DatasetError::Empty)));
+        assert!(matches!(
+            d.stratified_split(0.5, 0),
+            Err(DatasetError::Empty)
+        ));
     }
 
     #[test]

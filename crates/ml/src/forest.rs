@@ -129,7 +129,13 @@ mod tests {
     #[test]
     fn learns_linear_boundary() {
         let d = diagonal_data(400);
-        let f = RandomForest::fit(&d, &ForestConfig { n_trees: 30, ..Default::default() });
+        let f = RandomForest::fit(
+            &d,
+            &ForestConfig {
+                n_trees: 30,
+                ..Default::default()
+            },
+        );
         assert!(f.predict_proba(&[0.9, 0.9]) > 0.8);
         assert!(f.predict_proba(&[0.1, 0.1]) < 0.2);
         assert_eq!(f.predict(&[1.0, 1.0]), 1);
@@ -139,7 +145,11 @@ mod tests {
     #[test]
     fn deterministic_in_seed() {
         let d = diagonal_data(100);
-        let cfg = ForestConfig { n_trees: 10, seed: 5, ..Default::default() };
+        let cfg = ForestConfig {
+            n_trees: 10,
+            seed: 5,
+            ..Default::default()
+        };
         let f1 = RandomForest::fit(&d, &cfg);
         let f2 = RandomForest::fit(&d, &cfg);
         for x in [[0.3f32, 0.9], [0.5, 0.5], [0.9, 0.2]] {
@@ -150,18 +160,41 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let d = diagonal_data(100);
-        let f1 = RandomForest::fit(&d, &ForestConfig { n_trees: 10, seed: 1, ..Default::default() });
-        let f2 = RandomForest::fit(&d, &ForestConfig { n_trees: 10, seed: 2, ..Default::default() });
+        let f1 = RandomForest::fit(
+            &d,
+            &ForestConfig {
+                n_trees: 10,
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        let f2 = RandomForest::fit(
+            &d,
+            &ForestConfig {
+                n_trees: 10,
+                seed: 2,
+                ..Default::default()
+            },
+        );
         let same = [[0.3f32, 0.9], [0.5, 0.5], [0.45, 0.55], [0.9, 0.2]]
             .iter()
             .all(|x| f1.predict_proba(x) == f2.predict_proba(x));
-        assert!(!same, "different bootstrap seeds should change some prediction");
+        assert!(
+            !same,
+            "different bootstrap seeds should change some prediction"
+        );
     }
 
     #[test]
     fn ensemble_interface_consistent() {
         let d = diagonal_data(150);
-        let f = RandomForest::fit(&d, &ForestConfig { n_trees: 7, ..Default::default() });
+        let f = RandomForest::fit(
+            &d,
+            &ForestConfig {
+                n_trees: 7,
+                ..Default::default()
+            },
+        );
         let x = [0.8f32, 0.4];
         let margin = f.margin(&x);
         assert!((margin - f.predict_proba(&x)).abs() < 1e-12);

@@ -179,7 +179,8 @@ fn build_gh(
             if hl < config.min_child_weight || hr < config.min_child_weight {
                 continue;
             }
-            let gain = 0.5 * (score(gl, hl) + score(g_total - gl, hr) - parent_score) - config.gamma;
+            let gain =
+                0.5 * (score(gl, hl) + score(g_total - gl, hr) - parent_score) - config.gamma;
             // With γ = 0, zero-gain splits are accepted so XOR-like
             // interactions (zero first-order gain) remain learnable.
             if gain > -1e-9 && best.is_none_or(|(bg, _, _)| gain > bg) {
@@ -261,7 +262,10 @@ mod tests {
         let m = GradientBoost::fit(&xor_data(), &GbdtConfig::default()).unwrap();
         let x = [0.0f32, 1.0];
         let manual: f64 = m.base_margin()
-            + m.weighted_trees().iter().map(|(w, t)| w * t.predict(&x)).sum::<f64>();
+            + m.weighted_trees()
+                .iter()
+                .map(|(w, t)| w * t.predict(&x))
+                .sum::<f64>();
         assert!((m.margin(&x) - manual).abs() < 1e-12);
     }
 
@@ -270,12 +274,20 @@ mod tests {
         let d = xor_data();
         let short = GradientBoost::fit(
             &d,
-            &GbdtConfig { n_estimators: 2, learning_rate: 0.1, ..Default::default() },
+            &GbdtConfig {
+                n_estimators: 2,
+                learning_rate: 0.1,
+                ..Default::default()
+            },
         )
         .unwrap();
         let long = GradientBoost::fit(
             &d,
-            &GbdtConfig { n_estimators: 60, learning_rate: 0.1, ..Default::default() },
+            &GbdtConfig {
+                n_estimators: 60,
+                learning_rate: 0.1,
+                ..Default::default()
+            },
         )
         .unwrap();
         let err = |m: &GradientBoost| {
@@ -292,12 +304,20 @@ mod tests {
         let d = xor_data();
         let relaxed = GradientBoost::fit(
             &d,
-            &GbdtConfig { n_estimators: 1, lambda: 0.01, ..Default::default() },
+            &GbdtConfig {
+                n_estimators: 1,
+                lambda: 0.01,
+                ..Default::default()
+            },
         )
         .unwrap();
         let regularized = GradientBoost::fit(
             &d,
-            &GbdtConfig { n_estimators: 1, lambda: 100.0, ..Default::default() },
+            &GbdtConfig {
+                n_estimators: 1,
+                lambda: 100.0,
+                ..Default::default()
+            },
         )
         .unwrap();
         let leaf_mag = |m: &GradientBoost| {
@@ -318,12 +338,20 @@ mod tests {
         let d = xor_data();
         let free = GradientBoost::fit(
             &d,
-            &GbdtConfig { n_estimators: 1, gamma: 0.0, ..Default::default() },
+            &GbdtConfig {
+                n_estimators: 1,
+                gamma: 0.0,
+                ..Default::default()
+            },
         )
         .unwrap();
         let pruned = GradientBoost::fit(
             &d,
-            &GbdtConfig { n_estimators: 1, gamma: 1e9, ..Default::default() },
+            &GbdtConfig {
+                n_estimators: 1,
+                gamma: 1e9,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(pruned.trees[0].n_leaves() < free.trees[0].n_leaves());
@@ -363,7 +391,10 @@ mod tests {
         }
         let m = GradientBoost::fit(
             &d,
-            &GbdtConfig { n_estimators: 0, ..Default::default() },
+            &GbdtConfig {
+                n_estimators: 0,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!((sigmoid(m.base_margin()) - 0.25).abs() < 1e-9);

@@ -46,20 +46,32 @@ impl Confusion {
     /// `tp / (tp + fp)`; 0 when undefined.
     pub fn precision(&self) -> f64 {
         let d = self.tp + self.fp;
-        if d == 0 { 0.0 } else { self.tp as f64 / d as f64 }
+        if d == 0 {
+            0.0
+        } else {
+            self.tp as f64 / d as f64
+        }
     }
 
     /// `tp / (tp + fn)`; 0 when undefined.
     pub fn recall(&self) -> f64 {
         let d = self.tp + self.fn_;
-        if d == 0 { 0.0 } else { self.tp as f64 / d as f64 }
+        if d == 0 {
+            0.0
+        } else {
+            self.tp as f64 / d as f64
+        }
     }
 
     /// Harmonic mean of precision and recall; 0 when undefined.
     pub fn f1(&self) -> f64 {
         let p = self.precision();
         let r = self.recall();
-        if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) }
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
     }
 }
 
@@ -112,7 +124,15 @@ mod tests {
     #[test]
     fn confusion_counts() {
         let c = Confusion::from_predictions(&[1, 1, 0, 0, 1], &[1, 0, 0, 1, 1]);
-        assert_eq!(c, Confusion { tp: 2, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 2,
+                fp: 1,
+                tn: 1,
+                fn_: 1
+            }
+        );
         assert!((c.accuracy() - 0.6).abs() < 1e-12);
         assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
         assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);

@@ -23,7 +23,11 @@ pub struct PersistError {
 
 impl std::fmt::Display for PersistError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "model decode error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "model decode error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -331,8 +335,7 @@ mod tests {
         let d = xor_data();
         let model = AdaBoost::fit(&d, &AdaBoostConfig::default()).unwrap();
         let text = encode_ensemble(&model.to_data());
-        let back =
-            AdaBoost::from_data(decode_ensemble(&mut Lines::new(&text)).unwrap()).unwrap();
+        let back = AdaBoost::from_data(decode_ensemble(&mut Lines::new(&text)).unwrap()).unwrap();
         for p in probe_points() {
             assert_eq!(model.margin(&p), back.margin(&p));
             assert_eq!(model.predict_proba(&p), back.predict_proba(&p));
@@ -354,7 +357,13 @@ mod tests {
     #[test]
     fn forest_roundtrip_preserves_predictions() {
         let d = xor_data();
-        let model = RandomForest::fit(&d, &ForestConfig { n_trees: 9, ..Default::default() });
+        let model = RandomForest::fit(
+            &d,
+            &ForestConfig {
+                n_trees: 9,
+                ..Default::default()
+            },
+        );
         let text = encode_ensemble(&model.to_data());
         let back =
             RandomForest::from_data(decode_ensemble(&mut Lines::new(&text)).unwrap()).unwrap();

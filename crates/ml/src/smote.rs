@@ -43,7 +43,11 @@ pub fn smote(data: &Dataset, config: &SmoteConfig) -> Result<Dataset, DatasetErr
         return Err(DatasetError::Empty);
     }
     let minority_label = u8::from(pos < neg);
-    let (n_min, n_maj) = if minority_label == 1 { (pos, neg) } else { (neg, pos) };
+    let (n_min, n_maj) = if minority_label == 1 {
+        (pos, neg)
+    } else {
+        (neg, pos)
+    };
     let deficit = n_maj - n_min;
 
     let mut out = data.clone();
@@ -106,7 +110,8 @@ mod tests {
             d.push(&[(i % 10) as f32, 0.0], 0).unwrap();
         }
         for i in 0..n_min {
-            d.push(&[5.0 + (i % 3) as f32, 10.0 + (i % 2) as f32], 1).unwrap();
+            d.push(&[5.0 + (i % 3) as f32, 10.0 + (i % 2) as f32], 1)
+                .unwrap();
         }
         d
     }
@@ -154,8 +159,22 @@ mod tests {
     #[test]
     fn deterministic() {
         let d = imbalanced(8, 40);
-        let a = smote(&d, &SmoteConfig { seed: 3, ..Default::default() }).unwrap();
-        let b = smote(&d, &SmoteConfig { seed: 3, ..Default::default() }).unwrap();
+        let a = smote(
+            &d,
+            &SmoteConfig {
+                seed: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let b = smote(
+            &d,
+            &SmoteConfig {
+                seed: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(a, b);
     }
 

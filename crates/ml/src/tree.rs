@@ -70,7 +70,11 @@ impl Tree {
                     right,
                     ..
                 } => {
-                    i = if x[*feature] <= *threshold { *left } else { *right };
+                    i = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -330,12 +334,7 @@ mod tests {
 
     #[test]
     fn single_split_problem() {
-        let d = dataset(&[
-            (&[0.0], 0),
-            (&[0.2], 0),
-            (&[0.8], 1),
-            (&[1.0], 1),
-        ]);
+        let d = dataset(&[(&[0.0], 0), (&[0.2], 0), (&[0.8], 1), (&[1.0], 1)]);
         let t = DecisionTree::fit(&d, &TreeConfig::default());
         assert_eq!(t.predict_proba(&[0.1]), 0.0);
         assert_eq!(t.predict_proba(&[0.9]), 1.0);
@@ -351,7 +350,13 @@ mod tests {
             (&[1.0, 0.0], 1),
             (&[1.0, 1.0], 0),
         ]);
-        let shallow = DecisionTree::fit(&d, &TreeConfig { max_depth: 1, ..Default::default() });
+        let shallow = DecisionTree::fit(
+            &d,
+            &TreeConfig {
+                max_depth: 1,
+                ..Default::default()
+            },
+        );
         // Depth 1 cannot solve XOR: at least one corner is wrong.
         let wrong = [(0.0, 0.0, 0u8), (0.0, 1.0, 1), (1.0, 0.0, 1), (1.0, 1.0, 0)]
             .iter()
@@ -360,7 +365,13 @@ mod tests {
             })
             .count();
         assert!(wrong > 0);
-        let deep = DecisionTree::fit(&d, &TreeConfig { max_depth: 3, ..Default::default() });
+        let deep = DecisionTree::fit(
+            &d,
+            &TreeConfig {
+                max_depth: 3,
+                ..Default::default()
+            },
+        );
         for (a, b) in [(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
             let want = (a != b) as u8;
             let got = u8::from(deep.predict_proba(&[a as f32, b as f32]) >= 0.5);
@@ -388,7 +399,13 @@ mod tests {
     #[test]
     fn max_depth_zero_gives_prior() {
         let d = dataset(&[(&[0.0], 0), (&[1.0], 1), (&[2.0], 1), (&[3.0], 1)]);
-        let t = DecisionTree::fit(&d, &TreeConfig { max_depth: 0, ..Default::default() });
+        let t = DecisionTree::fit(
+            &d,
+            &TreeConfig {
+                max_depth: 0,
+                ..Default::default()
+            },
+        );
         assert!((t.predict_proba(&[0.0]) - 0.75).abs() < 1e-12);
     }
 
@@ -404,10 +421,7 @@ mod tests {
 
     #[test]
     fn used_features_reports_split_columns() {
-        let d = dataset(&[
-            (&[0.0, 9.0], 0),
-            (&[1.0, 9.0], 1),
-        ]);
+        let d = dataset(&[(&[0.0, 9.0], 0), (&[1.0, 9.0], 1)]);
         let t = DecisionTree::fit(&d, &TreeConfig::default());
         assert_eq!(t.tree().used_features(), vec![0]);
     }

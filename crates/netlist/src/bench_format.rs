@@ -102,7 +102,12 @@ pub fn parse_bench(src: &str) -> Result<Netlist, ParseError> {
             .map(|s| s.trim().to_string())
             .filter(|s| !s.is_empty())
             .collect();
-        gates.push(RawGate { out, func, ins, line: ln });
+        gates.push(RawGate {
+            out,
+            func,
+            ins,
+            line: ln,
+        });
     }
 
     let kind_of = |func: &str, line: usize| -> Result<GateKind, ParseError> {

@@ -274,7 +274,11 @@ mod tests {
             assert_eq!(GateKind::from_keyword(k.keyword()), Some(k));
         }
         assert_eq!(GateKind::from_keyword(""), None);
-        assert_eq!(GateKind::from_keyword("AND"), None, "keywords are lowercase");
+        assert_eq!(
+            GateKind::from_keyword("AND"),
+            None,
+            "keywords are lowercase"
+        );
     }
 
     #[test]
@@ -299,7 +303,11 @@ mod tests {
     fn mnemonics_are_unique() {
         let mut seen = std::collections::HashSet::new();
         for k in GateKind::ALL {
-            assert!(seen.insert(k.mnemonic()), "duplicate mnemonic {}", k.mnemonic());
+            assert!(
+                seen.insert(k.mnemonic()),
+                "duplicate mnemonic {}",
+                k.mnemonic()
+            );
         }
     }
 }

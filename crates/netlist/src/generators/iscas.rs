@@ -23,12 +23,30 @@ pub struct TrainingDesign {
 
 /// The six training designs used by the paper (§V-A).
 pub const TRAINING: [TrainingDesign; 6] = [
-    TrainingDesign { name: "c432", approx_cells: 190 },
-    TrainingDesign { name: "c499", approx_cells: 260 },
-    TrainingDesign { name: "c880", approx_cells: 420 },
-    TrainingDesign { name: "c1355", approx_cells: 590 },
-    TrainingDesign { name: "c1908", approx_cells: 740 },
-    TrainingDesign { name: "c2670", approx_cells: 980 },
+    TrainingDesign {
+        name: "c432",
+        approx_cells: 190,
+    },
+    TrainingDesign {
+        name: "c499",
+        approx_cells: 260,
+    },
+    TrainingDesign {
+        name: "c880",
+        approx_cells: 420,
+    },
+    TrainingDesign {
+        name: "c1355",
+        approx_cells: 590,
+    },
+    TrainingDesign {
+        name: "c1908",
+        approx_cells: 740,
+    },
+    TrainingDesign {
+        name: "c2670",
+        approx_cells: 980,
+    },
 ];
 
 /// The classic 6-gate ISCAS-85 `c17` netlist, reproduced exactly — handy as a
@@ -76,8 +94,12 @@ pub fn training_suite(scale: u32, seed: u64) -> Vec<Netlist> {
 /// c432 flavour: priority/interrupt channel logic.
 fn interrupt_controller(name: &str, channels: usize, seed: u64) -> Netlist {
     let mut n = Netlist::new(name);
-    let reqs: Vec<GateId> = (0..channels).map(|i| n.add_input(format!("req{i}"))).collect();
-    let masks: Vec<GateId> = (0..channels).map(|i| n.add_input(format!("msk{i}"))).collect();
+    let reqs: Vec<GateId> = (0..channels)
+        .map(|i| n.add_input(format!("req{i}")))
+        .collect();
+    let masks: Vec<GateId> = (0..channels)
+        .map(|i| n.add_input(format!("msk{i}")))
+        .collect();
     let enabled: Vec<GateId> = reqs
         .iter()
         .zip(&masks)
@@ -108,7 +130,9 @@ fn ecc_design(name: &str, width: usize, seed: u64) -> Netlist {
     let mut n = Netlist::new(name);
     let data: Vec<GateId> = (0..width).map(|i| n.add_input(format!("d{i}"))).collect();
     let chk_bits = (usize::BITS - width.leading_zeros()) as usize + 1;
-    let chk: Vec<GateId> = (0..chk_bits).map(|i| n.add_input(format!("c{i}"))).collect();
+    let chk: Vec<GateId> = (0..chk_bits)
+        .map(|i| n.add_input(format!("c{i}")))
+        .collect();
     let mut current = data;
     for stage in 0..2 {
         // Syndrome: parity of data subsets XOR check bit.
@@ -120,7 +144,11 @@ fn ecc_design(name: &str, width: usize, seed: u64) -> Netlist {
                 .filter(|(i, _)| (i >> b) & 1 == 1 || b == 0)
                 .map(|(_, &g)| g)
                 .collect();
-            let subset = if subset.is_empty() { vec![current[0]] } else { subset };
+            let subset = if subset.is_empty() {
+                vec![current[0]]
+            } else {
+                subset
+            };
             let p = blocks::parity_tree(&mut n, &format!("st{stage}_syn{b}"), &subset);
             let s = n
                 .add_gate(crate::GateKind::Xor, format!("st{stage}_snd{b}"), &[p, c])

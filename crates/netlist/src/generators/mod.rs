@@ -27,6 +27,6 @@ mod suite;
 
 pub use iscas::{iscas_c17, iscas_like, training_suite, TrainingDesign};
 pub use suite::{
-    aes_round, arbiter, by_name, des3, div, evaluation_suite, log2, md5, memctrl, multiplier,
-    sin, sqrt, square, voter, EVALUATION_NAMES,
+    aes_round, arbiter, by_name, des3, div, evaluation_suite, log2, md5, memctrl, multiplier, sin,
+    sqrt, square, voter, EVALUATION_NAMES,
 };

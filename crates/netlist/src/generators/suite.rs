@@ -15,7 +15,16 @@ use super::blocks;
 
 /// Names of the eleven evaluation designs, in the paper's table order.
 pub const EVALUATION_NAMES: [&str; 11] = [
-    "des3", "arbiter", "sin", "md5", "voter", "square", "sqrt", "div", "memctrl", "multiplier",
+    "des3",
+    "arbiter",
+    "sin",
+    "md5",
+    "voter",
+    "square",
+    "sqrt",
+    "div",
+    "memctrl",
+    "multiplier",
     "log2",
 ];
 
@@ -49,12 +58,15 @@ pub fn evaluation_suite(scale: u32, seed: u64) -> Vec<Netlist> {
 }
 
 fn inputs(n: &mut Netlist, prefix: &str, count: usize) -> Vec<GateId> {
-    (0..count).map(|i| n.add_input(format!("{prefix}{i}"))).collect()
+    (0..count)
+        .map(|i| n.add_input(format!("{prefix}{i}")))
+        .collect()
 }
 
 fn outputs(n: &mut Netlist, prefix: &str, bits: &[GateId]) {
     for (i, &b) in bits.iter().enumerate() {
-        n.add_output(format!("{prefix}{i}"), b).expect("valid output");
+        n.add_output(format!("{prefix}{i}"), b)
+            .expect("valid output");
     }
 }
 
@@ -131,8 +143,12 @@ pub fn aes_round(scale: u32, seed: u64) -> Netlist {
         .map(|bit| {
             let byte = bit / 8;
             let partner = ((byte + 1) % bytes) * 8 + bit % 8;
-            n.add_gate(GateKind::Xor, format!("mx{bit}"), &[shifted[bit], shifted[partner]])
-                .expect("valid")
+            n.add_gate(
+                GateKind::Xor,
+                format!("mx{bit}"),
+                &[shifted[bit], shifted[partner]],
+            )
+            .expect("valid")
         })
         .collect();
     let frontier = blocks::random_cloud(&mut n, "glue", &mixed, bytes * 4, seed);
@@ -194,7 +210,8 @@ pub fn arbiter(scale: u32, seed: u64) -> Netlist {
         .zip(&msk)
         .enumerate()
         .map(|(i, (&r, &m))| {
-            n.add_gate(GateKind::And, format!("en{i}"), &[r, m]).expect("valid")
+            n.add_gate(GateKind::And, format!("en{i}"), &[r, m])
+                .expect("valid")
         })
         .collect();
     let g1 = blocks::priority_arbiter(&mut n, "p1", &en);
@@ -351,7 +368,9 @@ pub fn memctrl(scale: u32, seed: u64) -> Netlist {
     // Bank decode.
     let banks = blocks::decoder(&mut n, "bank", &addr[0..4]);
     // Command FSM: 3-bit state register with next-state logic.
-    let st: Vec<GateId> = (0..3).map(|i| n.add_dff_placeholder(format!("st{i}"))).collect();
+    let st: Vec<GateId> = (0..3)
+        .map(|i| n.add_dff_placeholder(format!("st{i}")))
+        .collect();
     let ns0 = n
         .add_gate(GateKind::Xor, "ns0", &[st[0], cmd[0]])
         .expect("valid");
@@ -408,7 +427,11 @@ mod tests {
         for name in EVALUATION_NAMES {
             let n = by_name(name, 1, 7).unwrap();
             n.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
-            assert!(n.stats().cells > 50, "{name} too small: {}", n.stats().cells);
+            assert!(
+                n.stats().cells > 50,
+                "{name} too small: {}",
+                n.stats().cells
+            );
             assert_eq!(n.name(), name);
         }
     }

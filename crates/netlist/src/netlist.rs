@@ -51,7 +51,10 @@ impl fmt::Display for NetlistError {
                 write!(f, "gate {gate} references missing fanin {fanin}")
             }
             NetlistError::BadArity { gate, kind, found } => {
-                write!(f, "gate {gate} of kind {kind} has invalid fanin count {found}")
+                write!(
+                    f,
+                    "gate {gate} of kind {kind} has invalid fanin count {found}"
+                )
             }
             NetlistError::CombinationalCycle { gate } => {
                 write!(f, "combinational cycle through gate {gate}")
@@ -408,9 +411,7 @@ impl Netlist {
         let fanouts = self.fanouts();
         let mut queue: Vec<GateId> = self
             .iter()
-            .filter(|(id, g)| {
-                g.kind().is_sequential() || indegree[id.index()] == 0
-            })
+            .filter(|(id, g)| g.kind().is_sequential() || indegree[id.index()] == 0)
             .map(|(id, _)| id)
             .collect();
         let mut order = Vec::with_capacity(n);

@@ -129,7 +129,10 @@ impl Cursor {
     fn expect(&mut self, text: &str) -> Result<Token, ParseError> {
         match self.next() {
             Some(t) if t.text == text => Ok(t),
-            Some(t) => Err(err(t.line, format!("expected `{text}`, found `{}`", t.text))),
+            Some(t) => Err(err(
+                t.line,
+                format!("expected `{text}`, found `{}`", t.text),
+            )),
             None => Err(err(0, format!("expected `{text}`, found end of input"))),
         }
     }
@@ -144,7 +147,10 @@ impl Cursor {
             {
                 Ok(t)
             }
-            Some(t) => Err(err(t.line, format!("expected identifier, found `{}`", t.text))),
+            Some(t) => Err(err(
+                t.line,
+                format!("expected identifier, found `{}`", t.text),
+            )),
             None => Err(err(0, "expected identifier, found end of input")),
         }
     }
@@ -157,7 +163,10 @@ impl Cursor {
                 Some(t) if t.text == "," => names.push(self.ident()?),
                 Some(t) if t.text == ";" => return Ok(names),
                 Some(t) => {
-                    return Err(err(t.line, format!("expected `,` or `;`, found `{}`", t.text)))
+                    return Err(err(
+                        t.line,
+                        format!("expected `,` or `;`, found `{}`", t.text),
+                    ))
                 }
                 None => return Err(err(0, "unterminated declaration")),
             }
@@ -283,7 +292,10 @@ pub fn parse_netlist(src: &str) -> Result<Netlist, ParseError> {
         let id = netlist.add_placeholder(inst.kind, inst.name.clone());
         inst_ids.push(id);
         if driver.insert(inst.out.clone(), id).is_some() {
-            return Err(err(inst.line, format!("wire `{}` has two drivers", inst.out)));
+            return Err(err(
+                inst.line,
+                format!("wire `{}` has two drivers", inst.out),
+            ));
         }
     }
     for (inst, &id) in instances.iter().zip(&inst_ids) {

@@ -256,7 +256,11 @@ pub fn propagate_constants(netlist: &Netlist) -> Result<(Netlist, RebuildMap), N
         if let Some(id) = const_cache[slot] {
             return id;
         }
-        let kind = if v { GateKind::Const1 } else { GateKind::Const0 };
+        let kind = if v {
+            GateKind::Const1
+        } else {
+            GateKind::Const0
+        };
         let id = out
             .add_gate(kind, format!("fold_{hint}_{}", u8::from(v)), &[])
             .expect("constants are always valid");
@@ -543,7 +547,11 @@ mod tests {
         n.add_output("y", g).unwrap();
         let (d, map) = decompose(&n).unwrap();
         let rep = map.representative(g).unwrap();
-        assert_eq!(d.gate(rep).kind(), GateKind::Not, "root of lowered nand is an inverter");
+        assert_eq!(
+            d.gate(rep).kind(),
+            GateKind::Not,
+            "root of lowered nand is an inverter"
+        );
     }
 
     #[test]

@@ -206,14 +206,13 @@ pub fn run_campaign<S: TraceSink>(
     let sigma = model.noise_sigma();
 
     let run_population = |pop: Population,
-                              n_traces: usize,
-                              data_rng: &mut StdRng,
-                              mask_rng: &mut StdRng,
-                              noise_rng: &mut StdRng,
-                              sink: &mut S| {
-        let broadcast = |v: &Vec<bool>| -> Vec<u64> {
-            v.iter().map(|&b| if b { !0u64 } else { 0 }).collect()
-        };
+                          n_traces: usize,
+                          data_rng: &mut StdRng,
+                          mask_rng: &mut StdRng,
+                          noise_rng: &mut StdRng,
+                          sink: &mut S| {
+        let broadcast =
+            |v: &Vec<bool>| -> Vec<u64> { v.iter().map(|&b| if b { !0u64 } else { 0 }).collect() };
         let mut remaining = n_traces;
         while remaining > 0 {
             let lanes = remaining.min(64);
@@ -223,9 +222,9 @@ pub fn run_campaign<S: TraceSink>(
             let data: Vec<u64> = match (pop, &second_fixed) {
                 (Population::Fixed, _) => broadcast(&fixed_vec),
                 (Population::Random, Some(v2)) => broadcast(v2),
-                (Population::Random, None) => {
-                    (0..n_data).map(|_| data_rng.gen::<u64>() & lane_mask).collect()
-                }
+                (Population::Random, None) => (0..n_data)
+                    .map(|_| data_rng.gen::<u64>() & lane_mask)
+                    .collect(),
             };
 
             let mut st = sim.zero_state();
@@ -572,9 +571,8 @@ endmodule";
         let glitch_cfg = CampaignConfig::new(0, 64, 9).with_glitches();
         let z = collect_gate_samples(&n, &model, &zero_cfg).unwrap();
         let g = collect_gate_samples(&n, &model, &glitch_cfg).unwrap();
-        let total = |s: &GateSamples| -> f64 {
-            n.ids().map(|id| s.random(id).iter().sum::<f64>()).sum()
-        };
+        let total =
+            |s: &GateSamples| -> f64 { n.ids().map(|id| s.random(id).iter().sum::<f64>()).sum() };
         let tz = total(&z);
         let tg = total(&g);
         assert!(

@@ -70,8 +70,16 @@ impl<'a> Simulator<'a> {
     /// Panics if the slices do not match the input counts of the netlist.
     pub fn eval(&self, state: &mut SimState, data: &[u64], mask: &[u64]) {
         let nl = self.netlist;
-        assert_eq!(data.len(), nl.data_inputs().len(), "data input width mismatch");
-        assert_eq!(mask.len(), nl.mask_inputs().len(), "mask input width mismatch");
+        assert_eq!(
+            data.len(),
+            nl.data_inputs().len(),
+            "data input width mismatch"
+        );
+        assert_eq!(
+            mask.len(),
+            nl.mask_inputs().len(),
+            "mask input width mismatch"
+        );
         for (&id, &w) in nl.data_inputs().iter().zip(data) {
             state.values[id.index()] = w;
         }
@@ -139,8 +147,16 @@ impl<'a> Simulator<'a> {
         mut on_wave_toggle: impl FnMut(usize, u64),
     ) -> usize {
         let nl = self.netlist;
-        assert_eq!(data.len(), nl.data_inputs().len(), "data input width mismatch");
-        assert_eq!(mask.len(), nl.mask_inputs().len(), "mask input width mismatch");
+        assert_eq!(
+            data.len(),
+            nl.data_inputs().len(),
+            "data input width mismatch"
+        );
+        assert_eq!(
+            mask.len(),
+            nl.mask_inputs().len(),
+            "mask input width mismatch"
+        );
         for (&id, &w) in nl.data_inputs().iter().zip(data) {
             state.values[id.index()] = w;
         }

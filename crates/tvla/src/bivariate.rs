@@ -14,8 +14,8 @@
 //! second-order (3-share) ISW composite requires three-way combinations and
 //! passes every bivariate test (see the workspace integration tests).
 
-use polaris_sim::campaign::GateSamples;
 use polaris_netlist::GateId;
+use polaris_sim::campaign::GateSamples;
 
 use crate::moments::StreamingMoments;
 use crate::welch::WelchResult;

@@ -212,7 +212,8 @@ mod tests {
             .zip(&key)
             .enumerate()
             .map(|(i, (&d, &k))| {
-                n.add_gate(GateKind::Xor, format!("kx{i}"), &[d, k]).expect("valid")
+                n.add_gate(GateKind::Xor, format!("kx{i}"), &[d, k])
+                    .expect("valid")
             })
             .collect();
         let out = blocks::sbox(&mut n, "sb", &keyed, &table, 4);
@@ -267,14 +268,23 @@ mod tests {
         use polaris_masking::{apply_masking, MaskingStyle};
         let (n, table) = keyed_sbox();
         let (norm, _) = polaris_netlist::transform::decompose(&n).unwrap();
-        let masked =
-            apply_masking(&norm, &norm.cell_ids(), MaskingStyle::Trichina).unwrap();
+        let masked = apply_masking(&norm, &norm.cell_ids(), MaskingStyle::Trichina).unwrap();
         let model = PowerModel::default().with_noise(0.3);
         let key = 0xB;
-        let unprotected =
-            run_cpa(&norm, &model, &config(key, 1500), &hd_predictor(table.clone())).unwrap();
-        let protected =
-            run_cpa(&masked.netlist, &model, &config(key, 1500), &hd_predictor(table)).unwrap();
+        let unprotected = run_cpa(
+            &norm,
+            &model,
+            &config(key, 1500),
+            &hd_predictor(table.clone()),
+        )
+        .unwrap();
+        let protected = run_cpa(
+            &masked.netlist,
+            &model,
+            &config(key, 1500),
+            &hd_predictor(table),
+        )
+        .unwrap();
         let best_unprotected = unprotected.correlations[key as usize];
         let best_protected = protected.correlations[key as usize];
         // The local mask/re-combine convention keeps the boundary gates'

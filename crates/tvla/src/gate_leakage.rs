@@ -184,7 +184,11 @@ impl GateLeakage {
         }
         LeakageSummary {
             cells: cells.len(),
-            mean_abs_t: if cells.is_empty() { 0.0 } else { sum / cells.len() as f64 },
+            mean_abs_t: if cells.is_empty() {
+                0.0
+            } else {
+                sum / cells.len() as f64
+            },
             total_abs_t: sum,
             max_abs_t: max,
             leaky_cells: leaky,

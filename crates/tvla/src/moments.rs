@@ -187,6 +187,59 @@ mod tests {
     }
 
     #[test]
+    fn closed_form_small_vector() {
+        // xs = [1,2,3,4]: mean 2.5, population variance 1.25, sample
+        // variance 5/3, CM3 = 0 (symmetric), CM4 = (2·1.5⁴ + 2·0.5⁴)/4 =
+        // 2.5625, excess kurtosis = 2.5625/1.25² − 3 = −1.36.
+        let mut m = StreamingMoments::new();
+        m.extend_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.count(), 4);
+        assert!((m.mean() - 2.5).abs() < 1e-15);
+        assert!((m.population_variance() - 1.25).abs() < 1e-15);
+        assert!((m.sample_variance() - 5.0 / 3.0).abs() < 1e-15);
+        assert!(m.central_moment3().abs() < 1e-15);
+        assert!((m.central_moment4() - 2.5625).abs() < 1e-15);
+        assert!(m.skewness().abs() < 1e-15);
+        assert!((m.kurtosis_excess() - (-1.36)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closed_form_skewed_vector() {
+        // xs = [1,1,1,5]: mean 2, CM2 = 3, CM3 = 6, skewness = 6/3^1.5 =
+        // 2/√3.
+        let mut m = StreamingMoments::new();
+        m.extend_from_slice(&[1.0, 1.0, 1.0, 5.0]);
+        assert!((m.mean() - 2.0).abs() < 1e-15);
+        assert!((m.population_variance() - 3.0).abs() < 1e-15);
+        assert!((m.central_moment3() - 6.0).abs() < 1e-12);
+        assert!((m.skewness() - 2.0 / 3.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_stream_is_degenerate() {
+        let mut m = StreamingMoments::new();
+        m.extend_from_slice(&[2.0; 5]);
+        assert!((m.mean() - 2.0).abs() < 1e-15);
+        assert_eq!(m.population_variance(), 0.0);
+        assert_eq!(m.skewness(), 0.0);
+        assert_eq!(m.kurtosis_excess(), 0.0);
+    }
+
+    #[test]
+    fn single_push_incremental_mean() {
+        // Pushing one value at a time keeps the running mean exact at every
+        // step: after k pushes of [4,8,12,...] the mean is 2(k+1).
+        let mut m = StreamingMoments::new();
+        for k in 1..=10u64 {
+            m.push(4.0 * k as f64);
+            assert_eq!(m.count(), k);
+            assert!((m.mean() - 2.0 * (k + 1) as f64).abs() < 1e-12);
+        }
+        // Population variance of 4·[1..10] is 16 · (100−1)/12 = 132.
+        assert!((m.population_variance() - 132.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn streaming_matches_two_pass() {
         let xs = pseudo_random(5000, 42);
         let mut m = StreamingMoments::new();
@@ -267,7 +320,11 @@ mod tests {
         let xs: Vec<f64> = base.chunks(12).map(|c| c.iter().sum::<f64>()).collect();
         let mut m = StreamingMoments::new();
         m.extend_from_slice(&xs);
-        assert!(m.kurtosis_excess().abs() < 0.2, "kurt {}", m.kurtosis_excess());
+        assert!(
+            m.kurtosis_excess().abs() < 0.2,
+            "kurt {}",
+            m.kurtosis_excess()
+        );
         assert!(m.skewness().abs() < 0.1, "skew {}", m.skewness());
     }
 }

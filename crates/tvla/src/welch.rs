@@ -71,8 +71,14 @@ mod tests {
     #[test]
     fn textbook_welch_example() {
         // Classic example (NIST-style): two small samples.
-        let a = [27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7, 21.4];
-        let b = [27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.3, 23.8];
+        let a = [
+            27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7,
+            21.4,
+        ];
+        let b = [
+            27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.3,
+            23.8,
+        ];
         let r = welch_t_slices(&a, &b);
         // Independently computed (two-pass formulas):
         // t = -2.821665, dof = 27.81897, two-sided p = 0.0087177.
@@ -80,6 +86,33 @@ mod tests {
         assert!((r.dof - 27.818966038567552).abs() < 1e-6, "dof = {}", r.dof);
         let p = r.p_value();
         assert!((p - 0.008717728775).abs() < 1e-9, "p = {p}");
+    }
+
+    #[test]
+    fn hand_computed_small_vectors() {
+        // a = [1..5]: mean 3, s² = 2.5, n = 5  →  s²/n = 1/2
+        // b = [2,4,6]: mean 4, s² = 4,  n = 3  →  s²/n = 4/3
+        // se² = 1/2 + 4/3 = 11/6
+        // t   = (3 − 4) / √(11/6)                       = −0.738548945875996
+        // dof = (11/6)² / ((1/2)²/4 + (4/3)²/2)         =  3.532846715328467
+        let r = welch_t_slices(&[1.0, 2.0, 3.0, 4.0, 5.0], &[2.0, 4.0, 6.0]);
+        assert!((r.t - (-0.738548945875996)).abs() < 1e-12, "t = {}", r.t);
+        assert!((r.dof - 3.532846715328467).abs() < 1e-12, "dof = {}", r.dof);
+        assert!(!r.is_leaky(4.5));
+    }
+
+    #[test]
+    fn hand_computed_equal_variance_case() {
+        // a = [0,2], b = [10,12]: both s² = 2, n = 2 → se² = 2, t = −10/√2.
+        // dof = 4 / (1 + 1) = 2 (Welch reduces to the pooled dof here).
+        let r = welch_t_slices(&[0.0, 2.0], &[10.0, 12.0]);
+        assert!(
+            (r.t - (-10.0 / 2.0_f64.sqrt())).abs() < 1e-12,
+            "t = {}",
+            r.t
+        );
+        assert!((r.dof - 2.0).abs() < 1e-12, "dof = {}", r.dof);
+        assert!(r.is_leaky(4.5));
     }
 
     #[test]

@@ -232,7 +232,11 @@ fn summarize_grouped(
     }
     LeakageSummary {
         cells: cells.len(),
-        mean_abs_t: if cells.is_empty() { 0.0 } else { total / cells.len() as f64 },
+        mean_abs_t: if cells.is_empty() {
+            0.0
+        } else {
+            total / cells.len() as f64
+        },
         total_abs_t: total,
         max_abs_t: max,
         leaky_cells: leaky,

@@ -12,11 +12,7 @@
 ///
 /// Panics if `x` has more than 20 features (enumeration would explode), if
 /// `background` is empty, or if widths disagree.
-pub fn exact_shapley(
-    f: &dyn Fn(&[f32]) -> f64,
-    x: &[f32],
-    background: &[Vec<f32>],
-) -> Vec<f64> {
+pub fn exact_shapley(f: &dyn Fn(&[f32]) -> f64, x: &[f32], background: &[Vec<f32>]) -> Vec<f64> {
     let m = x.len();
     assert!(m <= 20, "brute-force Shapley is capped at 20 features");
     assert!(!background.is_empty(), "background must be nonempty");
@@ -77,7 +73,11 @@ mod tests {
     #[test]
     fn efficiency_axiom() {
         let f = |x: &[f32]| f64::from(x[0]) * f64::from(x[1]) + 2.0 * f64::from(x[2]);
-        let background = vec![vec![0.1, 0.4, 0.9], vec![0.7, 0.2, 0.3], vec![0.5, 0.5, 0.5]];
+        let background = vec![
+            vec![0.1, 0.4, 0.9],
+            vec![0.7, 0.2, 0.3],
+            vec![0.5, 0.5, 0.5],
+        ];
         let x = [1.0f32, 0.0, 0.6];
         let phi = exact_shapley(&f, &x, &background);
         let base: f64 = background.iter().map(|b| f(b)).sum::<f64>() / background.len() as f64;

@@ -83,9 +83,8 @@ pub fn kernel_shap(
         let ln_fact = |v: usize| (1..=v).map(|i| (i as f64).ln()).sum::<f64>();
         ln_fact(n) - ln_fact(k) - ln_fact(n - k)
     };
-    let kernel = |s: usize| -> f64 {
-        ((m - 1) as f64 / (s * (m - s)) as f64) * (-ln_choose(m, s)).exp()
-    };
+    let kernel =
+        |s: usize| -> f64 { ((m - 1) as f64 / (s * (m - s)) as f64) * (-ln_choose(m, s)).exp() };
 
     // Collect coalitions (mask, weight).
     let mut masks: Vec<(Vec<bool>, f64)> = Vec::new();
@@ -98,9 +97,7 @@ pub fn kernel_shap(
         let mut rng = StdRng::seed_from_u64(config.seed);
         // Sample sizes proportional to total kernel mass per size, then a
         // uniform subset of that size.
-        let size_mass: Vec<f64> = (1..m)
-            .map(|s| kernel(s) * ln_choose(m, s).exp())
-            .collect();
+        let size_mass: Vec<f64> = (1..m).map(|s| kernel(s) * ln_choose(m, s).exp()).collect();
         let total: f64 = size_mass.iter().sum();
         for _ in 0..config.n_samples {
             let mut pick = rng.gen::<f64>() * total;
@@ -197,9 +194,16 @@ mod tests {
         let m = 16; // above the exhaustive cap
         let background = vec![vec![0.0f32; m], vec![1.0f32; m]];
         let x: Vec<f32> = (0..m).map(|i| (i % 2) as f32).collect();
-        let cfg = KernelShapConfig { n_samples: 2000, ..Default::default() };
+        let cfg = KernelShapConfig {
+            n_samples: 2000,
+            ..Default::default()
+        };
         let e = kernel_shap(&f, &x, &background, &cfg);
-        assert!(e.efficiency_gap().abs() < 1e-9, "gap {}", e.efficiency_gap());
+        assert!(
+            e.efficiency_gap().abs() < 1e-9,
+            "gap {}",
+            e.efficiency_gap()
+        );
     }
 
     #[test]
@@ -208,12 +212,19 @@ mod tests {
         let coefs: Vec<f64> = (0..16).map(|i| (i as f64) - 7.5).collect();
         let c = coefs.clone();
         let f = move |x: &[f32]| {
-            x.iter().zip(&c).map(|(&v, &ci)| ci * f64::from(v)).sum::<f64>()
+            x.iter()
+                .zip(&c)
+                .map(|(&v, &ci)| ci * f64::from(v))
+                .sum::<f64>()
         };
         let m = 16;
         let background = vec![vec![0.0f32; m], vec![1.0f32; m]];
         let x: Vec<f32> = vec![1.0; m];
-        let cfg = KernelShapConfig { n_samples: 6000, seed: 3, ..Default::default() };
+        let cfg = KernelShapConfig {
+            n_samples: 6000,
+            seed: 3,
+            ..Default::default()
+        };
         let e = kernel_shap(&f, &x, &background, &cfg);
         for (i, &phi) in e.values.iter().enumerate() {
             let want = coefs[i] * 0.5;

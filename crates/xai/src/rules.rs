@@ -218,10 +218,8 @@ impl RuleMiner {
                 continue;
             }
             let strength: f64 = ranked.iter().map(|(_, phi)| phi.abs()).sum();
-            let mut key: Vec<(usize, bool)> = ranked
-                .iter()
-                .map(|(i, _)| (*i, x[*i] >= 0.5))
-                .collect();
+            let mut key: Vec<(usize, bool)> =
+                ranked.iter().map(|(i, _)| (*i, x[*i] >= 0.5)).collect();
             key.sort_unstable();
             let entry = buckets.entry((key, action)).or_insert((0, 0, 0.0));
             entry.0 += 1; // support
@@ -279,11 +277,7 @@ impl RuleMiner {
 mod tests {
     use super::*;
 
-    fn sample(
-        x: Vec<f32>,
-        phis: Vec<f64>,
-        proba: f64,
-    ) -> (Vec<f32>, ShapExplanation, f64) {
+    fn sample(x: Vec<f32>, phis: Vec<f64>, proba: f64) -> (Vec<f32>, ShapExplanation, f64) {
         let fx = phis.iter().sum::<f64>();
         (
             x,

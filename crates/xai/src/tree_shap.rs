@@ -71,11 +71,7 @@ pub fn tree_shap<M: TreeEnsemble>(
         for (w, tree) in &trees {
             single_reference_shap(tree, x, b, *w * inv_bg, &fact, &mut values);
         }
-        base += inv_bg
-            * trees
-                .iter()
-                .map(|(w, t)| w * t.predict(b))
-                .sum::<f64>();
+        base += inv_bg * trees.iter().map(|(w, t)| w * t.predict(b)).sum::<f64>();
     }
     ShapExplanation {
         base_value: base,
@@ -106,7 +102,17 @@ fn single_reference_shap(
     // Depth-first traversal carrying per-feature consistency state.
     let mut state = vec![Consistency::Unseen; x.len()];
     let mut path_features: Vec<usize> = Vec::new();
-    descend(tree, 0, x, b, scale, fact, &mut state, &mut path_features, out);
+    descend(
+        tree,
+        0,
+        x,
+        b,
+        scale,
+        fact,
+        &mut state,
+        &mut path_features,
+        out,
+    );
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -242,7 +248,11 @@ mod tests {
         let d = random_dataset(80, 5, 3);
         let model = AdaBoost::fit(
             &d,
-            &AdaBoostConfig { n_estimators: 12, max_depth: 3, ..Default::default() },
+            &AdaBoostConfig {
+                n_estimators: 12,
+                max_depth: 3,
+                ..Default::default()
+            },
         )
         .unwrap();
         let bg: Vec<Vec<f32>> = rows(&d).into_iter().take(10).collect();
@@ -263,7 +273,11 @@ mod tests {
         let d = random_dataset(60, 4, 7);
         let model = GradientBoost::fit(
             &d,
-            &GbdtConfig { n_estimators: 10, max_depth: 3, ..Default::default() },
+            &GbdtConfig {
+                n_estimators: 10,
+                max_depth: 3,
+                ..Default::default()
+            },
         )
         .unwrap();
         let bg: Vec<Vec<f32>> = rows(&d).into_iter().take(8).collect();
@@ -283,7 +297,11 @@ mod tests {
         let d = random_dataset(60, 4, 11);
         let model = RandomForest::fit(
             &d,
-            &ForestConfig { n_trees: 8, max_depth: 4, ..Default::default() },
+            &ForestConfig {
+                n_trees: 8,
+                max_depth: 4,
+                ..Default::default()
+            },
         );
         let bg: Vec<Vec<f32>> = rows(&d).into_iter().take(6).collect();
         let f = margin_fn(&model);
@@ -304,7 +322,11 @@ mod tests {
         let bg = rows(&d);
         for i in (0..d.len()).step_by(17) {
             let e = tree_shap(&model, &bg, d.row(i));
-            assert!(e.efficiency_gap().abs() < 1e-8, "gap {}", e.efficiency_gap());
+            assert!(
+                e.efficiency_gap().abs() < 1e-8,
+                "gap {}",
+                e.efficiency_gap()
+            );
         }
     }
 

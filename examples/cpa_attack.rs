@@ -61,20 +61,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- attack the unprotected device ---
     let design = keyed_sbox();
-    println!("attacking unprotected keyed S-box ({} traces)…\n", config.traces);
+    println!(
+        "attacking unprotected keyed S-box ({} traces)…\n",
+        config.traces
+    );
     let outcome = run_cpa(&design, &model, &config, &predictor)?;
     let max = outcome.correlations.iter().cloned().fold(0.0f64, f64::max);
     for (guess, &rho) in outcome.correlations.iter().enumerate() {
-        let marker = if guess as u32 == secret_key { "  <-- true key" } else { "" };
-        println!("  guess {guess:#3x}  |r| = {rho:.3}  {}{marker}", bar(rho, max));
+        let marker = if guess as u32 == secret_key {
+            "  <-- true key"
+        } else {
+            ""
+        };
+        println!(
+            "  guess {guess:#3x}  |r| = {rho:.3}  {}{marker}",
+            bar(rho, max)
+        );
     }
     println!(
         "\nbest guess: {:#x} — key {}; margin over runner-up: {:.2}x",
         outcome.best_guess,
-        if outcome.key_recovered() { "RECOVERED" } else { "missed" },
+        if outcome.key_recovered() {
+            "RECOVERED"
+        } else {
+            "missed"
+        },
         outcome.distinguishing_margin()
     );
-    assert!(outcome.key_recovered(), "the unprotected attack must succeed");
+    assert!(
+        outcome.key_recovered(),
+        "the unprotected attack must succeed"
+    );
 
     // --- attack the masked device ---
     println!("\nmasking every cell (Trichina) and re-attacking…\n");

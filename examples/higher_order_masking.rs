@@ -46,7 +46,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Trichina and ISW: report the worst *core* gate / pair (entry sharing
     // and exit re-combination gates excluded — see the masking crate docs).
     for (style, name, entry, exit) in [
-        (MaskingStyle::Trichina, "Trichina (1st order)", 2usize, 1usize),
+        (
+            MaskingStyle::Trichina,
+            "Trichina (1st order)",
+            2usize,
+            1usize,
+        ),
         (MaskingStyle::IswOrder2, "ISW (2nd order)", 4, 2),
     ] {
         let (plain, g) = keyed_and();

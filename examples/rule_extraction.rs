@@ -24,8 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..PolarisConfig::default()
     };
     println!("training the AdaBoost cognition model…");
-    let trained =
-        PolarisPipeline::new(config).train(&generators::training_suite(1, 7), &power)?;
+    let trained = PolarisPipeline::new(config).train(&generators::training_suite(1, 7), &power)?;
     let data = trained.dataset();
     let model = trained.model();
 
@@ -42,11 +41,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n=== waterfall (a): gate the model wants to mask ===");
     println!("P(good mask) = {:.3}\n", model.predict_proba(data.row(hi)));
-    println!("{}", trained.explainer().waterfall(model, data.row(hi)).render(8, 24));
+    println!(
+        "{}",
+        trained
+            .explainer()
+            .waterfall(model, data.row(hi))
+            .render(8, 24)
+    );
 
     println!("=== waterfall (b): gate the model refuses to mask ===");
     println!("P(good mask) = {:.3}\n", model.predict_proba(data.row(lo)));
-    println!("{}", trained.explainer().waterfall(model, data.row(lo)).render(8, 24));
+    println!(
+        "{}",
+        trained
+            .explainer()
+            .waterfall(model, data.row(lo))
+            .render(8, 24)
+    );
 
     // Efficiency axiom, verified live.
     let e = trained.explainer().explain(model, data.row(hi));

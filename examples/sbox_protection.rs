@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  mean |t| = {:.2}, max |t| = {:.2}, leaky cells = {} (threshold 4.5)",
         before.mean_abs_t, before.max_abs_t, before.leaky_cells
     );
-    assert!(before.max_abs_t > 4.5, "an unprotected S-box must fail TVLA");
+    assert!(
+        before.max_abs_t > 4.5,
+        "an unprotected S-box must fail TVLA"
+    );
 
     // POLARIS: train on generic logic, let the model pick the gates.
     println!("\n[1] POLARIS selective masking (50% of leaky gates)");

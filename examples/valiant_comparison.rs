@@ -68,14 +68,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         traces,
         ..PolarisConfig::default()
     };
-    let trained =
-        PolarisPipeline::new(config).train(&generators::training_suite(1, 7), &power)?;
+    let trained = PolarisPipeline::new(config).train(&generators::training_suite(1, 7), &power)?;
 
     println!("running POLARIS mitigation (no TVLA)…");
     let t0 = Instant::now();
-    let ranked = rank_gates(&norm, trained.model(), Some(trained.rules()), trained.extractor())?;
+    let ranked = rank_gates(
+        &norm,
+        trained.model(),
+        Some(trained.rules()),
+        trained.extractor(),
+    )?;
     let msize = ((before.leaky_cells as f64) * 0.5).round() as usize;
-    let selected: Vec<_> = ranked.iter().take(msize.max(1)).map(|(id, _)| *id).collect();
+    let selected: Vec<_> = ranked
+        .iter()
+        .take(msize.max(1))
+        .map(|(id, _)| *id)
+        .collect();
     let masked = apply_masking(&norm, &selected, MaskingStyle::Trichina)?;
     let polaris_time = t0.elapsed().as_secs_f64();
     let (after, _) = assess_grouped(&norm, &masked, &power, &campaign)?;

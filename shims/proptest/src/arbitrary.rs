@@ -1,0 +1,55 @@
+//! `any::<T>()` and the [`Arbitrary`] sources behind it.
+
+use core::marker::PhantomData;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Types with a canonical full-range generation strategy.
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_standard {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_standard!(bool, u8, u16, u32, u64, usize, i32, i64);
+
+impl Arbitrary for f64 {
+    /// Uniform in `[-1e6, 1e6]` — a bounded, NaN-free stand-in for real
+    /// proptest's full-range floats, adequate for numeric property tests.
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen_range(-1e6..1e6)
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen_range(-1e6f32..1e6)
+    }
+}
+
+/// The canonical strategy for `T` (see [`any`]).
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy generating any value of `T` (mirrors `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}

@@ -1,0 +1,7 @@
+//! Everything a property-test file needs (mirrors `proptest::prelude`).
+
+pub use crate::arbitrary::{any, Arbitrary};
+pub use crate::prop;
+pub use crate::strategy::{Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};

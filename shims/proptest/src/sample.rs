@@ -1,0 +1,48 @@
+//! Sampling strategies (mirrors `proptest::sample`).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::arbitrary::Arbitrary;
+use crate::strategy::Strategy;
+
+/// Strategy drawing one of a fixed set of options (see [`select`]).
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.options[rng.gen_range(0..self.options.len())].clone()
+    }
+}
+
+/// Uniformly selects one of `options` per case.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(
+        !options.is_empty(),
+        "sample::select needs at least one option"
+    );
+    Select { options }
+}
+
+/// A length-agnostic index: generated once, projected onto any non-empty
+/// collection with [`Index::index`].
+#[derive(Clone, Copy, Debug)]
+pub struct Index(u64);
+
+impl Index {
+    /// This index projected onto a collection of length `len` (> 0).
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        Index(rng.gen())
+    }
+}

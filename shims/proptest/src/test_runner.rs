@@ -1,0 +1,69 @@
+//! Runner plumbing: configuration, case errors, and deterministic RNG
+//! derivation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner configuration (only `cases` is honored by the shim).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running exactly `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// Assertion failure — the whole test fails.
+    Fail(String),
+    /// `prop_assume!` rejection — the case is discarded and re-drawn.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// Result of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Derives the deterministic RNG for case `case` of the named test.
+///
+/// FNV-1a over the test's fully qualified name, mixed with the case index,
+/// so every test draws an independent but fixed stream.
+pub fn case_rng(test_name: &str, case: u64) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}

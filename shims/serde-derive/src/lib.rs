@@ -1,0 +1,43 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Emits empty marker-trait impls (`impl serde::Serialize for T {}`), which
+//! is all the serde shim's traits require. `syn`/`quote` are unavailable
+//! offline, so the type name is recovered by scanning the raw token stream
+//! for the ident following `struct`/`enum`/`union`.
+//!
+//! Limitations (sufficient for this workspace): no generic parameters, and
+//! `#[serde(...)]` field/variant attributes are accepted but ignored.
+
+use proc_macro::{TokenStream, TokenTree};
+
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    return name.to_string();
+                }
+            }
+        }
+    }
+    panic!("serde shim derive: could not find a struct/enum name in the input")
+}
+
+fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::{trait_name} for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize")
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only needs the `Serialize`/`Deserialize` derives to
+//! compile (the actual persistence format in `polaris::persist` is a
+//! hand-rolled line-oriented text format). This shim provides marker
+//! traits and no-op derive macros so those derives type-check without
+//! network access. Swap in real serde by replacing the `[patch]`-free
+//! path dependency in the workspace manifest.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize {}

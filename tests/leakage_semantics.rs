@@ -88,11 +88,10 @@ fn streaming_assessment_matches_dense_samples() {
     let cfg = CampaignConfig::new(333, 277, 13);
 
     let streamed = assess(&design, &power, &cfg).expect("assessment");
-    let dense = polaris_sim::campaign::collect_gate_samples(&design, &power, &cfg)
-        .expect("campaign");
+    let dense =
+        polaris_sim::campaign::collect_gate_samples(&design, &power, &cfg).expect("campaign");
     for id in design.ids() {
-        let slice_result =
-            polaris_tvla::welch::welch_t_slices(dense.fixed(id), dense.random(id));
+        let slice_result = polaris_tvla::welch::welch_t_slices(dense.fixed(id), dense.random(id));
         let stream_result = streamed.result(id);
         assert!(
             (slice_result.t - stream_result.t).abs() < 1e-9,
@@ -198,8 +197,8 @@ fn isw_order2_defeats_bivariate_tvla_where_trichina_fails() {
             first.abs_t(cg)
         );
     }
-    let samples = polaris_sim::campaign::collect_gate_samples(&tri.netlist, &power, &cfg)
-        .expect("campaign");
+    let samples =
+        polaris_sim::campaign::collect_gate_samples(&tri.netlist, &power, &cfg).expect("campaign");
     let sweep = polaris_tvla::bivariate::bivariate_sweep(&samples, &tri_internal);
     let worst_pair = sweep.first().expect("pairs exist");
     assert!(
@@ -219,8 +218,8 @@ fn isw_order2_defeats_bivariate_tvla_where_trichina_fails() {
             first_isw.abs_t(cg)
         );
     }
-    let samples_isw = polaris_sim::campaign::collect_gate_samples(&isw.netlist, &power, &cfg)
-        .expect("campaign");
+    let samples_isw =
+        polaris_sim::campaign::collect_gate_samples(&isw.netlist, &power, &cfg).expect("campaign");
     let sweep_isw = polaris_tvla::bivariate::bivariate_sweep(&samples_isw, &isw_internal);
     let worst_isw = sweep_isw.first().expect("pairs exist");
     assert!(

@@ -147,6 +147,84 @@ proptest! {
         );
     }
 
+    /// Second-order ISW masking (3 shares, recombined at each composite
+    /// boundary) computes the same outputs as the original netlist for
+    /// random input vectors.
+    #[test]
+    fn isw_masking_preserves_function(
+        netlist in arb_netlist(5, 20),
+        subset_seed in any::<u64>(),
+        stimulus in prop::collection::vec(any::<bool>(), 5),
+        mask_bits in any::<u64>(),
+    ) {
+        let (norm, _) = decompose(&netlist).expect("decompose succeeds");
+        let cells = norm.cell_ids();
+        let targets: Vec<GateId> = cells
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (subset_seed >> (i % 64)) & 1 == 1)
+            .map(|(_, &id)| id)
+            .collect();
+        let masked = apply_masking(&norm, &targets, MaskingStyle::IswOrder2)
+            .expect("masking succeeds");
+
+        let sim_o = Simulator::new(&norm).expect("compiles");
+        let sim_m = Simulator::new(&masked.netlist).expect("compiles");
+        let masks: Vec<bool> = (0..masked.netlist.mask_inputs().len())
+            .map(|i| (mask_bits >> (i % 64)) & 1 == 1)
+            .collect();
+        let out_o = sim_o.eval_bool(&stimulus, &[]).expect("widths ok");
+        let out_m = sim_m.eval_bool(&stimulus, &masks).expect("widths ok");
+        prop_assert_eq!(out_o, out_m);
+    }
+
+    /// DOM masking preserves function once its register stages settle: the
+    /// masked (now sequential) design, clocked until every composite's
+    /// cross-domain register has propagated, recombines its share domains
+    /// to the original combinational outputs.
+    #[test]
+    fn dom_masking_preserves_function_after_settling(
+        netlist in arb_netlist(4, 12),
+        subset_seed in any::<u64>(),
+        stimulus in prop::collection::vec(any::<bool>(), 4),
+        mask_bits in any::<u64>(),
+    ) {
+        let (norm, _) = decompose(&netlist).expect("decompose succeeds");
+        let cells = norm.cell_ids();
+        let targets: Vec<GateId> = cells
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (subset_seed >> (i % 64)) & 1 == 1)
+            .map(|(_, &id)| id)
+            .collect();
+        let masked = apply_masking(&norm, &targets, MaskingStyle::Dom)
+            .expect("masking succeeds");
+
+        let sim_o = Simulator::new(&norm).expect("compiles");
+        let out_o = sim_o.eval_bool(&stimulus, &[]).expect("widths ok");
+
+        // Hold the inputs stable and clock until the deepest chain of DOM
+        // registers (at most one per original cell) has flushed through.
+        let sim_m = Simulator::new(&masked.netlist).expect("compiles");
+        let data: Vec<u64> = stimulus.iter().map(|&v| if v { !0 } else { 0 }).collect();
+        let masks: Vec<u64> = (0..masked.netlist.mask_inputs().len())
+            .map(|i| if (mask_bits >> (i % 64)) & 1 == 1 { !0u64 } else { 0 })
+            .collect();
+        let mut st = sim_m.zero_state();
+        sim_m.eval(&mut st, &data, &masks);
+        for _ in 0..cells.len() {
+            sim_m.clock(&mut st);
+            sim_m.eval(&mut st, &data, &masks);
+        }
+        let out_m: Vec<bool> = masked
+            .netlist
+            .outputs()
+            .iter()
+            .map(|(_, driver)| st.value(*driver) & 1 == 1)
+            .collect();
+        prop_assert_eq!(out_o, out_m);
+    }
+
     /// Masking bookkeeping invariants hold for arbitrary subsets.
     #[test]
     fn masking_bookkeeping_invariants(

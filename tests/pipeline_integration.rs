@@ -120,7 +120,11 @@ fn all_model_kinds_complete_the_pipeline() {
             .train(&small_training(), &power)
             .unwrap_or_else(|e| panic!("{} failed: {e}", kind.name()));
         let report = trained
-            .mask_design(&generators::iscas_c17(), &power, MaskBudget::CellFraction(1.0))
+            .mask_design(
+                &generators::iscas_c17(),
+                &power,
+                MaskBudget::CellFraction(1.0),
+            )
             .expect("masking succeeds");
         assert!(
             report.reduction_pct() > 0.0,
@@ -173,7 +177,10 @@ fn bundle_roundtrip_through_files_matches() {
     let b = loaded
         .mask_design(&target, &power, MaskBudget::Count(4))
         .expect("masking succeeds");
-    assert_eq!(a.masked_gates, b.masked_gates, "persisted model selects the same gates");
+    assert_eq!(
+        a.masked_gates, b.masked_gates,
+        "persisted model selects the same gates"
+    );
 }
 
 #[test]
@@ -196,7 +203,9 @@ fn rules_and_waterfalls_available_after_training() {
         "waterfall covers the full feature vector"
     );
     assert!(
-        w.contributions.iter().any(|(name, _, _)| name.contains('G')),
+        w.contributions
+            .iter()
+            .any(|(name, _, _)| name.contains('G')),
         "feature names are structural"
     );
     // Efficiency axiom on the real model.

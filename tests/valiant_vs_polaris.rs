@@ -50,8 +50,13 @@ fn polaris_mitigation_path_is_faster_than_valiant() {
 
     // POLARIS mitigation path: rank + mask, no TVLA.
     let t0 = Instant::now();
-    let ranked = rank_gates(&design, trained.model(), Some(trained.rules()), trained.extractor())
-        .expect("ranking runs");
+    let ranked = rank_gates(
+        &design,
+        trained.model(),
+        Some(trained.rules()),
+        trained.extractor(),
+    )
+    .expect("ranking runs");
     let selected: Vec<_> = ranked
         .iter()
         .take(valiant.masked_gates.len().max(1))
@@ -87,8 +92,13 @@ fn comparable_reduction_at_equal_budget() {
 
     // POLARIS with the same number of masked gates.
     let budget = valiant.masked_gates.len().max(1);
-    let ranked = rank_gates(&design, trained.model(), Some(trained.rules()), trained.extractor())
-        .expect("ranking runs");
+    let ranked = rank_gates(
+        &design,
+        trained.model(),
+        Some(trained.rules()),
+        trained.extractor(),
+    )
+    .expect("ranking runs");
     let selected: Vec<_> = ranked.iter().take(budget).map(|(id, _)| *id).collect();
     let masked = apply_masking(&design, &selected, MaskingStyle::Trichina).expect("masking");
     let (after, _) = assess_grouped(&design, &masked, &power, &campaign).expect("assessment");
@@ -99,7 +109,10 @@ fn comparable_reduction_at_equal_budget() {
         "POLARIS ({polaris_red:.1}%) should be in VALIANT's league ({:.1}%) at equal budget",
         valiant.reduction_pct()
     );
-    assert!(polaris_red > 10.0, "absolute reduction too small: {polaris_red:.1}%");
+    assert!(
+        polaris_red > 10.0,
+        "absolute reduction too small: {polaris_red:.1}%"
+    );
 }
 
 #[test]
@@ -117,13 +130,17 @@ fn lower_overhead_at_half_budget() {
     })
     .run(&design, &power)
     .expect("valiant runs");
-    let v_cost =
-        analyze_overhead(&valiant.masked.netlist, &lib, 32, 1).expect("overhead analysis");
+    let v_cost = analyze_overhead(&valiant.masked.netlist, &lib, 32, 1).expect("overhead analysis");
 
     // POLARIS at half VALIANT's gate budget (Table IV setting).
     let budget = (valiant.masked_gates.len() / 2).max(1);
-    let ranked = rank_gates(&design, trained.model(), Some(trained.rules()), trained.extractor())
-        .expect("ranking runs");
+    let ranked = rank_gates(
+        &design,
+        trained.model(),
+        Some(trained.rules()),
+        trained.extractor(),
+    )
+    .expect("ranking runs");
     let selected: Vec<_> = ranked.iter().take(budget).map(|(id, _)| *id).collect();
     let masked = apply_masking(&design, &selected, MaskingStyle::Trichina).expect("masking");
     let p_cost = analyze_overhead(&masked.netlist, &lib, 32, 1).expect("overhead analysis");
@@ -159,12 +176,16 @@ fn model_ranking_beats_random_selection() {
         .collect();
     let budget = maskable.len() / 5;
 
-    let ranked = rank_gates(&design, trained.model(), Some(trained.rules()), trained.extractor())
-        .expect("ranking runs");
+    let ranked = rank_gates(
+        &design,
+        trained.model(),
+        Some(trained.rules()),
+        trained.extractor(),
+    )
+    .expect("ranking runs");
     let model_pick: Vec<_> = ranked.iter().take(budget).map(|(id, _)| *id).collect();
     let masked = apply_masking(&design, &model_pick, MaskingStyle::Trichina).expect("masking");
-    let (after_model, _) =
-        assess_grouped(&design, &masked, &power, &campaign).expect("assessment");
+    let (after_model, _) = assess_grouped(&design, &masked, &power, &campaign).expect("assessment");
     let model_red = after_model.reduction_pct_from(&before);
 
     // Average of three random picks.
