@@ -1,0 +1,201 @@
+//! Campaign-engine throughput bench: measures trace-acquisition +
+//! leakage-assessment throughput (traces/sec) of the sharded parallel
+//! engine at several thread counts on an ISCAS-scale netlist, verifies the
+//! runs are bit-identical, and emits `BENCH_campaign.json`.
+//!
+//! ```text
+//! cargo run --release -p polaris-bench --bin campaign -- [flags]
+//!
+//! --quick       CI smoke profile (small design, few traces)
+//! --design NAME ISCAS-like design to simulate        (default c1908)
+//! --scale N     generator scale factor               (default 1)
+//! --traces N    traces per TVLA class                (default 20000)
+//! --seed N      campaign master seed                 (default 7)
+//! --out PATH    output path                          (default BENCH_campaign.json)
+//! ```
+
+use std::time::Instant;
+
+use polaris_netlist::generators;
+use polaris_sim::{CampaignConfig, Parallelism, PowerModel};
+use polaris_tvla::assess_parallel;
+
+struct Args {
+    quick: bool,
+    design: String,
+    scale: u32,
+    traces: usize,
+    seed: u64,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        quick: false,
+        design: "c1908".to_string(),
+        scale: 1,
+        traces: 20_000,
+        seed: 7,
+        out: "BENCH_campaign.json".to_string(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let mut traces_set = false;
+    while i < argv.len() {
+        let need = |i: usize| -> &str {
+            argv.get(i + 1).map(String::as_str).unwrap_or_else(|| {
+                eprintln!("missing value after {}", argv[i]);
+                std::process::exit(2);
+            })
+        };
+        match argv[i].as_str() {
+            "--quick" => {
+                a.quick = true;
+                i += 1;
+            }
+            "--design" => {
+                a.design = need(i).to_string();
+                i += 2;
+            }
+            "--scale" => {
+                a.scale = need(i).parse().expect("--scale takes an integer");
+                i += 2;
+            }
+            "--traces" => {
+                a.traces = need(i).parse().expect("--traces takes an integer");
+                traces_set = true;
+                i += 2;
+            }
+            "--seed" => {
+                a.seed = need(i).parse().expect("--seed takes an integer");
+                i += 2;
+            }
+            "--out" => {
+                a.out = need(i).to_string();
+                i += 2;
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "flags: --quick  --design NAME  --scale N  --traces N  --seed N  --out PATH"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}; see --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    if a.quick && !traces_set {
+        a.traces = 2_000;
+    }
+    a
+}
+
+fn fmt_runs(runs: &[(usize, f64, f64)]) -> String {
+    runs.iter()
+        .map(|(threads, seconds, tps)| {
+            format!(
+                "    {{\"threads\": {threads}, \"seconds\": {seconds:.4}, \
+                 \"traces_per_sec\": {tps:.1}}}"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n")
+}
+
+fn main() {
+    let args = parse_args();
+    let netlist =
+        generators::iscas_like(&args.design, args.scale, args.seed).unwrap_or_else(|| {
+            eprintln!("unknown ISCAS-like design `{}`", args.design);
+            std::process::exit(2);
+        });
+    let model = PowerModel::default();
+    let cfg = CampaignConfig::new(args.traces, args.traces, args.seed);
+    let total_traces = (args.traces * 2) as f64;
+
+    let cores = Parallelism::auto().threads();
+    let mut thread_counts = vec![1usize, 2, 4];
+    if cores > 4 {
+        thread_counts.push(cores);
+    }
+    thread_counts.retain(|&t| t <= cores.max(4));
+    thread_counts.dedup();
+
+    eprintln!(
+        "[campaign bench] {} (scale {}): {} gates, {} traces/class, threads {:?}",
+        args.design,
+        args.scale,
+        netlist.gate_count(),
+        args.traces,
+        thread_counts
+    );
+
+    // (threads, seconds, traces/sec) per run, plus bit-identity tracking.
+    let mut runs: Vec<(usize, f64, f64)> = Vec::new();
+    let mut reference_bits: Option<Vec<u64>> = None;
+    let mut identical = true;
+    for &threads in &thread_counts {
+        let t0 = Instant::now();
+        let leakage = assess_parallel(&netlist, &model, &cfg, Parallelism::new(threads))
+            .expect("campaign runs");
+        let seconds = t0.elapsed().as_secs_f64();
+        let tps = total_traces / seconds.max(1e-9);
+        let bits: Vec<u64> = netlist
+            .ids()
+            .map(|id| leakage.result(id).t.to_bits())
+            .collect();
+        match &reference_bits {
+            None => reference_bits = Some(bits),
+            Some(r) => identical &= *r == bits,
+        }
+        eprintln!("  {threads:>2} threads: {seconds:.3}s  ({tps:.0} traces/sec)");
+        runs.push((threads, seconds, tps));
+    }
+
+    let tps_1 = runs
+        .iter()
+        .find(|(t, _, _)| *t == 1)
+        .map(|(_, _, tps)| *tps)
+        .unwrap_or(f64::NAN);
+    let tps_4 = runs
+        .iter()
+        .find(|(t, _, _)| *t == 4)
+        .map(|(_, _, tps)| *tps)
+        .unwrap_or(f64::NAN);
+    let speedup_4t = tps_4 / tps_1;
+
+    // `host_cores` contextualizes the speedup: on a 1-core host every
+    // thread count degenerates to the same wall-clock.
+    let json = format!(
+        "{{\n  \"bench\": \"campaign\",\n  \"design\": \"{}\",\n  \"scale\": {},\n  \
+         \"gates\": {},\n  \"traces_per_class\": {},\n  \"seed\": {},\n  \"quick\": {},\n  \
+         \"host_cores\": {},\n  \
+         \"runs\": [\n{}\n  ],\n  \"speedup_4t\": {:.3},\n  \"bit_identical\": {}\n}}\n",
+        args.design,
+        args.scale,
+        netlist.gate_count(),
+        args.traces,
+        args.seed,
+        args.quick,
+        cores,
+        fmt_runs(&runs),
+        speedup_4t,
+        identical
+    );
+    std::fs::write(&args.out, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    });
+    println!("{json}");
+    eprintln!("[campaign bench] wrote {}", args.out);
+
+    if !identical {
+        eprintln!("ERROR: thread counts disagreed — the engine must be bit-identical");
+        std::process::exit(1);
+    }
+    if !args.quick && speedup_4t.is_finite() && speedup_4t < 2.0 && cores >= 4 {
+        eprintln!("WARNING: 4-thread speedup {speedup_4t:.2}x below the 2x target");
+    }
+}

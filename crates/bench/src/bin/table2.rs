@@ -90,8 +90,9 @@ fn main() {
             }
             let mut report_campaign = campaign.clone();
             report_campaign.seed = cfg.seed.wrapping_add((pct * 100.0) as u64);
-            let (after, _) = assess_grouped(&norm, &masked, &power, &report_campaign)
-                .expect("reporting assessment runs");
+            let (after, _) =
+                assess_grouped(&norm, &masked, &power, &report_campaign, cfg.parallelism())
+                    .expect("reporting assessment runs");
             per_gate.push(after.mean_abs_t);
             reductions.push(after.reduction_pct_from(&before));
         }

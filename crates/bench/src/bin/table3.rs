@@ -58,8 +58,8 @@ fn main() {
             let masked = apply_masking(&norm, &selected, MaskingStyle::Trichina).expect("masking");
             let mut rc = campaign.clone();
             rc.seed = cfg.seed.wrapping_add(1000 + i as u64);
-            let (after, _) =
-                assess_grouped(&norm, &masked, &power, &rc).expect("reporting assessment");
+            let (after, _) = assess_grouped(&norm, &masked, &power, &rc, cfg.parallelism())
+                .expect("reporting assessment");
             let red = after.reduction_pct_from(&before);
             avg[i] += red;
             cells.push(fmt_f(red, 2));

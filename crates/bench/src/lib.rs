@@ -6,16 +6,20 @@
 //! --scale N     benchmark generator scale factor      (default 1)
 //! --traces N    TVLA traces per class                 (default 300)
 //! --seed N      master seed                           (default 7)
+//! --threads N   campaign worker threads               (default 0 = all cores)
 //! --designs a,b restrict to a subset of the 11 designs
 //! --paper       paper-scale profile (scale 3, 10 000 traces) — slow
 //! ```
+//!
+//! `--threads` is a pure throughput knob: the sharded campaign engine is
+//! bit-identical at any worker count.
 //!
 //! Run e.g. `cargo run --release -p polaris-bench --bin table2`.
 
 use polaris::config::{ModelKind, PolarisConfig};
 use polaris::pipeline::{PolarisPipeline, TrainedPolaris};
 use polaris_netlist::{generators, Netlist};
-use polaris_sim::PowerModel;
+use polaris_sim::{Parallelism, PowerModel};
 
 /// Common harness parameters parsed from the command line.
 #[derive(Clone, Debug, PartialEq)]
@@ -26,6 +30,8 @@ pub struct HarnessConfig {
     pub traces: usize,
     /// Master seed.
     pub seed: u64,
+    /// Campaign worker threads (0 = all available cores).
+    pub threads: usize,
     /// Evaluation designs (defaults to the paper's 11).
     pub designs: Vec<String>,
 }
@@ -36,6 +42,7 @@ impl Default for HarnessConfig {
             scale: 1,
             traces: 300,
             seed: 7,
+            threads: 0,
             designs: generators::EVALUATION_NAMES
                 .iter()
                 .map(|s| s.to_string())
@@ -70,6 +77,10 @@ impl HarnessConfig {
                     cfg.seed = need_value(i).parse().expect("--seed takes an integer");
                     i += 2;
                 }
+                "--threads" => {
+                    cfg.threads = need_value(i).parse().expect("--threads takes an integer");
+                    i += 2;
+                }
                 "--designs" => {
                     cfg.designs = need_value(i)
                         .split(',')
@@ -83,7 +94,9 @@ impl HarnessConfig {
                     i += 1;
                 }
                 "--help" | "-h" => {
-                    eprintln!("flags: --scale N  --traces N  --seed N  --designs a,b,c  --paper");
+                    eprintln!(
+                        "flags: --scale N  --traces N  --seed N  --threads N  --designs a,b,c  --paper"
+                    );
                     std::process::exit(0);
                 }
                 other => {
@@ -106,8 +119,15 @@ impl HarnessConfig {
             learning_rate: 0.01,
             max_depth: 3,
             seed: self.seed,
+            threads: self.threads,
             ..Default::default()
         }
+    }
+
+    /// The harness's campaign worker budget (`Parallelism::new` treats 0 as
+    /// "all cores").
+    pub fn parallelism(&self) -> Parallelism {
+        Parallelism::new(self.threads)
     }
 
     /// The evaluation designs selected by `--designs`, in table order.

@@ -8,7 +8,7 @@ use polaris_masking::{analyze_overhead, CellLibrary};
 use polaris_netlist::{
     generators, parse_bench, parse_netlist, write_bench, write_netlist, GraphView, Netlist,
 };
-use polaris_sim::{CampaignConfig, PowerModel};
+use polaris_sim::{CampaignConfig, Parallelism, PowerModel};
 use polaris_tvla::TVLA_THRESHOLD;
 
 use crate::{read_file, write_file, Flags};
@@ -52,12 +52,18 @@ fn campaign_from(flags: &Flags, seed_default: u64) -> Result<CampaignConfig, Str
     Ok(c)
 }
 
+/// Parses `--threads N` (0 = all cores, the default). Purely a throughput
+/// knob — campaign results are bit-identical at any thread count.
+fn parallelism_from(flags: &Flags) -> Result<Parallelism, String> {
+    Ok(Parallelism::new(flags.get_parsed("threads", 0)?))
+}
+
 /// `polaris-cli train`
 pub(crate) fn train(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args, &["glitch", "help"])?;
     if flags.has("help") {
         println!(
-            "train --out model.polaris [--scale N --traces N --seed N \
+            "train --out model.polaris [--scale N --traces N --seed N --threads N \
              --model adaboost|xgboost|random-forest --glitch]"
         );
         return Ok(());
@@ -66,6 +72,7 @@ pub(crate) fn train(args: &[String]) -> Result<(), String> {
     let scale: u32 = flags.get_parsed("scale", 1)?;
     let traces: usize = flags.get_parsed("traces", 300)?;
     let seed: u64 = flags.get_parsed("seed", 7)?;
+    let threads: usize = flags.get_parsed("threads", 0)?;
     let model = match flags.get("model").unwrap_or("adaboost") {
         "adaboost" => ModelKind::Adaboost,
         "xgboost" => ModelKind::Xgboost,
@@ -79,6 +86,7 @@ pub(crate) fn train(args: &[String]) -> Result<(), String> {
         model,
         glitch_model: flags.has("glitch"),
         seed,
+        threads,
         ..Default::default()
     };
     eprintln!(
@@ -148,18 +156,20 @@ pub(crate) fn assess(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args, &["glitch", "help"])?;
     if flags.has("help") {
         println!(
-            "assess <netlist.v> [--traces N --seed N --cycles N --glitch] \
+            "assess <netlist.v> [--traces N --seed N --cycles N --threads N --glitch] \
              [--csv out.csv] [--pairs N]"
         );
         return Ok(());
     }
     let netlist = load_netlist(flags.positional(0, "netlist path")?)?;
     let campaign = campaign_from(&flags, 7)?;
+    let par = parallelism_from(&flags)?;
     eprintln!(
-        "running fixed-vs-random TVLA ({} traces/class)…",
-        campaign.n_fixed
+        "running fixed-vs-random TVLA ({} traces/class, {} worker threads)…",
+        campaign.n_fixed,
+        par.threads()
     );
-    let leakage = polaris_tvla::assess(&netlist, &PowerModel::default(), &campaign)
+    let leakage = polaris_tvla::assess_parallel(&netlist, &PowerModel::default(), &campaign, par)
         .map_err(|e| e.to_string())?;
     let s = leakage.summarize(&netlist);
     println!("cells:        {}", s.cells);
@@ -194,10 +204,11 @@ pub(crate) fn assess(args: &[String]) -> Result<(), String> {
     let pairs: usize = flags.get_parsed("pairs", 0)?;
     if pairs > 0 {
         eprintln!("running bivariate sweep over the {pairs} leakiest cells…");
-        let samples = polaris_sim::campaign::collect_gate_samples(
+        let samples = polaris_sim::campaign::collect_gate_samples_parallel(
             &netlist,
             &PowerModel::default(),
             &campaign,
+            par,
         )
         .map_err(|e| e.to_string())?;
         let mut cells: Vec<_> = netlist
@@ -232,12 +243,14 @@ pub(crate) fn mask(args: &[String]) -> Result<(), String> {
     if flags.has("help") {
         println!(
             "mask <netlist.v> --model model.polaris --out masked.v \
-             [--budget leaky:0.5|cells:0.5|count:N] [--traces N] [--report]"
+             [--budget leaky:0.5|cells:0.5|count:N] [--traces N] [--threads N] [--report]"
         );
         return Ok(());
     }
     let netlist = load_netlist(flags.positional(0, "netlist path")?)?;
-    let trained = load_model(&flags)?;
+    let mut trained = load_model(&flags)?;
+    let threads = flags.get_parsed("threads", trained.config().threads)?;
+    trained.set_threads(threads);
     let out = flags.get("out").ok_or("missing --out <file>")?;
     let budget = parse_budget(flags.get("budget").unwrap_or("leaky:1.0"))?;
 

@@ -1,14 +1,17 @@
 //! `polaris-cli` — the POLARIS design-for-security tool.
 //!
 //! ```text
-//! polaris-cli train   --out model.polaris [--scale N --traces N --seed N --model adaboost|xgboost|random-forest --glitch]
+//! polaris-cli train   --out model.polaris [--scale N --traces N --seed N --threads N --model adaboost|xgboost|random-forest --glitch]
 //! polaris-cli stats   <netlist.v>
-//! polaris-cli assess  <netlist.v> [--traces N --seed N --glitch] [--csv out.csv]
+//! polaris-cli assess  <netlist.v> [--traces N --seed N --threads N --glitch] [--csv out.csv]
 //! polaris-cli mask    <netlist.v> --model model.polaris --out masked.v
-//!                     [--budget leaky:0.5 | cells:0.5 | count:N] [--report]
+//!                     [--budget leaky:0.5 | cells:0.5 | count:N] [--threads N] [--report]
 //! polaris-cli rules   --model model.polaris
 //! polaris-cli explain <netlist.v> --model model.polaris --gate <instance-name>
 //! ```
+//!
+//! Trace campaigns run on the sharded parallel engine; `--threads` (0 = all
+//! cores) only changes throughput — results are bit-identical at any count.
 //!
 //! Netlists use the structural-Verilog subset documented in
 //! [`polaris_netlist::parser`].

@@ -10,7 +10,7 @@
 
 use polaris_masking::apply_masking;
 use polaris_netlist::{GateId, GraphView, Netlist};
-use polaris_sim::{CampaignConfig, PowerModel};
+use polaris_sim::{run_campaign_parallel, CampaignConfig, PowerModel};
 use polaris_tvla::{GateLeakage, WelchAccumulator};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -76,8 +76,10 @@ pub fn generate_for_design(
         campaign = campaign.with_glitches();
     }
 
-    // Baseline leakage LG (Algorithm 1 line 2).
-    let base_leakage = polaris_tvla::assess(design, power, &campaign)?;
+    // Baseline leakage LG (Algorithm 1 line 2). Campaigns run on the
+    // sharded parallel engine; the thread budget never affects the labels.
+    let par = config.parallelism();
+    let base_leakage = polaris_tvla::assess_parallel(design, power, &campaign, par)?;
 
     // Maskable pool R (normalized designs: 1–2 input cells).
     let mut remaining: Vec<GateId> = design
@@ -97,11 +99,14 @@ pub fn generate_for_design(
         let selected: Vec<GateId> = remaining.split_off(remaining.len() - config.msize);
 
         // Dmod ← modify(S, D); Lmod ← leak_estimate(Dmod) (lines 7, 9).
+        // Re-seed the sampling streams but pin the fixed class vector so the
+        // reduction ratio compares the same two populations.
         let masked = apply_masking(design, &selected, config.style)?;
-        let mut acc = WelchAccumulator::new();
         let mut mod_campaign = campaign.clone();
+        mod_campaign.fixed_vector = Some(campaign.resolve_fixed_vector(design.data_inputs().len()));
         mod_campaign.seed = seed.wrapping_add(run as u64 + 1);
-        polaris_sim::campaign::run_campaign(&masked.netlist, power, &mod_campaign, &mut acc)?;
+        let acc: WelchAccumulator =
+            run_campaign_parallel(&masked.netlist, power, &mod_campaign, par)?;
         let mod_abs_t = grouped_abs_t(design, &masked, &acc.leakage());
 
         // Label every selected gate (lines 10–18).

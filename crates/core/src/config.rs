@@ -2,6 +2,7 @@
 //! contribution list).
 
 use polaris_masking::MaskingStyle;
+use polaris_sim::Parallelism;
 use serde::{Deserialize, Serialize};
 
 /// Which classifier POLARIS trains on the cognition dataset (Table III).
@@ -72,6 +73,10 @@ pub struct PolarisConfig {
     pub shap_background: usize,
     /// Master seed.
     pub seed: u64,
+    /// Worker threads for every trace campaign (0 = all available cores).
+    /// Purely a throughput knob: the sharded campaign engine is
+    /// bit-identical at any thread count.
+    pub threads: usize,
 }
 
 impl Default for PolarisConfig {
@@ -91,6 +96,7 @@ impl Default for PolarisConfig {
             style: MaskingStyle::Trichina,
             shap_background: 64,
             seed: 0,
+            threads: 0,
         }
     }
 }
@@ -108,7 +114,8 @@ impl PolarisConfig {
         }
     }
 
-    /// A laptop/test profile: small trace counts and few iterations.
+    /// A laptop/test profile: small trace counts and few iterations, single
+    /// campaign worker (tests already parallelize at the process level).
     pub fn fast_profile(seed: u64) -> Self {
         PolarisConfig {
             msize: 25,
@@ -117,8 +124,15 @@ impl PolarisConfig {
             n_estimators: 30,
             shap_background: 16,
             seed,
+            threads: 1,
             ..Default::default()
         }
+    }
+
+    /// The campaign worker budget as a [`Parallelism`] value
+    /// (`Parallelism::new` already treats 0 as "all cores").
+    pub fn parallelism(&self) -> Parallelism {
+        Parallelism::new(self.threads)
     }
 }
 
@@ -141,6 +155,19 @@ mod tests {
         assert_eq!(c.msize, 200);
         assert_eq!(c.iterations, 100);
         assert_eq!(c.traces, 10_000);
+    }
+
+    #[test]
+    fn parallelism_resolves_auto_and_explicit() {
+        let auto = PolarisConfig::default();
+        assert_eq!(auto.threads, 0);
+        assert!(auto.parallelism().threads() >= 1);
+        let fixed = PolarisConfig {
+            threads: 3,
+            ..Default::default()
+        };
+        assert_eq!(fixed.parallelism().threads(), 3);
+        assert_eq!(PolarisConfig::fast_profile(1).parallelism().threads(), 1);
     }
 
     #[test]

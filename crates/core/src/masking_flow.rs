@@ -11,7 +11,7 @@ use std::time::Instant;
 use polaris_masking::{apply_masking, MaskedDesign};
 use polaris_ml::Classifier;
 use polaris_netlist::{GateId, GraphView, Netlist};
-use polaris_sim::{CampaignConfig, PowerModel};
+use polaris_sim::{run_campaign_parallel, CampaignConfig, Parallelism, PowerModel};
 use polaris_tvla::{GateLeakage, LeakageSummary, WelchAccumulator};
 use polaris_xai::RuleSet;
 
@@ -104,9 +104,12 @@ pub fn polaris_mask(
         campaign = campaign.with_glitches();
     }
 
-    // Reporting: baseline leakage (outside the mitigation path).
+    // Reporting: baseline leakage (outside the mitigation path). The
+    // campaigns run on the sharded parallel engine — the thread knob never
+    // changes the statistics.
+    let par = config.parallelism();
     let assess_start = Instant::now();
-    let before_map = polaris_tvla::assess(design, power, &campaign)?;
+    let before_map = polaris_tvla::assess_parallel(design, power, &campaign, par)?;
     let before = before_map.summarize(design);
     let mut assessment_time_s = assess_start.elapsed().as_secs_f64();
 
@@ -121,12 +124,15 @@ pub fn polaris_mask(
     let masked = apply_masking(design, &selected, config.style)?;
     let mitigation_time_s = mitigation_start.elapsed().as_secs_f64();
 
-    // Reporting: masked-design leakage attributed to original gates.
+    // Reporting: masked-design leakage attributed to original gates. The
+    // follow-up campaign re-seeds the sampling streams but pins the fixed
+    // class vector, so the before/after totals compare like for like.
     let assess_start = Instant::now();
-    let mut acc = WelchAccumulator::new();
     let mut after_campaign = campaign.clone();
+    after_campaign.fixed_vector = Some(campaign.resolve_fixed_vector(design.data_inputs().len()));
     after_campaign.seed = campaign.seed.wrapping_add(1);
-    polaris_sim::campaign::run_campaign(&masked.netlist, power, &after_campaign, &mut acc)?;
+    let acc: WelchAccumulator =
+        run_campaign_parallel(&masked.netlist, power, &after_campaign, par)?;
     let after_leakage = acc.leakage();
     let after_grouped_abs_t = grouped_abs_t(design, &masked, &after_leakage);
     let after = summarize_grouped(design, &after_grouped_abs_t);
@@ -149,6 +155,9 @@ pub fn polaris_mask(
 /// gates: returns the per-original-gate mean `|t|` and its cell summary.
 /// This is the reporting primitive shared by the experiment harness.
 ///
+/// The campaign runs on the sharded engine across `parallelism` workers;
+/// results are bit-identical at any thread count.
+///
 /// # Errors
 ///
 /// Propagates simulation failures.
@@ -157,9 +166,10 @@ pub fn assess_grouped(
     masked: &MaskedDesign,
     power: &PowerModel,
     campaign: &CampaignConfig,
+    parallelism: Parallelism,
 ) -> Result<(LeakageSummary, Vec<f64>), PolarisError> {
-    let mut acc = WelchAccumulator::new();
-    polaris_sim::campaign::run_campaign(&masked.netlist, power, campaign, &mut acc)?;
+    let acc: WelchAccumulator =
+        run_campaign_parallel(&masked.netlist, power, campaign, parallelism)?;
     let grouped = grouped_abs_t(original, masked, &acc.leakage());
     let summary = summarize_grouped(original, &grouped);
     Ok((summary, grouped))

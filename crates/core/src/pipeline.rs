@@ -206,6 +206,13 @@ impl TrainedPolaris {
         &self.config
     }
 
+    /// Overrides the campaign worker budget (e.g. from a CLI `--threads`
+    /// flag). Purely a throughput knob: the sharded campaign engine is
+    /// bit-identical at any thread count.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.config.threads = threads;
+    }
+
     /// The trained classifier.
     pub fn model(&self) -> &PolarisModel {
         &self.model
@@ -272,7 +279,12 @@ impl TrainedPolaris {
                 if self.config.glitch_model {
                     campaign = campaign.with_glitches();
                 }
-                let leakage = polaris_tvla::assess(&normalized, power, &campaign)?;
+                let leakage = polaris_tvla::assess_parallel(
+                    &normalized,
+                    power,
+                    &campaign,
+                    self.config.parallelism(),
+                )?;
                 let leaky = leakage.summarize(&normalized).leaky_cells;
                 (((leaky as f64) * f.clamp(0.0, 1.0)).round() as usize).min(maskable)
             }

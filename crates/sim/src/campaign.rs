@@ -8,9 +8,28 @@
 //! evaluation of every trace — for both populations — mirroring the on-chip
 //! mask RNG of a protected implementation.
 //!
+//! # Sharded, deterministic parallel engine
+//!
+//! Every random stream of a campaign is *counter-derived*: the RNG of a
+//! 64-lane batch is seeded from `(master_seed, population, batch_start,
+//! stream)` rather than drawn from one sequential generator. A campaign is
+//! therefore a pure function of its configuration — any contiguous trace
+//! range can be recomputed in isolation, which is what makes the engine
+//! embarrassingly parallel *and* bit-reproducible:
+//!
+//! * the trace space of each population is cut into a fixed grid of
+//!   [`TRACES_PER_SHARD`]-trace shards (the grid depends only on the
+//!   configuration, never on the worker count);
+//! * [`run_campaign_parallel`] hands shards to `std::thread::scope` workers,
+//!   each of which owns a private [`MergeableSink`];
+//! * per-shard sinks are folded **in shard order** at the barrier, so the
+//!   result is bit-identical at any thread count (1, 2, 8, …).
+//!
 //! Samples are streamed to a [`TraceSink`] in 64-lane batches so leakage
 //! assessment can run in constant memory; [`GateSamples`] is the dense
 //! collector used for small designs and figures.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use polaris_netlist::{GateId, Netlist, NetlistError};
 use rand::rngs::StdRng;
@@ -18,6 +37,14 @@ use rand::{Rng, SeedableRng};
 
 use crate::logic::Simulator;
 use crate::power::{sample_standard_normal, PowerModel};
+
+/// Lanes per simulation batch (the simulator word width).
+pub const BATCH_LANES: usize = 64;
+
+/// Traces per shard of the parallel engine's fixed work grid. The grid is a
+/// pure function of the campaign configuration, so results do not depend on
+/// how many workers process it.
+pub const TRACES_PER_SHARD: usize = 256;
 
 /// Which TVLA population a batch of traces belongs to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -41,11 +68,77 @@ pub enum DelayModel {
     UnitDelay,
 }
 
+/// Worker-thread budget for the parallel campaign engine.
+///
+/// The thread count never affects results — shards and merge order are fixed
+/// by the campaign configuration — so this is purely a throughput knob.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Parallelism {
+    threads: usize,
+}
+
+impl Parallelism {
+    /// An explicit thread count; `0` means "all available cores".
+    pub fn new(threads: usize) -> Self {
+        Parallelism { threads }
+    }
+
+    /// Single-threaded execution (still runs the sharded engine, so results
+    /// match every other thread count bit for bit).
+    pub fn sequential() -> Self {
+        Parallelism { threads: 1 }
+    }
+
+    /// One worker per available core.
+    pub fn auto() -> Self {
+        Parallelism { threads: 0 }
+    }
+
+    /// The resolved worker count (≥ 1).
+    pub fn threads(self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::auto()
+    }
+}
+
 /// Receiver for streamed per-gate energy samples.
 pub trait TraceSink {
     /// Records one batch. `energies[g * lanes + l]` is the energy sample of
     /// gate `g` in trace-lane `l`; `gates * lanes == energies.len()`.
+    ///
+    /// # Batch-shape invariant
+    ///
+    /// `1 <= lanes <= 64`. Batches of one contiguous trace range arrive in
+    /// trace order, and every batch is full (64 lanes) except possibly the
+    /// *last* batch of the range, which reports its true trailing lane count
+    /// (`n_traces % 64` when that is non-zero). Sinks must therefore never
+    /// assume `lanes == 64` — trailing partial batches carry real samples.
     fn record_batch(&mut self, pop: Population, energies: &[f64], gates: usize, lanes: usize);
+}
+
+/// A [`TraceSink`] whose partial results can be folded together — the worker
+/// contract of the parallel engine.
+///
+/// Each worker owns a private sink; [`run_campaign_parallel`] merges the
+/// per-shard sinks **in shard order** at the barrier. `merge` must behave as
+/// if `other`'s samples had been recorded directly after `self`'s (dense
+/// collectors concatenate; statistical accumulators combine pairwise à la
+/// Chan et al.).
+pub trait MergeableSink: TraceSink + Send {
+    /// Folds `other` (the samples of the *following* trace range) into
+    /// `self`.
+    fn merge(&mut self, other: Self);
 }
 
 /// Campaign parameters.
@@ -112,7 +205,64 @@ impl CampaignConfig {
         self.delay_model = DelayModel::UnitDelay;
         self
     }
+
+    /// The fixed-class vector this campaign will apply to a design with
+    /// `n_data` data inputs: the explicit vector when set, otherwise the one
+    /// derived from `seed`. Materializing it lets comparative flows re-seed
+    /// the sampling streams of a follow-up campaign while *pinning* the
+    /// fixed class (see `fixed_vector`), so before/after leakage numbers
+    /// stay comparable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an explicit vector does not match `n_data`.
+    pub fn resolve_fixed_vector(&self, n_data: usize) -> Vec<bool> {
+        match &self.fixed_vector {
+            Some(v) => {
+                assert_eq!(v.len(), n_data, "fixed vector width mismatch");
+                v.clone()
+            }
+            None => {
+                let mut seed_rng = StdRng::seed_from_u64(self.seed);
+                (0..n_data).map(|_| seed_rng.gen::<bool>()).collect()
+            }
+        }
+    }
 }
+
+// --- Counter-derived random streams ---------------------------------------
+
+/// Stream discriminators for the per-batch RNG derivation.
+const STREAM_DATA: u64 = 0x4441_5441; // "DATA"
+const STREAM_MASK: u64 = 0x4D41_534B; // "MASK"
+const STREAM_NOISE: u64 = 0x4E4F_4953; // "NOIS"
+
+/// One SplitMix64 output step — the workspace's shared counter-based stream
+/// mixer (the `rand` shim seeds xoshiro state the same way, and the CPA
+/// engine derives its per-trace streams from it).
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the RNG of one `(population, batch, stream)` coordinate from the
+/// campaign master seed. Batches are keyed by their starting trace index, so
+/// any shard decomposition reproduces the exact same draws.
+fn batch_stream_rng(seed: u64, pop: Population, batch_start: u64, stream: u64) -> StdRng {
+    let pop_tag: u64 = match pop {
+        Population::Fixed => 0x0F1E,
+        Population::Random => 0x7A4D,
+    };
+    let mut h = splitmix64(seed ^ 0x0050_4F4C_4152_4953); // "POLARIS"
+    h = splitmix64(h ^ pop_tag);
+    h = splitmix64(h ^ batch_start);
+    h = splitmix64(h ^ stream);
+    StdRng::seed_from_u64(h)
+}
+
+// --- Dense collector -------------------------------------------------------
 
 /// Dense per-gate sample collector: `fixed[g]` / `random[g]` hold one energy
 /// value per trace.
@@ -123,6 +273,16 @@ pub struct GateSamples {
 }
 
 impl GateSamples {
+    /// A collector with every buffer preallocated to its final size
+    /// (`gates × traces` is known up front from the campaign
+    /// configuration), so recording never reallocates.
+    pub fn with_capacity(gates: usize, n_fixed: usize, n_random: usize) -> Self {
+        GateSamples {
+            fixed: (0..gates).map(|_| Vec::with_capacity(n_fixed)).collect(),
+            random: (0..gates).map(|_| Vec::with_capacity(n_random)).collect(),
+        }
+    }
+
     /// Number of gates covered.
     pub fn gate_count(&self) -> usize {
         self.fixed.len()
@@ -142,11 +302,12 @@ impl GateSamples {
 impl TraceSink for GateSamples {
     fn record_batch(&mut self, pop: Population, energies: &[f64], gates: usize, lanes: usize) {
         debug_assert_eq!(energies.len(), gates * lanes);
+        debug_assert!((1..=BATCH_LANES).contains(&lanes), "lanes = {lanes}");
         let store = match pop {
             Population::Fixed => &mut self.fixed,
             Population::Random => &mut self.random,
         };
-        if store.is_empty() {
+        if store.len() < gates {
             store.resize(gates, Vec::new());
         }
         for g in 0..gates {
@@ -154,6 +315,32 @@ impl TraceSink for GateSamples {
         }
     }
 }
+
+fn merge_store(dst: &mut Vec<Vec<f64>>, src: Vec<Vec<f64>>) {
+    if src.is_empty() {
+        return;
+    }
+    if dst.iter().all(Vec::is_empty) {
+        *dst = src;
+        return;
+    }
+    debug_assert_eq!(dst.len(), src.len(), "gate count mismatch in merge");
+    for (d, s) in dst.iter_mut().zip(src) {
+        d.extend_from_slice(&s);
+    }
+}
+
+impl MergeableSink for GateSamples {
+    /// Concatenates `other`'s per-gate samples after `self`'s — exactly the
+    /// trace order of a sequential run, so parallel dense collection is
+    /// bit-identical to single-threaded collection.
+    fn merge(&mut self, other: Self) {
+        merge_store(&mut self.fixed, other.fixed);
+        merge_store(&mut self.random, other.random);
+    }
+}
+
+// --- The campaign engine ---------------------------------------------------
 
 #[inline]
 fn add_toggles(toggles: &mut [u32], gate: usize, diff: u64) {
@@ -168,7 +355,229 @@ fn add_toggles(toggles: &mut [u32], gate: usize, diff: u64) {
     }
 }
 
-/// Runs a campaign, streaming batches into `sink`.
+/// Compiled per-campaign context shared (immutably) by all workers.
+struct Engine<'a> {
+    sim: Simulator<'a>,
+    config: &'a CampaignConfig,
+    caps: Vec<f64>,
+    sigma: f64,
+    n_data: usize,
+    n_mask: usize,
+    gates: usize,
+    /// Fixed-class data vector, broadcast to 64-lane words.
+    fixed_words: Vec<u64>,
+    /// Second fixed vector (fixed-vs-fixed mode), broadcast.
+    second_fixed_words: Option<Vec<u64>>,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        netlist: &'a Netlist,
+        model: &PowerModel,
+        config: &'a CampaignConfig,
+    ) -> Result<Self, NetlistError> {
+        let sim = Simulator::new(netlist)?;
+        let n_data = netlist.data_inputs().len();
+        let n_mask = netlist.mask_inputs().len();
+        let gates = netlist.gate_count();
+
+        let fixed_vec = config.resolve_fixed_vector(n_data);
+        let broadcast =
+            |v: &[bool]| -> Vec<u64> { v.iter().map(|&b| if b { !0u64 } else { 0 }).collect() };
+        let second_fixed_words = config.second_fixed_vector.as_ref().map(|v| {
+            assert_eq!(v.len(), n_data, "second fixed vector width mismatch");
+            broadcast(v)
+        });
+
+        Ok(Engine {
+            sim,
+            config,
+            caps: netlist.iter().map(|(_, g)| model.cap(g.kind())).collect(),
+            sigma: model.noise_sigma(),
+            n_data,
+            n_mask,
+            gates,
+            fixed_words: broadcast(&fixed_vec),
+            second_fixed_words,
+        })
+    }
+
+    /// Simulates the contiguous trace range `[start, start + count)` of one
+    /// population into `sink`. `start` must be 64-lane aligned so the batch
+    /// grid (and hence every RNG stream) is independent of the sharding.
+    fn run_range<S: TraceSink>(&self, pop: Population, start: usize, count: usize, sink: &mut S) {
+        debug_assert_eq!(start % BATCH_LANES, 0, "shards must be lane-aligned");
+        let mut done = 0usize;
+        while done < count {
+            let lanes = (count - done).min(BATCH_LANES);
+            self.run_batch(pop, (start + done) as u64, lanes, sink);
+            done += lanes;
+        }
+    }
+
+    /// Simulates one 64-lane batch starting at global trace `batch_start`.
+    fn run_batch<S: TraceSink>(
+        &self,
+        pop: Population,
+        batch_start: u64,
+        lanes: usize,
+        sink: &mut S,
+    ) {
+        let lane_mask: u64 = if lanes == BATCH_LANES {
+            !0
+        } else {
+            (1u64 << lanes) - 1
+        };
+        let seed = self.config.seed;
+        let mut mask_rng = batch_stream_rng(seed, pop, batch_start, STREAM_MASK);
+        let mut noise_rng = batch_stream_rng(seed, pop, batch_start, STREAM_NOISE);
+
+        let data: Vec<u64> = match (pop, &self.second_fixed_words) {
+            (Population::Fixed, _) => self.fixed_words.clone(),
+            (Population::Random, Some(v2)) => v2.clone(),
+            (Population::Random, None) => {
+                let mut data_rng = batch_stream_rng(seed, pop, batch_start, STREAM_DATA);
+                (0..self.n_data)
+                    .map(|_| data_rng.gen::<u64>() & lane_mask)
+                    .collect()
+            }
+        };
+
+        let mut st = self.sim.zero_state();
+        let mut toggles = vec![0u32; self.gates * 64];
+        // Base application: settle on all-zero data with fresh masks;
+        // toggles are not counted here.
+        let base_mask: Vec<u64> = (0..self.n_mask).map(|_| mask_rng.gen::<u64>()).collect();
+        self.sim.eval(&mut st, &vec![0u64; self.n_data], &base_mask);
+        let mut prev = st.values().to_vec();
+
+        for cycle in 0..self.config.cycles {
+            let masks: Vec<u64> = (0..self.n_mask).map(|_| mask_rng.gen::<u64>()).collect();
+            match self.config.delay_model {
+                DelayModel::Zero => {
+                    self.sim.eval(&mut st, &data, &masks);
+                    for (g, (&p, &v)) in prev.iter().zip(st.values()).enumerate() {
+                        add_toggles(&mut toggles, g, (p ^ v) & lane_mask);
+                    }
+                }
+                DelayModel::UnitDelay => {
+                    // Every settling wave's transition counts (glitches).
+                    self.sim.eval_unit_delay(&mut st, &data, &masks, |g, diff| {
+                        add_toggles(&mut toggles, g, diff & lane_mask);
+                    });
+                }
+            }
+            prev.copy_from_slice(st.values());
+            if cycle + 1 < self.config.cycles {
+                self.sim.clock(&mut st);
+            }
+        }
+
+        let mut energies = vec![0.0f64; self.gates * lanes];
+        for g in 0..self.gates {
+            let cap = self.caps[g];
+            for l in 0..lanes {
+                let e = cap * f64::from(toggles[g * 64 + l])
+                    + self.sigma * sample_standard_normal(&mut noise_rng);
+                energies[g * lanes + l] = e;
+            }
+        }
+        sink.record_batch(pop, &energies, self.gates, lanes);
+    }
+}
+
+/// One entry of the fixed shard grid: a contiguous trace range of one
+/// population.
+#[derive(Clone, Copy, Debug)]
+struct ShardSpec {
+    pop: Population,
+    start: usize,
+    count: usize,
+}
+
+/// The campaign's fixed work decomposition: [`TRACES_PER_SHARD`]-trace
+/// shards of the fixed class followed by those of the random class. A pure
+/// function of the configuration — never of the worker count.
+fn shard_grid(config: &CampaignConfig) -> Vec<ShardSpec> {
+    let mut shards = Vec::new();
+    for (pop, n) in [
+        (Population::Fixed, config.n_fixed),
+        (Population::Random, config.n_random),
+    ] {
+        let mut start = 0usize;
+        while start < n {
+            let count = (n - start).min(TRACES_PER_SHARD);
+            shards.push(ShardSpec { pop, start, count });
+            start += count;
+        }
+    }
+    shards
+}
+
+/// Runs `n_shards` independent work items across `parallelism` worker
+/// threads and returns their results **in shard order** — the shared
+/// deterministic scheduler of the campaign and CPA engines.
+///
+/// Workers pull shard indices from an atomic queue, so which thread runs a
+/// shard is arbitrary, but the returned `Vec` is always ordered by shard
+/// index: callers fold it left-to-right to get thread-count-invariant
+/// results.
+///
+/// # Panics
+///
+/// Propagates worker panics.
+pub fn run_sharded<T, F>(n_shards: usize, parallelism: Parallelism, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = parallelism.threads().min(n_shards.max(1));
+    let mut slots: Vec<Option<T>> = Vec::new();
+    slots.resize_with(n_shards, || None);
+
+    if threads <= 1 {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(work(i));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let produced: Vec<(usize, T)> = std::thread::scope(|scope| {
+            let work = &work;
+            let next = &next;
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut local: Vec<(usize, T)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n_shards {
+                                break;
+                            }
+                            local.push((i, work(i)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .flat_map(|w| w.join().expect("shard worker panicked"))
+                .collect()
+        });
+        for (i, result) in produced {
+            slots[i] = Some(result);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every shard produces a result"))
+        .collect()
+}
+
+/// Runs a campaign, streaming batches into `sink` in trace order (fixed
+/// class first). Because every random stream is counter-derived, this
+/// produces the exact same samples as [`run_campaign_parallel`] — the only
+/// difference is that a custom, non-mergeable sink can be used.
 ///
 /// # Errors
 ///
@@ -180,116 +589,54 @@ pub fn run_campaign<S: TraceSink>(
     config: &CampaignConfig,
     sink: &mut S,
 ) -> Result<(), NetlistError> {
-    let sim = Simulator::new(netlist)?;
-    let n_data = netlist.data_inputs().len();
-    let n_mask = netlist.mask_inputs().len();
-    let gates = netlist.gate_count();
-
-    let mut seed_rng = StdRng::seed_from_u64(config.seed);
-    let fixed_vec: Vec<bool> = match &config.fixed_vector {
-        Some(v) => {
-            assert_eq!(v.len(), n_data, "fixed vector width mismatch");
-            v.clone()
-        }
-        None => (0..n_data).map(|_| seed_rng.gen::<bool>()).collect(),
-    };
-    let second_fixed: Option<Vec<bool>> = config.second_fixed_vector.as_ref().map(|v| {
-        assert_eq!(v.len(), n_data, "second fixed vector width mismatch");
-        v.clone()
-    });
-
-    let mut data_rng = StdRng::seed_from_u64(config.seed ^ 0xDA7A_5EED);
-    let mut mask_rng = StdRng::seed_from_u64(config.seed ^ 0x3A5C_0DE5);
-    let mut noise_rng = StdRng::seed_from_u64(config.seed ^ 0x0153_B0B5);
-
-    let caps: Vec<f64> = netlist.iter().map(|(_, g)| model.cap(g.kind())).collect();
-    let sigma = model.noise_sigma();
-
-    let run_population = |pop: Population,
-                          n_traces: usize,
-                          data_rng: &mut StdRng,
-                          mask_rng: &mut StdRng,
-                          noise_rng: &mut StdRng,
-                          sink: &mut S| {
-        let broadcast =
-            |v: &Vec<bool>| -> Vec<u64> { v.iter().map(|&b| if b { !0u64 } else { 0 }).collect() };
-        let mut remaining = n_traces;
-        while remaining > 0 {
-            let lanes = remaining.min(64);
-            remaining -= lanes;
-            let lane_mask: u64 = if lanes == 64 { !0 } else { (1u64 << lanes) - 1 };
-
-            let data: Vec<u64> = match (pop, &second_fixed) {
-                (Population::Fixed, _) => broadcast(&fixed_vec),
-                (Population::Random, Some(v2)) => broadcast(v2),
-                (Population::Random, None) => (0..n_data)
-                    .map(|_| data_rng.gen::<u64>() & lane_mask)
-                    .collect(),
-            };
-
-            let mut st = sim.zero_state();
-            let mut toggles = vec![0u32; gates * 64];
-            // Base application: settle on all-zero data with fresh masks;
-            // toggles are not counted here.
-            let base_mask: Vec<u64> = (0..n_mask).map(|_| mask_rng.gen::<u64>()).collect();
-            sim.eval(&mut st, &vec![0u64; n_data], &base_mask);
-            let mut prev = st.values().to_vec();
-
-            for cycle in 0..config.cycles {
-                let masks: Vec<u64> = (0..n_mask).map(|_| mask_rng.gen::<u64>()).collect();
-                match config.delay_model {
-                    DelayModel::Zero => {
-                        sim.eval(&mut st, &data, &masks);
-                        for (g, (&p, &v)) in prev.iter().zip(st.values()).enumerate() {
-                            add_toggles(&mut toggles, g, (p ^ v) & lane_mask);
-                        }
-                    }
-                    DelayModel::UnitDelay => {
-                        // Every settling wave's transition counts (glitches).
-                        sim.eval_unit_delay(&mut st, &data, &masks, |g, diff| {
-                            add_toggles(&mut toggles, g, diff & lane_mask);
-                        });
-                    }
-                }
-                prev.copy_from_slice(st.values());
-                if cycle + 1 < config.cycles {
-                    sim.clock(&mut st);
-                }
-            }
-
-            let mut energies = vec![0.0f64; gates * lanes];
-            for g in 0..gates {
-                let cap = caps[g];
-                for l in 0..lanes {
-                    let e = cap * f64::from(toggles[g * 64 + l])
-                        + sigma * sample_standard_normal(noise_rng);
-                    energies[g * lanes + l] = e;
-                }
-            }
-            sink.record_batch(pop, &energies, gates, lanes);
-        }
-    };
-
-    run_population(
-        Population::Fixed,
-        config.n_fixed,
-        &mut data_rng,
-        &mut mask_rng,
-        &mut noise_rng,
-        sink,
-    );
-    run_population(
-        Population::Random,
-        config.n_random,
-        &mut data_rng,
-        &mut mask_rng,
-        &mut noise_rng,
-        sink,
-    );
+    let engine = Engine::new(netlist, model, config)?;
+    engine.run_range(Population::Fixed, 0, config.n_fixed, sink);
+    engine.run_range(Population::Random, 0, config.n_random, sink);
     Ok(())
 }
 
-/// Convenience wrapper collecting dense [`GateSamples`].
+/// Runs a campaign across `parallelism` worker threads, each owning a
+/// private sink, and folds the per-shard sinks in shard order.
+///
+/// The result is **bit-identical at any thread count**: the shard grid and
+/// the merge order are pure functions of `config`, and every shard's random
+/// streams are counter-derived from `(seed, population, trace index)`.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] if the design cannot be
+/// levelized.
+pub fn run_campaign_parallel<S>(
+    netlist: &Netlist,
+    model: &PowerModel,
+    config: &CampaignConfig,
+    parallelism: Parallelism,
+) -> Result<S, NetlistError>
+where
+    S: MergeableSink + Default,
+{
+    let engine = Engine::new(netlist, model, config)?;
+    let shards = shard_grid(config);
+    let sinks = run_sharded(shards.len(), parallelism, |i| {
+        let shard = shards[i];
+        let mut sink = S::default();
+        engine.run_range(shard.pop, shard.start, shard.count, &mut sink);
+        sink
+    });
+
+    // Deterministic fold: strictly ascending shard order.
+    let mut acc: Option<S> = None;
+    for sink in sinks {
+        match &mut acc {
+            None => acc = Some(sink),
+            Some(a) => a.merge(sink),
+        }
+    }
+    Ok(acc.unwrap_or_default())
+}
+
+/// Convenience wrapper collecting dense [`GateSamples`] (preallocated from
+/// the campaign configuration, so recording never reallocates).
 ///
 /// # Errors
 ///
@@ -299,9 +646,25 @@ pub fn collect_gate_samples(
     model: &PowerModel,
     config: &CampaignConfig,
 ) -> Result<GateSamples, NetlistError> {
-    let mut sink = GateSamples::default();
+    let mut sink =
+        GateSamples::with_capacity(netlist.gate_count(), config.n_fixed, config.n_random);
     run_campaign(netlist, model, config, &mut sink)?;
     Ok(sink)
+}
+
+/// Parallel variant of [`collect_gate_samples`]; bit-identical to the
+/// sequential collection at any thread count.
+///
+/// # Errors
+///
+/// Propagates [`run_campaign_parallel`] errors.
+pub fn collect_gate_samples_parallel(
+    netlist: &Netlist,
+    model: &PowerModel,
+    config: &CampaignConfig,
+    parallelism: Parallelism,
+) -> Result<GateSamples, NetlistError> {
+    run_campaign_parallel(netlist, model, config, parallelism)
 }
 
 /// Per-trace total-power waveforms: `waves[trace][cycle]` is the summed
@@ -404,6 +767,81 @@ mod tests {
             assert_eq!(a.fixed(id), b.fixed(id));
             assert_eq!(a.random(id), b.random(id));
         }
+    }
+
+    #[test]
+    fn parallel_collection_is_bit_identical_to_sequential() {
+        // The dense collector concatenates in trace order, so the parallel
+        // engine must reproduce the sequential stream *exactly* — including
+        // trailing partial batches and asymmetric class sizes.
+        let n = generators::iscas_c17();
+        let model = PowerModel::default();
+        for (nf, nr) in [(100, 130), (65, 1), (TRACES_PER_SHARD + 7, 640)] {
+            let cfg = CampaignConfig::new(nf, nr, 21);
+            let seq = collect_gate_samples(&n, &model, &cfg).unwrap();
+            for threads in [1, 2, 3, 8] {
+                let par =
+                    collect_gate_samples_parallel(&n, &model, &cfg, Parallelism::new(threads))
+                        .unwrap();
+                for id in n.ids() {
+                    assert_eq!(seq.fixed(id), par.fixed(id), "threads={threads}");
+                    assert_eq!(seq.random(id), par.random(id), "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_grid_is_a_pure_function_of_the_config() {
+        let cfg = CampaignConfig::new(TRACES_PER_SHARD * 2 + 5, 3, 1);
+        let shards = shard_grid(&cfg);
+        assert_eq!(shards.len(), 4, "3 fixed shards + 1 random shard");
+        let covered: usize = shards
+            .iter()
+            .filter(|s| s.pop == Population::Fixed)
+            .map(|s| s.count)
+            .sum();
+        assert_eq!(covered, cfg.n_fixed);
+        assert!(shards
+            .iter()
+            .all(|s| s.start % BATCH_LANES == 0 && s.count <= TRACES_PER_SHARD));
+    }
+
+    /// Sink that records the lane count of every batch it receives.
+    #[derive(Default)]
+    struct LaneRecorder {
+        batches: Vec<(Population, usize)>,
+    }
+
+    impl TraceSink for LaneRecorder {
+        fn record_batch(&mut self, pop: Population, energies: &[f64], gates: usize, lanes: usize) {
+            assert_eq!(energies.len(), gates * lanes);
+            self.batches.push((pop, lanes));
+        }
+    }
+
+    #[test]
+    fn trailing_partial_batch_reports_true_lane_count() {
+        // 130 = 64 + 64 + 2: the last batch of each class must report its
+        // real 2-lane width, not a padded 64.
+        let n = generators::iscas_c17();
+        let cfg = CampaignConfig::new(130, 65, 2);
+        let mut rec = LaneRecorder::default();
+        run_campaign(&n, &PowerModel::default(), &cfg, &mut rec).unwrap();
+        let fixed: Vec<usize> = rec
+            .batches
+            .iter()
+            .filter(|(p, _)| *p == Population::Fixed)
+            .map(|(_, l)| *l)
+            .collect();
+        let random: Vec<usize> = rec
+            .batches
+            .iter()
+            .filter(|(p, _)| *p == Population::Random)
+            .map(|(_, l)| *l)
+            .collect();
+        assert_eq!(fixed, vec![64, 64, 2]);
+        assert_eq!(random, vec![64, 1]);
     }
 
     #[test]
@@ -590,5 +1028,24 @@ endmodule";
         let s = collect_gate_samples(&n, &PowerModel::default(), &cfg).unwrap();
         assert_eq!(s.fixed(GateId::new(0)).len(), 65);
         assert_eq!(s.random(GateId::new(0)).len(), 1);
+    }
+
+    #[test]
+    fn one_sided_campaign_merges_cleanly() {
+        // n_fixed == 0: parallel merging must cope with sinks that only ever
+        // saw one population.
+        let n = generators::iscas_c17();
+        let cfg = CampaignConfig::new(0, 300, 4);
+        let s: GateSamples =
+            run_campaign_parallel(&n, &PowerModel::default(), &cfg, Parallelism::new(4)).unwrap();
+        assert_eq!(s.random(GateId::new(0)).len(), 300);
+        assert!(s.fixed.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn parallelism_resolution() {
+        assert_eq!(Parallelism::sequential().threads(), 1);
+        assert_eq!(Parallelism::new(3).threads(), 3);
+        assert!(Parallelism::auto().threads() >= 1);
     }
 }

@@ -13,6 +13,12 @@
 //! masked gate's switching is driven by the masks, decorrelating its power
 //! from the data and collapsing the t-statistic.
 //!
+//! Campaigns are *sharded*: every random stream is counter-derived from
+//! `(master_seed, population, trace index)`, so
+//! [`campaign::run_campaign_parallel`] can split a campaign across worker
+//! threads — each owning a private [`MergeableSink`] — and fold the shards
+//! back deterministically. Results are bit-identical at any thread count.
+//!
 //! # Example
 //!
 //! ```
@@ -42,6 +48,9 @@ pub mod campaign;
 pub mod logic;
 pub mod power;
 
-pub use campaign::{CampaignConfig, DelayModel, GateSamples, Population, TraceSink};
+pub use campaign::{
+    collect_gate_samples, collect_gate_samples_parallel, run_campaign, run_campaign_parallel,
+    CampaignConfig, DelayModel, GateSamples, MergeableSink, Parallelism, Population, TraceSink,
+};
 pub use logic::{SimState, Simulator};
 pub use power::PowerModel;

@@ -11,12 +11,23 @@
 //! This module runs the whole attack in-simulator: it drives the device
 //! under test with random plaintexts (fresh masks every trace, as the
 //! campaigns do), records total per-trace energy, and ranks key guesses.
+//!
+//! Like the trace campaigns, the attack is *sharded*: every trace's random
+//! draws derive from `(seed, trace_index)`, each worker folds its traces
+//! into a private [`CpaAccumulator`] (one streaming [`CorrelationAccumulator`]
+//! per key guess), and shards merge pairwise at the barrier — so
+//! [`run_cpa_parallel`] is bit-identical at any thread count.
 
 use polaris_netlist::{Netlist, NetlistError};
+use polaris_sim::campaign::{run_sharded, splitmix64, Parallelism, TRACES_PER_SHARD};
 use polaris_sim::power::sample_standard_normal;
 use polaris_sim::{PowerModel, Simulator};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Traces per shard of the parallel attack's fixed work grid (shared with
+/// the campaign engine).
+const CPA_TRACES_PER_SHARD: usize = TRACES_PER_SHARD;
 
 /// Pearson correlation coefficient between two equal-length samples.
 ///
@@ -45,6 +56,162 @@ pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
         0.0
     } else {
         cov / (vx * vy).sqrt()
+    }
+}
+
+/// One-pass bivariate accumulator (Welford update, Chan et al. merge):
+/// means, central second moments and the co-moment of an `(x, y)` stream,
+/// from which the Pearson correlation falls out without a second pass.
+///
+/// ```
+/// use polaris_tvla::cpa::CorrelationAccumulator;
+///
+/// let mut acc = CorrelationAccumulator::new();
+/// for i in 0..100 {
+///     acc.push(f64::from(i), 2.0 * f64::from(i) + 1.0);
+/// }
+/// assert!((acc.pearson() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CorrelationAccumulator {
+    n: u64,
+    mean_x: f64,
+    mean_y: f64,
+    m2x: f64,
+    m2y: f64,
+    cxy: f64,
+}
+
+impl CorrelationAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        CorrelationAccumulator::default()
+    }
+
+    /// Adds one `(x, y)` observation.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.n += 1;
+        let n = self.n as f64;
+        let dx = x - self.mean_x;
+        self.mean_x += dx / n;
+        let dx_post = x - self.mean_x;
+        let dy = y - self.mean_y;
+        self.mean_y += dy / n;
+        let dy_post = y - self.mean_y;
+        self.m2x += dx * dx_post;
+        self.m2y += dy * dy_post;
+        self.cxy += dx * dy_post;
+    }
+
+    /// Folds another accumulator in (pairwise combination — the co-moment
+    /// analogue of the Chan et al. variance merge).
+    pub fn merge(&mut self, other: &CorrelationAccumulator) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let na = self.n as f64;
+        let nb = other.n as f64;
+        let n = na + nb;
+        let dx = other.mean_x - self.mean_x;
+        let dy = other.mean_y - self.mean_y;
+        self.m2x += other.m2x + dx * dx * na * nb / n;
+        self.m2y += other.m2y + dy * dy * na * nb / n;
+        self.cxy += other.cxy + dx * dy * na * nb / n;
+        self.mean_x += dx * nb / n;
+        self.mean_y += dy * nb / n;
+        self.n += other.n;
+    }
+
+    /// Number of observations seen.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Pearson correlation of everything pushed so far (0 when either side
+    /// is degenerate).
+    pub fn pearson(&self) -> f64 {
+        if self.m2x <= 0.0 || self.m2y <= 0.0 {
+            0.0
+        } else {
+            self.cxy / (self.m2x * self.m2y).sqrt()
+        }
+    }
+}
+
+/// Streaming CPA state: one [`CorrelationAccumulator`] per key guess,
+/// correlating that guess's leakage predictions with the measured energy.
+/// Workers own private instances and [`CpaAccumulator::merge`] folds them.
+#[derive(Clone, Debug, Default)]
+pub struct CpaAccumulator {
+    per_guess: Vec<CorrelationAccumulator>,
+}
+
+impl CpaAccumulator {
+    /// An accumulator covering `guesses` key candidates.
+    pub fn new(guesses: usize) -> Self {
+        CpaAccumulator {
+            per_guess: vec![CorrelationAccumulator::new(); guesses],
+        }
+    }
+
+    /// Records one trace: `predictions[g]` is the leakage prediction of
+    /// guess `g`, `energy` the measured power.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `predictions` does not cover every guess.
+    pub fn record(&mut self, predictions: &[f64], energy: f64) {
+        assert_eq!(predictions.len(), self.per_guess.len(), "guess count");
+        for (acc, &p) in self.per_guess.iter_mut().zip(predictions) {
+            acc.push(p, energy);
+        }
+    }
+
+    /// Folds another accumulator (covering the following trace range) in.
+    pub fn merge(&mut self, other: &CpaAccumulator) {
+        if other.per_guess.is_empty() {
+            return;
+        }
+        if self.per_guess.is_empty() {
+            *self = other.clone();
+            return;
+        }
+        assert_eq!(self.per_guess.len(), other.per_guess.len(), "guess count");
+        for (a, b) in self.per_guess.iter_mut().zip(&other.per_guess) {
+            a.merge(b);
+        }
+    }
+
+    /// Traces recorded so far.
+    pub fn traces(&self) -> u64 {
+        self.per_guess
+            .first()
+            .map_or(0, CorrelationAccumulator::count)
+    }
+
+    /// `|ρ|` per key guess.
+    pub fn correlations(&self) -> Vec<f64> {
+        self.per_guess.iter().map(|a| a.pearson().abs()).collect()
+    }
+
+    /// Ranks the guesses into a [`CpaOutcome`].
+    pub fn outcome(&self, true_key: u32) -> CpaOutcome {
+        let correlations = self.correlations();
+        let best_guess = correlations
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i as u32)
+            .unwrap_or(0);
+        CpaOutcome {
+            correlations,
+            best_guess,
+            true_key,
+        }
     }
 }
 
@@ -95,7 +262,79 @@ impl CpaOutcome {
     }
 }
 
-/// Runs a first-order CPA attack.
+/// Per-trace RNG, derived from `(seed, trace_index)` with the campaign
+/// engine's shared [`splitmix64`] mixer, so any trace can be recomputed in
+/// isolation by any worker.
+fn trace_rng(seed: u64, trace: u64) -> StdRng {
+    let mut h = splitmix64(seed ^ 0x0C9A_A77A_C4A0_75ED);
+    h = splitmix64(h ^ trace);
+    StdRng::seed_from_u64(h)
+}
+
+/// Immutable attack context shared by all workers.
+struct AttackCtx<'a> {
+    sim: Simulator<'a>,
+    config: &'a CpaConfig,
+    caps: Vec<f64>,
+    noise_sigma: f64,
+    n_data: usize,
+    n_mask: usize,
+    width: usize,
+}
+
+impl AttackCtx<'_> {
+    /// Acquires one trace: returns the plaintext applied and the measured
+    /// total energy.
+    fn acquire(&self, trace: u64) -> (u32, f64) {
+        let mut rng = trace_rng(self.config.seed, trace);
+        let pt: u32 = rng.gen_range(0..(1u32 << self.width));
+        let mut data = vec![0u64; self.n_data];
+        for (k, &bit) in self.config.plaintext_bits.iter().enumerate() {
+            data[bit] = u64::from(pt >> k & 1) * !0u64;
+        }
+        for (k, &bit) in self.config.key_bits.iter().enumerate() {
+            data[bit] = u64::from(self.config.key_value >> k & 1) * !0u64;
+        }
+        // Base application (all zero data, fresh masks), then stimulus.
+        let base_masks: Vec<u64> = (0..self.n_mask).map(|_| rng.gen::<u64>()).collect();
+        let mut st = self.sim.zero_state();
+        self.sim
+            .eval(&mut st, &vec![0u64; self.n_data], &base_masks);
+        let prev = st.values().to_vec();
+        let masks: Vec<u64> = (0..self.n_mask).map(|_| rng.gen::<u64>()).collect();
+        self.sim.eval(&mut st, &data, &masks);
+        let mut energy = 0.0;
+        for (g, (&p, &v)) in prev.iter().zip(st.values()).enumerate() {
+            if (p ^ v) & 1 == 1 {
+                energy += self.caps[g];
+            }
+        }
+        energy += self.noise_sigma * sample_standard_normal(&mut rng);
+        (pt, energy)
+    }
+
+    /// Runs the traces `[start, start + count)` into `acc`.
+    fn run_range(
+        &self,
+        start: usize,
+        count: usize,
+        predict: &(dyn Fn(u32, u32) -> f64 + Sync),
+        acc: &mut CpaAccumulator,
+    ) {
+        let guesses = 1u32 << self.config.key_bits.len();
+        let mut predictions = vec![0.0f64; guesses as usize];
+        for t in start..start + count {
+            let (pt, energy) = self.acquire(t as u64);
+            for (g, p) in predictions.iter_mut().enumerate() {
+                *p = predict(pt, g as u32);
+            }
+            acc.record(&predictions, energy);
+        }
+    }
+}
+
+/// Runs a first-order CPA attack (single worker; see [`run_cpa_parallel`]
+/// for the sharded variant — both produce bit-identical outcomes).
 ///
 /// `predict(plaintext, guess)` is the attacker's leakage model — typically
 /// `HW(SBOX[plaintext ^ guess])`. Mask inputs of the design receive fresh
@@ -113,7 +352,28 @@ pub fn run_cpa(
     netlist: &Netlist,
     model: &PowerModel,
     config: &CpaConfig,
-    predict: &dyn Fn(u32, u32) -> f64,
+    predict: &(dyn Fn(u32, u32) -> f64 + Sync),
+) -> Result<CpaOutcome, NetlistError> {
+    run_cpa_parallel(netlist, model, config, predict, Parallelism::sequential())
+}
+
+/// Runs the CPA attack across worker threads, each folding its trace shards
+/// into a private [`CpaAccumulator`]; shards merge in order at the barrier,
+/// so the outcome is bit-identical at any thread count.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from simulator compilation.
+///
+/// # Panics
+///
+/// Panics if bit indices are out of range for the design's data inputs.
+pub fn run_cpa_parallel(
+    netlist: &Netlist,
+    model: &PowerModel,
+    config: &CpaConfig,
+    predict: &(dyn Fn(u32, u32) -> f64 + Sync),
+    parallelism: Parallelism,
 ) -> Result<CpaOutcome, NetlistError> {
     let sim = Simulator::new(netlist)?;
     let n_data = netlist.data_inputs().len();
@@ -124,63 +384,33 @@ pub fn run_cpa(
     let width = config.plaintext_bits.len();
     assert!(width <= 20, "attack word capped at 20 bits");
 
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let caps: Vec<f64> = netlist.iter().map(|(_, g)| model.cap(g.kind())).collect();
+    let ctx = AttackCtx {
+        sim,
+        config,
+        caps: netlist.iter().map(|(_, g)| model.cap(g.kind())).collect(),
+        noise_sigma: model.noise_sigma(),
+        n_data,
+        n_mask,
+        width,
+    };
+    let guesses = 1usize << config.key_bits.len();
 
-    // Acquire traces: per-trace total energy + plaintext.
-    let mut energies = Vec::with_capacity(config.traces);
-    let mut plaintexts = Vec::with_capacity(config.traces);
-    let mut data = vec![0u64; n_data];
-    for _ in 0..config.traces {
-        let pt: u32 = rng.gen_range(0..(1u32 << width));
-        plaintexts.push(pt);
-        for w in data.iter_mut() {
-            *w = 0;
-        }
-        for (k, &bit) in config.plaintext_bits.iter().enumerate() {
-            data[bit] = u64::from(pt >> k & 1) * !0u64;
-        }
-        for (k, &bit) in config.key_bits.iter().enumerate() {
-            data[bit] = u64::from(config.key_value >> k & 1) * !0u64;
-        }
-        // Base application (all zero data, fresh masks), then stimulus.
-        let base_masks: Vec<u64> = (0..n_mask).map(|_| rng.gen::<u64>()).collect();
-        let mut st = sim.zero_state();
-        sim.eval(&mut st, &vec![0u64; n_data], &base_masks);
-        let prev = st.values().to_vec();
-        let masks: Vec<u64> = (0..n_mask).map(|_| rng.gen::<u64>()).collect();
-        sim.eval(&mut st, &data, &masks);
-        let mut energy = 0.0;
-        for (g, (&p, &v)) in prev.iter().zip(st.values()).enumerate() {
-            if (p ^ v) & 1 == 1 {
-                energy += caps[g];
-            }
-        }
-        energy += model.noise_sigma() * sample_standard_normal(&mut rng);
-        energies.push(energy);
-    }
+    // Fixed shard grid over the trace space (independent of thread count),
+    // scheduled by the campaign engine's deterministic shard runner.
+    let starts: Vec<usize> = (0..config.traces).step_by(CPA_TRACES_PER_SHARD).collect();
+    let accumulators = run_sharded(starts.len(), parallelism, |i| {
+        let start = starts[i];
+        let count = (config.traces - start).min(CPA_TRACES_PER_SHARD);
+        let mut acc = CpaAccumulator::new(guesses);
+        ctx.run_range(start, count, predict, &mut acc);
+        acc
+    });
 
-    // Rank guesses.
-    let guesses = 1u32 << config.key_bits.len();
-    let mut correlations = Vec::with_capacity(guesses as usize);
-    let mut predictions = vec![0.0f64; config.traces];
-    for guess in 0..guesses {
-        for (p, &pt) in predictions.iter_mut().zip(&plaintexts) {
-            *p = predict(pt, guess);
-        }
-        correlations.push(pearson(&predictions, &energies).abs());
+    let mut total = CpaAccumulator::new(guesses);
+    for acc in &accumulators {
+        total.merge(acc);
     }
-    let best_guess = correlations
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-        .map(|(i, _)| i as u32)
-        .unwrap_or(0);
-    Ok(CpaOutcome {
-        correlations,
-        best_guess,
-        true_key: config.key_value,
-    })
+    Ok(total.outcome(config.key_value))
 }
 
 #[cfg(test)]
@@ -197,6 +427,64 @@ mod tests {
         assert!((pearson(&x, &neg) + 1.0).abs() < 1e-12);
         let flat = [5.0; 4];
         assert_eq!(pearson(&x, &flat), 0.0);
+    }
+
+    #[test]
+    fn accumulator_matches_two_pass_pearson() {
+        let xs: Vec<f64> = (0..500).map(|i| ((i * 37) % 101) as f64).collect();
+        let ys: Vec<f64> = (0..500).map(|i| ((i * 13) % 89) as f64 + 0.25).collect();
+        let mut acc = CorrelationAccumulator::new();
+        for (&x, &y) in xs.iter().zip(&ys) {
+            acc.push(x, y);
+        }
+        assert_eq!(acc.count(), 500);
+        assert!((acc.pearson() - pearson(&xs, &ys)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulator_merge_equals_single_pass() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 3.0).collect();
+        let ys: Vec<f64> = (0..1000)
+            .map(|i| (i as f64).cos() + 0.1 * i as f64)
+            .collect();
+        for split in [1, 137, 500, 999] {
+            let mut left = CorrelationAccumulator::new();
+            let mut right = CorrelationAccumulator::new();
+            for i in 0..split {
+                left.push(xs[i], ys[i]);
+            }
+            for i in split..xs.len() {
+                right.push(xs[i], ys[i]);
+            }
+            left.merge(&right);
+            assert_eq!(left.count(), 1000);
+            assert!(
+                (left.pearson() - pearson(&xs, &ys)).abs() < 1e-10,
+                "split {split}"
+            );
+        }
+    }
+
+    #[test]
+    fn accumulator_merge_with_empty_is_identity() {
+        let mut acc = CorrelationAccumulator::new();
+        acc.push(1.0, 2.0);
+        acc.push(3.0, -1.0);
+        let snapshot = acc;
+        acc.merge(&CorrelationAccumulator::new());
+        assert_eq!(acc, snapshot);
+        let mut empty = CorrelationAccumulator::new();
+        empty.merge(&snapshot);
+        assert_eq!(empty, snapshot);
+    }
+
+    #[test]
+    fn degenerate_correlation_is_zero() {
+        let mut acc = CorrelationAccumulator::new();
+        for i in 0..10 {
+            acc.push(5.0, f64::from(i));
+        }
+        assert_eq!(acc.pearson(), 0.0);
     }
 
     /// PRESENT-like keyed S-box stage used as the attack target.
@@ -227,7 +515,7 @@ mod tests {
     /// base vector before each stimulus, so the reference S-box output is
     /// `S(0)` and the device switches `HW(S(0) ⊕ S(pt ⊕ k))` output bits
     /// (plus the input-layer distance `HW(pt ⊕ k)`).
-    fn hd_predictor(table: Vec<u16>) -> impl Fn(u32, u32) -> f64 {
+    fn hd_predictor(table: Vec<u16>) -> impl Fn(u32, u32) -> f64 + Sync {
         move |pt, guess| {
             let x = (pt ^ guess) as usize & 0xF;
             let sbox_hd = (table[0] ^ table[x]).count_ones();
@@ -260,6 +548,27 @@ mod tests {
                 outcome.correlations
             );
             assert!(outcome.distinguishing_margin() > 1.1);
+        }
+    }
+
+    #[test]
+    fn parallel_cpa_bit_identical_across_thread_counts() {
+        let (n, table) = keyed_sbox();
+        let model = PowerModel::default().with_noise(0.3);
+        let cfg = config(0x9, 1000);
+        let predictor = hd_predictor(table);
+        let base = run_cpa(&n, &model, &cfg, &predictor).unwrap();
+        for threads in [2, 4, 8] {
+            let par =
+                run_cpa_parallel(&n, &model, &cfg, &predictor, Parallelism::new(threads)).unwrap();
+            assert_eq!(par.best_guess, base.best_guess);
+            for (a, b) in base.correlations.iter().zip(&par.correlations) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "correlations must be byte-identical at {threads} threads"
+                );
+            }
         }
     }
 

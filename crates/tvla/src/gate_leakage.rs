@@ -9,7 +9,9 @@
 //! exactly this, with the ±4.5 threshold).
 
 use polaris_netlist::{GateId, Netlist, NetlistError};
-use polaris_sim::campaign::{run_campaign, CampaignConfig, Population, TraceSink};
+use polaris_sim::campaign::{
+    run_campaign_parallel, CampaignConfig, MergeableSink, Parallelism, Population, TraceSink,
+};
 use polaris_sim::power::PowerModel;
 
 use crate::moments::StreamingMoments;
@@ -112,6 +114,29 @@ impl TraceSink for WelchAccumulator {
             for &e in &energies[g * lanes..g * lanes + lanes] {
                 acc.push(e);
             }
+        }
+    }
+}
+
+impl MergeableSink for WelchAccumulator {
+    /// Folds another accumulator in via the pairwise moment combination of
+    /// Chan et al. (see [`StreamingMoments::merge`]), gate by gate. Each
+    /// campaign worker owns a private `WelchAccumulator`; the engine folds
+    /// them in shard order so results are reproducible at any thread count.
+    fn merge(&mut self, other: Self) {
+        if other.fixed.is_empty() {
+            return;
+        }
+        if self.fixed.is_empty() {
+            *self = other;
+            return;
+        }
+        debug_assert_eq!(self.fixed.len(), other.fixed.len(), "gate count mismatch");
+        for (a, b) in self.fixed.iter_mut().zip(&other.fixed) {
+            a.merge(b);
+        }
+        for (a, b) in self.random.iter_mut().zip(&other.random) {
+            a.merge(b);
         }
     }
 }
@@ -226,6 +251,9 @@ impl LeakageSummary {
 /// Runs a fixed-vs-random campaign and returns the first-order per-gate
 /// leakage map — the paper's `leak_estimate(D)`.
 ///
+/// Single-threaded entry point of the sharded engine: bit-identical to
+/// [`assess_parallel`] at any thread count.
+///
 /// # Errors
 ///
 /// Propagates [`NetlistError`] from simulator compilation.
@@ -234,8 +262,24 @@ pub fn assess(
     model: &PowerModel,
     config: &CampaignConfig,
 ) -> Result<GateLeakage, NetlistError> {
-    let mut acc = WelchAccumulator::new();
-    run_campaign(netlist, model, config, &mut acc)?;
+    assess_parallel(netlist, model, config, Parallelism::sequential())
+}
+
+/// Runs the campaign across worker threads (each owning a private
+/// [`WelchAccumulator`]) and folds the shards at the barrier. The thread
+/// count is purely a throughput knob — the leakage map is bit-identical at
+/// 1, 2, 8, … threads.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from simulator compilation.
+pub fn assess_parallel(
+    netlist: &Netlist,
+    model: &PowerModel,
+    config: &CampaignConfig,
+    parallelism: Parallelism,
+) -> Result<GateLeakage, NetlistError> {
+    let acc: WelchAccumulator = run_campaign_parallel(netlist, model, config, parallelism)?;
     Ok(acc.leakage())
 }
 
@@ -249,8 +293,22 @@ pub fn assess_order2(
     model: &PowerModel,
     config: &CampaignConfig,
 ) -> Result<GateLeakage, NetlistError> {
-    let mut acc = WelchAccumulator::new();
-    run_campaign(netlist, model, config, &mut acc)?;
+    assess_order2_parallel(netlist, model, config, Parallelism::sequential())
+}
+
+/// Parallel second-order assessment; same determinism guarantee as
+/// [`assess_parallel`].
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from simulator compilation.
+pub fn assess_order2_parallel(
+    netlist: &Netlist,
+    model: &PowerModel,
+    config: &CampaignConfig,
+    parallelism: Parallelism,
+) -> Result<GateLeakage, NetlistError> {
+    let acc: WelchAccumulator = run_campaign_parallel(netlist, model, config, parallelism)?;
     Ok(acc.leakage_order2())
 }
 
@@ -369,6 +427,66 @@ endmodule";
         for i in 0..l1.gate_count() {
             let id = GateId::new(i);
             assert_eq!(l1.result(id), l2.result(id));
+        }
+    }
+
+    #[test]
+    fn parallel_assessment_bit_identical_across_thread_counts() {
+        let n = generators::iscas_c17();
+        let cfg = CampaignConfig::new(1000, 1000, 13);
+        let model = PowerModel::default();
+        let base = assess_parallel(&n, &model, &cfg, Parallelism::new(1)).unwrap();
+        for threads in [2, 4, 8] {
+            let l = assess_parallel(&n, &model, &cfg, Parallelism::new(threads)).unwrap();
+            for id in n.ids() {
+                assert_eq!(
+                    base.result(id).t.to_bits(),
+                    l.result(id).t.to_bits(),
+                    "t must be byte-identical at {threads} threads (gate {id})"
+                );
+                assert_eq!(base.result(id).dof.to_bits(), l.result(id).dof.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn merged_accumulators_track_straight_streaming() {
+        // The sharded engine folds per-shard accumulators with the pairwise
+        // moment combination; a plain sequential stream into one accumulator
+        // must agree to floating-point rounding.
+        let n = generators::iscas_c17();
+        let cfg = CampaignConfig::new(700, 700, 31);
+        let model = PowerModel::default();
+        let mut straight = WelchAccumulator::new();
+        polaris_sim::campaign::run_campaign(&n, &model, &cfg, &mut straight).unwrap();
+        let sharded = assess(&n, &model, &cfg).unwrap();
+        for id in n.ids() {
+            let a = straight.leakage().result(id).t;
+            let b = sharded.result(id).t;
+            assert!(
+                (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+                "gate {id}: straight {a} vs sharded {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn welch_accumulator_merge_handles_empty_sides() {
+        let n = generators::iscas_c17();
+        let cfg = CampaignConfig::new(100, 100, 3);
+        let model = PowerModel::default();
+        let mut full = WelchAccumulator::new();
+        polaris_sim::campaign::run_campaign(&n, &model, &cfg, &mut full).unwrap();
+        let reference = full.clone();
+
+        // empty ← full adopts the full accumulator; full ← empty is a no-op.
+        let mut empty = WelchAccumulator::new();
+        empty.merge(full.clone());
+        assert_eq!(empty.gate_count(), reference.gate_count());
+        full.merge(WelchAccumulator::new());
+        for id in n.ids() {
+            assert_eq!(full.leakage().result(id), reference.leakage().result(id));
+            assert_eq!(empty.leakage().result(id), reference.leakage().result(id));
         }
     }
 }

@@ -38,7 +38,11 @@ pub mod special;
 pub mod waveform;
 pub mod welch;
 
-pub use gate_leakage::{assess, assess_order2, GateLeakage, LeakageSummary, WelchAccumulator};
+pub use cpa::{run_cpa, run_cpa_parallel, CorrelationAccumulator, CpaAccumulator};
+pub use gate_leakage::{
+    assess, assess_order2, assess_order2_parallel, assess_parallel, GateLeakage, LeakageSummary,
+    WelchAccumulator,
+};
 pub use moments::StreamingMoments;
 pub use welch::{welch_t, WelchResult};
 

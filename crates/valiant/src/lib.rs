@@ -35,8 +35,8 @@ use std::time::Instant;
 
 use polaris_masking::{apply_masking, MaskedDesign, MaskingError, MaskingStyle};
 use polaris_netlist::{GateId, Netlist};
-use polaris_sim::{CampaignConfig, PowerModel};
-use polaris_tvla::{assess, GateLeakage, LeakageSummary, TVLA_THRESHOLD};
+use polaris_sim::{CampaignConfig, Parallelism, PowerModel};
+use polaris_tvla::{assess_parallel, GateLeakage, LeakageSummary, TVLA_THRESHOLD};
 
 /// VALIANT flow parameters.
 #[derive(Clone, Debug)]
@@ -51,6 +51,9 @@ pub struct ValiantConfig {
     pub max_iterations: usize,
     /// Masked-gate family to insert.
     pub style: MaskingStyle,
+    /// Worker threads for every TVLA campaign (the flow's hot loop); the
+    /// sharded engine keeps results bit-identical at any thread count.
+    pub parallelism: Parallelism,
 }
 
 impl Default for ValiantConfig {
@@ -61,6 +64,7 @@ impl Default for ValiantConfig {
             batch_fraction: 0.5,
             max_iterations: 4,
             style: MaskingStyle::Trichina,
+            parallelism: Parallelism::auto(),
         }
     }
 }
@@ -120,7 +124,7 @@ impl ValiantFlow {
         let cfg = &self.config;
 
         // Initial assessment of the unprotected design.
-        let before_map = assess(netlist, model, &cfg.campaign)?;
+        let before_map = assess_parallel(netlist, model, &cfg.campaign, cfg.parallelism)?;
         let before = before_map.summarize(netlist);
         let mut tvla_runs = 1;
 
@@ -150,9 +154,15 @@ impl ValiantFlow {
             masked_set.extend(leaky.into_iter().take(batch.max(1)));
 
             current = apply_masking(netlist, &masked_set, cfg.style)?;
+            // Re-seed the sampling streams but pin the fixed class vector so
+            // successive assessments compare the same two populations.
             let mut campaign = cfg.campaign.clone();
+            campaign.fixed_vector = Some(
+                cfg.campaign
+                    .resolve_fixed_vector(netlist.data_inputs().len()),
+            );
             campaign.seed = campaign.seed.wrapping_add(iteration as u64 + 1);
-            current_leakage = assess(&current.netlist, model, &campaign)?;
+            current_leakage = assess_parallel(&current.netlist, model, &campaign, cfg.parallelism)?;
             tvla_runs += 1;
             after = summarize_grouped(netlist, &current, &current_leakage);
         }

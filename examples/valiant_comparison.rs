@@ -16,7 +16,7 @@ use polaris::pipeline::PolarisPipeline;
 use polaris_masking::{analyze_overhead, apply_masking, CellLibrary, MaskingStyle};
 use polaris_netlist::generators;
 use polaris_netlist::transform::decompose;
-use polaris_sim::{CampaignConfig, PowerModel};
+use polaris_sim::{CampaignConfig, Parallelism, PowerModel};
 use polaris_valiant::{ValiantConfig, ValiantFlow};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -86,7 +86,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     let masked = apply_masking(&norm, &selected, MaskingStyle::Trichina)?;
     let polaris_time = t0.elapsed().as_secs_f64();
-    let (after, _) = assess_grouped(&norm, &masked, &power, &campaign)?;
+    let (after, _) = assess_grouped(&norm, &masked, &power, &campaign, Parallelism::auto())?;
     let p_cost = analyze_overhead(&masked.netlist, &lib, 64, 1)?;
     println!(
         "  {} gates masked (50% of leaky), reduction {:.1}%, {:.3}s, area x{:.2}",

@@ -11,7 +11,7 @@ use polaris::pipeline::PolarisPipeline;
 use polaris_masking::{analyze_overhead, apply_masking, CellLibrary, MaskingStyle};
 use polaris_netlist::generators;
 use polaris_netlist::transform::decompose;
-use polaris_sim::{CampaignConfig, PowerModel};
+use polaris_sim::{CampaignConfig, Parallelism, PowerModel};
 use polaris_valiant::{ValiantConfig, ValiantFlow};
 
 fn trained() -> polaris::TrainedPolaris {
@@ -101,7 +101,14 @@ fn comparable_reduction_at_equal_budget() {
     .expect("ranking runs");
     let selected: Vec<_> = ranked.iter().take(budget).map(|(id, _)| *id).collect();
     let masked = apply_masking(&design, &selected, MaskingStyle::Trichina).expect("masking");
-    let (after, _) = assess_grouped(&design, &masked, &power, &campaign).expect("assessment");
+    let (after, _) = assess_grouped(
+        &design,
+        &masked,
+        &power,
+        &campaign,
+        Parallelism::sequential(),
+    )
+    .expect("assessment");
     let polaris_red = after.reduction_pct_from(&before);
 
     assert!(
@@ -185,7 +192,14 @@ fn model_ranking_beats_random_selection() {
     .expect("ranking runs");
     let model_pick: Vec<_> = ranked.iter().take(budget).map(|(id, _)| *id).collect();
     let masked = apply_masking(&design, &model_pick, MaskingStyle::Trichina).expect("masking");
-    let (after_model, _) = assess_grouped(&design, &masked, &power, &campaign).expect("assessment");
+    let (after_model, _) = assess_grouped(
+        &design,
+        &masked,
+        &power,
+        &campaign,
+        Parallelism::sequential(),
+    )
+    .expect("assessment");
     let model_red = after_model.reduction_pct_from(&before);
 
     // Average of three random picks.
@@ -196,7 +210,14 @@ fn model_ranking_beats_random_selection() {
         pool.shuffle(&mut rng);
         let pick: Vec<_> = pool.into_iter().take(budget).collect();
         let masked = apply_masking(&design, &pick, MaskingStyle::Trichina).expect("masking");
-        let (after, _) = assess_grouped(&design, &masked, &power, &campaign).expect("assessment");
+        let (after, _) = assess_grouped(
+            &design,
+            &masked,
+            &power,
+            &campaign,
+            Parallelism::sequential(),
+        )
+        .expect("assessment");
         random_red += after.reduction_pct_from(&before) / 3.0;
     }
 
