@@ -18,7 +18,7 @@ fn trained() -> polaris::TrainedPolaris {
     let config = PolarisConfig {
         msize: 20,
         iterations: 4,
-        traces: 150,
+        max_traces: 150,
         n_estimators: 30,
         ..PolarisConfig::fast_profile(7)
     };

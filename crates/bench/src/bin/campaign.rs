@@ -6,19 +6,22 @@
 //! ```text
 //! cargo run --release -p polaris-bench --bin campaign -- [flags]
 //!
-//! --quick       CI smoke profile (small design, few traces)
-//! --design NAME ISCAS-like design to simulate        (default c1908)
-//! --scale N     generator scale factor               (default 1)
-//! --traces N    traces per TVLA class                (default 20000)
-//! --seed N      campaign master seed                 (default 7)
-//! --out PATH    output path                          (default BENCH_campaign.json)
+//! --quick        CI smoke profile (small design, few traces)
+//! --design NAME  ISCAS-like design to simulate        (default c1908)
+//! --scale N      generator scale factor               (default 1)
+//! --traces N     traces per TVLA class                (default 20000)
+//! --seed N       campaign master seed                 (default 7)
+//! --adaptive     also run the sequential-stopping engine and fail if its
+//!                leak verdict diverges from the full run's
+//! --confidence P adaptive clean-verdict confidence    (default 0.95)
+//! --out PATH     output path                          (default BENCH_campaign.json)
 //! ```
 
 use std::time::Instant;
 
 use polaris_netlist::generators;
 use polaris_sim::{CampaignConfig, Parallelism, PowerModel};
-use polaris_tvla::assess_parallel;
+use polaris_tvla::{assess_adaptive, assess_parallel, SequentialConfig, TVLA_THRESHOLD};
 
 struct Args {
     quick: bool,
@@ -26,6 +29,8 @@ struct Args {
     scale: u32,
     traces: usize,
     seed: u64,
+    adaptive: bool,
+    confidence: f64,
     out: String,
 }
 
@@ -36,6 +41,8 @@ fn parse_args() -> Args {
         scale: 1,
         traces: 20_000,
         seed: 7,
+        adaptive: false,
+        confidence: 0.95,
         out: "BENCH_campaign.json".to_string(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -70,13 +77,27 @@ fn parse_args() -> Args {
                 a.seed = need(i).parse().expect("--seed takes an integer");
                 i += 2;
             }
+            "--adaptive" => {
+                a.adaptive = true;
+                i += 1;
+            }
+            "--confidence" => {
+                a.confidence = need(i).parse().expect("--confidence takes a float");
+                assert!(
+                    a.confidence > 0.0 && a.confidence < 1.0,
+                    "--confidence must lie in (0, 1), got {}",
+                    a.confidence
+                );
+                i += 2;
+            }
             "--out" => {
                 a.out = need(i).to_string();
                 i += 2;
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "flags: --quick  --design NAME  --scale N  --traces N  --seed N  --out PATH"
+                    "flags: --quick  --design NAME  --scale N  --traces N  --seed N  \
+                     --adaptive  --confidence P  --out PATH"
                 );
                 std::process::exit(0);
             }
@@ -135,6 +156,7 @@ fn main() {
     // (threads, seconds, traces/sec) per run, plus bit-identity tracking.
     let mut runs: Vec<(usize, f64, f64)> = Vec::new();
     let mut reference_bits: Option<Vec<u64>> = None;
+    let mut reference_leakage: Option<polaris_tvla::GateLeakage> = None;
     let mut identical = true;
     for &threads in &thread_counts {
         let t0 = Instant::now();
@@ -147,11 +169,68 @@ fn main() {
             .map(|id| leakage.result(id).t.to_bits())
             .collect();
         match &reference_bits {
-            None => reference_bits = Some(bits),
+            None => {
+                reference_bits = Some(bits);
+                reference_leakage = Some(leakage);
+            }
             Some(r) => identical &= *r == bits,
         }
         eprintln!("  {threads:>2} threads: {seconds:.3}s  ({tps:.0} traces/sec)");
         runs.push((threads, seconds, tps));
+    }
+
+    // Adaptive mode: run the sequential-stopping engine against the same
+    // budget and cross-check its leak verdict against the full run's.
+    let mut adaptive_json = String::new();
+    let mut verdict_diverged = false;
+    let mut adaptive_ran_full = false;
+    if args.adaptive {
+        let seq = SequentialConfig::with_confidence(args.confidence);
+        let t0 = Instant::now();
+        let a = assess_adaptive(&netlist, &model, &cfg, Parallelism::auto(), &seq)
+            .expect("adaptive campaign runs");
+        let seconds = t0.elapsed().as_secs_f64();
+        let full = reference_leakage
+            .as_ref()
+            .expect("at least one full run preceded");
+        let divergent = netlist
+            .ids()
+            .filter(|&id| {
+                (a.leakage.abs_t(id) > TVLA_THRESHOLD) != (full.abs_t(id) > TVLA_THRESHOLD)
+            })
+            .count();
+        verdict_diverged = divergent > 0;
+        adaptive_ran_full = !a.stats.stopped_early;
+        let leaky = a.leakage.summarize(&netlist).leaky_cells;
+        eprintln!(
+            "  adaptive: {seconds:.3}s, {} of {} traces ({:.1}% saved), \
+             {} of {} rounds, {} leaky cells, {divergent} verdict divergences",
+            a.stats.traces_used(),
+            args.traces * 2,
+            a.savings_fraction() * 100.0,
+            a.stats.rounds,
+            a.stats.planned_rounds,
+            leaky
+        );
+        adaptive_json = format!(
+            ",\n  \"adaptive\": {{\n    \"confidence\": {},\n    \
+             \"traces_budget\": {},\n    \"traces_used\": {},\n    \
+             \"fixed_traces\": {},\n    \"random_traces\": {},\n    \
+             \"rounds\": {},\n    \"planned_rounds\": {},\n    \
+             \"stopped_early\": {},\n    \"savings_pct\": {:.2},\n    \
+             \"leaky_cells\": {},\n    \"verdict_matches_full\": {}\n  }}",
+            args.confidence,
+            args.traces * 2,
+            a.stats.traces_used(),
+            a.stats.fixed_traces,
+            a.stats.random_traces,
+            a.stats.rounds,
+            a.stats.planned_rounds,
+            a.stats.stopped_early,
+            a.savings_fraction() * 100.0,
+            leaky,
+            !verdict_diverged
+        );
     }
 
     let tps_1 = runs
@@ -172,7 +251,7 @@ fn main() {
         "{{\n  \"bench\": \"campaign\",\n  \"design\": \"{}\",\n  \"scale\": {},\n  \
          \"gates\": {},\n  \"traces_per_class\": {},\n  \"seed\": {},\n  \"quick\": {},\n  \
          \"host_cores\": {},\n  \
-         \"runs\": [\n{}\n  ],\n  \"speedup_4t\": {:.3},\n  \"bit_identical\": {}\n}}\n",
+         \"runs\": [\n{}\n  ],\n  \"speedup_4t\": {:.3},\n  \"bit_identical\": {}{}\n}}\n",
         args.design,
         args.scale,
         netlist.gate_count(),
@@ -182,7 +261,8 @@ fn main() {
         cores,
         fmt_runs(&runs),
         speedup_4t,
-        identical
+        identical,
+        adaptive_json
     );
     std::fs::write(&args.out, &json).unwrap_or_else(|e| {
         eprintln!("cannot write {}: {e}", args.out);
@@ -193,6 +273,17 @@ fn main() {
 
     if !identical {
         eprintln!("ERROR: thread counts disagreed — the engine must be bit-identical");
+        std::process::exit(1);
+    }
+    if verdict_diverged {
+        eprintln!("ERROR: the adaptive run's leak verdict diverged from the full run's t-map");
+        std::process::exit(1);
+    }
+    if args.adaptive && args.quick && adaptive_ran_full {
+        eprintln!(
+            "ERROR: adaptive smoke run consumed the whole budget — expected an early stop \
+             on the leaky smoke design"
+        );
         std::process::exit(1);
     }
     if !args.quick && speedup_4t.is_finite() && speedup_4t < 2.0 && cores >= 4 {

@@ -113,7 +113,7 @@ impl HarnessConfig {
         PolarisConfig {
             msize: 30 * self.scale as usize,
             iterations: 8,
-            traces: self.traces,
+            max_traces: self.traces,
             model,
             n_estimators: 60,
             learning_rate: 0.01,
@@ -197,7 +197,7 @@ mod tests {
             ..Default::default()
         };
         let pc = cfg.polaris_config(ModelKind::Xgboost);
-        assert_eq!(pc.traces, 123);
+        assert_eq!(pc.max_traces, 123);
         assert_eq!(pc.seed, 9);
         assert_eq!(pc.model, ModelKind::Xgboost);
     }

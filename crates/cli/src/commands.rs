@@ -58,13 +58,22 @@ fn parallelism_from(flags: &Flags) -> Result<Parallelism, String> {
     Ok(Parallelism::new(flags.get_parsed("threads", 0)?))
 }
 
+/// Parses `--confidence P` (the adaptive clean-verdict confidence level).
+fn confidence_from(flags: &Flags) -> Result<f64, String> {
+    let c: f64 = flags.get_parsed("confidence", 0.95)?;
+    if c <= 0.0 || c >= 1.0 {
+        return Err(format!("--confidence must lie in (0, 1), got {c}"));
+    }
+    Ok(c)
+}
+
 /// `polaris-cli train`
 pub(crate) fn train(args: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(args, &["glitch", "help"])?;
+    let flags = Flags::parse(args, &["glitch", "adaptive", "help"])?;
     if flags.has("help") {
         println!(
             "train --out model.polaris [--scale N --traces N --seed N --threads N \
-             --model adaboost|xgboost|random-forest --glitch]"
+             --model adaboost|xgboost|random-forest --glitch --adaptive --confidence P]"
         );
         return Ok(());
     }
@@ -82,7 +91,9 @@ pub(crate) fn train(args: &[String]) -> Result<(), String> {
     let config = PolarisConfig {
         msize: 30 * scale as usize,
         iterations: 8,
-        traces,
+        max_traces: traces,
+        adaptive: flags.has("adaptive"),
+        confidence: confidence_from(&flags)?,
         model,
         glitch_model: flags.has("glitch"),
         seed,
@@ -153,24 +164,55 @@ pub(crate) fn stats(args: &[String]) -> Result<(), String> {
 
 /// `polaris-cli assess`
 pub(crate) fn assess(args: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(args, &["glitch", "help"])?;
+    let flags = Flags::parse(args, &["glitch", "adaptive", "help"])?;
     if flags.has("help") {
         println!(
             "assess <netlist.v> [--traces N --seed N --cycles N --threads N --glitch] \
-             [--csv out.csv] [--pairs N]"
+             [--adaptive --confidence P] [--csv out.csv] [--pairs N]"
         );
         return Ok(());
     }
     let netlist = load_netlist(flags.positional(0, "netlist path")?)?;
-    let campaign = campaign_from(&flags, 7)?;
+    let mut campaign = campaign_from(&flags, 7)?;
     let par = parallelism_from(&flags)?;
     eprintln!(
-        "running fixed-vs-random TVLA ({} traces/class, {} worker threads)…",
+        "running fixed-vs-random TVLA ({} traces/class{}, {} worker threads)…",
         campaign.n_fixed,
+        if flags.has("adaptive") {
+            " budget, adaptive stopping"
+        } else {
+            ""
+        },
         par.threads()
     );
-    let leakage = polaris_tvla::assess_parallel(&netlist, &PowerModel::default(), &campaign, par)
-        .map_err(|e| e.to_string())?;
+    let leakage = if flags.has("adaptive") {
+        let seq = polaris_tvla::SequentialConfig::with_confidence(confidence_from(&flags)?);
+        let a =
+            polaris_tvla::assess_adaptive(&netlist, &PowerModel::default(), &campaign, par, &seq)
+                .map_err(|e| e.to_string())?;
+        println!(
+            "traces used:  {} fixed + {} random of {} budgeted ({:.1}% saved, \
+             {} of {} rounds{})",
+            a.stats.fixed_traces,
+            a.stats.random_traces,
+            a.budget_fixed + a.budget_random,
+            a.savings_fraction() * 100.0,
+            a.stats.rounds,
+            a.stats.planned_rounds,
+            if a.stats.stopped_early {
+                ", stopped early"
+            } else {
+                ""
+            }
+        );
+        // Pin any follow-up collection (e.g. --pairs) to the stop boundary.
+        campaign.n_fixed = a.stats.fixed_traces;
+        campaign.n_random = a.stats.random_traces;
+        a.leakage
+    } else {
+        polaris_tvla::assess_parallel(&netlist, &PowerModel::default(), &campaign, par)
+            .map_err(|e| e.to_string())?
+    };
     let s = leakage.summarize(&netlist);
     println!("cells:        {}", s.cells);
     println!("mean |t|:     {:.3}", s.mean_abs_t);
@@ -239,11 +281,12 @@ pub(crate) fn assess(args: &[String]) -> Result<(), String> {
 
 /// `polaris-cli mask`
 pub(crate) fn mask(args: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(args, &["report", "help"])?;
+    let flags = Flags::parse(args, &["report", "adaptive", "no-adaptive", "help"])?;
     if flags.has("help") {
         println!(
             "mask <netlist.v> --model model.polaris --out masked.v \
-             [--budget leaky:0.5|cells:0.5|count:N] [--traces N] [--threads N] [--report]"
+             [--budget leaky:0.5|cells:0.5|count:N] [--traces N] [--threads N] \
+             [--adaptive|--no-adaptive --confidence P] [--report]"
         );
         return Ok(());
     }
@@ -251,6 +294,19 @@ pub(crate) fn mask(args: &[String]) -> Result<(), String> {
     let mut trained = load_model(&flags)?;
     let threads = flags.get_parsed("threads", trained.config().threads)?;
     trained.set_threads(threads);
+    // The bundle persists the training-time adaptive knobs; the flags
+    // override in either direction (--no-adaptive forces full-budget
+    // reporting campaigns from a bundle trained with --adaptive).
+    if flags.has("adaptive") && flags.has("no-adaptive") {
+        return Err("--adaptive and --no-adaptive are mutually exclusive".into());
+    }
+    if flags.has("adaptive") {
+        trained.set_adaptive(true, confidence_from(&flags)?);
+    } else if flags.has("no-adaptive") {
+        trained.set_adaptive(false, trained.config().confidence);
+    }
+    let traces = flags.get_parsed("traces", trained.config().max_traces)?;
+    trained.set_max_traces(traces);
     let out = flags.get("out").ok_or("missing --out <file>")?;
     let budget = parse_budget(flags.get("budget").unwrap_or("leaky:1.0"))?;
 
@@ -277,6 +333,20 @@ pub(crate) fn mask(args: &[String]) -> Result<(), String> {
         "mitigation path:  {:.3}s (TVLA-free); reporting TVLA {:.3}s",
         report.mitigation_time_s, report.assessment_time_s
     );
+    if trained.config().adaptive {
+        println!(
+            "reporting traces: {} fixed + {} random per campaign \
+             (budget {}/class{})",
+            report.campaign_fixed_traces,
+            report.campaign_random_traces,
+            report.campaign_budget_per_class,
+            if report.stopped_early {
+                ", stopped early"
+            } else {
+                ""
+            }
+        );
+    }
     if flags.has("report") {
         let lib = CellLibrary::default();
         let (norm, _) =

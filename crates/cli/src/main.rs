@@ -1,17 +1,21 @@
 //! `polaris-cli` — the POLARIS design-for-security tool.
 //!
 //! ```text
-//! polaris-cli train   --out model.polaris [--scale N --traces N --seed N --threads N --model adaboost|xgboost|random-forest --glitch]
+//! polaris-cli train   --out model.polaris [--scale N --traces N --seed N --threads N --model adaboost|xgboost|random-forest --glitch --adaptive --confidence P]
 //! polaris-cli stats   <netlist.v>
-//! polaris-cli assess  <netlist.v> [--traces N --seed N --threads N --glitch] [--csv out.csv]
+//! polaris-cli assess  <netlist.v> [--traces N --seed N --threads N --glitch --adaptive --confidence P] [--csv out.csv]
 //! polaris-cli mask    <netlist.v> --model model.polaris --out masked.v
-//!                     [--budget leaky:0.5 | cells:0.5 | count:N] [--threads N] [--report]
+//!                     [--budget leaky:0.5 | cells:0.5 | count:N] [--threads N] [--adaptive --confidence P] [--report]
 //! polaris-cli rules   --model model.polaris
 //! polaris-cli explain <netlist.v> --model model.polaris --gate <instance-name>
 //! ```
 //!
 //! Trace campaigns run on the sharded parallel engine; `--threads` (0 = all
 //! cores) only changes throughput — results are bit-identical at any count.
+//! `--adaptive` turns `--traces` into a budget: campaigns stop at the first
+//! round checkpoint where every gate's leakage verdict has converged
+//! (`--confidence`, default 0.95, sets the false-clean alpha-spending
+//! budget). Early-stopped results equal the prefix of a full run.
 //!
 //! Netlists use the structural-Verilog subset documented in
 //! [`polaris_netlist::parser`].

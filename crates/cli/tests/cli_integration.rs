@@ -131,6 +131,52 @@ fn assess_flags_leaky_design_and_writes_csv() {
 }
 
 #[test]
+fn assess_adaptive_reports_trace_consumption_and_same_verdict() {
+    let design = tmp("demo_adaptive.v");
+    std::fs::write(&design, DEMO).expect("write design");
+    let run = |extra: &[&str]| {
+        let mut args = vec![
+            "assess".to_string(),
+            design.to_str().expect("utf8").to_string(),
+            "--traces".to_string(),
+            "4096".to_string(),
+            "--seed".to_string(),
+            "11".to_string(),
+        ];
+        args.extend(extra.iter().map(|s| s.to_string()));
+        let out = cli().args(&args).output().expect("runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    let full = run(&[]);
+    let adaptive = run(&["--adaptive", "--confidence", "0.95"]);
+    // The budget consumption is reported, and the design verdict agrees
+    // with the full-budget run.
+    assert!(adaptive.contains("traces used:"), "{adaptive}");
+    assert!(
+        adaptive.contains("LEAKY") == full.contains("LEAKY"),
+        "adaptive and full verdicts must agree:\n{adaptive}\n{full}"
+    );
+    // A malformed confidence is rejected cleanly.
+    let out = cli()
+        .args([
+            "assess",
+            design.to_str().expect("utf8"),
+            "--adaptive",
+            "--confidence",
+            "1.5",
+        ])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--confidence"));
+}
+
+#[test]
 fn mask_reduces_leakage_and_roundtrips() {
     let design = tmp("demo_mask.v");
     std::fs::write(&design, DEMO).expect("write design");

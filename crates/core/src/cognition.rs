@@ -52,6 +52,13 @@ pub struct CognitionStats {
     pub positives: usize,
     /// Gates skipped because the unmasked design showed ~no leakage there.
     pub skipped_quiet: usize,
+    /// Traces simulated across every campaign of this design (baseline +
+    /// masking experiments, both classes).
+    pub traces_used: usize,
+    /// Traces a fully non-adaptive run would have simulated.
+    pub traces_budget: usize,
+    /// True when the adaptive baseline assessment stopped before its budget.
+    pub baseline_stopped_early: bool,
 }
 
 /// Runs Algorithm 1 on one normalized design, appending labelled samples to
@@ -71,15 +78,37 @@ pub fn generate_for_design(
     let view = GraphView::new(design);
     let levels = design.levels()?;
     let mut campaign =
-        CampaignConfig::new(config.traces, config.traces, seed).with_cycles(config.cycles);
+        CampaignConfig::new(config.max_traces, config.max_traces, seed).with_cycles(config.cycles);
     if config.glitch_model {
         campaign = campaign.with_glitches();
     }
 
     // Baseline leakage LG (Algorithm 1 line 2). Campaigns run on the
     // sharded parallel engine; the thread budget never affects the labels.
+    // In adaptive mode the baseline stops once every gate's verdict has
+    // converged, and the masking experiments below are pinned to the same
+    // trace counts so each reduction ratio compares t-statistics at
+    // matching sample sizes (|t| grows ~√n — mixing trace counts would
+    // bias the labels).
+    let mut stats = CognitionStats::default();
     let par = config.parallelism();
-    let base_leakage = polaris_tvla::assess_parallel(design, power, &campaign, par)?;
+    let base_leakage = if config.adaptive {
+        let a = polaris_tvla::assess_adaptive(
+            design,
+            power,
+            &campaign,
+            par,
+            &config.sequential_config(),
+        )?;
+        campaign.n_fixed = a.stats.fixed_traces;
+        campaign.n_random = a.stats.random_traces;
+        stats.baseline_stopped_early = a.stats.stopped_early;
+        a.leakage
+    } else {
+        polaris_tvla::assess_parallel(design, power, &campaign, par)?
+    };
+    stats.traces_used += campaign.n_fixed + campaign.n_random;
+    stats.traces_budget += 2 * config.max_traces;
 
     // Maskable pool R (normalized designs: 1–2 input cells).
     let mut remaining: Vec<GateId> = design
@@ -89,7 +118,6 @@ pub fn generate_for_design(
         .collect();
 
     let mut rng = StdRng::seed_from_u64(seed ^ 0xC0617);
-    let mut stats = CognitionStats::default();
     let mut run = 0usize;
 
     // Algorithm 1 line 5: while Msize ≤ |R| and run ≤ itr.
@@ -107,6 +135,8 @@ pub fn generate_for_design(
         mod_campaign.seed = seed.wrapping_add(run as u64 + 1);
         let acc: WelchAccumulator =
             run_campaign_parallel(&masked.netlist, power, &mod_campaign, par)?;
+        stats.traces_used += mod_campaign.n_fixed + mod_campaign.n_random;
+        stats.traces_budget += 2 * config.max_traces;
         let mod_abs_t = grouped_abs_t(design, &masked, &acc.leakage());
 
         // Label every selected gate (lines 10–18).
@@ -152,7 +182,7 @@ mod tests {
         PolarisConfig {
             msize: 2,
             iterations: 3,
-            traces: 250,
+            max_traces: 250,
             ..PolarisConfig::fast_profile(1)
         }
     }
@@ -210,5 +240,32 @@ mod tests {
         let (d2, s2) = run(&cfg);
         assert_eq!(s1, s2);
         assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn tracks_trace_consumption() {
+        let (_, stats) = run(&small_cfg());
+        // Non-adaptive: every campaign consumes its full budget.
+        assert_eq!(stats.traces_budget, 2 * 250 * (1 + stats.iterations));
+        assert_eq!(stats.traces_used, stats.traces_budget);
+        assert!(!stats.baseline_stopped_early);
+    }
+
+    #[test]
+    fn adaptive_cognition_spends_at_most_the_budget_and_stays_deterministic() {
+        let cfg = PolarisConfig {
+            adaptive: true,
+            max_traces: 2048,
+            ..small_cfg()
+        };
+        let (d1, s1) = run(&cfg);
+        let (d2, s2) = run(&cfg);
+        assert_eq!(s1, s2, "adaptive cognition must be deterministic");
+        assert_eq!(d1, d2);
+        assert!(s1.samples > 0);
+        assert!(s1.traces_used <= s1.traces_budget);
+        // c17's baseline verdict converges well inside a 2048-trace budget.
+        assert!(s1.baseline_stopped_early, "stats: {s1:?}");
+        assert!(s1.traces_used < s1.traces_budget);
     }
 }

@@ -51,8 +51,18 @@ pub struct PolarisConfig {
     pub iterations: usize,
     /// Leakage-reduction ratio counted as a "good" mask (paper: `θr = 0.7`).
     pub theta_r: f64,
-    /// Traces per TVLA class (paper: 10 000).
-    pub traces: usize,
+    /// Trace *budget* per TVLA class (paper: 10 000). Non-adaptive
+    /// campaigns consume it fully; with [`PolarisConfig::adaptive`] the
+    /// sequential stopping rule may terminate a campaign earlier.
+    pub max_traces: usize,
+    /// Early-stop campaigns once every gate's leakage verdict has converged
+    /// (round-checkpointed sequential stopping; see
+    /// [`polaris_tvla::sequential`]).
+    pub adaptive: bool,
+    /// Confidence level of the adaptive clean verdict: the per-gate
+    /// false-clean budget `α = 1 − confidence` is alpha-spent across the
+    /// campaign's checkpoints.
+    pub confidence: f64,
     /// Clock cycles per trace for sequential designs.
     pub cycles: usize,
     /// Use the unit-delay glitch-aware switching model for every campaign
@@ -86,7 +96,9 @@ impl Default for PolarisConfig {
             locality: 7,
             iterations: 12,
             theta_r: 0.7,
-            traces: 600,
+            max_traces: 600,
+            adaptive: false,
+            confidence: 0.95,
             cycles: 1,
             glitch_model: false,
             model: ModelKind::Adaboost,
@@ -108,7 +120,7 @@ impl PolarisConfig {
         PolarisConfig {
             msize: 200,
             iterations: 100,
-            traces: 10_000,
+            max_traces: 10_000,
             seed,
             ..Default::default()
         }
@@ -120,7 +132,7 @@ impl PolarisConfig {
         PolarisConfig {
             msize: 25,
             iterations: 4,
-            traces: 200,
+            max_traces: 200,
             n_estimators: 30,
             shap_background: 16,
             seed,
@@ -133,6 +145,13 @@ impl PolarisConfig {
     /// (`Parallelism::new` already treats 0 as "all cores").
     pub fn parallelism(&self) -> Parallelism {
         Parallelism::new(self.threads)
+    }
+
+    /// The sequential stopping rule parameters implied by
+    /// [`PolarisConfig::confidence`] (only consulted when
+    /// [`PolarisConfig::adaptive`] is set).
+    pub fn sequential_config(&self) -> polaris_tvla::SequentialConfig {
+        polaris_tvla::SequentialConfig::with_confidence(self.confidence)
     }
 }
 
@@ -154,7 +173,16 @@ mod tests {
         let c = PolarisConfig::paper_profile(1);
         assert_eq!(c.msize, 200);
         assert_eq!(c.iterations, 100);
-        assert_eq!(c.traces, 10_000);
+        assert_eq!(c.max_traces, 10_000);
+    }
+
+    #[test]
+    fn adaptive_defaults_off_with_sane_confidence() {
+        let c = PolarisConfig::default();
+        assert!(!c.adaptive, "adaptive stopping is opt-in");
+        let s = c.sequential_config();
+        assert!((s.alpha - (1.0 - c.confidence)).abs() < 1e-12);
+        assert_eq!(s.threshold, polaris_tvla::TVLA_THRESHOLD);
     }
 
     #[test]

@@ -43,6 +43,17 @@ pub struct MitigationReport {
     /// Seconds spent in the two reporting TVLA campaigns (not part of the
     /// mitigation path).
     pub assessment_time_s: f64,
+    /// Fixed-class traces each reporting campaign actually consumed (equal
+    /// to the configured budget unless adaptive stopping kicked in; the
+    /// after-campaign is pinned to the before-campaign's counts so the
+    /// before/after totals compare like for like).
+    pub campaign_fixed_traces: usize,
+    /// Random-class traces each reporting campaign actually consumed.
+    pub campaign_random_traces: usize,
+    /// Traces per class the configuration budgeted.
+    pub campaign_budget_per_class: usize,
+    /// True when the baseline assessment stopped before its budget.
+    pub stopped_early: bool,
 }
 
 impl MitigationReport {
@@ -98,18 +109,36 @@ pub fn polaris_mask(
     power: &PowerModel,
     msize: usize,
 ) -> Result<MitigationReport, PolarisError> {
-    let mut campaign = CampaignConfig::new(config.traces, config.traces, config.seed ^ 0xA55E55)
-        .with_cycles(config.cycles);
+    let mut campaign =
+        CampaignConfig::new(config.max_traces, config.max_traces, config.seed ^ 0xA55E55)
+            .with_cycles(config.cycles);
     if config.glitch_model {
         campaign = campaign.with_glitches();
     }
 
     // Reporting: baseline leakage (outside the mitigation path). The
     // campaigns run on the sharded parallel engine — the thread knob never
-    // changes the statistics.
+    // changes the statistics. In adaptive mode the baseline stops once its
+    // verdict converges and the after-campaign is pinned to the same trace
+    // counts, so the before/after comparison stays like for like.
     let par = config.parallelism();
     let assess_start = Instant::now();
-    let before_map = polaris_tvla::assess_parallel(design, power, &campaign, par)?;
+    let mut stopped_early = false;
+    let before_map = if config.adaptive {
+        let a = polaris_tvla::assess_adaptive(
+            design,
+            power,
+            &campaign,
+            par,
+            &config.sequential_config(),
+        )?;
+        campaign.n_fixed = a.stats.fixed_traces;
+        campaign.n_random = a.stats.random_traces;
+        stopped_early = a.stats.stopped_early;
+        a.leakage
+    } else {
+        polaris_tvla::assess_parallel(design, power, &campaign, par)?
+    };
     let before = before_map.summarize(design);
     let mut assessment_time_s = assess_start.elapsed().as_secs_f64();
 
@@ -148,6 +177,10 @@ pub fn polaris_mask(
         scores,
         mitigation_time_s,
         assessment_time_s,
+        campaign_fixed_traces: campaign.n_fixed,
+        campaign_random_traces: campaign.n_random,
+        campaign_budget_per_class: config.max_traces,
+        stopped_early,
     })
 }
 

@@ -30,7 +30,7 @@ pub fn save_trained(trained: &TrainedPolaris) -> String {
         cfg.locality,
         cfg.iterations,
         cfg.theta_r,
-        cfg.traces,
+        cfg.max_traces,
         cfg.cycles,
         cfg.learning_rate,
         cfg.n_estimators,
@@ -38,6 +38,12 @@ pub fn save_trained(trained: &TrainedPolaris) -> String {
         cfg.seed,
     );
     let _ = writeln!(out, "glitch {}", u8::from(cfg.glitch_model));
+    let _ = writeln!(
+        out,
+        "adaptive {} {}",
+        u8::from(cfg.adaptive),
+        cfg.confidence
+    );
 
     // Feature names (one per line; may contain spaces).
     let names = trained.dataset().feature_names();
@@ -122,7 +128,7 @@ pub fn load_trained(text: &str) -> Result<TrainedPolaris, PolarisError> {
         locality: field("locality")? as usize,
         iterations: field("iterations")? as usize,
         theta_r: field("theta_r")?,
-        traces: field("traces")? as usize,
+        max_traces: field("max_traces")? as usize,
         cycles: (field("cycles")? as usize).max(1),
         learning_rate: field("learning_rate")?,
         n_estimators: field("n_estimators")? as usize,
@@ -133,8 +139,21 @@ pub fn load_trained(text: &str) -> Result<TrainedPolaris, PolarisError> {
     let (_, glitch_line) = lines.next_line().map_err(perr)?;
     config.glitch_model = glitch_line == "glitch 1";
 
+    // Adaptive-stopping knobs: an optional line (bundles written before the
+    // adaptive engine lack it and keep the config defaults).
+    let (mut ln, mut fline) = lines.next_line().map_err(perr)?;
+    if let Some(rest) = fline.strip_prefix("adaptive ") {
+        let mut p = rest.split_whitespace();
+        config.adaptive = p.next() == Some("1");
+        if let Some(c) = p.next().and_then(|v| v.parse::<f64>().ok()) {
+            if c > 0.0 && c < 1.0 {
+                config.confidence = c;
+            }
+        }
+        (ln, fline) = lines.next_line().map_err(perr)?;
+    }
+
     // Feature names.
-    let (ln, fline) = lines.next_line().map_err(perr)?;
     let n_features: usize = fline
         .strip_prefix("features ")
         .and_then(|s| s.parse().ok())
@@ -285,7 +304,7 @@ mod tests {
         let config = PolarisConfig {
             msize: 8,
             iterations: 3,
-            traces: 150,
+            max_traces: 150,
             n_estimators: 15,
             learning_rate: 0.5,
             shap_background: 12,
@@ -347,6 +366,27 @@ mod tests {
         for (va, vb) in a.values.iter().zip(&b.values) {
             assert!((va - vb).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn adaptive_knobs_round_trip_and_legacy_bundles_load() {
+        let original = trained();
+        let text = save_trained(&original);
+        assert!(text.contains("\nadaptive 0 0.95\n"));
+        // Adaptive knobs round-trip.
+        let toggled = text.replacen("adaptive 0 0.95", "adaptive 1 0.99", 1);
+        let loaded = load_trained(&toggled).expect("bundle loads");
+        assert!(loaded.config().adaptive);
+        assert!((loaded.config().confidence - 0.99).abs() < 1e-12);
+        // A legacy bundle without the adaptive line keeps the defaults.
+        let legacy: String = text
+            .lines()
+            .filter(|l| !l.starts_with("adaptive "))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let loaded = load_trained(&legacy).expect("legacy bundle loads");
+        assert!(!loaded.config().adaptive);
+        assert!((loaded.config().confidence - 0.95).abs() < 1e-12);
     }
 
     #[test]

@@ -213,6 +213,20 @@ impl TrainedPolaris {
         self.config.threads = threads;
     }
 
+    /// Overrides the adaptive-stopping knobs (e.g. from CLI `--adaptive` /
+    /// `--confidence` flags): assessment campaigns may then stop before the
+    /// `max_traces` budget once every gate's verdict has converged.
+    pub fn set_adaptive(&mut self, adaptive: bool, confidence: f64) {
+        self.config.adaptive = adaptive;
+        self.config.confidence = confidence;
+    }
+
+    /// Overrides the per-class trace budget of the reporting campaigns
+    /// (e.g. from a CLI `--traces` flag).
+    pub fn set_max_traces(&mut self, max_traces: usize) {
+        self.config.max_traces = max_traces;
+    }
+
     /// The trained classifier.
     pub fn model(&self) -> &PolarisModel {
         &self.model
@@ -272,19 +286,36 @@ impl TrainedPolaris {
             MaskBudget::CellFraction(f) => ((maskable as f64) * f.clamp(0.0, 1.0)).round() as usize,
             MaskBudget::LeakyFraction(f) => {
                 // Leaky-count baseline (shared experiment context; the
-                // mitigation path itself stays TVLA-free).
-                let mut campaign =
-                    CampaignConfig::new(self.config.traces, self.config.traces, self.config.seed)
-                        .with_cycles(self.config.cycles);
+                // mitigation path itself stays TVLA-free). A leaky *count*
+                // is a verdict, not a magnitude — exactly what adaptive
+                // stopping preserves — so the converged early stop is used
+                // whenever the configuration enables it.
+                let mut campaign = CampaignConfig::new(
+                    self.config.max_traces,
+                    self.config.max_traces,
+                    self.config.seed,
+                )
+                .with_cycles(self.config.cycles);
                 if self.config.glitch_model {
                     campaign = campaign.with_glitches();
                 }
-                let leakage = polaris_tvla::assess_parallel(
-                    &normalized,
-                    power,
-                    &campaign,
-                    self.config.parallelism(),
-                )?;
+                let leakage = if self.config.adaptive {
+                    polaris_tvla::assess_adaptive(
+                        &normalized,
+                        power,
+                        &campaign,
+                        self.config.parallelism(),
+                        &self.config.sequential_config(),
+                    )?
+                    .leakage
+                } else {
+                    polaris_tvla::assess_parallel(
+                        &normalized,
+                        power,
+                        &campaign,
+                        self.config.parallelism(),
+                    )?
+                };
                 let leaky = leakage.summarize(&normalized).leaky_cells;
                 (((leaky as f64) * f.clamp(0.0, 1.0)).round() as usize).min(maskable)
             }
@@ -310,7 +341,7 @@ mod tests {
         let config = PolarisConfig {
             msize: 8,
             iterations: 4,
-            traces: 200,
+            max_traces: 200,
             n_estimators: 20,
             learning_rate: 0.5,
             // Seed pinned so the tiny cognition run yields a holdout with

@@ -69,10 +69,13 @@ endmodule";
 /// Builds one of the ISCAS-85-like training designs by name.
 ///
 /// `scale` multiplies the datapath widths/depths; `seed` drives the random
-/// glue-logic clouds. Returns `None` for unknown names.
+/// glue-logic clouds. Returns `None` for unknown names. `"c17"` resolves to
+/// the real (fixed-size) benchmark, ignoring `scale`/`seed` — handy for
+/// smoke harnesses that take a design name.
 pub fn iscas_like(name: &str, scale: u32, seed: u64) -> Option<Netlist> {
     let s = scale.max(1) as usize;
     Some(match name {
+        "c17" => iscas_c17(),
         "c432" => interrupt_controller("c432", 9 * s, seed),
         "c499" => ecc_design("c499", 8 * s, seed),
         "c880" => alu_design("c880", 8 * s, seed, false),

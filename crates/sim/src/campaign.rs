@@ -20,10 +20,25 @@
 //! * the trace space of each population is cut into a fixed grid of
 //!   [`TRACES_PER_SHARD`]-trace shards (the grid depends only on the
 //!   configuration, never on the worker count);
-//! * [`run_campaign_parallel`] hands shards to `std::thread::scope` workers,
-//!   each of which owns a private [`MergeableSink`];
-//! * per-shard sinks are folded **in shard order** at the barrier, so the
-//!   result is bit-identical at any thread count (1, 2, 8, …).
+//! * the grid is walked in **rounds**: the engine interleaves the two
+//!   populations' shards (F₀ R₀ F₁ R₁ …) and executes them
+//!   `shards_per_round` at a time on `std::thread::scope` workers, each of
+//!   which owns a private [`MergeableSink`];
+//! * per-shard sinks are folded **in shard order** at every round
+//!   checkpoint, so the result is bit-identical at any thread count
+//!   (1, 2, 8, …).
+//!
+//! # Round checkpoints and early stopping
+//!
+//! After each round the folded accumulator is handed to a [`StoppingRule`]
+//! (see [`run_campaign_adaptive`]); a rule that detects a converged verdict
+//! terminates the trace stream early. Because the interleaved walk consumes
+//! each population's shards in ascending trace order, an early-stopped run
+//! is *the exact prefix* of the full run: its sink is byte-identical to a
+//! full campaign re-configured to the stopped trace counts, and — since the
+//! rule only ever sees checkpoint-folded state — the stop round itself is
+//! independent of the worker count. [`run_campaign_parallel`] is the
+//! never-stopping special case of the same engine.
 //!
 //! Samples are streamed to a [`TraceSink`] in 64-lane batches so leakage
 //! assessment can run in constant memory; [`GateSamples`] is the dense
@@ -45,6 +60,11 @@ pub const BATCH_LANES: usize = 64;
 /// pure function of the campaign configuration, so results do not depend on
 /// how many workers process it.
 pub const TRACES_PER_SHARD: usize = 256;
+
+/// Default shards per round of the checkpointed engine: 4 shards (2 per
+/// population) between stopping-rule evaluations, i.e. a checkpoint every
+/// `2 × TRACES_PER_SHARD` traces per class.
+pub const DEFAULT_SHARDS_PER_ROUND: usize = 4;
 
 /// Which TVLA population a batch of traces belongs to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -495,20 +515,42 @@ struct ShardSpec {
     count: usize,
 }
 
-/// The campaign's fixed work decomposition: [`TRACES_PER_SHARD`]-trace
-/// shards of the fixed class followed by those of the random class. A pure
-/// function of the configuration — never of the worker count.
-fn shard_grid(config: &CampaignConfig) -> Vec<ShardSpec> {
+/// One population's [`TRACES_PER_SHARD`]-trace shard decomposition, in
+/// ascending trace order.
+fn population_shards(pop: Population, n: usize) -> Vec<ShardSpec> {
     let mut shards = Vec::new();
-    for (pop, n) in [
-        (Population::Fixed, config.n_fixed),
-        (Population::Random, config.n_random),
-    ] {
-        let mut start = 0usize;
-        while start < n {
-            let count = (n - start).min(TRACES_PER_SHARD);
-            shards.push(ShardSpec { pop, start, count });
-            start += count;
+    let mut start = 0usize;
+    while start < n {
+        let count = (n - start).min(TRACES_PER_SHARD);
+        shards.push(ShardSpec { pop, start, count });
+        start += count;
+    }
+    shards
+}
+
+/// The campaign's fixed work decomposition, interleaved across populations
+/// (F₀ R₀ F₁ R₁ …, trailing extras of the longer class last). A pure
+/// function of the configuration — never of the worker count.
+///
+/// Interleaving keeps the two classes balanced at every round checkpoint —
+/// what a sequential stopping rule needs — while each population's shards
+/// are still consumed in ascending trace order. Because [`TraceSink`]
+/// batches are keyed by population, every sink whose populations accumulate
+/// independently (all the workspace's mergeable sinks do) folds to exactly
+/// the same state as the class-ordered walk.
+fn shard_grid(config: &CampaignConfig) -> Vec<ShardSpec> {
+    let fixed = population_shards(Population::Fixed, config.n_fixed);
+    let random = population_shards(Population::Random, config.n_random);
+    let mut shards = Vec::with_capacity(fixed.len() + random.len());
+    let mut f = fixed.into_iter();
+    let mut r = random.into_iter();
+    loop {
+        match (f.next(), r.next()) {
+            (None, None) => break,
+            (a, b) => {
+                shards.extend(a);
+                shards.extend(b);
+            }
         }
     }
     shards
@@ -535,7 +577,10 @@ where
     let mut slots: Vec<Option<T>> = Vec::new();
     slots.resize_with(n_shards, || None);
 
-    if threads <= 1 {
+    // Inline fold path: `Parallelism::sequential()` and single-shard plans
+    // must never pay for a scoped worker spawn — the work runs on the
+    // calling thread (a regression test pins this via thread identity).
+    if threads <= 1 || n_shards <= 1 {
         for (i, slot) in slots.iter_mut().enumerate() {
             *slot = Some(work(i));
         }
@@ -595,12 +640,174 @@ pub fn run_campaign<S: TraceSink>(
     Ok(())
 }
 
+// --- Round checkpoints and sequential stopping ------------------------------
+
+/// Trace-consumption statistics of one (possibly early-stopped) campaign.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CampaignStats {
+    /// Fixed-class traces simulated.
+    pub fixed_traces: usize,
+    /// Random-class traces simulated.
+    pub random_traces: usize,
+    /// Rounds executed before the engine returned.
+    pub rounds: usize,
+    /// Rounds the full shard grid would have taken.
+    pub planned_rounds: usize,
+    /// True when a [`StoppingRule`] terminated the stream before the grid
+    /// was exhausted.
+    pub stopped_early: bool,
+}
+
+impl CampaignStats {
+    /// Total traces simulated across both populations.
+    pub fn traces_used(&self) -> usize {
+        self.fixed_traces + self.random_traces
+    }
+}
+
+/// Result of a round-checkpointed campaign: the folded sink plus the
+/// consumption statistics callers report (`traces_used`, `stopped_early`).
+#[derive(Clone, Debug)]
+pub struct CampaignOutcome<S> {
+    /// The checkpoint-folded sink at the stop (or full-grid) boundary.
+    pub sink: S,
+    /// How many traces/rounds the campaign actually consumed.
+    pub stats: CampaignStats,
+}
+
+/// Checkpoint state handed to a [`StoppingRule`] after each round: the
+/// folded accumulator so far plus the engine's position in the shard grid.
+#[derive(Debug)]
+pub struct Checkpoint<'a, S> {
+    /// The running accumulator, folded in shard order over every shard
+    /// executed so far. Bit-identical at any thread count.
+    pub sink: &'a S,
+    /// 1-based index of the round that just completed.
+    pub round: usize,
+    /// Total rounds in the full plan.
+    pub planned_rounds: usize,
+    /// Fixed-class traces consumed so far.
+    pub fixed_traces: usize,
+    /// Random-class traces consumed so far.
+    pub random_traces: usize,
+    /// Fixed-class trace budget of the full campaign.
+    pub planned_fixed: usize,
+    /// Random-class trace budget of the full campaign.
+    pub planned_random: usize,
+}
+
+impl<S> Checkpoint<'_, S> {
+    /// Fraction of the total trace budget consumed (the *information
+    /// fraction* of sequential analysis), in `(0, 1]`.
+    pub fn information_fraction(&self) -> f64 {
+        let planned = self.planned_fixed + self.planned_random;
+        if planned == 0 {
+            1.0
+        } else {
+            (self.fixed_traces + self.random_traces) as f64 / planned as f64
+        }
+    }
+}
+
+/// A sequential-analysis stopping rule evaluated at round checkpoints.
+///
+/// `should_stop` sees only checkpoint-folded state, which is bit-identical
+/// at any worker count — so the stop decision (and therefore the stop round)
+/// never depends on the thread budget. Rules may keep per-look state
+/// (alpha-spending, stability streaks); the engine calls them on one thread,
+/// in round order, and never after returning `true`.
+pub trait StoppingRule<S> {
+    /// Returns `true` to terminate the trace stream at this checkpoint.
+    fn should_stop(&mut self, checkpoint: &Checkpoint<'_, S>) -> bool;
+}
+
+/// The never-stopping rule: runs the full shard grid.
+/// [`run_campaign_parallel`] is `run_campaign_adaptive` with this rule.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NeverStop;
+
+impl<S> StoppingRule<S> for NeverStop {
+    fn should_stop(&mut self, _checkpoint: &Checkpoint<'_, S>) -> bool {
+        false
+    }
+}
+
+/// The shared round-checkpointed driver: executes the interleaved shard
+/// grid `shards_per_round` shards at a time, folds each round's private
+/// sinks **in shard order** into the running accumulator, and consults
+/// `rule` at every round boundary.
+fn run_campaign_rounds<S, R>(
+    netlist: &Netlist,
+    model: &PowerModel,
+    config: &CampaignConfig,
+    parallelism: Parallelism,
+    shards_per_round: usize,
+    rule: &mut R,
+) -> Result<CampaignOutcome<S>, NetlistError>
+where
+    S: MergeableSink + Default,
+    R: StoppingRule<S>,
+{
+    let engine = Engine::new(netlist, model, config)?;
+    let shards = shard_grid(config);
+    let shards_per_round = shards_per_round.max(1);
+    let planned_rounds = shards.len().div_ceil(shards_per_round);
+
+    let mut acc: Option<S> = None;
+    let mut stats = CampaignStats {
+        planned_rounds,
+        ..CampaignStats::default()
+    };
+    for chunk in shards.chunks(shards_per_round) {
+        let sinks = run_sharded(chunk.len(), parallelism, |i| {
+            let shard = chunk[i];
+            let mut sink = S::default();
+            engine.run_range(shard.pop, shard.start, shard.count, &mut sink);
+            sink
+        });
+        // Deterministic checkpoint fold: strictly ascending shard order.
+        for (shard, sink) in chunk.iter().zip(sinks) {
+            match &mut acc {
+                None => acc = Some(sink),
+                Some(a) => a.merge(sink),
+            }
+            match shard.pop {
+                Population::Fixed => stats.fixed_traces += shard.count,
+                Population::Random => stats.random_traces += shard.count,
+            }
+        }
+        stats.rounds += 1;
+        if stats.rounds < planned_rounds {
+            let checkpoint = Checkpoint {
+                sink: acc.as_ref().expect("non-empty round folds a sink"),
+                round: stats.rounds,
+                planned_rounds,
+                fixed_traces: stats.fixed_traces,
+                random_traces: stats.random_traces,
+                planned_fixed: config.n_fixed,
+                planned_random: config.n_random,
+            };
+            if rule.should_stop(&checkpoint) {
+                stats.stopped_early = true;
+                break;
+            }
+        }
+    }
+    Ok(CampaignOutcome {
+        sink: acc.unwrap_or_default(),
+        stats,
+    })
+}
+
 /// Runs a campaign across `parallelism` worker threads, each owning a
 /// private sink, and folds the per-shard sinks in shard order.
 ///
 /// The result is **bit-identical at any thread count**: the shard grid and
 /// the merge order are pure functions of `config`, and every shard's random
 /// streams are counter-derived from `(seed, population, trace index)`.
+/// This is the never-stopping case of the round-checkpointed engine (see
+/// [`run_campaign_adaptive`]), executed as one round so no checkpoint work
+/// is paid.
 ///
 /// # Errors
 ///
@@ -615,24 +822,55 @@ pub fn run_campaign_parallel<S>(
 where
     S: MergeableSink + Default,
 {
-    let engine = Engine::new(netlist, model, config)?;
-    let shards = shard_grid(config);
-    let sinks = run_sharded(shards.len(), parallelism, |i| {
-        let shard = shards[i];
-        let mut sink = S::default();
-        engine.run_range(shard.pop, shard.start, shard.count, &mut sink);
-        sink
-    });
+    let outcome = run_campaign_rounds(
+        netlist,
+        model,
+        config,
+        parallelism,
+        usize::MAX,
+        &mut NeverStop,
+    )?;
+    Ok(outcome.sink)
+}
 
-    // Deterministic fold: strictly ascending shard order.
-    let mut acc: Option<S> = None;
-    for sink in sinks {
-        match &mut acc {
-            None => acc = Some(sink),
-            Some(a) => a.merge(sink),
-        }
-    }
-    Ok(acc.unwrap_or_default())
+/// Runs a campaign with round-checkpointed early stopping: after every
+/// `shards_per_round` shards (see [`DEFAULT_SHARDS_PER_ROUND`]) the folded
+/// accumulator is handed to `rule`, and the trace stream terminates once the
+/// rule reports convergence.
+///
+/// `shards_per_round` also bounds per-round worker concurrency — the rule
+/// must observe the folded round before the next one is scheduled, so at
+/// most `min(threads, shards_per_round)` shards run at once. A thread
+/// budget above `shards_per_round` buys nothing; raise the round size
+/// instead (a configuration change, so the determinism contract is
+/// unaffected — the stop round never depends on the thread count).
+///
+/// # Determinism contract
+///
+/// The early-stopped result is **byte-identical at any thread count** (the
+/// rule only sees checkpoint-folded state, so the stop round is too), and
+/// equals the *prefix* of a full non-adaptive run truncated at the same
+/// round boundary: re-running [`run_campaign_parallel`] with the returned
+/// `stats.fixed_traces`/`stats.random_traces` as the class budgets
+/// reproduces the stopped sink bit for bit.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] if the design cannot be
+/// levelized.
+pub fn run_campaign_adaptive<S, R>(
+    netlist: &Netlist,
+    model: &PowerModel,
+    config: &CampaignConfig,
+    parallelism: Parallelism,
+    shards_per_round: usize,
+    rule: &mut R,
+) -> Result<CampaignOutcome<S>, NetlistError>
+where
+    S: MergeableSink + Default,
+    R: StoppingRule<S>,
+{
+    run_campaign_rounds(netlist, model, config, parallelism, shards_per_round, rule)
 }
 
 /// Convenience wrapper collecting dense [`GateSamples`] (preallocated from
@@ -805,6 +1043,170 @@ mod tests {
         assert!(shards
             .iter()
             .all(|s| s.start % BATCH_LANES == 0 && s.count <= TRACES_PER_SHARD));
+    }
+
+    #[test]
+    fn shard_grid_interleaves_populations_in_ascending_trace_order() {
+        let cfg = CampaignConfig::new(TRACES_PER_SHARD * 3, TRACES_PER_SHARD + 1, 1);
+        let shards = shard_grid(&cfg);
+        // F0 R0 F1 R1 F2 — trailing fixed extras after the shorter class.
+        let pops: Vec<Population> = shards.iter().map(|s| s.pop).collect();
+        assert_eq!(
+            pops,
+            vec![
+                Population::Fixed,
+                Population::Random,
+                Population::Fixed,
+                Population::Random,
+                Population::Fixed,
+            ]
+        );
+        // Each population's shards appear in ascending trace order.
+        for pop in [Population::Fixed, Population::Random] {
+            let starts: Vec<usize> = shards
+                .iter()
+                .filter(|s| s.pop == pop)
+                .map(|s| s.start)
+                .collect();
+            assert!(
+                starts.windows(2).all(|w| w[0] < w[1]),
+                "{pop:?}: {starts:?}"
+            );
+        }
+    }
+
+    /// Test rule: stop unconditionally after a fixed number of rounds.
+    struct StopAfter(usize);
+
+    impl<S> StoppingRule<S> for StopAfter {
+        fn should_stop(&mut self, c: &Checkpoint<'_, S>) -> bool {
+            c.round >= self.0
+        }
+    }
+
+    #[test]
+    fn never_stop_rounds_match_single_round_fold() {
+        // Checkpoint granularity is pure scheduling: folding in rounds of 2
+        // shards produces the same merge sequence (and bytes) as one round.
+        let n = generators::iscas_c17();
+        let model = PowerModel::default();
+        let cfg = CampaignConfig::new(1000, 900, 13);
+        let whole: GateSamples =
+            run_campaign_parallel(&n, &model, &cfg, Parallelism::new(2)).unwrap();
+        let rounds: CampaignOutcome<GateSamples> =
+            run_campaign_adaptive(&n, &model, &cfg, Parallelism::new(2), 2, &mut NeverStop)
+                .unwrap();
+        assert!(!rounds.stats.stopped_early);
+        assert_eq!(rounds.stats.fixed_traces, 1000);
+        assert_eq!(rounds.stats.random_traces, 900);
+        for id in n.ids() {
+            assert_eq!(whole.fixed(id), rounds.sink.fixed(id));
+            assert_eq!(whole.random(id), rounds.sink.random(id));
+        }
+    }
+
+    #[test]
+    fn early_stop_is_the_exact_prefix_of_the_full_run() {
+        let n = generators::iscas_c17();
+        let model = PowerModel::default();
+        let cfg = CampaignConfig::new(1200, 1200, 21);
+        let stopped: CampaignOutcome<GateSamples> =
+            run_campaign_adaptive(&n, &model, &cfg, Parallelism::new(3), 2, &mut StopAfter(2))
+                .unwrap();
+        assert!(stopped.stats.stopped_early);
+        assert_eq!(stopped.stats.rounds, 2);
+        // 2 rounds × 2 shards = F0 R0 F1 R1 → one full shard per class each.
+        assert_eq!(stopped.stats.fixed_traces, 2 * TRACES_PER_SHARD);
+        assert_eq!(stopped.stats.random_traces, 2 * TRACES_PER_SHARD);
+        // The stopped sink equals the full run truncated at the boundary…
+        let full = collect_gate_samples(&n, &model, &cfg).unwrap();
+        for id in n.ids() {
+            assert_eq!(
+                stopped.sink.fixed(id),
+                &full.fixed(id)[..stopped.stats.fixed_traces]
+            );
+            assert_eq!(
+                stopped.sink.random(id),
+                &full.random(id)[..stopped.stats.random_traces]
+            );
+        }
+        // …and a campaign re-configured to the stopped budgets reproduces it.
+        let prefix_cfg = CampaignConfig::new(
+            stopped.stats.fixed_traces,
+            stopped.stats.random_traces,
+            cfg.seed,
+        );
+        let prefix = collect_gate_samples(&n, &model, &prefix_cfg).unwrap();
+        for id in n.ids() {
+            assert_eq!(stopped.sink.fixed(id), prefix.fixed(id));
+            assert_eq!(stopped.sink.random(id), prefix.random(id));
+        }
+    }
+
+    #[test]
+    fn stopping_rule_sees_balanced_checkpoints() {
+        struct Recorder(Vec<(usize, usize, usize)>);
+        impl<S> StoppingRule<S> for Recorder {
+            fn should_stop(&mut self, c: &Checkpoint<'_, S>) -> bool {
+                self.0.push((c.round, c.fixed_traces, c.random_traces));
+                assert!(c.information_fraction() > 0.0 && c.information_fraction() <= 1.0);
+                false
+            }
+        }
+        let n = generators::iscas_c17();
+        let cfg = CampaignConfig::new(1024, 1024, 7);
+        let mut rec = Recorder(Vec::new());
+        let outcome: CampaignOutcome<WelchProbe> = run_campaign_adaptive(
+            &n,
+            &PowerModel::default(),
+            &cfg,
+            Parallelism::sequential(),
+            2,
+            &mut rec,
+        )
+        .unwrap();
+        // 8 shards, 2 per round → 4 rounds; the last round has no checkpoint.
+        assert_eq!(outcome.stats.rounds, 4);
+        assert_eq!(rec.0, vec![(1, 256, 256), (2, 512, 512), (3, 768, 768)]);
+    }
+
+    /// Minimal mergeable sink for scheduler-focused tests.
+    #[derive(Default)]
+    struct WelchProbe {
+        fixed: usize,
+        random: usize,
+    }
+
+    impl TraceSink for WelchProbe {
+        fn record_batch(&mut self, pop: Population, _e: &[f64], _g: usize, lanes: usize) {
+            match pop {
+                Population::Fixed => self.fixed += lanes,
+                Population::Random => self.random += lanes,
+            }
+        }
+    }
+
+    impl MergeableSink for WelchProbe {
+        fn merge(&mut self, other: Self) {
+            self.fixed += other.fixed;
+            self.random += other.random;
+        }
+    }
+
+    #[test]
+    fn sequential_run_sharded_stays_on_the_calling_thread() {
+        // Regression: neither `Parallelism::sequential()` nor a single-shard
+        // plan may spawn a scoped worker — the inline fold path must run the
+        // work on the calling thread.
+        let caller = std::thread::current().id();
+        let ids = run_sharded(6, Parallelism::sequential(), |_| {
+            std::thread::current().id()
+        });
+        assert!(ids.iter().all(|&id| id == caller), "sequential run spawned");
+        let ids = run_sharded(1, Parallelism::new(8), |_| std::thread::current().id());
+        assert_eq!(ids, vec![caller], "single-shard run spawned");
+        let empty = run_sharded(0, Parallelism::new(8), |_| std::thread::current().id());
+        assert!(empty.is_empty());
     }
 
     /// Sink that records the lane count of every batch it receives.

@@ -18,6 +18,10 @@
 //! [`campaign::run_campaign_parallel`] can split a campaign across worker
 //! threads — each owning a private [`MergeableSink`] — and fold the shards
 //! back deterministically. Results are bit-identical at any thread count.
+//! The shard grid is walked in *rounds*: [`campaign::run_campaign_adaptive`]
+//! evaluates a [`StoppingRule`] on the checkpoint-folded state after each
+//! round and terminates the trace stream once the leakage verdict has
+//! converged — an early-stopped run is the exact prefix of the full run.
 //!
 //! # Example
 //!
@@ -49,8 +53,9 @@ pub mod logic;
 pub mod power;
 
 pub use campaign::{
-    collect_gate_samples, collect_gate_samples_parallel, run_campaign, run_campaign_parallel,
-    CampaignConfig, DelayModel, GateSamples, MergeableSink, Parallelism, Population, TraceSink,
+    collect_gate_samples, collect_gate_samples_parallel, run_campaign, run_campaign_adaptive,
+    run_campaign_parallel, CampaignConfig, CampaignOutcome, CampaignStats, Checkpoint, DelayModel,
+    GateSamples, MergeableSink, NeverStop, Parallelism, Population, StoppingRule, TraceSink,
 };
 pub use logic::{SimState, Simulator};
 pub use power::PowerModel;

@@ -192,6 +192,33 @@ impl GateLeakage {
         self.results.iter().map(|r| r.t.abs()).fold(0.0, f64::max)
     }
 
+    /// Sequential-convergence state of the whole map at a checkpoint with
+    /// confidence margin `margin` (see [`WelchResult::resolution`]): counts
+    /// of gates resolved leaky, resolved clean, and still undecided.
+    pub fn convergence(&self, threshold: f64, margin: f64) -> ConvergenceSummary {
+        self.convergence_of((0..self.results.len()).map(GateId::new), threshold, margin)
+    }
+
+    /// [`GateLeakage::convergence`] restricted to a subset of gates —
+    /// typically the netlist's cells, so the stop decision is keyed to the
+    /// same verdict [`GateLeakage::summarize`] reports (inputs, constants
+    /// and flops carry no maskable leakage and should not hold a campaign
+    /// open).
+    pub fn convergence_of<I>(&self, gates: I, threshold: f64, margin: f64) -> ConvergenceSummary
+    where
+        I: IntoIterator<Item = GateId>,
+    {
+        let mut s = ConvergenceSummary::default();
+        for id in gates {
+            match self.results[id.index()].resolution(threshold, margin) {
+                Some(true) => s.leaky += 1,
+                Some(false) => s.clean += 1,
+                None => s.unresolved += 1,
+            }
+        }
+        s
+    }
+
     /// Summary restricted to the netlist's combinational cells (inputs,
     /// constants and flops carry no maskable leakage).
     pub fn summarize(&self, netlist: &Netlist) -> LeakageSummary {
@@ -218,6 +245,27 @@ impl GateLeakage {
             max_abs_t: max,
             leaky_cells: leaky,
         }
+    }
+}
+
+/// Per-checkpoint convergence census of a leakage map (sequential-stopping
+/// state): every gate is either resolved (leaky / clean with confidence) or
+/// still undecided at the current trace count.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConvergenceSummary {
+    /// Gates whose `|t|` exceeds the leak threshold.
+    pub leaky: usize,
+    /// Gates confidently below the threshold (`|t| + margin ≤ threshold`).
+    pub clean: usize,
+    /// Gates in the undecided band.
+    pub unresolved: usize,
+}
+
+impl ConvergenceSummary {
+    /// True when every gate's verdict is resolved — the stopping condition
+    /// of the adaptive engine.
+    pub fn is_converged(&self) -> bool {
+        self.unresolved == 0
     }
 }
 

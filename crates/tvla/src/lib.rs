@@ -12,6 +12,10 @@
 //!   used by Algorithms 1–2 of the paper and by the VALIANT baseline,
 //!   including the ±4.5 leaky-gate threshold and second-order (centered
 //!   square) assessment.
+//! * [`sequential`] — adaptive sequential stopping: an O'Brien–Fleming
+//!   alpha-spending rule evaluated at the parallel engine's round
+//!   checkpoints, terminating a campaign once every gate's verdict has
+//!   converged ([`assess_adaptive`]).
 //!
 //! # Example
 //!
@@ -34,16 +38,18 @@ pub mod bivariate;
 pub mod cpa;
 pub mod gate_leakage;
 pub mod moments;
+pub mod sequential;
 pub mod special;
 pub mod waveform;
 pub mod welch;
 
 pub use cpa::{run_cpa, run_cpa_parallel, CorrelationAccumulator, CpaAccumulator};
 pub use gate_leakage::{
-    assess, assess_order2, assess_order2_parallel, assess_parallel, GateLeakage, LeakageSummary,
-    WelchAccumulator,
+    assess, assess_order2, assess_order2_parallel, assess_parallel, ConvergenceSummary,
+    GateLeakage, LeakageSummary, WelchAccumulator,
 };
 pub use moments::StreamingMoments;
+pub use sequential::{assess_adaptive, AdaptiveAssessment, SequentialConfig, SequentialStopping};
 pub use welch::{welch_t, WelchResult};
 
 /// The conventional TVLA distinguishability threshold on `|t|` (±4.5, giving

@@ -1,5 +1,8 @@
-//! Special functions needed for exact t-test p-values: log-gamma and the
-//! regularized incomplete beta function.
+//! Special functions needed for exact t-test p-values and sequential
+//! boundaries: log-gamma, the regularized incomplete beta function, the
+//! complementary error function with the normal CDF/quantile built on it,
+//! and the O'Brien–Fleming alpha-spending boundaries used by the adaptive
+//! campaign engine's repeated-look correction.
 //!
 //! Implemented from the classic Lanczos / continued-fraction formulations so
 //! the crate has no numeric dependencies.
@@ -129,6 +132,204 @@ pub fn student_t_two_sided_p(t: f64, dof: f64) -> f64 {
     betai(dof / 2.0, 0.5, x)
 }
 
+// --- Normal distribution ----------------------------------------------------
+
+/// Regularized lower incomplete gamma `P(a, x)` by series expansion
+/// (converges fast for `x < a + 1`).
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..500 {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * 1e-16 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Regularized upper incomplete gamma `Q(a, x)` by Lentz continued fraction
+/// (converges fast for `x >= a + 1`).
+fn gamma_q_cf(a: f64, x: f64) -> f64 {
+    const FPMIN: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / FPMIN;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = b + an / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-16 {
+            break;
+        }
+    }
+    h * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Complementary error function `erfc(x)` to near machine precision via the
+/// regularized incomplete gamma identities `erf(x) = P(1/2, x²)`,
+/// `erfc(x) = Q(1/2, x²)`.
+pub fn erfc(x: f64) -> f64 {
+    if x < 0.0 {
+        return 2.0 - erfc(-x);
+    }
+    if x == 0.0 {
+        return 1.0;
+    }
+    let x2 = x * x;
+    if x2 < 1.5 {
+        1.0 - gamma_p_series(0.5, x2)
+    } else {
+        gamma_q_cf(0.5, x2)
+    }
+}
+
+/// Standard normal CDF `Φ(x)`.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Standard normal upper tail `1 − Φ(x)`, computed without cancellation.
+pub fn normal_sf(x: f64) -> f64 {
+    0.5 * erfc(x / std::f64::consts::SQRT_2)
+}
+
+/// Standard normal quantile `Φ⁻¹(p)`: Acklam's rational approximation
+/// refined by one Halley step against the exact [`normal_cdf`], giving
+/// near machine precision over `(0, 1)`.
+///
+/// # Panics
+///
+/// Panics unless `0 < p < 1`.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "normal_quantile domain is (0, 1)");
+    // Acklam coefficients.
+    const A: [f64; 6] = [
+        -3.969683028665376e1,
+        2.209460984245205e2,
+        -2.759285104469687e2,
+        1.38357751867269e2,
+        -3.066479806614716e1,
+        2.506628277459239,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e1,
+        1.615858368580409e2,
+        -1.556989798598866e2,
+        6.680131188771972e1,
+        -1.328068155288572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-3,
+        -3.223964580411365e-1,
+        -2.400758277161838,
+        -2.549732539343734,
+        4.374664141464968,
+        2.938163982698783,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-3,
+        3.224671290700398e-1,
+        2.445134137142996,
+        3.754408661907416,
+    ];
+    const P_LOW: f64 = 0.02425;
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+    // One Halley refinement step against the exact CDF. Skipped in the far
+    // tails where exp(x²/2) would overflow — Acklam alone is ~1e-9 there.
+    if x.abs() > 8.0 {
+        return x;
+    }
+    let e = normal_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+// --- Sequential (group-sequential) boundaries -------------------------------
+
+/// O'Brien–Fleming-style alpha-spending function: the cumulative two-sided
+/// false-positive probability `α(t)` a sequential test may have spent by
+/// information fraction `t ∈ [0, 1]`,
+/// `α(t) = 2·(1 − Φ(Φ⁻¹(1 − α/2) / √t))`.
+///
+/// Spends almost nothing at early looks and the full `α` at `t = 1`, which
+/// is what makes early checkpoints conservative.
+pub fn alpha_spent_obf(alpha: f64, t: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&alpha), "alpha must lie in [0, 1]");
+    // Below f64 epsilon `1 − α/2` is exactly 1: nothing can ever be spent.
+    if t <= 0.0 || alpha < 1e-15 {
+        return 0.0;
+    }
+    if t >= 1.0 {
+        return alpha;
+    }
+    let q = normal_quantile(1.0 - alpha / 2.0);
+    2.0 * normal_sf(q / t.sqrt())
+}
+
+/// Two-sided z boundary for the look covering information fractions
+/// `(t_prev, t_now]`: the increment `α(t_now) − α(t_prev)` of the
+/// O'Brien–Fleming spending function is allotted to this look, and the
+/// boundary is `Φ⁻¹(1 − spend/2)`.
+///
+/// Returns `f64::INFINITY` when the increment underflows (very early looks
+/// with tight `alpha`) — no confidence-based decision is possible there.
+pub fn sequential_boundary(alpha: f64, t_prev: f64, t_now: f64) -> f64 {
+    let spend = (alpha_spent_obf(alpha, t_now) - alpha_spent_obf(alpha, t_prev)).max(0.0);
+    // Below f64 epsilon `1 − spend/2` rounds to exactly 1: the boundary is
+    // unreachable at this look.
+    if spend < 1e-15 {
+        return f64::INFINITY;
+    }
+    normal_quantile(1.0 - spend / 2.0)
+}
+
+/// Per-look z boundaries of a `looks`-checkpoint sequential test at equal
+/// information fractions `k / looks`, with O'Brien–Fleming alpha-spending.
+///
+/// # Panics
+///
+/// Panics if `looks == 0`.
+pub fn sequential_boundaries(alpha: f64, looks: usize) -> Vec<f64> {
+    assert!(looks >= 1, "at least one look");
+    (1..=looks)
+        .map(|k| {
+            sequential_boundary(
+                alpha,
+                (k - 1) as f64 / looks as f64,
+                k as f64 / looks as f64,
+            )
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,5 +402,115 @@ mod tests {
             assert!(p < last, "p should fall as |t| grows");
             last = p;
         }
+    }
+
+    #[test]
+    fn erfc_matches_reference_values() {
+        // Reference: IEEE-754 doubles from an independent erfc (C99 libm).
+        assert!((erfc(0.5) - 0.4795001221869535).abs() < 1e-14);
+        assert!((erfc(1.0) - 0.15729920705028513).abs() < 1e-14);
+        assert!((erfc(2.5) - 0.0004069520174449589).abs() < 1e-16);
+        assert!((erfc(0.0) - 1.0).abs() < 1e-15);
+        assert!((erfc(-1.0) - (2.0 - 0.15729920705028513)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn normal_cdf_and_quantile_invert_each_other() {
+        assert!((normal_cdf(1.23) - 0.890651447574308).abs() < 1e-13);
+        assert!((normal_quantile(0.9) - 1.2815515655446004).abs() < 1e-11);
+        assert!((normal_quantile(0.975) - 1.9599639845400532).abs() < 1e-11);
+        assert!((normal_quantile(0.995) - 2.575829303548897).abs() < 1e-11);
+        for p in [1e-6, 0.01, 0.3, 0.5, 0.77, 0.999, 1.0 - 1e-9] {
+            let x = normal_quantile(p);
+            assert!((normal_cdf(x) - p).abs() < 1e-12, "p = {p}");
+        }
+        assert!((normal_sf(4.5) - (1.0 - normal_cdf(4.5))).abs() < 1e-16);
+    }
+
+    #[test]
+    fn obf_spending_endpoints_and_monotonicity() {
+        let alpha = 0.05;
+        assert_eq!(alpha_spent_obf(alpha, 0.0), 0.0);
+        assert!((alpha_spent_obf(alpha, 1.0) - alpha).abs() < 1e-15);
+        // Hand-computed interior values (Φ via erfc, q = Φ⁻¹(0.975)):
+        // α(0.25) = erfc(1.9599639845400532/√(2·0.25)) = 8.857543832140478e-5
+        // α(0.5)  = erfc(1.9599639845400532/√(2·0.5))  = 0.005574596680784436
+        assert!((alpha_spent_obf(alpha, 0.25) - 8.857543832140478e-5).abs() < 1e-16);
+        assert!((alpha_spent_obf(alpha, 0.5) - 0.005574596680784436).abs() < 1e-14);
+        // α(0.01, 0.5) = 0.0002697169566314889
+        assert!((alpha_spent_obf(0.01, 0.5) - 0.0002697169566314889).abs() < 1e-15);
+        let mut last = 0.0;
+        for k in 1..=10 {
+            let s = alpha_spent_obf(alpha, k as f64 / 10.0);
+            assert!(s >= last, "spending must be non-decreasing");
+            last = s;
+        }
+    }
+
+    /// Golden boundaries, independently computed (two-sided O'Brien–Fleming
+    /// spending, increment per look, boundary z = Φ⁻¹(1 − spend/2)):
+    ///
+    /// ```text
+    /// α = 0.05, K = 2: [2.771807648699343, 2.0100546668740655]
+    /// α = 0.05, K = 3: [3.3947572022284254, 2.416099551149819,
+    ///                   2.124536185738445]
+    /// α = 0.05, K = 4: [3.9199279690800806, 2.777017575309407,
+    ///                   2.3645800769988954, 2.2206470164356924]
+    /// α = 0.01, K = 4: [5.151658607077083, 3.643019167862315,
+    ///                   3.0037491133593504, 2.6938340813279193]
+    /// ```
+    #[test]
+    fn sequential_boundaries_golden_values() {
+        let cases: [(f64, &[f64]); 4] = [
+            (0.05, &[2.771807648699343, 2.0100546668740655]),
+            (
+                0.05,
+                &[3.3947572022284254, 2.416099551149819, 2.124536185738445],
+            ),
+            (
+                0.05,
+                &[
+                    3.9199279690800806,
+                    2.777017575309407,
+                    2.3645800769988954,
+                    2.2206470164356924,
+                ],
+            ),
+            (
+                0.01,
+                &[
+                    5.151658607077083,
+                    3.643019167862315,
+                    3.0037491133593504,
+                    2.6938340813279193,
+                ],
+            ),
+        ];
+        for (alpha, want) in cases {
+            let got = sequential_boundaries(alpha, want.len());
+            for (g, w) in got.iter().zip(want) {
+                assert!((g - w).abs() < 1e-9, "alpha={alpha}: got {g}, want {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_boundaries_decrease_across_looks() {
+        // OBF boundaries are strict early and relax toward Φ⁻¹(1 − α/2).
+        for alpha in [0.05, 0.01, 0.001] {
+            let zs = sequential_boundaries(alpha, 6);
+            for w in zs.windows(2) {
+                assert!(w[0] > w[1], "alpha={alpha}: {zs:?}");
+            }
+            assert!(*zs.last().unwrap() > normal_quantile(1.0 - alpha / 2.0));
+        }
+    }
+
+    #[test]
+    fn sequential_boundary_underflow_is_infinite() {
+        // A first look at 1 % information with α = 1e-9 spends less than
+        // f64 can represent — the boundary must be unreachable, not NaN.
+        let z = sequential_boundary(1e-9, 0.0, 0.01);
+        assert!(z.is_infinite() && z > 0.0);
     }
 }

@@ -28,6 +28,28 @@ impl WelchResult {
     pub fn is_leaky(&self, threshold: f64) -> bool {
         self.t.abs() > threshold
     }
+
+    /// Sequential-analysis resolution of this gate's verdict at a checkpoint
+    /// with confidence margin `margin` (a z boundary from
+    /// [`crate::special::sequential_boundary`]):
+    ///
+    /// * `Some(true)` — `|t|` exceeds `threshold`: the gate fails TVLA at
+    ///   the current trace count (a crossing at any look is a valid leak
+    ///   verdict, so no margin is required on this side);
+    /// * `Some(false)` — the margin-wide confidence interval around `|t|`
+    ///   lies entirely below `threshold` (`|t| + margin ≤ threshold`): the
+    ///   gate is confidently clean at this look;
+    /// * `None` — undecided; more traces are needed.
+    pub fn resolution(&self, threshold: f64, margin: f64) -> Option<bool> {
+        let abs_t = self.t.abs();
+        if abs_t > threshold {
+            Some(true)
+        } else if abs_t + margin <= threshold {
+            Some(false)
+        } else {
+            None
+        }
+    }
 }
 
 /// Computes Welch's t-statistic and degrees of freedom from two accumulated
@@ -150,6 +172,22 @@ mod tests {
         let r = welch_t_slices(&a, &b);
         assert!(r.dof >= 29.0_f64.min(49.0) - 1.0);
         assert!(r.dof <= (30 + 50 - 2) as f64);
+    }
+
+    #[test]
+    fn resolution_partitions_the_t_axis() {
+        let mk = |t: f64| WelchResult { t, dof: 100.0 };
+        // Above threshold: leaky regardless of margin.
+        assert_eq!(mk(5.0).resolution(4.5, 2.0), Some(true));
+        assert_eq!(mk(-6.0).resolution(4.5, f64::INFINITY), Some(true));
+        // Confidently clean: |t| + margin within the threshold.
+        assert_eq!(mk(1.0).resolution(4.5, 2.0), Some(false));
+        assert_eq!(mk(-2.5).resolution(4.5, 2.0), Some(false));
+        // Undecided band.
+        assert_eq!(mk(3.0).resolution(4.5, 2.0), None);
+        assert_eq!(mk(4.4).resolution(4.5, 0.5), None);
+        // Infinite margin (underflowed spending) never resolves clean.
+        assert_eq!(mk(0.0).resolution(4.5, f64::INFINITY), None);
     }
 
     #[test]

@@ -16,7 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = PolarisConfig {
         msize: 25,
         iterations: 6,
-        traces: 300,
+        max_traces: 300,
         ..PolarisConfig::default()
     };
 

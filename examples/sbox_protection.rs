@@ -59,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = PolarisConfig {
         msize: 20,
         iterations: 5,
-        traces: 400,
+        max_traces: 400,
         ..PolarisConfig::default()
     };
     let trained = PolarisPipeline::new(config)

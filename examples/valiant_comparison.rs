@@ -65,7 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = PolarisConfig {
         msize: 25,
         iterations: 6,
-        traces,
+        max_traces: traces,
         ..PolarisConfig::default()
     };
     let trained = PolarisPipeline::new(config).train(&generators::training_suite(1, 7), &power)?;

@@ -1,16 +1,24 @@
 //! Determinism contract of the sharded parallel campaign engine (ISSUE 2
 //! acceptance): sharded runs are **bit-identical at any thread count**, and
 //! mergeable accumulators agree with their single-pass counterparts.
+//!
+//! ISSUE 3 extends the contract to adaptive sequential stopping: an
+//! early-stopped run has the same stop round and byte-identical t-statistics
+//! at 1/2/8 threads, and equals the truncated prefix of a full non-adaptive
+//! run.
 
 use proptest::prelude::*;
 
 use polaris_netlist::generators;
 use polaris_sim::campaign::{
-    collect_gate_samples, collect_gate_samples_parallel, run_campaign, run_campaign_parallel,
+    collect_gate_samples, collect_gate_samples_parallel, run_campaign, run_campaign_adaptive,
+    run_campaign_parallel, CampaignOutcome, Checkpoint, StoppingRule, TRACES_PER_SHARD,
 };
-use polaris_sim::{CampaignConfig, Parallelism, PowerModel};
+use polaris_sim::{CampaignConfig, GateSamples, Parallelism, PowerModel};
 use polaris_tvla::cpa::{run_cpa_parallel, CorrelationAccumulator, CpaConfig};
-use polaris_tvla::{assess_parallel, StreamingMoments, WelchAccumulator};
+use polaris_tvla::{
+    assess_adaptive, assess_parallel, SequentialConfig, StreamingMoments, WelchAccumulator,
+};
 
 /// Acceptance criterion: a 10 000-trace fixed-vs-random campaign yields
 /// byte-identical Welch t-statistics at 1, 2, and 8 threads.
@@ -125,6 +133,166 @@ fn sharded_assessment_tracks_straight_streaming() {
             "gate {id}: straight {a} vs sharded {b}"
         );
     }
+}
+
+/// The c17 adaptive configuration proven to stop early (seed 11 resolves
+/// every gate by mid-budget; see the `bench campaign` adaptive smoke).
+fn adaptive_case() -> (polaris_netlist::Netlist, CampaignConfig, SequentialConfig) {
+    (
+        generators::iscas_c17(),
+        CampaignConfig::new(6000, 6000, 11),
+        SequentialConfig::default(),
+    )
+}
+
+/// Acceptance criterion: an early-stopped adaptive run reaches the same stop
+/// round and byte-identical t-statistics at 1, 2, and 8 threads.
+#[test]
+fn adaptive_stop_deterministic_at_1_2_8_threads() {
+    let (design, cfg, seq) = adaptive_case();
+    let model = PowerModel::default();
+    let reference =
+        assess_adaptive(&design, &model, &cfg, Parallelism::new(1), &seq).expect("campaign");
+    assert!(
+        reference.stats.stopped_early,
+        "the fixture must stop early: {:?}",
+        reference.stats
+    );
+    for threads in [2, 8] {
+        let run = assess_adaptive(&design, &model, &cfg, Parallelism::new(threads), &seq)
+            .expect("campaign");
+        assert_eq!(
+            run.stats, reference.stats,
+            "stop round at {threads} threads"
+        );
+        for id in design.ids() {
+            assert_eq!(
+                run.leakage.result(id).t.to_bits(),
+                reference.leakage.result(id).t.to_bits(),
+                "gate {id}: t must be byte-identical at {threads} threads"
+            );
+            assert_eq!(
+                run.leakage.result(id).dof.to_bits(),
+                reference.leakage.result(id).dof.to_bits(),
+                "gate {id}: dof at {threads} threads"
+            );
+        }
+    }
+}
+
+/// Acceptance criterion: the early-stopped result equals the truncated
+/// prefix of a full non-adaptive run — statistically (re-assessing at the
+/// consumed trace counts is byte-identical) and sample-for-sample (the
+/// stopped dense collection is a prefix of the full dense collection).
+#[test]
+fn adaptive_equals_truncated_prefix_of_full_run() {
+    let (design, cfg, seq) = adaptive_case();
+    let model = PowerModel::default();
+    let stopped =
+        assess_adaptive(&design, &model, &cfg, Parallelism::new(4), &seq).expect("campaign");
+    assert!(stopped.stats.stopped_early);
+    assert!(stopped.stats.traces_used() < cfg.n_fixed + cfg.n_random);
+
+    // Statistic-level: a non-adaptive campaign at the consumed counts.
+    let prefix_cfg = CampaignConfig::new(
+        stopped.stats.fixed_traces,
+        stopped.stats.random_traces,
+        cfg.seed,
+    );
+    let prefix =
+        assess_parallel(&design, &model, &prefix_cfg, Parallelism::new(2)).expect("campaign");
+    for id in design.ids() {
+        assert_eq!(
+            stopped.leakage.result(id).t.to_bits(),
+            prefix.result(id).t.to_bits(),
+            "gate {id}"
+        );
+    }
+
+    // Sample-level: rerun the round engine on a dense collector with a rule
+    // that stops at the same round, and compare against the full stream.
+    struct StopAtRound(usize);
+    impl<S> StoppingRule<S> for StopAtRound {
+        fn should_stop(&mut self, c: &Checkpoint<'_, S>) -> bool {
+            c.round >= self.0
+        }
+    }
+    let dense: CampaignOutcome<GateSamples> = run_campaign_adaptive(
+        &design,
+        &model,
+        &cfg,
+        Parallelism::new(8),
+        seq.shards_per_round,
+        &mut StopAtRound(stopped.stats.rounds),
+    )
+    .expect("campaign");
+    assert_eq!(dense.stats, stopped.stats);
+    let full = collect_gate_samples(&design, &model, &cfg).expect("campaign");
+    for id in design.ids() {
+        assert_eq!(
+            dense.sink.fixed(id),
+            &full.fixed(id)[..dense.stats.fixed_traces],
+            "gate {id}: fixed prefix"
+        );
+        assert_eq!(
+            dense.sink.random(id),
+            &full.random(id)[..dense.stats.random_traces],
+            "gate {id}: random prefix"
+        );
+    }
+}
+
+/// The stop decision is a pure function of the checkpoint-folded state, so
+/// the unlucky seeds are deterministic too: a campaign that cannot converge
+/// (alpha too tight) consumes its whole budget and matches the non-adaptive
+/// engine bit for bit.
+#[test]
+fn non_converging_adaptive_run_matches_full_campaign() {
+    // A masked xor is the quiet-cell case: leaky resolutions need no
+    // margin, but a clean one does — and alpha this tight underflows every
+    // look's spending, so the margins are infinite and the run must spend
+    // its whole budget.
+    let src = "
+module m (a, m0, y);
+  input a;
+  mask_input m0;
+  output y;
+  xor g (y, a, m0);
+endmodule";
+    let design = polaris_netlist::parse_netlist(src).expect("valid netlist");
+    let model = PowerModel::default();
+    let cfg = CampaignConfig::new(1500, 1500, 7);
+    let seq = SequentialConfig {
+        alpha: 1e-13,
+        ..SequentialConfig::default()
+    };
+    let adaptive =
+        assess_adaptive(&design, &model, &cfg, Parallelism::new(4), &seq).expect("campaign");
+    assert!(!adaptive.stats.stopped_early);
+    let full = assess_parallel(&design, &model, &cfg, Parallelism::new(2)).expect("campaign");
+    for id in design.ids() {
+        assert_eq!(
+            adaptive.leakage.result(id).t.to_bits(),
+            full.result(id).t.to_bits()
+        );
+    }
+}
+
+/// Early stopping composes with the per-population shard layout: trace
+/// counts at the stop boundary are whole shards of each class.
+#[test]
+fn adaptive_stop_lands_on_shard_boundaries() {
+    let (design, cfg, seq) = adaptive_case();
+    let a = assess_adaptive(
+        &design,
+        &PowerModel::default(),
+        &cfg,
+        Parallelism::sequential(),
+        &seq,
+    )
+    .expect("campaign");
+    assert_eq!(a.stats.fixed_traces % TRACES_PER_SHARD, 0);
+    assert_eq!(a.stats.random_traces % TRACES_PER_SHARD, 0);
 }
 
 fn lcg_stream(n: usize, seed: u64) -> Vec<f64> {

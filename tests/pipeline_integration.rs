@@ -9,7 +9,7 @@ fn fast_config(seed: u64) -> PolarisConfig {
     PolarisConfig {
         msize: 10,
         iterations: 4,
-        traces: 200,
+        max_traces: 200,
         n_estimators: 25,
         learning_rate: 0.5,
         ..PolarisConfig::fast_profile(seed)
@@ -141,7 +141,7 @@ fn zero_budget_masks_nothing() {
     // Extra traces shrink the before/after assessment noise the final
     // tolerance rides on (the two reporting campaigns use different seeds).
     let config = PolarisConfig {
-        traces: 800,
+        max_traces: 800,
         ..fast_config(21)
     };
     let trained = PolarisPipeline::new(config)

@@ -18,7 +18,7 @@ fn trained() -> polaris::TrainedPolaris {
     let config = PolarisConfig {
         msize: 10,
         iterations: 4,
-        traces: 200,
+        max_traces: 200,
         n_estimators: 25,
         learning_rate: 0.5,
         ..PolarisConfig::fast_profile(3)
