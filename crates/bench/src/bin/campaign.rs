@@ -245,12 +245,16 @@ fn main() {
         .unwrap_or(f64::NAN);
     let speedup_4t = tps_4 / tps_1;
 
-    // `host_cores` contextualizes the speedup: on a 1-core host every
-    // thread count degenerates to the same wall-clock.
+    // `host_cores` / `available_parallelism` contextualize the speedup: on
+    // a 1-core host every thread count degenerates to the same wall-clock,
+    // so a committed artifact with speedup ≈ 1.0 is self-explaining.
+    let available_parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(0);
     let json = format!(
         "{{\n  \"bench\": \"campaign\",\n  \"design\": \"{}\",\n  \"scale\": {},\n  \
          \"gates\": {},\n  \"traces_per_class\": {},\n  \"seed\": {},\n  \"quick\": {},\n  \
-         \"host_cores\": {},\n  \
+         \"host_cores\": {},\n  \"available_parallelism\": {},\n  \
          \"runs\": [\n{}\n  ],\n  \"speedup_4t\": {:.3},\n  \"bit_identical\": {}{}\n}}\n",
         args.design,
         args.scale,
@@ -259,6 +263,7 @@ fn main() {
         args.seed,
         args.quick,
         cores,
+        available_parallelism,
         fmt_runs(&runs),
         speedup_4t,
         identical,

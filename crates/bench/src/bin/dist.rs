@@ -1,0 +1,220 @@
+//! Distributed-campaign bench: measures the overhead the `polaris-dist`
+//! subsystem adds on top of the in-process engine — per-part execution
+//! (partition overhead) and the central decode+fold (merge throughput) —
+//! and verifies the folded statistics stay byte-identical to a
+//! single-process run at every partitioning. Emits `BENCH_dist.json`.
+//!
+//! ```text
+//! cargo run --release -p polaris-bench --bin dist -- [flags]
+//!
+//! --quick      CI smoke profile (small design, few traces)
+//! --design NAME ISCAS-like design to simulate         (default c1908)
+//! --scale N    generator scale factor                 (default 1)
+//! --traces N   traces per TVLA class                  (default 20000)
+//! --seed N     campaign master seed                   (default 7)
+//! --out PATH   output path                            (default BENCH_dist.json)
+//! ```
+
+use std::time::Instant;
+
+use polaris_dist::{execute_part, merge_parts, Merged};
+use polaris_netlist::generators;
+use polaris_sim::campaign::shard_grid;
+use polaris_sim::{CampaignConfig, Parallelism, PowerModel};
+use polaris_tvla::{assess_parallel, WelchAccumulator};
+
+struct Args {
+    quick: bool,
+    design: String,
+    scale: u32,
+    traces: usize,
+    seed: u64,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        quick: false,
+        design: "c1908".to_string(),
+        scale: 1,
+        traces: 20_000,
+        seed: 7,
+        out: "BENCH_dist.json".to_string(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let mut traces_set = false;
+    while i < argv.len() {
+        let need = |i: usize| -> &str {
+            argv.get(i + 1).map(String::as_str).unwrap_or_else(|| {
+                eprintln!("missing value after {}", argv[i]);
+                std::process::exit(2);
+            })
+        };
+        match argv[i].as_str() {
+            "--quick" => {
+                a.quick = true;
+                i += 1;
+            }
+            "--design" => {
+                a.design = need(i).to_string();
+                i += 2;
+            }
+            "--scale" => {
+                a.scale = need(i).parse().expect("--scale takes an integer");
+                i += 2;
+            }
+            "--traces" => {
+                a.traces = need(i).parse().expect("--traces takes an integer");
+                traces_set = true;
+                i += 2;
+            }
+            "--seed" => {
+                a.seed = need(i).parse().expect("--seed takes an integer");
+                i += 2;
+            }
+            "--out" => {
+                a.out = need(i).to_string();
+                i += 2;
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "flags: --quick  --design NAME  --scale N  --traces N  --seed N  --out PATH"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}; see --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    if a.quick {
+        if !traces_set {
+            a.traces = 2_000;
+        }
+        if a.design == "c1908" {
+            a.design = "c432".to_string();
+        }
+    }
+    a
+}
+
+fn main() {
+    let args = parse_args();
+    let netlist =
+        generators::iscas_like(&args.design, args.scale, args.seed).unwrap_or_else(|| {
+            eprintln!("unknown ISCAS-like design `{}`", args.design);
+            std::process::exit(2);
+        });
+    let model = PowerModel::default();
+    let cfg = CampaignConfig::new(args.traces, args.traces, args.seed);
+    let n_shards = shard_grid(&cfg).len();
+    let par = Parallelism::auto();
+
+    eprintln!(
+        "[dist bench] {} (scale {}): {} gates, {} traces/class, {} shards",
+        args.design,
+        args.scale,
+        netlist.gate_count(),
+        args.traces,
+        n_shards
+    );
+
+    // Single-process reference: the t-map every partitioning must hit.
+    let t0 = Instant::now();
+    let reference = assess_parallel(&netlist, &model, &cfg, par).expect("campaign runs");
+    let single_seconds = t0.elapsed().as_secs_f64();
+    let reference_bits: Vec<u64> = netlist
+        .ids()
+        .map(|id| reference.result(id).t.to_bits())
+        .collect();
+    eprintln!("  single-process reference: {single_seconds:.3}s");
+
+    let mut rows: Vec<String> = Vec::new();
+    let mut all_identical = true;
+    for parts in [1usize, 2, 4] {
+        // Work phase: every part executed in this process, one after the
+        // other (each part would be its own host in a real deployment).
+        // `work_seconds_max` is the distributed critical path; the sum over
+        // parts vs the single-process run is the partition overhead.
+        let mut part_files: Vec<Vec<u8>> = Vec::new();
+        let mut work_total = 0.0f64;
+        let mut work_max = 0.0f64;
+        for part in 0..parts {
+            let t0 = Instant::now();
+            let bytes = execute_part::<WelchAccumulator>(&netlist, &model, &cfg, par, part, parts)
+                .expect("part executes");
+            let secs = t0.elapsed().as_secs_f64();
+            work_total += secs;
+            work_max = work_max.max(secs);
+            part_files.push(bytes);
+        }
+        let shard_bytes: usize = part_files.iter().map(Vec::len).sum();
+
+        // Merge phase: decode + canonical fold + t-map derivation — the
+        // coordinator's entire job.
+        let t0 = Instant::now();
+        let merged: Merged<WelchAccumulator> =
+            merge_parts(part_files.iter().map(Vec::as_slice), None).expect("parts merge");
+        let leakage = merged.state.leakage();
+        let merge_seconds = t0.elapsed().as_secs_f64();
+
+        let bits: Vec<u64> = netlist
+            .ids()
+            .map(|id| leakage.result(id).t.to_bits())
+            .collect();
+        let identical = bits == reference_bits;
+        all_identical &= identical;
+
+        let overhead_pct = (work_total / single_seconds.max(1e-9) - 1.0) * 100.0;
+        let shards_per_sec = n_shards as f64 / merge_seconds.max(1e-9);
+        let mb_per_sec = shard_bytes as f64 / 1e6 / merge_seconds.max(1e-9);
+        eprintln!(
+            "  {parts} part(s): work {work_total:.3}s (max {work_max:.3}s, \
+             overhead {overhead_pct:+.1}%), merge {merge_seconds:.4}s \
+             ({shards_per_sec:.0} shards/s, {mb_per_sec:.1} MB/s, \
+             {shard_bytes} bytes), identical: {identical}"
+        );
+        rows.push(format!(
+            "    {{\"parts\": {parts}, \"work_seconds_total\": {work_total:.4}, \
+             \"work_seconds_max\": {work_max:.4}, \"partition_overhead_pct\": {overhead_pct:.2}, \
+             \"shard_bytes_total\": {shard_bytes}, \"merge_seconds\": {merge_seconds:.6}, \
+             \"fold_shards_per_sec\": {shards_per_sec:.1}, \
+             \"fold_mb_per_sec\": {mb_per_sec:.2}, \"bit_identical\": {identical}}}"
+        ));
+    }
+
+    let available_parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(0);
+    let json = format!(
+        "{{\n  \"bench\": \"dist\",\n  \"design\": \"{}\",\n  \"scale\": {},\n  \
+         \"gates\": {},\n  \"traces_per_class\": {},\n  \"seed\": {},\n  \"quick\": {},\n  \
+         \"available_parallelism\": {},\n  \"shards\": {},\n  \
+         \"single_process_seconds\": {:.4},\n  \"partitionings\": [\n{}\n  ],\n  \
+         \"bit_identical\": {}\n}}\n",
+        args.design,
+        args.scale,
+        netlist.gate_count(),
+        args.traces,
+        args.seed,
+        args.quick,
+        available_parallelism,
+        n_shards,
+        single_seconds,
+        rows.join(",\n"),
+        all_identical
+    );
+    std::fs::write(&args.out, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    });
+    println!("{json}");
+    eprintln!("[dist bench] wrote {}", args.out);
+
+    if !all_identical {
+        eprintln!("ERROR: a partitioning diverged — the distributed fold must be bit-identical");
+        std::process::exit(1);
+    }
+}

@@ -15,7 +15,7 @@ use crate::{read_file, write_file, Flags};
 
 /// Loads a netlist, dispatching on extension: `.bench` uses the ISCAS
 /// bench-format parser, everything else the structural-Verilog subset.
-fn load_netlist(path: &str) -> Result<Netlist, String> {
+pub(crate) fn load_netlist(path: &str) -> Result<Netlist, String> {
     let text = read_file(path)?;
     if path.ends_with(".bench") {
         parse_bench(&text).map_err(|e| format!("{path}: {e}"))
@@ -41,7 +41,7 @@ fn load_model(flags: &Flags) -> Result<TrainedPolaris, String> {
     load_trained(&text).map_err(|e| format!("{path}: {e}"))
 }
 
-fn campaign_from(flags: &Flags, seed_default: u64) -> Result<CampaignConfig, String> {
+pub(crate) fn campaign_from(flags: &Flags, seed_default: u64) -> Result<CampaignConfig, String> {
     let traces: usize = flags.get_parsed("traces", 500)?;
     let seed: u64 = flags.get_parsed("seed", seed_default)?;
     let cycles: usize = flags.get_parsed("cycles", 1)?;
@@ -54,7 +54,7 @@ fn campaign_from(flags: &Flags, seed_default: u64) -> Result<CampaignConfig, Str
 
 /// Parses `--threads N` (0 = all cores, the default). Purely a throughput
 /// knob — campaign results are bit-identical at any thread count.
-fn parallelism_from(flags: &Flags) -> Result<Parallelism, String> {
+pub(crate) fn parallelism_from(flags: &Flags) -> Result<Parallelism, String> {
     Ok(Parallelism::new(flags.get_parsed("threads", 0)?))
 }
 
@@ -227,19 +227,7 @@ pub(crate) fn assess(args: &[String]) -> Result<(), String> {
         }
     );
     if let Some(csv) = flags.get("csv") {
-        let mut out = String::from("gate,name,kind,t,leaky\n");
-        for (id, gate) in netlist.iter() {
-            let r = leakage.result(id);
-            out.push_str(&format!(
-                "{},{},{},{:.6},{}\n",
-                id.index(),
-                gate.name(),
-                gate.kind().mnemonic(),
-                r.t,
-                u8::from(r.is_leaky(TVLA_THRESHOLD))
-            ));
-        }
-        write_file(csv, &out)?;
+        write_file(csv, &leakage_csv(&netlist, &leakage))?;
         eprintln!("per-gate results written to {csv}");
     }
     // Optional bivariate (second-order) sweep over the leakiest gates.
@@ -277,6 +265,26 @@ pub(crate) fn assess(args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Renders the per-gate leakage CSV (`gate,name,kind,t,leaky`). Shared by
+/// `assess --csv` and `dist merge --csv` so a distributed fold and a
+/// single-process run of the same campaign write byte-identical files —
+/// exactly what the CI smoke job diffs.
+pub(crate) fn leakage_csv(netlist: &Netlist, leakage: &polaris_tvla::GateLeakage) -> String {
+    let mut out = String::from("gate,name,kind,t,leaky\n");
+    for (id, gate) in netlist.iter() {
+        let r = leakage.result(id);
+        out.push_str(&format!(
+            "{},{},{},{:.6},{}\n",
+            id.index(),
+            gate.name(),
+            gate.kind().mnemonic(),
+            r.t,
+            u8::from(r.is_leaky(TVLA_THRESHOLD))
+        ));
+    }
+    out
 }
 
 /// `polaris-cli mask`

@@ -1,0 +1,298 @@
+//! `polaris-cli dist` — distributed campaign orchestration.
+//!
+//! ```text
+//! polaris-cli dist plan  <netlist> --parts K --out plan.txt
+//!                        [--traces N --seed N --cycles N --glitch --sink welch|samples]
+//! polaris-cli dist work  <netlist> --plan plan.txt --part I --out part-I.shard [--threads N]
+//! polaris-cli dist merge <netlist> --plan plan.txt part-0.shard part-1.shard …
+//!                        [--csv out.csv]
+//! ```
+//!
+//! The coordinator `plan`s the campaign's shard grid into contiguous parts;
+//! each `work` process (any host — only the netlist and the plan manifest
+//! travel) executes its part and snapshots per-shard accumulator state into
+//! a checksummed `.shard` file; `merge` folds a complete set of parts in
+//! canonical shard order. The merged statistics are **byte-identical** to a
+//! single-process `polaris-cli assess` of the same campaign, at any
+//! partitioning.
+//!
+//! Failures decoding shard-state input map to distinct exit codes (see
+//! [`EXIT_CODES`]) so orchestration scripts can react without parsing
+//! stderr: re-fetch a truncated part, rebuild on version skew, re-plan on a
+//! fingerprint mismatch.
+
+use polaris_dist::{merge_parts, merged_outcome, DistError, DistPlan, SinkKind};
+use polaris_sim::{GateSamples, Parallelism};
+use polaris_tvla::{WelchAccumulator, TVLA_THRESHOLD};
+
+use crate::commands::{campaign_from, leakage_csv, load_netlist, parallelism_from};
+use crate::{read_file, write_file, CliError, Flags};
+
+/// Exit-code table of the `dist` subcommands, also printed by
+/// `dist --help`. Code 1 stays the generic failure (I/O, usage of other
+/// commands); 2 stays usage errors.
+pub(crate) const EXIT_CODES: &str = "\
+exit codes:
+  1  generic failure (I/O, simulation, usage)
+  3  truncated shard-state file
+  4  malformed shard-state file or plan manifest (bad magic, bad structure)
+  5  shard-state format version mismatch (rebuild workers and merger together)
+  6  shard-state checksum mismatch (corrupted file)
+  7  plan mismatch (wrong netlist/campaign fingerprint, wrong sink kind,
+     missing/duplicate/overlapping parts)";
+
+/// Maps each [`DistError`] failure class to its documented exit code.
+fn exit_code(e: &DistError) -> u8 {
+    match e {
+        DistError::Sim(_) => 1,
+        DistError::Truncated { .. } => 3,
+        DistError::BadMagic | DistError::Malformed(_) => 4,
+        DistError::VersionMismatch { .. } => 5,
+        DistError::ChecksumMismatch { .. } => 6,
+        DistError::KindMismatch { .. }
+        | DistError::FingerprintMismatch { .. }
+        | DistError::PlanMismatch(_) => 7,
+    }
+}
+
+fn dist_err(e: DistError) -> CliError {
+    CliError {
+        code: exit_code(&e),
+        message: e.to_string(),
+    }
+}
+
+const DIST_USAGE: &str = "\
+dist plan  <netlist> --parts K --out plan.txt [--traces N --seed N --cycles N --glitch --sink welch|samples]
+dist work  <netlist> --plan plan.txt --part I --out part-I.shard [--threads N]
+dist merge <netlist> --plan plan.txt <part.shard>... [--csv out.csv]";
+
+/// `polaris-cli dist` dispatcher.
+pub(crate) fn dist(args: &[String]) -> Result<(), CliError> {
+    let Some(sub) = args.first() else {
+        return Err(CliError::from(format!(
+            "missing dist subcommand\n{DIST_USAGE}"
+        )));
+    };
+    let rest = &args[1..];
+    match sub.as_str() {
+        "plan" => plan(rest),
+        "work" => work(rest),
+        "merge" => merge(rest),
+        "--help" | "-h" | "help" => {
+            println!("{DIST_USAGE}\n\n{EXIT_CODES}");
+            Ok(())
+        }
+        other => Err(CliError::from(format!(
+            "unknown dist subcommand `{other}`\n{DIST_USAGE}"
+        ))),
+    }
+}
+
+/// Parses the plan manifest the coordinator wrote, then re-verifies it
+/// against the freshly loaded netlist (fingerprint + grid size).
+fn load_plan(
+    flags: &Flags,
+    netlist: &polaris_netlist::Netlist,
+    model: &polaris_sim::PowerModel,
+) -> Result<DistPlan, CliError> {
+    let path = flags
+        .get("plan")
+        .ok_or_else(|| CliError::from("missing --plan <manifest>".to_string()))?;
+    let plan = DistPlan::parse(&read_file(path)?).map_err(dist_err)?;
+    plan.verify(netlist, model).map_err(dist_err)?;
+    Ok(plan)
+}
+
+/// `polaris-cli dist plan`
+fn plan(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &["glitch", "help"])?;
+    if flags.has("help") {
+        println!("{DIST_USAGE}\n\n{EXIT_CODES}");
+        return Ok(());
+    }
+    let netlist = load_netlist(flags.positional(0, "netlist path")?)?;
+    let campaign = campaign_from(&flags, 7)?;
+    let parts: usize = flags.get_parsed("parts", 2)?;
+    if parts == 0 {
+        return Err(CliError::from("--parts must be at least 1".to_string()));
+    }
+    let sink = match flags.get("sink").unwrap_or("welch") {
+        "welch" => SinkKind::Welch,
+        "samples" => SinkKind::GateSamples,
+        other => {
+            return Err(CliError::from(format!(
+                "unknown sink `{other}` (dist campaigns snapshot `welch` or `samples`)"
+            )))
+        }
+    };
+    let out = flags
+        .get("out")
+        .ok_or_else(|| CliError::from("missing --out <plan manifest>".to_string()))?;
+    let plan = DistPlan::new(
+        &netlist,
+        &polaris_sim::PowerModel::default(),
+        &campaign,
+        sink,
+        parts,
+    )
+    .map_err(dist_err)?;
+    write_file(out, &plan.render())?;
+    eprintln!(
+        "planned {} + {} traces over {} shards in {} part(s); manifest written to {out}",
+        plan.n_fixed,
+        plan.n_random,
+        plan.n_shards,
+        plan.parts.len()
+    );
+    eprintln!(
+        "next: run `dist work {} --plan {out} --part I --out part-I.shard` for every part",
+        flags.positional(0, "netlist path")?
+    );
+    Ok(())
+}
+
+/// `polaris-cli dist work`
+fn work(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &["help"])?;
+    if flags.has("help") {
+        println!("{DIST_USAGE}\n\n{EXIT_CODES}");
+        return Ok(());
+    }
+    let netlist = load_netlist(flags.positional(0, "netlist path")?)?;
+    let model = polaris_sim::PowerModel::default();
+    let plan = load_plan(&flags, &netlist, &model)?;
+    let campaign = plan.campaign();
+    let part: usize = flags
+        .get("part")
+        .ok_or_else(|| CliError::from("missing --part <index>".to_string()))?
+        .parse()
+        .map_err(|_| CliError::from("malformed --part value".to_string()))?;
+    let out = flags
+        .get("out")
+        .ok_or_else(|| CliError::from("missing --out <shard-state file>".to_string()))?;
+    let parallelism: Parallelism = parallelism_from(&flags)?;
+    eprintln!(
+        "executing part {part} of {} ({} shards total, {} worker threads)…",
+        plan.parts.len(),
+        plan.n_shards,
+        parallelism.threads()
+    );
+    let bytes = match plan.sink {
+        SinkKind::Welch => polaris_dist::execute_part::<WelchAccumulator>(
+            &netlist,
+            &model,
+            &campaign,
+            parallelism,
+            part,
+            plan.parts.len(),
+        ),
+        SinkKind::GateSamples => polaris_dist::execute_part::<GateSamples>(
+            &netlist,
+            &model,
+            &campaign,
+            parallelism,
+            part,
+            plan.parts.len(),
+        ),
+        SinkKind::Cpa => Err(DistError::PlanMismatch(
+            "CPA shard states are snapshot via the library API, not `dist work`".into(),
+        )),
+    }
+    .map_err(dist_err)?;
+    std::fs::write(out, &bytes).map_err(|e| CliError::from(format!("cannot write {out}: {e}")))?;
+    eprintln!("shard state ({} bytes) written to {out}", bytes.len());
+    Ok(())
+}
+
+/// `polaris-cli dist merge`
+fn merge(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &["help"])?;
+    if flags.has("help") {
+        println!("{DIST_USAGE}\n\n{EXIT_CODES}");
+        return Ok(());
+    }
+    let netlist = load_netlist(flags.positional(0, "netlist path")?)?;
+    let model = polaris_sim::PowerModel::default();
+    let plan = load_plan(&flags, &netlist, &model)?;
+    let campaign = plan.campaign();
+    let mut part_files: Vec<Vec<u8>> = Vec::new();
+    let mut i = 1;
+    while let Ok(path) = flags.positional(i, "shard-state file") {
+        part_files.push(
+            std::fs::read(path)
+                .map_err(|e| CliError::from(format!("cannot read shard state {path}: {e}")))?,
+        );
+        i += 1;
+    }
+    if part_files.is_empty() {
+        return Err(CliError::from(
+            "no shard-state files given (pass every part as a positional argument)".to_string(),
+        ));
+    }
+
+    match plan.sink {
+        SinkKind::Welch => {
+            let merged = merge_parts::<WelchAccumulator>(
+                part_files.iter().map(Vec::as_slice),
+                Some(plan.fingerprint),
+            )
+            .map_err(dist_err)?;
+            let parts = merged.parts;
+            let outcome = merged_outcome(&netlist, &model, &campaign, merged).map_err(dist_err)?;
+            let leakage = outcome.sink.leakage();
+            let s = leakage.summarize(&netlist);
+            eprintln!(
+                "folded {} shards from {parts} part(s) — statistics are byte-identical \
+                 to a single-process run",
+                plan.n_shards
+            );
+            println!("cells:        {}", s.cells);
+            println!("mean |t|:     {:.3}", s.mean_abs_t);
+            println!("max |t|:      {:.3}", s.max_abs_t);
+            println!("leaky cells:  {} (|t| > {TVLA_THRESHOLD})", s.leaky_cells);
+            println!(
+                "verdict:      {}",
+                if s.max_abs_t > TVLA_THRESHOLD {
+                    "LEAKY — first-order TVLA failure"
+                } else {
+                    "no first-order leakage detected at this trace count"
+                }
+            );
+            if let Some(csv) = flags.get("csv") {
+                write_file(csv, &leakage_csv(&netlist, &leakage))?;
+                eprintln!("per-gate results written to {csv}");
+            }
+        }
+        SinkKind::GateSamples => {
+            if flags.get("csv").is_some() {
+                return Err(CliError::from(
+                    "--csv is only available for welch-sink plans".to_string(),
+                ));
+            }
+            let merged = merge_parts::<GateSamples>(
+                part_files.iter().map(Vec::as_slice),
+                Some(plan.fingerprint),
+            )
+            .map_err(dist_err)?;
+            let parts = merged.parts;
+            let samples = merged.state;
+            let (fixed, random) = samples.classes();
+            println!(
+                "merged dense samples: {} gates, {} fixed + {} random traces \
+                 ({parts} part(s), {} shards)",
+                samples.gate_count(),
+                fixed.first().map_or(0, Vec::len),
+                random.first().map_or(0, Vec::len),
+                plan.n_shards
+            );
+            println!("(use the library API for bivariate sweeps over merged samples)");
+        }
+        SinkKind::Cpa => {
+            return Err(CliError::from(
+                "CPA shard states merge via the library API, not `dist merge`".to_string(),
+            ))
+        }
+    }
+    Ok(())
+}

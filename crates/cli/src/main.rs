@@ -24,6 +24,22 @@ use std::fs;
 use std::process::ExitCode;
 
 mod commands;
+mod dist;
+
+/// A CLI failure with its process exit code. Generic errors exit 1; the
+/// `dist` subcommands map each shard-state failure class to a distinct
+/// non-zero code (see [`dist::EXIT_CODES`]), so orchestration scripts can
+/// tell a truncated part file from a version skew without parsing stderr.
+pub(crate) struct CliError {
+    pub(crate) code: u8,
+    pub(crate) message: String,
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError { code: 1, message }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,24 +48,27 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
     let rest = &args[1..];
-    let result = match cmd.as_str() {
-        "train" => commands::train(rest),
-        "stats" => commands::stats(rest),
-        "assess" => commands::assess(rest),
-        "mask" => commands::mask(rest),
-        "rules" => commands::rules(rest),
-        "explain" => commands::explain(rest),
+    let result: Result<(), CliError> = match cmd.as_str() {
+        "train" => commands::train(rest).map_err(CliError::from),
+        "stats" => commands::stats(rest).map_err(CliError::from),
+        "assess" => commands::assess(rest).map_err(CliError::from),
+        "mask" => commands::mask(rest).map_err(CliError::from),
+        "rules" => commands::rules(rest).map_err(CliError::from),
+        "explain" => commands::explain(rest).map_err(CliError::from),
+        "dist" => dist::dist(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+        other => Err(CliError::from(format!(
+            "unknown command `{other}`\n{USAGE}"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: {}", e.message);
+            ExitCode::from(e.code)
         }
     }
 }
@@ -64,6 +83,7 @@ commands:
   mask     protect a netlist with a trained model
   rules    print the mined masking rules of a model bundle
   explain  SHAP waterfall for one gate of a netlist
+  dist     distributed campaigns: plan / work / merge shard states
 
 run `polaris-cli <command> --help` for flags";
 

@@ -267,6 +267,178 @@ fn rules_and_explain_work_with_bundle() {
 }
 
 #[test]
+fn dist_two_worker_merge_is_byte_identical_to_assess() {
+    let design = tmp("dist_c17.bench");
+    std::fs::write(&design, C17_BENCH).expect("write design");
+    let design = design.to_str().expect("utf8").to_string();
+    let plan = tmp("dist_plan.txt");
+    let plan = plan.to_str().expect("utf8").to_string();
+
+    let run_ok = |args: &[&str]| {
+        let out = cli().args(args).output().expect("runs");
+        assert!(
+            out.status.success(),
+            "{args:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+
+    run_ok(&[
+        "dist", "plan", &design, "--traces", "1500", "--seed", "11", "--parts", "2", "--out", &plan,
+    ]);
+    let manifest = std::fs::read_to_string(&plan).expect("plan written");
+    assert!(manifest.starts_with("polaris-dist-plan v1"), "{manifest}");
+
+    let mut shard_paths = Vec::new();
+    for part in ["0", "1"] {
+        let shard = tmp(&format!("dist_part{part}.shard"));
+        let shard = shard.to_str().expect("utf8").to_string();
+        run_ok(&[
+            "dist", "work", &design, "--plan", &plan, "--part", part, "--out", &shard,
+        ]);
+        shard_paths.push(shard);
+    }
+
+    let merged_csv = tmp("dist_merged.csv");
+    let merged_csv = merged_csv.to_str().expect("utf8").to_string();
+    let merge_stdout = run_ok(&[
+        "dist",
+        "merge",
+        &design,
+        "--plan",
+        &plan,
+        &shard_paths[0],
+        &shard_paths[1],
+        "--csv",
+        &merged_csv,
+    ]);
+    assert!(merge_stdout.contains("LEAKY"), "{merge_stdout}");
+
+    let single_csv = tmp("dist_single.csv");
+    let single_csv = single_csv.to_str().expect("utf8").to_string();
+    run_ok(&[
+        "assess",
+        &design,
+        "--traces",
+        "1500",
+        "--seed",
+        "11",
+        "--csv",
+        &single_csv,
+    ]);
+    let merged = std::fs::read_to_string(&merged_csv).expect("merged csv");
+    let single = std::fs::read_to_string(&single_csv).expect("single csv");
+    assert_eq!(
+        merged, single,
+        "distributed fold must be byte-identical to the single-process run"
+    );
+}
+
+#[test]
+fn dist_bad_inputs_map_to_distinct_exit_codes() {
+    let design = tmp("dist_exit_c17.bench");
+    std::fs::write(&design, C17_BENCH).expect("write design");
+    let design = design.to_str().expect("utf8").to_string();
+    let plan = tmp("dist_exit_plan.txt");
+    let plan = plan.to_str().expect("utf8").to_string();
+    let shard = tmp("dist_exit_part0.shard");
+    let shard = shard.to_str().expect("utf8").to_string();
+
+    let run = |args: &[&str]| cli().args(args).output().expect("runs");
+    assert!(run(&[
+        "dist", "plan", &design, "--traces", "600", "--seed", "3", "--parts", "1", "--out", &plan,
+    ])
+    .status
+    .success());
+    assert!(
+        run(&["dist", "work", &design, "--plan", &plan, "--part", "0", "--out", &shard,])
+            .status
+            .success()
+    );
+    let good = std::fs::read(&shard).expect("shard written");
+
+    let merge_code = |path: &str| {
+        let out = run(&["dist", "merge", &design, "--plan", &plan, path]);
+        assert!(!out.status.success());
+        (
+            out.status.code().expect("exit code"),
+            String::from_utf8_lossy(&out.stderr).to_string(),
+        )
+    };
+
+    // Truncated file → 3.
+    let trunc = tmp("dist_exit_trunc.shard");
+    std::fs::write(&trunc, &good[..good.len() / 2]).expect("write");
+    let (code, msg) = merge_code(trunc.to_str().expect("utf8"));
+    assert_eq!(code, 3, "{msg}");
+    assert!(msg.contains("truncated"), "{msg}");
+
+    // Not a shard-state file at all → 4.
+    let garbage = tmp("dist_exit_garbage.shard");
+    std::fs::write(&garbage, b"definitely not a shard state").expect("write");
+    let (code, msg) = merge_code(garbage.to_str().expect("utf8"));
+    assert_eq!(code, 4, "{msg}");
+    assert!(msg.contains("magic"), "{msg}");
+
+    // Version skew → 5.
+    let skewed = tmp("dist_exit_version.shard");
+    let mut bytes = good.clone();
+    bytes[8] = 99;
+    std::fs::write(&skewed, &bytes).expect("write");
+    let (code, msg) = merge_code(skewed.to_str().expect("utf8"));
+    assert_eq!(code, 5, "{msg}");
+    assert!(msg.contains("version"), "{msg}");
+
+    // Flipped payload byte → 6.
+    let corrupt = tmp("dist_exit_corrupt.shard");
+    let mut bytes = good.clone();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&corrupt, &bytes).expect("write");
+    let (code, msg) = merge_code(corrupt.to_str().expect("utf8"));
+    assert_eq!(code, 6, "{msg}");
+    assert!(msg.contains("checksum"), "{msg}");
+
+    // Plan mismatch (part from a re-seeded campaign) → 7.
+    let other_plan = tmp("dist_exit_plan2.txt");
+    let other_plan = other_plan.to_str().expect("utf8").to_string();
+    let foreign = tmp("dist_exit_foreign.shard");
+    let foreign = foreign.to_str().expect("utf8").to_string();
+    assert!(run(&[
+        "dist",
+        "plan",
+        &design,
+        "--traces",
+        "600",
+        "--seed",
+        "4",
+        "--parts",
+        "1",
+        "--out",
+        &other_plan,
+    ])
+    .status
+    .success());
+    assert!(run(&[
+        "dist",
+        "work",
+        &design,
+        "--plan",
+        &other_plan,
+        "--part",
+        "0",
+        "--out",
+        &foreign,
+    ])
+    .status
+    .success());
+    let (code, msg) = merge_code(&foreign);
+    assert_eq!(code, 7, "{msg}");
+    assert!(msg.contains("fingerprint"), "{msg}");
+}
+
+#[test]
 fn explain_unknown_gate_errors() {
     let design = tmp("demo_unknown.v");
     std::fs::write(&design, DEMO).expect("write design");

@@ -11,7 +11,10 @@ use std::time::Instant;
 use polaris_masking::{apply_masking, MaskedDesign};
 use polaris_ml::Classifier;
 use polaris_netlist::{GateId, GraphView, Netlist};
-use polaris_sim::{run_campaign_parallel, CampaignConfig, Parallelism, PowerModel};
+use polaris_sim::{
+    run_campaign_adaptive, run_campaign_parallel, CampaignConfig, CampaignOutcome, NeverStop,
+    Parallelism, PowerModel,
+};
 use polaris_tvla::{GateLeakage, LeakageSummary, WelchAccumulator};
 use polaris_xai::RuleSet;
 
@@ -94,6 +97,55 @@ pub fn rank_gates(
     Ok(choices)
 }
 
+/// The baseline reporting campaign of a configuration: the fixed-vs-random
+/// budget [`polaris_mask`] assesses before masking. A distributed
+/// coordinator plans exactly this campaign over the *normalized* design,
+/// merges the worker parts, and hands the fold to
+/// [`polaris_mask_with_baseline`] — skipping the in-process baseline run.
+pub fn reporting_campaign(config: &PolarisConfig) -> CampaignConfig {
+    let mut campaign =
+        CampaignConfig::new(config.max_traces, config.max_traces, config.seed ^ 0xA55E55)
+            .with_cycles(config.cycles);
+    if config.glitch_model {
+        campaign = campaign.with_glitches();
+    }
+    campaign
+}
+
+/// Runs the baseline [`reporting_campaign`] of `config` over a *normalized*
+/// design in-process (honoring the adaptive-stopping knobs) and returns the
+/// folded outcome — exactly what [`polaris_mask_with_baseline`] consumes.
+/// The distributed flow replaces this one function with a plan / work /
+/// merge round (`polaris_dist::merged_outcome`); everything downstream is
+/// shared.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn baseline_outcome(
+    design: &Netlist,
+    config: &PolarisConfig,
+    power: &PowerModel,
+) -> Result<CampaignOutcome<WelchAccumulator>, PolarisError> {
+    let campaign = reporting_campaign(config);
+    // The campaigns run on the sharded parallel engine — the thread knob
+    // never changes the statistics. In adaptive mode the baseline stops
+    // once its verdict converges.
+    let par = config.parallelism();
+    let outcome = if config.adaptive {
+        polaris_tvla::campaign_outcome_adaptive(
+            design,
+            power,
+            &campaign,
+            par,
+            &config.sequential_config(),
+        )?
+    } else {
+        run_campaign_adaptive(design, power, &campaign, par, usize::MAX, &mut NeverStop)?
+    };
+    Ok(outcome)
+}
+
 /// Runs Algorithm 2 on a normalized design, masking the `msize` top-ranked
 /// gates, then assesses before/after leakage for reporting.
 ///
@@ -109,36 +161,53 @@ pub fn polaris_mask(
     power: &PowerModel,
     msize: usize,
 ) -> Result<MitigationReport, PolarisError> {
-    let mut campaign =
-        CampaignConfig::new(config.max_traces, config.max_traces, config.seed ^ 0xA55E55)
-            .with_cycles(config.cycles);
-    if config.glitch_model {
-        campaign = campaign.with_glitches();
-    }
-
-    // Reporting: baseline leakage (outside the mitigation path). The
-    // campaigns run on the sharded parallel engine — the thread knob never
-    // changes the statistics. In adaptive mode the baseline stops once its
-    // verdict converges and the after-campaign is pinned to the same trace
-    // counts, so the before/after comparison stays like for like.
-    let par = config.parallelism();
+    // Reporting baseline (outside the mitigation path); its cost is
+    // attributed to this report's assessment time.
     let assess_start = Instant::now();
-    let mut stopped_early = false;
-    let before_map = if config.adaptive {
-        let a = polaris_tvla::assess_adaptive(
-            design,
-            power,
-            &campaign,
-            par,
-            &config.sequential_config(),
-        )?;
-        campaign.n_fixed = a.stats.fixed_traces;
-        campaign.n_random = a.stats.random_traces;
-        stopped_early = a.stats.stopped_early;
-        a.leakage
-    } else {
-        polaris_tvla::assess_parallel(design, power, &campaign, par)?
-    };
+    let baseline = baseline_outcome(design, config, power)?;
+    let baseline_time_s = assess_start.elapsed().as_secs_f64();
+    let mut report = polaris_mask_with_baseline(
+        design, model, rules, extractor, config, power, msize, baseline,
+    )?;
+    report.assessment_time_s += baseline_time_s;
+    Ok(report)
+}
+
+/// [`polaris_mask`] with the baseline assessment already done: consumes a
+/// pre-folded [`CampaignOutcome`] over [`reporting_campaign`]`(config)` —
+/// typically folded centrally from distributed shard states
+/// (`polaris_dist::merged_outcome`) or carried over from an earlier
+/// adaptive run — instead of re-simulating the baseline in-process.
+///
+/// The outcome's [`polaris_sim::CampaignStats`] drive the after-campaign
+/// exactly as in [`polaris_mask`]: the follow-up is pinned to the
+/// baseline's consumed trace counts, so before/after √n-scaled |t| totals
+/// compare like for like. `report.assessment_time_s` covers only the work
+/// done here (the after-campaign); the caller owns the baseline's cost
+/// accounting.
+///
+/// # Errors
+///
+/// Propagates netlist/masking/simulation failures.
+#[allow(clippy::too_many_arguments)] // mirrors polaris_mask + the baseline
+pub fn polaris_mask_with_baseline(
+    design: &Netlist,
+    model: &PolarisModel,
+    rules: Option<&RuleSet>,
+    extractor: &StructuralFeatureExtractor,
+    config: &PolarisConfig,
+    power: &PowerModel,
+    msize: usize,
+    baseline: CampaignOutcome<WelchAccumulator>,
+) -> Result<MitigationReport, PolarisError> {
+    let par = config.parallelism();
+    let mut campaign = reporting_campaign(config);
+    campaign.n_fixed = baseline.stats.fixed_traces;
+    campaign.n_random = baseline.stats.random_traces;
+    let stopped_early = baseline.stats.stopped_early;
+
+    let assess_start = Instant::now();
+    let before_map = baseline.sink.leakage();
     let before = before_map.summarize(design);
     let mut assessment_time_s = assess_start.elapsed().as_secs_f64();
 

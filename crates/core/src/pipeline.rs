@@ -5,14 +5,15 @@ use polaris_ml::metrics::{roc_auc, Confusion};
 use polaris_ml::{Classifier, Dataset};
 use polaris_netlist::transform::decompose;
 use polaris_netlist::Netlist;
-use polaris_sim::{CampaignConfig, PowerModel};
+use polaris_sim::{CampaignOutcome, PowerModel};
+use polaris_tvla::WelchAccumulator;
 use polaris_xai::{RuleMiner, RuleSet};
 
 use crate::cognition::{generate_for_design, CognitionStats};
 use crate::config::PolarisConfig;
 use crate::explain::Explainer;
 use crate::features::StructuralFeatureExtractor;
-use crate::masking_flow::{polaris_mask, MitigationReport};
+use crate::masking_flow::{baseline_outcome, polaris_mask_with_baseline, MitigationReport};
 use crate::model::PolarisModel;
 use crate::PolarisError;
 
@@ -275,52 +276,20 @@ impl TrainedPolaris {
         power: &PowerModel,
         budget: MaskBudget,
     ) -> Result<MitigationReport, PolarisError> {
+        // One reporting baseline serves both the leaky-count budget
+        // resolution and the mitigation report (a leaky *count* is a
+        // verdict, not a magnitude — exactly what adaptive stopping
+        // preserves). Running it here and handing it down keeps this path
+        // bit-identical to mask_design_with_baseline for every budget kind
+        // and spares LeakyFraction its former extra campaign.
         let (normalized, _) = decompose(design)?;
-        let maskable = normalized
-            .cell_ids()
-            .into_iter()
-            .filter(|&id| normalized.gate(id).fanin().len() <= 2)
-            .count();
-        let msize = match budget {
-            MaskBudget::Count(n) => n.min(maskable),
-            MaskBudget::CellFraction(f) => ((maskable as f64) * f.clamp(0.0, 1.0)).round() as usize,
-            MaskBudget::LeakyFraction(f) => {
-                // Leaky-count baseline (shared experiment context; the
-                // mitigation path itself stays TVLA-free). A leaky *count*
-                // is a verdict, not a magnitude — exactly what adaptive
-                // stopping preserves — so the converged early stop is used
-                // whenever the configuration enables it.
-                let mut campaign = CampaignConfig::new(
-                    self.config.max_traces,
-                    self.config.max_traces,
-                    self.config.seed,
-                )
-                .with_cycles(self.config.cycles);
-                if self.config.glitch_model {
-                    campaign = campaign.with_glitches();
-                }
-                let leakage = if self.config.adaptive {
-                    polaris_tvla::assess_adaptive(
-                        &normalized,
-                        power,
-                        &campaign,
-                        self.config.parallelism(),
-                        &self.config.sequential_config(),
-                    )?
-                    .leakage
-                } else {
-                    polaris_tvla::assess_parallel(
-                        &normalized,
-                        power,
-                        &campaign,
-                        self.config.parallelism(),
-                    )?
-                };
-                let leaky = leakage.summarize(&normalized).leaky_cells;
-                (((leaky as f64) * f.clamp(0.0, 1.0)).round() as usize).min(maskable)
-            }
-        };
-        polaris_mask(
+        let assess_start = std::time::Instant::now();
+        let baseline = baseline_outcome(&normalized, &self.config, power)?;
+        let baseline_time_s = assess_start.elapsed().as_secs_f64();
+        let msize = self.resolve_msize(&normalized, budget, || {
+            Ok(baseline.sink.leakage().summarize(&normalized).leaky_cells)
+        })?;
+        let mut report = polaris_mask_with_baseline(
             &normalized,
             &self.model,
             Some(&self.rules),
@@ -328,6 +297,73 @@ impl TrainedPolaris {
             &self.config,
             power,
             msize,
+            baseline,
+        )?;
+        report.assessment_time_s += baseline_time_s;
+        Ok(report)
+    }
+
+    /// Resolves a [`MaskBudget`] into a gate count over the normalized
+    /// design; `leaky_cells` supplies the leaky-count baseline only when a
+    /// [`MaskBudget::LeakyFraction`] budget actually needs one. Shared by
+    /// [`TrainedPolaris::mask_design`] (which runs a campaign for it) and
+    /// [`TrainedPolaris::mask_design_with_baseline`] (which reads the
+    /// supplied fold), so budget semantics cannot drift between the paths.
+    fn resolve_msize<F>(
+        &self,
+        normalized: &Netlist,
+        budget: MaskBudget,
+        leaky_cells: F,
+    ) -> Result<usize, PolarisError>
+    where
+        F: FnOnce() -> Result<usize, PolarisError>,
+    {
+        let maskable = normalized
+            .cell_ids()
+            .into_iter()
+            .filter(|&id| normalized.gate(id).fanin().len() <= 2)
+            .count();
+        Ok(match budget {
+            MaskBudget::Count(n) => n.min(maskable),
+            MaskBudget::CellFraction(f) => ((maskable as f64) * f.clamp(0.0, 1.0)).round() as usize,
+            MaskBudget::LeakyFraction(f) => {
+                let leaky = leaky_cells()?;
+                (((leaky as f64) * f.clamp(0.0, 1.0)).round() as usize).min(maskable)
+            }
+        })
+    }
+
+    /// [`TrainedPolaris::mask_design`] with the baseline assessment already
+    /// done — consumes a pre-folded [`CampaignOutcome`] over
+    /// [`crate::masking_flow::reporting_campaign`] of the *normalized*
+    /// design (distributed coordinators fold it from worker shard states
+    /// via `polaris_dist::merged_outcome`). The leaky-fraction budget is
+    /// resolved against the supplied baseline, so no extra campaign runs
+    /// before the mitigation path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist/masking/simulation failures.
+    pub fn mask_design_with_baseline(
+        &self,
+        design: &Netlist,
+        power: &PowerModel,
+        budget: MaskBudget,
+        baseline: CampaignOutcome<WelchAccumulator>,
+    ) -> Result<MitigationReport, PolarisError> {
+        let (normalized, _) = decompose(design)?;
+        let msize = self.resolve_msize(&normalized, budget, || {
+            Ok(baseline.sink.leakage().summarize(&normalized).leaky_cells)
+        })?;
+        polaris_mask_with_baseline(
+            &normalized,
+            &self.model,
+            Some(&self.rules),
+            &self.extractor,
+            &self.config,
+            power,
+            msize,
+            baseline,
         )
     }
 }

@@ -1,0 +1,492 @@
+//! Shard plans: the coordinator-side partition of a campaign's shard grid
+//! into contiguous per-worker ranges, plus the campaign fingerprint that
+//! ties every shard-state file to one exact `(netlist, power model,
+//! campaign)` triple.
+
+use std::ops::Range;
+
+use polaris_netlist::{GateKind, Netlist};
+use polaris_sim::campaign::{partition_shards, shard_grid, splitmix64, CampaignConfig, DelayModel};
+use polaris_sim::PowerModel;
+
+use crate::codec::SinkKind;
+use crate::wire::fnv1a64;
+use crate::DistError;
+
+/// Digest of everything that determines a campaign's sample stream: the
+/// netlist structure, the power model (per-kind capacitances and noise
+/// sigma shape every energy sample), and the campaign configuration (seed,
+/// class budgets, cycles, delay model, resolved class vectors). Two parties
+/// agree on the fingerprint iff folding their shard states is meaningful —
+/// the merge refuses mismatching parts.
+///
+/// The digest is *not* cryptographic (like the file checksum it guards
+/// against mistakes, not adversaries) and is only compared between builds
+/// of the same format version, so its recipe may change freely whenever
+/// [`crate::FORMAT_VERSION`] bumps.
+pub fn campaign_fingerprint(netlist: &Netlist, model: &PowerModel, config: &CampaignConfig) -> u64 {
+    let mut h = splitmix64(0x504C_5253_4449_5354); // "PLRSDIST"
+    let mix = |h: &mut u64, v: u64| *h = splitmix64(*h ^ v);
+
+    // Power model: every per-kind capacitance weight plus the noise level.
+    for kind in GateKind::ALL {
+        mix(&mut h, model.cap(kind).to_bits());
+    }
+    mix(&mut h, model.noise_sigma().to_bits());
+
+    // Netlist structure: name, interface widths, then every gate's kind and
+    // fanin. Gate ids are dense indices, so this pins the exact graph.
+    mix(&mut h, fnv1a64(netlist.name().as_bytes()));
+    mix(&mut h, netlist.gate_count() as u64);
+    mix(&mut h, netlist.data_inputs().len() as u64);
+    mix(&mut h, netlist.mask_inputs().len() as u64);
+    for (_, gate) in netlist.iter() {
+        mix(&mut h, gate.kind().ordinal() as u64);
+        mix(&mut h, gate.fanin().len() as u64);
+        for &f in gate.fanin() {
+            mix(&mut h, f.index() as u64);
+        }
+    }
+
+    // Campaign configuration, including the *resolved* fixed vector(s) so
+    // an explicit vector and its seed-derived twin fingerprint identically.
+    mix(&mut h, config.seed);
+    mix(&mut h, config.n_fixed as u64);
+    mix(&mut h, config.n_random as u64);
+    mix(&mut h, config.cycles as u64);
+    mix(
+        &mut h,
+        match config.delay_model {
+            DelayModel::Zero => 0,
+            DelayModel::UnitDelay => 1,
+        },
+    );
+    let mix_bits = |h: &mut u64, bits: &[bool]| {
+        mix(h, bits.len() as u64);
+        for chunk in bits.chunks(64) {
+            let mut word = 0u64;
+            for (i, &b) in chunk.iter().enumerate() {
+                word |= u64::from(b) << i;
+            }
+            mix(h, word);
+        }
+    };
+    mix_bits(
+        &mut h,
+        &config.resolve_fixed_vector(netlist.data_inputs().len()),
+    );
+    match &config.second_fixed_vector {
+        None => mix(&mut h, 0),
+        Some(v) => {
+            mix(&mut h, 1);
+            mix_bits(&mut h, v);
+        }
+    }
+    h
+}
+
+/// A distributed campaign plan: the campaign parameters a worker needs to
+/// recompute its shard range, the partition itself, and the fingerprint the
+/// coordinator derived. Serializes to a line-oriented manifest
+/// ([`DistPlan::render`] / [`DistPlan::parse`]) that ships to workers
+/// alongside the netlist.
+///
+/// The manifest deliberately carries only seed-derivable campaigns
+/// (fixed-vs-random with the fixed class derived from the seed — what the
+/// CLI runs); flows with explicit class vectors use the library API
+/// ([`crate::execute_part`] / [`crate::merge_parts`]) on a shared
+/// [`CampaignConfig`] instead.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DistPlan {
+    /// Module name of the design (cross-checked at load).
+    pub design: String,
+    /// Accumulator family the workers snapshot.
+    pub sink: SinkKind,
+    /// Campaign master seed.
+    pub seed: u64,
+    /// Fixed-class trace budget.
+    pub n_fixed: usize,
+    /// Random-class trace budget.
+    pub n_random: usize,
+    /// Clock cycles per trace.
+    pub cycles: usize,
+    /// Unit-delay (glitch) timing model.
+    pub glitch: bool,
+    /// [`campaign_fingerprint`] of `(netlist, power model, campaign)`.
+    pub fingerprint: u64,
+    /// Total shards in the campaign grid.
+    pub n_shards: usize,
+    /// Contiguous per-part shard ranges, tiling `0..n_shards` in order.
+    pub parts: Vec<Range<usize>>,
+}
+
+const MANIFEST_HEADER: &str = "polaris-dist-plan v1";
+
+impl DistPlan {
+    /// Plans `config` over `netlist` in `parts` contiguous shard ranges.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Malformed`] if `parts == 0` or the campaign carries
+    /// explicit class vectors (which the manifest cannot transport).
+    pub fn new(
+        netlist: &Netlist,
+        model: &PowerModel,
+        config: &CampaignConfig,
+        sink: SinkKind,
+        parts: usize,
+    ) -> Result<Self, DistError> {
+        if parts == 0 {
+            return Err(DistError::Malformed(
+                "a plan needs at least one part".into(),
+            ));
+        }
+        if config.fixed_vector.is_some() || config.second_fixed_vector.is_some() {
+            return Err(DistError::Malformed(
+                "plan manifests cannot carry explicit class vectors; \
+                 use the library API for fixed-vs-fixed campaigns"
+                    .into(),
+            ));
+        }
+        let n_shards = shard_grid(config).len();
+        Ok(DistPlan {
+            design: netlist.name().to_string(),
+            sink,
+            seed: config.seed,
+            n_fixed: config.n_fixed,
+            n_random: config.n_random,
+            cycles: config.cycles,
+            glitch: config.delay_model == DelayModel::UnitDelay,
+            fingerprint: campaign_fingerprint(netlist, model, config),
+            n_shards,
+            parts: partition_shards(n_shards, parts),
+        })
+    }
+
+    /// Reconstructs the campaign configuration the plan describes.
+    pub fn campaign(&self) -> CampaignConfig {
+        let mut c =
+            CampaignConfig::new(self.n_fixed, self.n_random, self.seed).with_cycles(self.cycles);
+        if self.glitch {
+            c = c.with_glitches();
+        }
+        c
+    }
+
+    /// Re-derives the campaign against a freshly loaded netlist and the
+    /// power model this process will simulate with, and checks both against
+    /// the plan's fingerprint and grid size — the worker-side guard that it
+    /// was handed the same design (and energy model) the coordinator
+    /// planned. The manifest does not transport the model; agreeing on it
+    /// is part of agreeing on the fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::FingerprintMismatch`] / [`DistError::PlanMismatch`] on
+    /// divergence.
+    pub fn verify(
+        &self,
+        netlist: &Netlist,
+        model: &PowerModel,
+    ) -> Result<CampaignConfig, DistError> {
+        let campaign = self.campaign();
+        let found = campaign_fingerprint(netlist, model, &campaign);
+        if found != self.fingerprint {
+            return Err(DistError::FingerprintMismatch {
+                expected: self.fingerprint,
+                found,
+            });
+        }
+        let n_shards = shard_grid(&campaign).len();
+        if n_shards != self.n_shards {
+            return Err(DistError::PlanMismatch(format!(
+                "plan says {} shards, campaign produces {n_shards}",
+                self.n_shards
+            )));
+        }
+        Ok(campaign)
+    }
+
+    /// Renders the line-oriented plan manifest.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(MANIFEST_HEADER);
+        out.push('\n');
+        out.push_str(&format!("design {}\n", self.design));
+        out.push_str(&format!("sink {}\n", self.sink.name()));
+        out.push_str(&format!("seed {}\n", self.seed));
+        out.push_str(&format!("traces-fixed {}\n", self.n_fixed));
+        out.push_str(&format!("traces-random {}\n", self.n_random));
+        out.push_str(&format!("cycles {}\n", self.cycles));
+        out.push_str(&format!("glitch {}\n", u8::from(self.glitch)));
+        out.push_str(&format!("fingerprint {:016x}\n", self.fingerprint));
+        out.push_str(&format!("shards {}\n", self.n_shards));
+        out.push_str(&format!("parts {}\n", self.parts.len()));
+        for (i, r) in self.parts.iter().enumerate() {
+            out.push_str(&format!("part {i} {} {}\n", r.start, r.end));
+        }
+        out
+    }
+
+    /// Parses a manifest produced by [`DistPlan::render`].
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Malformed`] on any structural problem (wrong header,
+    /// missing or duplicate keys, non-tiling part ranges).
+    pub fn parse(text: &str) -> Result<Self, DistError> {
+        fn bad(why: String) -> DistError {
+            DistError::Malformed(format!("plan manifest: {why}"))
+        }
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        match lines.next() {
+            Some(l) if l.trim() == MANIFEST_HEADER => {}
+            other => {
+                return Err(bad(format!(
+                    "expected header `{MANIFEST_HEADER}`, found {other:?}"
+                )))
+            }
+        }
+        let mut design = None;
+        let mut sink = None;
+        let mut seed = None;
+        let mut n_fixed = None;
+        let mut n_random = None;
+        let mut cycles = None;
+        let mut glitch = None;
+        let mut fingerprint = None;
+        let mut n_shards = None;
+        let mut n_parts: Option<usize> = None;
+        let mut parts: Vec<(usize, Range<usize>)> = Vec::new();
+
+        fn set<T>(slot: &mut Option<T>, key: &str, v: T) -> Result<(), DistError> {
+            if slot.is_some() {
+                return Err(DistError::Malformed(format!(
+                    "plan manifest: duplicate key `{key}`"
+                )));
+            }
+            *slot = Some(v);
+            Ok(())
+        }
+        let int = |key: &str, v: &str| -> Result<usize, DistError> {
+            v.parse()
+                .map_err(|_| DistError::Malformed(format!("plan manifest: bad {key} `{v}`")))
+        };
+
+        for line in lines {
+            let mut words = line.split_whitespace();
+            let key = words.next().unwrap_or_default();
+            let rest: Vec<&str> = words.collect();
+            let one = || -> Result<&str, DistError> {
+                if rest.len() == 1 {
+                    Ok(rest[0])
+                } else {
+                    Err(DistError::Malformed(format!(
+                        "plan manifest: `{key}` takes one value, line `{line}`"
+                    )))
+                }
+            };
+            match key {
+                "design" => set(&mut design, key, one()?.to_string())?,
+                "sink" => {
+                    let name = one()?;
+                    let kind = SinkKind::from_name(name)
+                        .ok_or_else(|| bad(format!("unknown sink kind `{name}`")))?;
+                    set(&mut sink, key, kind)?;
+                }
+                "seed" => set(
+                    &mut seed,
+                    key,
+                    one()?
+                        .parse::<u64>()
+                        .map_err(|_| bad(format!("bad seed `{}`", rest[0])))?,
+                )?,
+                "traces-fixed" => set(&mut n_fixed, key, int(key, one()?)?)?,
+                "traces-random" => set(&mut n_random, key, int(key, one()?)?)?,
+                "cycles" => set(&mut cycles, key, int(key, one()?)?)?,
+                "glitch" => set(
+                    &mut glitch,
+                    key,
+                    match one()? {
+                        "0" => false,
+                        "1" => true,
+                        v => return Err(bad(format!("bad glitch flag `{v}`"))),
+                    },
+                )?,
+                "fingerprint" => set(
+                    &mut fingerprint,
+                    key,
+                    u64::from_str_radix(one()?, 16)
+                        .map_err(|_| bad(format!("bad fingerprint `{}`", rest[0])))?,
+                )?,
+                "shards" => set(&mut n_shards, key, int(key, one()?)?)?,
+                "parts" => set(&mut n_parts, key, int(key, one()?)?)?,
+                "part" => {
+                    if rest.len() != 3 {
+                        return Err(bad(format!("`part` takes index lo hi, line `{line}`")));
+                    }
+                    parts.push((
+                        int("part index", rest[0])?,
+                        int("part lo", rest[1])?..int("part hi", rest[2])?,
+                    ));
+                }
+                other => return Err(bad(format!("unknown key `{other}`"))),
+            }
+        }
+
+        let req = |name: &'static str| move || bad(format!("missing key `{name}`"));
+        let plan = DistPlan {
+            design: design.ok_or_else(req("design"))?,
+            sink: sink.ok_or_else(req("sink"))?,
+            seed: seed.ok_or_else(req("seed"))?,
+            n_fixed: n_fixed.ok_or_else(req("traces-fixed"))?,
+            n_random: n_random.ok_or_else(req("traces-random"))?,
+            cycles: cycles.ok_or_else(req("cycles"))?,
+            glitch: glitch.ok_or_else(req("glitch"))?,
+            fingerprint: fingerprint.ok_or_else(req("fingerprint"))?,
+            n_shards: n_shards.ok_or_else(req("shards"))?,
+            parts: {
+                let declared = n_parts.ok_or_else(req("parts"))?;
+                if parts.len() != declared {
+                    return Err(bad(format!(
+                        "declared {declared} parts, found {}",
+                        parts.len()
+                    )));
+                }
+                for (i, (idx, _)) in parts.iter().enumerate() {
+                    if *idx != i {
+                        return Err(bad(format!("part indices out of order at `{idx}`")));
+                    }
+                }
+                parts.into_iter().map(|(_, r)| r).collect()
+            },
+        };
+        // Ranges must tile the grid in order.
+        let mut next = 0usize;
+        for (i, r) in plan.parts.iter().enumerate() {
+            if r.start != next || r.end < r.start {
+                return Err(bad(format!("part {i} range {r:?} does not tile the grid")));
+            }
+            next = r.end;
+        }
+        if next != plan.n_shards {
+            return Err(bad(format!(
+                "parts cover {next} shards, grid has {}",
+                plan.n_shards
+            )));
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polaris_netlist::generators;
+
+    #[test]
+    fn manifest_round_trips() {
+        let n = generators::iscas_c17();
+        let cfg = CampaignConfig::new(3000, 3000, 11);
+        let plan = DistPlan::new(&n, &PowerModel::default(), &cfg, SinkKind::Welch, 3).unwrap();
+        let parsed = DistPlan::parse(&plan.render()).unwrap();
+        assert_eq!(plan, parsed);
+        assert_eq!(parsed.campaign(), cfg);
+        parsed.verify(&n, &PowerModel::default()).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_separates_configs_and_designs() {
+        let c17 = generators::iscas_c17();
+        let cfg = CampaignConfig::new(1000, 1000, 7);
+        let model = PowerModel::default();
+        let base = campaign_fingerprint(&c17, &model, &cfg);
+        assert_eq!(
+            base,
+            campaign_fingerprint(&c17, &model, &cfg),
+            "deterministic"
+        );
+        let reseeded = CampaignConfig::new(1000, 1000, 8);
+        assert_ne!(base, campaign_fingerprint(&c17, &model, &reseeded));
+        let rebudgeted = CampaignConfig::new(1000, 1001, 7);
+        assert_ne!(base, campaign_fingerprint(&c17, &model, &rebudgeted));
+        let glitchy = CampaignConfig::new(1000, 1000, 7).with_glitches();
+        assert_ne!(base, campaign_fingerprint(&c17, &model, &glitchy));
+        let noisy = PowerModel::default().with_noise(0.05);
+        assert_ne!(base, campaign_fingerprint(&c17, &noisy, &cfg));
+        let other = generators::iscas_like("c432", 1, 7).unwrap();
+        assert_ne!(base, campaign_fingerprint(&other, &model, &cfg));
+    }
+
+    #[test]
+    fn explicit_vector_fingerprints_like_its_derived_twin() {
+        // The fingerprint hashes the *resolved* fixed vector, so pinning the
+        // derived vector explicitly is the same campaign.
+        let n = generators::iscas_c17();
+        let cfg = CampaignConfig::new(500, 500, 9);
+        let pinned = cfg
+            .clone()
+            .with_fixed_vector(cfg.resolve_fixed_vector(n.data_inputs().len()));
+        let model = PowerModel::default();
+        assert_eq!(
+            campaign_fingerprint(&n, &model, &cfg),
+            campaign_fingerprint(&n, &model, &pinned)
+        );
+    }
+
+    #[test]
+    fn verify_rejects_a_different_netlist() {
+        let n = generators::iscas_c17();
+        let cfg = CampaignConfig::new(1000, 1000, 7);
+        let model = PowerModel::default();
+        let plan = DistPlan::new(&n, &model, &cfg, SinkKind::Welch, 2).unwrap();
+        let other = generators::iscas_like("c432", 1, 7).unwrap();
+        assert!(matches!(
+            plan.verify(&other, &model),
+            Err(DistError::FingerprintMismatch { .. })
+        ));
+        // The same netlist under a different power model is a different
+        // campaign too.
+        assert!(matches!(
+            plan.verify(&n, &PowerModel::default().with_noise(0.01)),
+            Err(DistError::FingerprintMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_manifests_are_rejected() {
+        let n = generators::iscas_c17();
+        let cfg = CampaignConfig::new(1000, 1000, 7);
+        let good = DistPlan::new(&n, &PowerModel::default(), &cfg, SinkKind::Welch, 2)
+            .unwrap()
+            .render();
+
+        for mangle in [
+            good.replace("polaris-dist-plan v1", "polaris-dist-plan v9"),
+            good.replace("seed 7", ""),
+            good.replace("seed 7", "seed banana"),
+            good.replace("sink welch", "sink parquet"),
+            good.replace("part 1 4 8", "part 1 5 8"),
+            good.replace("parts 2", "parts 3"),
+            format!("{good}seed 7\n"),
+            good.replace("glitch 0", "glitch maybe"),
+        ] {
+            assert!(
+                matches!(DistPlan::parse(&mangle), Err(DistError::Malformed(_))),
+                "should reject:\n{mangle}"
+            );
+        }
+        // Reference sanity: the unmangled manifest parses.
+        DistPlan::parse(&good).unwrap();
+    }
+
+    #[test]
+    fn plans_with_explicit_vectors_are_rejected() {
+        let n = generators::iscas_c17();
+        let cfg = CampaignConfig::new(100, 100, 7).with_fixed_vector(vec![true; 5]);
+        assert!(matches!(
+            DistPlan::new(&n, &PowerModel::default(), &cfg, SinkKind::Welch, 2),
+            Err(DistError::Malformed(_))
+        ));
+    }
+}

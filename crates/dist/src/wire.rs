@@ -1,0 +1,180 @@
+//! Byte-level primitives of the shard-state wire format: little-endian
+//! fixed-width integers, bit-exact `f64` transport, and the FNV-1a-64
+//! checksum. Everything here treats its input as untrusted — reads are
+//! bounds-checked and report [`DistError::Truncated`] instead of panicking.
+
+use crate::DistError;
+
+/// FNV-1a-64 over a byte slice — the file checksum. FNV is not
+/// cryptographic; it guards against truncation and bit rot, not tampering.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Appends a `u16` in little-endian order.
+pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u32` in little-endian order.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` in little-endian order.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `f64` as its IEEE-754 bit pattern (lossless for every value,
+/// including subnormals, infinities, and NaN payloads).
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+/// Bounds-checked cursor over untrusted shard-state bytes.
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over the whole slice.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Current read position.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Consumes `n` bytes, failing with [`DistError::Truncated`] (naming
+    /// `context`) if fewer are left.
+    pub fn take(&mut self, n: usize, context: &str) -> Result<&'a [u8], DistError> {
+        if self.remaining() < n {
+            return Err(DistError::Truncated {
+                context: context.to_string(),
+            });
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self, context: &str) -> Result<u16, DistError> {
+        let b = self.take(2, context)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self, context: &str) -> Result<u8, DistError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self, context: &str) -> Result<u32, DistError> {
+        let b = self.take(4, context)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self, context: &str) -> Result<u64, DistError> {
+        let b = self.take(8, context)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads an `f64` transported as its bit pattern.
+    pub fn f64(&mut self, context: &str) -> Result<f64, DistError> {
+        Ok(f64::from_bits(self.u64(context)?))
+    }
+
+    /// Guards a length-prefixed allocation: `count` elements of `elem_size`
+    /// bytes must still be present in the input. Called before any
+    /// `Vec::with_capacity` driven by untrusted counts, so a forged length
+    /// cannot trigger an absurd allocation.
+    pub fn expect_elements(
+        &self,
+        count: usize,
+        elem_size: usize,
+        context: &str,
+    ) -> Result<(), DistError> {
+        let needed = count.checked_mul(elem_size).ok_or_else(|| {
+            DistError::Malformed(format!("{context}: element count {count} overflows"))
+        })?;
+        if self.remaining() < needed {
+            return Err(DistError::Truncated {
+                context: context.to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_reference_vectors() {
+        // Published FNV-1a-64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn integers_round_trip() {
+        let mut out = Vec::new();
+        put_u16(&mut out, 0xBEEF);
+        put_u32(&mut out, 0xDEAD_BEEF);
+        put_u64(&mut out, 0x0123_4567_89AB_CDEF);
+        put_f64(&mut out, -0.0);
+        put_f64(&mut out, f64::NAN);
+        let mut r = Reader::new(&out);
+        assert_eq!(r.u16("a").unwrap(), 0xBEEF);
+        assert_eq!(r.u32("b").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64("c").unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.f64("d").unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.f64("e").unwrap().is_nan());
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn short_reads_are_truncated_errors() {
+        let mut r = Reader::new(&[1, 2, 3]);
+        assert!(matches!(
+            r.u32("field"),
+            Err(DistError::Truncated { context }) if context == "field"
+        ));
+        // The failed read consumed nothing.
+        assert_eq!(r.remaining(), 3);
+    }
+
+    #[test]
+    fn element_guard_blocks_forged_counts() {
+        let r = Reader::new(&[0u8; 16]);
+        assert!(r.expect_elements(2, 8, "ok").is_ok());
+        assert!(matches!(
+            r.expect_elements(3, 8, "big"),
+            Err(DistError::Truncated { .. })
+        ));
+        assert!(matches!(
+            r.expect_elements(usize::MAX, 8, "overflow"),
+            Err(DistError::Malformed(_))
+        ));
+    }
+}

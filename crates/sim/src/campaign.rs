@@ -317,6 +317,25 @@ impl GateSamples {
     pub fn random(&self, id: GateId) -> &[f64] {
         &self.random[id.index()]
     }
+
+    /// The per-gate class buffers, `(fixed, random)` — the snapshot side of
+    /// the distributed shard-state format. The two sides may disagree on
+    /// gate count: a one-population shard leaves the unseen class empty.
+    pub fn classes(&self) -> (&[Vec<f64>], &[Vec<f64>]) {
+        (&self.fixed, &self.random)
+    }
+
+    /// Decomposes the collector into its per-gate class buffers (owned
+    /// variant of [`GateSamples::classes`]).
+    pub fn into_classes(self) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        (self.fixed, self.random)
+    }
+
+    /// Reassembles a collector from per-gate class buffers (the restore
+    /// side of [`GateSamples::into_classes`]).
+    pub fn from_classes(fixed: Vec<Vec<f64>>, random: Vec<Vec<f64>>) -> Self {
+        GateSamples { fixed, random }
+    }
 }
 
 impl TraceSink for GateSamples {
@@ -508,11 +527,33 @@ impl<'a> Engine<'a> {
 
 /// One entry of the fixed shard grid: a contiguous trace range of one
 /// population.
-#[derive(Clone, Copy, Debug)]
-struct ShardSpec {
+///
+/// Shard specs are pure functions of the campaign configuration (see
+/// [`shard_grid`]); their position in the grid — the *grid index* — is the
+/// canonical merge order every execution strategy (in-process workers,
+/// distributed `polaris-dist` parts) must fold in to stay bit-identical.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
     pop: Population,
     start: usize,
     count: usize,
+}
+
+impl ShardSpec {
+    /// The TVLA population this shard's traces belong to.
+    pub fn population(&self) -> Population {
+        self.pop
+    }
+
+    /// First trace index (within the population) the shard covers.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Number of traces in the shard (≤ [`TRACES_PER_SHARD`]).
+    pub fn count(&self) -> usize {
+        self.count
+    }
 }
 
 /// One population's [`TRACES_PER_SHARD`]-trace shard decomposition, in
@@ -538,7 +579,11 @@ fn population_shards(pop: Population, n: usize) -> Vec<ShardSpec> {
 /// batches are keyed by population, every sink whose populations accumulate
 /// independently (all the workspace's mergeable sinks do) folds to exactly
 /// the same state as the class-ordered walk.
-fn shard_grid(config: &CampaignConfig) -> Vec<ShardSpec> {
+///
+/// The grid is public so out-of-process executors (`polaris-dist`) can
+/// partition it into contiguous plans; the vector's order defines the grid
+/// indices [`run_shard_states`] and [`partition_shards`] speak in.
+pub fn shard_grid(config: &CampaignConfig) -> Vec<ShardSpec> {
     let fixed = population_shards(Population::Fixed, config.n_fixed);
     let random = population_shards(Population::Random, config.n_random);
     let mut shards = Vec::with_capacity(fixed.len() + random.len());
@@ -554,6 +599,93 @@ fn shard_grid(config: &CampaignConfig) -> Vec<ShardSpec> {
         }
     }
     shards
+}
+
+/// Partitions `n_shards` grid entries into `parts` contiguous ranges — the
+/// shard-plan decomposition of a distributed campaign. The first
+/// `n_shards % parts` ranges carry one extra shard; trailing ranges are
+/// empty when there are more parts than shards. Concatenating the ranges in
+/// order always reproduces `0..n_shards`, so folding per-part results in
+/// part order (and per-shard results in grid order inside each part) is the
+/// exact merge sequence of [`run_campaign_parallel`].
+///
+/// # Panics
+///
+/// Panics if `parts == 0`.
+pub fn partition_shards(n_shards: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(parts >= 1, "at least one part");
+    let base = n_shards / parts;
+    let extra = n_shards % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut lo = 0usize;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        ranges.push(lo..lo + len);
+        lo += len;
+    }
+    ranges
+}
+
+/// Executes the grid entries `shards` (see [`shard_grid`]) of a campaign,
+/// each into its **own** fresh sink, and returns the per-shard sinks in grid
+/// order — the shard-range execution primitive of distributed workers.
+///
+/// The per-shard states are deliberately *not* folded here: the Chan-et-al
+/// moment merges are floating-point and therefore not associative, so only a
+/// strictly ascending one-shard-at-a-time fold over the whole grid
+/// reproduces [`run_campaign_parallel`] bit for bit. Keeping shard
+/// granularity lets a central merge replay exactly that fold regardless of
+/// how the grid was partitioned across workers.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] if the design cannot be
+/// levelized.
+///
+/// # Panics
+///
+/// Panics if `shards` reaches past the end of the grid.
+pub fn run_shard_states<S>(
+    netlist: &Netlist,
+    model: &PowerModel,
+    config: &CampaignConfig,
+    parallelism: Parallelism,
+    shards: std::ops::Range<usize>,
+) -> Result<Vec<S>, NetlistError>
+where
+    S: MergeableSink + Default,
+{
+    let engine = Engine::new(netlist, model, config)?;
+    let grid = shard_grid(config);
+    assert!(
+        shards.end <= grid.len() && shards.start <= shards.end,
+        "shard range {shards:?} outside the {}-shard grid",
+        grid.len()
+    );
+    let specs = &grid[shards];
+    Ok(run_sharded(specs.len(), parallelism, |i| {
+        let shard = specs[i];
+        let mut sink = S::default();
+        engine.run_range(shard.pop, shard.start, shard.count, &mut sink);
+        sink
+    }))
+}
+
+/// Folds per-shard (or per-part) states **in order** into one accumulator —
+/// the canonical left fold shared by the in-process engine and the
+/// distributed merge. Returns the default sink for an empty iterator.
+pub fn fold_shard_states<S>(states: impl IntoIterator<Item = S>) -> S
+where
+    S: MergeableSink + Default,
+{
+    let mut acc: Option<S> = None;
+    for s in states {
+        match &mut acc {
+            None => acc = Some(s),
+            Some(a) => a.merge(s),
+        }
+    }
+    acc.unwrap_or_default()
 }
 
 /// Runs `n_shards` independent work items across `parallelism` worker
@@ -1072,6 +1204,61 @@ mod tests {
                 starts.windows(2).all(|w| w[0] < w[1]),
                 "{pop:?}: {starts:?}"
             );
+        }
+    }
+
+    #[test]
+    fn partition_shards_tiles_the_grid_contiguously() {
+        for (n, parts) in [(0, 1), (1, 1), (7, 3), (8, 2), (8, 16), (13, 5)] {
+            let ranges = partition_shards(n, parts);
+            assert_eq!(ranges.len(), parts);
+            let mut next = 0usize;
+            for r in &ranges {
+                assert_eq!(r.start, next, "ranges must tile without gaps");
+                assert!(r.end >= r.start);
+                next = r.end;
+            }
+            assert_eq!(next, n, "ranges must cover the whole grid");
+            let sizes: Vec<usize> = ranges.iter().map(ExactSizeIterator::len).collect();
+            let (min, max) = (
+                sizes.iter().min().copied().unwrap(),
+                sizes.iter().max().copied().unwrap(),
+            );
+            assert!(max - min <= 1, "balanced partition: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn shard_states_fold_to_the_parallel_run_at_any_partitioning() {
+        // Per-shard execution + canonical in-order fold must reproduce
+        // run_campaign_parallel bit for bit regardless of how the grid is
+        // cut into contiguous parts.
+        let n = generators::iscas_c17();
+        let model = PowerModel::default();
+        let cfg = CampaignConfig::new(900, 1100, 17);
+        let whole: GateSamples =
+            run_campaign_parallel(&n, &model, &cfg, Parallelism::new(2)).unwrap();
+        let n_shards = shard_grid(&cfg).len();
+        for parts in [1usize, 2, 3, n_shards + 2] {
+            let mut states: Vec<GateSamples> = Vec::new();
+            for range in partition_shards(n_shards, parts) {
+                states.extend(
+                    run_shard_states::<GateSamples>(
+                        &n,
+                        &model,
+                        &cfg,
+                        Parallelism::sequential(),
+                        range,
+                    )
+                    .unwrap(),
+                );
+            }
+            assert_eq!(states.len(), n_shards);
+            let folded = fold_shard_states(states);
+            for id in n.ids() {
+                assert_eq!(whole.fixed(id), folded.fixed(id), "parts = {parts}");
+                assert_eq!(whole.random(id), folded.random(id), "parts = {parts}");
+            }
         }
     }
 

@@ -53,9 +53,10 @@ pub mod logic;
 pub mod power;
 
 pub use campaign::{
-    collect_gate_samples, collect_gate_samples_parallel, run_campaign, run_campaign_adaptive,
-    run_campaign_parallel, CampaignConfig, CampaignOutcome, CampaignStats, Checkpoint, DelayModel,
-    GateSamples, MergeableSink, NeverStop, Parallelism, Population, StoppingRule, TraceSink,
+    collect_gate_samples, collect_gate_samples_parallel, fold_shard_states, partition_shards,
+    run_campaign, run_campaign_adaptive, run_campaign_parallel, run_shard_states, shard_grid,
+    CampaignConfig, CampaignOutcome, CampaignStats, Checkpoint, DelayModel, GateSamples,
+    MergeableSink, NeverStop, Parallelism, Population, ShardSpec, StoppingRule, TraceSink,
 };
 pub use logic::{SimState, Simulator};
 pub use power::PowerModel;

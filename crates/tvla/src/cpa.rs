@@ -131,6 +131,32 @@ impl CorrelationAccumulator {
         self.n
     }
 
+    /// The raw accumulator state `(n, mean_x, mean_y, M2x, M2y, Cxy)` — the
+    /// snapshot side of the distributed shard-state format.
+    pub fn raw_parts(&self) -> (u64, f64, f64, f64, f64, f64) {
+        (
+            self.n,
+            self.mean_x,
+            self.mean_y,
+            self.m2x,
+            self.m2y,
+            self.cxy,
+        )
+    }
+
+    /// Restores an accumulator from [`CorrelationAccumulator::raw_parts`]
+    /// state (floats are adopted bit for bit).
+    pub fn from_raw_parts(n: u64, mean_x: f64, mean_y: f64, m2x: f64, m2y: f64, cxy: f64) -> Self {
+        CorrelationAccumulator {
+            n,
+            mean_x,
+            mean_y,
+            m2x,
+            m2y,
+            cxy,
+        }
+    }
+
     /// Pearson correlation of everything pushed so far (0 when either side
     /// is degenerate).
     pub fn pearson(&self) -> f64 {
@@ -184,6 +210,18 @@ impl CpaAccumulator {
         for (a, b) in self.per_guess.iter_mut().zip(&other.per_guess) {
             a.merge(b);
         }
+    }
+
+    /// The per-guess correlation accumulators (snapshot side of the
+    /// distributed shard-state format), indexed by key guess.
+    pub fn guess_accumulators(&self) -> &[CorrelationAccumulator] {
+        &self.per_guess
+    }
+
+    /// Restores an accumulator from per-guess states (the restore side of
+    /// [`CpaAccumulator::guess_accumulators`]).
+    pub fn from_guess_accumulators(per_guess: Vec<CorrelationAccumulator>) -> Self {
+        CpaAccumulator { per_guess }
     }
 
     /// Traces recorded so far.

@@ -36,6 +36,23 @@ impl WelchAccumulator {
         self.fixed.len()
     }
 
+    /// The per-gate moment accumulators of both classes, `(fixed, random)` —
+    /// the snapshot side of the distributed shard-state format.
+    pub fn classes(&self) -> (&[StreamingMoments], &[StreamingMoments]) {
+        (&self.fixed, &self.random)
+    }
+
+    /// Restores an accumulator from per-gate class moments (the restore side
+    /// of [`WelchAccumulator::classes`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class vectors disagree on the gate count.
+    pub fn from_classes(fixed: Vec<StreamingMoments>, random: Vec<StreamingMoments>) -> Self {
+        assert_eq!(fixed.len(), random.len(), "class gate counts must match");
+        WelchAccumulator { fixed, random }
+    }
+
     /// First-order leakage map (t-test on raw samples).
     pub fn leakage(&self) -> GateLeakage {
         let results = self

@@ -49,7 +49,10 @@ pub use gate_leakage::{
     GateLeakage, LeakageSummary, WelchAccumulator,
 };
 pub use moments::StreamingMoments;
-pub use sequential::{assess_adaptive, AdaptiveAssessment, SequentialConfig, SequentialStopping};
+pub use sequential::{
+    assess_adaptive, campaign_outcome_adaptive, AdaptiveAssessment, SequentialConfig,
+    SequentialStopping,
+};
 pub use welch::{welch_t, WelchResult};
 
 /// The conventional TVLA distinguishability threshold on `|t|` (±4.5, giving

@@ -98,6 +98,26 @@ impl StreamingMoments {
         self.n
     }
 
+    /// The raw accumulator state `(n, mean, M2, M3, M4)` — the snapshot side
+    /// of the distributed shard-state format. Together with
+    /// [`StreamingMoments::from_raw_parts`] this round-trips the accumulator
+    /// exactly (the floats are transported bit for bit), so a restored
+    /// accumulator merges and reports identically to the original.
+    pub fn raw_parts(&self) -> (u64, f64, f64, f64, f64) {
+        (self.n, self.mean, self.m2, self.m3, self.m4)
+    }
+
+    /// Restores an accumulator from [`StreamingMoments::raw_parts`] state.
+    pub fn from_raw_parts(n: u64, mean: f64, m2: f64, m3: f64, m4: f64) -> Self {
+        StreamingMoments {
+            n,
+            mean,
+            m2,
+            m3,
+            m4,
+        }
+    }
+
     /// Sample mean (first raw moment `M1`).
     pub fn mean(&self) -> f64 {
         self.mean

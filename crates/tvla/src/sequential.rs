@@ -206,21 +206,41 @@ pub fn assess_adaptive(
     parallelism: Parallelism,
     sequential: &SequentialConfig,
 ) -> Result<AdaptiveAssessment, NetlistError> {
-    let mut rule = SequentialStopping::scoped(*sequential, netlist.cell_ids());
-    let outcome = run_campaign_adaptive::<WelchAccumulator, _>(
-        netlist,
-        model,
-        config,
-        parallelism,
-        sequential.shards_per_round,
-        &mut rule,
-    )?;
+    let outcome = campaign_outcome_adaptive(netlist, model, config, parallelism, sequential)?;
     Ok(AdaptiveAssessment {
         leakage: outcome.sink.leakage(),
         stats: outcome.stats,
         budget_fixed: config.n_fixed,
         budget_random: config.n_random,
     })
+}
+
+/// [`assess_adaptive`] at the accumulator level: returns the checkpoint-
+/// folded [`WelchAccumulator`] outcome instead of the derived leakage map.
+/// Flows that hand the folded state onward — snapshotting it into the
+/// distributed shard-state format, or feeding a pre-folded baseline into
+/// the masking flow — consume this; the leakage map is one
+/// [`WelchAccumulator::leakage`] call away.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from simulator compilation.
+pub fn campaign_outcome_adaptive(
+    netlist: &Netlist,
+    model: &PowerModel,
+    config: &CampaignConfig,
+    parallelism: Parallelism,
+    sequential: &SequentialConfig,
+) -> Result<polaris_sim::CampaignOutcome<WelchAccumulator>, NetlistError> {
+    let mut rule = SequentialStopping::scoped(*sequential, netlist.cell_ids());
+    run_campaign_adaptive::<WelchAccumulator, _>(
+        netlist,
+        model,
+        config,
+        parallelism,
+        sequential.shards_per_round,
+        &mut rule,
+    )
 }
 
 #[cfg(test)]

@@ -20,6 +20,7 @@
 //! * [`polaris`] — the POLARIS framework itself (Algorithms 1 and 2).
 
 pub use polaris;
+pub use polaris_dist;
 pub use polaris_masking;
 pub use polaris_ml;
 pub use polaris_netlist;

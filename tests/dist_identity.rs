@@ -1,0 +1,220 @@
+//! Acceptance tests for the distributed campaign subsystem: a campaign
+//! planned into 1, 2, and 4 parts, executed as independent shard-state
+//! blobs, and folded centrally is **byte-identical** to the single-process
+//! parallel engine — per-gate statistics for the Welch sink, and every raw
+//! sample for the dense [`GateSamples`] sink — and the merged fold drops
+//! into the masking flow as a pre-folded baseline without changing one bit
+//! of the mitigation report.
+
+use polaris::config::PolarisConfig;
+use polaris::masking_flow::reporting_campaign;
+use polaris::pipeline::{MaskBudget, PolarisPipeline};
+use polaris_dist::{execute_part, merge_parts, merged_outcome, DistPlan, Merged, SinkKind};
+use polaris_netlist::generators;
+use polaris_netlist::transform::decompose;
+use polaris_sim::{CampaignConfig, GateSamples, Parallelism, PowerModel};
+use polaris_tvla::{assess_parallel, WelchAccumulator};
+
+/// ≥ 10k traces in total (5200 per class), as the acceptance criteria
+/// demand — large enough that the grid has many shards per part.
+const TRACES_PER_CLASS: usize = 5200;
+const SEED: u64 = 29;
+
+fn part_files<S>(
+    netlist: &polaris_netlist::Netlist,
+    cfg: &CampaignConfig,
+    parts: usize,
+) -> Vec<Vec<u8>>
+where
+    S: polaris_dist::ShardState + polaris_sim::MergeableSink + Default,
+{
+    (0..parts)
+        .map(|i| {
+            execute_part::<S>(
+                netlist,
+                &PowerModel::default(),
+                cfg,
+                // Alternate worker-side thread counts: neither may matter.
+                Parallelism::new(1 + i % 2),
+                i,
+                parts,
+            )
+            .expect("part executes")
+        })
+        .collect()
+}
+
+#[test]
+fn welch_statistics_are_byte_identical_at_any_partitioning() {
+    let netlist = generators::iscas_c17();
+    let cfg = CampaignConfig::new(TRACES_PER_CLASS, TRACES_PER_CLASS, SEED);
+    let model = PowerModel::default();
+    let reference = assess_parallel(&netlist, &model, &cfg, Parallelism::new(2)).unwrap();
+
+    for parts in [1usize, 2, 4] {
+        let files = part_files::<WelchAccumulator>(&netlist, &cfg, parts);
+        let merged: Merged<WelchAccumulator> =
+            merge_parts(files.iter().map(Vec::as_slice), None).unwrap();
+        assert_eq!(merged.parts, parts);
+        let leakage = merged.state.leakage();
+        for id in netlist.ids() {
+            assert_eq!(
+                reference.result(id).t.to_bits(),
+                leakage.result(id).t.to_bits(),
+                "t must be byte-identical at {parts} part(s), gate {id}"
+            );
+            assert_eq!(
+                reference.result(id).dof.to_bits(),
+                leakage.result(id).dof.to_bits(),
+                "dof must be byte-identical at {parts} part(s), gate {id}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dense_samples_are_identical_at_any_partitioning() {
+    let netlist = generators::iscas_c17();
+    let cfg = CampaignConfig::new(TRACES_PER_CLASS, TRACES_PER_CLASS, SEED);
+    let model = PowerModel::default();
+    let reference: GateSamples =
+        polaris_sim::run_campaign_parallel(&netlist, &model, &cfg, Parallelism::new(4)).unwrap();
+
+    for parts in [1usize, 2, 4] {
+        let files = part_files::<GateSamples>(&netlist, &cfg, parts);
+        let merged: Merged<GateSamples> =
+            merge_parts(files.iter().map(Vec::as_slice), None).unwrap();
+        for id in netlist.ids() {
+            assert_eq!(
+                reference.fixed(id),
+                merged.state.fixed(id),
+                "fixed-class samples must match exactly at {parts} part(s)"
+            );
+            assert_eq!(
+                reference.random(id),
+                merged.state.random(id),
+                "random-class samples must match exactly at {parts} part(s)"
+            );
+        }
+    }
+}
+
+#[test]
+fn plan_driven_flow_matches_direct_partitioning() {
+    // The manifest round trip (coordinator → worker) changes nothing: a
+    // worker reconstructing the campaign from a parsed plan produces the
+    // same part bytes as one sharing the coordinator's in-memory config.
+    let netlist = generators::iscas_c17();
+    let cfg = CampaignConfig::new(1200, 1200, SEED);
+    let plan = DistPlan::new(&netlist, &PowerModel::default(), &cfg, SinkKind::Welch, 2).unwrap();
+    let parsed = DistPlan::parse(&plan.render()).unwrap();
+    let campaign = parsed.verify(&netlist, &PowerModel::default()).unwrap();
+    assert_eq!(campaign, cfg);
+    for part in 0..2 {
+        let from_manifest = execute_part::<WelchAccumulator>(
+            &netlist,
+            &PowerModel::default(),
+            &campaign,
+            Parallelism::sequential(),
+            part,
+            parsed.parts.len(),
+        )
+        .unwrap();
+        let direct = execute_part::<WelchAccumulator>(
+            &netlist,
+            &PowerModel::default(),
+            &cfg,
+            Parallelism::sequential(),
+            part,
+            2,
+        )
+        .unwrap();
+        assert_eq!(from_manifest, direct, "part {part} bytes diverged");
+    }
+}
+
+#[test]
+fn masking_flow_consumes_a_distributed_baseline_bit_for_bit() {
+    // Train a small POLARIS instance, then protect c17 twice: once with the
+    // in-process baseline campaign, once feeding the same campaign folded
+    // from distributed shard states. Every reported statistic must agree to
+    // the bit — the distributed baseline is the same campaign, not an
+    // approximation of it.
+    let config = PolarisConfig {
+        msize: 8,
+        iterations: 4,
+        max_traces: 600,
+        n_estimators: 20,
+        learning_rate: 0.5,
+        ..PolarisConfig::fast_profile(5)
+    };
+    let power = PowerModel::default();
+    let training = vec![generators::iscas_like("c432", 1, 5).unwrap()];
+    let trained = PolarisPipeline::new(config)
+        .train(&training, &power)
+        .unwrap();
+
+    let target = generators::iscas_c17();
+    let local = trained
+        .mask_design(&target, &power, MaskBudget::CellFraction(1.0))
+        .unwrap();
+
+    // Distributed baseline: plan the reporting campaign over the normalized
+    // design, execute two parts, merge, wrap as a CampaignOutcome.
+    let (normalized, _) = decompose(&target).unwrap();
+    let campaign = reporting_campaign(trained.config());
+    let files = part_files::<WelchAccumulator>(&normalized, &campaign, 2);
+    let merged = merge_parts::<WelchAccumulator>(files.iter().map(Vec::as_slice), None).unwrap();
+    let baseline = merged_outcome(&normalized, &power, &campaign, merged).unwrap();
+    let distributed = trained
+        .mask_design_with_baseline(&target, &power, MaskBudget::CellFraction(1.0), baseline)
+        .unwrap();
+
+    assert_eq!(local.masked_gates, distributed.masked_gates);
+    assert_eq!(
+        local.before.total_abs_t.to_bits(),
+        distributed.before.total_abs_t.to_bits()
+    );
+    assert_eq!(
+        local.after.total_abs_t.to_bits(),
+        distributed.after.total_abs_t.to_bits()
+    );
+    assert_eq!(
+        local.before.max_abs_t.to_bits(),
+        distributed.before.max_abs_t.to_bits()
+    );
+    assert_eq!(local.before.leaky_cells, distributed.before.leaky_cells);
+    assert_eq!(local.after.leaky_cells, distributed.after.leaky_cells);
+    assert_eq!(
+        local.campaign_fixed_traces,
+        distributed.campaign_fixed_traces
+    );
+    assert_eq!(local.stopped_early, distributed.stopped_early);
+    for (a, b) in local.scores.iter().zip(&distributed.scores) {
+        assert_eq!(a.to_bits(), b.to_bits(), "model scores must be identical");
+    }
+    for (a, b) in local
+        .after_grouped_abs_t
+        .iter()
+        .zip(&distributed.after_grouped_abs_t)
+    {
+        assert_eq!(a.to_bits(), b.to_bits(), "grouped |t| must be identical");
+    }
+
+    // The leaky-fraction budget resolves against the same baseline on both
+    // paths, so it must agree bit for bit too (this is the budget kind
+    // whose leaky count actually depends on the campaign).
+    let local_leaky = trained
+        .mask_design(&target, &power, MaskBudget::LeakyFraction(1.0))
+        .unwrap();
+    let merged = merge_parts::<WelchAccumulator>(files.iter().map(Vec::as_slice), None).unwrap();
+    let baseline = merged_outcome(&normalized, &power, &campaign, merged).unwrap();
+    let dist_leaky = trained
+        .mask_design_with_baseline(&target, &power, MaskBudget::LeakyFraction(1.0), baseline)
+        .unwrap();
+    assert_eq!(local_leaky.masked_gates, dist_leaky.masked_gates);
+    assert_eq!(
+        local_leaky.after.total_abs_t.to_bits(),
+        dist_leaky.after.total_abs_t.to_bits()
+    );
+}
