@@ -248,9 +248,7 @@ fn main() {
     // `host_cores` / `available_parallelism` contextualize the speedup: on
     // a 1-core host every thread count degenerates to the same wall-clock,
     // so a committed artifact with speedup ≈ 1.0 is self-explaining.
-    let available_parallelism = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(0);
+    let available_parallelism = polaris_bench::host_parallelism();
     let json = format!(
         "{{\n  \"bench\": \"campaign\",\n  \"design\": \"{}\",\n  \"scale\": {},\n  \
          \"gates\": {},\n  \"traces_per_class\": {},\n  \"seed\": {},\n  \"quick\": {},\n  \
@@ -269,12 +267,10 @@ fn main() {
         identical,
         adaptive_json
     );
-    std::fs::write(&args.out, &json).unwrap_or_else(|e| {
-        eprintln!("cannot write {}: {e}", args.out);
+    polaris_bench::emit_bench_json("campaign bench", &args.out, &json).unwrap_or_else(|e| {
+        eprintln!("{e}");
         std::process::exit(1);
     });
-    println!("{json}");
-    eprintln!("[campaign bench] wrote {}", args.out);
 
     if !identical {
         eprintln!("ERROR: thread counts disagreed — the engine must be bit-identical");

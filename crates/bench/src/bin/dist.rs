@@ -185,9 +185,7 @@ fn main() {
         ));
     }
 
-    let available_parallelism = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(0);
+    let available_parallelism = polaris_bench::host_parallelism();
     let json = format!(
         "{{\n  \"bench\": \"dist\",\n  \"design\": \"{}\",\n  \"scale\": {},\n  \
          \"gates\": {},\n  \"traces_per_class\": {},\n  \"seed\": {},\n  \"quick\": {},\n  \
@@ -206,12 +204,10 @@ fn main() {
         rows.join(",\n"),
         all_identical
     );
-    std::fs::write(&args.out, &json).unwrap_or_else(|e| {
-        eprintln!("cannot write {}: {e}", args.out);
+    polaris_bench::emit_bench_json("dist bench", &args.out, &json).unwrap_or_else(|e| {
+        eprintln!("{e}");
         std::process::exit(1);
     });
-    println!("{json}");
-    eprintln!("[dist bench] wrote {}", args.out);
 
     if !all_identical {
         eprintln!("ERROR: a partitioning diverged — the distributed fold must be bit-identical");

@@ -9,7 +9,7 @@
 
 use std::time::Instant;
 
-use polaris::masking_flow::{assess_grouped, rank_gates};
+use polaris::masking_flow::{assess_grouped_fleet, rank_gates};
 use polaris::report::{fmt_f, TextTable};
 use polaris_bench::HarnessConfig;
 use polaris_masking::{apply_masking, MaskingStyle};
@@ -76,8 +76,12 @@ fn main() {
         .expect("ranking runs");
         let rank_time = t0.elapsed().as_secs_f64();
 
-        let mut per_gate = Vec::new();
-        let mut reductions = Vec::new();
+        // Build the three mask-size variants first, then assess them as one
+        // shared-pool fleet (their reporting campaigns interleave on the
+        // same workers; per-variant results are byte-identical to solo
+        // assess_grouped runs).
+        let mut variants = Vec::new();
+        let mut report_campaigns = Vec::new();
         let mut polaris_time = rank_time;
         for pct in [0.50, 0.75, 1.00] {
             let msize = (((leaky as f64) * pct).round() as usize).min(ranked.len());
@@ -90,9 +94,20 @@ fn main() {
             }
             let mut report_campaign = campaign.clone();
             report_campaign.seed = cfg.seed.wrapping_add((pct * 100.0) as u64);
-            let (after, _) =
-                assess_grouped(&norm, &masked, &power, &report_campaign, cfg.parallelism())
-                    .expect("reporting assessment runs");
+            variants.push(masked);
+            report_campaigns.push(report_campaign);
+        }
+        let results = assess_grouped_fleet(
+            &norm,
+            &variants,
+            &power,
+            &report_campaigns,
+            cfg.parallelism(),
+        )
+        .expect("reporting assessments run");
+        let mut per_gate = Vec::new();
+        let mut reductions = Vec::new();
+        for (after, _) in results {
             per_gate.push(after.mean_abs_t);
             reductions.push(after.reduction_pct_from(&before));
         }

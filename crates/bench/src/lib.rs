@@ -178,9 +178,65 @@ impl HarnessConfig {
     }
 }
 
+/// Writes a `BENCH_*.json` artifact the way every bench binary does: the
+/// file itself, the full JSON on stdout (so CI logs carry the numbers), and
+/// a one-line stderr note tagged with the bench's label. Shared by the
+/// `campaign`, `dist`, and `fleet` binaries so the emission protocol cannot
+/// drift between them.
+///
+/// # Errors
+///
+/// Returns a message naming the path when the file cannot be written.
+pub fn emit_bench_json(label: &str, path: &str, json: &str) -> Result<(), String> {
+    std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!("{json}");
+    eprintln!("[{label}] wrote {path}");
+    Ok(())
+}
+
+/// The host's available parallelism (0 when it cannot be determined) —
+/// recorded in every BENCH json so a committed artifact with speedup ≈ 1.0
+/// on a 1-core CI container is self-explaining.
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn emit_bench_json_writes_the_artifact() {
+        // The workspace target dir is the conventional scratch space.
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/emit_bench_json_test.json"
+        );
+        let json = "{\n  \"bench\": \"test\"\n}\n";
+        emit_bench_json("test bench", path, json).expect("write succeeds");
+        assert_eq!(std::fs::read_to_string(path).unwrap(), json);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn emit_bench_json_reports_unwritable_paths() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/no-such-dir-for-bench-json/out.json"
+        );
+        let err = emit_bench_json("test bench", path, "{}").unwrap_err();
+        assert!(err.contains("cannot write"), "{err}");
+        assert!(err.contains("out.json"), "{err}");
+    }
+
+    #[test]
+    fn host_parallelism_is_sane() {
+        // 0 is the "unknown" sentinel; anything else is a real core count.
+        let p = host_parallelism();
+        assert!(p == 0 || p >= 1);
+    }
 
     #[test]
     fn defaults_cover_all_eleven_designs() {

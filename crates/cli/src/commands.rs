@@ -59,7 +59,7 @@ pub(crate) fn parallelism_from(flags: &Flags) -> Result<Parallelism, String> {
 }
 
 /// Parses `--confidence P` (the adaptive clean-verdict confidence level).
-fn confidence_from(flags: &Flags) -> Result<f64, String> {
+pub(crate) fn confidence_from(flags: &Flags) -> Result<f64, String> {
     let c: f64 = flags.get_parsed("confidence", 0.95)?;
     if c <= 0.0 || c >= 1.0 {
         return Err(format!("--confidence must lie in (0, 1), got {c}"));
@@ -413,6 +413,35 @@ fn parse_budget(spec: &str) -> Result<MaskBudget, String> {
         )),
         other => Err(format!("unknown budget kind `{other}`")),
     }
+}
+
+/// `polaris-cli gen`
+pub(crate) fn gen(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["help"])?;
+    if flags.has("help") {
+        println!(
+            "gen <design-name> --out file.bench|file.v [--scale N --seed N]\n\n\
+             Writes one of the generated benchmark designs to disk (the output\n\
+             extension picks the format). Known names: the ISCAS-85-like training\n\
+             suite (c17 and the `iscas_like` names, e.g. c432/c499/c880/c1908) and\n\
+             the evaluation designs ({}).",
+            generators::EVALUATION_NAMES.join(", ")
+        );
+        return Ok(());
+    }
+    let name = flags.positional(0, "design name")?;
+    let out = flags.get("out").ok_or("missing --out <file>")?;
+    let scale: u32 = flags.get_parsed("scale", 1)?;
+    let seed: u64 = flags.get_parsed("seed", 7)?;
+    let netlist = generators::by_name(name, scale, seed)
+        .or_else(|| generators::iscas_like(name, scale, seed))
+        .ok_or_else(|| format!("unknown design `{name}` (see `gen --help`)"))?;
+    write_file(out, &render_netlist(out, &netlist))?;
+    eprintln!(
+        "{name} (scale {scale}, seed {seed}): {} gates written to {out}",
+        netlist.gate_count()
+    );
+    Ok(())
 }
 
 /// `polaris-cli rules`

@@ -4,6 +4,8 @@
 //! polaris-cli train   --out model.polaris [--scale N --traces N --seed N --threads N --model adaboost|xgboost|random-forest --glitch --adaptive --confidence P]
 //! polaris-cli stats   <netlist.v>
 //! polaris-cli assess  <netlist.v> [--traces N --seed N --threads N --glitch --adaptive --confidence P] [--csv out.csv]
+//! polaris-cli fleet   <manifest.txt> [--traces N --seed N --threads N --glitch --adaptive --confidence P] [--csv-dir DIR]
+//! polaris-cli gen     <design-name> --out file.bench [--scale N --seed N]
 //! polaris-cli mask    <netlist.v> --model model.polaris --out masked.v
 //!                     [--budget leaky:0.5 | cells:0.5 | count:N] [--threads N] [--adaptive --confidence P] [--report]
 //! polaris-cli rules   --model model.polaris
@@ -25,6 +27,7 @@ use std::process::ExitCode;
 
 mod commands;
 mod dist;
+mod fleet;
 
 /// A CLI failure with its process exit code. Generic errors exit 1; the
 /// `dist` subcommands map each shard-state failure class to a distinct
@@ -52,6 +55,8 @@ fn main() -> ExitCode {
         "train" => commands::train(rest).map_err(CliError::from),
         "stats" => commands::stats(rest).map_err(CliError::from),
         "assess" => commands::assess(rest).map_err(CliError::from),
+        "fleet" => fleet::fleet(rest).map_err(CliError::from),
+        "gen" => commands::gen(rest).map_err(CliError::from),
         "mask" => commands::mask(rest).map_err(CliError::from),
         "rules" => commands::rules(rest).map_err(CliError::from),
         "explain" => commands::explain(rest).map_err(CliError::from),
@@ -80,6 +85,8 @@ commands:
   train    train on the generated benchmark suite and save a model bundle
   stats    print netlist statistics
   assess   run TVLA leakage assessment on a netlist
+  fleet    assess a manifest of designs on one shared worker pool
+  gen      write a generated evaluation design to disk
   mask     protect a netlist with a trained model
   rules    print the mined masking rules of a model bundle
   explain  SHAP waterfall for one gate of a netlist

@@ -439,6 +439,133 @@ fn dist_bad_inputs_map_to_distinct_exit_codes() {
 }
 
 #[test]
+fn fleet_csvs_are_byte_identical_to_solo_assess() {
+    // Two designs assessed as one fleet must emit exactly the CSVs the solo
+    // `assess --csv` runs write — the CI fleet smoke's `cmp` contract.
+    let c17 = tmp("fleet_c17.bench");
+    std::fs::write(&c17, C17_BENCH).expect("write design");
+    let demo = tmp("fleet_demo.v");
+    std::fs::write(&demo, DEMO).expect("write design");
+    let manifest = tmp("fleet_manifest.txt");
+    std::fs::write(
+        &manifest,
+        format!(
+            "# fleet smoke\n{}\n\n{}\n",
+            c17.to_str().expect("utf8"),
+            demo.to_str().expect("utf8")
+        ),
+    )
+    .expect("write manifest");
+    let csv_dir = tmp("fleet_csv");
+    let run_ok = |args: &[&str]| {
+        let out = cli().args(args).output().expect("runs");
+        assert!(
+            out.status.success(),
+            "{args:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    let stdout = run_ok(&[
+        "fleet",
+        manifest.to_str().expect("utf8"),
+        "--traces",
+        "600",
+        "--seed",
+        "11",
+        "--threads",
+        "2",
+        "--csv-dir",
+        csv_dir.to_str().expect("utf8"),
+    ]);
+    assert!(stdout.contains("LEAKY"), "{stdout}");
+
+    // Two manifest entries mapping to the same CSV name are rejected
+    // instead of silently overwriting each other.
+    let dup_manifest = tmp("fleet_dup_manifest.txt");
+    std::fs::write(
+        &dup_manifest,
+        format!(
+            "{}\n{}\n",
+            c17.to_str().expect("utf8"),
+            c17.to_str().expect("utf8")
+        ),
+    )
+    .expect("write manifest");
+    let dup = cli()
+        .args([
+            "fleet",
+            dup_manifest.to_str().expect("utf8"),
+            "--traces",
+            "100",
+            "--csv-dir",
+            csv_dir.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("runs");
+    assert!(!dup.status.success());
+    assert!(
+        String::from_utf8_lossy(&dup.stderr).contains("two designs with the CSV name"),
+        "{}",
+        String::from_utf8_lossy(&dup.stderr)
+    );
+
+    for (design, stem) in [(&c17, "fleet_c17"), (&demo, "fleet_demo")] {
+        let solo_csv = tmp(&format!("fleet_solo_{stem}.csv"));
+        run_ok(&[
+            "assess",
+            design.to_str().expect("utf8"),
+            "--traces",
+            "600",
+            "--seed",
+            "11",
+            "--csv",
+            solo_csv.to_str().expect("utf8"),
+        ]);
+        let fleet_csv = csv_dir.join(format!("{stem}.csv"));
+        assert_eq!(
+            std::fs::read_to_string(&fleet_csv).expect("fleet csv"),
+            std::fs::read_to_string(&solo_csv).expect("solo csv"),
+            "{stem}: fleet CSV must be byte-identical to solo assess"
+        );
+    }
+}
+
+#[test]
+fn gen_writes_a_parseable_design() {
+    let out_path = tmp("gen_c432.bench");
+    let out = cli()
+        .args([
+            "gen",
+            "c432",
+            "--out",
+            out_path.to_str().expect("utf8"),
+            "--seed",
+            "7",
+        ])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stats = cli()
+        .args(["stats", out_path.to_str().expect("utf8")])
+        .output()
+        .expect("runs");
+    assert!(stats.status.success());
+    assert!(String::from_utf8_lossy(&stats.stdout).contains("logic cells:"));
+
+    let bad = cli()
+        .args(["gen", "nope", "--out", out_path.to_str().expect("utf8")])
+        .output()
+        .expect("runs");
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("unknown design"));
+}
+
+#[test]
 fn explain_unknown_gate_errors() {
     let design = tmp("demo_unknown.v");
     std::fs::write(&design, DEMO).expect("write design");

@@ -10,7 +10,7 @@
 
 use polaris_masking::apply_masking;
 use polaris_netlist::{GateId, GraphView, Netlist};
-use polaris_sim::{run_campaign_parallel, CampaignConfig, PowerModel};
+use polaris_sim::{run_fleet, CampaignConfig, FleetJob, PowerModel};
 use polaris_tvla::{GateLeakage, WelchAccumulator};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -120,43 +120,74 @@ pub fn generate_for_design(
     let mut rng = StdRng::seed_from_u64(seed ^ 0xC0617);
     let mut run = 0usize;
 
-    // Algorithm 1 line 5: while Msize ≤ |R| and run ≤ itr.
+    // Algorithm 1 line 5: while Msize ≤ |R| and run ≤ itr. The batch
+    // selections are a pure function of the rng — never of a campaign's
+    // results — so all of them are drawn first and the variant campaigns
+    // then run as fleets on a shared worker pool (shards of different
+    // variants interleave instead of each campaign serializing on its own
+    // fold barrier). Per-variant outcomes are byte-identical to
+    // campaign-by-campaign runs, so the labels — and the trained model —
+    // are unchanged by the scheduling.
+    let mut experiments: Vec<(Vec<GateId>, CampaignConfig)> = Vec::new();
     while config.msize <= remaining.len() && run < config.iterations {
         // Random selection S ⊆ R (line 6), then R ← R − S (line 8).
         remaining.shuffle(&mut rng);
         let selected: Vec<GateId> = remaining.split_off(remaining.len() - config.msize);
-
-        // Dmod ← modify(S, D); Lmod ← leak_estimate(Dmod) (lines 7, 9).
         // Re-seed the sampling streams but pin the fixed class vector so the
         // reduction ratio compares the same two populations.
-        let masked = apply_masking(design, &selected, config.style)?;
         let mut mod_campaign = campaign.clone();
         mod_campaign.fixed_vector = Some(campaign.resolve_fixed_vector(design.data_inputs().len()));
         mod_campaign.seed = seed.wrapping_add(run as u64 + 1);
-        let acc: WelchAccumulator =
-            run_campaign_parallel(&masked.netlist, power, &mod_campaign, par)?;
-        stats.traces_used += mod_campaign.n_fixed + mod_campaign.n_random;
-        stats.traces_budget += 2 * config.max_traces;
-        let mod_abs_t = grouped_abs_t(design, &masked, &acc.leakage());
-
-        // Label every selected gate (lines 10–18).
-        for &gate in &selected {
-            let before = base_leakage.abs_t(gate);
-            if before < 0.5 {
-                // Gate was already quiet: reduction ratio is ill-defined.
-                stats.skipped_quiet += 1;
-                continue;
-            }
-            let after = mod_abs_t[gate.index()];
-            let r_ratio = (before - after) / before;
-            let label = u8::from(r_ratio >= config.theta_r);
-            let x = extractor.extract(design, &view, &levels, gate);
-            dataset.push(&x, label)?;
-            stats.samples += 1;
-            stats.positives += usize::from(label == 1);
-        }
+        experiments.push((selected, mod_campaign));
         run += 1;
         stats.iterations = run;
+    }
+
+    // Dmod ← modify(S, D); Lmod ← leak_estimate(Dmod) (lines 7, 9), fleeted
+    // in bounded batches: only one batch's masked-design clones and compiled
+    // simulation engines are alive at a time (paper-scale runs have up to
+    // `itr = 100` experiments), while each batch still keeps the whole pool
+    // busy. Batching is pure scheduling — per-variant results are
+    // byte-identical at any batch size.
+    const VARIANTS_PER_FLEET: usize = 16;
+    for batch in experiments.chunks(VARIANTS_PER_FLEET) {
+        let masked_batch: Vec<polaris_masking::MaskedDesign> = batch
+            .iter()
+            .map(|(selected, _)| apply_masking(design, selected, config.style))
+            .collect::<Result<_, _>>()?;
+        let jobs: Vec<FleetJob<'_, WelchAccumulator>> = masked_batch
+            .iter()
+            .zip(batch)
+            .map(|(masked, (_, mod_campaign))| {
+                FleetJob::new(&masked.netlist, power, mod_campaign.clone())
+            })
+            .collect();
+        let outcomes = run_fleet(jobs, par)?;
+
+        for (((selected, mod_campaign), masked), outcome) in
+            batch.iter().zip(&masked_batch).zip(outcomes)
+        {
+            stats.traces_used += mod_campaign.n_fixed + mod_campaign.n_random;
+            stats.traces_budget += 2 * config.max_traces;
+            let mod_abs_t = grouped_abs_t(design, masked, &outcome.sink.leakage());
+
+            // Label every selected gate (lines 10–18).
+            for &gate in selected {
+                let before = base_leakage.abs_t(gate);
+                if before < 0.5 {
+                    // Gate was already quiet: reduction ratio is ill-defined.
+                    stats.skipped_quiet += 1;
+                    continue;
+                }
+                let after = mod_abs_t[gate.index()];
+                let r_ratio = (before - after) / before;
+                let label = u8::from(r_ratio >= config.theta_r);
+                let x = extractor.extract(design, &view, &levels, gate);
+                dataset.push(&x, label)?;
+                stats.samples += 1;
+                stats.positives += usize::from(label == 1);
+            }
+        }
     }
     Ok(stats)
 }

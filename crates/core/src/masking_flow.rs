@@ -12,10 +12,10 @@ use polaris_masking::{apply_masking, MaskedDesign};
 use polaris_ml::Classifier;
 use polaris_netlist::{GateId, GraphView, Netlist};
 use polaris_sim::{
-    run_campaign_adaptive, run_campaign_parallel, CampaignConfig, CampaignOutcome, NeverStop,
-    Parallelism, PowerModel,
+    run_campaign_adaptive, run_campaign_parallel, run_fleet, CampaignConfig, CampaignOutcome,
+    FleetJob, NeverStop, Parallelism, PowerModel,
 };
-use polaris_tvla::{GateLeakage, LeakageSummary, WelchAccumulator};
+use polaris_tvla::{adaptive_fleet_job, GateLeakage, LeakageSummary, WelchAccumulator};
 use polaris_xai::RuleSet;
 
 use crate::config::PolarisConfig;
@@ -146,6 +146,40 @@ pub fn baseline_outcome(
     Ok(outcome)
 }
 
+/// [`baseline_outcome`] for a whole suite: runs every *normalized* design's
+/// reporting baseline as one job of a shared-pool fleet
+/// ([`polaris_sim::run_fleet`]) instead of campaign-by-campaign, so small
+/// designs no longer serialize on their own fold barriers. In adaptive mode
+/// each job carries its own cells-scoped sequential stopping rule whose
+/// checkpoints fire per job mid-fleet.
+///
+/// Outcome `i` is byte-identical to `baseline_outcome(&designs[i], …)` —
+/// stop round and statistics included — so everything downstream
+/// ([`polaris_mask_with_baseline`], budget resolution) is unaffected by the
+/// scheduling change.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn baseline_outcomes_fleet(
+    designs: &[Netlist],
+    config: &PolarisConfig,
+    power: &PowerModel,
+) -> Result<Vec<CampaignOutcome<WelchAccumulator>>, PolarisError> {
+    let campaign = reporting_campaign(config);
+    let jobs: Vec<FleetJob<'_, WelchAccumulator>> = designs
+        .iter()
+        .map(|design| {
+            if config.adaptive {
+                adaptive_fleet_job(design, power, campaign.clone(), &config.sequential_config())
+            } else {
+                FleetJob::new(design, power, campaign.clone())
+            }
+        })
+        .collect();
+    Ok(run_fleet(jobs, config.parallelism())?)
+}
+
 /// Runs Algorithm 2 on a normalized design, masking the `msize` top-ranked
 /// gates, then assesses before/after leakage for reporting.
 ///
@@ -173,11 +207,129 @@ pub fn polaris_mask(
     Ok(report)
 }
 
+/// Everything [`polaris_mask_with_baseline`] computes *before* the
+/// after-campaign runs: the consumed baseline, the timed mitigation path,
+/// and the pinned after-campaign configuration. Splitting the report here
+/// lets suite flows ([`crate::pipeline::TrainedPolaris::mask_designs`])
+/// run every design's after-campaign as one fleet on a shared pool and
+/// still assemble per-design reports identical to the solo path.
+pub(crate) struct PendingMitigation {
+    masked: MaskedDesign,
+    before: LeakageSummary,
+    before_map: GateLeakage,
+    scores: Vec<f64>,
+    selected: Vec<GateId>,
+    mitigation_time_s: f64,
+    assessment_time_s: f64,
+    campaign_fixed_traces: usize,
+    campaign_random_traces: usize,
+    budget_per_class: usize,
+    stopped_early: bool,
+    /// The pinned-fixed-vector, re-seeded reporting campaign the masked
+    /// design must be assessed with.
+    pub(crate) after_campaign: CampaignConfig,
+}
+
+impl PendingMitigation {
+    /// The masked design whose `after_campaign` still has to run.
+    pub(crate) fn masked_netlist(&self) -> &Netlist {
+        &self.masked.netlist
+    }
+}
+
+/// Consumes the baseline and runs the (timed) TVLA-free mitigation path —
+/// everything of [`polaris_mask_with_baseline`] except the after-campaign.
+pub(crate) fn prepare_mitigation(
+    design: &Netlist,
+    model: &PolarisModel,
+    rules: Option<&RuleSet>,
+    extractor: &StructuralFeatureExtractor,
+    config: &PolarisConfig,
+    msize: usize,
+    baseline: CampaignOutcome<WelchAccumulator>,
+) -> Result<PendingMitigation, PolarisError> {
+    let mut campaign = reporting_campaign(config);
+    campaign.n_fixed = baseline.stats.fixed_traces;
+    campaign.n_random = baseline.stats.random_traces;
+    let stopped_early = baseline.stats.stopped_early;
+
+    let assess_start = Instant::now();
+    let before_map = baseline.sink.leakage();
+    let before = before_map.summarize(design);
+    let assessment_time_s = assess_start.elapsed().as_secs_f64();
+
+    // Mitigation path (timed): rank → select → transform.
+    let mitigation_start = Instant::now();
+    let ranked = rank_gates(design, model, rules, extractor)?;
+    let mut scores = vec![0.0f64; design.gate_count()];
+    for (id, s) in &ranked {
+        scores[id.index()] = *s;
+    }
+    let selected: Vec<GateId> = ranked.iter().take(msize).map(|(id, _)| *id).collect();
+    let masked = apply_masking(design, &selected, config.style)?;
+    let mitigation_time_s = mitigation_start.elapsed().as_secs_f64();
+
+    // Reporting follow-up: re-seed the sampling streams but pin the fixed
+    // class vector, so the before/after totals compare like for like.
+    let mut after_campaign = campaign.clone();
+    after_campaign.fixed_vector = Some(campaign.resolve_fixed_vector(design.data_inputs().len()));
+    after_campaign.seed = campaign.seed.wrapping_add(1);
+
+    Ok(PendingMitigation {
+        masked,
+        before,
+        before_map,
+        scores,
+        selected,
+        mitigation_time_s,
+        assessment_time_s,
+        campaign_fixed_traces: campaign.n_fixed,
+        campaign_random_traces: campaign.n_random,
+        budget_per_class: config.max_traces,
+        stopped_early,
+        after_campaign,
+    })
+}
+
+/// Attributes the after-campaign's folded accumulator back to original
+/// gates and assembles the final [`MitigationReport`]. `after_seconds` is
+/// the wall clock the caller spent acquiring `after_acc`.
+pub(crate) fn finish_mitigation(
+    design: &Netlist,
+    pending: PendingMitigation,
+    after_acc: WelchAccumulator,
+    after_seconds: f64,
+) -> MitigationReport {
+    let assess_start = Instant::now();
+    let after_leakage = after_acc.leakage();
+    let after_grouped_abs_t = grouped_abs_t(design, &pending.masked, &after_leakage);
+    let after = summarize_grouped(design, &after_grouped_abs_t);
+    let assessment_time_s =
+        pending.assessment_time_s + after_seconds + assess_start.elapsed().as_secs_f64();
+
+    MitigationReport {
+        masked: pending.masked,
+        before: pending.before,
+        before_map: pending.before_map,
+        after,
+        after_grouped_abs_t,
+        masked_gates: pending.selected,
+        scores: pending.scores,
+        mitigation_time_s: pending.mitigation_time_s,
+        assessment_time_s,
+        campaign_fixed_traces: pending.campaign_fixed_traces,
+        campaign_random_traces: pending.campaign_random_traces,
+        campaign_budget_per_class: pending.budget_per_class,
+        stopped_early: pending.stopped_early,
+    }
+}
+
 /// [`polaris_mask`] with the baseline assessment already done: consumes a
 /// pre-folded [`CampaignOutcome`] over [`reporting_campaign`]`(config)` —
 /// typically folded centrally from distributed shard states
-/// (`polaris_dist::merged_outcome`) or carried over from an earlier
-/// adaptive run — instead of re-simulating the baseline in-process.
+/// (`polaris_dist::merged_outcome`), carried over from an earlier adaptive
+/// run, or pulled out of a fleet ([`baseline_outcomes_fleet`]) — instead of
+/// re-simulating the baseline in-process.
 ///
 /// The outcome's [`polaris_sim::CampaignStats`] drive the after-campaign
 /// exactly as in [`polaris_mask`]: the follow-up is pinned to the
@@ -201,56 +353,16 @@ pub fn polaris_mask_with_baseline(
     baseline: CampaignOutcome<WelchAccumulator>,
 ) -> Result<MitigationReport, PolarisError> {
     let par = config.parallelism();
-    let mut campaign = reporting_campaign(config);
-    campaign.n_fixed = baseline.stats.fixed_traces;
-    campaign.n_random = baseline.stats.random_traces;
-    let stopped_early = baseline.stats.stopped_early;
-
+    let pending = prepare_mitigation(design, model, rules, extractor, config, msize, baseline)?;
     let assess_start = Instant::now();
-    let before_map = baseline.sink.leakage();
-    let before = before_map.summarize(design);
-    let mut assessment_time_s = assess_start.elapsed().as_secs_f64();
-
-    // Mitigation path (timed): rank → select → transform.
-    let mitigation_start = Instant::now();
-    let ranked = rank_gates(design, model, rules, extractor)?;
-    let mut scores = vec![0.0f64; design.gate_count()];
-    for (id, s) in &ranked {
-        scores[id.index()] = *s;
-    }
-    let selected: Vec<GateId> = ranked.iter().take(msize).map(|(id, _)| *id).collect();
-    let masked = apply_masking(design, &selected, config.style)?;
-    let mitigation_time_s = mitigation_start.elapsed().as_secs_f64();
-
-    // Reporting: masked-design leakage attributed to original gates. The
-    // follow-up campaign re-seeds the sampling streams but pins the fixed
-    // class vector, so the before/after totals compare like for like.
-    let assess_start = Instant::now();
-    let mut after_campaign = campaign.clone();
-    after_campaign.fixed_vector = Some(campaign.resolve_fixed_vector(design.data_inputs().len()));
-    after_campaign.seed = campaign.seed.wrapping_add(1);
-    let acc: WelchAccumulator =
-        run_campaign_parallel(&masked.netlist, power, &after_campaign, par)?;
-    let after_leakage = acc.leakage();
-    let after_grouped_abs_t = grouped_abs_t(design, &masked, &after_leakage);
-    let after = summarize_grouped(design, &after_grouped_abs_t);
-    assessment_time_s += assess_start.elapsed().as_secs_f64();
-
-    Ok(MitigationReport {
-        masked,
-        before,
-        before_map,
-        after,
-        after_grouped_abs_t,
-        masked_gates: selected,
-        scores,
-        mitigation_time_s,
-        assessment_time_s,
-        campaign_fixed_traces: campaign.n_fixed,
-        campaign_random_traces: campaign.n_random,
-        campaign_budget_per_class: config.max_traces,
-        stopped_early,
-    })
+    let acc: WelchAccumulator = run_campaign_parallel(
+        pending.masked_netlist(),
+        power,
+        &pending.after_campaign,
+        par,
+    )?;
+    let after_seconds = assess_start.elapsed().as_secs_f64();
+    Ok(finish_mitigation(design, pending, acc, after_seconds))
 }
 
 /// Assesses a masked design and attributes leakage back to the original
@@ -275,6 +387,52 @@ pub fn assess_grouped(
     let grouped = grouped_abs_t(original, masked, &acc.leakage());
     let summary = summarize_grouped(original, &grouped);
     Ok((summary, grouped))
+}
+
+/// [`assess_grouped`] for several masked variants of one design at once:
+/// every variant's reporting campaign becomes a job of a shared-pool fleet,
+/// so the variants' shards interleave on the same workers instead of each
+/// variant serializing on its own fold barrier (the Table II harness
+/// assesses three mask sizes per design this way). `campaigns[i]` is
+/// variant `i`'s configuration — variants may re-seed independently.
+///
+/// Entry `i` is byte-identical to
+/// `assess_grouped(original, &variants[i], power, &campaigns[i], …)`.
+///
+/// # Panics
+///
+/// Panics if `variants` and `campaigns` disagree on length.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn assess_grouped_fleet(
+    original: &Netlist,
+    variants: &[MaskedDesign],
+    power: &PowerModel,
+    campaigns: &[CampaignConfig],
+    parallelism: Parallelism,
+) -> Result<Vec<(LeakageSummary, Vec<f64>)>, PolarisError> {
+    assert_eq!(
+        variants.len(),
+        campaigns.len(),
+        "one campaign per masked variant"
+    );
+    let jobs: Vec<FleetJob<'_, WelchAccumulator>> = variants
+        .iter()
+        .zip(campaigns)
+        .map(|(v, c)| FleetJob::new(&v.netlist, power, c.clone()))
+        .collect();
+    let outcomes = run_fleet(jobs, parallelism)?;
+    Ok(variants
+        .iter()
+        .zip(outcomes)
+        .map(|(masked, outcome)| {
+            let grouped = grouped_abs_t(original, masked, &outcome.sink.leakage());
+            let summary = summarize_grouped(original, &grouped);
+            (summary, grouped)
+        })
+        .collect())
 }
 
 fn grouped_abs_t(original: &Netlist, masked: &MaskedDesign, leakage: &GateLeakage) -> Vec<f64> {

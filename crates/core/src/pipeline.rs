@@ -5,7 +5,7 @@ use polaris_ml::metrics::{roc_auc, Confusion};
 use polaris_ml::{Classifier, Dataset};
 use polaris_netlist::transform::decompose;
 use polaris_netlist::Netlist;
-use polaris_sim::{CampaignOutcome, PowerModel};
+use polaris_sim::{run_fleet, CampaignOutcome, FleetJob, PowerModel};
 use polaris_tvla::WelchAccumulator;
 use polaris_xai::{RuleMiner, RuleSet};
 
@@ -13,7 +13,10 @@ use crate::cognition::{generate_for_design, CognitionStats};
 use crate::config::PolarisConfig;
 use crate::explain::Explainer;
 use crate::features::StructuralFeatureExtractor;
-use crate::masking_flow::{baseline_outcome, polaris_mask_with_baseline, MitigationReport};
+use crate::masking_flow::{
+    baseline_outcome, baseline_outcomes_fleet, finish_mitigation, polaris_mask_with_baseline,
+    prepare_mitigation, MitigationReport,
+};
 use crate::model::PolarisModel;
 use crate::PolarisError;
 
@@ -303,6 +306,71 @@ impl TrainedPolaris {
         Ok(report)
     }
 
+    /// [`TrainedPolaris::mask_design`] for a whole suite on one shared
+    /// worker pool: every design's reporting baseline runs as a job of one
+    /// fleet (adaptive stopping rules firing per job mid-fleet), the
+    /// TVLA-free mitigation paths run back to back, and every masked
+    /// design's after-campaign runs as a job of a second fleet. Small
+    /// designs therefore stop serializing on their own per-campaign fold
+    /// barriers — suite throughput scales with cores, not with the widest
+    /// single design.
+    ///
+    /// Report `i` is byte-identical to `mask_design(&designs[i], …)` in
+    /// every statistical field (leakage maps, summaries, scores, selected
+    /// gates, trace counts). Only the wall-clock fields differ in meaning:
+    /// the shared pool's time cannot be attributed per design, so each
+    /// report's `assessment_time_s` carries an even share of the suite's
+    /// two fleet phases.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist/masking/simulation failures.
+    pub fn mask_designs(
+        &self,
+        designs: &[Netlist],
+        power: &PowerModel,
+        budget: MaskBudget,
+    ) -> Result<Vec<MitigationReport>, PolarisError> {
+        let mut normalized = Vec::with_capacity(designs.len());
+        for design in designs {
+            normalized.push(decompose(design)?.0);
+        }
+        let fleet_start = std::time::Instant::now();
+        let baselines = baseline_outcomes_fleet(&normalized, &self.config, power)?;
+        let baseline_seconds = fleet_start.elapsed().as_secs_f64();
+
+        let mut pendings = Vec::with_capacity(designs.len());
+        for (norm, baseline) in normalized.iter().zip(baselines) {
+            let msize = self.resolve_msize(norm, budget, || {
+                Ok(baseline.sink.leakage().summarize(norm).leaky_cells)
+            })?;
+            pendings.push(prepare_mitigation(
+                norm,
+                &self.model,
+                Some(&self.rules),
+                &self.extractor,
+                &self.config,
+                msize,
+                baseline,
+            )?);
+        }
+
+        let fleet_start = std::time::Instant::now();
+        let jobs: Vec<FleetJob<'_, WelchAccumulator>> = pendings
+            .iter()
+            .map(|p| FleetJob::new(p.masked_netlist(), power, p.after_campaign.clone()))
+            .collect();
+        let outcomes = run_fleet(jobs, self.config.parallelism())?;
+        let after_seconds = fleet_start.elapsed().as_secs_f64();
+
+        let share = (baseline_seconds + after_seconds) / designs.len().max(1) as f64;
+        Ok(normalized
+            .iter()
+            .zip(pendings.into_iter().zip(outcomes))
+            .map(|(norm, (pending, outcome))| finish_mitigation(norm, pending, outcome.sink, share))
+            .collect())
+    }
+
     /// Resolves a [`MaskBudget`] into a gate count over the normalized
     /// design; `leaky_cells` supplies the leaky-count baseline only when a
     /// [`MaskBudget::LeakyFraction`] budget actually needs one. Shared by
@@ -461,6 +529,30 @@ mod tests {
             large.reduction_pct(),
             small.reduction_pct()
         );
+    }
+
+    #[test]
+    fn mask_designs_fleet_matches_solo_reports() {
+        // The suite path schedules every campaign on one shared pool; every
+        // statistical field of each report must still equal the solo
+        // mask_design run (only wall-clock attribution may differ).
+        let (trained, power) = tiny_pipeline();
+        let targets = vec![generators::iscas_c17(), generators::des3(1, 42)];
+        let budget = MaskBudget::LeakyFraction(0.5);
+        let fleet = trained.mask_designs(&targets, &power, budget).unwrap();
+        assert_eq!(fleet.len(), targets.len());
+        for (target, report) in targets.iter().zip(&fleet) {
+            let solo = trained.mask_design(target, &power, budget).unwrap();
+            assert_eq!(report.masked_gates, solo.masked_gates);
+            assert_eq!(report.scores, solo.scores);
+            assert_eq!(report.before, solo.before);
+            assert_eq!(report.after, solo.after);
+            assert_eq!(report.after_grouped_abs_t, solo.after_grouped_abs_t);
+            assert_eq!(report.campaign_fixed_traces, solo.campaign_fixed_traces);
+            assert_eq!(report.campaign_random_traces, solo.campaign_random_traces);
+            assert_eq!(report.stopped_early, solo.stopped_early);
+            assert_eq!(report.before_map.abs_t_all(), solo.before_map.abs_t_all());
+        }
     }
 
     #[test]

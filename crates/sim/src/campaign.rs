@@ -395,7 +395,10 @@ fn add_toggles(toggles: &mut [u32], gate: usize, diff: u64) {
 }
 
 /// Compiled per-campaign context shared (immutably) by all workers.
-struct Engine<'a> {
+///
+/// Crate-visible so the fleet scheduler (see [`crate::fleet`]) can compile
+/// one engine per job and drive shard ranges from a shared worker pool.
+pub(crate) struct Engine<'a> {
     sim: Simulator<'a>,
     config: &'a CampaignConfig,
     caps: Vec<f64>,
@@ -410,7 +413,7 @@ struct Engine<'a> {
 }
 
 impl<'a> Engine<'a> {
-    fn new(
+    pub(crate) fn new(
         netlist: &'a Netlist,
         model: &PowerModel,
         config: &'a CampaignConfig,
@@ -444,7 +447,13 @@ impl<'a> Engine<'a> {
     /// Simulates the contiguous trace range `[start, start + count)` of one
     /// population into `sink`. `start` must be 64-lane aligned so the batch
     /// grid (and hence every RNG stream) is independent of the sharding.
-    fn run_range<S: TraceSink>(&self, pop: Population, start: usize, count: usize, sink: &mut S) {
+    pub(crate) fn run_range<S: TraceSink>(
+        &self,
+        pop: Population,
+        start: usize,
+        count: usize,
+        sink: &mut S,
+    ) {
         debug_assert_eq!(start % BATCH_LANES, 0, "shards must be lane-aligned");
         let mut done = 0usize;
         while done < count {

@@ -22,6 +22,10 @@
 //! evaluates a [`StoppingRule`] on the checkpoint-folded state after each
 //! round and terminates the trace stream once the leakage verdict has
 //! converged — an early-stopped run is the exact prefix of the full run.
+//! Whole *suites* of campaigns schedule as [`fleet`] work items on one
+//! shared pool ([`fleet::run_fleet`]): shards of different campaigns
+//! interleave on the same workers while every job stays byte-identical to
+//! its standalone run.
 //!
 //! # Example
 //!
@@ -49,6 +53,7 @@
 //! ```
 
 pub mod campaign;
+pub mod fleet;
 pub mod logic;
 pub mod power;
 
@@ -58,5 +63,6 @@ pub use campaign::{
     CampaignConfig, CampaignOutcome, CampaignStats, Checkpoint, DelayModel, GateSamples,
     MergeableSink, NeverStop, Parallelism, Population, ShardSpec, StoppingRule, TraceSink,
 };
+pub use fleet::{job_rounds, run_fleet, FleetJob};
 pub use logic::{SimState, Simulator};
 pub use power::PowerModel;

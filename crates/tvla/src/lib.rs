@@ -50,8 +50,8 @@ pub use gate_leakage::{
 };
 pub use moments::StreamingMoments;
 pub use sequential::{
-    assess_adaptive, campaign_outcome_adaptive, AdaptiveAssessment, SequentialConfig,
-    SequentialStopping,
+    adaptive_fleet_job, assess_adaptive, campaign_outcome_adaptive, AdaptiveAssessment,
+    SequentialConfig, SequentialStopping,
 };
 pub use welch::{welch_t, WelchResult};
 

@@ -32,6 +32,7 @@ use polaris_sim::campaign::{
     run_campaign_adaptive, CampaignConfig, CampaignStats, Checkpoint, Parallelism, StoppingRule,
     DEFAULT_SHARDS_PER_ROUND,
 };
+use polaris_sim::fleet::FleetJob;
 use polaris_sim::power::PowerModel;
 
 use crate::gate_leakage::{GateLeakage, WelchAccumulator};
@@ -243,6 +244,23 @@ pub fn campaign_outcome_adaptive(
     )
 }
 
+/// [`campaign_outcome_adaptive`] packaged as a fleet work item: a
+/// [`FleetJob`] carrying the cells-scoped sequential stopping rule at the
+/// configuration's checkpoint granularity. Scheduled through
+/// [`polaris_sim::fleet::run_fleet`] the job's checkpoints fire per job
+/// mid-fleet, so its outcome — sink, stats, and stop round — is
+/// byte-identical to the standalone [`campaign_outcome_adaptive`] run at
+/// any pool size and in any job mix.
+pub fn adaptive_fleet_job<'a>(
+    netlist: &'a Netlist,
+    model: &'a PowerModel,
+    config: CampaignConfig,
+    sequential: &SequentialConfig,
+) -> FleetJob<'a, WelchAccumulator> {
+    let rule = SequentialStopping::scoped(*sequential, netlist.cell_ids());
+    FleetJob::new(netlist, model, config).with_rule(rule, sequential.shards_per_round)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -415,6 +433,32 @@ endmodule";
             "whole-map rule waits on non-cell gates: {:?}",
             outcome.stats
         );
+    }
+
+    #[test]
+    fn fleet_job_matches_standalone_adaptive_outcome() {
+        // The packaged fleet job must reproduce campaign_outcome_adaptive
+        // byte for byte — stop round included — even while sharing the pool
+        // with an unrelated job.
+        let n = generators::iscas_c17();
+        let cfg = CampaignConfig::new(6000, 6000, 11);
+        let seq = quick_seq();
+        let model = PowerModel::default();
+        let solo = campaign_outcome_adaptive(&n, &model, &cfg, Parallelism::new(2), &seq).unwrap();
+        assert!(solo.stats.stopped_early);
+        let jobs = vec![
+            FleetJob::<WelchAccumulator>::new(&n, &model, CampaignConfig::new(500, 500, 3)),
+            adaptive_fleet_job(&n, &model, cfg, &seq),
+        ];
+        let outcome = polaris_sim::fleet::run_fleet(jobs, Parallelism::new(3))
+            .unwrap()
+            .pop()
+            .unwrap();
+        assert_eq!(outcome.stats, solo.stats);
+        let (a, b) = (outcome.sink.leakage(), solo.sink.leakage());
+        for id in n.ids() {
+            assert_eq!(a.result(id).t.to_bits(), b.result(id).t.to_bits());
+        }
     }
 
     #[test]
