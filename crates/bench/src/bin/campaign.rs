@@ -11,10 +11,14 @@
 //! --scale N      generator scale factor               (default 1)
 //! --traces N     traces per TVLA class                (default 20000)
 //! --seed N       campaign master seed                 (default 7)
+//! --lane-words W simulator words per gate visit, 1/2/4/8 (default 4)
 //! --adaptive     also run the sequential-stopping engine and fail if its
 //!                leak verdict diverges from the full run's
 //! --confidence P adaptive clean-verdict confidence    (default 0.95)
 //! --out PATH     output path                          (default BENCH_campaign.json)
+//! --tmap PATH    also write the per-gate t-map as an exact-bits CSV —
+//!                `cmp` two of these from different lane widths / thread
+//!                counts to machine-check the bit-identity guarantee
 //! ```
 
 use std::time::Instant;
@@ -29,9 +33,11 @@ struct Args {
     scale: u32,
     traces: usize,
     seed: u64,
+    lane_words: usize,
     adaptive: bool,
     confidence: f64,
     out: String,
+    tmap: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -41,9 +47,11 @@ fn parse_args() -> Args {
         scale: 1,
         traces: 20_000,
         seed: 7,
+        lane_words: polaris_sim::DEFAULT_LANE_WORDS,
         adaptive: false,
         confidence: 0.95,
         out: "BENCH_campaign.json".to_string(),
+        tmap: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -77,6 +85,15 @@ fn parse_args() -> Args {
                 a.seed = need(i).parse().expect("--seed takes an integer");
                 i += 2;
             }
+            "--lane-words" => {
+                a.lane_words = need(i).parse().expect("--lane-words takes an integer");
+                assert!(
+                    matches!(a.lane_words, 1 | 2 | 4 | 8),
+                    "--lane-words must be 1, 2, 4 or 8, got {}",
+                    a.lane_words
+                );
+                i += 2;
+            }
             "--adaptive" => {
                 a.adaptive = true;
                 i += 1;
@@ -94,10 +111,14 @@ fn parse_args() -> Args {
                 a.out = need(i).to_string();
                 i += 2;
             }
+            "--tmap" => {
+                a.tmap = Some(need(i).to_string());
+                i += 2;
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "flags: --quick  --design NAME  --scale N  --traces N  --seed N  \
-                     --adaptive  --confidence P  --out PATH"
+                     --lane-words W  --adaptive  --confidence P  --out PATH  --tmap PATH"
                 );
                 std::process::exit(0);
             }
@@ -145,11 +166,12 @@ fn main() {
     thread_counts.dedup();
 
     eprintln!(
-        "[campaign bench] {} (scale {}): {} gates, {} traces/class, threads {:?}",
+        "[campaign bench] {} (scale {}): {} gates, {} traces/class, {} lane words, threads {:?}",
         args.design,
         args.scale,
         netlist.gate_count(),
         args.traces,
+        args.lane_words,
         thread_counts
     );
 
@@ -160,8 +182,8 @@ fn main() {
     let mut identical = true;
     for &threads in &thread_counts {
         let t0 = Instant::now();
-        let leakage = assess_parallel(&netlist, &model, &cfg, Parallelism::new(threads))
-            .expect("campaign runs");
+        let par = Parallelism::new(threads).with_lane_words(args.lane_words);
+        let leakage = assess_parallel(&netlist, &model, &cfg, par).expect("campaign runs");
         let seconds = t0.elapsed().as_secs_f64();
         let tps = total_traces / seconds.max(1e-9);
         let bits: Vec<u64> = netlist
@@ -187,8 +209,8 @@ fn main() {
     if args.adaptive {
         let seq = SequentialConfig::with_confidence(args.confidence);
         let t0 = Instant::now();
-        let a = assess_adaptive(&netlist, &model, &cfg, Parallelism::auto(), &seq)
-            .expect("adaptive campaign runs");
+        let par = Parallelism::auto().with_lane_words(args.lane_words);
+        let a = assess_adaptive(&netlist, &model, &cfg, par, &seq).expect("adaptive campaign runs");
         let seconds = t0.elapsed().as_secs_f64();
         let full = reference_leakage
             .as_ref()
@@ -233,6 +255,30 @@ fn main() {
         );
     }
 
+    // Exact-bits t-map: one line per gate, t-statistic as raw IEEE-754 bits.
+    // Two of these files from runs that the engine guarantees bit-identical
+    // (any lane width, any thread count) must compare equal with `cmp`.
+    if let Some(path) = &args.tmap {
+        let leakage = reference_leakage
+            .as_ref()
+            .expect("at least one full run preceded");
+        let mut csv = String::from("gate,t_bits\n");
+        for id in netlist.ids() {
+            use std::fmt::Write as _;
+            let _ = writeln!(
+                csv,
+                "{},{:016x}",
+                id.index(),
+                leakage.result(id).t.to_bits()
+            );
+        }
+        std::fs::write(path, csv).unwrap_or_else(|e| {
+            eprintln!("writing {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("  t-map written to {path}");
+    }
+
     let tps_1 = runs
         .iter()
         .find(|(t, _, _)| *t == 1)
@@ -251,7 +297,8 @@ fn main() {
     let available_parallelism = polaris_bench::host_parallelism();
     let json = format!(
         "{{\n  \"bench\": \"campaign\",\n  \"design\": \"{}\",\n  \"scale\": {},\n  \
-         \"gates\": {},\n  \"traces_per_class\": {},\n  \"seed\": {},\n  \"quick\": {},\n  \
+         \"gates\": {},\n  \"traces_per_class\": {},\n  \"seed\": {},\n  \"lane_words\": {},\n  \
+         \"quick\": {},\n  \
          \"host_cores\": {},\n  \"available_parallelism\": {},\n  \
          \"runs\": [\n{}\n  ],\n  \"speedup_4t\": {:.3},\n  \"bit_identical\": {}{}\n}}\n",
         args.design,
@@ -259,6 +306,7 @@ fn main() {
         netlist.gate_count(),
         args.traces,
         args.seed,
+        args.lane_words,
         args.quick,
         cores,
         available_parallelism,

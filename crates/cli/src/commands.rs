@@ -52,10 +52,18 @@ pub(crate) fn campaign_from(flags: &Flags, seed_default: u64) -> Result<Campaign
     Ok(c)
 }
 
-/// Parses `--threads N` (0 = all cores, the default). Purely a throughput
-/// knob — campaign results are bit-identical at any thread count.
+/// Parses `--threads N` (0 = all cores, the default) and `--lane-words W`
+/// (1/2/4/8 simulator words per gate visit). Both are purely throughput
+/// knobs — campaign results are bit-identical at any thread count and any
+/// lane width.
 pub(crate) fn parallelism_from(flags: &Flags) -> Result<Parallelism, String> {
-    Ok(Parallelism::new(flags.get_parsed("threads", 0)?))
+    let lane_words: usize = flags.get_parsed("lane-words", polaris_sim::DEFAULT_LANE_WORDS)?;
+    if !matches!(lane_words, 1 | 2 | 4 | 8) {
+        return Err(format!(
+            "--lane-words must be 1, 2, 4 or 8, got {lane_words}"
+        ));
+    }
+    Ok(Parallelism::new(flags.get_parsed("threads", 0)?).with_lane_words(lane_words))
 }
 
 /// Parses `--confidence P` (the adaptive clean-verdict confidence level).
@@ -167,7 +175,8 @@ pub(crate) fn assess(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args, &["glitch", "adaptive", "help"])?;
     if flags.has("help") {
         println!(
-            "assess <netlist.v> [--traces N --seed N --cycles N --threads N --glitch] \
+            "assess <netlist.v> [--traces N --seed N --cycles N --threads N \
+             --lane-words 1|2|4|8 --glitch] \
              [--adaptive --confidence P] [--csv out.csv] [--pairs N]"
         );
         return Ok(());

@@ -289,10 +289,16 @@ mod tests {
     #[test]
     fn welch_round_trips_bit_exactly() {
         let mut acc = WelchAccumulator::new();
-        use polaris_sim::campaign::{Population, TraceSink};
+        use polaris_sim::campaign::{EnergyBatch, Population, TraceSink};
         let e: Vec<f64> = (0..6).map(|i| (i as f64).exp() * 1e-3).collect();
-        acc.record_batch(Population::Fixed, &e, 3, 2);
-        acc.record_batch(Population::Random, &e, 3, 2);
+        acc.record_batch(
+            Population::Fixed,
+            EnergyBatch::new(&e, 3, 2).expect("well-formed"),
+        );
+        acc.record_batch(
+            Population::Random,
+            EnergyBatch::new(&e, 3, 2).expect("well-formed"),
+        );
         let back = round_trip(&acc);
         let (f0, r0) = acc.classes();
         let (f1, r1) = back.classes();

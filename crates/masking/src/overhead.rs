@@ -9,7 +9,7 @@
 //!   cost: mask-driven gates toggle roughly every other cycle.
 
 use polaris_netlist::{GateKind, Netlist, NetlistError};
-use polaris_sim::{CampaignConfig, Population, TraceSink};
+use polaris_sim::{CampaignConfig, EnergyBatch, Population, TraceSink};
 
 use crate::tech::CellLibrary;
 
@@ -48,19 +48,19 @@ struct ActivityProbe {
 }
 
 impl TraceSink for ActivityProbe {
-    fn record_batch(&mut self, pop: Population, energies: &[f64], gates: usize, lanes: usize) {
+    fn record_batch(&mut self, pop: Population, batch: EnergyBatch<'_>) {
         if pop != Population::Random {
             return;
         }
         if self.sums.is_empty() {
-            self.sums.resize(gates, 0.0);
+            self.sums.resize(batch.gates(), 0.0);
         }
-        for g in 0..gates {
-            for &e in &energies[g * lanes..g * lanes + lanes] {
-                self.sums[g] += e;
+        for (g, sum) in self.sums.iter_mut().enumerate().take(batch.gates()) {
+            for &e in batch.gate_lanes(g) {
+                *sum += e;
             }
         }
-        self.traces += lanes;
+        self.traces += batch.lanes();
     }
 }
 

@@ -10,8 +10,8 @@
 //!
 //! # Sharded, deterministic parallel engine
 //!
-//! Every random stream of a campaign is *counter-derived*: the RNG of a
-//! 64-lane batch is seeded from `(master_seed, population, batch_start,
+//! Every random stream of a campaign is *counter-derived*: the RNG of each
+//! 64-lane trace word is seeded from `(master_seed, population, word_start,
 //! stream)` rather than drawn from one sequential generator. A campaign is
 //! therefore a pure function of its configuration — any contiguous trace
 //! range can be recomputed in isolation, which is what makes the engine
@@ -40,9 +40,17 @@
 //! independent of the worker count. [`run_campaign_parallel`] is the
 //! never-stopping special case of the same engine.
 //!
-//! Samples are streamed to a [`TraceSink`] in 64-lane batches so leakage
-//! assessment can run in constant memory; [`GateSamples`] is the dense
-//! collector used for small designs and figures.
+//! # Lane width
+//!
+//! The simulator evaluates `W` 64-lane words per gate visit
+//! (`W ∈ {1, 2, 4, 8}`, see [`Parallelism::with_lane_words`]); samples are
+//! streamed to a [`TraceSink`] in up-to-`W × 64`-lane batches so leakage
+//! assessment can run in constant memory. Because every random stream stays
+//! keyed per 64-lane *word* and per-gate energies are emitted in the same
+//! `(gate-major, lane-minor)` order at every width, the lane width — like
+//! the thread count — **never affects results**: outcomes are byte-identical
+//! for any `W`. [`GateSamples`] is the dense collector used for small
+//! designs and figures.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -50,11 +58,24 @@ use polaris_netlist::{GateId, Netlist, NetlistError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::logic::Simulator;
-use crate::power::{sample_standard_normal, PowerModel};
+use crate::logic::{BlockState, Simulator};
+use crate::power::{fill_standard_normal, sample_standard_normal, PowerModel};
 
-/// Lanes per simulation batch (the simulator word width).
-pub const BATCH_LANES: usize = 64;
+/// Trace lanes per simulator word (one `u64` of lane bits).
+pub const WORD_LANES: usize = 64;
+
+/// Largest supported lane width `W` in words per simulation block.
+pub const MAX_LANE_WORDS: usize = 8;
+
+/// Default lane width of the engine, in words (see
+/// [`Parallelism::with_lane_words`]).
+pub const DEFAULT_LANE_WORDS: usize = 4;
+
+/// Maximum lanes per [`TraceSink::record_batch`] call:
+/// `MAX_LANE_WORDS × WORD_LANES`. Every batch carries between 1 and this
+/// many lanes; the engine's actual batch size is `lane_words × 64`, capped
+/// by the remaining traces of the range.
+pub const BATCH_LANES: usize = MAX_LANE_WORDS * WORD_LANES;
 
 /// Traces per shard of the parallel engine's fixed work grid. The grid is a
 /// pure function of the campaign configuration, so results do not depend on
@@ -88,30 +109,53 @@ pub enum DelayModel {
     UnitDelay,
 }
 
-/// Worker-thread budget for the parallel campaign engine.
+/// Worker-thread budget and SIMD lane width of the parallel campaign engine.
 ///
-/// The thread count never affects results — shards and merge order are fixed
-/// by the campaign configuration — so this is purely a throughput knob.
+/// Neither knob ever affects results — shards, merge order, and every random
+/// stream are fixed by the campaign configuration and keyed per 64-lane
+/// word — so both are purely throughput knobs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Parallelism {
     threads: usize,
+    lane_words: usize,
 }
 
 impl Parallelism {
-    /// An explicit thread count; `0` means "all available cores".
+    /// An explicit thread count; `0` means "all available cores". Lane width
+    /// defaults to [`DEFAULT_LANE_WORDS`].
     pub fn new(threads: usize) -> Self {
-        Parallelism { threads }
+        Parallelism {
+            threads,
+            lane_words: DEFAULT_LANE_WORDS,
+        }
     }
 
     /// Single-threaded execution (still runs the sharded engine, so results
     /// match every other thread count bit for bit).
     pub fn sequential() -> Self {
-        Parallelism { threads: 1 }
+        Parallelism::new(1)
     }
 
     /// One worker per available core.
     pub fn auto() -> Self {
-        Parallelism { threads: 0 }
+        Parallelism::new(0)
+    }
+
+    /// Sets the simulation lane width in 64-lane words: each gate visit
+    /// evaluates `lane_words × 64` trace lanes. Outcomes are byte-identical
+    /// at every supported width; wider blocks amortize per-batch overheads
+    /// and give the autovectorizer straight-line multi-word loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lane_words ∈ {1, 2, 4, 8}`.
+    pub fn with_lane_words(mut self, lane_words: usize) -> Self {
+        assert!(
+            matches!(lane_words, 1 | 2 | 4 | 8),
+            "lane width must be 1, 2, 4 or 8 words, got {lane_words}"
+        );
+        self.lane_words = lane_words;
+        self
     }
 
     /// The resolved worker count (≥ 1).
@@ -124,6 +168,11 @@ impl Parallelism {
             self.threads
         }
     }
+
+    /// The simulation lane width in 64-lane words.
+    pub fn lane_words(self) -> usize {
+        self.lane_words
+    }
 }
 
 impl Default for Parallelism {
@@ -132,19 +181,126 @@ impl Default for Parallelism {
     }
 }
 
+/// Why an energy matrix was rejected by [`EnergyBatch::new`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchShapeError {
+    /// `lanes == 0`: every batch carries at least one real trace lane.
+    ZeroLanes,
+    /// `lanes > BATCH_LANES`: wider than any supported simulation block.
+    TooManyLanes {
+        /// The offending lane count.
+        lanes: usize,
+    },
+    /// `energies.len() != gates × lanes` (or the product overflows).
+    LengthMismatch {
+        /// `gates × lanes`.
+        expected: usize,
+        /// `energies.len()`.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for BatchShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchShapeError::ZeroLanes => write!(f, "batch has zero lanes"),
+            BatchShapeError::TooManyLanes { lanes } => {
+                write!(f, "batch has {lanes} lanes, max {BATCH_LANES}")
+            }
+            BatchShapeError::LengthMismatch { expected, actual } => {
+                write!(f, "energy matrix has {actual} entries, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BatchShapeError {}
+
+/// A shape-checked view of one batch's per-gate energy matrix.
+///
+/// Constructing the view validates the batch invariants once —
+/// `1 ≤ lanes ≤ BATCH_LANES` and `energies.len() == gates × lanes` — so
+/// sinks can index by gate and lane without re-checking (the checks are
+/// real, not `debug_assert`: a malformed batch is rejected in release
+/// builds too).
+#[derive(Clone, Copy, Debug)]
+pub struct EnergyBatch<'a> {
+    energies: &'a [f64],
+    gates: usize,
+    lanes: usize,
+}
+
+impl<'a> EnergyBatch<'a> {
+    /// Validates and wraps an energy matrix where `energies[g * lanes + l]`
+    /// is the sample of gate `g` in trace-lane `l`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BatchShapeError`] describing the violated invariant.
+    pub fn new(energies: &'a [f64], gates: usize, lanes: usize) -> Result<Self, BatchShapeError> {
+        if lanes == 0 {
+            return Err(BatchShapeError::ZeroLanes);
+        }
+        if lanes > BATCH_LANES {
+            return Err(BatchShapeError::TooManyLanes { lanes });
+        }
+        let expected = gates.saturating_mul(lanes);
+        if energies.len() != expected {
+            return Err(BatchShapeError::LengthMismatch {
+                expected,
+                actual: energies.len(),
+            });
+        }
+        Ok(EnergyBatch {
+            energies,
+            gates,
+            lanes,
+        })
+    }
+
+    /// Number of gates covered by the batch.
+    pub fn gates(&self) -> usize {
+        self.gates
+    }
+
+    /// Number of trace lanes in the batch (`1..=BATCH_LANES`).
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The `lanes` energy samples of gate `g`, one per trace in trace order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g >= self.gates()`.
+    pub fn gate_lanes(&self, g: usize) -> &'a [f64] {
+        &self.energies[g * self.lanes..(g + 1) * self.lanes]
+    }
+
+    /// The full gate-major energy matrix.
+    pub fn energies(&self) -> &'a [f64] {
+        self.energies
+    }
+}
+
 /// Receiver for streamed per-gate energy samples.
 pub trait TraceSink {
-    /// Records one batch. `energies[g * lanes + l]` is the energy sample of
-    /// gate `g` in trace-lane `l`; `gates * lanes == energies.len()`.
+    /// Records one shape-checked batch (see [`EnergyBatch`]):
+    /// `batch.gate_lanes(g)[l]` is the energy sample of gate `g` in
+    /// trace-lane `l`.
     ///
-    /// # Batch-shape invariant
+    /// # Batch-shape contract
     ///
-    /// `1 <= lanes <= 64`. Batches of one contiguous trace range arrive in
-    /// trace order, and every batch is full (64 lanes) except possibly the
-    /// *last* batch of the range, which reports its true trailing lane count
-    /// (`n_traces % 64` when that is non-zero). Sinks must therefore never
-    /// assume `lanes == 64` — trailing partial batches carry real samples.
-    fn record_batch(&mut self, pop: Population, energies: &[f64], gates: usize, lanes: usize);
+    /// `1 <= batch.lanes() <= BATCH_LANES`, where
+    /// `BATCH_LANES = MAX_LANE_WORDS × 64`. Batches of one contiguous trace
+    /// range arrive in trace order; an engine running at lane width `W`
+    /// emits `W × 64`-lane batches except possibly the *last* batch of the
+    /// range, which reports its true trailing lane count. Sinks must
+    /// therefore never assume a particular batch width — partial batches
+    /// carry real samples, and the same trace range may arrive in different
+    /// batch sizes at different lane widths while folding to byte-identical
+    /// accumulator state.
+    fn record_batch(&mut self, pop: Population, batch: EnergyBatch<'_>);
 }
 
 /// A [`TraceSink`] whose partial results can be folded together — the worker
@@ -339,9 +495,8 @@ impl GateSamples {
 }
 
 impl TraceSink for GateSamples {
-    fn record_batch(&mut self, pop: Population, energies: &[f64], gates: usize, lanes: usize) {
-        debug_assert_eq!(energies.len(), gates * lanes);
-        debug_assert!((1..=BATCH_LANES).contains(&lanes), "lanes = {lanes}");
+    fn record_batch(&mut self, pop: Population, batch: EnergyBatch<'_>) {
+        let gates = batch.gates();
         let store = match pop {
             Population::Fixed => &mut self.fixed,
             Population::Random => &mut self.random,
@@ -349,8 +504,8 @@ impl TraceSink for GateSamples {
         if store.len() < gates {
             store.resize(gates, Vec::new());
         }
-        for g in 0..gates {
-            store[g].extend_from_slice(&energies[g * lanes..g * lanes + lanes]);
+        for (g, samples) in store.iter_mut().enumerate().take(gates) {
+            samples.extend_from_slice(batch.gate_lanes(g));
         }
     }
 }
@@ -382,14 +537,48 @@ impl MergeableSink for GateSamples {
 // --- The campaign engine ---------------------------------------------------
 
 #[inline]
-fn add_toggles(toggles: &mut [u32], gate: usize, diff: u64) {
+fn add_toggles(toggles: &mut [u32], diff: u64) {
     if diff != 0 {
-        let base = gate * 64;
         let mut d = diff;
         while d != 0 {
             let l = d.trailing_zeros() as usize;
-            toggles[base + l] += 1;
+            toggles[l] += 1;
             d &= d - 1;
+        }
+    }
+}
+
+/// Reusable per-worker buffers of the block engine: one allocation set per
+/// `run_range` call instead of per batch.
+struct BlockScratch<const W: usize> {
+    st: BlockState<W>,
+    /// Previous value words (gate-major, `W` per gate).
+    prev: Vec<u64>,
+    /// Per-lane toggle counters, `W × 64` per gate.
+    toggles: Vec<u32>,
+    /// Gate-major energy matrix of the current batch.
+    energies: Vec<f64>,
+    /// Input-major data words (`W` per data input).
+    data: Vec<u64>,
+    /// All-zero data words for the base application.
+    zero_data: Vec<u64>,
+    /// Input-major mask words (`W` per mask input).
+    masks: Vec<u64>,
+    /// Per-lane standard-normal noise of one gate, in lane order.
+    normals: Vec<f64>,
+}
+
+impl<const W: usize> BlockScratch<W> {
+    fn new(engine: &Engine<'_>) -> Self {
+        BlockScratch {
+            st: engine.sim.zero_block::<W>(),
+            prev: vec![0; engine.gates * W],
+            toggles: vec![0; engine.gates * W * WORD_LANES],
+            energies: vec![0.0; engine.gates * W * WORD_LANES],
+            data: vec![0; engine.n_data * W],
+            zero_data: vec![0; engine.n_data * W],
+            masks: vec![0; engine.n_mask * W],
+            normals: vec![0.0; W * WORD_LANES],
         }
     }
 }
@@ -406,6 +595,8 @@ pub(crate) struct Engine<'a> {
     n_data: usize,
     n_mask: usize,
     gates: usize,
+    /// Simulation block width in 64-lane words (1, 2, 4 or 8).
+    lane_words: usize,
     /// Fixed-class data vector, broadcast to 64-lane words.
     fixed_words: Vec<u64>,
     /// Second fixed vector (fixed-vs-fixed mode), broadcast.
@@ -417,7 +608,12 @@ impl<'a> Engine<'a> {
         netlist: &'a Netlist,
         model: &PowerModel,
         config: &'a CampaignConfig,
+        lane_words: usize,
     ) -> Result<Self, NetlistError> {
+        assert!(
+            matches!(lane_words, 1 | 2 | 4 | 8),
+            "lane width must be 1, 2, 4 or 8 words, got {lane_words}"
+        );
         let sim = Simulator::new(netlist)?;
         let n_data = netlist.data_inputs().len();
         let n_mask = netlist.mask_inputs().len();
@@ -439,14 +635,16 @@ impl<'a> Engine<'a> {
             n_data,
             n_mask,
             gates,
+            lane_words,
             fixed_words: broadcast(&fixed_vec),
             second_fixed_words,
         })
     }
 
     /// Simulates the contiguous trace range `[start, start + count)` of one
-    /// population into `sink`. `start` must be 64-lane aligned so the batch
-    /// grid (and hence every RNG stream) is independent of the sharding.
+    /// population into `sink`. `start` must be word-aligned (a multiple of
+    /// 64) so the per-word stream grid — and hence every RNG draw — is
+    /// independent of the sharding and of the lane width.
     pub(crate) fn run_range<S: TraceSink>(
         &self,
         pop: Population,
@@ -454,83 +652,201 @@ impl<'a> Engine<'a> {
         count: usize,
         sink: &mut S,
     ) {
-        debug_assert_eq!(start % BATCH_LANES, 0, "shards must be lane-aligned");
+        match self.lane_words {
+            1 => self.run_range_w::<S, 1>(pop, start, count, sink),
+            2 => self.run_range_w::<S, 2>(pop, start, count, sink),
+            4 => self.run_range_w::<S, 4>(pop, start, count, sink),
+            8 => self.run_range_w::<S, 8>(pop, start, count, sink),
+            w => unreachable!("lane width {w} rejected at construction"),
+        }
+    }
+
+    fn run_range_w<S: TraceSink, const W: usize>(
+        &self,
+        pop: Population,
+        start: usize,
+        count: usize,
+        sink: &mut S,
+    ) {
+        debug_assert_eq!(start % WORD_LANES, 0, "shards must be word-aligned");
+        let mut scratch = BlockScratch::<W>::new(self);
         let mut done = 0usize;
         while done < count {
-            let lanes = (count - done).min(BATCH_LANES);
-            self.run_batch(pop, (start + done) as u64, lanes, sink);
+            let lanes = (count - done).min(W * WORD_LANES);
+            self.run_block::<S, W>(pop, (start + done) as u64, lanes, &mut scratch, sink);
             done += lanes;
         }
     }
 
-    /// Simulates one 64-lane batch starting at global trace `batch_start`.
-    fn run_batch<S: TraceSink>(
+    /// Simulates one `W`-word block of `lanes` traces starting at global
+    /// trace `block_start`.
+    ///
+    /// Cross-width identity: every random stream is keyed by the 64-lane
+    /// *word* it feeds (`block_start + w × 64`), and energies are emitted in
+    /// `(gate-major, lane-minor)` order — so a block is exactly the
+    /// concatenation of the `W` single-word batches a `W = 1` engine would
+    /// produce, and sinks fold to byte-identical state at every width.
+    fn run_block<S: TraceSink, const W: usize>(
         &self,
         pop: Population,
-        batch_start: u64,
+        block_start: u64,
         lanes: usize,
+        scratch: &mut BlockScratch<W>,
         sink: &mut S,
     ) {
-        let lane_mask: u64 = if lanes == BATCH_LANES {
-            !0
-        } else {
-            (1u64 << lanes) - 1
-        };
+        debug_assert!(lanes >= 1 && lanes <= W * WORD_LANES, "lanes = {lanes}");
+        let words = lanes.div_ceil(WORD_LANES);
         let seed = self.config.seed;
-        let mut mask_rng = batch_stream_rng(seed, pop, batch_start, STREAM_MASK);
-        let mut noise_rng = batch_stream_rng(seed, pop, batch_start, STREAM_NOISE);
+        let word_start = |w: usize| block_start + (w * WORD_LANES) as u64;
 
-        let data: Vec<u64> = match (pop, &self.second_fixed_words) {
-            (Population::Fixed, _) => self.fixed_words.clone(),
-            (Population::Random, Some(v2)) => v2.clone(),
-            (Population::Random, None) => {
-                let mut data_rng = batch_stream_rng(seed, pop, batch_start, STREAM_DATA);
-                (0..self.n_data)
-                    .map(|_| data_rng.gen::<u64>() & lane_mask)
-                    .collect()
+        // Per-word active lane counts and masks: all words are full except
+        // possibly the last. Lanes at and beyond `lanes` are masked out of
+        // data generation and never read back, so a partial trailing block
+        // can never leak garbage into a sink at any width.
+        let mut word_lanes = [0usize; W];
+        let mut lane_mask = [0u64; W];
+        for w in 0..words {
+            let lw = (lanes - w * WORD_LANES).min(WORD_LANES);
+            word_lanes[w] = lw;
+            lane_mask[w] = if lw == WORD_LANES {
+                !0
+            } else {
+                (1u64 << lw) - 1
+            };
+        }
+
+        let mut mask_rngs: [StdRng; W] =
+            std::array::from_fn(|w| batch_stream_rng(seed, pop, word_start(w), STREAM_MASK));
+        let mut noise_rngs: [StdRng; W] =
+            std::array::from_fn(|w| batch_stream_rng(seed, pop, word_start(w), STREAM_NOISE));
+
+        let data = &mut scratch.data;
+        match (pop, &self.second_fixed_words) {
+            (Population::Fixed, _) => {
+                for (i, &word) in self.fixed_words.iter().enumerate() {
+                    data[i * W..i * W + W].fill(word);
+                }
             }
-        };
+            (Population::Random, Some(v2)) => {
+                for (i, &word) in v2.iter().enumerate() {
+                    data[i * W..i * W + W].fill(word);
+                }
+            }
+            (Population::Random, None) => {
+                let mut data_rngs: [StdRng; W] = std::array::from_fn(|w| {
+                    batch_stream_rng(seed, pop, word_start(w), STREAM_DATA)
+                });
+                data.fill(0);
+                for i in 0..self.n_data {
+                    for (w, rng) in data_rngs.iter_mut().enumerate().take(words) {
+                        data[i * W + w] = rng.gen::<u64>() & lane_mask[w];
+                    }
+                }
+            }
+        }
 
-        let mut st = self.sim.zero_state();
-        let mut toggles = vec![0u32; self.gates * 64];
+        let st = &mut scratch.st;
+        st.reset();
         // Base application: settle on all-zero data with fresh masks;
         // toggles are not counted here.
-        let base_mask: Vec<u64> = (0..self.n_mask).map(|_| mask_rng.gen::<u64>()).collect();
-        self.sim.eval(&mut st, &vec![0u64; self.n_data], &base_mask);
-        let mut prev = st.values().to_vec();
+        let base_mask = &mut scratch.masks;
+        base_mask.fill(0);
+        for i in 0..self.n_mask {
+            for (w, rng) in mask_rngs.iter_mut().enumerate().take(words) {
+                base_mask[i * W + w] = rng.gen::<u64>();
+            }
+        }
+        self.sim.eval_block::<W>(st, &scratch.zero_data, base_mask);
+        scratch.prev.copy_from_slice(st.values());
 
+        // `cycles == 1` zero-delay blocks (the combinational common case)
+        // skip the per-lane toggle counters: each gate toggles at most once,
+        // so the XOR against the base values *is* the toggle bit.
+        let single_cycle = self.config.cycles == 1 && self.config.delay_model == DelayModel::Zero;
+        if !single_cycle {
+            scratch.toggles.fill(0);
+        }
         for cycle in 0..self.config.cycles {
-            let masks: Vec<u64> = (0..self.n_mask).map(|_| mask_rng.gen::<u64>()).collect();
+            let masks = &mut scratch.masks;
+            for i in 0..self.n_mask {
+                for (w, rng) in mask_rngs.iter_mut().enumerate().take(words) {
+                    masks[i * W + w] = rng.gen::<u64>();
+                }
+            }
             match self.config.delay_model {
                 DelayModel::Zero => {
-                    self.sim.eval(&mut st, &data, &masks);
-                    for (g, (&p, &v)) in prev.iter().zip(st.values()).enumerate() {
-                        add_toggles(&mut toggles, g, (p ^ v) & lane_mask);
+                    self.sim.eval_block::<W>(st, data, masks);
+                    if !single_cycle {
+                        for g in 0..self.gates {
+                            for (w, &wmask) in lane_mask.iter().enumerate().take(words) {
+                                let diff =
+                                    (scratch.prev[g * W + w] ^ st.values()[g * W + w]) & wmask;
+                                add_toggles(&mut scratch.toggles[(g * W + w) * WORD_LANES..], diff);
+                            }
+                        }
                     }
                 }
                 DelayModel::UnitDelay => {
                     // Every settling wave's transition counts (glitches).
-                    self.sim.eval_unit_delay(&mut st, &data, &masks, |g, diff| {
-                        add_toggles(&mut toggles, g, diff & lane_mask);
-                    });
+                    let toggles = &mut scratch.toggles;
+                    self.sim
+                        .eval_unit_delay_block::<W>(st, data, masks, |g, diff| {
+                            for w in 0..words {
+                                add_toggles(
+                                    &mut toggles[(g * W + w) * WORD_LANES..],
+                                    diff[w] & lane_mask[w],
+                                );
+                            }
+                        });
                 }
             }
-            prev.copy_from_slice(st.values());
+            if !single_cycle {
+                // Multi-cycle zero-delay diffs need the previous cycle's
+                // values; in single-cycle mode `prev` keeps the base values
+                // so emission can read the toggle bits directly.
+                scratch.prev.copy_from_slice(st.values());
+            }
             if cycle + 1 < self.config.cycles {
-                self.sim.clock(&mut st);
+                self.sim.clock_block::<W>(st);
             }
         }
 
-        let mut energies = vec![0.0f64; self.gates * lanes];
+        // Energy emission, `(gate-major, lane-minor)`: full words precede
+        // the partial trailing word, so lane `w * 64 + l` of the batch is
+        // sample `w * 64 + l` of the gate's row — contiguous at any width.
+        let energies = &mut scratch.energies[..self.gates * lanes];
+        let normals = &mut scratch.normals;
         for g in 0..self.gates {
             let cap = self.caps[g];
-            for l in 0..lanes {
-                let e = cap * f64::from(toggles[g * 64 + l])
-                    + self.sigma * sample_standard_normal(&mut noise_rng);
-                energies[g * lanes + l] = e;
+            for w in 0..words {
+                fill_standard_normal(
+                    &mut noise_rngs[w],
+                    &mut normals[w * WORD_LANES..w * WORD_LANES + word_lanes[w]],
+                );
+            }
+            let row = &mut energies[g * lanes..(g + 1) * lanes];
+            if single_cycle {
+                for (w, &wl) in word_lanes.iter().enumerate().take(words) {
+                    let base = w * WORD_LANES;
+                    let diff = st.values()[g * W + w] ^ scratch.prev[g * W + w];
+                    for l in 0..wl {
+                        let t = f64::from(u8::from((diff >> l) & 1 == 1));
+                        row[base + l] = cap * t + self.sigma * normals[base + l];
+                    }
+                }
+            } else {
+                for (w, &wl) in word_lanes.iter().enumerate().take(words) {
+                    let base = w * WORD_LANES;
+                    let t_row = &scratch.toggles[(g * W + w) * WORD_LANES..];
+                    for l in 0..wl {
+                        row[base + l] = cap * f64::from(t_row[l]) + self.sigma * normals[base + l];
+                    }
+                }
             }
         }
-        sink.record_batch(pop, &energies, self.gates, lanes);
+        let batch = EnergyBatch::new(energies, self.gates, lanes)
+            .expect("engine emits well-formed batches");
+        sink.record_batch(pop, batch);
     }
 }
 
@@ -664,7 +980,7 @@ pub fn run_shard_states<S>(
 where
     S: MergeableSink + Default,
 {
-    let engine = Engine::new(netlist, model, config)?;
+    let engine = Engine::new(netlist, model, config, parallelism.lane_words())?;
     let grid = shard_grid(config);
     assert!(
         shards.end <= grid.len() && shards.start <= shards.end,
@@ -775,7 +1091,7 @@ pub fn run_campaign<S: TraceSink>(
     config: &CampaignConfig,
     sink: &mut S,
 ) -> Result<(), NetlistError> {
-    let engine = Engine::new(netlist, model, config)?;
+    let engine = Engine::new(netlist, model, config, DEFAULT_LANE_WORDS)?;
     engine.run_range(Population::Fixed, 0, config.n_fixed, sink);
     engine.run_range(Population::Random, 0, config.n_random, sink);
     Ok(())
@@ -889,7 +1205,7 @@ where
     S: MergeableSink + Default,
     R: StoppingRule<S>,
 {
-    let engine = Engine::new(netlist, model, config)?;
+    let engine = Engine::new(netlist, model, config, parallelism.lane_words())?;
     let shards = shard_grid(config);
     let shards_per_round = shards_per_round.max(1);
     let planned_rounds = shards.len().div_ceil(shards_per_round);
@@ -1183,7 +1499,7 @@ mod tests {
         assert_eq!(covered, cfg.n_fixed);
         assert!(shards
             .iter()
-            .all(|s| s.start % BATCH_LANES == 0 && s.count <= TRACES_PER_SHARD));
+            .all(|s| s.start % WORD_LANES == 0 && s.count <= TRACES_PER_SHARD));
     }
 
     #[test]
@@ -1374,10 +1690,10 @@ mod tests {
     }
 
     impl TraceSink for WelchProbe {
-        fn record_batch(&mut self, pop: Population, _e: &[f64], _g: usize, lanes: usize) {
+        fn record_batch(&mut self, pop: Population, batch: EnergyBatch<'_>) {
             match pop {
-                Population::Fixed => self.fixed += lanes,
-                Population::Random => self.random += lanes,
+                Population::Fixed => self.fixed += batch.lanes(),
+                Population::Random => self.random += batch.lanes(),
             }
         }
     }
@@ -1412,34 +1728,153 @@ mod tests {
     }
 
     impl TraceSink for LaneRecorder {
-        fn record_batch(&mut self, pop: Population, energies: &[f64], gates: usize, lanes: usize) {
-            assert_eq!(energies.len(), gates * lanes);
-            self.batches.push((pop, lanes));
+        fn record_batch(&mut self, pop: Population, batch: EnergyBatch<'_>) {
+            assert_eq!(batch.energies().len(), batch.gates() * batch.lanes());
+            self.batches.push((pop, batch.lanes()));
         }
+    }
+
+    fn lane_counts(netlist: &Netlist, cfg: &CampaignConfig, lane_words: usize) -> Vec<Vec<usize>> {
+        let engine = Engine::new(netlist, &PowerModel::default(), cfg, lane_words).unwrap();
+        let mut rec = LaneRecorder::default();
+        engine.run_range(Population::Fixed, 0, cfg.n_fixed, &mut rec);
+        engine.run_range(Population::Random, 0, cfg.n_random, &mut rec);
+        [Population::Fixed, Population::Random]
+            .iter()
+            .map(|pop| {
+                rec.batches
+                    .iter()
+                    .filter(|(p, _)| p == pop)
+                    .map(|(_, l)| *l)
+                    .collect()
+            })
+            .collect()
     }
 
     #[test]
     fn trailing_partial_batch_reports_true_lane_count() {
-        // 130 = 64 + 64 + 2: the last batch of each class must report its
-        // real 2-lane width, not a padded 64.
+        // The last batch of each class must report its real lane count, not
+        // a padded block width — at every lane width.
         let n = generators::iscas_c17();
         let cfg = CampaignConfig::new(130, 65, 2);
-        let mut rec = LaneRecorder::default();
-        run_campaign(&n, &PowerModel::default(), &cfg, &mut rec).unwrap();
-        let fixed: Vec<usize> = rec
-            .batches
-            .iter()
-            .filter(|(p, _)| *p == Population::Fixed)
-            .map(|(_, l)| *l)
-            .collect();
-        let random: Vec<usize> = rec
-            .batches
-            .iter()
-            .filter(|(p, _)| *p == Population::Random)
-            .map(|(_, l)| *l)
-            .collect();
-        assert_eq!(fixed, vec![64, 64, 2]);
-        assert_eq!(random, vec![64, 1]);
+        // W = 1: 130 = 64 + 64 + 2, 65 = 64 + 1.
+        assert_eq!(lane_counts(&n, &cfg, 1), vec![vec![64, 64, 2], vec![64, 1]]);
+        // W = 2: 130 = 128 + 2 (the 2-lane block has one partial word).
+        assert_eq!(lane_counts(&n, &cfg, 2), vec![vec![128, 2], vec![65]]);
+        // W = 4: both classes fit one block with a partial trailing word.
+        assert_eq!(lane_counts(&n, &cfg, 4), vec![vec![130], vec![65]]);
+        assert_eq!(lane_counts(&n, &cfg, 8), vec![vec![130], vec![65]]);
+    }
+
+    #[test]
+    fn energy_batch_rejects_malformed_shapes() {
+        let e = vec![0.0; 12];
+        // 3 gates × 4 lanes: well-formed.
+        let b = EnergyBatch::new(&e, 3, 4).unwrap();
+        assert_eq!(b.gates(), 3);
+        assert_eq!(b.lanes(), 4);
+        assert_eq!(b.gate_lanes(2), &e[8..12]);
+        // Zero lanes.
+        assert_eq!(
+            EnergyBatch::new(&e, 12, 0).unwrap_err(),
+            BatchShapeError::ZeroLanes
+        );
+        // Wider than any simulation block.
+        assert_eq!(
+            EnergyBatch::new(&e, 1, BATCH_LANES + 1).unwrap_err(),
+            BatchShapeError::TooManyLanes {
+                lanes: BATCH_LANES + 1
+            }
+        );
+        // Length mismatch — the bug class the old debug_assert let through
+        // in release builds.
+        assert_eq!(
+            EnergyBatch::new(&e, 3, 5).unwrap_err(),
+            BatchShapeError::LengthMismatch {
+                expected: 15,
+                actual: 12
+            }
+        );
+        // Error values render.
+        assert!(BatchShapeError::ZeroLanes.to_string().contains("zero"));
+        assert!(EnergyBatch::new(&e, 3, 5)
+            .unwrap_err()
+            .to_string()
+            .contains("expected 15"));
+    }
+
+    #[test]
+    fn lane_width_is_byte_identical_on_dense_samples() {
+        // The dense collector must receive the exact same per-gate sample
+        // stream at every lane width — including trailing partial blocks
+        // with partial words (masked-off lanes never leak garbage).
+        let n = generators::iscas_c17();
+        let model = PowerModel::default();
+        for (nf, nr) in [(130, 65), (64, 64), (300, 257), (1, 513)] {
+            let cfg = CampaignConfig::new(nf, nr, 23);
+            let collect = |w: usize| {
+                let engine = Engine::new(&n, &model, &cfg, w).unwrap();
+                let mut s = GateSamples::with_capacity(n.gate_count(), nf, nr);
+                engine.run_range(Population::Fixed, 0, nf, &mut s);
+                engine.run_range(Population::Random, 0, nr, &mut s);
+                s
+            };
+            let base = collect(1);
+            for w in [2usize, 4, 8] {
+                let wide = collect(w);
+                for id in n.ids() {
+                    assert_eq!(base.fixed(id), wide.fixed(id), "W={w} nf={nf} nr={nr}");
+                    assert_eq!(base.random(id), wide.random(id), "W={w} nf={nf} nr={nr}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn glitch_path_is_width_invariant() {
+        // The unit-delay (glitch) and multi-cycle paths use the toggle
+        // counters rather than the single-cycle fast path; both must be
+        // width-invariant too.
+        let n = generators::multiplier(1, 4);
+        let model = PowerModel::default();
+        let cfg = CampaignConfig::new(97, 70, 31).with_glitches();
+        let collect = |w: usize| {
+            let engine = Engine::new(&n, &model, &cfg, w).unwrap();
+            let mut s = GateSamples::default();
+            engine.run_range(Population::Fixed, 0, cfg.n_fixed, &mut s);
+            engine.run_range(Population::Random, 0, cfg.n_random, &mut s);
+            s
+        };
+        let base = collect(1);
+        for w in [2usize, 8] {
+            let wide = collect(w);
+            for id in n.ids() {
+                assert_eq!(base.fixed(id), wide.fixed(id), "W={w}");
+                assert_eq!(base.random(id), wide.random(id), "W={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_cycle_sequential_is_width_invariant() {
+        let m = generators::memctrl(1, 3);
+        let model = PowerModel::default();
+        let cfg = CampaignConfig::new(70, 97, 13).with_cycles(3);
+        let collect = |w: usize| {
+            let engine = Engine::new(&m, &model, &cfg, w).unwrap();
+            let mut s = GateSamples::default();
+            engine.run_range(Population::Fixed, 0, cfg.n_fixed, &mut s);
+            engine.run_range(Population::Random, 0, cfg.n_random, &mut s);
+            s
+        };
+        let base = collect(1);
+        for w in [4usize] {
+            let wide = collect(w);
+            for id in m.ids() {
+                assert_eq!(base.fixed(id), wide.fixed(id), "W={w}");
+                assert_eq!(base.random(id), wide.random(id), "W={w}");
+            }
+        }
     }
 
     #[test]

@@ -402,7 +402,12 @@ where
     // count can find work.
     let mut concurrency = 0usize;
     for ((netlist, power, rule, shards_per_round), config) in parts.into_iter().zip(&configs) {
-        engines.push(Engine::new(netlist, power, config)?);
+        engines.push(Engine::new(
+            netlist,
+            power,
+            config,
+            parallelism.lane_words(),
+        )?);
         let n_shards = shard_grid(config).len();
         let rounds = job_rounds(n_shards, shards_per_round);
         concurrency += n_shards.min(shards_per_round.max(1));
@@ -643,10 +648,10 @@ mod tests {
     }
 
     impl TraceSink for CountProbe {
-        fn record_batch(&mut self, pop: Population, _e: &[f64], _g: usize, lanes: usize) {
+        fn record_batch(&mut self, pop: Population, batch: crate::campaign::EnergyBatch<'_>) {
             match pop {
-                Population::Fixed => self.fixed += lanes,
-                Population::Random => self.random += lanes,
+                Population::Fixed => self.fixed += batch.lanes(),
+                Population::Random => self.random += batch.lanes(),
             }
         }
     }

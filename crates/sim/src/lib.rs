@@ -1,11 +1,16 @@
 //! Gate-level logic simulation and power-trace acquisition.
 //!
-//! The simulator is *bit-parallel*: every signal is a `u64` word whose 64
-//! lanes carry 64 independent traces, so a whole TVLA batch advances per
-//! gate visit. On top of the logic core sits a switching-activity power
-//! model (per-cell capacitance × toggle count + Gaussian measurement noise)
-//! and [`campaign`] — the fixed-vs-random / fixed-vs-fixed trace campaigns
-//! TVLA consumes.
+//! The simulator is *bit-parallel and multi-word*: every signal is held as
+//! `W` consecutive `u64` words (`W ∈ {1, 2, 4, 8}` lane words, each word
+//! carrying 64 independent trace lanes), so up to `W × 64 = 512` traces
+//! advance per gate visit in straight-line word-parallel code the
+//! autovectorizer can widen to SIMD registers. The lane width is a pure
+//! throughput knob ([`Parallelism::with_lane_words`]): every random stream
+//! stays keyed per 64-lane word, so campaign outcomes are **byte-identical
+//! at every width** — same guarantee as the thread count. On top of the
+//! logic core sits a switching-activity power model (per-cell capacitance ×
+//! toggle count + Gaussian measurement noise) and [`campaign`] — the
+//! fixed-vs-random / fixed-vs-fixed trace campaigns TVLA consumes.
 //!
 //! Mask inputs (see [`Netlist::mask_inputs`][polaris_netlist::Netlist::mask_inputs])
 //! are re-randomized on **every trace for both populations**, which is what
@@ -60,9 +65,10 @@ pub mod power;
 pub use campaign::{
     collect_gate_samples, collect_gate_samples_parallel, fold_shard_states, partition_shards,
     run_campaign, run_campaign_adaptive, run_campaign_parallel, run_shard_states, shard_grid,
-    CampaignConfig, CampaignOutcome, CampaignStats, Checkpoint, DelayModel, GateSamples,
-    MergeableSink, NeverStop, Parallelism, Population, ShardSpec, StoppingRule, TraceSink,
+    BatchShapeError, CampaignConfig, CampaignOutcome, CampaignStats, Checkpoint, DelayModel,
+    EnergyBatch, GateSamples, MergeableSink, NeverStop, Parallelism, Population, ShardSpec,
+    StoppingRule, TraceSink, BATCH_LANES, DEFAULT_LANE_WORDS, MAX_LANE_WORDS, WORD_LANES,
 };
 pub use fleet::{job_rounds, run_fleet, FleetJob};
-pub use logic::{SimState, Simulator};
+pub use logic::{BlockState, SimState, Simulator};
 pub use power::PowerModel;

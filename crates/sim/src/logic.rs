@@ -1,34 +1,126 @@
-//! Bit-parallel levelized logic simulation.
+//! Bit-parallel levelized logic simulation over multi-word lane blocks.
+//!
+//! Every signal is held as `W` consecutive `u64` words (`W ∈ {1, 2, 4, 8}`,
+//! a compile-time const generic), so one gate visit evaluates `W × 64`
+//! independent trace lanes with straight-line word-parallel bitwise ops the
+//! autovectorizer can chew on. [`SimState`] is the single-word (`W = 1`,
+//! 64-lane) specialization that the scalar [`Simulator::eval`] API and all
+//! functional consumers use; the campaign engine drives the `*_block`
+//! entry points at wider `W`. Lane values are independent of `W`: word `w`
+//! of a block carries exactly the lanes a `W = 1` evaluation of that word's
+//! inputs would produce.
 
 use polaris_netlist::{GateId, GateKind, Netlist, NetlistError};
 
-/// Signal state for one 64-lane batch: one `u64` word per gate, with the
+/// Signal state for one `W`-word simulation block (`W × 64` trace lanes):
+/// `W` consecutive `u64` words per gate (gate-major layout), with the
 /// flip-flop states held separately so a clock edge is an explicit commit.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct SimState {
-    /// Current value word of every gate (lane `i` = trace `i`).
+pub struct BlockState<const W: usize> {
+    /// Current value words of every gate, `W` per gate (gate-major); lane
+    /// `i` of word `w` carries trace `w * 64 + i` of the block.
     values: Vec<u64>,
-    /// State word of every flip-flop, indexed like `values`.
+    /// State words of every flip-flop, indexed like `values`.
     dff_state: Vec<u64>,
 }
 
-impl SimState {
+/// Signal state for one 64-lane batch — the single-word block.
+pub type SimState = BlockState<1>;
+
+impl<const W: usize> BlockState<W> {
+    /// All value words, gate-major: gate `g` owns `values()[g * W..(g + 1) * W]`.
+    /// For `W = 1` this is one word per gate, indexed by gate id.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// The `W` value words of one gate.
+    pub fn block(&self, id: GateId) -> &[u64] {
+        &self.values[id.index() * W..(id.index() + 1) * W]
+    }
+
+    /// Resets every value and flip-flop word to zero (in place, keeping the
+    /// allocation — the campaign engine's per-block reset).
+    pub fn reset(&mut self) {
+        self.values.fill(0);
+        self.dff_state.fill(0);
+    }
+}
+
+impl BlockState<1> {
     /// Value word of a gate.
     pub fn value(&self, id: GateId) -> u64 {
         self.values[id.index()]
     }
+}
 
-    /// All value words, indexed by gate id.
-    pub fn values(&self) -> &[u64] {
-        &self.values
+#[inline]
+fn load<const W: usize>(vals: &[u64], idx: usize) -> [u64; W] {
+    let mut out = [0u64; W];
+    out.copy_from_slice(&vals[idx * W..idx * W + W]);
+    out
+}
+
+#[inline]
+fn invert<const W: usize>(mut a: [u64; W]) -> [u64; W] {
+    for v in &mut a {
+        *v = !*v;
     }
+    a
+}
+
+#[inline]
+fn fold_block<const W: usize>(
+    vals: &[u64],
+    fanin: &[GateId],
+    init: u64,
+    op: impl Fn(u64, u64) -> u64,
+) -> [u64; W] {
+    let mut acc = [init; W];
+    for f in fanin {
+        let x = load::<W>(vals, f.index());
+        for w in 0..W {
+            acc[w] = op(acc[w], x[w]);
+        }
+    }
+    acc
+}
+
+/// Evaluates one gate from the value words in `vals`. Returns `None` for
+/// kinds the callers handle specially (inputs and flops).
+#[inline]
+fn eval_gate<const W: usize>(vals: &[u64], gate: &polaris_netlist::Gate) -> Option<[u64; W]> {
+    let v = match gate.kind() {
+        GateKind::Input | GateKind::Dff => return None,
+        GateKind::Const0 => [0u64; W],
+        GateKind::Const1 => [!0u64; W],
+        GateKind::Buf => load(vals, gate.fanin()[0].index()),
+        GateKind::Not => invert(load(vals, gate.fanin()[0].index())),
+        GateKind::And => fold_block(vals, gate.fanin(), !0u64, |a, b| a & b),
+        GateKind::Or => fold_block(vals, gate.fanin(), 0, |a, b| a | b),
+        GateKind::Nand => invert(fold_block(vals, gate.fanin(), !0u64, |a, b| a & b)),
+        GateKind::Nor => invert(fold_block(vals, gate.fanin(), 0, |a, b| a | b)),
+        GateKind::Xor => fold_block(vals, gate.fanin(), 0, |a, b| a ^ b),
+        GateKind::Xnor => invert(fold_block(vals, gate.fanin(), 0, |a, b| a ^ b)),
+        GateKind::Mux => {
+            let s = load::<W>(vals, gate.fanin()[0].index());
+            let a = load::<W>(vals, gate.fanin()[1].index());
+            let b = load::<W>(vals, gate.fanin()[2].index());
+            let mut out = [0u64; W];
+            for w in 0..W {
+                out[w] = (s[w] & a[w]) | (!s[w] & b[w]);
+            }
+            out
+        }
+    };
+    Some(v)
 }
 
 /// A compiled, levelized simulator for one netlist.
 ///
 /// Construction topologically sorts the combinational logic once; every
-/// [`Simulator::eval`] then visits gates in that fixed order, evaluating all
-/// 64 lanes of a batch per visit.
+/// [`Simulator::eval`] / [`Simulator::eval_block`] then visits gates in
+/// that fixed order, evaluating all lanes of a block per visit.
 #[derive(Clone, Debug)]
 pub struct Simulator<'a> {
     netlist: &'a Netlist,
@@ -52,11 +144,16 @@ impl<'a> Simulator<'a> {
         self.netlist
     }
 
-    /// Creates an all-zero state (flip-flops reset to 0).
+    /// Creates an all-zero single-word state (flip-flops reset to 0).
     pub fn zero_state(&self) -> SimState {
-        SimState {
-            values: vec![0; self.netlist.gate_count()],
-            dff_state: vec![0; self.netlist.gate_count()],
+        self.zero_block::<1>()
+    }
+
+    /// Creates an all-zero `W`-word block state (flip-flops reset to 0).
+    pub fn zero_block<const W: usize>(&self) -> BlockState<W> {
+        BlockState {
+            values: vec![0; self.netlist.gate_count() * W],
+            dff_state: vec![0; self.netlist.gate_count() * W],
         }
     }
 
@@ -69,50 +166,54 @@ impl<'a> Simulator<'a> {
     ///
     /// Panics if the slices do not match the input counts of the netlist.
     pub fn eval(&self, state: &mut SimState, data: &[u64], mask: &[u64]) {
+        self.eval_block::<1>(state, data, mask);
+    }
+
+    /// `W`-word variant of [`Simulator::eval`]: settles all `W × 64` lanes
+    /// of a block per gate visit. `data` and `mask` hold `W` consecutive
+    /// words per input (input-major), matching the state's gate-major
+    /// layout; for `W = 1` the layout coincides with the scalar API.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices do not match `W ×` the input counts.
+    pub fn eval_block<const W: usize>(
+        &self,
+        state: &mut BlockState<W>,
+        data: &[u64],
+        mask: &[u64],
+    ) {
         let nl = self.netlist;
         assert_eq!(
             data.len(),
-            nl.data_inputs().len(),
+            nl.data_inputs().len() * W,
             "data input width mismatch"
         );
         assert_eq!(
             mask.len(),
-            nl.mask_inputs().len(),
+            nl.mask_inputs().len() * W,
             "mask input width mismatch"
         );
-        for (&id, &w) in nl.data_inputs().iter().zip(data) {
-            state.values[id.index()] = w;
+        for (k, &id) in nl.data_inputs().iter().enumerate() {
+            let i = id.index();
+            state.values[i * W..i * W + W].copy_from_slice(&data[k * W..k * W + W]);
         }
-        for (&id, &w) in nl.mask_inputs().iter().zip(mask) {
-            state.values[id.index()] = w;
+        for (k, &id) in nl.mask_inputs().iter().enumerate() {
+            let i = id.index();
+            state.values[i * W..i * W + W].copy_from_slice(&mask[k * W..k * W + W]);
         }
         for &id in &self.order {
             let gate = nl.gate(id);
             let i = id.index();
-            let v = match gate.kind() {
-                GateKind::Input => continue, // already assigned
-                GateKind::Dff => {
-                    state.values[i] = state.dff_state[i];
-                    continue;
-                }
-                GateKind::Const0 => 0,
-                GateKind::Const1 => !0u64,
-                GateKind::Buf => state.values[gate.fanin()[0].index()],
-                GateKind::Not => !state.values[gate.fanin()[0].index()],
-                GateKind::And => fold(state, gate.fanin(), !0u64, |a, b| a & b),
-                GateKind::Or => fold(state, gate.fanin(), 0, |a, b| a | b),
-                GateKind::Nand => !fold(state, gate.fanin(), !0u64, |a, b| a & b),
-                GateKind::Nor => !fold(state, gate.fanin(), 0, |a, b| a | b),
-                GateKind::Xor => fold(state, gate.fanin(), 0, |a, b| a ^ b),
-                GateKind::Xnor => !fold(state, gate.fanin(), 0, |a, b| a ^ b),
-                GateKind::Mux => {
-                    let s = state.values[gate.fanin()[0].index()];
-                    let a = state.values[gate.fanin()[1].index()];
-                    let b = state.values[gate.fanin()[2].index()];
-                    (s & a) | (!s & b)
-                }
+            if gate.kind() == GateKind::Dff {
+                let (values, dff) = (&mut state.values, &state.dff_state);
+                values[i * W..i * W + W].copy_from_slice(&dff[i * W..i * W + W]);
+                continue;
+            }
+            let Some(v) = eval_gate::<W>(&state.values, gate) else {
+                continue; // inputs: already assigned
             };
-            state.values[i] = v;
+            state.values[i * W..i * W + W].copy_from_slice(&v);
         }
     }
 
@@ -120,9 +221,17 @@ impl<'a> Simulator<'a> {
     /// after [`Simulator::eval`]; the new state becomes visible at the next
     /// `eval`.
     pub fn clock(&self, state: &mut SimState) {
+        self.clock_block::<1>(state);
+    }
+
+    /// `W`-word variant of [`Simulator::clock`].
+    pub fn clock_block<const W: usize>(&self, state: &mut BlockState<W>) {
         for (id, gate) in self.netlist.iter() {
             if gate.kind() == GateKind::Dff {
-                state.dff_state[id.index()] = state.values[gate.fanin()[0].index()];
+                let src = gate.fanin()[0].index();
+                let dst = id.index();
+                let v = load::<W>(&state.values, src);
+                state.dff_state[dst * W..dst * W + W].copy_from_slice(&v);
             }
         }
     }
@@ -146,27 +255,44 @@ impl<'a> Simulator<'a> {
         mask: &[u64],
         mut on_wave_toggle: impl FnMut(usize, u64),
     ) -> usize {
+        self.eval_unit_delay_block::<1>(state, data, mask, |g, d| on_wave_toggle(g, d[0]))
+    }
+
+    /// `W`-word variant of [`Simulator::eval_unit_delay`]: the callback
+    /// receives the full `W`-word toggle-difference block of a gate, once
+    /// per wave in which any lane of the gate changed.
+    pub fn eval_unit_delay_block<const W: usize>(
+        &self,
+        state: &mut BlockState<W>,
+        data: &[u64],
+        mask: &[u64],
+        mut on_wave_toggle: impl FnMut(usize, &[u64; W]),
+    ) -> usize {
         let nl = self.netlist;
         assert_eq!(
             data.len(),
-            nl.data_inputs().len(),
+            nl.data_inputs().len() * W,
             "data input width mismatch"
         );
         assert_eq!(
             mask.len(),
-            nl.mask_inputs().len(),
+            nl.mask_inputs().len() * W,
             "mask input width mismatch"
         );
-        for (&id, &w) in nl.data_inputs().iter().zip(data) {
-            state.values[id.index()] = w;
+        for (k, &id) in nl.data_inputs().iter().enumerate() {
+            let i = id.index();
+            state.values[i * W..i * W + W].copy_from_slice(&data[k * W..k * W + W]);
         }
-        for (&id, &w) in nl.mask_inputs().iter().zip(mask) {
-            state.values[id.index()] = w;
+        for (k, &id) in nl.mask_inputs().iter().enumerate() {
+            let i = id.index();
+            state.values[i * W..i * W + W].copy_from_slice(&mask[k * W..k * W + W]);
         }
         // Flip-flop outputs present their held state during settling.
         for &id in &self.order {
             if nl.gate(id).kind() == GateKind::Dff {
-                state.values[id.index()] = state.dff_state[id.index()];
+                let i = id.index();
+                let (values, dff) = (&mut state.values, &state.dff_state);
+                values[i * W..i * W + W].copy_from_slice(&dff[i * W..i * W + W]);
             }
         }
         let depth_bound = 4 + 2 * self.order.len();
@@ -177,31 +303,21 @@ impl<'a> Simulator<'a> {
             for &id in &self.order {
                 let gate = nl.gate(id);
                 let i = id.index();
-                let v = match gate.kind() {
-                    GateKind::Input | GateKind::Dff => continue,
-                    GateKind::Const0 => 0,
-                    GateKind::Const1 => !0u64,
-                    GateKind::Buf => state.values[gate.fanin()[0].index()],
-                    GateKind::Not => !state.values[gate.fanin()[0].index()],
-                    GateKind::And => fold(state, gate.fanin(), !0u64, |a, b| a & b),
-                    GateKind::Or => fold(state, gate.fanin(), 0, |a, b| a | b),
-                    GateKind::Nand => !fold(state, gate.fanin(), !0u64, |a, b| a & b),
-                    GateKind::Nor => !fold(state, gate.fanin(), 0, |a, b| a | b),
-                    GateKind::Xor => fold(state, gate.fanin(), 0, |a, b| a ^ b),
-                    GateKind::Xnor => !fold(state, gate.fanin(), 0, |a, b| a ^ b),
-                    GateKind::Mux => {
-                        let s = state.values[gate.fanin()[0].index()];
-                        let a = state.values[gate.fanin()[1].index()];
-                        let b = state.values[gate.fanin()[2].index()];
-                        (s & a) | (!s & b)
-                    }
+                let Some(v) = eval_gate::<W>(&state.values, gate) else {
+                    continue; // inputs and flops hold their applied values
                 };
-                let diff = v ^ state.values[i];
-                if diff != 0 {
-                    on_wave_toggle(i, diff);
+                let cur = load::<W>(&state.values, i);
+                let mut diff = [0u64; W];
+                let mut any = 0u64;
+                for w in 0..W {
+                    diff[w] = v[w] ^ cur[w];
+                    any |= diff[w];
+                }
+                if any != 0 {
+                    on_wave_toggle(i, &diff);
                     changed = true;
                 }
-                next[i] = v;
+                next[i * W..i * W + W].copy_from_slice(&v);
             }
             state.values.copy_from_slice(&next);
             waves += 1;
@@ -246,16 +362,9 @@ impl<'a> Simulator<'a> {
         Ok(nl
             .outputs()
             .iter()
-            .map(|(_, d)| st.values[d.index()] & 1 == 1)
+            .map(|(_, d)| st.value(*d) & 1 == 1)
             .collect())
     }
-}
-
-#[inline]
-fn fold(state: &SimState, fanin: &[GateId], init: u64, op: impl Fn(u64, u64) -> u64) -> u64 {
-    fanin
-        .iter()
-        .fold(init, |acc, f| op(acc, state.values[f.index()]))
 }
 
 #[cfg(test)]
@@ -444,6 +553,105 @@ endmodule";
         sim.eval(&mut st, &[0b011, 0b110], &[]);
         let y = n.outputs()[0].1;
         assert_eq!(st.value(y) & 0b111, 0b101);
+    }
+
+    /// Word `w` of a block evaluation must equal a standalone single-word
+    /// evaluation of that word's inputs — the per-word lane-independence
+    /// the campaign engine's cross-width identity is built on.
+    #[test]
+    fn block_words_match_single_word_eval() {
+        let n = generators::iscas_like("c432", 1, 5).unwrap();
+        let sim = Simulator::new(&n).unwrap();
+        let n_data = n.data_inputs().len();
+        let mix = |i: usize, w: usize| {
+            0x9E37_79B9_7F4A_7C15u64
+                .wrapping_mul(i as u64 + 1)
+                .rotate_left(w as u32 * 7 + 3)
+        };
+
+        fn check<const W: usize>(
+            sim: &Simulator<'_>,
+            n_data: usize,
+            gates: usize,
+            mix: impl Fn(usize, usize) -> u64,
+        ) {
+            let mut data = vec![0u64; n_data * W];
+            for i in 0..n_data {
+                for w in 0..W {
+                    data[i * W + w] = mix(i, w);
+                }
+            }
+            let mut blk = sim.zero_block::<W>();
+            sim.eval_block::<W>(&mut blk, &data, &[]);
+            for w in 0..W {
+                let word_data: Vec<u64> = (0..n_data).map(|i| mix(i, w)).collect();
+                let mut st = sim.zero_state();
+                sim.eval(&mut st, &word_data, &[]);
+                for g in 0..gates {
+                    assert_eq!(
+                        blk.values()[g * W + w],
+                        st.values()[g],
+                        "W={W} word {w} gate {g}"
+                    );
+                }
+            }
+        }
+        let gates = n.gate_count();
+        check::<2>(&sim, n_data, gates, mix);
+        check::<4>(&sim, n_data, gates, mix);
+        check::<8>(&sim, n_data, gates, mix);
+    }
+
+    /// Unit-delay block settling reports the same per-word toggle waves as
+    /// single-word settling.
+    #[test]
+    fn block_unit_delay_matches_single_word() {
+        let n = generators::multiplier(1, 4);
+        let sim = Simulator::new(&n).unwrap();
+        let n_data = n.data_inputs().len();
+        const W: usize = 4;
+        let mix = |i: usize, w: usize| {
+            0xA5A5_5A5A_0F0F_F0F0u64
+                .wrapping_mul((i + 3) as u64)
+                .rotate_left((w * 11 + i) as u32)
+        };
+        let mut data = vec![0u64; n_data * W];
+        for i in 0..n_data {
+            for w in 0..W {
+                data[i * W + w] = mix(i, w);
+            }
+        }
+        let mut blk = sim.zero_block::<W>();
+        let mut blk_toggles: Vec<Vec<(usize, u64)>> = vec![Vec::new(); W];
+        sim.eval_unit_delay_block::<W>(&mut blk, &data, &[], |g, diff| {
+            for w in 0..W {
+                if diff[w] != 0 {
+                    blk_toggles[w].push((g, diff[w]));
+                }
+            }
+        });
+        for (w, blk_word_toggles) in blk_toggles.iter().enumerate() {
+            let word_data: Vec<u64> = (0..n_data).map(|i| mix(i, w)).collect();
+            let mut st = sim.zero_state();
+            let mut word_toggles: Vec<(usize, u64)> = Vec::new();
+            sim.eval_unit_delay(&mut st, &word_data, &[], |g, d| word_toggles.push((g, d)));
+            assert_eq!(blk_word_toggles, &word_toggles, "word {w}");
+            for g in 0..n.gate_count() {
+                assert_eq!(blk.values()[g * W + w], st.values()[g], "word {w} gate {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn reset_clears_state_in_place() {
+        let n = generators::iscas_c17();
+        let sim = Simulator::new(&n).unwrap();
+        let mut st = sim.zero_block::<2>();
+        sim.eval_block::<2>(&mut st, &vec![!0u64; n.data_inputs().len() * 2], &[]);
+        assert!(st.values().iter().any(|&v| v != 0));
+        st.reset();
+        assert!(st.values().iter().all(|&v| v == 0));
+        assert_eq!(st, sim.zero_block::<2>());
     }
 
     #[test]

@@ -103,6 +103,45 @@ impl CorrelationAccumulator {
         self.cxy += dx * dy_post;
     }
 
+    /// Blocked batch update: applies the exact [`CorrelationAccumulator::push`]
+    /// recurrence to every `(x, y)` pair in order, on register-resident
+    /// state written back once — the SoA hot path of the attack engine.
+    /// Bit-for-bit identical to sequential `push`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn extend_batch(&mut self, xs: &[f64], ys: &[f64]) {
+        assert_eq!(xs.len(), ys.len(), "length mismatch");
+        let (mut n, mut mean_x, mut mean_y, mut m2x, mut m2y, mut cxy) = (
+            self.n,
+            self.mean_x,
+            self.mean_y,
+            self.m2x,
+            self.m2y,
+            self.cxy,
+        );
+        for (&x, &y) in xs.iter().zip(ys) {
+            n += 1;
+            let nf = n as f64;
+            let dx = x - mean_x;
+            mean_x += dx / nf;
+            let dx_post = x - mean_x;
+            let dy = y - mean_y;
+            mean_y += dy / nf;
+            let dy_post = y - mean_y;
+            m2x += dx * dx_post;
+            m2y += dy * dy_post;
+            cxy += dx * dy_post;
+        }
+        self.n = n;
+        self.mean_x = mean_x;
+        self.mean_y = mean_y;
+        self.m2x = m2x;
+        self.m2y = m2y;
+        self.cxy = cxy;
+    }
+
     /// Folds another accumulator in (pairwise combination — the co-moment
     /// analogue of the Chan et al. variance merge).
     pub fn merge(&mut self, other: &CorrelationAccumulator) {
@@ -194,6 +233,26 @@ impl CpaAccumulator {
         assert_eq!(predictions.len(), self.per_guess.len(), "guess count");
         for (acc, &p) in self.per_guess.iter_mut().zip(predictions) {
             acc.push(p, energy);
+        }
+    }
+
+    /// Records a block of traces in SoA order: for every guess `g`, the
+    /// slice `fill_predictions(g, buf)` fills `buf[t]` with that guess's
+    /// prediction for trace `t`, which is then correlated against
+    /// `energies[t]`. Each per-guess accumulator still sees its samples in
+    /// ascending trace order, so the result is bit-for-bit identical to
+    /// calling [`CpaAccumulator::record`] once per trace — this is the same
+    /// sequence of floating-point operations, regrouped guess-major.
+    pub fn record_block(
+        &mut self,
+        energies: &[f64],
+        scratch: &mut Vec<f64>,
+        mut fill_predictions: impl FnMut(u32, &mut [f64]),
+    ) {
+        scratch.resize(energies.len(), 0.0);
+        for (g, acc) in self.per_guess.iter_mut().enumerate() {
+            fill_predictions(g as u32, scratch);
+            acc.extend_batch(scratch, energies);
         }
     }
 
@@ -352,6 +411,12 @@ impl AttackCtx<'_> {
     }
 
     /// Runs the traces `[start, start + count)` into `acc`.
+    ///
+    /// Acquisition runs trace-major (each trace's RNG stream is keyed by its
+    /// index), then the accumulation pass runs guess-major over the buffered
+    /// `(plaintext, energy)` columns. Each per-guess accumulator still sees
+    /// its samples in ascending trace order, so the outcome is bit-identical
+    /// to the per-trace [`CpaAccumulator::record`] loop.
     fn run_range(
         &self,
         start: usize,
@@ -359,15 +424,19 @@ impl AttackCtx<'_> {
         predict: &(dyn Fn(u32, u32) -> f64 + Sync),
         acc: &mut CpaAccumulator,
     ) {
-        let guesses = 1u32 << self.config.key_bits.len();
-        let mut predictions = vec![0.0f64; guesses as usize];
+        let mut pts = Vec::with_capacity(count);
+        let mut energies = Vec::with_capacity(count);
         for t in start..start + count {
             let (pt, energy) = self.acquire(t as u64);
-            for (g, p) in predictions.iter_mut().enumerate() {
-                *p = predict(pt, g as u32);
-            }
-            acc.record(&predictions, energy);
+            pts.push(pt);
+            energies.push(energy);
         }
+        let mut scratch = Vec::new();
+        acc.record_block(&energies, &mut scratch, |g, buf| {
+            for (p, &pt) in buf.iter_mut().zip(&pts) {
+                *p = predict(pt, g);
+            }
+        });
     }
 }
 
@@ -514,6 +583,66 @@ mod tests {
         let mut empty = CorrelationAccumulator::new();
         empty.merge(&snapshot);
         assert_eq!(empty, snapshot);
+    }
+
+    #[test]
+    fn extend_batch_is_bit_identical_to_sequential_push() {
+        let xs: Vec<f64> = (0..777).map(|i| (i as f64 * 0.37).sin() * 5.0).collect();
+        let ys: Vec<f64> = (0..777).map(|i| (i as f64 * 0.11).cos() - 1.5).collect();
+        let mut seq = CorrelationAccumulator::new();
+        for (&x, &y) in xs.iter().zip(&ys) {
+            seq.push(x, y);
+        }
+        for chunk in [1usize, 2, 63, 64, 65, 256, 777] {
+            let mut batched = CorrelationAccumulator::new();
+            for (cx, cy) in xs.chunks(chunk).zip(ys.chunks(chunk)) {
+                batched.extend_batch(cx, cy);
+            }
+            assert_eq!(batched.n, seq.n, "chunk {chunk}");
+            for (a, b) in [
+                (batched.mean_x, seq.mean_x),
+                (batched.mean_y, seq.mean_y),
+                (batched.m2x, seq.m2x),
+                (batched.m2y, seq.m2y),
+                (batched.cxy, seq.cxy),
+            ] {
+                assert_eq!(a.to_bits(), b.to_bits(), "chunk {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn record_block_matches_per_trace_record() {
+        let guesses = 16usize;
+        let pts: Vec<u32> = (0..300).map(|t| (t * 7 + 3) % 16).collect();
+        let energies: Vec<f64> = (0..300).map(|t| (t as f64 * 0.21).sin() * 2.0).collect();
+        let predict = |pt: u32, g: u32| f64::from((pt ^ g).count_ones());
+
+        let mut per_trace = CpaAccumulator::new(guesses);
+        let mut predictions = vec![0.0f64; guesses];
+        for (&pt, &e) in pts.iter().zip(&energies) {
+            for (g, p) in predictions.iter_mut().enumerate() {
+                *p = predict(pt, g as u32);
+            }
+            per_trace.record(&predictions, e);
+        }
+
+        let mut blocked = CpaAccumulator::new(guesses);
+        let mut scratch = Vec::new();
+        blocked.record_block(&energies, &mut scratch, |g, buf| {
+            for (p, &pt) in buf.iter_mut().zip(&pts) {
+                *p = predict(pt, g);
+            }
+        });
+
+        for (a, b) in blocked.per_guess.iter().zip(&per_trace.per_guess) {
+            assert_eq!(a.n, b.n);
+            assert_eq!(a.mean_x.to_bits(), b.mean_x.to_bits());
+            assert_eq!(a.mean_y.to_bits(), b.mean_y.to_bits());
+            assert_eq!(a.m2x.to_bits(), b.m2x.to_bits());
+            assert_eq!(a.m2y.to_bits(), b.m2y.to_bits());
+            assert_eq!(a.cxy.to_bits(), b.cxy.to_bits());
+        }
     }
 
     #[test]

@@ -10,7 +10,8 @@
 
 use polaris_netlist::{GateId, Netlist, NetlistError};
 use polaris_sim::campaign::{
-    run_campaign_parallel, CampaignConfig, MergeableSink, Parallelism, Population, TraceSink,
+    run_campaign_parallel, CampaignConfig, EnergyBatch, MergeableSink, Parallelism, Population,
+    TraceSink,
 };
 use polaris_sim::power::PowerModel;
 
@@ -117,7 +118,13 @@ fn welch_from_summary(a: StreamingMomentsSummary, b: StreamingMomentsSummary) ->
 }
 
 impl TraceSink for WelchAccumulator {
-    fn record_batch(&mut self, pop: Population, energies: &[f64], gates: usize, lanes: usize) {
+    /// Consumes the batch as one structure-of-arrays pass: each gate's lane
+    /// row feeds a blocked [`StreamingMoments::extend_batch`] update, which
+    /// is bit-for-bit identical to per-sample `push` in trace order — so the
+    /// accumulator state is independent of how the trace stream is cut into
+    /// batches (and therefore of the engine's lane width).
+    fn record_batch(&mut self, pop: Population, batch: EnergyBatch<'_>) {
+        let gates = batch.gates();
         if self.fixed.is_empty() {
             self.fixed.resize(gates, StreamingMoments::new());
             self.random.resize(gates, StreamingMoments::new());
@@ -126,11 +133,8 @@ impl TraceSink for WelchAccumulator {
             Population::Fixed => &mut self.fixed,
             Population::Random => &mut self.random,
         };
-        for g in 0..gates {
-            let acc = &mut store[g];
-            for &e in &energies[g * lanes..g * lanes + lanes] {
-                acc.push(e);
-            }
+        for (g, acc) in store.iter_mut().enumerate().take(gates) {
+            acc.extend_batch(batch.gate_lanes(g));
         }
     }
 }

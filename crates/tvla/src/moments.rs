@@ -52,10 +52,43 @@ impl StreamingMoments {
     }
 
     /// Adds every sample of a slice.
+    ///
+    /// Equivalent to — and bit-for-bit identical with — pushing each sample
+    /// via [`StreamingMoments::push`] in order; delegates to
+    /// [`StreamingMoments::extend_batch`].
     pub fn extend_from_slice(&mut self, xs: &[f64]) {
+        self.extend_batch(xs);
+    }
+
+    /// Blocked batch update: applies the exact [`StreamingMoments::push`]
+    /// recurrence to every sample of `xs` in order, but on register-resident
+    /// accumulator state that is written back once — the SoA hot path of the
+    /// batch sinks. Because the per-sample operation sequence is identical,
+    /// the result is **bit-for-bit identical** to sequential `push` (the
+    /// same guarantee the distributed shard fold relies on), which the
+    /// golden test pins.
+    pub fn extend_batch(&mut self, xs: &[f64]) {
+        let (mut n, mut mean, mut m2, mut m3, mut m4) =
+            (self.n, self.mean, self.m2, self.m3, self.m4);
         for &x in xs {
-            self.push(x);
+            let n1 = n;
+            n += 1;
+            let nf = n as f64;
+            let delta = x - mean;
+            let delta_n = delta / nf;
+            let delta_n2 = delta_n * delta_n;
+            let term1 = delta * delta_n * n1 as f64;
+            mean += delta_n;
+            m4 += term1 * delta_n2 * (nf * nf - 3.0 * nf + 3.0) + 6.0 * delta_n2 * m2
+                - 4.0 * delta_n * m3;
+            m3 += term1 * delta_n * (nf - 2.0) - 3.0 * delta_n * m2;
+            m2 += term1;
         }
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.m3 = m3;
+        self.m4 = m4;
     }
 
     /// Merges another accumulator into this one (parallel combination).
@@ -331,6 +364,33 @@ mod tests {
         m.push(5.0);
         assert_eq!(m.sample_variance(), 0.0, "single sample: s² undefined → 0");
         assert_eq!(m.mean(), 5.0);
+    }
+
+    #[test]
+    fn extend_batch_is_bit_identical_to_sequential_push() {
+        // Golden guarantee of the SoA hot path: the blocked update must
+        // reproduce sequential push *exactly* (all five raw fields, to the
+        // bit), at every split of the stream — including resuming a batch on
+        // top of existing scalar state.
+        let xs = pseudo_random(4096, 99);
+        for split in [0usize, 1, 63, 64, 65, 1000, 4096] {
+            let mut scalar = StreamingMoments::new();
+            for &x in &xs {
+                scalar.push(x);
+            }
+            let mut blocked = StreamingMoments::new();
+            for &x in &xs[..split] {
+                blocked.push(x);
+            }
+            blocked.extend_batch(&xs[split..]);
+            let (n_a, m1_a, m2_a, m3_a, m4_a) = scalar.raw_parts();
+            let (n_b, m1_b, m2_b, m3_b, m4_b) = blocked.raw_parts();
+            assert_eq!(n_a, n_b, "split {split}");
+            assert_eq!(m1_a.to_bits(), m1_b.to_bits(), "split {split}");
+            assert_eq!(m2_a.to_bits(), m2_b.to_bits(), "split {split}");
+            assert_eq!(m3_a.to_bits(), m3_b.to_bits(), "split {split}");
+            assert_eq!(m4_a.to_bits(), m4_b.to_bits(), "split {split}");
+        }
     }
 
     #[test]
