@@ -6,12 +6,12 @@ use polaris::pipeline::{MaskBudget, PolarisPipeline, TrainedPolaris};
 use polaris::report::{fmt_f, TextTable};
 use polaris_masking::{analyze_overhead, CellLibrary};
 use polaris_netlist::{
-    generators, parse_bench, parse_netlist, write_bench, write_netlist, GraphView, Netlist,
+    generators, parse_bench, parse_netlist, write_bench, write_netlist, GateId, GraphView, Netlist,
 };
 use polaris_sim::{CampaignConfig, Parallelism, PowerModel};
-use polaris_tvla::TVLA_THRESHOLD;
+use polaris_tvla::{BivariateError, WelchResult, TVLA_THRESHOLD};
 
-use crate::{read_file, write_file, Flags};
+use crate::{read_file, write_file, CliError, Flags};
 
 /// Loads a netlist, dispatching on extension: `.bench` uses the ISCAS
 /// bench-format parser, everything else the structural-Verilog subset.
@@ -171,13 +171,24 @@ pub(crate) fn stats(args: &[String]) -> Result<(), String> {
 }
 
 /// `polaris-cli assess`
-pub(crate) fn assess(args: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(args, &["glitch", "adaptive", "help"])?;
+///
+/// Exits 8 on a bivariate input error (a `--pair-gates` pair referencing a
+/// gate outside the design, or mismatched dense sample buffers) so scripts
+/// can tell a bad pair list from a generic failure.
+pub(crate) fn assess(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &["glitch", "adaptive", "pairs-dense", "help"])?;
     if flags.has("help") {
         println!(
             "assess <netlist.v> [--traces N --seed N --cycles N --threads N \
              --lane-words 1|2|4|8 --glitch] \
-             [--adaptive --confidence P] [--csv out.csv] [--pairs N]"
+             [--adaptive --confidence P] [--csv out.csv]\n       \
+             [--pairs N | --pair-gates A:B,C:D] [--pairs-dense] [--pairs-csv out.csv]\n\n\
+             --pairs N         bivariate sweep over all pairs of the N leakiest cells\n\
+             --pair-gates L    bivariate sweep over an explicit gate-index pair list\n\
+             --pairs-dense     use the dense two-pass engine (stores every trace;\n                   \
+             default is the streaming O(pairs) engine — results are bit-identical)\n\
+             --pairs-csv FILE  write the per-pair sweep as CSV (exit code 8 on a bad\n                   \
+             pair list)"
         );
         return Ok(());
     }
@@ -239,25 +250,58 @@ pub(crate) fn assess(args: &[String]) -> Result<(), String> {
         write_file(csv, &leakage_csv(&netlist, &leakage))?;
         eprintln!("per-gate results written to {csv}");
     }
-    // Optional bivariate (second-order) sweep over the leakiest gates.
-    let pairs: usize = flags.get_parsed("pairs", 0)?;
-    if pairs > 0 {
-        eprintln!("running bivariate sweep over the {pairs} leakiest cells…");
-        let samples = polaris_sim::campaign::collect_gate_samples_parallel(
-            &netlist,
-            &PowerModel::default(),
-            &campaign,
-            par,
-        )
-        .map_err(|e| e.to_string())?;
-        let mut cells: Vec<_> = netlist
-            .cell_ids()
-            .into_iter()
-            .map(|id| (id, leakage.abs_t(id)))
-            .collect();
-        cells.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        let top: Vec<_> = cells.into_iter().take(pairs).map(|(id, _)| id).collect();
-        let sweep = polaris_tvla::bivariate::bivariate_sweep(&samples, &top);
+    // Optional bivariate (second-order) sweep: `--pair-gates` names explicit
+    // gate-index pairs, `--pairs N` sweeps every pair of the N leakiest
+    // cells. The default engine streams co-moments in O(pairs) memory; the
+    // dense engine (`--pairs-dense`) stores every trace and exists as the
+    // bit-identical cross-check.
+    let top_n: usize = flags.get_parsed("pairs", 0)?;
+    let pairs: Option<Vec<(u32, u32)>> = match flags.get("pair-gates") {
+        Some(spec) => Some(parse_pair_list(spec)?),
+        None if top_n > 0 => {
+            let mut cells: Vec<_> = netlist
+                .cell_ids()
+                .into_iter()
+                .map(|id| (id, leakage.abs_t(id)))
+                .collect();
+            cells.sort_by(|a, b| b.1.total_cmp(&a.1));
+            let top: Vec<_> = cells.into_iter().take(top_n).map(|(id, _)| id).collect();
+            Some(polaris_tvla::all_pairs(&top))
+        }
+        None => None,
+    };
+    if let Some(pairs) = pairs {
+        let model = PowerModel::default();
+        let sweep = if flags.has("pairs-dense") {
+            eprintln!(
+                "running dense (two-pass) bivariate sweep over {} gate pairs…",
+                pairs.len()
+            );
+            polaris_tvla::validate_pairs(&pairs, netlist.gate_count()).map_err(bivariate_err)?;
+            let samples = polaris_sim::campaign::collect_gate_samples_parallel(
+                &netlist, &model, &campaign, par,
+            )
+            .map_err(|e| e.to_string())?;
+            let mut out = Vec::with_capacity(pairs.len());
+            for &(a, b) in &pairs {
+                let g1 = GateId::new(a as usize);
+                let g2 = GateId::new(b as usize);
+                out.push((
+                    g1,
+                    g2,
+                    polaris_tvla::bivariate_t(&samples, g1, g2).map_err(bivariate_err)?,
+                ));
+            }
+            out.sort_by(|a, b| b.2.t.abs().total_cmp(&a.2.t.abs()));
+            out
+        } else {
+            eprintln!(
+                "running streaming bivariate sweep over {} gate pairs…",
+                pairs.len()
+            );
+            polaris_tvla::assess_pairs(&netlist, &model, &campaign, par, &pairs)
+                .map_err(bivariate_err)?
+        };
         println!("\nworst second-order (bivariate) pairs:");
         for (g1, g2, r) in sweep.iter().take(10) {
             println!(
@@ -272,8 +316,57 @@ pub(crate) fn assess(args: &[String]) -> Result<(), String> {
                 }
             );
         }
+        if let Some(csv) = flags.get("pairs-csv") {
+            write_file(csv, &pair_csv(&netlist, &sweep))?;
+            eprintln!("per-pair results written to {csv}");
+        }
     }
     Ok(())
+}
+
+/// Maps a bivariate input error to its documented exit code (8): scripts
+/// can tell a bad pair list from the generic failures that exit 1.
+pub(crate) fn bivariate_err(e: BivariateError) -> CliError {
+    CliError {
+        code: 8,
+        message: e.to_string(),
+    }
+}
+
+/// Parses a `--pair-gates` list: comma-separated `A:B` gate-index pairs.
+pub(crate) fn parse_pair_list(spec: &str) -> Result<Vec<(u32, u32)>, String> {
+    let mut pairs = Vec::new();
+    for entry in spec.split(',') {
+        let (a, b) = entry
+            .split_once(':')
+            .ok_or_else(|| format!("bad pair entry `{entry}` (expected A:B gate indices)"))?;
+        let parse = |v: &str| -> Result<u32, String> {
+            v.parse().map_err(|_| format!("bad gate index `{v}`"))
+        };
+        pairs.push((parse(a)?, parse(b)?));
+    }
+    Ok(pairs)
+}
+
+/// Renders the per-pair bivariate CSV
+/// (`gate_a,name_a,gate_b,name_b,t,leaky`). Shared by `assess --pairs-csv`
+/// and `dist merge --csv` on a pairs plan, so the streaming engine, the
+/// dense engine, and a distributed fold of the same campaign write
+/// byte-identical files — exactly what the CI smoke job diffs.
+pub(crate) fn pair_csv(netlist: &Netlist, results: &[(GateId, GateId, WelchResult)]) -> String {
+    let mut out = String::from("gate_a,name_a,gate_b,name_b,t,leaky\n");
+    for (g1, g2, r) in results {
+        out.push_str(&format!(
+            "{},{},{},{},{:.6},{}\n",
+            g1.index(),
+            netlist.gate(*g1).name(),
+            g2.index(),
+            netlist.gate(*g2).name(),
+            r.t,
+            u8::from(r.is_leaky(TVLA_THRESHOLD))
+        ));
+    }
+    out
 }
 
 /// Renders the per-gate leakage CSV (`gate,name,kind,t,leaky`). Shared by

@@ -23,14 +23,16 @@
 
 use polaris_dist::{merge_parts, merged_outcome, DistError, DistPlan, SinkKind};
 use polaris_sim::{GateSamples, Parallelism};
-use polaris_tvla::{WelchAccumulator, TVLA_THRESHOLD};
+use polaris_tvla::{PairAccumulator, WelchAccumulator, TVLA_THRESHOLD};
 
-use crate::commands::{campaign_from, leakage_csv, load_netlist, parallelism_from};
+use crate::commands::{
+    campaign_from, leakage_csv, load_netlist, pair_csv, parallelism_from, parse_pair_list,
+};
 use crate::{read_file, write_file, CliError, Flags};
 
 /// Exit-code table of the `dist` subcommands, also printed by
 /// `dist --help`. Code 1 stays the generic failure (I/O, usage of other
-/// commands); 2 stays usage errors.
+/// commands); 2 stays usage errors; 8 is `assess`'s bivariate input error.
 pub(crate) const EXIT_CODES: &str = "\
 exit codes:
   1  generic failure (I/O, simulation, usage)
@@ -39,7 +41,9 @@ exit codes:
   5  shard-state format version mismatch (rebuild workers and merger together)
   6  shard-state checksum mismatch (corrupted file)
   7  plan mismatch (wrong netlist/campaign fingerprint, wrong sink kind,
-     missing/duplicate/overlapping parts)";
+     missing/duplicate/overlapping parts)
+  8  bivariate pair-list error (assess --pairs/--pair-gates referencing a
+     gate outside the design)";
 
 /// Maps each [`DistError`] failure class to its documented exit code.
 fn exit_code(e: &DistError) -> u8 {
@@ -63,7 +67,8 @@ fn dist_err(e: DistError) -> CliError {
 }
 
 const DIST_USAGE: &str = "\
-dist plan  <netlist> --parts K --out plan.txt [--traces N --seed N --cycles N --glitch --sink welch|samples]
+dist plan  <netlist> --parts K --out plan.txt [--traces N --seed N --cycles N --glitch]
+           [--sink welch|samples|pairs] [--pair-gates A:B,C:D]
 dist work  <netlist> --plan plan.txt --part I --out part-I.shard [--threads N]
 dist merge <netlist> --plan plan.txt <part.shard>... [--csv out.csv]";
 
@@ -120,22 +125,36 @@ fn plan(args: &[String]) -> Result<(), CliError> {
     let sink = match flags.get("sink").unwrap_or("welch") {
         "welch" => SinkKind::Welch,
         "samples" => SinkKind::GateSamples,
+        "pairs" => SinkKind::Pairs,
         other => {
             return Err(CliError::from(format!(
-                "unknown sink `{other}` (dist campaigns snapshot `welch` or `samples`)"
+                "unknown sink `{other}` (dist campaigns snapshot `welch`, `samples` or `pairs`)"
             )))
         }
     };
     let out = flags
         .get("out")
         .ok_or_else(|| CliError::from("missing --out <plan manifest>".to_string()))?;
-    let plan = DistPlan::new(
-        &netlist,
-        &polaris_sim::PowerModel::default(),
-        &campaign,
-        sink,
-        parts,
-    )
+    let model = polaris_sim::PowerModel::default();
+    let plan = match (sink, flags.get("pair-gates")) {
+        (SinkKind::Pairs, Some(spec)) => {
+            let pairs = parse_pair_list(spec)?;
+            DistPlan::new_pairs(&netlist, &model, &campaign, pairs, parts)
+        }
+        (SinkKind::Pairs, None) => {
+            return Err(CliError::from(
+                "--sink pairs needs --pair-gates A:B,C:D (the gate pairs every \
+                 worker accumulates)"
+                    .to_string(),
+            ))
+        }
+        (_, Some(_)) => {
+            return Err(CliError::from(
+                "--pair-gates is only valid with --sink pairs".to_string(),
+            ))
+        }
+        (_, None) => DistPlan::new(&netlist, &model, &campaign, sink, parts),
+    }
     .map_err(dist_err)?;
     write_file(out, &plan.render())?;
     eprintln!(
@@ -194,6 +213,15 @@ fn work(args: &[String]) -> Result<(), CliError> {
             parallelism,
             part,
             plan.parts.len(),
+        ),
+        SinkKind::Pairs => polaris_dist::execute_part_with(
+            &netlist,
+            &model,
+            &campaign,
+            parallelism,
+            part,
+            plan.parts.len(),
+            || PairAccumulator::for_pairs(plan.pair_gates.clone()),
         ),
         SinkKind::Cpa => Err(DistError::PlanMismatch(
             "CPA shard states are snapshot via the library API, not `dist work`".into(),
@@ -267,7 +295,7 @@ fn merge(args: &[String]) -> Result<(), CliError> {
         SinkKind::GateSamples => {
             if flags.get("csv").is_some() {
                 return Err(CliError::from(
-                    "--csv is only available for welch-sink plans".to_string(),
+                    "--csv is only available for welch- and pairs-sink plans".to_string(),
                 ));
             }
             let merged = merge_parts::<GateSamples>(
@@ -286,7 +314,46 @@ fn merge(args: &[String]) -> Result<(), CliError> {
                 random.first().map_or(0, Vec::len),
                 plan.n_shards
             );
-            println!("(use the library API for bivariate sweeps over merged samples)");
+            println!("(for distributed bivariate sweeps, plan with --sink pairs)");
+        }
+        SinkKind::Pairs => {
+            let merged = merge_parts::<PairAccumulator>(
+                part_files.iter().map(Vec::as_slice),
+                Some(plan.fingerprint),
+            )
+            .map_err(dist_err)?;
+            let parts = merged.parts;
+            let outcome = merged_outcome(&netlist, &model, &campaign, merged).map_err(dist_err)?;
+            let sweep = outcome.sink.sweep();
+            eprintln!(
+                "folded {} shards from {parts} part(s) — pair statistics are \
+                 byte-identical to a single-process `assess --pair-gates` run",
+                plan.n_shards
+            );
+            let leaky = sweep
+                .iter()
+                .filter(|(_, _, r)| r.is_leaky(TVLA_THRESHOLD))
+                .count();
+            println!("gate pairs:   {}", sweep.len());
+            println!("leaky pairs:  {leaky} (|t| > {TVLA_THRESHOLD})");
+            println!("worst second-order (bivariate) pairs:");
+            for (g1, g2, r) in sweep.iter().take(10) {
+                println!(
+                    "  {:>10} x {:<10} |t2| = {:.2}{}",
+                    netlist.gate(*g1).name(),
+                    netlist.gate(*g2).name(),
+                    r.t.abs(),
+                    if r.is_leaky(TVLA_THRESHOLD) {
+                        "  LEAKY"
+                    } else {
+                        ""
+                    }
+                );
+            }
+            if let Some(csv) = flags.get("csv") {
+                write_file(csv, &pair_csv(&netlist, &sweep))?;
+                eprintln!("per-pair results written to {csv}");
+            }
         }
         SinkKind::Cpa => {
             return Err(CliError::from(

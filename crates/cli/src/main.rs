@@ -4,6 +4,7 @@
 //! polaris-cli train   --out model.polaris [--scale N --traces N --seed N --threads N --model adaboost|xgboost|random-forest --glitch --adaptive --confidence P]
 //! polaris-cli stats   <netlist.v>
 //! polaris-cli assess  <netlist.v> [--traces N --seed N --threads N --glitch --adaptive --confidence P] [--csv out.csv]
+//!                     [--pairs N | --pair-gates A:B,C:D] [--pairs-dense] [--pairs-csv out.csv]
 //! polaris-cli fleet   <manifest.txt> [--traces N --seed N --threads N --glitch --adaptive --confidence P] [--csv-dir DIR]
 //! polaris-cli gen     <design-name> --out file.bench [--scale N --seed N]
 //! polaris-cli mask    <netlist.v> --model model.polaris --out masked.v
@@ -54,7 +55,7 @@ fn main() -> ExitCode {
     let result: Result<(), CliError> = match cmd.as_str() {
         "train" => commands::train(rest).map_err(CliError::from),
         "stats" => commands::stats(rest).map_err(CliError::from),
-        "assess" => commands::assess(rest).map_err(CliError::from),
+        "assess" => commands::assess(rest),
         "fleet" => fleet::fleet(rest).map_err(CliError::from),
         "gen" => commands::gen(rest).map_err(CliError::from),
         "mask" => commands::mask(rest).map_err(CliError::from),

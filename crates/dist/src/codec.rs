@@ -9,7 +9,10 @@
 
 use polaris_sim::campaign::MergeableSink;
 use polaris_sim::GateSamples;
-use polaris_tvla::{CorrelationAccumulator, CpaAccumulator, StreamingMoments, WelchAccumulator};
+use polaris_tvla::{
+    CorrelationAccumulator, CpaAccumulator, PairAccumulator, PairMoments, StreamingMoments,
+    WelchAccumulator,
+};
 
 use crate::wire::{put_f64, put_u32, put_u64, Reader};
 use crate::DistError;
@@ -23,6 +26,8 @@ pub enum SinkKind {
     GateSamples,
     /// Per-key-guess correlation sums ([`CpaAccumulator`]).
     Cpa,
+    /// Per-gate-pair bivariate co-moments ([`PairAccumulator`]).
+    Pairs,
 }
 
 impl SinkKind {
@@ -32,6 +37,7 @@ impl SinkKind {
             SinkKind::Welch => 1,
             SinkKind::GateSamples => 2,
             SinkKind::Cpa => 3,
+            SinkKind::Pairs => 4,
         }
     }
 
@@ -41,6 +47,7 @@ impl SinkKind {
             1 => Some(SinkKind::Welch),
             2 => Some(SinkKind::GateSamples),
             3 => Some(SinkKind::Cpa),
+            4 => Some(SinkKind::Pairs),
             _ => None,
         }
     }
@@ -51,6 +58,7 @@ impl SinkKind {
             SinkKind::Welch => "welch",
             SinkKind::GateSamples => "samples",
             SinkKind::Cpa => "cpa",
+            SinkKind::Pairs => "pairs",
         }
     }
 
@@ -60,6 +68,7 @@ impl SinkKind {
             "welch" => Some(SinkKind::Welch),
             "samples" => Some(SinkKind::GateSamples),
             "cpa" => Some(SinkKind::Cpa),
+            "pairs" => Some(SinkKind::Pairs),
             _ => None,
         }
     }
@@ -270,6 +279,79 @@ impl ShardState for CpaAccumulator {
     }
 }
 
+const PAIR_MOMENTS_WIRE_BYTES: usize = 8 + 8 * 8;
+
+fn put_pair_moments(out: &mut Vec<u8>, m: &PairMoments) {
+    let (n, parts) = m.raw_parts();
+    put_u64(out, n);
+    for v in parts {
+        put_f64(out, v);
+    }
+}
+
+fn read_pair_moments(r: &mut Reader<'_>, context: &str) -> Result<PairMoments, DistError> {
+    let n = r.u64(context)?;
+    let mut parts = [0.0f64; 8];
+    for v in &mut parts {
+        *v = r.f64(context)?;
+    }
+    Ok(PairMoments::from_raw_parts(n, parts))
+}
+
+impl ShardState for PairAccumulator {
+    const KIND: SinkKind = SinkKind::Pairs;
+
+    /// `pairs (u32)`, then `pairs` gate-index records `a (u32), b (u32)`,
+    /// then `pairs` fixed-class co-moment records followed by `pairs`
+    /// random-class records, each `n (u64)` + 8 × f64
+    /// (`mean_x, mean_y, C20, C02, C11, C21, C12, C22`).
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        let pairs = self.pairs();
+        put_u32(
+            out,
+            u32::try_from(pairs.len()).expect("pair count fits u32"),
+        );
+        for &(a, b) in pairs {
+            put_u32(out, a);
+            put_u32(out, b);
+        }
+        let (fixed, random) = self.class_moments();
+        for m in fixed.iter().chain(random) {
+            put_pair_moments(out, m);
+        }
+    }
+
+    fn decode_body(r: &mut Reader<'_>) -> Result<Self, DistError> {
+        let count = r.u32("pair count")? as usize;
+        r.expect_elements(count, 2 * 4 + 2 * PAIR_MOMENTS_WIRE_BYTES, "pair records")?;
+        let mut pairs = Vec::with_capacity(count);
+        for _ in 0..count {
+            let a = r.u32("pair gate index")?;
+            let b = r.u32("pair gate index")?;
+            pairs.push((a, b));
+        }
+        let mut read_class = |class: &str| -> Result<Vec<PairMoments>, DistError> {
+            let mut v = Vec::with_capacity(count);
+            for _ in 0..count {
+                v.push(read_pair_moments(r, class)?);
+            }
+            Ok(v)
+        };
+        let fixed = read_class("pair fixed-class co-moments")?;
+        let random = read_class("pair random-class co-moments")?;
+        Ok(PairAccumulator::from_parts(pairs, fixed, random))
+    }
+
+    fn fold(&mut self, other: Self) {
+        MergeableSink::merge(self, other);
+    }
+
+    fn dimension(&self) -> Option<usize> {
+        let pairs = self.pair_count();
+        (pairs > 0).then_some(pairs)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,6 +393,53 @@ mod tests {
         round_trip(&WelchAccumulator::new());
         round_trip(&GateSamples::default());
         round_trip(&CpaAccumulator::new(0));
+        round_trip(&PairAccumulator::default());
+    }
+
+    #[test]
+    fn pairs_round_trip_bit_exactly() {
+        use polaris_sim::campaign::{EnergyBatch, Population, TraceSink};
+        let mut acc = PairAccumulator::for_pairs(vec![(0, 2), (1, 2)]);
+        let e: Vec<f64> = (0..6).map(|i| (i as f64).sin() * 1e-2).collect();
+        acc.record_batch(
+            Population::Fixed,
+            EnergyBatch::new(&e, 3, 2).expect("well-formed"),
+        );
+        acc.record_batch(
+            Population::Random,
+            EnergyBatch::new(&e, 3, 2).expect("well-formed"),
+        );
+        let back = round_trip(&acc);
+        assert_eq!(acc, back);
+    }
+
+    #[test]
+    fn pairs_round_trip_extreme_values() {
+        let extreme = PairMoments::from_raw_parts(
+            u64::MAX,
+            [
+                f64::MIN_POSITIVE,
+                -0.0,
+                1e308,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                f64::NAN,
+                -1e-308,
+                0.0,
+            ],
+        );
+        let acc = PairAccumulator::from_parts(
+            vec![(7, u32::MAX)],
+            vec![extreme],
+            vec![PairMoments::default()],
+        );
+        let back = round_trip(&acc);
+        let (fixed, _) = back.class_moments();
+        let (n, parts) = fixed[0].raw_parts();
+        assert_eq!(n, u64::MAX);
+        assert_eq!(parts[3], f64::INFINITY);
+        assert!(parts[5].is_nan());
+        assert_eq!(parts[1].to_bits(), (-0.0f64).to_bits());
     }
 
     #[test]
@@ -348,6 +477,11 @@ mod tests {
         let mut r = Reader::new(&bytes);
         assert!(matches!(
             CpaAccumulator::decode_body(&mut r),
+            Err(DistError::Truncated { .. })
+        ));
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(
+            PairAccumulator::decode_body(&mut r),
             Err(DistError::Truncated { .. })
         ));
     }

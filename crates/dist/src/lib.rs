@@ -35,7 +35,8 @@
 //! offset size field
 //! 0      8    magic "PLRSHARD" (never changes across versions)
 //! 8      2    format version (u16) — readers accept an exact match only
-//! 10     1    sink kind: 1 Welch moments, 2 dense gate samples, 3 CPA
+//! 10     1    sink kind: 1 Welch moments, 2 dense gate samples, 3 CPA,
+//!             4 bivariate pair co-moments
 //! 11     1    reserved (0)
 //! 12     8    campaign fingerprint (u64; netlist + campaign digest)
 //! 20     4    part index (u32)
@@ -81,8 +82,8 @@ pub mod wire;
 
 pub use codec::{ShardState, SinkKind};
 pub use part::{
-    decode_part, encode_part, execute_part, merge_parts, merged_outcome, Merged, PartHeader,
-    FORMAT_VERSION, MAGIC,
+    decode_part, encode_part, execute_part, execute_part_with, merge_parts, merged_outcome, Merged,
+    PartHeader, FORMAT_VERSION, MAGIC,
 };
 pub use plan::{campaign_fingerprint, DistPlan};
 

@@ -6,8 +6,8 @@ use std::ops::Range;
 
 use polaris_netlist::Netlist;
 use polaris_sim::campaign::{
-    partition_shards, run_shard_states, shard_grid, CampaignConfig, CampaignOutcome, CampaignStats,
-    MergeableSink, Parallelism,
+    partition_shards, run_shard_states_with, shard_grid, CampaignConfig, CampaignOutcome,
+    CampaignStats, MergeableSink, Parallelism,
 };
 use polaris_sim::PowerModel;
 
@@ -244,6 +244,38 @@ pub fn execute_part<S>(
 where
     S: ShardState + MergeableSink + Default,
 {
+    execute_part_with(
+        netlist,
+        model,
+        config,
+        parallelism,
+        part_index,
+        part_count,
+        S::default,
+    )
+}
+
+/// [`execute_part`] for sinks whose shape is configured at construction
+/// (e.g. [`polaris_tvla::PairAccumulator`], which must know its gate-pair
+/// list): the factory builds each shard's *empty* private sink.
+///
+/// # Errors
+///
+/// Same contract as [`execute_part`].
+#[allow(clippy::too_many_arguments)]
+pub fn execute_part_with<S, F>(
+    netlist: &Netlist,
+    model: &PowerModel,
+    config: &CampaignConfig,
+    parallelism: Parallelism,
+    part_index: usize,
+    part_count: usize,
+    factory: F,
+) -> Result<Vec<u8>, DistError>
+where
+    S: ShardState + MergeableSink,
+    F: Fn() -> S + Sync,
+{
     let n_shards = shard_grid(config).len();
     if part_count == 0 {
         return Err(DistError::PlanMismatch(
@@ -256,7 +288,8 @@ where
             "part index {part_index} out of range for a {part_count}-part plan"
         ))
     })?;
-    let states: Vec<S> = run_shard_states(netlist, model, config, parallelism, range.clone())?;
+    let states: Vec<S> =
+        run_shard_states_with(netlist, model, config, parallelism, range.clone(), factory)?;
     let header = PartHeader {
         fingerprint: campaign_fingerprint(netlist, model, config),
         part_index: part_index as u32,

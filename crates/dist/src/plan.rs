@@ -118,6 +118,11 @@ pub struct DistPlan {
     pub n_shards: usize,
     /// Contiguous per-part shard ranges, tiling `0..n_shards` in order.
     pub parts: Vec<Range<usize>>,
+    /// Gate pairs the workers accumulate bivariate co-moments for. Non-empty
+    /// exactly when `sink` is [`SinkKind::Pairs`] — every worker must build
+    /// its [`polaris_tvla::PairAccumulator`] over the *same ordered list*,
+    /// or the central fold would combine moments of different pairs.
+    pub pair_gates: Vec<(u32, u32)>,
 }
 
 const MANIFEST_HEADER: &str = "polaris-dist-plan v1";
@@ -127,14 +132,57 @@ impl DistPlan {
     ///
     /// # Errors
     ///
-    /// [`DistError::Malformed`] if `parts == 0` or the campaign carries
-    /// explicit class vectors (which the manifest cannot transport).
+    /// [`DistError::Malformed`] if `parts == 0`, the campaign carries
+    /// explicit class vectors (which the manifest cannot transport), or
+    /// `sink` is [`SinkKind::Pairs`] (which needs a gate-pair list — use
+    /// [`DistPlan::new_pairs`]).
     pub fn new(
         netlist: &Netlist,
         model: &PowerModel,
         config: &CampaignConfig,
         sink: SinkKind,
         parts: usize,
+    ) -> Result<Self, DistError> {
+        if sink == SinkKind::Pairs {
+            return Err(DistError::Malformed(
+                "a pairs plan needs a gate-pair list; use DistPlan::new_pairs".into(),
+            ));
+        }
+        Self::build(netlist, model, config, sink, parts, Vec::new())
+    }
+
+    /// Plans a bivariate ([`SinkKind::Pairs`]) campaign: like
+    /// [`DistPlan::new`], plus the ordered gate-pair list every worker
+    /// accumulates.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Malformed`] on the [`DistPlan::new`] conditions, an
+    /// empty pair list, or a pair referencing a gate outside `netlist`.
+    pub fn new_pairs(
+        netlist: &Netlist,
+        model: &PowerModel,
+        config: &CampaignConfig,
+        pair_gates: Vec<(u32, u32)>,
+        parts: usize,
+    ) -> Result<Self, DistError> {
+        if pair_gates.is_empty() {
+            return Err(DistError::Malformed(
+                "a pairs plan needs at least one gate pair".into(),
+            ));
+        }
+        polaris_tvla::validate_pairs(&pair_gates, netlist.gate_count())
+            .map_err(|e| DistError::Malformed(format!("pairs plan: {e}")))?;
+        Self::build(netlist, model, config, SinkKind::Pairs, parts, pair_gates)
+    }
+
+    fn build(
+        netlist: &Netlist,
+        model: &PowerModel,
+        config: &CampaignConfig,
+        sink: SinkKind,
+        parts: usize,
+        pair_gates: Vec<(u32, u32)>,
     ) -> Result<Self, DistError> {
         if parts == 0 {
             return Err(DistError::Malformed(
@@ -160,6 +208,7 @@ impl DistPlan {
             fingerprint: campaign_fingerprint(netlist, model, config),
             n_shards,
             parts: partition_shards(n_shards, parts),
+            pair_gates,
         })
     }
 
@@ -204,6 +253,10 @@ impl DistPlan {
                 self.n_shards
             )));
         }
+        if !self.pair_gates.is_empty() {
+            polaris_tvla::validate_pairs(&self.pair_gates, netlist.gate_count())
+                .map_err(|e| DistError::PlanMismatch(format!("pair list: {e}")))?;
+        }
         Ok(campaign)
     }
 
@@ -214,6 +267,14 @@ impl DistPlan {
         out.push('\n');
         out.push_str(&format!("design {}\n", self.design));
         out.push_str(&format!("sink {}\n", self.sink.name()));
+        if !self.pair_gates.is_empty() {
+            let list: Vec<String> = self
+                .pair_gates
+                .iter()
+                .map(|(a, b)| format!("{a}:{b}"))
+                .collect();
+            out.push_str(&format!("pair-gates {}\n", list.join(",")));
+        }
         out.push_str(&format!("seed {}\n", self.seed));
         out.push_str(&format!("traces-fixed {}\n", self.n_fixed));
         out.push_str(&format!("traces-random {}\n", self.n_random));
@@ -249,6 +310,7 @@ impl DistPlan {
         }
         let mut design = None;
         let mut sink = None;
+        let mut pair_gates: Option<Vec<(u32, u32)>> = None;
         let mut seed = None;
         let mut n_fixed = None;
         let mut n_random = None;
@@ -293,6 +355,21 @@ impl DistPlan {
                     let kind = SinkKind::from_name(name)
                         .ok_or_else(|| bad(format!("unknown sink kind `{name}`")))?;
                     set(&mut sink, key, kind)?;
+                }
+                "pair-gates" => {
+                    let list = one()?;
+                    let mut pairs = Vec::new();
+                    for entry in list.split(',') {
+                        let (a, b) = entry
+                            .split_once(':')
+                            .ok_or_else(|| bad(format!("bad pair entry `{entry}`")))?;
+                        let parse = |v: &str| {
+                            v.parse::<u32>()
+                                .map_err(|_| bad(format!("bad pair gate index `{v}`")))
+                        };
+                        pairs.push((parse(a)?, parse(b)?));
+                    }
+                    set(&mut pair_gates, key, pairs)?;
                 }
                 "seed" => set(
                     &mut seed,
@@ -360,7 +437,23 @@ impl DistPlan {
                 }
                 parts.into_iter().map(|(_, r)| r).collect()
             },
+            pair_gates: pair_gates.unwrap_or_default(),
         };
+        // The pair list and the sink kind must agree: a pairs plan without
+        // its list (or a list on another sink) cannot drive the workers.
+        match (plan.sink, plan.pair_gates.is_empty()) {
+            (SinkKind::Pairs, true) => {
+                return Err(bad("sink `pairs` requires a `pair-gates` list".into()))
+            }
+            (SinkKind::Pairs, false) => {}
+            (_, false) => {
+                return Err(bad(format!(
+                    "`pair-gates` is only valid with sink `pairs`, found `{}`",
+                    plan.sink.name()
+                )))
+            }
+            (_, true) => {}
+        }
         // Ranges must tile the grid in order.
         let mut next = 0usize;
         for (i, r) in plan.parts.iter().enumerate() {
@@ -478,6 +571,68 @@ mod tests {
         }
         // Reference sanity: the unmangled manifest parses.
         DistPlan::parse(&good).unwrap();
+    }
+
+    #[test]
+    fn pairs_manifest_round_trips() {
+        let n = generators::iscas_c17();
+        let cfg = CampaignConfig::new(2000, 2000, 13);
+        let pairs = vec![(0, 3), (1, 4), (2, 5)];
+        let plan = DistPlan::new_pairs(&n, &PowerModel::default(), &cfg, pairs.clone(), 2).unwrap();
+        assert_eq!(plan.sink, SinkKind::Pairs);
+        let rendered = plan.render();
+        assert!(rendered.contains("pair-gates 0:3,1:4,2:5"), "{rendered}");
+        let parsed = DistPlan::parse(&rendered).unwrap();
+        assert_eq!(plan, parsed);
+        assert_eq!(parsed.pair_gates, pairs);
+        parsed.verify(&n, &PowerModel::default()).unwrap();
+    }
+
+    #[test]
+    fn pairs_plans_are_validated() {
+        let n = generators::iscas_c17();
+        let cfg = CampaignConfig::new(100, 100, 1);
+        let model = PowerModel::default();
+        // `new` refuses the pairs sink outright.
+        assert!(matches!(
+            DistPlan::new(&n, &model, &cfg, SinkKind::Pairs, 2),
+            Err(DistError::Malformed(_))
+        ));
+        // Empty and out-of-range pair lists are rejected.
+        assert!(matches!(
+            DistPlan::new_pairs(&n, &model, &cfg, vec![], 2),
+            Err(DistError::Malformed(_))
+        ));
+        assert!(matches!(
+            DistPlan::new_pairs(&n, &model, &cfg, vec![(0, 999)], 2),
+            Err(DistError::Malformed(_))
+        ));
+
+        // Manifest-side agreement between sink kind and pair list.
+        let good = DistPlan::new_pairs(&n, &model, &cfg, vec![(0, 3)], 2)
+            .unwrap()
+            .render();
+        for mangle in [
+            good.replace("pair-gates 0:3\n", ""),
+            good.replace("pair-gates 0:3", "pair-gates 0-3"),
+            good.replace("pair-gates 0:3", "pair-gates 0:banana"),
+            good.replace("sink pairs", "sink welch"),
+        ] {
+            assert!(
+                matches!(DistPlan::parse(&mangle), Err(DistError::Malformed(_))),
+                "should reject:\n{mangle}"
+            );
+        }
+        DistPlan::parse(&good).unwrap();
+
+        // A parsed plan whose pairs do not fit the loaded netlist fails
+        // verification even when the fingerprint matches.
+        let mut plan = DistPlan::new_pairs(&n, &model, &cfg, vec![(0, 3)], 2).unwrap();
+        plan.pair_gates = vec![(0, 999)];
+        assert!(matches!(
+            plan.verify(&n, &model),
+            Err(DistError::PlanMismatch(_))
+        ));
     }
 
     #[test]

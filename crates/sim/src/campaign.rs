@@ -52,7 +52,9 @@
 //! for any `W`. [`GateSamples`] is the dense collector used for small
 //! designs and figures.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use polaris_netlist::{GateId, Netlist, NetlistError};
 use rand::rngs::StdRng;
@@ -980,6 +982,34 @@ pub fn run_shard_states<S>(
 where
     S: MergeableSink + Default,
 {
+    run_shard_states_with(netlist, model, config, parallelism, shards, S::default)
+}
+
+/// [`run_shard_states`] with an explicit sink factory instead of the
+/// `Default` bound — for sinks whose empty state carries configuration
+/// (e.g. a gate-pair list) that `Default` cannot produce. The factory must
+/// return *empty* sinks: it configures shape, it never seeds samples.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] if the design cannot be
+/// levelized.
+///
+/// # Panics
+///
+/// Panics if `shards` reaches past the end of the grid.
+pub fn run_shard_states_with<S, F>(
+    netlist: &Netlist,
+    model: &PowerModel,
+    config: &CampaignConfig,
+    parallelism: Parallelism,
+    shards: std::ops::Range<usize>,
+    factory: F,
+) -> Result<Vec<S>, NetlistError>
+where
+    S: MergeableSink,
+    F: Fn() -> S + Sync,
+{
     let engine = Engine::new(netlist, model, config, parallelism.lane_words())?;
     let grid = shard_grid(config);
     assert!(
@@ -990,7 +1020,7 @@ where
     let specs = &grid[shards];
     Ok(run_sharded(specs.len(), parallelism, |i| {
         let shard = specs[i];
-        let mut sink = S::default();
+        let mut sink = factory();
         engine.run_range(shard.pop, shard.start, shard.count, &mut sink);
         sink
     }))
@@ -1074,6 +1104,83 @@ where
         .into_iter()
         .map(|s| s.expect("every shard produces a result"))
         .collect()
+}
+
+/// Folds `sink` into the running accumulator: the canonical left fold every
+/// engine shares — first sink seeds the accumulator, later ones merge in.
+fn merge_into<S: MergeableSink>(acc: &mut Option<S>, sink: S) {
+    match acc {
+        None => *acc = Some(sink),
+        Some(a) => a.merge(sink),
+    }
+}
+
+/// In-flight state of a streaming ascending fold: the next index the
+/// accumulator is waiting for, plus the out-of-order sinks that arrived
+/// ahead of it.
+struct FoldState<S> {
+    next_fold: usize,
+    pending: BTreeMap<usize, S>,
+    acc: Option<S>,
+}
+
+/// Runs `n_shards` work items across `parallelism` worker threads and folds
+/// each produced sink into `acc` in **strictly ascending shard order, as
+/// results arrive** — the same merge sequence as collecting every sink and
+/// folding left-to-right (so bit-identical results), but only the
+/// out-of-order window (bounded by the worker count's scheduling skew) is
+/// ever alive at once instead of one sink per shard. That window is what
+/// keeps million-trace streaming campaigns in O(sink) memory: a
+/// collect-then-fold round would hold `traces / TRACES_PER_SHARD` private
+/// accumulators before the first merge.
+///
+/// # Panics
+///
+/// Propagates worker panics.
+fn run_sharded_fold<S, F>(n_shards: usize, parallelism: Parallelism, work: F, acc: &mut Option<S>)
+where
+    S: MergeableSink,
+    F: Fn(usize) -> S + Sync,
+{
+    let threads = parallelism.threads().min(n_shards.max(1));
+    if threads <= 1 || n_shards <= 1 {
+        // Inline path: sequential budgets and single-shard plans never pay
+        // for a scoped worker spawn (pinned by a thread-identity test).
+        for i in 0..n_shards {
+            merge_into(acc, work(i));
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let state = Mutex::new(FoldState {
+        next_fold: 0,
+        pending: BTreeMap::new(),
+        acc: acc.take(),
+    });
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n_shards {
+                    break;
+                }
+                let sink = work(i);
+                let mut st = state.lock().expect("fold state poisoned");
+                st.pending.insert(i, sink);
+                loop {
+                    let key = st.next_fold;
+                    let Some(ready) = st.pending.remove(&key) else {
+                        break;
+                    };
+                    merge_into(&mut st.acc, ready);
+                    st.next_fold += 1;
+                }
+            });
+        }
+    });
+    let st = state.into_inner().expect("fold state poisoned");
+    debug_assert!(st.pending.is_empty(), "every shard folds exactly once");
+    *acc = st.acc;
 }
 
 /// Runs a campaign, streaming batches into `sink` in trace order (fixed
@@ -1193,17 +1300,19 @@ impl<S> StoppingRule<S> for NeverStop {
 /// grid `shards_per_round` shards at a time, folds each round's private
 /// sinks **in shard order** into the running accumulator, and consults
 /// `rule` at every round boundary.
-fn run_campaign_rounds<S, R>(
+fn run_campaign_rounds<S, R, F>(
     netlist: &Netlist,
     model: &PowerModel,
     config: &CampaignConfig,
     parallelism: Parallelism,
     shards_per_round: usize,
     rule: &mut R,
+    factory: F,
 ) -> Result<CampaignOutcome<S>, NetlistError>
 where
-    S: MergeableSink + Default,
+    S: MergeableSink,
     R: StoppingRule<S>,
+    F: Fn() -> S + Sync,
 {
     let engine = Engine::new(netlist, model, config, parallelism.lane_words())?;
     let shards = shard_grid(config);
@@ -1216,18 +1325,21 @@ where
         ..CampaignStats::default()
     };
     for chunk in shards.chunks(shards_per_round) {
-        let sinks = run_sharded(chunk.len(), parallelism, |i| {
-            let shard = chunk[i];
-            let mut sink = S::default();
-            engine.run_range(shard.pop, shard.start, shard.count, &mut sink);
-            sink
-        });
-        // Deterministic checkpoint fold: strictly ascending shard order.
-        for (shard, sink) in chunk.iter().zip(sinks) {
-            match &mut acc {
-                None => acc = Some(sink),
-                Some(a) => a.merge(sink),
-            }
+        // Deterministic checkpoint fold: strictly ascending shard order,
+        // streamed as shards finish so the round never holds one private
+        // sink per shard (see `run_sharded_fold`).
+        run_sharded_fold(
+            chunk.len(),
+            parallelism,
+            |i| {
+                let shard = chunk[i];
+                let mut sink = factory();
+                engine.run_range(shard.pop, shard.start, shard.count, &mut sink);
+                sink
+            },
+            &mut acc,
+        );
+        for shard in chunk {
             match shard.pop {
                 Population::Fixed => stats.fixed_traces += shard.count,
                 Population::Random => stats.random_traces += shard.count,
@@ -1251,7 +1363,7 @@ where
         }
     }
     Ok(CampaignOutcome {
-        sink: acc.unwrap_or_default(),
+        sink: acc.unwrap_or_else(factory),
         stats,
     })
 }
@@ -1279,6 +1391,31 @@ pub fn run_campaign_parallel<S>(
 where
     S: MergeableSink + Default,
 {
+    run_campaign_parallel_with(netlist, model, config, parallelism, S::default)
+}
+
+/// [`run_campaign_parallel`] with an explicit sink factory instead of the
+/// `Default` bound — the entry point for sinks whose empty state carries
+/// configuration (e.g. the gate-pair list of a bivariate accumulator). The
+/// factory must produce *empty* sinks equivalent to each other; it exists
+/// to configure shape, never to seed samples. Same determinism contract:
+/// results are bit-identical at any thread count and lane width.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] if the design cannot be
+/// levelized.
+pub fn run_campaign_parallel_with<S, F>(
+    netlist: &Netlist,
+    model: &PowerModel,
+    config: &CampaignConfig,
+    parallelism: Parallelism,
+    factory: F,
+) -> Result<S, NetlistError>
+where
+    S: MergeableSink,
+    F: Fn() -> S + Sync,
+{
     let outcome = run_campaign_rounds(
         netlist,
         model,
@@ -1286,6 +1423,7 @@ where
         parallelism,
         usize::MAX,
         &mut NeverStop,
+        factory,
     )?;
     Ok(outcome.sink)
 }
@@ -1327,7 +1465,15 @@ where
     S: MergeableSink + Default,
     R: StoppingRule<S>,
 {
-    run_campaign_rounds(netlist, model, config, parallelism, shards_per_round, rule)
+    run_campaign_rounds(
+        netlist,
+        model,
+        config,
+        parallelism,
+        shards_per_round,
+        rule,
+        S::default,
+    )
 }
 
 /// Convenience wrapper collecting dense [`GateSamples`] (preallocated from

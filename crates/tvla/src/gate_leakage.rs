@@ -204,7 +204,7 @@ impl GateLeakage {
             .filter(|(_, r)| r.t.abs() > threshold)
             .map(|(i, r)| (GateId::new(i), r.t.abs()))
             .collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        v.sort_by(|a, b| b.1.total_cmp(&a.1));
         v.into_iter().map(|(id, _)| id).collect()
     }
 

@@ -43,6 +43,10 @@ pub mod special;
 pub mod waveform;
 pub mod welch;
 
+pub use bivariate::{
+    all_pairs, assess_pairs, bivariate_sweep, bivariate_t, pair_welch_t, validate_pairs,
+    BivariateError, PairAccumulator, PairMoments,
+};
 pub use cpa::{run_cpa, run_cpa_parallel, CorrelationAccumulator, CpaAccumulator};
 pub use gate_leakage::{
     assess, assess_order2, assess_order2_parallel, assess_parallel, ConvergenceSummary,

@@ -200,7 +200,7 @@ fn leaky_original_gates(
         .map(|id| (id, grouped[id.index()]))
         .filter(|(_, t)| *t > threshold)
         .collect();
-    leaky.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    leaky.sort_by(|a, b| b.1.total_cmp(&a.1));
     leaky.into_iter().map(|(id, _)| id).collect()
 }
 

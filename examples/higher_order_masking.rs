@@ -63,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let worst_uni = core.iter().map(|&c| uni.abs_t(c)).fold(0.0f64, f64::max);
 
         let samples = collect_gate_samples(&masked.netlist, &power, &cfg)?;
-        let sweep = bivariate_sweep(&samples, core);
+        let sweep = bivariate_sweep(&samples, core)?;
         let worst_bi = sweep.first().map_or(0.0, |(_, _, r)| r.t.abs());
 
         println!(

@@ -150,7 +150,7 @@ endmodule";
     let samples = collect_gate_samples_parallel(&design, &model, &cfg, Parallelism::new(4))
         .expect("campaign");
     let cells = design.cell_ids();
-    let sweep = bivariate_sweep(&samples, &cells);
+    let sweep = bivariate_sweep(&samples, &cells).expect("pairs in range");
     assert_eq!(sweep.len(), cells.len() * (cells.len() - 1) / 2);
     for w in sweep.windows(2) {
         assert!(w[0].2.t.abs() >= w[1].2.t.abs(), "sweep must be sorted");

@@ -11,7 +11,10 @@ use proptest::prelude::*;
 use polaris_dist::wire::Reader;
 use polaris_dist::{decode_part, encode_part, PartHeader, ShardState};
 use polaris_sim::GateSamples;
-use polaris_tvla::{CorrelationAccumulator, CpaAccumulator, StreamingMoments, WelchAccumulator};
+use polaris_tvla::{
+    CorrelationAccumulator, CpaAccumulator, PairAccumulator, PairMoments, StreamingMoments,
+    WelchAccumulator,
+};
 
 /// Encode → decode → encode; asserts the two encodings are byte-identical
 /// and returns the decoded value for extra checks.
@@ -36,6 +39,12 @@ fn arb_f64() -> impl Strategy<Value = f64> {
 fn arb_moments() -> impl Strategy<Value = StreamingMoments> {
     (any::<u64>(), arb_f64(), arb_f64(), arb_f64(), arb_f64())
         .prop_map(|(n, mean, m2, m3, m4)| StreamingMoments::from_raw_parts(n, mean, m2, m3, m4))
+}
+
+fn arb_pair_moments() -> impl Strategy<Value = PairMoments> {
+    (any::<u64>(), prop::collection::vec(arb_f64(), 8)).prop_map(|(n, f)| {
+        PairMoments::from_raw_parts(n, [f[0], f[1], f[2], f[3], f[4], f[5], f[6], f[7]])
+    })
 }
 
 proptest! {
@@ -105,6 +114,35 @@ proptest! {
     }
 
     #[test]
+    fn pair_bodies_round_trip(
+        entries in prop::collection::vec(
+            ((any::<u32>(), any::<u32>()), arb_pair_moments(), arb_pair_moments()),
+            0..16,
+        ),
+    ) {
+        let mut pairs = Vec::new();
+        let mut fixed = Vec::new();
+        let mut random = Vec::new();
+        for (p, f, r) in entries {
+            pairs.push(p);
+            fixed.push(f);
+            random.push(r);
+        }
+        let acc = PairAccumulator::from_parts(pairs.clone(), fixed.clone(), random.clone());
+        let back = round_trip(&acc);
+        prop_assert_eq!(back.pairs(), &pairs[..]);
+        let (f1, r1) = back.class_moments();
+        for (a, b) in fixed.iter().zip(f1).chain(random.iter().zip(r1)) {
+            let (n0, parts0) = a.raw_parts();
+            let (n1, parts1) = b.raw_parts();
+            prop_assert_eq!(n0, n1);
+            for (x, y) in parts0.iter().zip(&parts1) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
     fn part_files_round_trip(
         shard_lo in 0u32..1000,
         states in prop::collection::vec(
@@ -148,4 +186,7 @@ fn empty_shard_states_round_trip() {
     round_trip(&CpaAccumulator::new(0));
     let back = round_trip(&CpaAccumulator::new(3));
     assert_eq!(back.guess_accumulators().len(), 3);
+    round_trip(&PairAccumulator::default());
+    let back = round_trip(&PairAccumulator::for_pairs(vec![(0, 1), (1, 2)]));
+    assert_eq!(back.pair_count(), 2);
 }

@@ -199,7 +199,7 @@ fn isw_order2_defeats_bivariate_tvla_where_trichina_fails() {
     }
     let samples =
         polaris_sim::campaign::collect_gate_samples(&tri.netlist, &power, &cfg).expect("campaign");
-    let sweep = polaris_tvla::bivariate::bivariate_sweep(&samples, &tri_internal);
+    let sweep = polaris_tvla::bivariate::bivariate_sweep(&samples, &tri_internal).expect("sweep");
     let worst_pair = sweep.first().expect("pairs exist");
     assert!(
         worst_pair.2.t.abs() > TVLA_THRESHOLD,
@@ -220,7 +220,8 @@ fn isw_order2_defeats_bivariate_tvla_where_trichina_fails() {
     }
     let samples_isw =
         polaris_sim::campaign::collect_gate_samples(&isw.netlist, &power, &cfg).expect("campaign");
-    let sweep_isw = polaris_tvla::bivariate::bivariate_sweep(&samples_isw, &isw_internal);
+    let sweep_isw =
+        polaris_tvla::bivariate::bivariate_sweep(&samples_isw, &isw_internal).expect("sweep");
     let worst_isw = sweep_isw.first().expect("pairs exist");
     assert!(
         worst_isw.2.t.abs() < TVLA_THRESHOLD,
