@@ -9,7 +9,7 @@ use polaris_netlist::{
     generators, parse_bench, parse_netlist, write_bench, write_netlist, GateId, GraphView, Netlist,
 };
 use polaris_sim::{CampaignConfig, Parallelism, PowerModel};
-use polaris_tvla::{BivariateError, WelchResult, TVLA_THRESHOLD};
+use polaris_tvla::{GateLeakage, MultivariateError, WelchResult, TVLA_THRESHOLD};
 
 use crate::{read_file, write_file, CliError, Flags};
 
@@ -172,9 +172,11 @@ pub(crate) fn stats(args: &[String]) -> Result<(), String> {
 
 /// `polaris-cli assess`
 ///
-/// Exits 8 on a bivariate input error (a `--pair-gates` pair referencing a
-/// gate outside the design, or mismatched dense sample buffers) so scripts
-/// can tell a bad pair list from a generic failure.
+/// Exits 8 on a multivariate input error (a `--pair-gates`/`--triple-gates`
+/// entry referencing a gate outside the design, repeating a gate within one
+/// entry, duplicating an entry, or mismatched dense sample buffers) so
+/// scripts can tell a bad gate list from a generic failure. Exits 2 when
+/// the top-N and explicit-list selectors of the same order are both given.
 pub(crate) fn assess(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(args, &["glitch", "adaptive", "pairs-dense", "help"])?;
     if flags.has("help") {
@@ -182,15 +184,35 @@ pub(crate) fn assess(args: &[String]) -> Result<(), CliError> {
             "assess <netlist.v> [--traces N --seed N --cycles N --threads N \
              --lane-words 1|2|4|8 --glitch] \
              [--adaptive --confidence P] [--csv out.csv]\n       \
-             [--pairs N | --pair-gates A:B,C:D] [--pairs-dense] [--pairs-csv out.csv]\n\n\
-             --pairs N         bivariate sweep over all pairs of the N leakiest cells\n\
-             --pair-gates L    bivariate sweep over an explicit gate-index pair list\n\
-             --pairs-dense     use the dense two-pass engine (stores every trace;\n                   \
+             [--pairs N | --pair-gates A:B,C:D] [--pairs-dense] [--pairs-csv out.csv]\n       \
+             [--triples N | --triple-gates A:B:C,D:E:F] [--triples-csv out.csv]\n\n\
+             --pairs N          bivariate sweep over all pairs of the N leakiest cells\n\
+             --pair-gates L     bivariate sweep over an explicit gate-index pair list\n\
+             --pairs-dense      use the dense two-pass engine (stores every trace;\n                    \
              default is the streaming O(pairs) engine — results are bit-identical)\n\
-             --pairs-csv FILE  write the per-pair sweep as CSV (exit code 8 on a bad\n                   \
-             pair list)"
+             --pairs-csv FILE   write the per-pair sweep as CSV (exit code 8 on a bad\n                    \
+             pair list)\n\
+             --triples N        trivariate sweep over all triples of the N leakiest cells\n\
+             --triple-gates L   trivariate sweep over an explicit A:B:C gate-index list\n\
+             --triples-csv FILE write the per-triple sweep as CSV (exit code 8 on a bad\n                    \
+             triple list)"
         );
         return Ok(());
+    }
+    // Conflicting sweep selectors are a usage error (exit 2), matching the
+    // missing-command convention: before this check `--pairs N` was silently
+    // dropped whenever `--pair-gates` was also given.
+    if flags.get("pairs").is_some() && flags.get("pair-gates").is_some() {
+        return Err(usage_err(
+            "--pairs and --pair-gates are mutually exclusive (top-N sweep or \
+             explicit pair list, not both)",
+        ));
+    }
+    if flags.get("triples").is_some() && flags.get("triple-gates").is_some() {
+        return Err(usage_err(
+            "--triples and --triple-gates are mutually exclusive (top-N sweep or \
+             explicit triple list, not both)",
+        ));
     }
     let netlist = load_netlist(flags.positional(0, "netlist path")?)?;
     let mut campaign = campaign_from(&flags, 7)?;
@@ -255,29 +277,34 @@ pub(crate) fn assess(args: &[String]) -> Result<(), CliError> {
     // cells. The default engine streams co-moments in O(pairs) memory; the
     // dense engine (`--pairs-dense`) stores every trace and exists as the
     // bit-identical cross-check.
+    let model = PowerModel::default();
     let top_n: usize = flags.get_parsed("pairs", 0)?;
     let pairs: Option<Vec<(u32, u32)>> = match flags.get("pair-gates") {
         Some(spec) => Some(parse_pair_list(spec)?),
-        None if top_n > 0 => {
-            let mut cells: Vec<_> = netlist
-                .cell_ids()
-                .into_iter()
-                .map(|id| (id, leakage.abs_t(id)))
-                .collect();
-            cells.sort_by(|a, b| b.1.total_cmp(&a.1));
-            let top: Vec<_> = cells.into_iter().take(top_n).map(|(id, _)| id).collect();
-            Some(polaris_tvla::all_pairs(&top))
-        }
+        None if top_n > 0 => Some(polaris_tvla::all_pairs(&leakiest_cells(
+            &netlist, &leakage, top_n,
+        ))),
         None => None,
     };
-    if let Some(pairs) = pairs {
-        let model = PowerModel::default();
+    if let Some(pairs) = pairs.filter(|p| {
+        // An empty selection (e.g. `--pairs 1`, which yields zero pairs)
+        // short-circuits before the pair campaign: warn, sweep nothing,
+        // write no CSV.
+        let empty = p.is_empty();
+        if empty {
+            eprintln!(
+                "warning: the pair selection is empty (fewer than 2 cells selected); \
+                 skipping the bivariate sweep, no CSV written"
+            );
+        }
+        !empty
+    }) {
         let sweep = if flags.has("pairs-dense") {
             eprintln!(
                 "running dense (two-pass) bivariate sweep over {} gate pairs…",
                 pairs.len()
             );
-            polaris_tvla::validate_pairs(&pairs, netlist.gate_count()).map_err(bivariate_err)?;
+            polaris_tvla::validate_pairs(&pairs, netlist.gate_count()).map_err(multivariate_err)?;
             let samples = polaris_sim::campaign::collect_gate_samples_parallel(
                 &netlist, &model, &campaign, par,
             )
@@ -289,7 +316,7 @@ pub(crate) fn assess(args: &[String]) -> Result<(), CliError> {
                 out.push((
                     g1,
                     g2,
-                    polaris_tvla::bivariate_t(&samples, g1, g2).map_err(bivariate_err)?,
+                    polaris_tvla::bivariate_t(&samples, g1, g2).map_err(multivariate_err)?,
                 ));
             }
             out.sort_by(|a, b| b.2.t.abs().total_cmp(&a.2.t.abs()));
@@ -300,7 +327,7 @@ pub(crate) fn assess(args: &[String]) -> Result<(), CliError> {
                 pairs.len()
             );
             polaris_tvla::assess_pairs(&netlist, &model, &campaign, par, &pairs)
-                .map_err(bivariate_err)?
+                .map_err(multivariate_err)?
         };
         println!("\nworst second-order (bivariate) pairs:");
         for (g1, g2, r) in sweep.iter().take(10) {
@@ -321,12 +348,81 @@ pub(crate) fn assess(args: &[String]) -> Result<(), CliError> {
             eprintln!("per-pair results written to {csv}");
         }
     }
+    // Optional trivariate (third-order) sweep, mirroring the pair surface:
+    // `--triple-gates` names explicit A:B:C gate-index triples, `--triples N`
+    // sweeps every triple of the N leakiest cells. Streaming only — the
+    // engine holds O(triples) co-moments, never the traces.
+    let top_t: usize = flags.get_parsed("triples", 0)?;
+    let triples: Option<Vec<(u32, u32, u32)>> = match flags.get("triple-gates") {
+        Some(spec) => Some(parse_triple_list(spec)?),
+        None if top_t > 0 => Some(polaris_tvla::all_triples(&leakiest_cells(
+            &netlist, &leakage, top_t,
+        ))),
+        None => None,
+    };
+    if let Some(triples) = triples.filter(|t| {
+        let empty = t.is_empty();
+        if empty {
+            eprintln!(
+                "warning: the triple selection is empty (fewer than 3 cells selected); \
+                 skipping the trivariate sweep, no CSV written"
+            );
+        }
+        !empty
+    }) {
+        eprintln!(
+            "running streaming trivariate sweep over {} gate triples…",
+            triples.len()
+        );
+        let sweep = polaris_tvla::assess_triples(&netlist, &model, &campaign, par, &triples)
+            .map_err(multivariate_err)?;
+        println!("\nworst third-order (trivariate) triples:");
+        for (g1, g2, g3, r) in sweep.iter().take(10) {
+            println!(
+                "  {:>10} x {:^10} x {:<10} |t3| = {:.2}{}",
+                netlist.gate(*g1).name(),
+                netlist.gate(*g2).name(),
+                netlist.gate(*g3).name(),
+                r.t.abs(),
+                if r.is_leaky(TVLA_THRESHOLD) {
+                    "  LEAKY"
+                } else {
+                    ""
+                }
+            );
+        }
+        if let Some(csv) = flags.get("triples-csv") {
+            write_file(csv, &triple_csv(&netlist, &sweep))?;
+            eprintln!("per-triple results written to {csv}");
+        }
+    }
     Ok(())
 }
 
-/// Maps a bivariate input error to its documented exit code (8): scripts
-/// can tell a bad pair list from the generic failures that exit 1.
-pub(crate) fn bivariate_err(e: BivariateError) -> CliError {
+/// The `n` cells with the highest first-order `|t|` — the seed set for the
+/// `--pairs N` / `--triples N` top-N multivariate sweeps.
+fn leakiest_cells(netlist: &Netlist, leakage: &GateLeakage, n: usize) -> Vec<GateId> {
+    let mut cells: Vec<_> = netlist
+        .cell_ids()
+        .into_iter()
+        .map(|id| (id, leakage.abs_t(id)))
+        .collect();
+    cells.sort_by(|a, b| b.1.total_cmp(&a.1));
+    cells.into_iter().take(n).map(|(id, _)| id).collect()
+}
+
+/// Maps a conflicting-flags mistake to the usage exit code (2), the same
+/// code `main` uses for a missing command.
+fn usage_err(message: &str) -> CliError {
+    CliError {
+        code: 2,
+        message: message.to_string(),
+    }
+}
+
+/// Maps a multivariate input error to its documented exit code (8): scripts
+/// can tell a bad pair/triple list from the generic failures that exit 1.
+pub(crate) fn multivariate_err(e: MultivariateError) -> CliError {
     CliError {
         code: 8,
         message: e.to_string(),
@@ -348,6 +444,36 @@ pub(crate) fn parse_pair_list(spec: &str) -> Result<Vec<(u32, u32)>, String> {
     Ok(pairs)
 }
 
+/// Parses a `--triple-gates` list: comma-separated `A:B:C` gate-index
+/// triples.
+pub(crate) fn parse_triple_list(spec: &str) -> Result<Vec<(u32, u32, u32)>, String> {
+    let mut triples = Vec::new();
+    for entry in spec.split(',') {
+        let fields: Vec<&str> = entry.split(':').collect();
+        let [a, b, c] = fields[..] else {
+            return Err(format!(
+                "bad triple entry `{entry}` (expected A:B:C gate indices)"
+            ));
+        };
+        let parse = |v: &str| -> Result<u32, String> {
+            v.parse().map_err(|_| format!("bad gate index `{v}`"))
+        };
+        triples.push((parse(a)?, parse(b)?, parse(c)?));
+    }
+    Ok(triples)
+}
+
+/// RFC-4180-quotes one CSV field: a value containing `,`, `"`, or a line
+/// break is wrapped in double quotes with embedded quotes doubled, so a
+/// hostile gate name can never desynchronize the columns CI `cmp`s.
+pub(crate) fn csv_field(raw: &str) -> std::borrow::Cow<'_, str> {
+    if raw.contains([',', '"', '\n', '\r']) {
+        std::borrow::Cow::Owned(format!("\"{}\"", raw.replace('"', "\"\"")))
+    } else {
+        std::borrow::Cow::Borrowed(raw)
+    }
+}
+
 /// Renders the per-pair bivariate CSV
 /// (`gate_a,name_a,gate_b,name_b,t,leaky`). Shared by `assess --pairs-csv`
 /// and `dist merge --csv` on a pairs plan, so the streaming engine, the
@@ -359,9 +485,35 @@ pub(crate) fn pair_csv(netlist: &Netlist, results: &[(GateId, GateId, WelchResul
         out.push_str(&format!(
             "{},{},{},{},{:.6},{}\n",
             g1.index(),
-            netlist.gate(*g1).name(),
+            csv_field(netlist.gate(*g1).name()),
             g2.index(),
-            netlist.gate(*g2).name(),
+            csv_field(netlist.gate(*g2).name()),
+            r.t,
+            u8::from(r.is_leaky(TVLA_THRESHOLD))
+        ));
+    }
+    out
+}
+
+/// Renders the per-triple trivariate CSV
+/// (`gate_a,name_a,gate_b,name_b,gate_c,name_c,t,leaky`). Shared by
+/// `assess --triples-csv` and `dist merge --csv` on a triples plan, so a
+/// single-process streaming sweep and a distributed fold of the same
+/// campaign write byte-identical files.
+pub(crate) fn triple_csv(
+    netlist: &Netlist,
+    results: &[(GateId, GateId, GateId, WelchResult)],
+) -> String {
+    let mut out = String::from("gate_a,name_a,gate_b,name_b,gate_c,name_c,t,leaky\n");
+    for (g1, g2, g3, r) in results {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{:.6},{}\n",
+            g1.index(),
+            csv_field(netlist.gate(*g1).name()),
+            g2.index(),
+            csv_field(netlist.gate(*g2).name()),
+            g3.index(),
+            csv_field(netlist.gate(*g3).name()),
             r.t,
             u8::from(r.is_leaky(TVLA_THRESHOLD))
         ));
@@ -373,14 +525,14 @@ pub(crate) fn pair_csv(netlist: &Netlist, results: &[(GateId, GateId, WelchResul
 /// `assess --csv` and `dist merge --csv` so a distributed fold and a
 /// single-process run of the same campaign write byte-identical files —
 /// exactly what the CI smoke job diffs.
-pub(crate) fn leakage_csv(netlist: &Netlist, leakage: &polaris_tvla::GateLeakage) -> String {
+pub(crate) fn leakage_csv(netlist: &Netlist, leakage: &GateLeakage) -> String {
     let mut out = String::from("gate,name,kind,t,leaky\n");
     for (id, gate) in netlist.iter() {
         let r = leakage.result(id);
         out.push_str(&format!(
             "{},{},{},{:.6},{}\n",
             id.index(),
-            gate.name(),
+            csv_field(gate.name()),
             gate.kind().mnemonic(),
             r.t,
             u8::from(r.is_leaky(TVLA_THRESHOLD))
@@ -606,4 +758,94 @@ pub(crate) fn explain(args: &[String]) -> Result<(), String> {
         println!("matching mined rule says: {action}");
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polaris_netlist::GateKind;
+
+    #[test]
+    fn csv_field_passes_clean_names_through_unquoted() {
+        assert_eq!(csv_field("g42"), "g42");
+        assert_eq!(csv_field("u_core/xor_1"), "u_core/xor_1");
+        assert_eq!(csv_field(""), "");
+    }
+
+    #[test]
+    fn csv_field_quotes_separators_and_doubles_quotes() {
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_field("two\nlines"), "\"two\nlines\"");
+        assert_eq!(csv_field("cr\rname"), "\"cr\rname\"");
+    }
+
+    /// A netlist whose cell names contain `,` and `"` must still produce
+    /// CSVs with a fixed column count on every row (the bugfix: names used
+    /// to be interpolated raw, so one hostile name desynchronized the file
+    /// CI `cmp`s).
+    fn hostile_netlist() -> (Netlist, GateId, GateId, GateId) {
+        let mut n = Netlist::new("hostile");
+        let a = n.add_input("in_a");
+        let b = n.add_input("in_b");
+        let g1 = n.add_gate(GateKind::And, "and,comma", &[a, b]).unwrap();
+        let g2 = n.add_gate(GateKind::Xor, "xor\"quote", &[a, g1]).unwrap();
+        let g3 = n.add_gate(GateKind::Or, "or_clean", &[g1, g2]).unwrap();
+        (n, g1, g2, g3)
+    }
+
+    /// Counts the comma-separated fields of one CSV record, honouring
+    /// RFC-4180 quoting.
+    fn field_count(line: &str) -> usize {
+        let (mut fields, mut quoted) = (1, false);
+        let mut chars = line.chars().peekable();
+        while let Some(c) = chars.next() {
+            match c {
+                '"' if quoted && chars.peek() == Some(&'"') => {
+                    chars.next();
+                }
+                '"' => quoted = !quoted,
+                ',' if !quoted => fields += 1,
+                _ => {}
+            }
+        }
+        fields
+    }
+
+    #[test]
+    fn pair_csv_keeps_column_structure_under_hostile_names() {
+        let (n, g1, g2, _) = hostile_netlist();
+        let r = WelchResult { t: 1.25, dof: 10.0 };
+        let csv = pair_csv(&n, &[(g1, g2, r)]);
+        for line in csv.lines() {
+            assert_eq!(field_count(line), 6, "bad record: {line}");
+        }
+        assert!(csv.contains("\"and,comma\""));
+        assert!(csv.contains("\"xor\"\"quote\""));
+    }
+
+    #[test]
+    fn triple_csv_keeps_column_structure_under_hostile_names() {
+        let (n, g1, g2, g3) = hostile_netlist();
+        let r = WelchResult { t: -7.5, dof: 99.0 };
+        let csv = triple_csv(&n, &[(g1, g2, g3, r)]);
+        assert!(csv.starts_with("gate_a,name_a,gate_b,name_b,gate_c,name_c,t,leaky\n"));
+        for line in csv.lines() {
+            assert_eq!(field_count(line), 8, "bad record: {line}");
+        }
+        assert!(csv.contains(",or_clean,"));
+        assert!(csv.lines().nth(1).unwrap().ends_with(",-7.500000,1"));
+    }
+
+    #[test]
+    fn parse_triple_list_accepts_and_rejects() {
+        assert_eq!(
+            parse_triple_list("0:1:2,7:8:9").unwrap(),
+            vec![(0, 1, 2), (7, 8, 9)]
+        );
+        assert!(parse_triple_list("0:1").is_err());
+        assert!(parse_triple_list("0:1:2:3").is_err());
+        assert!(parse_triple_list("0:x:2").is_err());
+        assert!(parse_triple_list("").is_err());
+    }
 }

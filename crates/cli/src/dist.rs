@@ -23,16 +23,19 @@
 
 use polaris_dist::{merge_parts, merged_outcome, DistError, DistPlan, SinkKind};
 use polaris_sim::{GateSamples, Parallelism};
-use polaris_tvla::{PairAccumulator, WelchAccumulator, TVLA_THRESHOLD};
+use polaris_tvla::{PairAccumulator, TripleAccumulator, WelchAccumulator, TVLA_THRESHOLD};
 
 use crate::commands::{
     campaign_from, leakage_csv, load_netlist, pair_csv, parallelism_from, parse_pair_list,
+    parse_triple_list, triple_csv,
 };
 use crate::{read_file, write_file, CliError, Flags};
 
 /// Exit-code table of the `dist` subcommands, also printed by
 /// `dist --help`. Code 1 stays the generic failure (I/O, usage of other
-/// commands); 2 stays usage errors; 8 is `assess`'s bivariate input error.
+/// commands); 2 stays usage errors; 8 is `assess`'s multivariate input
+/// error, shared with invalid plan gate lists so a hand-edited manifest
+/// fails the same way a bad `--pair-gates`/`--triple-gates` flag does.
 pub(crate) const EXIT_CODES: &str = "\
 exit codes:
   1  generic failure (I/O, simulation, usage)
@@ -42,8 +45,9 @@ exit codes:
   6  shard-state checksum mismatch (corrupted file)
   7  plan mismatch (wrong netlist/campaign fingerprint, wrong sink kind,
      missing/duplicate/overlapping parts)
-  8  bivariate pair-list error (assess --pairs/--pair-gates referencing a
-     gate outside the design)";
+  8  multivariate gate-list error (a pair/triple list — CLI flag or plan
+     manifest — referencing a gate outside the design, repeating a gate
+     within one entry, or duplicating an entry)";
 
 /// Maps each [`DistError`] failure class to its documented exit code.
 fn exit_code(e: &DistError) -> u8 {
@@ -56,6 +60,7 @@ fn exit_code(e: &DistError) -> u8 {
         DistError::KindMismatch { .. }
         | DistError::FingerprintMismatch { .. }
         | DistError::PlanMismatch(_) => 7,
+        DistError::GateList(_) => 8,
     }
 }
 
@@ -68,7 +73,8 @@ fn dist_err(e: DistError) -> CliError {
 
 const DIST_USAGE: &str = "\
 dist plan  <netlist> --parts K --out plan.txt [--traces N --seed N --cycles N --glitch]
-           [--sink welch|samples|pairs] [--pair-gates A:B,C:D]
+           [--sink welch|samples|pairs|triples] [--pair-gates A:B,C:D]
+           [--triple-gates A:B:C,D:E:F]
 dist work  <netlist> --plan plan.txt --part I --out part-I.shard [--threads N]
 dist merge <netlist> --plan plan.txt <part.shard>... [--csv out.csv]";
 
@@ -126,34 +132,50 @@ fn plan(args: &[String]) -> Result<(), CliError> {
         "welch" => SinkKind::Welch,
         "samples" => SinkKind::GateSamples,
         "pairs" => SinkKind::Pairs,
+        "triples" => SinkKind::Triples,
         other => {
             return Err(CliError::from(format!(
-                "unknown sink `{other}` (dist campaigns snapshot `welch`, `samples` or `pairs`)"
+                "unknown sink `{other}` (dist campaigns snapshot `welch`, `samples`, \
+                 `pairs` or `triples`)"
             )))
         }
     };
     let out = flags
         .get("out")
         .ok_or_else(|| CliError::from("missing --out <plan manifest>".to_string()))?;
+    if flags.get("pair-gates").is_some() && !matches!(sink, SinkKind::Pairs) {
+        return Err(CliError::from(
+            "--pair-gates is only valid with --sink pairs".to_string(),
+        ));
+    }
+    if flags.get("triple-gates").is_some() && !matches!(sink, SinkKind::Triples) {
+        return Err(CliError::from(
+            "--triple-gates is only valid with --sink triples".to_string(),
+        ));
+    }
     let model = polaris_sim::PowerModel::default();
-    let plan = match (sink, flags.get("pair-gates")) {
-        (SinkKind::Pairs, Some(spec)) => {
-            let pairs = parse_pair_list(spec)?;
-            DistPlan::new_pairs(&netlist, &model, &campaign, pairs, parts)
+    let plan = match sink {
+        SinkKind::Pairs => {
+            let spec = flags.get("pair-gates").ok_or_else(|| {
+                CliError::from(
+                    "--sink pairs needs --pair-gates A:B,C:D (the gate pairs every \
+                     worker accumulates)"
+                        .to_string(),
+                )
+            })?;
+            DistPlan::new_pairs(&netlist, &model, &campaign, parse_pair_list(spec)?, parts)
         }
-        (SinkKind::Pairs, None) => {
-            return Err(CliError::from(
-                "--sink pairs needs --pair-gates A:B,C:D (the gate pairs every \
-                 worker accumulates)"
-                    .to_string(),
-            ))
+        SinkKind::Triples => {
+            let spec = flags.get("triple-gates").ok_or_else(|| {
+                CliError::from(
+                    "--sink triples needs --triple-gates A:B:C,D:E:F (the gate triples \
+                     every worker accumulates)"
+                        .to_string(),
+                )
+            })?;
+            DistPlan::new_triples(&netlist, &model, &campaign, parse_triple_list(spec)?, parts)
         }
-        (_, Some(_)) => {
-            return Err(CliError::from(
-                "--pair-gates is only valid with --sink pairs".to_string(),
-            ))
-        }
-        (_, None) => DistPlan::new(&netlist, &model, &campaign, sink, parts),
+        _ => DistPlan::new(&netlist, &model, &campaign, sink, parts),
     }
     .map_err(dist_err)?;
     write_file(out, &plan.render())?;
@@ -222,6 +244,15 @@ fn work(args: &[String]) -> Result<(), CliError> {
             part,
             plan.parts.len(),
             || PairAccumulator::for_pairs(plan.pair_gates.clone()),
+        ),
+        SinkKind::Triples => polaris_dist::execute_part_with(
+            &netlist,
+            &model,
+            &campaign,
+            parallelism,
+            part,
+            plan.parts.len(),
+            || TripleAccumulator::for_triples(plan.triple_gates.clone()),
         ),
         SinkKind::Cpa => Err(DistError::PlanMismatch(
             "CPA shard states are snapshot via the library API, not `dist work`".into(),
@@ -295,7 +326,7 @@ fn merge(args: &[String]) -> Result<(), CliError> {
         SinkKind::GateSamples => {
             if flags.get("csv").is_some() {
                 return Err(CliError::from(
-                    "--csv is only available for welch- and pairs-sink plans".to_string(),
+                    "--csv is only available for welch-, pairs- and triples-sink plans".to_string(),
                 ));
             }
             let merged = merge_parts::<GateSamples>(
@@ -353,6 +384,46 @@ fn merge(args: &[String]) -> Result<(), CliError> {
             if let Some(csv) = flags.get("csv") {
                 write_file(csv, &pair_csv(&netlist, &sweep))?;
                 eprintln!("per-pair results written to {csv}");
+            }
+        }
+        SinkKind::Triples => {
+            let merged = merge_parts::<TripleAccumulator>(
+                part_files.iter().map(Vec::as_slice),
+                Some(plan.fingerprint),
+            )
+            .map_err(dist_err)?;
+            let parts = merged.parts;
+            let outcome = merged_outcome(&netlist, &model, &campaign, merged).map_err(dist_err)?;
+            let sweep = outcome.sink.sweep();
+            eprintln!(
+                "folded {} shards from {parts} part(s) — triple statistics are \
+                 byte-identical to a single-process `assess --triple-gates` run",
+                plan.n_shards
+            );
+            let leaky = sweep
+                .iter()
+                .filter(|(_, _, _, r)| r.is_leaky(TVLA_THRESHOLD))
+                .count();
+            println!("gate triples:  {}", sweep.len());
+            println!("leaky triples: {leaky} (|t| > {TVLA_THRESHOLD})");
+            println!("worst third-order (trivariate) triples:");
+            for (g1, g2, g3, r) in sweep.iter().take(10) {
+                println!(
+                    "  {:>10} x {:^10} x {:<10} |t3| = {:.2}{}",
+                    netlist.gate(*g1).name(),
+                    netlist.gate(*g2).name(),
+                    netlist.gate(*g3).name(),
+                    r.t.abs(),
+                    if r.is_leaky(TVLA_THRESHOLD) {
+                        "  LEAKY"
+                    } else {
+                        ""
+                    }
+                );
+            }
+            if let Some(csv) = flags.get("csv") {
+                write_file(csv, &triple_csv(&netlist, &sweep))?;
+                eprintln!("per-triple results written to {csv}");
             }
         }
         SinkKind::Cpa => {

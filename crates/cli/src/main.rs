@@ -5,6 +5,7 @@
 //! polaris-cli stats   <netlist.v>
 //! polaris-cli assess  <netlist.v> [--traces N --seed N --threads N --glitch --adaptive --confidence P] [--csv out.csv]
 //!                     [--pairs N | --pair-gates A:B,C:D] [--pairs-dense] [--pairs-csv out.csv]
+//!                     [--triples N | --triple-gates A:B:C,D:E:F] [--triples-csv out.csv]
 //! polaris-cli fleet   <manifest.txt> [--traces N --seed N --threads N --glitch --adaptive --confidence P] [--csv-dir DIR]
 //! polaris-cli gen     <design-name> --out file.bench [--scale N --seed N]
 //! polaris-cli mask    <netlist.v> --model model.polaris --out masked.v

@@ -583,3 +583,277 @@ fn explain_unknown_gate_errors() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("no gate named"));
 }
+
+#[test]
+fn conflicting_sweep_selectors_are_usage_errors() {
+    // `--pairs N` used to be silently ignored whenever `--pair-gates` was
+    // also given; both conflicts are now usage errors (exit 2) before any
+    // simulation runs.
+    let design = tmp("conflict_c17.bench");
+    std::fs::write(&design, C17_BENCH).expect("write design");
+    let design = design.to_str().expect("utf8");
+
+    for extra in [
+        ["--pairs", "3", "--pair-gates", "5:6"],
+        ["--triples", "3", "--triple-gates", "5:6:7"],
+    ] {
+        let mut args = vec!["assess", design, "--traces", "100"];
+        args.extend(extra);
+        let out = cli().args(&args).output().expect("runs");
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("mutually exclusive"),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn degenerate_gate_lists_exit_8() {
+    // Self-pairs, duplicate entries and out-of-range indices in explicit
+    // gate lists all map to the documented multivariate exit code.
+    let design = tmp("degenerate_c17.bench");
+    std::fs::write(&design, C17_BENCH).expect("write design");
+    let design = design.to_str().expect("utf8");
+
+    let cases: &[(&str, &str, &str)] = &[
+        ("--pair-gates", "3:3", "repeats"),
+        ("--pair-gates", "5:6,6:5", "duplicates"),
+        ("--pair-gates", "0:999", "out of range"),
+        ("--triple-gates", "5:5:6", "repeats"),
+        ("--triple-gates", "5:6:7,7:6:5", "duplicates"),
+        ("--triple-gates", "0:1:999", "out of range"),
+    ];
+    for &(flag, list, needle) in cases {
+        let out = cli()
+            .args(["assess", design, "--traces", "100", flag, list])
+            .output()
+            .expect("runs");
+        assert_eq!(out.status.code(), Some(8), "{flag} {list}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "{flag} {list}: {stderr}");
+    }
+}
+
+#[test]
+fn empty_sweep_selection_short_circuits_with_warning() {
+    // `--pairs 1` yields zero pairs and `--triples 2` zero triples: both
+    // must warn and skip the sweep instead of simulating a whole campaign
+    // for nothing, and must not create the CSV file.
+    let design = tmp("empty_sweep_c17.bench");
+    std::fs::write(&design, C17_BENCH).expect("write design");
+    let design = design.to_str().expect("utf8");
+
+    let pairs_csv = tmp("empty_sweep_pairs.csv");
+    let out = cli()
+        .args([
+            "assess",
+            design,
+            "--traces",
+            "100",
+            "--pairs",
+            "1",
+            "--pairs-csv",
+            pairs_csv.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("pair selection is empty"), "{stderr}");
+    assert!(!stderr.contains("running streaming bivariate"), "{stderr}");
+    assert!(!pairs_csv.exists(), "empty sweep must not write a CSV");
+
+    let triples_csv = tmp("empty_sweep_triples.csv");
+    let out = cli()
+        .args([
+            "assess",
+            design,
+            "--traces",
+            "100",
+            "--triples",
+            "2",
+            "--triples-csv",
+            triples_csv.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("triple selection is empty"), "{stderr}");
+    assert!(!stderr.contains("running streaming trivariate"), "{stderr}");
+    assert!(!triples_csv.exists(), "empty sweep must not write a CSV");
+}
+
+#[test]
+fn hand_edited_degenerate_plan_lists_exit_8() {
+    // A plan manifest whose gate list is edited to a self-pair (or
+    // self-triple) after planning must fail worker- and merge-side with the
+    // multivariate exit code, not run to a misleading merge.
+    let design = tmp("edited_plan_c17.bench");
+    std::fs::write(&design, C17_BENCH).expect("write design");
+    let design = design.to_str().expect("utf8");
+
+    for (sink, flag, good, bad) in [
+        ("pairs", "--pair-gates", "5:6", "3:3"),
+        ("triples", "--triple-gates", "5:6:7", "3:3:7"),
+    ] {
+        let plan = tmp(&format!("edited_plan_{sink}.txt"));
+        let plan_str = plan.to_str().expect("utf8");
+        let out = cli()
+            .args([
+                "dist", "plan", design, "--traces", "200", "--parts", "1", "--out", plan_str,
+                "--sink", sink, flag, good,
+            ])
+            .output()
+            .expect("runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let manifest = std::fs::read_to_string(&plan).expect("manifest");
+        std::fs::write(&plan, manifest.replace(good, bad)).expect("edit manifest");
+        let shard = tmp(&format!("edited_plan_{sink}.shard"));
+        let out = cli()
+            .args([
+                "dist",
+                "work",
+                design,
+                "--plan",
+                plan_str,
+                "--part",
+                "0",
+                "--out",
+                shard.to_str().expect("utf8"),
+            ])
+            .output()
+            .expect("runs");
+        assert_eq!(out.status.code(), Some(8), "{sink}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("invalid gate list"),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    // Planning with a degenerate list never succeeds in the first place.
+    let plan = tmp("edited_plan_reject.txt");
+    let out = cli()
+        .args([
+            "dist",
+            "plan",
+            design,
+            "--traces",
+            "200",
+            "--parts",
+            "1",
+            "--out",
+            plan.to_str().expect("utf8"),
+            "--sink",
+            "pairs",
+            "--pair-gates",
+            "6:6",
+        ])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(8));
+}
+
+#[test]
+fn dist_triples_merge_is_byte_identical_to_assess() {
+    // A 2-worker trivariate dist fold must write the exact CSV a
+    // single-process `assess --triple-gates` writes — the trivariate CI
+    // smoke's `cmp` contract.
+    let design = tmp("dist_triples_c17.bench");
+    std::fs::write(&design, C17_BENCH).expect("write design");
+    let design = design.to_str().expect("utf8").to_string();
+    let plan = tmp("dist_triples_plan.txt");
+    let plan = plan.to_str().expect("utf8").to_string();
+    let triples = "5:6:7,5:6:8,8:9:10";
+
+    let run_ok = |args: &[&str]| {
+        let out = cli().args(args).output().expect("runs");
+        assert!(
+            out.status.success(),
+            "{args:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+
+    run_ok(&[
+        "dist",
+        "plan",
+        &design,
+        "--traces",
+        "900",
+        "--seed",
+        "11",
+        "--parts",
+        "2",
+        "--out",
+        &plan,
+        "--sink",
+        "triples",
+        "--triple-gates",
+        triples,
+    ]);
+    let mut shard_paths = Vec::new();
+    for part in ["0", "1"] {
+        let shard = tmp(&format!("dist_triples_part{part}.shard"));
+        let shard = shard.to_str().expect("utf8").to_string();
+        run_ok(&[
+            "dist", "work", &design, "--plan", &plan, "--part", part, "--out", &shard,
+        ]);
+        shard_paths.push(shard);
+    }
+    let merged_csv = tmp("dist_triples_merged.csv");
+    let merged_csv = merged_csv.to_str().expect("utf8").to_string();
+    let merge_stdout = run_ok(&[
+        "dist",
+        "merge",
+        &design,
+        "--plan",
+        &plan,
+        &shard_paths[0],
+        &shard_paths[1],
+        "--csv",
+        &merged_csv,
+    ]);
+    assert!(merge_stdout.contains("gate triples:  3"), "{merge_stdout}");
+
+    let single_csv = tmp("dist_triples_single.csv");
+    let single_csv = single_csv.to_str().expect("utf8").to_string();
+    run_ok(&[
+        "assess",
+        &design,
+        "--traces",
+        "900",
+        "--seed",
+        "11",
+        "--triple-gates",
+        triples,
+        "--triples-csv",
+        &single_csv,
+    ]);
+    let merged = std::fs::read_to_string(&merged_csv).expect("merged csv");
+    let single = std::fs::read_to_string(&single_csv).expect("single csv");
+    assert!(
+        merged.starts_with("gate_a,name_a,gate_b,name_b,gate_c,name_c,t,leaky"),
+        "{merged}"
+    );
+    assert_eq!(
+        merged, single,
+        "distributed trivariate fold must be byte-identical to the single-process run"
+    );
+}

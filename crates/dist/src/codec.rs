@@ -11,7 +11,7 @@ use polaris_sim::campaign::MergeableSink;
 use polaris_sim::GateSamples;
 use polaris_tvla::{
     CorrelationAccumulator, CpaAccumulator, PairAccumulator, PairMoments, StreamingMoments,
-    WelchAccumulator,
+    TripleAccumulator, TripleMoments, WelchAccumulator,
 };
 
 use crate::wire::{put_f64, put_u32, put_u64, Reader};
@@ -28,6 +28,8 @@ pub enum SinkKind {
     Cpa,
     /// Per-gate-pair bivariate co-moments ([`PairAccumulator`]).
     Pairs,
+    /// Per-gate-triple trivariate co-moments ([`TripleAccumulator`]).
+    Triples,
 }
 
 impl SinkKind {
@@ -38,6 +40,7 @@ impl SinkKind {
             SinkKind::GateSamples => 2,
             SinkKind::Cpa => 3,
             SinkKind::Pairs => 4,
+            SinkKind::Triples => 5,
         }
     }
 
@@ -48,6 +51,7 @@ impl SinkKind {
             2 => Some(SinkKind::GateSamples),
             3 => Some(SinkKind::Cpa),
             4 => Some(SinkKind::Pairs),
+            5 => Some(SinkKind::Triples),
             _ => None,
         }
     }
@@ -59,6 +63,7 @@ impl SinkKind {
             SinkKind::GateSamples => "samples",
             SinkKind::Cpa => "cpa",
             SinkKind::Pairs => "pairs",
+            SinkKind::Triples => "triples",
         }
     }
 
@@ -69,6 +74,7 @@ impl SinkKind {
             "samples" => Some(SinkKind::GateSamples),
             "cpa" => Some(SinkKind::Cpa),
             "pairs" => Some(SinkKind::Pairs),
+            "triples" => Some(SinkKind::Triples),
             _ => None,
         }
     }
@@ -352,6 +358,86 @@ impl ShardState for PairAccumulator {
     }
 }
 
+const TRIPLE_MOMENTS_WIRE_BYTES: usize = 8 + polaris_tvla::trivariate::TRIPLE_MOMENTS_RAW_LEN * 8;
+
+fn put_triple_moments(out: &mut Vec<u8>, m: &TripleMoments) {
+    let (n, parts) = m.raw_parts();
+    put_u64(out, n);
+    for v in parts {
+        put_f64(out, v);
+    }
+}
+
+fn read_triple_moments(r: &mut Reader<'_>, context: &str) -> Result<TripleMoments, DistError> {
+    let n = r.u64(context)?;
+    let mut parts = [0.0f64; polaris_tvla::trivariate::TRIPLE_MOMENTS_RAW_LEN];
+    for v in &mut parts {
+        *v = r.f64(context)?;
+    }
+    Ok(TripleMoments::from_raw_parts(n, parts))
+}
+
+impl ShardState for TripleAccumulator {
+    const KIND: SinkKind = SinkKind::Triples;
+
+    /// `triples (u32)`, then `triples` gate-index records
+    /// `a (u32), b (u32), c (u32)`, then `triples` fixed-class co-moment
+    /// records followed by `triples` random-class records, each `n (u64)` +
+    /// 26 × f64 (`mean_x, mean_y, mean_z`, then the 23 co-moments in the
+    /// canonical [`TripleMoments::raw_parts`] order).
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        let triples = self.triples();
+        put_u32(
+            out,
+            u32::try_from(triples.len()).expect("triple count fits u32"),
+        );
+        for &(a, b, c) in triples {
+            put_u32(out, a);
+            put_u32(out, b);
+            put_u32(out, c);
+        }
+        let (fixed, random) = self.class_moments();
+        for m in fixed.iter().chain(random) {
+            put_triple_moments(out, m);
+        }
+    }
+
+    fn decode_body(r: &mut Reader<'_>) -> Result<Self, DistError> {
+        let count = r.u32("triple count")? as usize;
+        r.expect_elements(
+            count,
+            3 * 4 + 2 * TRIPLE_MOMENTS_WIRE_BYTES,
+            "triple records",
+        )?;
+        let mut triples = Vec::with_capacity(count);
+        for _ in 0..count {
+            let a = r.u32("triple gate index")?;
+            let b = r.u32("triple gate index")?;
+            let c = r.u32("triple gate index")?;
+            triples.push((a, b, c));
+        }
+        let mut read_class = |class: &str| -> Result<Vec<TripleMoments>, DistError> {
+            let mut v = Vec::with_capacity(count);
+            for _ in 0..count {
+                v.push(read_triple_moments(r, class)?);
+            }
+            Ok(v)
+        };
+        let fixed = read_class("triple fixed-class co-moments")?;
+        let random = read_class("triple random-class co-moments")?;
+        Ok(TripleAccumulator::from_parts(triples, fixed, random))
+    }
+
+    fn fold(&mut self, other: Self) {
+        MergeableSink::merge(self, other);
+    }
+
+    fn dimension(&self) -> Option<usize> {
+        let triples = self.triple_count();
+        (triples > 0).then_some(triples)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -394,6 +480,8 @@ mod tests {
         round_trip(&GateSamples::default());
         round_trip(&CpaAccumulator::new(0));
         round_trip(&PairAccumulator::default());
+        round_trip(&TripleAccumulator::default());
+        round_trip(&TripleAccumulator::for_triples(vec![(0, 1, 2)]));
     }
 
     #[test]
@@ -465,6 +553,48 @@ mod tests {
     }
 
     #[test]
+    fn triples_round_trip_bit_exactly() {
+        use polaris_sim::campaign::{EnergyBatch, Population, TraceSink};
+        let mut acc = TripleAccumulator::for_triples(vec![(0, 2, 3), (1, 2, 3)]);
+        let e: Vec<f64> = (0..8).map(|i| (i as f64).sin() * 1e-2).collect();
+        acc.record_batch(
+            Population::Fixed,
+            EnergyBatch::new(&e, 4, 2).expect("well-formed"),
+        );
+        acc.record_batch(
+            Population::Random,
+            EnergyBatch::new(&e, 4, 2).expect("well-formed"),
+        );
+        let back = round_trip(&acc);
+        assert_eq!(acc, back);
+    }
+
+    #[test]
+    fn triples_round_trip_extreme_values() {
+        let mut parts = [0.0f64; polaris_tvla::trivariate::TRIPLE_MOMENTS_RAW_LEN];
+        parts[0] = f64::MIN_POSITIVE;
+        parts[1] = -0.0;
+        parts[3] = f64::INFINITY;
+        parts[4] = f64::NEG_INFINITY;
+        parts[5] = f64::NAN;
+        parts[25] = -1e-308;
+        let extreme = TripleMoments::from_raw_parts(u64::MAX, parts);
+        let acc = TripleAccumulator::from_parts(
+            vec![(7, 9, u32::MAX)],
+            vec![extreme],
+            vec![TripleMoments::default()],
+        );
+        let back = round_trip(&acc);
+        let (fixed, _) = back.class_moments();
+        let (n, got) = fixed[0].raw_parts();
+        assert_eq!(n, u64::MAX);
+        assert_eq!(got[3], f64::INFINITY);
+        assert!(got[5].is_nan());
+        assert_eq!(got[1].to_bits(), (-0.0f64).to_bits());
+        assert_eq!(got[25], -1e-308);
+    }
+
+    #[test]
     fn forged_counts_do_not_allocate() {
         // A body claiming 2^31 gates but carrying 4 bytes must fail cleanly.
         let mut bytes = Vec::new();
@@ -482,6 +612,11 @@ mod tests {
         let mut r = Reader::new(&bytes);
         assert!(matches!(
             PairAccumulator::decode_body(&mut r),
+            Err(DistError::Truncated { .. })
+        ));
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(
+            TripleAccumulator::decode_body(&mut r),
             Err(DistError::Truncated { .. })
         ));
     }

@@ -36,7 +36,7 @@
 //! 0      8    magic "PLRSHARD" (never changes across versions)
 //! 8      2    format version (u16) — readers accept an exact match only
 //! 10     1    sink kind: 1 Welch moments, 2 dense gate samples, 3 CPA,
-//!             4 bivariate pair co-moments
+//!             4 bivariate pair co-moments, 5 trivariate triple co-moments
 //! 11     1    reserved (0)
 //! 12     8    campaign fingerprint (u64; netlist + campaign digest)
 //! 20     4    part index (u32)
@@ -132,6 +132,12 @@ pub enum DistError {
     /// (missing/duplicate parts, overlapping or gapped shard ranges,
     /// disagreeing grid sizes).
     PlanMismatch(String),
+    /// A plan's gate-pair or gate-triple list is semantically invalid for
+    /// the design (out-of-range index, repeated gate, duplicate entry) —
+    /// the same input class [`polaris_tvla::MultivariateError`] covers on
+    /// the CLI side, kept distinct from [`DistError::PlanMismatch`] so a
+    /// hand-edited `3:3` plan fails with the multivariate-input exit code.
+    GateList(String),
     /// Structurally invalid content (bad counts, inconsistent lengths,
     /// unknown tags, trailing garbage, unparsable manifest).
     Malformed(String),
@@ -168,6 +174,7 @@ impl std::fmt::Display for DistError {
                  {found:#018x} — the part belongs to a different netlist or campaign"
             ),
             DistError::PlanMismatch(why) => write!(f, "shard plan mismatch: {why}"),
+            DistError::GateList(why) => write!(f, "invalid gate list: {why}"),
             DistError::Malformed(why) => write!(f, "malformed shard-state data: {why}"),
             DistError::Sim(e) => write!(f, "campaign execution failed: {e}"),
         }

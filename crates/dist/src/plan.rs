@@ -123,6 +123,10 @@ pub struct DistPlan {
     /// its [`polaris_tvla::PairAccumulator`] over the *same ordered list*,
     /// or the central fold would combine moments of different pairs.
     pub pair_gates: Vec<(u32, u32)>,
+    /// Gate triples the workers accumulate trivariate co-moments for.
+    /// Non-empty exactly when `sink` is [`SinkKind::Triples`], under the
+    /// same same-ordered-list contract as `pair_gates`.
+    pub triple_gates: Vec<(u32, u32, u32)>,
 }
 
 const MANIFEST_HEADER: &str = "polaris-dist-plan v1";
@@ -134,8 +138,8 @@ impl DistPlan {
     ///
     /// [`DistError::Malformed`] if `parts == 0`, the campaign carries
     /// explicit class vectors (which the manifest cannot transport), or
-    /// `sink` is [`SinkKind::Pairs`] (which needs a gate-pair list — use
-    /// [`DistPlan::new_pairs`]).
+    /// `sink` is [`SinkKind::Pairs`] / [`SinkKind::Triples`] (which need a
+    /// gate list — use [`DistPlan::new_pairs`] / [`DistPlan::new_triples`]).
     pub fn new(
         netlist: &Netlist,
         model: &PowerModel,
@@ -148,7 +152,12 @@ impl DistPlan {
                 "a pairs plan needs a gate-pair list; use DistPlan::new_pairs".into(),
             ));
         }
-        Self::build(netlist, model, config, sink, parts, Vec::new())
+        if sink == SinkKind::Triples {
+            return Err(DistError::Malformed(
+                "a triples plan needs a gate-triple list; use DistPlan::new_triples".into(),
+            ));
+        }
+        Self::build(netlist, model, config, sink, parts, Vec::new(), Vec::new())
     }
 
     /// Plans a bivariate ([`SinkKind::Pairs`]) campaign: like
@@ -157,8 +166,10 @@ impl DistPlan {
     ///
     /// # Errors
     ///
-    /// [`DistError::Malformed`] on the [`DistPlan::new`] conditions, an
-    /// empty pair list, or a pair referencing a gate outside `netlist`.
+    /// [`DistError::Malformed`] on the [`DistPlan::new`] conditions or an
+    /// empty pair list; [`DistError::GateList`] if the list fails
+    /// [`polaris_tvla::validate_pairs`] (out-of-range index, self-pair,
+    /// duplicate entry).
     pub fn new_pairs(
         netlist: &Netlist,
         model: &PowerModel,
@@ -172,10 +183,53 @@ impl DistPlan {
             ));
         }
         polaris_tvla::validate_pairs(&pair_gates, netlist.gate_count())
-            .map_err(|e| DistError::Malformed(format!("pairs plan: {e}")))?;
-        Self::build(netlist, model, config, SinkKind::Pairs, parts, pair_gates)
+            .map_err(|e| DistError::GateList(format!("pairs plan: {e}")))?;
+        Self::build(
+            netlist,
+            model,
+            config,
+            SinkKind::Pairs,
+            parts,
+            pair_gates,
+            Vec::new(),
+        )
     }
 
+    /// Plans a trivariate ([`SinkKind::Triples`]) campaign: like
+    /// [`DistPlan::new`], plus the ordered gate-triple list every worker
+    /// accumulates.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Malformed`] on the [`DistPlan::new`] conditions or an
+    /// empty triple list; [`DistError::GateList`] if the list fails
+    /// [`polaris_tvla::validate_triples`].
+    pub fn new_triples(
+        netlist: &Netlist,
+        model: &PowerModel,
+        config: &CampaignConfig,
+        triple_gates: Vec<(u32, u32, u32)>,
+        parts: usize,
+    ) -> Result<Self, DistError> {
+        if triple_gates.is_empty() {
+            return Err(DistError::Malformed(
+                "a triples plan needs at least one gate triple".into(),
+            ));
+        }
+        polaris_tvla::validate_triples(&triple_gates, netlist.gate_count())
+            .map_err(|e| DistError::GateList(format!("triples plan: {e}")))?;
+        Self::build(
+            netlist,
+            model,
+            config,
+            SinkKind::Triples,
+            parts,
+            Vec::new(),
+            triple_gates,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn build(
         netlist: &Netlist,
         model: &PowerModel,
@@ -183,6 +237,7 @@ impl DistPlan {
         sink: SinkKind,
         parts: usize,
         pair_gates: Vec<(u32, u32)>,
+        triple_gates: Vec<(u32, u32, u32)>,
     ) -> Result<Self, DistError> {
         if parts == 0 {
             return Err(DistError::Malformed(
@@ -209,6 +264,7 @@ impl DistPlan {
             n_shards,
             parts: partition_shards(n_shards, parts),
             pair_gates,
+            triple_gates,
         })
     }
 
@@ -232,7 +288,9 @@ impl DistPlan {
     /// # Errors
     ///
     /// [`DistError::FingerprintMismatch`] / [`DistError::PlanMismatch`] on
-    /// divergence.
+    /// divergence; [`DistError::GateList`] when the plan's pair or triple
+    /// list is invalid for the loaded netlist (so a hand-edited list fails
+    /// on the worker exactly as it would at planning time).
     pub fn verify(
         &self,
         netlist: &Netlist,
@@ -255,7 +313,11 @@ impl DistPlan {
         }
         if !self.pair_gates.is_empty() {
             polaris_tvla::validate_pairs(&self.pair_gates, netlist.gate_count())
-                .map_err(|e| DistError::PlanMismatch(format!("pair list: {e}")))?;
+                .map_err(|e| DistError::GateList(format!("pair list: {e}")))?;
+        }
+        if !self.triple_gates.is_empty() {
+            polaris_tvla::validate_triples(&self.triple_gates, netlist.gate_count())
+                .map_err(|e| DistError::GateList(format!("triple list: {e}")))?;
         }
         Ok(campaign)
     }
@@ -274,6 +336,14 @@ impl DistPlan {
                 .map(|(a, b)| format!("{a}:{b}"))
                 .collect();
             out.push_str(&format!("pair-gates {}\n", list.join(",")));
+        }
+        if !self.triple_gates.is_empty() {
+            let list: Vec<String> = self
+                .triple_gates
+                .iter()
+                .map(|(a, b, c)| format!("{a}:{b}:{c}"))
+                .collect();
+            out.push_str(&format!("triple-gates {}\n", list.join(",")));
         }
         out.push_str(&format!("seed {}\n", self.seed));
         out.push_str(&format!("traces-fixed {}\n", self.n_fixed));
@@ -311,6 +381,7 @@ impl DistPlan {
         let mut design = None;
         let mut sink = None;
         let mut pair_gates: Option<Vec<(u32, u32)>> = None;
+        let mut triple_gates: Option<Vec<(u32, u32, u32)>> = None;
         let mut seed = None;
         let mut n_fixed = None;
         let mut n_random = None;
@@ -370,6 +441,22 @@ impl DistPlan {
                         pairs.push((parse(a)?, parse(b)?));
                     }
                     set(&mut pair_gates, key, pairs)?;
+                }
+                "triple-gates" => {
+                    let list = one()?;
+                    let mut triples = Vec::new();
+                    for entry in list.split(',') {
+                        let parse = |v: &str| {
+                            v.parse::<u32>()
+                                .map_err(|_| bad(format!("bad triple gate index `{v}`")))
+                        };
+                        let fields: Vec<&str> = entry.split(':').collect();
+                        if fields.len() != 3 {
+                            return Err(bad(format!("bad triple entry `{entry}`")));
+                        }
+                        triples.push((parse(fields[0])?, parse(fields[1])?, parse(fields[2])?));
+                    }
+                    set(&mut triple_gates, key, triples)?;
                 }
                 "seed" => set(
                     &mut seed,
@@ -438,21 +525,28 @@ impl DistPlan {
                 parts.into_iter().map(|(_, r)| r).collect()
             },
             pair_gates: pair_gates.unwrap_or_default(),
+            triple_gates: triple_gates.unwrap_or_default(),
         };
-        // The pair list and the sink kind must agree: a pairs plan without
-        // its list (or a list on another sink) cannot drive the workers.
-        match (plan.sink, plan.pair_gates.is_empty()) {
-            (SinkKind::Pairs, true) => {
-                return Err(bad("sink `pairs` requires a `pair-gates` list".into()))
-            }
-            (SinkKind::Pairs, false) => {}
-            (_, false) => {
-                return Err(bad(format!(
-                    "`pair-gates` is only valid with sink `pairs`, found `{}`",
-                    plan.sink.name()
-                )))
-            }
-            (_, true) => {}
+        // Each gate list and the sink kind must agree: a pairs/triples plan
+        // without its list (or a list on another sink) cannot drive the
+        // workers.
+        if plan.sink == SinkKind::Pairs && plan.pair_gates.is_empty() {
+            return Err(bad("sink `pairs` requires a `pair-gates` list".into()));
+        }
+        if plan.sink != SinkKind::Pairs && !plan.pair_gates.is_empty() {
+            return Err(bad(format!(
+                "`pair-gates` is only valid with sink `pairs`, found `{}`",
+                plan.sink.name()
+            )));
+        }
+        if plan.sink == SinkKind::Triples && plan.triple_gates.is_empty() {
+            return Err(bad("sink `triples` requires a `triple-gates` list".into()));
+        }
+        if plan.sink != SinkKind::Triples && !plan.triple_gates.is_empty() {
+            return Err(bad(format!(
+                "`triple-gates` is only valid with sink `triples`, found `{}`",
+                plan.sink.name()
+            )));
         }
         // Ranges must tile the grid in order.
         let mut next = 0usize;
@@ -605,7 +699,16 @@ mod tests {
         ));
         assert!(matches!(
             DistPlan::new_pairs(&n, &model, &cfg, vec![(0, 999)], 2),
-            Err(DistError::Malformed(_))
+            Err(DistError::GateList(_))
+        ));
+        // Self-pairs and duplicate entries are the multivariate input class.
+        assert!(matches!(
+            DistPlan::new_pairs(&n, &model, &cfg, vec![(3, 3)], 2),
+            Err(DistError::GateList(_))
+        ));
+        assert!(matches!(
+            DistPlan::new_pairs(&n, &model, &cfg, vec![(0, 3), (3, 0)], 2),
+            Err(DistError::GateList(_))
         ));
 
         // Manifest-side agreement between sink kind and pair list.
@@ -626,12 +729,87 @@ mod tests {
         DistPlan::parse(&good).unwrap();
 
         // A parsed plan whose pairs do not fit the loaded netlist fails
-        // verification even when the fingerprint matches.
+        // verification even when the fingerprint matches — including a
+        // hand-edited self-pair, which must land in the gate-list class.
         let mut plan = DistPlan::new_pairs(&n, &model, &cfg, vec![(0, 3)], 2).unwrap();
         plan.pair_gates = vec![(0, 999)];
         assert!(matches!(
             plan.verify(&n, &model),
-            Err(DistError::PlanMismatch(_))
+            Err(DistError::GateList(_))
+        ));
+        let mut plan = DistPlan::new_pairs(&n, &model, &cfg, vec![(0, 3)], 2).unwrap();
+        plan.pair_gates = vec![(3, 3)];
+        assert!(matches!(
+            plan.verify(&n, &model),
+            Err(DistError::GateList(_))
+        ));
+    }
+
+    #[test]
+    fn triples_manifest_round_trips() {
+        let n = generators::iscas_c17();
+        let cfg = CampaignConfig::new(2000, 2000, 13);
+        let triples = vec![(0, 3, 5), (1, 4, 6)];
+        let plan =
+            DistPlan::new_triples(&n, &PowerModel::default(), &cfg, triples.clone(), 2).unwrap();
+        assert_eq!(plan.sink, SinkKind::Triples);
+        let rendered = plan.render();
+        assert!(rendered.contains("triple-gates 0:3:5,1:4:6"), "{rendered}");
+        let parsed = DistPlan::parse(&rendered).unwrap();
+        assert_eq!(plan, parsed);
+        assert_eq!(parsed.triple_gates, triples);
+        parsed.verify(&n, &PowerModel::default()).unwrap();
+    }
+
+    #[test]
+    fn triples_plans_are_validated() {
+        let n = generators::iscas_c17();
+        let cfg = CampaignConfig::new(100, 100, 1);
+        let model = PowerModel::default();
+        assert!(matches!(
+            DistPlan::new(&n, &model, &cfg, SinkKind::Triples, 2),
+            Err(DistError::Malformed(_))
+        ));
+        assert!(matches!(
+            DistPlan::new_triples(&n, &model, &cfg, vec![], 2),
+            Err(DistError::Malformed(_))
+        ));
+        for bad_list in [
+            vec![(0, 1, 999)],
+            vec![(0, 1, 1)],
+            vec![(0, 1, 2), (2, 1, 0)],
+        ] {
+            assert!(matches!(
+                DistPlan::new_triples(&n, &model, &cfg, bad_list, 2),
+                Err(DistError::GateList(_))
+            ));
+        }
+
+        // Manifest-side agreement between sink kind and triple list.
+        let good = DistPlan::new_triples(&n, &model, &cfg, vec![(0, 3, 5)], 2)
+            .unwrap()
+            .render();
+        for mangle in [
+            good.replace("triple-gates 0:3:5\n", ""),
+            good.replace("triple-gates 0:3:5", "triple-gates 0:3"),
+            good.replace("triple-gates 0:3:5", "triple-gates 0:3:banana"),
+            good.replace("sink triples", "sink welch"),
+            good.replace("sink triples", "sink pairs"),
+        ] {
+            assert!(
+                matches!(DistPlan::parse(&mangle), Err(DistError::Malformed(_))),
+                "should reject:\n{mangle}"
+            );
+        }
+        DistPlan::parse(&good).unwrap();
+
+        // A hand-edited repeated-gate triple fails verification in the
+        // gate-list class (the CLI maps it to the multivariate exit code).
+        let mut plan = DistPlan::new_triples(&n, &model, &cfg, vec![(0, 3, 5)], 2).unwrap();
+        plan.triple_gates = vec![(3, 3, 5)];
+        assert!(matches!(
+            plan.verify(&n, &model),
+            Err(DistError::GateList(_))
         ));
     }
 

@@ -325,14 +325,17 @@ pub fn pair_welch_t(q0: &PairMoments, q1: &PairMoments) -> WelchResult {
     WelchResult { t, dof }
 }
 
-/// Why a bivariate assessment rejected its input.
+/// Why a multivariate (bivariate or trivariate) assessment rejected its
+/// input.
 ///
 /// These are *typed* errors rather than panics so hostile or mismatched
-/// inputs (a gate index past the design, class buffers of unequal length)
-/// surface as a distinct CLI exit code instead of a crash — the same
-/// convention the distributed subsystem uses for malformed shard files.
+/// inputs (a gate index past the design, class buffers of unequal length, a
+/// degenerate gate combination) surface as a distinct CLI exit code instead
+/// of a crash — the same convention the distributed subsystem uses for
+/// malformed shard files. The pair and triple engines share one error type
+/// so both map to the same exit code.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub enum BivariateError {
+pub enum MultivariateError {
     /// A requested gate index is outside the sampled design.
     GateOutOfRange {
         /// The offending gate index.
@@ -352,17 +355,35 @@ pub enum BivariateError {
         /// Trace count of `gate_b`'s buffer.
         len_b: usize,
     },
+    /// One entry names the same gate more than once (`A:A` or `A:B:A`) —
+    /// the "joint" statistic would degenerate to a univariate power and the
+    /// row would masquerade as a combination result.
+    RepeatedGate {
+        /// The gate index that repeats within the entry.
+        gate: usize,
+    },
+    /// An entry duplicates an earlier one (in any order), which would burn
+    /// an accumulator slot re-deriving the same statistic and emit the same
+    /// row twice.
+    DuplicateEntry {
+        /// Position of the second occurrence in the requested list.
+        index: usize,
+    },
     /// The underlying simulation failed (unlevelizable design).
     Sim(NetlistError),
 }
 
-impl std::fmt::Display for BivariateError {
+/// Pre-trivariate name for [`MultivariateError`], kept as an alias so
+/// second-order callers keep compiling unchanged.
+pub type BivariateError = MultivariateError;
+
+impl std::fmt::Display for MultivariateError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            BivariateError::GateOutOfRange { gate, gates } => {
+            MultivariateError::GateOutOfRange { gate, gates } => {
                 write!(f, "gate {gate} out of range: samples cover {gates} gates")
             }
-            BivariateError::LengthMismatch {
+            MultivariateError::LengthMismatch {
                 gate_a,
                 gate_b,
                 len_a,
@@ -372,16 +393,26 @@ impl std::fmt::Display for BivariateError {
                 "gates {gate_a} and {gate_b} have mismatched class buffers \
                  ({len_a} vs {len_b} traces)"
             ),
-            BivariateError::Sim(e) => write!(f, "simulation failed: {e}"),
+            MultivariateError::RepeatedGate { gate } => write!(
+                f,
+                "gate {gate} repeats within one entry: a gate combined with \
+                 itself carries no joint information"
+            ),
+            MultivariateError::DuplicateEntry { index } => write!(
+                f,
+                "entry {index} duplicates an earlier gate combination \
+                 (order within an entry does not matter)"
+            ),
+            MultivariateError::Sim(e) => write!(f, "simulation failed: {e}"),
         }
     }
 }
 
-impl std::error::Error for BivariateError {}
+impl std::error::Error for MultivariateError {}
 
-impl From<NetlistError> for BivariateError {
+impl From<NetlistError> for MultivariateError {
     fn from(e: NetlistError) -> Self {
-        BivariateError::Sim(e)
+        MultivariateError::Sim(e)
     }
 }
 
@@ -528,17 +559,31 @@ impl MergeableSink for PairAccumulator {
     }
 }
 
-/// Validates a pair list against a design's gate count.
+/// Validates a pair list against a design's gate count and rejects
+/// degenerate entries: self-pairs (`A:A`) and duplicates of an earlier pair
+/// in either orientation. Both the CLI and the distributed plan verifier
+/// route through this one function, so coordinator and worker agree on what
+/// a well-formed pair list is.
 ///
 /// # Errors
 ///
-/// Returns [`BivariateError::GateOutOfRange`] for the first offending index.
-pub fn validate_pairs(pairs: &[(u32, u32)], gates: usize) -> Result<(), BivariateError> {
-    for &(a, b) in pairs {
+/// Returns [`MultivariateError::GateOutOfRange`] for the first
+/// out-of-design index, [`MultivariateError::RepeatedGate`] for the first
+/// self-pair, and [`MultivariateError::DuplicateEntry`] for the first
+/// repeat of an earlier entry.
+pub fn validate_pairs(pairs: &[(u32, u32)], gates: usize) -> Result<(), MultivariateError> {
+    let mut seen = std::collections::HashSet::with_capacity(pairs.len());
+    for (index, &(a, b)) in pairs.iter().enumerate() {
         for g in [a as usize, b as usize] {
             if g >= gates {
-                return Err(BivariateError::GateOutOfRange { gate: g, gates });
+                return Err(MultivariateError::GateOutOfRange { gate: g, gates });
             }
+        }
+        if a == b {
+            return Err(MultivariateError::RepeatedGate { gate: a as usize });
+        }
+        if !seen.insert((a.min(b), a.max(b))) {
+            return Err(MultivariateError::DuplicateEntry { index });
         }
     }
     Ok(())
@@ -564,8 +609,8 @@ pub fn all_pairs(gates: &[GateId]) -> Vec<(u32, u32)> {
 ///
 /// # Errors
 ///
-/// [`BivariateError::GateOutOfRange`] if a pair references a gate outside
-/// the design; [`BivariateError::Sim`] if the design cannot be levelized.
+/// [`MultivariateError::GateOutOfRange`] if a pair references a gate outside
+/// the design; [`MultivariateError::Sim`] if the design cannot be levelized.
 pub fn assess_pairs(
     netlist: &Netlist,
     model: &PowerModel,
@@ -606,8 +651,8 @@ fn class_pair_moments(xs: &[f64], ys: &[f64]) -> PairMoments {
 ///
 /// # Errors
 ///
-/// [`BivariateError::GateOutOfRange`] if a gate is outside the samples;
-/// [`BivariateError::LengthMismatch`] if the two gates' class buffers
+/// [`MultivariateError::GateOutOfRange`] if a gate is outside the samples;
+/// [`MultivariateError::LengthMismatch`] if the two gates' class buffers
 /// disagree on trace count.
 pub fn bivariate_t(
     samples: &GateSamples,
@@ -645,7 +690,7 @@ pub fn bivariate_t(
 ///
 /// # Errors
 ///
-/// Propagates the first [`BivariateError`] of any pair.
+/// Propagates the first [`MultivariateError`] of any pair.
 pub fn bivariate_sweep(
     samples: &GateSamples,
     gates: &[GateId],

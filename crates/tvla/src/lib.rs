@@ -40,12 +40,13 @@ pub mod gate_leakage;
 pub mod moments;
 pub mod sequential;
 pub mod special;
+pub mod trivariate;
 pub mod waveform;
 pub mod welch;
 
 pub use bivariate::{
     all_pairs, assess_pairs, bivariate_sweep, bivariate_t, pair_welch_t, validate_pairs,
-    BivariateError, PairAccumulator, PairMoments,
+    BivariateError, MultivariateError, PairAccumulator, PairMoments,
 };
 pub use cpa::{run_cpa, run_cpa_parallel, CorrelationAccumulator, CpaAccumulator};
 pub use gate_leakage::{
@@ -56,6 +57,9 @@ pub use moments::StreamingMoments;
 pub use sequential::{
     adaptive_fleet_job, assess_adaptive, campaign_outcome_adaptive, AdaptiveAssessment,
     SequentialConfig, SequentialStopping,
+};
+pub use trivariate::{
+    all_triples, assess_triples, triple_welch_t, validate_triples, TripleAccumulator, TripleMoments,
 };
 pub use welch::{welch_t, WelchResult};
 

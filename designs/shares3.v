@@ -1,0 +1,15 @@
+// Minimal 3-share sharing of one secret bit: y0 = a ^ m0 ^ m1, y1 = m0,
+// y2 = m1. Each share is uniformly masked and any *two* shares are jointly
+// independent of `a`; only the triple (y0, y1, y2) recombines the secret.
+// First- and second-order TVLA pass on the share gates (g1, g2, g3 —
+// gate indices 4, 5, 6) while the third-order trivariate test fails them:
+// the CI trivariate smoke's positive detection check.
+module shares3 (a, y0, y1, y2);
+  input a;
+  mask_input m0, m1;
+  output y0, y1, y2;
+  xor g0 (t0, a, m0);
+  xor g1 (y0, t0, m1);
+  buf g2 (y1, m0);
+  buf g3 (y2, m1);
+endmodule

@@ -11,9 +11,10 @@ use proptest::prelude::*;
 use polaris_dist::wire::Reader;
 use polaris_dist::{decode_part, encode_part, PartHeader, ShardState};
 use polaris_sim::GateSamples;
+use polaris_tvla::trivariate::TRIPLE_MOMENTS_RAW_LEN;
 use polaris_tvla::{
     CorrelationAccumulator, CpaAccumulator, PairAccumulator, PairMoments, StreamingMoments,
-    WelchAccumulator,
+    TripleAccumulator, TripleMoments, WelchAccumulator,
 };
 
 /// Encode → decode → encode; asserts the two encodings are byte-identical
@@ -45,6 +46,18 @@ fn arb_pair_moments() -> impl Strategy<Value = PairMoments> {
     (any::<u64>(), prop::collection::vec(arb_f64(), 8)).prop_map(|(n, f)| {
         PairMoments::from_raw_parts(n, [f[0], f[1], f[2], f[3], f[4], f[5], f[6], f[7]])
     })
+}
+
+fn arb_triple_moments() -> impl Strategy<Value = TripleMoments> {
+    (
+        any::<u64>(),
+        prop::collection::vec(arb_f64(), TRIPLE_MOMENTS_RAW_LEN),
+    )
+        .prop_map(|(n, f)| {
+            let mut parts = [0.0; TRIPLE_MOMENTS_RAW_LEN];
+            parts.copy_from_slice(&f);
+            TripleMoments::from_raw_parts(n, parts)
+        })
 }
 
 proptest! {
@@ -143,6 +156,39 @@ proptest! {
     }
 
     #[test]
+    fn triple_bodies_round_trip(
+        entries in prop::collection::vec(
+            (
+                (any::<u32>(), any::<u32>(), any::<u32>()),
+                arb_triple_moments(),
+                arb_triple_moments(),
+            ),
+            0..16,
+        ),
+    ) {
+        let mut triples = Vec::new();
+        let mut fixed = Vec::new();
+        let mut random = Vec::new();
+        for (t, f, r) in entries {
+            triples.push(t);
+            fixed.push(f);
+            random.push(r);
+        }
+        let acc = TripleAccumulator::from_parts(triples.clone(), fixed.clone(), random.clone());
+        let back = round_trip(&acc);
+        prop_assert_eq!(back.triples(), &triples[..]);
+        let (f1, r1) = back.class_moments();
+        for (a, b) in fixed.iter().zip(f1).chain(random.iter().zip(r1)) {
+            let (n0, parts0) = a.raw_parts();
+            let (n1, parts1) = b.raw_parts();
+            prop_assert_eq!(n0, n1);
+            for (x, y) in parts0.iter().zip(&parts1) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
     fn part_files_round_trip(
         shard_lo in 0u32..1000,
         states in prop::collection::vec(
@@ -189,4 +235,7 @@ fn empty_shard_states_round_trip() {
     round_trip(&PairAccumulator::default());
     let back = round_trip(&PairAccumulator::for_pairs(vec![(0, 1), (1, 2)]));
     assert_eq!(back.pair_count(), 2);
+    round_trip(&TripleAccumulator::default());
+    let back = round_trip(&TripleAccumulator::for_triples(vec![(0, 1, 2), (1, 2, 3)]));
+    assert_eq!(back.triple_count(), 2);
 }
