@@ -25,6 +25,7 @@
 
 use std::time::Instant;
 
+use polaris_bench::peak_rss_kb;
 use polaris_netlist::generators;
 use polaris_sim::campaign::collect_gate_samples_parallel;
 use polaris_sim::{run_campaign_parallel_with, CampaignConfig, Parallelism, PowerModel};
@@ -121,23 +122,6 @@ fn parse_args() -> Args {
         a.dense_traces = a.dense_traces.min(a.traces);
     }
     a
-}
-
-/// Peak resident set size of this process in kB (`VmHWM` from
-/// `/proc/self/status`); 0 when the kernel does not expose it. A high-water
-/// mark, so arms must run cheapest-first for per-arm readings to mean
-/// anything.
-fn peak_rss_kb() -> u64 {
-    std::fs::read_to_string("/proc/self/status")
-        .ok()
-        .and_then(|s| {
-            s.lines().find(|l| l.starts_with("VmHWM:")).and_then(|l| {
-                l.split_whitespace()
-                    .nth(1)
-                    .and_then(|v| v.parse::<u64>().ok())
-            })
-        })
-        .unwrap_or(0)
 }
 
 fn main() {

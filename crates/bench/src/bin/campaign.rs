@@ -299,7 +299,7 @@ fn main() {
         "{{\n  \"bench\": \"campaign\",\n  \"design\": \"{}\",\n  \"scale\": {},\n  \
          \"gates\": {},\n  \"traces_per_class\": {},\n  \"seed\": {},\n  \"lane_words\": {},\n  \
          \"quick\": {},\n  \
-         \"host_cores\": {},\n  \"available_parallelism\": {},\n  \
+         \"host_cores\": {},\n  \"available_parallelism\": {},\n  \"peak_rss_kb\": {},\n  \
          \"runs\": [\n{}\n  ],\n  \"speedup_4t\": {:.3},\n  \"bit_identical\": {}{}\n}}\n",
         args.design,
         args.scale,
@@ -310,6 +310,7 @@ fn main() {
         args.quick,
         cores,
         available_parallelism,
+        polaris_bench::peak_rss_kb(),
         fmt_runs(&runs),
         speedup_4t,
         identical,

@@ -189,7 +189,7 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"dist\",\n  \"design\": \"{}\",\n  \"scale\": {},\n  \
          \"gates\": {},\n  \"traces_per_class\": {},\n  \"seed\": {},\n  \"quick\": {},\n  \
-         \"available_parallelism\": {},\n  \"shards\": {},\n  \
+         \"available_parallelism\": {},\n  \"peak_rss_kb\": {},\n  \"shards\": {},\n  \
          \"single_process_seconds\": {:.4},\n  \"partitionings\": [\n{}\n  ],\n  \
          \"bit_identical\": {}\n}}\n",
         args.design,
@@ -199,6 +199,7 @@ fn main() {
         args.seed,
         args.quick,
         available_parallelism,
+        polaris_bench::peak_rss_kb(),
         n_shards,
         single_seconds,
         rows.join(",\n"),

@@ -204,7 +204,7 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"fleet\",\n  \"designs\": [{}],\n  \"scale\": {},\n  \
          \"traces_per_class\": {},\n  \"seed\": {},\n  \"quick\": {},\n  \
-         \"available_parallelism\": {},\n  \"suite_traces\": {},\n  \
+         \"available_parallelism\": {},\n  \"peak_rss_kb\": {},\n  \"suite_traces\": {},\n  \
          \"serial_seconds\": {:.4},\n  \"serial_traces_per_sec\": {:.1},\n  \
          \"fleet_runs\": [\n{}\n  ],\n  \"fleet_vs_serial\": {:.3},\n  \
          \"bit_identical\": {}\n}}\n",
@@ -214,6 +214,7 @@ fn main() {
         args.seed,
         args.quick,
         polaris_bench::host_parallelism(),
+        polaris_bench::peak_rss_kb(),
         suite_traces as usize,
         serial_seconds,
         serial_tps,

@@ -28,6 +28,7 @@
 
 use std::time::Instant;
 
+use polaris_bench::peak_rss_kb;
 use polaris_dist::{execute_part_with, merge_parts};
 use polaris_masking::isw::{masked_and_order2, IswMasks};
 use polaris_netlist::{generators, Netlist};
@@ -127,21 +128,6 @@ fn parse_args() -> Args {
     }
     a.parity_traces = a.parity_traces.min(a.traces);
     a
-}
-
-/// Peak resident set size of this process in kB (`VmHWM` from
-/// `/proc/self/status`); 0 when the kernel does not expose it.
-fn peak_rss_kb() -> u64 {
-    std::fs::read_to_string("/proc/self/status")
-        .ok()
-        .and_then(|s| {
-            s.lines().find(|l| l.starts_with("VmHWM:")).and_then(|l| {
-                l.split_whitespace()
-                    .nth(1)
-                    .and_then(|v| v.parse::<u64>().ok())
-            })
-        })
-        .unwrap_or(0)
 }
 
 /// The (t, dof) bit patterns of a streaming triple campaign, in list order.

@@ -194,6 +194,25 @@ pub fn emit_bench_json(label: &str, path: &str, json: &str) -> Result<(), String
     Ok(())
 }
 
+/// Peak resident set size of this process in kB (`VmHWM` from
+/// `/proc/self/status`); 0 when the kernel does not expose it (non-Linux
+/// hosts). A process-wide high-water mark, so benches comparing arms must
+/// run the cheapest arm first for per-arm readings to mean anything.
+/// Recorded in every `BENCH_*.json` so a memory regression shows up in the
+/// committed artifacts, not just in interactive profiling.
+pub fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find(|l| l.starts_with("VmHWM:")).and_then(|l| {
+                l.split_whitespace()
+                    .nth(1)
+                    .and_then(|v| v.parse::<u64>().ok())
+            })
+        })
+        .unwrap_or(0)
+}
+
 /// The host's available parallelism (0 when it cannot be determined) —
 /// recorded in every BENCH json so a committed artifact with speedup ≈ 1.0
 /// on a 1-core CI container is self-explaining.
@@ -229,6 +248,15 @@ mod tests {
         let err = emit_bench_json("test bench", path, "{}").unwrap_err();
         assert!(err.contains("cannot write"), "{err}");
         assert!(err.contains("out.json"), "{err}");
+    }
+
+    #[test]
+    fn peak_rss_is_nonzero_on_linux() {
+        let kb = peak_rss_kb();
+        if cfg!(target_os = "linux") {
+            // A running test process has touched at least a few hundred kB.
+            assert!(kb > 0, "VmHWM should be readable on Linux, got {kb}");
+        }
     }
 
     #[test]

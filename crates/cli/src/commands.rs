@@ -195,7 +195,10 @@ pub(crate) fn assess(args: &[String]) -> Result<(), CliError> {
              --triples N        trivariate sweep over all triples of the N leakiest cells\n\
              --triple-gates L   trivariate sweep over an explicit A:B:C gate-index list\n\
              --triples-csv FILE write the per-triple sweep as CSV (exit code 8 on a bad\n                    \
-             triple list)"
+             triple list)\n\
+             --trace-out FILE   record the campaign as a JSONL trace (shard spans,\n                    \
+             round checkpoints, stopping audit; summarize it with\n                    \
+             `polaris-cli trace summarize FILE`)"
         );
         return Ok(());
     }
@@ -217,6 +220,7 @@ pub(crate) fn assess(args: &[String]) -> Result<(), CliError> {
     let netlist = load_netlist(flags.positional(0, "netlist path")?)?;
     let mut campaign = campaign_from(&flags, 7)?;
     let par = parallelism_from(&flags)?;
+    let trace_out = crate::trace::TraceOut::from_flags(&flags);
     eprintln!(
         "running fixed-vs-random TVLA ({} traces/class{}, {} worker threads)…",
         campaign.n_fixed,
@@ -229,9 +233,15 @@ pub(crate) fn assess(args: &[String]) -> Result<(), CliError> {
     );
     let leakage = if flags.has("adaptive") {
         let seq = polaris_tvla::SequentialConfig::with_confidence(confidence_from(&flags)?);
-        let a =
-            polaris_tvla::assess_adaptive(&netlist, &PowerModel::default(), &campaign, par, &seq)
-                .map_err(|e| e.to_string())?;
+        let a = polaris_tvla::assess_adaptive_traced(
+            &netlist,
+            &PowerModel::default(),
+            &campaign,
+            par,
+            &seq,
+            trace_out.recorder(),
+        )
+        .map_err(|e| e.to_string())?;
         println!(
             "traces used:  {} fixed + {} random of {} budgeted ({:.1}% saved, \
              {} of {} rounds{})",
@@ -252,9 +262,18 @@ pub(crate) fn assess(args: &[String]) -> Result<(), CliError> {
         campaign.n_random = a.stats.random_traces;
         a.leakage
     } else {
-        polaris_tvla::assess_parallel(&netlist, &PowerModel::default(), &campaign, par)
-            .map_err(|e| e.to_string())?
+        polaris_tvla::assess_parallel_traced(
+            &netlist,
+            &PowerModel::default(),
+            &campaign,
+            par,
+            trace_out.recorder(),
+        )
+        .map_err(|e| e.to_string())?
     };
+    // The multivariate sweeps below run on separate engines the recorder
+    // does not instrument — the trace covers the first-order campaign.
+    trace_out.flush()?;
     let s = leakage.summarize(&netlist);
     println!("cells:        {}", s.cells);
     println!("mean |t|:     {:.3}", s.mean_abs_t);
@@ -548,7 +567,8 @@ pub(crate) fn mask(args: &[String]) -> Result<(), String> {
         println!(
             "mask <netlist.v> --model model.polaris --out masked.v \
              [--budget leaky:0.5|cells:0.5|count:N] [--traces N] [--threads N] \
-             [--adaptive|--no-adaptive --confidence P] [--report]"
+             [--adaptive|--no-adaptive --confidence P] [--report] \
+             [--trace-out trace.jsonl]"
         );
         return Ok(());
     }
@@ -573,9 +593,16 @@ pub(crate) fn mask(args: &[String]) -> Result<(), String> {
     let budget = parse_budget(flags.get("budget").unwrap_or("leaky:1.0"))?;
 
     eprintln!("masking `{}`…", netlist.name());
+    let trace_out = crate::trace::TraceOut::from_flags(&flags);
     let report = trained
-        .mask_design(&netlist, &PowerModel::default(), budget)
+        .mask_design_traced(
+            &netlist,
+            &PowerModel::default(),
+            budget,
+            trace_out.recorder(),
+        )
         .map_err(|e| e.to_string())?;
+    trace_out.flush()?;
     write_file(out, &render_netlist(out, &report.masked.netlist))?;
     eprintln!("protected netlist written to {out}");
 

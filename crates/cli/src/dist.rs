@@ -21,7 +21,7 @@
 //! stderr: re-fetch a truncated part, rebuild on version skew, re-plan on a
 //! fingerprint mismatch.
 
-use polaris_dist::{merge_parts, merged_outcome, DistError, DistPlan, SinkKind};
+use polaris_dist::{merge_parts_traced, merged_outcome, DistError, DistPlan, SinkKind};
 use polaris_sim::{GateSamples, Parallelism};
 use polaris_tvla::{PairAccumulator, TripleAccumulator, WelchAccumulator, TVLA_THRESHOLD};
 
@@ -76,7 +76,9 @@ dist plan  <netlist> --parts K --out plan.txt [--traces N --seed N --cycles N --
            [--sink welch|samples|pairs|triples] [--pair-gates A:B,C:D]
            [--triple-gates A:B:C,D:E:F]
 dist work  <netlist> --plan plan.txt --part I --out part-I.shard [--threads N]
-dist merge <netlist> --plan plan.txt <part.shard>... [--csv out.csv]";
+           [--trace-out trace.jsonl]
+dist merge <netlist> --plan plan.txt <part.shard>... [--csv out.csv]
+           [--trace-out trace.jsonl]";
 
 /// `polaris-cli dist` dispatcher.
 pub(crate) fn dist(args: &[String]) -> Result<(), CliError> {
@@ -213,6 +215,8 @@ fn work(args: &[String]) -> Result<(), CliError> {
         .get("out")
         .ok_or_else(|| CliError::from("missing --out <shard-state file>".to_string()))?;
     let parallelism: Parallelism = parallelism_from(&flags)?;
+    let trace_out = crate::trace::TraceOut::from_flags(&flags);
+    let recorder = trace_out.dyn_recorder();
     eprintln!(
         "executing part {part} of {} ({} shards total, {} worker threads)…",
         plan.parts.len(),
@@ -220,23 +224,25 @@ fn work(args: &[String]) -> Result<(), CliError> {
         parallelism.threads()
     );
     let bytes = match plan.sink {
-        SinkKind::Welch => polaris_dist::execute_part::<WelchAccumulator>(
+        SinkKind::Welch => polaris_dist::execute_part_traced::<WelchAccumulator>(
             &netlist,
             &model,
             &campaign,
             parallelism,
             part,
             plan.parts.len(),
+            recorder,
         ),
-        SinkKind::GateSamples => polaris_dist::execute_part::<GateSamples>(
+        SinkKind::GateSamples => polaris_dist::execute_part_traced::<GateSamples>(
             &netlist,
             &model,
             &campaign,
             parallelism,
             part,
             plan.parts.len(),
+            recorder,
         ),
-        SinkKind::Pairs => polaris_dist::execute_part_with(
+        SinkKind::Pairs => polaris_dist::execute_part_traced_with(
             &netlist,
             &model,
             &campaign,
@@ -244,8 +250,9 @@ fn work(args: &[String]) -> Result<(), CliError> {
             part,
             plan.parts.len(),
             || PairAccumulator::for_pairs(plan.pair_gates.clone()),
+            recorder,
         ),
-        SinkKind::Triples => polaris_dist::execute_part_with(
+        SinkKind::Triples => polaris_dist::execute_part_traced_with(
             &netlist,
             &model,
             &campaign,
@@ -253,6 +260,7 @@ fn work(args: &[String]) -> Result<(), CliError> {
             part,
             plan.parts.len(),
             || TripleAccumulator::for_triples(plan.triple_gates.clone()),
+            recorder,
         ),
         SinkKind::Cpa => Err(DistError::PlanMismatch(
             "CPA shard states are snapshot via the library API, not `dist work`".into(),
@@ -261,6 +269,7 @@ fn work(args: &[String]) -> Result<(), CliError> {
     .map_err(dist_err)?;
     std::fs::write(out, &bytes).map_err(|e| CliError::from(format!("cannot write {out}: {e}")))?;
     eprintln!("shard state ({} bytes) written to {out}", bytes.len());
+    trace_out.flush()?;
     Ok(())
 }
 
@@ -289,12 +298,15 @@ fn merge(args: &[String]) -> Result<(), CliError> {
             "no shard-state files given (pass every part as a positional argument)".to_string(),
         ));
     }
+    let trace_out = crate::trace::TraceOut::from_flags(&flags);
+    let recorder = trace_out.dyn_recorder();
 
     match plan.sink {
         SinkKind::Welch => {
-            let merged = merge_parts::<WelchAccumulator>(
+            let merged = merge_parts_traced::<WelchAccumulator>(
                 part_files.iter().map(Vec::as_slice),
                 Some(plan.fingerprint),
+                recorder,
             )
             .map_err(dist_err)?;
             let parts = merged.parts;
@@ -329,9 +341,10 @@ fn merge(args: &[String]) -> Result<(), CliError> {
                     "--csv is only available for welch-, pairs- and triples-sink plans".to_string(),
                 ));
             }
-            let merged = merge_parts::<GateSamples>(
+            let merged = merge_parts_traced::<GateSamples>(
                 part_files.iter().map(Vec::as_slice),
                 Some(plan.fingerprint),
+                recorder,
             )
             .map_err(dist_err)?;
             let parts = merged.parts;
@@ -348,9 +361,10 @@ fn merge(args: &[String]) -> Result<(), CliError> {
             println!("(for distributed bivariate sweeps, plan with --sink pairs)");
         }
         SinkKind::Pairs => {
-            let merged = merge_parts::<PairAccumulator>(
+            let merged = merge_parts_traced::<PairAccumulator>(
                 part_files.iter().map(Vec::as_slice),
                 Some(plan.fingerprint),
+                recorder,
             )
             .map_err(dist_err)?;
             let parts = merged.parts;
@@ -387,9 +401,10 @@ fn merge(args: &[String]) -> Result<(), CliError> {
             }
         }
         SinkKind::Triples => {
-            let merged = merge_parts::<TripleAccumulator>(
+            let merged = merge_parts_traced::<TripleAccumulator>(
                 part_files.iter().map(Vec::as_slice),
                 Some(plan.fingerprint),
+                recorder,
             )
             .map_err(dist_err)?;
             let parts = merged.parts;
@@ -432,5 +447,6 @@ fn merge(args: &[String]) -> Result<(), CliError> {
             ))
         }
     }
+    trace_out.flush()?;
     Ok(())
 }

@@ -13,8 +13,8 @@
 //! `assess --csv` outputs.
 
 use polaris_netlist::Netlist;
-use polaris_sim::{run_fleet, CampaignOutcome, FleetJob, PowerModel};
-use polaris_tvla::{adaptive_fleet_job, SequentialConfig, WelchAccumulator, TVLA_THRESHOLD};
+use polaris_sim::{run_fleet_traced, CampaignOutcome, FleetJob, PowerModel};
+use polaris_tvla::{adaptive_fleet_job_traced, SequentialConfig, WelchAccumulator, TVLA_THRESHOLD};
 
 use polaris::report::{fmt_f, TextTable};
 
@@ -29,10 +29,12 @@ pub(crate) fn fleet(args: &[String]) -> Result<(), String> {
     if flags.has("help") {
         println!(
             "fleet <manifest.txt> [--traces N --seed N --cycles N --threads N --glitch] \
-             [--adaptive --confidence P] [--csv-dir DIR]\n\n\
+             [--adaptive --confidence P] [--csv-dir DIR] [--trace-out trace.jsonl]\n\n\
              manifest: one netlist path per line (# comments, blank lines ok).\n\
              Runs every design's TVLA campaign as a work item on one shared worker\n\
-             pool; per-design results are byte-identical to solo `assess` runs."
+             pool; per-design results are byte-identical to solo `assess` runs.\n\
+             --trace-out records queue depth, per-item spans and worker summaries\n\
+             (summarize with `polaris-cli trace summarize FILE`)."
         );
         return Ok(());
     }
@@ -89,12 +91,19 @@ pub(crate) fn fleet(args: &[String]) -> Result<(), String> {
         },
         par.threads()
     );
+    let trace_out = crate::trace::TraceOut::from_flags(&flags);
     let jobs: Vec<FleetJob<'_, WelchAccumulator>> = designs
         .iter()
         .map(|design| {
             if adaptive {
                 let seq = SequentialConfig::with_confidence(confidence);
-                adaptive_fleet_job(design, &power, campaign.clone(), &seq)
+                adaptive_fleet_job_traced(
+                    design,
+                    &power,
+                    campaign.clone(),
+                    &seq,
+                    trace_out.recorder(),
+                )
             } else {
                 FleetJob::new(design, &power, campaign.clone())
             }
@@ -102,8 +111,9 @@ pub(crate) fn fleet(args: &[String]) -> Result<(), String> {
         .collect();
     let start = std::time::Instant::now();
     let outcomes: Vec<CampaignOutcome<WelchAccumulator>> =
-        run_fleet(jobs, par).map_err(|e| e.to_string())?;
+        run_fleet_traced(jobs, par, trace_out.dyn_recorder()).map_err(|e| e.to_string())?;
     let seconds = start.elapsed().as_secs_f64();
+    trace_out.flush()?;
     let suite_traces: usize = outcomes.iter().map(|o| o.stats.traces_used()).sum();
     eprintln!(
         "fleet finished: {suite_traces} traces across the suite in {seconds:.3}s \
@@ -113,7 +123,7 @@ pub(crate) fn fleet(args: &[String]) -> Result<(), String> {
 
     let mut table = TextTable::new(
         [
-            "design", "cells", "mean |t|", "max |t|", "leaky", "traces", "verdict",
+            "design", "cells", "mean |t|", "max |t|", "leaky", "traces", "rounds", "verdict",
         ]
         .map(String::from)
         .to_vec(),
@@ -136,6 +146,7 @@ pub(crate) fn fleet(args: &[String]) -> Result<(), String> {
                     ""
                 }
             ),
+            format!("{}/{}", outcome.stats.rounds, outcome.stats.planned_rounds),
             if s.max_abs_t > TVLA_THRESHOLD {
                 "LEAKY".to_string()
             } else {

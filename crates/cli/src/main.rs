@@ -5,8 +5,10 @@
 //! polaris-cli stats   <netlist.v>
 //! polaris-cli assess  <netlist.v> [--traces N --seed N --threads N --glitch --adaptive --confidence P] [--csv out.csv]
 //!                     [--pairs N | --pair-gates A:B,C:D] [--pairs-dense] [--pairs-csv out.csv]
-//!                     [--triples N | --triple-gates A:B:C,D:E:F] [--triples-csv out.csv]
+//!                     [--triples N | --triple-gates A:B:C,D:E:F] [--triples-csv out.csv] [--trace-out trace.jsonl]
 //! polaris-cli fleet   <manifest.txt> [--traces N --seed N --threads N --glitch --adaptive --confidence P] [--csv-dir DIR]
+//!                     [--trace-out trace.jsonl]
+//! polaris-cli trace   summarize <trace.jsonl>
 //! polaris-cli gen     <design-name> --out file.bench [--scale N --seed N]
 //! polaris-cli mask    <netlist.v> --model model.polaris --out masked.v
 //!                     [--budget leaky:0.5 | cells:0.5 | count:N] [--threads N] [--adaptive --confidence P] [--report]
@@ -30,11 +32,15 @@ use std::process::ExitCode;
 mod commands;
 mod dist;
 mod fleet;
+mod trace;
 
 /// A CLI failure with its process exit code. Generic errors exit 1; the
 /// `dist` subcommands map each shard-state failure class to a distinct
 /// non-zero code (see [`dist::EXIT_CODES`]), so orchestration scripts can
-/// tell a truncated part file from a version skew without parsing stderr.
+/// tell a truncated part file from a version skew without parsing stderr,
+/// and `trace summarize` exits [`trace::EXIT_MALFORMED_TRACE`] on a trace
+/// file the bounded JSONL parser rejects.
+#[derive(Debug)]
 pub(crate) struct CliError {
     pub(crate) code: u8,
     pub(crate) message: String,
@@ -63,6 +69,7 @@ fn main() -> ExitCode {
         "rules" => commands::rules(rest).map_err(CliError::from),
         "explain" => commands::explain(rest).map_err(CliError::from),
         "dist" => dist::dist(rest),
+        "trace" => trace::trace(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -93,6 +100,7 @@ commands:
   rules    print the mined masking rules of a model bundle
   explain  SHAP waterfall for one gate of a netlist
   dist     distributed campaigns: plan / work / merge shard states
+  trace    summarize a JSONL trace written with --trace-out
 
 run `polaris-cli <command> --help` for flags";
 

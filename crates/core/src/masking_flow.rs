@@ -11,8 +11,9 @@ use std::time::Instant;
 use polaris_masking::{apply_masking, MaskedDesign};
 use polaris_ml::Classifier;
 use polaris_netlist::{GateId, GraphView, Netlist};
+use polaris_obs::SharedRecorder;
 use polaris_sim::{
-    run_campaign_adaptive, run_campaign_parallel, run_fleet, CampaignConfig, CampaignOutcome,
+    run_campaign_parallel, run_campaign_traced, run_fleet, CampaignConfig, CampaignOutcome,
     FleetJob, NeverStop, Parallelism, PowerModel,
 };
 use polaris_tvla::{adaptive_fleet_job, GateLeakage, LeakageSummary, WelchAccumulator};
@@ -127,21 +128,47 @@ pub fn baseline_outcome(
     config: &PolarisConfig,
     power: &PowerModel,
 ) -> Result<CampaignOutcome<WelchAccumulator>, PolarisError> {
+    baseline_outcome_traced(design, config, power, polaris_obs::shared_null())
+}
+
+/// [`baseline_outcome`] reporting structured trace events to `recorder` —
+/// shard/fold spans always, plus the checkpoint census and per-gate audit
+/// trail when the configuration is adaptive. The folded outcome is
+/// byte-identical to the untraced run.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn baseline_outcome_traced(
+    design: &Netlist,
+    config: &PolarisConfig,
+    power: &PowerModel,
+    recorder: SharedRecorder,
+) -> Result<CampaignOutcome<WelchAccumulator>, PolarisError> {
     let campaign = reporting_campaign(config);
     // The campaigns run on the sharded parallel engine — the thread knob
     // never changes the statistics. In adaptive mode the baseline stops
     // once its verdict converges.
     let par = config.parallelism();
     let outcome = if config.adaptive {
-        polaris_tvla::campaign_outcome_adaptive(
+        polaris_tvla::campaign_outcome_adaptive_traced(
             design,
             power,
             &campaign,
             par,
             &config.sequential_config(),
+            recorder,
         )?
     } else {
-        run_campaign_adaptive(design, power, &campaign, par, usize::MAX, &mut NeverStop)?
+        run_campaign_traced(
+            design,
+            power,
+            &campaign,
+            par,
+            usize::MAX,
+            &mut NeverStop,
+            recorder.as_ref(),
+        )?
     };
     Ok(outcome)
 }
@@ -352,17 +379,60 @@ pub fn polaris_mask_with_baseline(
     msize: usize,
     baseline: CampaignOutcome<WelchAccumulator>,
 ) -> Result<MitigationReport, PolarisError> {
+    polaris_mask_with_baseline_traced(
+        design,
+        model,
+        rules,
+        extractor,
+        config,
+        power,
+        msize,
+        baseline,
+        polaris_obs::shared_null(),
+    )
+}
+
+/// [`polaris_mask_with_baseline`] with a trace recorder: the masked
+/// design's after-campaign emits shard/fold spans into the same trace as
+/// the (caller-run) baseline. The report is byte-identical to the untraced
+/// run in every statistical field.
+///
+/// # Errors
+///
+/// Propagates netlist/masking/simulation failures.
+#[allow(clippy::too_many_arguments)] // mirrors polaris_mask_with_baseline
+pub fn polaris_mask_with_baseline_traced(
+    design: &Netlist,
+    model: &PolarisModel,
+    rules: Option<&RuleSet>,
+    extractor: &StructuralFeatureExtractor,
+    config: &PolarisConfig,
+    power: &PowerModel,
+    msize: usize,
+    baseline: CampaignOutcome<WelchAccumulator>,
+    recorder: SharedRecorder,
+) -> Result<MitigationReport, PolarisError> {
     let par = config.parallelism();
     let pending = prepare_mitigation(design, model, rules, extractor, config, msize, baseline)?;
     let assess_start = Instant::now();
-    let acc: WelchAccumulator = run_campaign_parallel(
+    // Full-grid never-stopping schedule: byte-identical fold order to
+    // `run_campaign_parallel`, with the engine's spans on top.
+    let outcome = run_campaign_traced::<WelchAccumulator, _>(
         pending.masked_netlist(),
         power,
         &pending.after_campaign,
         par,
+        usize::MAX,
+        &mut NeverStop,
+        recorder.as_ref(),
     )?;
     let after_seconds = assess_start.elapsed().as_secs_f64();
-    Ok(finish_mitigation(design, pending, acc, after_seconds))
+    Ok(finish_mitigation(
+        design,
+        pending,
+        outcome.sink,
+        after_seconds,
+    ))
 }
 
 /// Assesses a masked design and attributes leakage back to the original

@@ -14,8 +14,9 @@ use crate::config::PolarisConfig;
 use crate::explain::Explainer;
 use crate::features::StructuralFeatureExtractor;
 use crate::masking_flow::{
-    baseline_outcome, baseline_outcomes_fleet, finish_mitigation, polaris_mask_with_baseline,
-    prepare_mitigation, MitigationReport,
+    baseline_outcome_traced, baseline_outcomes_fleet, finish_mitigation,
+    polaris_mask_with_baseline, polaris_mask_with_baseline_traced, prepare_mitigation,
+    MitigationReport,
 };
 use crate::model::PolarisModel;
 use crate::PolarisError;
@@ -279,6 +280,25 @@ impl TrainedPolaris {
         power: &PowerModel,
         budget: MaskBudget,
     ) -> Result<MitigationReport, PolarisError> {
+        self.mask_design_traced(design, power, budget, polaris_obs::shared_null())
+    }
+
+    /// [`TrainedPolaris::mask_design`] reporting structured trace events to
+    /// `recorder`: both reporting campaigns (baseline and after-masking)
+    /// emit shard/fold spans, and in adaptive mode the baseline adds the
+    /// checkpoint census and per-gate stopping audit trail. The report is
+    /// byte-identical to the untraced run in every statistical field.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist/masking/simulation failures.
+    pub fn mask_design_traced(
+        &self,
+        design: &Netlist,
+        power: &PowerModel,
+        budget: MaskBudget,
+        recorder: polaris_obs::SharedRecorder,
+    ) -> Result<MitigationReport, PolarisError> {
         // One reporting baseline serves both the leaky-count budget
         // resolution and the mitigation report (a leaky *count* is a
         // verdict, not a magnitude — exactly what adaptive stopping
@@ -287,12 +307,12 @@ impl TrainedPolaris {
         // and spares LeakyFraction its former extra campaign.
         let (normalized, _) = decompose(design)?;
         let assess_start = std::time::Instant::now();
-        let baseline = baseline_outcome(&normalized, &self.config, power)?;
+        let baseline = baseline_outcome_traced(&normalized, &self.config, power, recorder.clone())?;
         let baseline_time_s = assess_start.elapsed().as_secs_f64();
         let msize = self.resolve_msize(&normalized, budget, || {
             Ok(baseline.sink.leakage().summarize(&normalized).leaky_cells)
         })?;
-        let mut report = polaris_mask_with_baseline(
+        let mut report = polaris_mask_with_baseline_traced(
             &normalized,
             &self.model,
             Some(&self.rules),
@@ -301,6 +321,7 @@ impl TrainedPolaris {
             power,
             msize,
             baseline,
+            recorder,
         )?;
         report.assessment_time_s += baseline_time_s;
         Ok(report)

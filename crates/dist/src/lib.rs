@@ -82,8 +82,9 @@ pub mod wire;
 
 pub use codec::{ShardState, SinkKind};
 pub use part::{
-    decode_part, encode_part, execute_part, execute_part_with, merge_parts, merged_outcome, Merged,
-    PartHeader, FORMAT_VERSION, MAGIC,
+    decode_part, encode_part, execute_part, execute_part_traced, execute_part_traced_with,
+    execute_part_with, merge_parts, merge_parts_traced, merged_outcome, Merged, PartHeader,
+    FORMAT_VERSION, MAGIC,
 };
 pub use plan::{campaign_fingerprint, DistPlan};
 

@@ -3,10 +3,12 @@
 //! canonical shard order.
 
 use std::ops::Range;
+use std::time::Instant;
 
 use polaris_netlist::Netlist;
+use polaris_obs::{NullRecorder, Payload, Recorder};
 use polaris_sim::campaign::{
-    partition_shards, run_shard_states_with, shard_grid, CampaignConfig, CampaignOutcome,
+    partition_shards, run_shard_states_traced_with, shard_grid, CampaignConfig, CampaignOutcome,
     CampaignStats, MergeableSink, Parallelism,
 };
 use polaris_sim::PowerModel;
@@ -276,6 +278,71 @@ where
     S: ShardState + MergeableSink,
     F: Fn() -> S + Sync,
 {
+    execute_part_traced_with(
+        netlist,
+        model,
+        config,
+        parallelism,
+        part_index,
+        part_count,
+        factory,
+        &NullRecorder,
+    )
+}
+
+/// [`execute_part`] reporting structured trace events to `recorder`: one
+/// shard span per simulated shard (with the per-phase split) plus a
+/// `plan_exec` frame naming the part's slot in the plan. The encoded file is
+/// byte-identical to the untraced run.
+///
+/// # Errors
+///
+/// Same contract as [`execute_part`].
+pub fn execute_part_traced<S>(
+    netlist: &Netlist,
+    model: &PowerModel,
+    config: &CampaignConfig,
+    parallelism: Parallelism,
+    part_index: usize,
+    part_count: usize,
+    recorder: &dyn Recorder,
+) -> Result<Vec<u8>, DistError>
+where
+    S: ShardState + MergeableSink + Default,
+{
+    execute_part_traced_with(
+        netlist,
+        model,
+        config,
+        parallelism,
+        part_index,
+        part_count,
+        S::default,
+        recorder,
+    )
+}
+
+/// [`execute_part_with`] with a trace recorder — the sink-factory variant of
+/// [`execute_part_traced`].
+///
+/// # Errors
+///
+/// Same contract as [`execute_part`].
+#[allow(clippy::too_many_arguments)]
+pub fn execute_part_traced_with<S, F>(
+    netlist: &Netlist,
+    model: &PowerModel,
+    config: &CampaignConfig,
+    parallelism: Parallelism,
+    part_index: usize,
+    part_count: usize,
+    factory: F,
+    recorder: &dyn Recorder,
+) -> Result<Vec<u8>, DistError>
+where
+    S: ShardState + MergeableSink,
+    F: Fn() -> S + Sync,
+{
     let n_shards = shard_grid(config).len();
     if part_count == 0 {
         return Err(DistError::PlanMismatch(
@@ -288,8 +355,25 @@ where
             "part index {part_index} out of range for a {part_count}-part plan"
         ))
     })?;
-    let states: Vec<S> =
-        run_shard_states_with(netlist, model, config, parallelism, range.clone(), factory)?;
+    let started = recorder.enabled().then(Instant::now);
+    let states: Vec<S> = run_shard_states_traced_with(
+        netlist,
+        model,
+        config,
+        parallelism,
+        range.clone(),
+        factory,
+        recorder,
+    )?;
+    if let Some(t0) = started {
+        recorder.record(Payload::PlanExec {
+            part: part_index as u64,
+            parts: part_count as u64,
+            shard_lo: range.start as u64,
+            shard_hi: range.end as u64,
+            wall_ns: t0.elapsed().as_nanos() as u64,
+        });
+    }
     let header = PartHeader {
         fingerprint: campaign_fingerprint(netlist, model, config),
         part_index: part_index as u32,
@@ -329,6 +413,25 @@ pub struct Merged<S> {
 pub fn merge_parts<'a, S>(
     parts: impl IntoIterator<Item = &'a [u8]>,
     expected_fingerprint: Option<u64>,
+) -> Result<Merged<S>, DistError>
+where
+    S: ShardState + Default,
+{
+    merge_parts_traced(parts, expected_fingerprint, &NullRecorder)
+}
+
+/// [`merge_parts`] reporting structured trace events to `recorder`: one
+/// `merge_fold` span per part (covering its shards' fold into the running
+/// accumulator) and a final `merge_done` frame. The folded state is
+/// byte-identical to the untraced merge.
+///
+/// # Errors
+///
+/// Same contract as [`merge_parts`].
+pub fn merge_parts_traced<'a, S>(
+    parts: impl IntoIterator<Item = &'a [u8]>,
+    expected_fingerprint: Option<u64>,
+    recorder: &dyn Recorder,
 ) -> Result<Merged<S>, DistError>
 where
     S: ShardState + Default,
@@ -422,15 +525,33 @@ where
 
     // Canonical fold: strictly ascending grid order, one shard at a time —
     // exactly the merge sequence of the in-process engine.
+    let tracing = recorder.enabled();
+    let merge_start = tracing.then(Instant::now);
     let mut acc: Option<S> = None;
     let parts_n = decoded.len();
-    for (_, states) in decoded {
+    for (h, states) in decoded {
+        let part_start = tracing.then(Instant::now);
+        let shards = states.len() as u64;
         for s in states {
             match &mut acc {
                 None => acc = Some(s),
                 Some(a) => a.fold(s),
             }
         }
+        if let Some(t0) = part_start {
+            recorder.record(Payload::MergeFold {
+                part: h.part_index as u64,
+                shards,
+                wall_ns: t0.elapsed().as_nanos() as u64,
+            });
+        }
+    }
+    if let Some(t0) = merge_start {
+        recorder.record(Payload::MergeDone {
+            parts: parts_n as u64,
+            shards: first.n_shards_total as u64,
+            wall_ns: t0.elapsed().as_nanos() as u64,
+        });
     }
     Ok(Merged {
         state: acc.unwrap_or_default(),

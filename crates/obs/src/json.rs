@@ -1,0 +1,560 @@
+//! Hand-rolled JSON encoding and bounded parsing for trace lines.
+//!
+//! The trace format is deliberately flat: every event is one JSON object per
+//! line whose values are numbers, strings, or booleans — never nested
+//! containers. That keeps both sides trivial to hand-roll (no dependency,
+//! like the `polaris-dist` wire codec) and lets the parser enforce hard
+//! bounds: line length, field count, and string length are all capped, so a
+//! hostile trace file cannot balloon memory or recurse.
+//!
+//! Floating-point values round-trip exactly: finite numbers are written with
+//! Rust's shortest-representation formatting and read back with
+//! `str::parse::<f64>`; the non-finite values JSON cannot express are
+//! written as the strings `"inf"`, `"-inf"`, and `"nan"`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Longest accepted trace line, in bytes.
+pub const MAX_LINE_BYTES: usize = 1 << 16;
+
+/// Most fields accepted in one trace object.
+pub const MAX_FIELDS: usize = 64;
+
+/// Longest accepted string value, in bytes (after unescaping).
+pub const MAX_STRING_BYTES: usize = 4096;
+
+/// A parse or decode failure, carrying the 1-based trace line it occurred on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based line number within the trace file.
+    pub line: usize,
+    /// Human-readable description of the failure.
+    pub message: String,
+}
+
+impl TraceError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
+        TraceError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// One parsed scalar value of a trace object.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// A non-negative integer literal that fits `u64`.
+    Int(u64),
+    /// Any other number literal (negative, fractional, exponent).
+    Num(f64),
+    /// A string literal (already unescaped).
+    Str(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+/// Incremental writer for one flat JSON object; field order is the call
+/// order. The writer never fails: all inputs are escaped or reformatted into
+/// valid JSON.
+pub struct JsonWriter {
+    out: String,
+    first: bool,
+}
+
+impl JsonWriter {
+    /// Starts a new object.
+    pub fn new() -> Self {
+        JsonWriter {
+            out: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        self.out.push('"');
+        escape_into(&mut self.out, key);
+        self.out.push_str("\":");
+    }
+
+    /// Writes an unsigned integer field.
+    pub fn u64(&mut self, key: &str, v: u64) -> &mut Self {
+        self.key(key);
+        let mut buf = [0u8; 20];
+        self.out.push_str(fmt_u64(v, &mut buf));
+        self
+    }
+
+    /// Writes a float field; non-finite values become the strings `"inf"`,
+    /// `"-inf"`, or `"nan"` (JSON has no literals for them).
+    pub fn f64(&mut self, key: &str, v: f64) -> &mut Self {
+        self.key(key);
+        if v.is_finite() {
+            // Shortest round-trip representation; always contains a `.` or
+            // an exponent, so it can never be confused with an Int field.
+            self.out.push_str(&format!("{v:?}"));
+        } else if v.is_nan() {
+            self.out.push_str("\"nan\"");
+        } else if v > 0.0 {
+            self.out.push_str("\"inf\"");
+        } else {
+            self.out.push_str("\"-inf\"");
+        }
+        self
+    }
+
+    /// Writes a string field (escaped).
+    pub fn str(&mut self, key: &str, v: &str) -> &mut Self {
+        self.key(key);
+        self.out.push('"');
+        escape_into(&mut self.out, v);
+        self.out.push('"');
+        self
+    }
+
+    /// Writes a boolean field.
+    pub fn bool(&mut self, key: &str, v: bool) -> &mut Self {
+        self.key(key);
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Closes the object and returns the line (no trailing newline).
+    pub fn finish(mut self) -> String {
+        self.out.push('}');
+        self.out
+    }
+}
+
+impl Default for JsonWriter {
+    fn default() -> Self {
+        JsonWriter::new()
+    }
+}
+
+/// Formats a `u64` without allocating.
+fn fmt_u64(mut v: u64, buf: &mut [u8; 20]) -> &str {
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    std::str::from_utf8(&buf[i..]).expect("digits are ASCII")
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Parses one flat JSON object line into its fields.
+///
+/// # Errors
+///
+/// Returns a [`TraceError`] tagged with `line_no` on any syntax violation,
+/// nested container, duplicate key, or exceeded bound.
+pub fn parse_object(line_no: usize, line: &str) -> Result<BTreeMap<String, JsonValue>, TraceError> {
+    if line.len() > MAX_LINE_BYTES {
+        return Err(TraceError::new(
+            line_no,
+            format!("line exceeds {MAX_LINE_BYTES} bytes"),
+        ));
+    }
+    let mut p = Parser {
+        line: line_no,
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut fields = BTreeMap::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            if fields.len() >= MAX_FIELDS {
+                return Err(p.err(format!("more than {MAX_FIELDS} fields")));
+            }
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.value()?;
+            if fields.insert(key.clone(), value).is_some() {
+                return Err(p.err(format!("duplicate key `{key}`")));
+            }
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                Some(c) => return Err(p.err(format!("expected `,` or `}}`, got `{}`", c as char))),
+                None => return Err(p.err("unterminated object")),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing bytes after object"));
+    }
+    Ok(fields)
+}
+
+struct Parser<'a> {
+    line: usize,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> TraceError {
+        TraceError::new(self.line, message)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), TraceError> {
+        match self.next() {
+            Some(c) if c == want => Ok(()),
+            Some(c) => Err(self.err(format!("expected `{}`, got `{}`", want as char, c as char))),
+            None => Err(self.err(format!("expected `{}`, got end of line", want as char))),
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, TraceError> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'{' | b'[') => {
+                Err(self.err("nested containers are not part of the trace schema"))
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected byte `{}` in value", c as char))),
+            None => Err(self.err("missing value")),
+        }
+    }
+
+    fn literal(&mut self, lit: &'static str, v: JsonValue) -> Result<JsonValue, TraceError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("malformed literal (expected `{lit}`)")))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, TraceError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut fractional = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    fractional = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if text.is_empty() || text == "-" {
+            return Err(self.err("malformed number"));
+        }
+        if !fractional && !text.starts_with('-') {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(JsonValue::Int(v));
+            }
+        }
+        let v: f64 = text
+            .parse()
+            .map_err(|_| self.err(format!("malformed number `{text}`")))?;
+        if v.is_infinite() {
+            return Err(self.err(format!("number `{text}` overflows f64")));
+        }
+        Ok(JsonValue::Num(v))
+    }
+
+    fn string(&mut self) -> Result<String, TraceError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            if out.len() > MAX_STRING_BYTES {
+                return Err(self.err(format!("string exceeds {MAX_STRING_BYTES} bytes")));
+            }
+            match self.next() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'u') => {
+                        let hex = self
+                            .bytes
+                            .get(self.pos..self.pos + 4)
+                            .ok_or_else(|| self.err("truncated \\u escape"))?;
+                        self.pos += 4;
+                        let code = std::str::from_utf8(hex)
+                            .ok()
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| self.err("malformed \\u escape"))?;
+                        let c = char::from_u32(code)
+                            .ok_or_else(|| self.err("\\u escape is not a scalar value"))?;
+                        out.push(c);
+                    }
+                    Some(c) => {
+                        return Err(self.err(format!("unsupported escape `\\{}`", c as char)))
+                    }
+                    None => return Err(self.err("unterminated escape")),
+                },
+                Some(c) if c < 0x20 => {
+                    return Err(self.err("unescaped control byte in string"));
+                }
+                Some(c) => {
+                    // Re-assemble multi-byte UTF-8 sequences: the input is a
+                    // `&str`, so continuation bytes are guaranteed valid.
+                    if c < 0x80 {
+                        out.push(c as char);
+                    } else {
+                        let len = utf8_len(c);
+                        let start = self.pos - 1;
+                        let end = start + len;
+                        let chunk = self
+                            .bytes
+                            .get(start..end)
+                            .and_then(|b| std::str::from_utf8(b).ok())
+                            .ok_or_else(|| self.err("malformed UTF-8 in string"))?;
+                        out.push_str(chunk);
+                        self.pos = end;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Reads a required `u64` field.
+pub(crate) fn u64_field(
+    line: usize,
+    fields: &BTreeMap<String, JsonValue>,
+    key: &str,
+) -> Result<u64, TraceError> {
+    match fields.get(key) {
+        Some(JsonValue::Int(v)) => Ok(*v),
+        Some(_) => Err(TraceError::new(
+            line,
+            format!("field `{key}` must be an unsigned integer"),
+        )),
+        None => Err(TraceError::new(line, format!("missing field `{key}`"))),
+    }
+}
+
+/// Reads a required `f64` field, accepting the `"inf"`/`"-inf"`/`"nan"`
+/// encodings of non-finite values.
+pub(crate) fn f64_field(
+    line: usize,
+    fields: &BTreeMap<String, JsonValue>,
+    key: &str,
+) -> Result<f64, TraceError> {
+    match fields.get(key) {
+        Some(JsonValue::Num(v)) => Ok(*v),
+        Some(JsonValue::Int(v)) => Ok(*v as f64),
+        Some(JsonValue::Str(s)) => match s.as_str() {
+            "inf" => Ok(f64::INFINITY),
+            "-inf" => Ok(f64::NEG_INFINITY),
+            "nan" => Ok(f64::NAN),
+            _ => Err(TraceError::new(
+                line,
+                format!("field `{key}` must be a number"),
+            )),
+        },
+        Some(_) => Err(TraceError::new(
+            line,
+            format!("field `{key}` must be a number"),
+        )),
+        None => Err(TraceError::new(line, format!("missing field `{key}`"))),
+    }
+}
+
+/// Reads a required string field.
+pub(crate) fn str_field<'a>(
+    line: usize,
+    fields: &'a BTreeMap<String, JsonValue>,
+    key: &str,
+) -> Result<&'a str, TraceError> {
+    match fields.get(key) {
+        Some(JsonValue::Str(s)) => Ok(s),
+        Some(_) => Err(TraceError::new(
+            line,
+            format!("field `{key}` must be a string"),
+        )),
+        None => Err(TraceError::new(line, format!("missing field `{key}`"))),
+    }
+}
+
+/// Reads a required boolean field.
+pub(crate) fn bool_field(
+    line: usize,
+    fields: &BTreeMap<String, JsonValue>,
+    key: &str,
+) -> Result<bool, TraceError> {
+    match fields.get(key) {
+        Some(JsonValue::Bool(v)) => Ok(*v),
+        Some(_) => Err(TraceError::new(
+            line,
+            format!("field `{key}` must be a boolean"),
+        )),
+        None => Err(TraceError::new(line, format!("missing field `{key}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_produces_flat_objects() {
+        let mut w = JsonWriter::new();
+        w.u64("a", 7).f64("b", 1.5).str("c", "x\"y").bool("d", true);
+        assert_eq!(w.finish(), r#"{"a":7,"b":1.5,"c":"x\"y","d":true}"#);
+    }
+
+    #[test]
+    fn nonfinite_floats_round_trip_as_strings() {
+        let mut w = JsonWriter::new();
+        w.f64("p", f64::INFINITY)
+            .f64("n", f64::NEG_INFINITY)
+            .f64("q", f64::NAN);
+        let line = w.finish();
+        let fields = parse_object(1, &line).unwrap();
+        assert_eq!(f64_field(1, &fields, "p").unwrap(), f64::INFINITY);
+        assert_eq!(f64_field(1, &fields, "n").unwrap(), f64::NEG_INFINITY);
+        assert!(f64_field(1, &fields, "q").unwrap().is_nan());
+    }
+
+    #[test]
+    fn parser_rejects_nested_containers() {
+        let e = parse_object(3, r#"{"a":{"b":1}}"#).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("nested"));
+        assert!(parse_object(1, r#"{"a":[1,2]}"#).is_err());
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "{}}",
+            r#"{"a"}"#,
+            r#"{"a":}"#,
+            r#"{"a":1,"#,
+            r#"{"a":1,"a":2}"#,
+            r#"{"a":tru}"#,
+            r#"{"a":-}"#,
+            r#"{"a":1e999}"#,
+            r#"{"a":"unterminated"#,
+            r#"{"a":"bad \x escape"}"#,
+            "not json at all",
+        ] {
+            assert!(parse_object(1, bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parser_enforces_field_cap() {
+        let mut line = String::from("{");
+        for i in 0..=MAX_FIELDS {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&format!("\"k{i}\":1"));
+        }
+        line.push('}');
+        assert!(parse_object(1, &line).is_err());
+    }
+
+    #[test]
+    fn unicode_and_escapes_round_trip() {
+        let mut w = JsonWriter::new();
+        w.str("s", "héllo → \n\t\"π\" \\ ∎");
+        let line = w.finish();
+        let fields = parse_object(1, &line).unwrap();
+        assert_eq!(
+            str_field(1, &fields, "s").unwrap(),
+            "héllo → \n\t\"π\" \\ ∎"
+        );
+    }
+
+    #[test]
+    fn u64_boundary_values_round_trip() {
+        let mut w = JsonWriter::new();
+        w.u64("max", u64::MAX).u64("zero", 0);
+        let fields = parse_object(1, &w.finish()).unwrap();
+        assert_eq!(u64_field(1, &fields, "max").unwrap(), u64::MAX);
+        assert_eq!(u64_field(1, &fields, "zero").unwrap(), 0);
+    }
+}

@@ -1,0 +1,297 @@
+//! `polaris-obs` — structured tracing for the POLARIS campaign stack.
+//!
+//! A hand-rolled, zero-dependency event/span model (in the offline-build
+//! spirit of the `polaris-dist` wire codec): instrumented engines report
+//! typed [`Payload`]s to a [`Recorder`], which stamps each one with a
+//! monotonic timestamp and a thread ordinal. Two recorders ship:
+//!
+//! * [`NullRecorder`] — the default. `enabled()` is `false`, so every
+//!   instrumentation site skips its clock reads and event construction
+//!   entirely: campaigns without tracing pay nothing.
+//! * [`JsonlRecorder`] — buffers one JSON line per event in memory;
+//!   [`JsonlRecorder::to_jsonl`] hands the trace back for writing to disk
+//!   (`polaris-cli … --trace-out FILE`).
+//!
+//! # Determinism contract
+//!
+//! Recording is strictly observational. Instrumented engines emit events
+//! *outside* their fold paths and never branch on recorder state except to
+//! skip timing — so campaign outcomes with recording on vs off are
+//! byte-identical at every thread count, lane width, and partitioning
+//! (proven by the workspace's `obs_neutrality` test suite).
+
+mod event;
+mod json;
+mod summary;
+
+pub use event::{parse_trace, Event, Payload, PopulationTag, Verdict};
+pub use json::{JsonValue, JsonWriter, TraceError, MAX_FIELDS, MAX_LINE_BYTES, MAX_STRING_BYTES};
+pub use summary::{AuditRow, CheckpointRow, PhaseTotals, TraceSummary, WorkerRow};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// An event sink instrumented engines report to.
+///
+/// Implementations must be cheap when disabled: every instrumentation site
+/// checks [`Recorder::enabled`] before doing any timing work, so a recorder
+/// that returns `false` makes the instrumentation free.
+pub trait Recorder: Send + Sync {
+    /// Whether instrumentation sites should measure and report at all.
+    fn enabled(&self) -> bool;
+
+    /// Accepts one event payload. Called from arbitrary worker threads;
+    /// implementations stamp time and thread identity themselves so the
+    /// emitting engine never touches a clock for a disabled recorder.
+    fn record(&self, payload: Payload);
+}
+
+/// Shared handle to a recorder, for owned contexts (stopping rules, fleet
+/// jobs) that outlive a borrow.
+pub type SharedRecorder = Arc<dyn Recorder>;
+
+/// The zero-overhead default recorder: disabled, drops everything.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _payload: Payload) {}
+}
+
+/// A fresh [`SharedRecorder`] wrapping a [`NullRecorder`].
+pub fn shared_null() -> SharedRecorder {
+    Arc::new(NullRecorder)
+}
+
+/// Process-wide worker ordinals: small, stable per thread, allocated on
+/// first use. (Rust's `ThreadId` has no stable integer form on this
+/// toolchain, and OS thread ids would tie traces to the platform.)
+static NEXT_THREAD_ORDINAL: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_ORDINAL: u64 = NEXT_THREAD_ORDINAL.fetch_add(1, Ordering::Relaxed);
+}
+
+/// This thread's process-local trace ordinal.
+pub fn thread_ordinal() -> u64 {
+    THREAD_ORDINAL.with(|t| *t)
+}
+
+/// Buffering JSONL recorder: every event becomes one line in an in-memory
+/// buffer, stamped with monotonic nanoseconds since the recorder's creation
+/// and the recording thread's ordinal.
+#[derive(Debug)]
+pub struct JsonlRecorder {
+    epoch: Instant,
+    buf: Mutex<String>,
+}
+
+impl JsonlRecorder {
+    /// Creates an empty recorder; its creation instant is the trace epoch.
+    pub fn new() -> Self {
+        JsonlRecorder {
+            epoch: Instant::now(),
+            buf: Mutex::new(String::new()),
+        }
+    }
+
+    /// The buffered trace, one JSON object per line.
+    pub fn to_jsonl(&self) -> String {
+        self.lock().clone()
+    }
+
+    /// Number of buffered bytes.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, String> {
+        // A worker panic elsewhere must not lose the trace collected so far.
+        self.buf.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl Default for JsonlRecorder {
+    fn default() -> Self {
+        JsonlRecorder::new()
+    }
+}
+
+impl Recorder for JsonlRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&self, payload: Payload) {
+        let event = Event {
+            t_ns: u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            thread: thread_ordinal(),
+            payload,
+        };
+        let line = event.encode();
+        let mut buf = self.lock();
+        buf.push_str(&line);
+        buf.push('\n');
+    }
+}
+
+/// An engine phase measured inside one shard span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Counter-derived RNG streams: data vectors, mask refresh, noise.
+    Rng = 0,
+    /// Gate evaluation and toggle counting.
+    Simulate = 1,
+    /// Energy emission and sink recording.
+    Accumulate = 2,
+}
+
+/// Accumulates per-phase nanoseconds across the blocks of one shard.
+///
+/// Built around explicit [`PhaseTimer::begin`]/[`PhaseTimer::end`] pairs so
+/// instrumented loops never fight the borrow checker, and fully inert when
+/// disabled: `begin` returns `None` without reading the clock, and `end`
+/// with `None` is a no-op.
+#[derive(Clone, Copy, Debug)]
+pub struct PhaseTimer {
+    enabled: bool,
+    nanos: [u64; 3],
+}
+
+impl PhaseTimer {
+    /// A timer that measures only when `enabled`.
+    pub fn new(enabled: bool) -> Self {
+        PhaseTimer {
+            enabled,
+            nanos: [0; 3],
+        }
+    }
+
+    /// The inert timer untraced paths pass through the engine.
+    pub fn disabled() -> Self {
+        PhaseTimer::new(false)
+    }
+
+    /// Whether this timer measures at all.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Starts a phase measurement; `None` (no clock read) when disabled.
+    #[inline]
+    pub fn begin(&self) -> Option<Instant> {
+        if self.enabled {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Ends a measurement begun with [`PhaseTimer::begin`], attributing the
+    /// elapsed time to `phase`.
+    #[inline]
+    pub fn end(&mut self, phase: Phase, begun: Option<Instant>) {
+        if let Some(t0) = begun {
+            self.nanos[phase as usize] +=
+                u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        }
+    }
+
+    /// Accumulated nanoseconds of `phase`.
+    pub fn nanos(&self, phase: Phase) -> u64 {
+        self.nanos[phase as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_recorder_is_disabled_and_silent() {
+        let r = NullRecorder;
+        assert!(!r.enabled());
+        r.record(Payload::QueueDepth {
+            depth: 1,
+            jobs_remaining: 1,
+        });
+    }
+
+    #[test]
+    fn jsonl_recorder_buffers_parseable_lines() {
+        let r = JsonlRecorder::new();
+        assert!(r.is_empty());
+        r.record(Payload::QueueDepth {
+            depth: 3,
+            jobs_remaining: 2,
+        });
+        r.record(Payload::MergeDone {
+            parts: 1,
+            shards: 4,
+            wall_ns: 99,
+        });
+        let text = r.to_jsonl();
+        let events = parse_trace(&text).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].payload.kind(), "queue_depth");
+        assert_eq!(events[1].payload.kind(), "merge_done");
+        // Monotonic stamps: the second event is not earlier than the first.
+        assert!(events[1].t_ns >= events[0].t_ns);
+        assert_eq!(r.len(), text.len());
+    }
+
+    #[test]
+    fn recorder_is_usable_across_threads() {
+        let r = Arc::new(JsonlRecorder::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let r = Arc::clone(&r);
+                scope.spawn(move || {
+                    r.record(Payload::QueueDepth {
+                        depth: 0,
+                        jobs_remaining: 0,
+                    });
+                });
+            }
+        });
+        let events = parse_trace(&r.to_jsonl()).unwrap();
+        assert_eq!(events.len(), 4);
+    }
+
+    #[test]
+    fn disabled_phase_timer_never_reads_the_clock() {
+        let mut t = PhaseTimer::disabled();
+        assert!(t.begin().is_none());
+        t.end(Phase::Rng, None);
+        assert_eq!(t.nanos(Phase::Rng), 0);
+    }
+
+    #[test]
+    fn enabled_phase_timer_accumulates() {
+        let mut t = PhaseTimer::new(true);
+        let b = t.begin();
+        assert!(b.is_some());
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        t.end(Phase::Simulate, b);
+        assert!(t.nanos(Phase::Simulate) >= 1_000_000);
+        assert_eq!(t.nanos(Phase::Rng), 0);
+    }
+
+    #[test]
+    fn thread_ordinals_are_distinct() {
+        let here = thread_ordinal();
+        let there = std::thread::spawn(thread_ordinal).join().unwrap();
+        assert_ne!(here, there);
+        assert_eq!(here, thread_ordinal());
+    }
+}

@@ -53,10 +53,12 @@
 //! designs and figures.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use polaris_netlist::{GateId, Netlist, NetlistError};
+use polaris_obs::{NullRecorder, Payload, Phase, PhaseTimer, PopulationTag, Recorder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -96,6 +98,17 @@ pub enum Population {
     Fixed,
     /// The random-input (or second fixed, for fixed-vs-fixed) class `Q1`.
     Random,
+}
+
+impl Population {
+    /// The trace-schema spelling of the population
+    /// (see [`polaris_obs::PopulationTag`]).
+    pub(crate) fn tag(self) -> PopulationTag {
+        match self {
+            Population::Fixed => PopulationTag::Fixed,
+            Population::Random => PopulationTag::Random,
+        }
+    }
 }
 
 /// Timing model used when counting switching activity.
@@ -654,11 +667,28 @@ impl<'a> Engine<'a> {
         count: usize,
         sink: &mut S,
     ) {
+        let mut timer = PhaseTimer::disabled();
+        self.run_range_timed(pop, start, count, sink, &mut timer);
+    }
+
+    /// [`Engine::run_range`] with per-phase timing: RNG/simulate/accumulate
+    /// nanoseconds accumulate into `timer` (free when the timer is
+    /// disabled). Timing is strictly observational — no RNG draw, batch
+    /// boundary, or sink call depends on it, so traced and untraced runs
+    /// are byte-identical.
+    pub(crate) fn run_range_timed<S: TraceSink>(
+        &self,
+        pop: Population,
+        start: usize,
+        count: usize,
+        sink: &mut S,
+        timer: &mut PhaseTimer,
+    ) {
         match self.lane_words {
-            1 => self.run_range_w::<S, 1>(pop, start, count, sink),
-            2 => self.run_range_w::<S, 2>(pop, start, count, sink),
-            4 => self.run_range_w::<S, 4>(pop, start, count, sink),
-            8 => self.run_range_w::<S, 8>(pop, start, count, sink),
+            1 => self.run_range_w::<S, 1>(pop, start, count, sink, timer),
+            2 => self.run_range_w::<S, 2>(pop, start, count, sink, timer),
+            4 => self.run_range_w::<S, 4>(pop, start, count, sink, timer),
+            8 => self.run_range_w::<S, 8>(pop, start, count, sink, timer),
             w => unreachable!("lane width {w} rejected at construction"),
         }
     }
@@ -669,13 +699,14 @@ impl<'a> Engine<'a> {
         start: usize,
         count: usize,
         sink: &mut S,
+        timer: &mut PhaseTimer,
     ) {
         debug_assert_eq!(start % WORD_LANES, 0, "shards must be word-aligned");
         let mut scratch = BlockScratch::<W>::new(self);
         let mut done = 0usize;
         while done < count {
             let lanes = (count - done).min(W * WORD_LANES);
-            self.run_block::<S, W>(pop, (start + done) as u64, lanes, &mut scratch, sink);
+            self.run_block::<S, W>(pop, (start + done) as u64, lanes, &mut scratch, sink, timer);
             done += lanes;
         }
     }
@@ -695,6 +726,7 @@ impl<'a> Engine<'a> {
         lanes: usize,
         scratch: &mut BlockScratch<W>,
         sink: &mut S,
+        timer: &mut PhaseTimer,
     ) {
         debug_assert!(lanes >= 1 && lanes <= W * WORD_LANES, "lanes = {lanes}");
         let words = lanes.div_ceil(WORD_LANES);
@@ -722,6 +754,7 @@ impl<'a> Engine<'a> {
         let mut noise_rngs: [StdRng; W] =
             std::array::from_fn(|w| batch_stream_rng(seed, pop, word_start(w), STREAM_NOISE));
 
+        let t_rng = timer.begin();
         let data = &mut scratch.data;
         match (pop, &self.second_fixed_words) {
             (Population::Fixed, _) => {
@@ -758,8 +791,11 @@ impl<'a> Engine<'a> {
                 base_mask[i * W + w] = rng.gen::<u64>();
             }
         }
+        timer.end(Phase::Rng, t_rng);
+        let t_sim = timer.begin();
         self.sim.eval_block::<W>(st, &scratch.zero_data, base_mask);
         scratch.prev.copy_from_slice(st.values());
+        timer.end(Phase::Simulate, t_sim);
 
         // `cycles == 1` zero-delay blocks (the combinational common case)
         // skip the per-lane toggle counters: each gate toggles at most once,
@@ -769,12 +805,15 @@ impl<'a> Engine<'a> {
             scratch.toggles.fill(0);
         }
         for cycle in 0..self.config.cycles {
+            let t_rng = timer.begin();
             let masks = &mut scratch.masks;
             for i in 0..self.n_mask {
                 for (w, rng) in mask_rngs.iter_mut().enumerate().take(words) {
                     masks[i * W + w] = rng.gen::<u64>();
                 }
             }
+            timer.end(Phase::Rng, t_rng);
+            let t_sim = timer.begin();
             match self.config.delay_model {
                 DelayModel::Zero => {
                     self.sim.eval_block::<W>(st, data, masks);
@@ -811,6 +850,7 @@ impl<'a> Engine<'a> {
             if cycle + 1 < self.config.cycles {
                 self.sim.clock_block::<W>(st);
             }
+            timer.end(Phase::Simulate, t_sim);
         }
 
         // Energy emission, `(gate-major, lane-minor)`: full words precede
@@ -820,12 +860,15 @@ impl<'a> Engine<'a> {
         let normals = &mut scratch.normals;
         for g in 0..self.gates {
             let cap = self.caps[g];
+            let t_rng = timer.begin();
             for w in 0..words {
                 fill_standard_normal(
                     &mut noise_rngs[w],
                     &mut normals[w * WORD_LANES..w * WORD_LANES + word_lanes[w]],
                 );
             }
+            timer.end(Phase::Rng, t_rng);
+            let t_acc = timer.begin();
             let row = &mut energies[g * lanes..(g + 1) * lanes];
             if single_cycle {
                 for (w, &wl) in word_lanes.iter().enumerate().take(words) {
@@ -845,10 +888,13 @@ impl<'a> Engine<'a> {
                     }
                 }
             }
+            timer.end(Phase::Accumulate, t_acc);
         }
+        let t_acc = timer.begin();
         let batch = EnergyBatch::new(energies, self.gates, lanes)
             .expect("engine emits well-formed batches");
         sink.record_batch(pop, batch);
+        timer.end(Phase::Accumulate, t_acc);
     }
 }
 
@@ -1010,6 +1056,43 @@ where
     S: MergeableSink,
     F: Fn() -> S + Sync,
 {
+    run_shard_states_traced_with(
+        netlist,
+        model,
+        config,
+        parallelism,
+        shards,
+        factory,
+        &NullRecorder,
+    )
+}
+
+/// [`run_shard_states_with`] reporting one [`Payload::ShardSpan`] per shard
+/// to `recorder` (with `round = 0` — a bare shard range has no round
+/// structure; `grid_index` is the shard's absolute position in the full
+/// grid). The per-shard states are unchanged by recording.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] if the design cannot be
+/// levelized.
+///
+/// # Panics
+///
+/// Panics if `shards` reaches past the end of the grid.
+pub fn run_shard_states_traced_with<S, F>(
+    netlist: &Netlist,
+    model: &PowerModel,
+    config: &CampaignConfig,
+    parallelism: Parallelism,
+    shards: std::ops::Range<usize>,
+    factory: F,
+    recorder: &dyn Recorder,
+) -> Result<Vec<S>, NetlistError>
+where
+    S: MergeableSink,
+    F: Fn() -> S + Sync,
+{
     let engine = Engine::new(netlist, model, config, parallelism.lane_words())?;
     let grid = shard_grid(config);
     assert!(
@@ -1017,11 +1100,28 @@ where
         "shard range {shards:?} outside the {}-shard grid",
         grid.len()
     );
+    let grid_base = shards.start;
     let specs = &grid[shards];
+    let tracing = recorder.enabled();
     Ok(run_sharded(specs.len(), parallelism, |i| {
         let shard = specs[i];
         let mut sink = factory();
-        engine.run_range(shard.pop, shard.start, shard.count, &mut sink);
+        let mut timer = PhaseTimer::new(tracing);
+        let t0 = timer.begin();
+        engine.run_range_timed(shard.pop, shard.start, shard.count, &mut sink, &mut timer);
+        if let Some(t0) = t0 {
+            recorder.record(Payload::ShardSpan {
+                round: 0,
+                grid_index: (grid_base + i) as u64,
+                pop: shard.pop.tag(),
+                start: shard.start as u64,
+                count: shard.count as u64,
+                wall_ns: u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                rng_ns: timer.nanos(Phase::Rng),
+                sim_ns: timer.nanos(Phase::Simulate),
+                acc_ns: timer.nanos(Phase::Accumulate),
+            });
+        }
         sink
     }))
 }
@@ -1134,20 +1234,38 @@ struct FoldState<S> {
 /// collect-then-fold round would hold `traces / TRACES_PER_SHARD` private
 /// accumulators before the first merge.
 ///
+/// When `fold_ns` is supplied, the nanoseconds spent merging sinks are
+/// added to it (summed across workers). Timing never changes which merges
+/// run or in what order, so traced runs stay byte-identical.
+///
 /// # Panics
 ///
 /// Propagates worker panics.
-fn run_sharded_fold<S, F>(n_shards: usize, parallelism: Parallelism, work: F, acc: &mut Option<S>)
-where
+fn run_sharded_fold<S, F>(
+    n_shards: usize,
+    parallelism: Parallelism,
+    work: F,
+    acc: &mut Option<S>,
+    fold_ns: Option<&AtomicU64>,
+) where
     S: MergeableSink,
     F: Fn(usize) -> S + Sync,
 {
+    let timed_merge = |acc: &mut Option<S>, sink: S| match fold_ns {
+        None => merge_into(acc, sink),
+        Some(total) => {
+            let t0 = Instant::now();
+            merge_into(acc, sink);
+            let spent = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            total.fetch_add(spent, Ordering::Relaxed);
+        }
+    };
     let threads = parallelism.threads().min(n_shards.max(1));
     if threads <= 1 || n_shards <= 1 {
         // Inline path: sequential budgets and single-shard plans never pay
         // for a scoped worker spawn (pinned by a thread-identity test).
         for i in 0..n_shards {
-            merge_into(acc, work(i));
+            timed_merge(acc, work(i));
         }
         return;
     }
@@ -1172,7 +1290,7 @@ where
                     let Some(ready) = st.pending.remove(&key) else {
                         break;
                     };
-                    merge_into(&mut st.acc, ready);
+                    timed_merge(&mut st.acc, ready);
                     st.next_fold += 1;
                 }
             });
@@ -1300,6 +1418,14 @@ impl<S> StoppingRule<S> for NeverStop {
 /// grid `shards_per_round` shards at a time, folds each round's private
 /// sinks **in shard order** into the running accumulator, and consults
 /// `rule` at every round boundary.
+///
+/// When `recorder` is enabled, the driver reports the campaign span, one
+/// [`Payload::ShardSpan`] per shard (with the rng/simulate/accumulate phase
+/// split), and one [`Payload::FoldSpan`] per round. All reporting happens
+/// strictly outside the fold path — no RNG draw, shard order, or merge
+/// sequence ever depends on the recorder — so traced outcomes are
+/// byte-identical to untraced ones at every thread count and lane width.
+#[allow(clippy::too_many_arguments)]
 fn run_campaign_rounds<S, R, F>(
     netlist: &Netlist,
     model: &PowerModel,
@@ -1308,6 +1434,7 @@ fn run_campaign_rounds<S, R, F>(
     shards_per_round: usize,
     rule: &mut R,
     factory: F,
+    recorder: &dyn Recorder,
 ) -> Result<CampaignOutcome<S>, NetlistError>
 where
     S: MergeableSink,
@@ -1319,12 +1446,29 @@ where
     let shards_per_round = shards_per_round.max(1);
     let planned_rounds = shards.len().div_ceil(shards_per_round);
 
+    let tracing = recorder.enabled();
+    let campaign_start = if tracing { Some(Instant::now()) } else { None };
+    if tracing {
+        recorder.record(Payload::CampaignStart {
+            gates: netlist.gate_count() as u64,
+            planned_fixed: config.n_fixed as u64,
+            planned_random: config.n_random as u64,
+            threads: parallelism.threads() as u64,
+            lane_words: parallelism.lane_words() as u64,
+            shards: shards.len() as u64,
+            planned_rounds: planned_rounds as u64,
+        });
+    }
+    let fold_ns = AtomicU64::new(0);
+
     let mut acc: Option<S> = None;
     let mut stats = CampaignStats {
         planned_rounds,
         ..CampaignStats::default()
     };
+    let mut grid_base = 0usize;
     for chunk in shards.chunks(shards_per_round) {
+        let round = stats.rounds + 1;
         // Deterministic checkpoint fold: strictly ascending shard order,
         // streamed as shards finish so the round never holds one private
         // sink per shard (see `run_sharded_fold`).
@@ -1334,17 +1478,41 @@ where
             |i| {
                 let shard = chunk[i];
                 let mut sink = factory();
-                engine.run_range(shard.pop, shard.start, shard.count, &mut sink);
+                let mut timer = PhaseTimer::new(tracing);
+                let t0 = timer.begin();
+                engine.run_range_timed(shard.pop, shard.start, shard.count, &mut sink, &mut timer);
+                if let Some(t0) = t0 {
+                    recorder.record(Payload::ShardSpan {
+                        round: round as u64,
+                        grid_index: (grid_base + i) as u64,
+                        pop: shard.pop.tag(),
+                        start: shard.start as u64,
+                        count: shard.count as u64,
+                        wall_ns: u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                        rng_ns: timer.nanos(Phase::Rng),
+                        sim_ns: timer.nanos(Phase::Simulate),
+                        acc_ns: timer.nanos(Phase::Accumulate),
+                    });
+                }
                 sink
             },
             &mut acc,
+            tracing.then_some(&fold_ns),
         );
+        if tracing {
+            recorder.record(Payload::FoldSpan {
+                round: round as u64,
+                shards: chunk.len() as u64,
+                wall_ns: fold_ns.swap(0, Ordering::Relaxed),
+            });
+        }
         for shard in chunk {
             match shard.pop {
                 Population::Fixed => stats.fixed_traces += shard.count,
                 Population::Random => stats.random_traces += shard.count,
             }
         }
+        grid_base += chunk.len();
         stats.rounds += 1;
         if stats.rounds < planned_rounds {
             let checkpoint = Checkpoint {
@@ -1361,6 +1529,15 @@ where
                 break;
             }
         }
+    }
+    if let Some(t0) = campaign_start {
+        recorder.record(Payload::CampaignEnd {
+            rounds: stats.rounds as u64,
+            stopped_early: stats.stopped_early,
+            fixed_traces: stats.fixed_traces as u64,
+            random_traces: stats.random_traces as u64,
+            wall_ns: u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        });
     }
     Ok(CampaignOutcome {
         sink: acc.unwrap_or_else(factory),
@@ -1424,6 +1601,7 @@ where
         usize::MAX,
         &mut NeverStop,
         factory,
+        &NullRecorder,
     )?;
     Ok(outcome.sink)
 }
@@ -1465,7 +1643,44 @@ where
     S: MergeableSink + Default,
     R: StoppingRule<S>,
 {
-    run_campaign_rounds(
+    run_campaign_traced(
+        netlist,
+        model,
+        config,
+        parallelism,
+        shards_per_round,
+        rule,
+        &NullRecorder,
+    )
+}
+
+/// [`run_campaign_adaptive`] reporting structured trace events to
+/// `recorder`: one [`Payload::ShardSpan`] per shard with the
+/// rng/simulate/accumulate phase split, one [`Payload::FoldSpan`] per
+/// round, and campaign start/end markers. A disabled recorder (the
+/// [`NullRecorder`]) makes this identical — in cost and in outcome — to
+/// the untraced call; an enabled one never changes the outcome either:
+/// recording sits strictly outside the fold path, so the result stays
+/// byte-identical at every thread count, lane width, and partitioning.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] if the design cannot be
+/// levelized.
+pub fn run_campaign_traced<S, R>(
+    netlist: &Netlist,
+    model: &PowerModel,
+    config: &CampaignConfig,
+    parallelism: Parallelism,
+    shards_per_round: usize,
+    rule: &mut R,
+    recorder: &dyn Recorder,
+) -> Result<CampaignOutcome<S>, NetlistError>
+where
+    S: MergeableSink + Default,
+    R: StoppingRule<S>,
+{
+    run_campaign_traced_with(
         netlist,
         model,
         config,
@@ -1473,6 +1688,42 @@ where
         shards_per_round,
         rule,
         S::default,
+        recorder,
+    )
+}
+
+/// [`run_campaign_traced`] with an explicit sink factory (see
+/// [`run_campaign_parallel_with`] for the factory contract).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] if the design cannot be
+/// levelized.
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_traced_with<S, R, F>(
+    netlist: &Netlist,
+    model: &PowerModel,
+    config: &CampaignConfig,
+    parallelism: Parallelism,
+    shards_per_round: usize,
+    rule: &mut R,
+    factory: F,
+    recorder: &dyn Recorder,
+) -> Result<CampaignOutcome<S>, NetlistError>
+where
+    S: MergeableSink,
+    R: StoppingRule<S>,
+    F: Fn() -> S + Sync,
+{
+    run_campaign_rounds(
+        netlist,
+        model,
+        config,
+        parallelism,
+        shards_per_round,
+        rule,
+        factory,
+        recorder,
     )
 }
 

@@ -36,8 +36,10 @@
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
 
 use polaris_netlist::{Netlist, NetlistError};
+use polaris_obs::{NullRecorder, Payload, Phase, PhaseTimer, Recorder};
 
 use crate::campaign::{
     shard_grid, CampaignConfig, CampaignOutcome, CampaignStats, Checkpoint, Engine, MergeableSink,
@@ -265,21 +267,35 @@ impl<S> Drop for PanicSentry<'_, '_, S> {
 /// The shared worker loop: pull a shard of *any* job, simulate it into a
 /// fresh private sink, deposit; the round-completing deposit folds the
 /// round and schedules the job's next round (or retires the job).
+///
+/// With an enabled `recorder` the loop reports, per item, the queue state
+/// it observed ([`Payload::QueueDepth`]) and the item's phase-split timing
+/// ([`Payload::WorkItem`] — its `thread` stamp is the job-interleave
+/// signal), plus one [`Payload::WorkerSummary`] when the worker exits.
+/// Recording never touches scheduling or fold state, so outcomes stay
+/// byte-identical to the untraced fleet.
 fn worker_loop<S: MergeableSink + Default>(
     shared: &FleetShared<'_, S>,
     engines: &[Engine<'_>],
     grids: &[Vec<ShardSpec>],
     factories: &[Option<SinkFactory<'_, S>>],
+    recorder: &dyn Recorder,
 ) {
-    loop {
-        let item = {
+    let tracing = recorder.enabled();
+    let t_loop = if tracing { Some(Instant::now()) } else { None };
+    let mut items = 0u64;
+    let mut busy_ns = 0u64;
+    'worker: loop {
+        let (item, queue_obs) = {
             let mut guard = lock(shared);
             loop {
                 if guard.poisoned || guard.remaining_jobs == 0 {
-                    return;
+                    break 'worker;
                 }
                 if let Some(item) = guard.queue.pop_front() {
-                    break item;
+                    let obs =
+                        tracing.then(|| (guard.queue.len() as u64, guard.remaining_jobs as u64));
+                    break (item, obs);
                 }
                 guard = shared
                     .work_ready
@@ -287,6 +303,12 @@ fn worker_loop<S: MergeableSink + Default>(
                     .unwrap_or_else(PoisonError::into_inner);
             }
         };
+        if let Some((depth, jobs_remaining)) = queue_obs {
+            recorder.record(Payload::QueueDepth {
+                depth,
+                jobs_remaining,
+            });
+        }
 
         let mut sentry = PanicSentry {
             shared,
@@ -297,7 +319,29 @@ fn worker_loop<S: MergeableSink + Default>(
             Some(f) => f(),
             None => S::default(),
         };
-        engines[item.job].run_range(shard.population(), shard.start(), shard.count(), &mut sink);
+        let mut timer = PhaseTimer::new(tracing);
+        let t_item = timer.begin();
+        engines[item.job].run_range_timed(
+            shard.population(),
+            shard.start(),
+            shard.count(),
+            &mut sink,
+            &mut timer,
+        );
+        if let Some(t0) = t_item {
+            let wall_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            items += 1;
+            busy_ns += wall_ns;
+            recorder.record(Payload::WorkItem {
+                job: item.job as u64,
+                grid_index: item.grid_idx as u64,
+                count: shard.count() as u64,
+                wall_ns,
+                rng_ns: timer.nanos(Phase::Rng),
+                sim_ns: timer.nanos(Phase::Simulate),
+                acc_ns: timer.nanos(Phase::Accumulate),
+            });
+        }
 
         let mut guard = lock(shared);
         let st = &mut guard.jobs[item.job];
@@ -315,6 +359,7 @@ fn worker_loop<S: MergeableSink + Default>(
             let round_base = st.round_base;
             drop(guard);
 
+            let t_fold = if tracing { Some(Instant::now()) } else { None };
             let grid = &grids[item.job];
             let (mut fixed_traces, mut random_traces) = (0usize, 0usize);
             for (i, slot) in slots.into_iter().enumerate() {
@@ -328,6 +373,9 @@ fn worker_loop<S: MergeableSink + Default>(
                     Population::Fixed => fixed_traces += shard.count(),
                     Population::Random => random_traces += shard.count(),
                 }
+            }
+            if let Some(t0) = t_fold {
+                busy_ns += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
             }
 
             guard = lock(shared);
@@ -347,6 +395,13 @@ fn worker_loop<S: MergeableSink + Default>(
         }
         drop(guard);
         sentry.armed = false;
+    }
+    if let Some(t0) = t_loop {
+        recorder.record(Payload::WorkerSummary {
+            items,
+            busy_ns,
+            wall_ns: u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        });
     }
 }
 
@@ -379,6 +434,30 @@ fn worker_loop<S: MergeableSink + Default>(
 pub fn run_fleet<S>(
     jobs: Vec<FleetJob<'_, S>>,
     parallelism: Parallelism,
+) -> Result<Vec<CampaignOutcome<S>>, NetlistError>
+where
+    S: MergeableSink + Default,
+{
+    run_fleet_traced(jobs, parallelism, &NullRecorder)
+}
+
+/// [`run_fleet`] reporting structured trace events to `recorder`: per-item
+/// queue depth, per-item phase-split timing (whose thread stamps expose the
+/// job interleave), and one worker-utilization summary per pool thread.
+/// Recording is strictly observational — outcomes stay byte-identical to
+/// [`run_fleet`] at any worker count and in any job mix.
+///
+/// # Errors
+///
+/// Returns the first [`NetlistError`] hit while compiling a job's design.
+///
+/// # Panics
+///
+/// Propagates worker panics.
+pub fn run_fleet_traced<S>(
+    jobs: Vec<FleetJob<'_, S>>,
+    parallelism: Parallelism,
+    recorder: &dyn Recorder,
 ) -> Result<Vec<CampaignOutcome<S>>, NetlistError>
 where
     S: MergeableSink + Default,
@@ -455,11 +534,11 @@ where
         if threads <= 1 {
             // Inline path: the queue only drains when every job is done, so
             // a single worker never waits on the condvar.
-            worker_loop(&shared, &engines, &grids, &factories);
+            worker_loop(&shared, &engines, &grids, &factories, recorder);
         } else {
             std::thread::scope(|scope| {
                 for _ in 0..threads {
-                    scope.spawn(|| worker_loop(&shared, &engines, &grids, &factories));
+                    scope.spawn(|| worker_loop(&shared, &engines, &grids, &factories, recorder));
                 }
             });
         }

@@ -65,11 +65,12 @@ pub mod power;
 pub use campaign::{
     collect_gate_samples, collect_gate_samples_parallel, fold_shard_states, partition_shards,
     run_campaign, run_campaign_adaptive, run_campaign_parallel, run_campaign_parallel_with,
-    run_shard_states, run_shard_states_with, shard_grid, BatchShapeError, CampaignConfig,
-    CampaignOutcome, CampaignStats, Checkpoint, DelayModel, EnergyBatch, GateSamples,
-    MergeableSink, NeverStop, Parallelism, Population, ShardSpec, StoppingRule, TraceSink,
-    BATCH_LANES, DEFAULT_LANE_WORDS, MAX_LANE_WORDS, WORD_LANES,
+    run_campaign_traced, run_campaign_traced_with, run_shard_states, run_shard_states_traced_with,
+    run_shard_states_with, shard_grid, BatchShapeError, CampaignConfig, CampaignOutcome,
+    CampaignStats, Checkpoint, DelayModel, EnergyBatch, GateSamples, MergeableSink, NeverStop,
+    Parallelism, Population, ShardSpec, StoppingRule, TraceSink, BATCH_LANES, DEFAULT_LANE_WORDS,
+    MAX_LANE_WORDS, WORD_LANES,
 };
-pub use fleet::{job_rounds, run_fleet, FleetJob};
+pub use fleet::{job_rounds, run_fleet, run_fleet_traced, FleetJob};
 pub use logic::{BlockState, SimState, Simulator};
 pub use power::PowerModel;

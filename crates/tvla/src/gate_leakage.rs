@@ -9,9 +9,10 @@
 //! exactly this, with the ±4.5 threshold).
 
 use polaris_netlist::{GateId, Netlist, NetlistError};
+use polaris_obs::SharedRecorder;
 use polaris_sim::campaign::{
-    run_campaign_parallel, CampaignConfig, EnergyBatch, MergeableSink, Parallelism, Population,
-    TraceSink,
+    run_campaign_parallel, run_campaign_traced, CampaignConfig, EnergyBatch, MergeableSink,
+    NeverStop, Parallelism, Population, TraceSink,
 };
 use polaris_sim::power::PowerModel;
 
@@ -350,6 +351,33 @@ pub fn assess_parallel(
 ) -> Result<GateLeakage, NetlistError> {
     let acc: WelchAccumulator = run_campaign_parallel(netlist, model, config, parallelism)?;
     Ok(acc.leakage())
+}
+
+/// [`assess_parallel`] reporting structured trace events (campaign frame,
+/// per-shard phase spans, fold spans) to `recorder`. The full shard grid is
+/// walked — no stopping rule, so no checkpoint/audit events — and the
+/// leakage map is byte-identical to the untraced run.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from simulator compilation.
+pub fn assess_parallel_traced(
+    netlist: &Netlist,
+    model: &PowerModel,
+    config: &CampaignConfig,
+    parallelism: Parallelism,
+    recorder: SharedRecorder,
+) -> Result<GateLeakage, NetlistError> {
+    let outcome = run_campaign_traced::<WelchAccumulator, _>(
+        netlist,
+        model,
+        config,
+        parallelism,
+        polaris_sim::campaign::DEFAULT_SHARDS_PER_ROUND,
+        &mut NeverStop,
+        recorder.as_ref(),
+    )?;
+    Ok(outcome.sink.leakage())
 }
 
 /// Second-order variant of [`assess`] (centered-square preprocessing).

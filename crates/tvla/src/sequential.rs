@@ -28,9 +28,10 @@
 //! round boundary.
 
 use polaris_netlist::{Netlist, NetlistError};
+use polaris_obs::{Payload, SharedRecorder, Verdict};
 use polaris_sim::campaign::{
-    run_campaign_adaptive, CampaignConfig, CampaignStats, Checkpoint, Parallelism, StoppingRule,
-    DEFAULT_SHARDS_PER_ROUND,
+    run_campaign_adaptive, run_campaign_traced, CampaignConfig, CampaignStats, Checkpoint,
+    Parallelism, StoppingRule, DEFAULT_SHARDS_PER_ROUND,
 };
 use polaris_sim::fleet::FleetJob;
 use polaris_sim::power::PowerModel;
@@ -96,7 +97,7 @@ impl Default for SequentialConfig {
 
 /// The stateful stopping rule: tracks the alpha already spent at previous
 /// looks and the current stability streak.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct SequentialStopping {
     config: SequentialConfig,
     /// Gates the verdict is over (`None` = every gate of the map).
@@ -106,9 +107,26 @@ pub struct SequentialStopping {
     /// inputs, constants and flops carry no maskable leakage and must not
     /// hold the campaign open.
     scope: Option<Vec<polaris_netlist::GateId>>,
+    /// Audit-trail recorder: every look emits a `round_checkpoint` event
+    /// plus one `stop_audit` row per scoped gate. Defaults to the no-op
+    /// recorder, which skips all of it.
+    recorder: SharedRecorder,
     prev_fraction: f64,
     streak: usize,
     last_leaky: Option<usize>,
+}
+
+impl std::fmt::Debug for SequentialStopping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SequentialStopping")
+            .field("config", &self.config)
+            .field("scope", &self.scope)
+            .field("recording", &self.recorder.enabled())
+            .field("prev_fraction", &self.prev_fraction)
+            .field("streak", &self.streak)
+            .field("last_leaky", &self.last_leaky)
+            .finish()
+    }
 }
 
 impl SequentialStopping {
@@ -117,6 +135,7 @@ impl SequentialStopping {
         SequentialStopping {
             config,
             scope: None,
+            recorder: polaris_obs::shared_null(),
             prev_fraction: 0.0,
             streak: 0,
             last_leaky: None,
@@ -131,10 +150,78 @@ impl SequentialStopping {
             ..SequentialStopping::new(config)
         }
     }
+
+    /// Attaches an audit-trail recorder: every checkpoint emits its
+    /// convergence census and one per-gate verdict row. Recording never
+    /// feeds back into the stop decision — the rule's state transitions are
+    /// byte-identical with or without it.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: SharedRecorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Emits the per-gate audit rows for one look, then the checkpoint
+    /// census. The census comes last so its `wall_ns` — elapsed since the
+    /// look began — covers the audit-row encoding as well as the leakage
+    /// fold, convergence census, and alpha boundary.
+    #[allow(clippy::too_many_arguments)]
+    fn record_look(
+        &self,
+        checkpoint: &Checkpoint<'_, WelchAccumulator>,
+        leakage: &GateLeakage,
+        convergence: &crate::ConvergenceSummary,
+        fraction: f64,
+        margin: f64,
+        stop: bool,
+        look_start: std::time::Instant,
+    ) {
+        let all_gates;
+        let gates = match &self.scope {
+            Some(gates) => gates.as_slice(),
+            None => {
+                all_gates = (0..leakage.gate_count())
+                    .map(polaris_netlist::GateId::new)
+                    .collect::<Vec<_>>();
+                all_gates.as_slice()
+            }
+        };
+        for &id in gates {
+            let verdict = match leakage.result(id).resolution(self.config.threshold, margin) {
+                Some(true) => Verdict::Leaky,
+                Some(false) => Verdict::Clean,
+                None => Verdict::Undecided,
+            };
+            self.recorder.record(Payload::StopAudit {
+                round: checkpoint.round as u64,
+                gate: id.index() as u64,
+                abs_t: leakage.abs_t(id),
+                boundary: margin,
+                verdict,
+            });
+        }
+        self.recorder.record(Payload::RoundCheckpoint {
+            round: checkpoint.round as u64,
+            planned_rounds: checkpoint.planned_rounds as u64,
+            fixed_traces: checkpoint.fixed_traces as u64,
+            random_traces: checkpoint.random_traces as u64,
+            fraction,
+            boundary: margin,
+            leaky: convergence.leaky as u64,
+            clean: convergence.clean as u64,
+            unresolved: convergence.unresolved as u64,
+            stop,
+            wall_ns: look_start.elapsed().as_nanos() as u64,
+        });
+    }
 }
 
 impl StoppingRule<WelchAccumulator> for SequentialStopping {
     fn should_stop(&mut self, checkpoint: &Checkpoint<'_, WelchAccumulator>) -> bool {
+        // Time the whole look (leakage fold, convergence census, boundary)
+        // so the trace can attribute the adaptive-stopping overhead the
+        // shard-phase spans cannot see. Only taken when recording.
+        let look_start = self.recorder.enabled().then(std::time::Instant::now);
         let fraction = checkpoint.information_fraction();
         let margin = sequential_boundary(self.config.alpha, self.prev_fraction, fraction);
         self.prev_fraction = fraction;
@@ -156,7 +243,20 @@ impl StoppingRule<WelchAccumulator> for SequentialStopping {
         }
         self.last_leaky = convergence.is_converged().then_some(convergence.leaky);
 
-        checkpoint.round >= self.config.min_rounds && self.streak >= self.config.stability
+        let stop =
+            checkpoint.round >= self.config.min_rounds && self.streak >= self.config.stability;
+        if let Some(start) = look_start {
+            self.record_look(
+                checkpoint,
+                &leakage,
+                &convergence,
+                fraction,
+                margin,
+                stop,
+                start,
+            );
+        }
+        stop
     }
 }
 
@@ -207,7 +307,41 @@ pub fn assess_adaptive(
     parallelism: Parallelism,
     sequential: &SequentialConfig,
 ) -> Result<AdaptiveAssessment, NetlistError> {
-    let outcome = campaign_outcome_adaptive(netlist, model, config, parallelism, sequential)?;
+    assess_adaptive_traced(
+        netlist,
+        model,
+        config,
+        parallelism,
+        sequential,
+        polaris_obs::shared_null(),
+    )
+}
+
+/// [`assess_adaptive`] reporting structured trace events to `recorder`:
+/// per-shard phase spans, per-round fold spans and convergence checkpoints,
+/// and the full per-gate stopping audit trail. Recording is strictly
+/// observational — the leakage map, stats, and stop round are byte-identical
+/// to the untraced run.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from simulator compilation.
+pub fn assess_adaptive_traced(
+    netlist: &Netlist,
+    model: &PowerModel,
+    config: &CampaignConfig,
+    parallelism: Parallelism,
+    sequential: &SequentialConfig,
+    recorder: SharedRecorder,
+) -> Result<AdaptiveAssessment, NetlistError> {
+    let outcome = campaign_outcome_adaptive_traced(
+        netlist,
+        model,
+        config,
+        parallelism,
+        sequential,
+        recorder,
+    )?;
     Ok(AdaptiveAssessment {
         leakage: outcome.sink.leakage(),
         stats: outcome.stats,
@@ -244,6 +378,35 @@ pub fn campaign_outcome_adaptive(
     )
 }
 
+/// [`campaign_outcome_adaptive`] with a trace recorder: the engine emits
+/// shard/fold spans and the stopping rule emits the checkpoint census plus
+/// the per-gate audit trail. Outcomes are byte-identical to the untraced
+/// run at any thread count and lane width.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from simulator compilation.
+pub fn campaign_outcome_adaptive_traced(
+    netlist: &Netlist,
+    model: &PowerModel,
+    config: &CampaignConfig,
+    parallelism: Parallelism,
+    sequential: &SequentialConfig,
+    recorder: SharedRecorder,
+) -> Result<polaris_sim::CampaignOutcome<WelchAccumulator>, NetlistError> {
+    let mut rule =
+        SequentialStopping::scoped(*sequential, netlist.cell_ids()).with_recorder(recorder.clone());
+    run_campaign_traced::<WelchAccumulator, _>(
+        netlist,
+        model,
+        config,
+        parallelism,
+        sequential.shards_per_round,
+        &mut rule,
+        recorder.as_ref(),
+    )
+}
+
 /// [`campaign_outcome_adaptive`] packaged as a fleet work item: a
 /// [`FleetJob`] carrying the cells-scoped sequential stopping rule at the
 /// configuration's checkpoint granularity. Scheduled through
@@ -258,6 +421,21 @@ pub fn adaptive_fleet_job<'a>(
     sequential: &SequentialConfig,
 ) -> FleetJob<'a, WelchAccumulator> {
     let rule = SequentialStopping::scoped(*sequential, netlist.cell_ids());
+    FleetJob::new(netlist, model, config).with_rule(rule, sequential.shards_per_round)
+}
+
+/// [`adaptive_fleet_job`] whose stopping rule carries an audit-trail
+/// recorder: the job's checkpoints and per-gate verdicts land in the fleet
+/// trace alongside the scheduler's queue/worker events. The stop decision
+/// is unchanged by recording.
+pub fn adaptive_fleet_job_traced<'a>(
+    netlist: &'a Netlist,
+    model: &'a PowerModel,
+    config: CampaignConfig,
+    sequential: &SequentialConfig,
+    recorder: SharedRecorder,
+) -> FleetJob<'a, WelchAccumulator> {
+    let rule = SequentialStopping::scoped(*sequential, netlist.cell_ids()).with_recorder(recorder);
     FleetJob::new(netlist, model, config).with_rule(rule, sequential.shards_per_round)
 }
 
