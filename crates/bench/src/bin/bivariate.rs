@@ -25,7 +25,7 @@
 
 use std::time::Instant;
 
-use polaris_bench::peak_rss_kb;
+use polaris_bench::{json_u64, peak_rss_kb, rss_mb};
 use polaris_netlist::generators;
 use polaris_sim::campaign::collect_gate_samples_parallel;
 use polaris_sim::{run_campaign_parallel_with, CampaignConfig, Parallelism, PowerModel};
@@ -171,9 +171,9 @@ fn main() {
         .count();
     eprintln!(
         "  streaming {:>8} traces/class: {streaming_secs:.3}s  \
-         ({updates_per_sec:.3e} pair-updates/sec, peak RSS {} MB, {leaky} leaky pairs)",
+         ({updates_per_sec:.3e} pair-updates/sec, peak RSS {}, {leaky} leaky pairs)",
         args.traces,
-        streaming_rss_kb / 1024
+        rss_mb(streaming_rss_kb)
     );
 
     // Parity stage at the dense cap: streaming re-run, then the dense
@@ -208,8 +208,8 @@ fn main() {
         });
     eprintln!(
         "  dense     {dense_traces:>8} traces/class: {dense_secs:.3}s \
-         (vs {streaming_cap_secs:.3}s streaming, peak RSS {} MB, bit_identical: {identical})",
-        dense_rss_kb / 1024
+         (vs {streaming_cap_secs:.3}s streaming, peak RSS {}, bit_identical: {identical})",
+        rss_mb(dense_rss_kb)
     );
 
     let json = format!(
@@ -232,12 +232,12 @@ fn main() {
         args.traces,
         streaming_secs,
         updates_per_sec,
-        streaming_rss_kb,
+        json_u64(streaming_rss_kb),
         leaky,
         dense_traces,
         dense_secs,
         streaming_cap_secs,
-        dense_rss_kb,
+        json_u64(dense_rss_kb),
         identical
     );
     polaris_bench::emit_bench_json("bivariate bench", &args.out, &json).unwrap_or_else(|e| {

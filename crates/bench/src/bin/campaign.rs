@@ -310,7 +310,7 @@ fn main() {
         args.quick,
         cores,
         available_parallelism,
-        polaris_bench::peak_rss_kb(),
+        polaris_bench::json_u64(polaris_bench::peak_rss_kb()),
         fmt_runs(&runs),
         speedup_4t,
         identical,

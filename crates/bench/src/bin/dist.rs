@@ -199,7 +199,7 @@ fn main() {
         args.seed,
         args.quick,
         available_parallelism,
-        polaris_bench::peak_rss_kb(),
+        polaris_bench::json_u64(polaris_bench::peak_rss_kb()),
         n_shards,
         single_seconds,
         rows.join(",\n"),

@@ -214,7 +214,7 @@ fn main() {
         args.seed,
         args.quick,
         polaris_bench::host_parallelism(),
-        polaris_bench::peak_rss_kb(),
+        polaris_bench::json_u64(polaris_bench::peak_rss_kb()),
         suite_traces as usize,
         serial_seconds,
         serial_tps,

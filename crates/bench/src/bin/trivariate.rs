@@ -28,7 +28,7 @@
 
 use std::time::Instant;
 
-use polaris_bench::peak_rss_kb;
+use polaris_bench::{json_u64, peak_rss_kb, rss_mb};
 use polaris_dist::{execute_part_with, merge_parts};
 use polaris_masking::isw::{masked_and_order2, IswMasks};
 use polaris_netlist::{generators, Netlist};
@@ -193,9 +193,9 @@ fn main() {
         .count();
     eprintln!(
         "  streaming {:>8} traces/class: {streaming_secs:.3}s  \
-         ({updates_per_sec:.3e} triple-updates/sec, peak RSS {} MB, {leaky} leaky triples)",
+         ({updates_per_sec:.3e} triple-updates/sec, peak RSS {}, {leaky} leaky triples)",
         args.traces,
-        streaming_rss_kb / 1024
+        rss_mb(streaming_rss_kb)
     );
 
     // Parity arm: the same capped campaign through three execution shapes —
@@ -303,7 +303,7 @@ fn main() {
         args.traces,
         streaming_secs,
         updates_per_sec,
-        streaming_rss_kb,
+        json_u64(streaming_rss_kb),
         leaky,
         args.parity_traces,
         payoff_secs,

@@ -188,19 +188,26 @@ impl HarnessConfig {
 ///
 /// Returns a message naming the path when the file cannot be written.
 pub fn emit_bench_json(label: &str, path: &str, json: &str) -> Result<(), String> {
-    std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+    // Atomic tmp-then-rename so a bench killed mid-write (CI timeout, OOM)
+    // never leaves a truncated artifact at the committed path.
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, json).map_err(|e| format!("cannot write {tmp}: {e}"))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("cannot rename {tmp} to {path}: {e}"))?;
     println!("{json}");
     eprintln!("[{label}] wrote {path}");
     Ok(())
 }
 
 /// Peak resident set size of this process in kB (`VmHWM` from
-/// `/proc/self/status`); 0 when the kernel does not expose it (non-Linux
-/// hosts). A process-wide high-water mark, so benches comparing arms must
-/// run the cheapest arm first for per-arm readings to mean anything.
-/// Recorded in every `BENCH_*.json` so a memory regression shows up in the
-/// committed artifacts, not just in interactive profiling.
-pub fn peak_rss_kb() -> u64 {
+/// `/proc/self/status`) — **Linux-only** semantics: `None` on hosts without
+/// procfs (macOS, Windows, some containers) or when the `VmHWM` line cannot
+/// be parsed, so a missing measurement is distinguishable from a real one
+/// (BENCH jsons emit it as `null` via [`json_u64`] rather than a fake `0`).
+/// A process-wide high-water mark, so benches comparing arms must run the
+/// cheapest arm first for per-arm readings to mean anything. Recorded in
+/// every `BENCH_*.json` so a memory regression shows up in the committed
+/// artifacts, not just in interactive profiling.
+pub fn peak_rss_kb() -> Option<u64> {
     std::fs::read_to_string("/proc/self/status")
         .ok()
         .and_then(|s| {
@@ -210,7 +217,25 @@ pub fn peak_rss_kb() -> u64 {
                     .and_then(|v| v.parse::<u64>().ok())
             })
         })
-        .unwrap_or(0)
+}
+
+/// Renders an optional measurement as a JSON number or `null` — the shared
+/// formatter for fields like `peak_rss_kb` whose absence must stay
+/// distinguishable from a measured zero.
+pub fn json_u64(v: Option<u64>) -> String {
+    match v {
+        Some(v) => v.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+/// Renders an optional kB reading as a human `"N MB"` string (or
+/// `"unavailable"` off-Linux) for progress lines.
+pub fn rss_mb(kb: Option<u64>) -> String {
+    match kb {
+        Some(kb) => format!("{} MB", kb / 1024),
+        None => "unavailable".to_string(),
+    }
 }
 
 /// The host's available parallelism (0 when it cannot be determined) —
@@ -251,12 +276,16 @@ mod tests {
     }
 
     #[test]
-    fn peak_rss_is_nonzero_on_linux() {
+    fn peak_rss_is_measured_on_linux_and_null_renders_elsewhere() {
         let kb = peak_rss_kb();
         if cfg!(target_os = "linux") {
             // A running test process has touched at least a few hundred kB.
-            assert!(kb > 0, "VmHWM should be readable on Linux, got {kb}");
+            let kb = kb.expect("VmHWM should be readable on Linux");
+            assert!(kb > 0, "VmHWM should be positive, got {kb}");
+            assert_eq!(json_u64(Some(kb)), kb.to_string());
         }
+        // A failed measurement renders as JSON null, never a fake zero.
+        assert_eq!(json_u64(None), "null");
     }
 
     #[test]

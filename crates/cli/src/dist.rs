@@ -49,24 +49,9 @@ exit codes:
      manifest — referencing a gate outside the design, repeating a gate
      within one entry, or duplicating an entry)";
 
-/// Maps each [`DistError`] failure class to its documented exit code.
-fn exit_code(e: &DistError) -> u8 {
-    match e {
-        DistError::Sim(_) => 1,
-        DistError::Truncated { .. } => 3,
-        DistError::BadMagic | DistError::Malformed(_) => 4,
-        DistError::VersionMismatch { .. } => 5,
-        DistError::ChecksumMismatch { .. } => 6,
-        DistError::KindMismatch { .. }
-        | DistError::FingerprintMismatch { .. }
-        | DistError::PlanMismatch(_) => 7,
-        DistError::GateList(_) => 8,
-    }
-}
-
 fn dist_err(e: DistError) -> CliError {
     CliError {
-        code: exit_code(&e),
+        code: e.exit_class(),
         message: e.to_string(),
     }
 }
@@ -267,7 +252,9 @@ fn work(args: &[String]) -> Result<(), CliError> {
         )),
     }
     .map_err(dist_err)?;
-    std::fs::write(out, &bytes).map_err(|e| CliError::from(format!("cannot write {out}: {e}")))?;
+    // Atomic tmp-then-rename: a worker killed mid-write must never leave a
+    // truncated part at the final path for a later merge to reject.
+    crate::write_file_bytes(out, &bytes).map_err(CliError::from)?;
     eprintln!("shard state ({} bytes) written to {out}", bytes.len());
     trace_out.flush()?;
     Ok(())

@@ -14,6 +14,10 @@
 //!                     [--budget leaky:0.5 | cells:0.5 | count:N] [--threads N] [--adaptive --confidence P] [--report]
 //! polaris-cli rules   --model model.polaris
 //! polaris-cli explain <netlist.v> --model model.polaris --gate <instance-name>
+//! polaris-cli serve   [--listen 127.0.0.1:0 --heartbeat-ms N --trace-out trace.jsonl]
+//! polaris-cli worker  --connect HOST:PORT [--name ID --threads N]
+//! polaris-cli submit  <netlist.v> --connect HOST:PORT [--tenant ID --traces N --seed N
+//!                     --cycles N --glitch --adaptive --confidence P] [--csv out.csv]
 //! ```
 //!
 //! Trace campaigns run on the sharded parallel engine; `--threads` (0 = all
@@ -32,6 +36,7 @@ use std::process::ExitCode;
 mod commands;
 mod dist;
 mod fleet;
+mod serve;
 mod trace;
 
 /// A CLI failure with its process exit code. Generic errors exit 1; the
@@ -69,6 +74,9 @@ fn main() -> ExitCode {
         "rules" => commands::rules(rest).map_err(CliError::from),
         "explain" => commands::explain(rest).map_err(CliError::from),
         "dist" => dist::dist(rest),
+        "serve" => serve::serve(rest),
+        "worker" => serve::worker(rest),
+        "submit" => serve::submit(rest),
         "trace" => trace::trace(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -100,6 +108,9 @@ commands:
   rules    print the mined masking rules of a model bundle
   explain  SHAP waterfall for one gate of a netlist
   dist     distributed campaigns: plan / work / merge shard states
+  serve    run the live assessment service daemon
+  worker   attach a live worker to a running serve daemon
+  submit   submit a design to a running serve daemon
   trace    summarize a JSONL trace written with --trace-out
 
 run `polaris-cli <command> --help` for flags";
@@ -110,8 +121,22 @@ pub(crate) fn read_file(path: &str) -> Result<String, String> {
 }
 
 /// Writes a file with a friendly error.
+///
+/// Crash-safe: see [`write_file_bytes`].
 pub(crate) fn write_file(path: &str, content: &str) -> Result<(), String> {
-    fs::write(path, content).map_err(|e| format!("cannot write {path}: {e}"))
+    write_file_bytes(path, content.as_bytes())
+}
+
+/// Writes bytes to `<path>.tmp` and atomically renames onto `path`.
+///
+/// Every artifact the CLI produces (shard-state parts, CSVs, traces, model
+/// bundles) goes through here so a process killed mid-write can never leave
+/// a truncated file at the final path — a rerun or a coordinator re-issue
+/// always starts from either the old complete artifact or nothing.
+pub(crate) fn write_file_bytes(path: &str, bytes: &[u8]) -> Result<(), String> {
+    let tmp = format!("{path}.tmp");
+    fs::write(&tmp, bytes).map_err(|e| format!("cannot write {tmp}: {e}"))?;
+    fs::rename(&tmp, path).map_err(|e| format!("cannot rename {tmp} to {path}: {e}"))
 }
 
 /// Minimal flag parser: `--key value` pairs plus positional arguments.

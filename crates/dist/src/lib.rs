@@ -78,6 +78,8 @@
 pub mod codec;
 pub mod part;
 pub mod plan;
+pub mod proto;
+pub mod service;
 pub mod wire;
 
 pub use codec::{ShardState, SinkKind};
@@ -87,6 +89,11 @@ pub use part::{
     FORMAT_VERSION, MAGIC,
 };
 pub use plan::{campaign_fingerprint, DistPlan};
+pub use proto::{Message, ProtoError, ResultOrigin, PROTO_VERSION};
+pub use service::{
+    Coordinator, DesignFormat, JobResult, JobStatus, Submission, SubmitOutcome, TaskSpec,
+    TenantStats, DEFAULT_HEARTBEAT_MS,
+};
 
 use polaris_netlist::NetlistError;
 
@@ -178,6 +185,26 @@ impl std::fmt::Display for DistError {
             DistError::GateList(why) => write!(f, "invalid gate list: {why}"),
             DistError::Malformed(why) => write!(f, "malformed shard-state data: {why}"),
             DistError::Sim(e) => write!(f, "campaign execution failed: {e}"),
+        }
+    }
+}
+
+impl DistError {
+    /// The failure class as the documented `dist`/`serve` exit code:
+    /// 1 execution, 3 truncated, 4 malformed, 5 version skew, 6 checksum,
+    /// 7 plan/fingerprint/kind mismatch, 8 gate list. The CLI maps errors
+    /// through this so scripts can react to a class without parsing stderr.
+    pub fn exit_class(&self) -> u8 {
+        match self {
+            DistError::Sim(_) => 1,
+            DistError::Truncated { .. } => 3,
+            DistError::BadMagic | DistError::Malformed(_) => 4,
+            DistError::VersionMismatch { .. } => 5,
+            DistError::ChecksumMismatch { .. } => 6,
+            DistError::KindMismatch { .. }
+            | DistError::FingerprintMismatch { .. }
+            | DistError::PlanMismatch(_) => 7,
+            DistError::GateList(_) => 8,
         }
     }
 }

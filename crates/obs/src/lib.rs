@@ -82,42 +82,115 @@ pub fn thread_ordinal() -> u64 {
     THREAD_ORDINAL.with(|t| *t)
 }
 
-/// Buffering JSONL recorder: every event becomes one line in an in-memory
-/// buffer, stamped with monotonic nanoseconds since the recorder's creation
-/// and the recording thread's ordinal.
-#[derive(Debug)]
+/// Where a [`JsonlRecorder`] puts its encoded lines.
+enum JsonlSink {
+    /// Everything in one in-memory `String`, handed back by
+    /// [`JsonlRecorder::to_jsonl`] at the end of the run.
+    Buffer(String),
+    /// Every line written (and flushed) to the writer as it is recorded, so
+    /// a killed or OOM'd long-running process loses at most the line being
+    /// written — and resident memory stays O(1) in the trace length.
+    Stream {
+        writer: Box<dyn std::io::Write + Send>,
+        /// Bytes successfully written so far.
+        written: usize,
+        /// First write/flush error, deferred to [`JsonlRecorder::flush`]
+        /// so `record` stays infallible for the engines.
+        error: Option<String>,
+    },
+}
+
+/// JSONL recorder: every event becomes one line — stamped with monotonic
+/// nanoseconds since the recorder's creation and the recording thread's
+/// ordinal — in either an in-memory buffer ([`JsonlRecorder::new`]) or an
+/// incremental writer ([`JsonlRecorder::streaming`]).
+///
+/// Both modes emit exactly [`Event::encode`] plus a newline per event, so
+/// the streamed bytes are byte-identical to the buffered trace for the same
+/// event sequence.
 pub struct JsonlRecorder {
     epoch: Instant,
-    buf: Mutex<String>,
+    sink: Mutex<JsonlSink>,
+}
+
+impl std::fmt::Debug for JsonlRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (mode, len) = match &*self.lock() {
+            JsonlSink::Buffer(buf) => ("buffer", buf.len()),
+            JsonlSink::Stream { written, .. } => ("stream", *written),
+        };
+        f.debug_struct("JsonlRecorder")
+            .field("mode", &mode)
+            .field("len", &len)
+            .finish()
+    }
 }
 
 impl JsonlRecorder {
-    /// Creates an empty recorder; its creation instant is the trace epoch.
+    /// Creates an empty buffering recorder; its creation instant is the
+    /// trace epoch.
     pub fn new() -> Self {
         JsonlRecorder {
             epoch: Instant::now(),
-            buf: Mutex::new(String::new()),
+            sink: Mutex::new(JsonlSink::Buffer(String::new())),
         }
     }
 
-    /// The buffered trace, one JSON object per line.
+    /// Creates a streaming recorder: every recorded event is written (and
+    /// flushed) to `writer` immediately instead of buffered, so the trace
+    /// of a long-running process survives a crash and memory use does not
+    /// grow with the trace. I/O errors are deferred to
+    /// [`JsonlRecorder::flush`]; after the first error further events are
+    /// dropped.
+    pub fn streaming(writer: Box<dyn std::io::Write + Send>) -> Self {
+        JsonlRecorder {
+            epoch: Instant::now(),
+            sink: Mutex::new(JsonlSink::Stream {
+                writer,
+                written: 0,
+                error: None,
+            }),
+        }
+    }
+
+    /// The buffered trace, one JSON object per line. A streaming recorder
+    /// has already handed its lines to the writer, so this returns the
+    /// empty string for it.
     pub fn to_jsonl(&self) -> String {
-        self.lock().clone()
+        match &*self.lock() {
+            JsonlSink::Buffer(buf) => buf.clone(),
+            JsonlSink::Stream { .. } => String::new(),
+        }
     }
 
-    /// Number of buffered bytes.
+    /// Number of bytes buffered (or, in streaming mode, written so far).
     pub fn len(&self) -> usize {
-        self.lock().len()
+        match &*self.lock() {
+            JsonlSink::Buffer(buf) => buf.len(),
+            JsonlSink::Stream { written, .. } => *written,
+        }
     }
 
-    /// True when nothing has been recorded.
+    /// True when nothing has been recorded (or streamed) yet.
     pub fn is_empty(&self) -> bool {
-        self.lock().is_empty()
+        self.len() == 0
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, String> {
+    /// Flushes a streaming writer and surfaces any write error deferred by
+    /// [`Recorder::record`]. A no-op `Ok` for a buffering recorder.
+    pub fn flush(&self) -> Result<(), String> {
+        match &mut *self.lock() {
+            JsonlSink::Buffer(_) => Ok(()),
+            JsonlSink::Stream { writer, error, .. } => match error.take() {
+                Some(e) => Err(e),
+                None => writer.flush().map_err(|e| format!("trace flush: {e}")),
+            },
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, JsonlSink> {
         // A worker panic elsewhere must not lose the trace collected so far.
-        self.buf.lock().unwrap_or_else(|e| e.into_inner())
+        self.sink.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -139,9 +212,31 @@ impl Recorder for JsonlRecorder {
             payload,
         };
         let line = event.encode();
-        let mut buf = self.lock();
-        buf.push_str(&line);
-        buf.push('\n');
+        match &mut *self.lock() {
+            JsonlSink::Buffer(buf) => {
+                buf.push_str(&line);
+                buf.push('\n');
+            }
+            JsonlSink::Stream {
+                writer,
+                written,
+                error,
+            } => {
+                if error.is_some() {
+                    return;
+                }
+                // One write_all + flush per line: the byte stream is the
+                // exact buffered format, durable at line granularity.
+                let res = writer
+                    .write_all(line.as_bytes())
+                    .and_then(|()| writer.write_all(b"\n"))
+                    .and_then(|()| writer.flush());
+                match res {
+                    Ok(()) => *written += line.len() + 1,
+                    Err(e) => *error = Some(format!("trace write: {e}")),
+                }
+            }
+        }
     }
 }
 
@@ -248,6 +343,84 @@ mod tests {
         // Monotonic stamps: the second event is not earlier than the first.
         assert!(events[1].t_ns >= events[0].t_ns);
         assert_eq!(r.len(), text.len());
+    }
+
+    /// A `Write` handle into shared bytes, so a test can keep reading what
+    /// the boxed writer inside a streaming recorder has produced.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn streaming_recorder_emits_the_buffered_byte_format() {
+        let payloads = [
+            Payload::QueueDepth {
+                depth: 3,
+                jobs_remaining: 2,
+            },
+            Payload::MergeFold {
+                part: 1,
+                shards: 8,
+                wall_ns: 42,
+            },
+            Payload::MergeDone {
+                parts: 2,
+                shards: 16,
+                wall_ns: 99,
+            },
+        ];
+        let out = SharedBuf::default();
+        let stream = JsonlRecorder::streaming(Box::new(out.clone()));
+        assert!(stream.is_empty());
+        for p in &payloads {
+            stream.record(p.clone());
+        }
+        stream.flush().expect("no deferred write error");
+        let bytes = out.0.lock().unwrap().clone();
+        assert_eq!(stream.len(), bytes.len());
+        // The streamed bytes are exactly `Event::encode() + '\n'` per event
+        // — the buffered format: re-encoding the parsed events reproduces
+        // the stream byte for byte.
+        let text = String::from_utf8(bytes).expect("utf-8 jsonl");
+        let events = parse_trace(&text).expect("parseable stream");
+        assert_eq!(events.len(), payloads.len());
+        let reencoded: String = events.iter().map(|e| e.encode() + "\n").collect();
+        assert_eq!(reencoded, text);
+        for (event, payload) in events.iter().zip(&payloads) {
+            assert_eq!(event.payload.kind(), payload.kind());
+        }
+        // A streaming recorder has no buffer to hand back.
+        assert_eq!(stream.to_jsonl(), "");
+    }
+
+    #[test]
+    fn streaming_recorder_defers_write_errors_to_flush() {
+        struct FailingWriter;
+        impl std::io::Write for FailingWriter {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let stream = JsonlRecorder::streaming(Box::new(FailingWriter));
+        stream.record(Payload::QueueDepth {
+            depth: 0,
+            jobs_remaining: 0,
+        });
+        let err = stream.flush().expect_err("first flush surfaces the error");
+        assert!(err.contains("disk full"), "unexpected error: {err}");
+        assert!(stream.is_empty(), "failed writes count no bytes");
     }
 
     #[test]
